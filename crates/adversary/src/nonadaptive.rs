@@ -1,0 +1,252 @@
+//! Exact worst case against a *non-adaptive* schedule.
+//!
+//! §2.2: the non-adaptive owner replays the committed tail after each
+//! interrupt, except that after the `p`-th interrupt the remainder runs as
+//! one long period. With last-instant interrupts (dominant, Observation
+//! (a)) the adversary's choice reduces to picking which periods to kill:
+//!
+//! * using `a < p` interrupts never triggers consolidation, and killing a
+//!   period simply deletes its contribution, so the best such choice kills
+//!   the `p − 1` largest contributions;
+//! * using all `p` interrupts with the last on period `j` deletes the
+//!   `p − 1` largest contributions before `j`, deletes `j`'s own
+//!   contribution, and replaces the scheduled tail with one long period
+//!   banking `(U − T_j) ⊖ c`.
+//!
+//! [`worst_case`] minimizes over all of these in `O(m log m)` with a
+//! running top-`(p−1)` selection, and is validated against exhaustive
+//! subset enumeration in the tests.
+
+use cyclesteal_core::time::{Time, Work};
+use cyclesteal_core::work::NonAdaptiveRun;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The adversary's optimal play against a non-adaptive run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NonAdaptiveWorstCase {
+    /// The work the owner is left with under optimal adversarial play.
+    pub work: Work,
+    /// The (zero-based, increasing) periods killed, each at its last
+    /// instant.
+    pub killed: Vec<usize>,
+}
+
+/// Ordered-`f64` wrapper so contributions can live in a heap. Contributions
+/// are finite by `Time`'s invariant.
+#[derive(PartialEq)]
+struct Contribution(f64, usize);
+
+impl Eq for Contribution {}
+
+impl PartialOrd for Contribution {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Contribution {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0
+            .total_cmp(&other.0)
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+/// Computes the exact worst case for `run` (see module docs).
+#[allow(clippy::needless_range_loop)] // j indexes two parallel structures
+pub fn worst_case(run: &NonAdaptiveRun) -> NonAdaptiveWorstCase {
+    let schedule = run.schedule();
+    let c = run.setup();
+    let p = run.budget() as usize;
+    let m = schedule.len();
+    let contributions: Vec<f64> = (0..m)
+        .map(|k| schedule.period_work(k, c).get())
+        .collect();
+    let total: f64 = contributions.iter().sum();
+
+    // Candidate A: a = min(p−1, m) interrupts, no consolidation — kill the
+    // largest contributions overall. (a = 0 when p ≤ 1.)
+    let mut best = {
+        let kills = p.saturating_sub(1).min(m);
+        let mut idx: Vec<usize> = (0..m).collect();
+        idx.sort_by(|&a, &b| contributions[b].total_cmp(&contributions[a]).then(a.cmp(&b)));
+        let killed: Vec<usize> = idx.into_iter().take(kills).collect();
+        let removed: f64 = killed.iter().map(|&k| contributions[k]).sum();
+        let mut killed_sorted = killed;
+        killed_sorted.sort_unstable();
+        NonAdaptiveWorstCase {
+            work: Time::new((total - removed).max(0.0)),
+            killed: killed_sorted,
+        }
+    };
+
+    // Candidate B: all p interrupts, last on period j (needs j ≥ p−1 so the
+    // other p−1 fit before it). Maintain the running sum of the p−1 largest
+    // contributions among periods [0, j) with a min-heap.
+    if p >= 1 && m >= p {
+        let u = run.lifespan();
+        let mut heap: BinaryHeap<Reverse<Contribution>> = BinaryHeap::new();
+        let mut heap_sum = 0.0f64;
+        let keep = p - 1;
+        let mut prefix = 0.0f64; // Σ contributions[0..j]
+        let mut best_j: Option<(usize, f64)> = None;
+        for j in 0..m {
+            if j >= keep {
+                // Value of interrupting last on j (prefix currently covers
+                // [0..j); heap holds the `keep` largest of them).
+                let tail = (u - schedule.boundary(j)).pos_sub(c).get();
+                let value = (prefix - heap_sum).max(0.0) + tail;
+                if best_j.is_none_or(|(_, v)| value < v) {
+                    best_j = Some((j, value));
+                }
+            }
+            // Absorb period j into the prefix structures for the next j.
+            prefix += contributions[j];
+            if keep > 0 {
+                heap.push(Reverse(Contribution(contributions[j], j)));
+                heap_sum += contributions[j];
+                if heap.len() > keep {
+                    let Reverse(Contribution(v, _)) = heap.pop().expect("heap non-empty");
+                    heap_sum -= v;
+                }
+            }
+        }
+        if let Some((j, value)) = best_j {
+            if value < best.work.get() {
+                // Reconstruct the killed set: the `keep` largest in [0, j)
+                // plus j itself.
+                let mut idx: Vec<usize> = (0..j).collect();
+                idx.sort_by(|&a, &b| {
+                    contributions[b].total_cmp(&contributions[a]).then(a.cmp(&b))
+                });
+                let mut killed: Vec<usize> = idx.into_iter().take(keep).collect();
+                killed.push(j);
+                killed.sort_unstable();
+                best = NonAdaptiveWorstCase {
+                    work: Time::new(value.max(0.0)),
+                    killed,
+                };
+            }
+        }
+    }
+
+    debug_assert!(
+        {
+            let replay = run
+                .work_given_killed(&best.killed)
+                .expect("reported kill set is valid");
+            replay.approx_eq(best.work, c * 1e-9 + replay.abs() * 1e-12)
+        },
+        "reported kill set does not realize the reported value"
+    );
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::model::Opportunity;
+    use cyclesteal_core::prelude::*;
+
+    fn run(periods: &[f64], c: f64, p: u32) -> NonAdaptiveRun {
+        let sched =
+            EpisodeSchedule::from_periods(periods.iter().map(|&x| secs(x)).collect()).unwrap();
+        let u: f64 = periods.iter().sum();
+        NonAdaptiveRun::new(sched, secs(c), secs(u), p).unwrap()
+    }
+
+    /// Exhaustive reference: try every subset of ≤ p killed periods.
+    fn brute_force(r: &NonAdaptiveRun) -> Work {
+        let m = r.schedule().len();
+        let p = r.budget() as usize;
+        let mut best = r.work_uninterrupted();
+        for mask in 0u32..(1 << m) {
+            if (mask.count_ones() as usize) > p {
+                continue;
+            }
+            let killed: Vec<usize> = (0..m).filter(|k| mask & (1 << k) != 0).collect();
+            let w = r.work_given_killed(&killed).unwrap();
+            if w < best {
+                best = w;
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_exhaustive_enumeration() {
+        let cases: Vec<(Vec<f64>, f64, u32)> = vec![
+            (vec![3.0, 3.0, 3.0, 3.0], 1.0, 1),
+            (vec![3.0, 3.0, 3.0, 3.0], 1.0, 2),
+            (vec![5.0, 4.0, 3.0, 2.0, 1.5], 1.0, 2),
+            (vec![5.0, 4.0, 3.0, 2.0, 1.5], 1.0, 3),
+            (vec![2.0, 8.0, 2.0, 8.0, 2.0, 8.0], 1.5, 2),
+            (vec![10.0, 0.5, 10.0, 0.5, 10.0], 1.0, 2),
+            (vec![1.0, 1.0, 1.0], 2.0, 1), // all nonproductive
+            (vec![7.0], 1.0, 3),           // single period, excess budget
+            (vec![4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0, 4.0], 1.0, 4),
+        ];
+        for (periods, c, p) in cases {
+            let r = run(&periods, c, p);
+            let fast = worst_case(&r);
+            let slow = brute_force(&r);
+            assert!(
+                fast.work.approx_eq(slow, secs(1e-9)),
+                "periods {periods:?} c={c} p={p}: fast {} vs brute {}",
+                fast.work,
+                slow
+            );
+            // The reported kill set realizes the reported value.
+            let replay = r.work_given_killed(&fast.killed).unwrap();
+            assert!(replay.approx_eq(fast.work, secs(1e-9)));
+        }
+    }
+
+    #[test]
+    fn guideline_worst_case_matches_closed_form() {
+        for &(u, p) in &[(10_000.0, 1u32), (10_000.0, 3), (40_000.0, 5)] {
+            let opp = Opportunity::from_units(u, 1.0, p);
+            let r = NonAdaptiveGuideline::run(&opp).unwrap();
+            let wc = worst_case(&r);
+            let g = NonAdaptiveGuideline::guarantee(&opp);
+            assert!(
+                wc.work.approx_eq(g, secs(1e-6)),
+                "U={u} p={p}: worst case {} vs closed form {}",
+                wc.work,
+                g
+            );
+        }
+    }
+
+    #[test]
+    fn adversary_kills_whole_budget_on_equal_periods() {
+        let opp = Opportunity::from_units(900.0, 1.0, 3);
+        let r = NonAdaptiveGuideline::run(&opp).unwrap();
+        let wc = worst_case(&r);
+        assert_eq!(wc.killed.len(), 3);
+        // Equal periods: killing the LAST p periods is among the optima
+        // (kills work and zeroes the consolidated tail).
+        let m = r.schedule().len();
+        let alt: Vec<usize> = (m - 3..m).collect();
+        let alt_work = r.work_given_killed(&alt).unwrap();
+        assert!(alt_work.approx_eq(wc.work, secs(1e-9)));
+    }
+
+    #[test]
+    fn zero_budget_means_uninterrupted() {
+        let r = run(&[4.0, 4.0, 4.0], 1.0, 0);
+        let wc = worst_case(&r);
+        assert_eq!(wc.killed, Vec::<usize>::new());
+        assert_eq!(wc.work, secs(9.0));
+    }
+
+    #[test]
+    fn budget_exceeding_periods_is_handled() {
+        // p > m: candidate B requires m ≥ p and is skipped; the adversary
+        // still deletes the p−1 largest contributions (capped at m).
+        let r = run(&[5.0, 5.0], 1.0, 5);
+        let wc = worst_case(&r);
+        assert_eq!(wc.work, Work::ZERO);
+    }
+}

@@ -1,0 +1,173 @@
+//! The malicious adversary of §4, driven by a work oracle.
+//!
+//! Given a committed episode schedule, the optimal adversary compares its
+//! `m + 1` options (Table 1): let the episode complete, or kill period `k`
+//! at its last instant and face the owner's continuation worth
+//! `W^(p−1)[U − T_k]`. Observations (a)–(c) of the paper fall out of this
+//! minimization and are verified as tests rather than assumed.
+//!
+//! Two continuation models are provided:
+//!
+//! * [`OptimalAdversary`] scores continuations with a *game* oracle
+//!   (typically the exact DP table) — the right adversary when the owner
+//!   plays optimally;
+//! * [`PolicyAwareAdversary`] scores continuations with the evaluated value
+//!   of the owner's *actual* policy (`cyclesteal_dp::PolicyValue`) — the
+//!   exact worst case against a fixed, possibly suboptimal owner.
+
+use cyclesteal_core::model::Opportunity;
+use cyclesteal_core::policy::{Adversary, WorkOracle};
+use cyclesteal_core::schedule::EpisodeSchedule;
+use cyclesteal_core::time::Work;
+use cyclesteal_core::work::InterruptSpec;
+use cyclesteal_dp::PolicyValue;
+
+/// Picks the option minimizing `episode work + continuation(residual)`,
+/// where `continuation(r)` scores the owner's prospects with `r` lifespan
+/// and one fewer interrupt. Shared by both adversaries.
+fn best_response<F: Fn(cyclesteal_core::time::Time) -> Work>(
+    opp: &Opportunity,
+    schedule: &EpisodeSchedule,
+    continuation: F,
+) -> (InterruptSpec, Work) {
+    let c = opp.setup();
+    let u = opp.lifespan();
+    let mut best_spec = InterruptSpec::None;
+    let mut best_val = schedule.work_uninterrupted(c);
+
+    let mut accrued = Work::ZERO;
+    for (k, start, t) in schedule.iter_windows() {
+        let residual = (u - (start + t)).clamp_min_zero();
+        let val = accrued + continuation(residual);
+        if val < best_val {
+            best_val = val;
+            best_spec = InterruptSpec::LastInstantOf(k);
+        }
+        accrued += t.pos_sub(c);
+    }
+    (best_spec, best_val)
+}
+
+/// §4's malicious adversary under the assumption that the owner continues
+/// optimally (continuations scored by a `W^(p−1)` oracle such as the exact
+/// DP table).
+pub struct OptimalAdversary<O> {
+    oracle: O,
+}
+
+impl<O: WorkOracle> OptimalAdversary<O> {
+    /// Creates the adversary around a work oracle.
+    pub fn new(oracle: O) -> Self {
+        OptimalAdversary { oracle }
+    }
+
+    /// The value the adversary concedes with its best response — useful
+    /// for audits without running a game.
+    pub fn response_value(&self, opp: &Opportunity, schedule: &EpisodeSchedule) -> Work {
+        let level = opp.interrupts().saturating_sub(1);
+        best_response(opp, schedule, |r| self.oracle.guaranteed_work(level, r)).1
+    }
+}
+
+impl<O: WorkOracle> Adversary for OptimalAdversary<O> {
+    fn respond(&mut self, opp: &Opportunity, schedule: &EpisodeSchedule) -> InterruptSpec {
+        let level = opp.interrupts().saturating_sub(1);
+        best_response(opp, schedule, |r| self.oracle.guaranteed_work(level, r)).0
+    }
+
+    fn name(&self) -> String {
+        "optimal-adversary(oracle)".into()
+    }
+}
+
+/// The exact worst-case adversary against one *fixed* owner policy: the
+/// continuation is the policy's own evaluated guaranteed work, so playing
+/// this adversary against that policy realizes exactly
+/// `G_π(p, U)` from [`cyclesteal_dp::evaluate_policy`].
+pub struct PolicyAwareAdversary {
+    value: PolicyValue,
+}
+
+impl PolicyAwareAdversary {
+    /// Wraps the evaluated value table of the policy this adversary will
+    /// torment.
+    pub fn new(value: PolicyValue) -> Self {
+        PolicyAwareAdversary { value }
+    }
+
+    /// Access to the underlying policy value table.
+    pub fn value_table(&self) -> &PolicyValue {
+        &self.value
+    }
+}
+
+impl Adversary for PolicyAwareAdversary {
+    fn respond(&mut self, opp: &Opportunity, schedule: &EpisodeSchedule) -> InterruptSpec {
+        let level = opp.interrupts().saturating_sub(1);
+        best_response(opp, schedule, |r| self.value.value(level, r)).0
+    }
+
+    fn name(&self) -> String {
+        format!("policy-aware-adversary({})", self.value.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::prelude::*;
+
+    #[test]
+    fn kills_the_only_period_of_a_single_period_schedule() {
+        let c = secs(1.0);
+        let mut adv = OptimalAdversary::new(ClosedFormOracle::new(c));
+        let opp = Opportunity::from_units(50.0, 1.0, 1);
+        let s = EpisodeSchedule::single(secs(50.0)).unwrap();
+        // Killing the lone period concedes 0 < W^0 continuation of nothing.
+        assert_eq!(adv.respond(&opp, &s), InterruptSpec::LastInstantOf(0));
+        assert_eq!(adv.response_value(&opp, &s), Work::ZERO);
+    }
+
+    #[test]
+    fn observation_b_always_interrupts_worthwhile_episodes() {
+        // Against the optimal p=1 schedule every option is equalized; the
+        // adversary still interrupts (no-interrupt concedes strictly more).
+        let c = secs(1.0);
+        let mut adv = OptimalAdversary::new(ClosedFormOracle::new(c));
+        let opp = Opportunity::from_units(300.0, 1.0, 1);
+        let s = optimal_p1_schedule(secs(300.0), c).unwrap();
+        match adv.respond(&opp, &s) {
+            InterruptSpec::LastInstantOf(_) => {}
+            other => panic!("adversary declined to interrupt: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prefers_late_interrupts_against_equal_periods() {
+        // Against equal periods with p=1, killing later periods costs the
+        // owner more banked... actually killing any period loses its work;
+        // the adversary's best is the option minimizing banked + W^0: for
+        // equal periods that is killing the FIRST period (continuation
+        // loses a setup charge, accrued zero).
+        let c = secs(1.0);
+        let mut adv = OptimalAdversary::new(ClosedFormOracle::new(c));
+        let opp = Opportunity::from_units(40.0, 1.0, 1);
+        let s = EpisodeSchedule::equal(secs(40.0), 4).unwrap();
+        // Options: kill k: accrued k·9 + W^0(40−10(k+1)).
+        // k=0: 0+29=29; k=1: 9+19=28; k=2: 18+9=27; k=3: 27+0=27.
+        // Min is 27, attained first at k=2.
+        assert_eq!(adv.respond(&opp, &s), InterruptSpec::LastInstantOf(2));
+        assert_eq!(adv.response_value(&opp, &s), secs(27.0));
+    }
+
+    #[test]
+    fn respects_zero_value_residuals() {
+        let c = secs(1.0);
+        let adv = OptimalAdversary::new(ClosedFormOracle::new(c));
+        // p = 1, tiny lifespan: everything concedes 0; any interrupt works.
+        let opp = Opportunity::from_units(1.5, 1.0, 1);
+        let s = EpisodeSchedule::single(secs(1.5)).unwrap();
+        let v = adv.response_value(&opp, &s);
+        assert_eq!(v, Work::ZERO);
+    }
+}

@@ -1,0 +1,263 @@
+//! Stochastic and trace-driven adversaries.
+//!
+//! The paper's guarantees are against the malicious adversary; real owners
+//! are merely inconvenient. These adversaries model them: interrupts at
+//! random times (uniform or Poisson) or replayed from a recorded trace of
+//! absolute opportunity times. They bound the guidelines' *typical* — as
+//! opposed to guaranteed — behaviour in the benches and the simulator.
+
+use cyclesteal_core::model::Opportunity;
+use cyclesteal_core::policy::Adversary;
+use cyclesteal_core::schedule::EpisodeSchedule;
+use cyclesteal_core::time::Time;
+use cyclesteal_core::work::InterruptSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Each episode, with probability `prob`, interrupts at a uniformly random
+/// instant of the episode.
+pub struct UniformRandomAdversary {
+    rng: StdRng,
+    prob: f64,
+}
+
+impl UniformRandomAdversary {
+    /// Creates the adversary with a deterministic seed.
+    pub fn new(seed: u64, prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability in [0,1]");
+        UniformRandomAdversary {
+            rng: StdRng::seed_from_u64(seed),
+            prob,
+        }
+    }
+}
+
+impl Adversary for UniformRandomAdversary {
+    fn respond(&mut self, _opp: &Opportunity, schedule: &EpisodeSchedule) -> InterruptSpec {
+        if !self.rng.gen_bool(self.prob) {
+            return InterruptSpec::None;
+        }
+        let total = schedule.total().get();
+        let tau = Time::new(self.rng.gen_range(0.0..total));
+        match schedule.locate(tau) {
+            Some((period, offset)) => InterruptSpec::During { period, offset },
+            None => InterruptSpec::None,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("uniform-random(p={})", self.prob)
+    }
+}
+
+/// Memoryless owner: interrupts arrive as a Poisson process of the given
+/// rate (per time unit); the episode is interrupted iff the next arrival
+/// falls inside it.
+pub struct PoissonAdversary {
+    rng: StdRng,
+    rate: f64,
+}
+
+impl PoissonAdversary {
+    /// Creates the adversary; `rate` is the expected number of interrupts
+    /// per time unit.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        assert!(rate >= 0.0, "rate must be non-negative");
+        PoissonAdversary {
+            rng: StdRng::seed_from_u64(seed),
+            rate,
+        }
+    }
+
+    fn sample_exponential(&mut self) -> f64 {
+        // Inverse-CDF sampling; gen::<f64>() ∈ [0, 1), so 1−x ∈ (0, 1].
+        let x: f64 = self.rng.gen();
+        -(1.0 - x).ln() / self.rate
+    }
+}
+
+impl Adversary for PoissonAdversary {
+    fn respond(&mut self, _opp: &Opportunity, schedule: &EpisodeSchedule) -> InterruptSpec {
+        if self.rate == 0.0 {
+            return InterruptSpec::None;
+        }
+        let tau = self.sample_exponential();
+        let total = schedule.total().get();
+        if tau >= total {
+            return InterruptSpec::None;
+        }
+        match schedule.locate(Time::new(tau)) {
+            Some((period, offset)) => InterruptSpec::During { period, offset },
+            None => InterruptSpec::None,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("poisson(rate={})", self.rate)
+    }
+}
+
+/// Replays interrupts recorded at absolute opportunity times (measured in
+/// consumed usable lifespan since the opportunity began). Times must be
+/// strictly increasing.
+pub struct TraceAdversary {
+    times: Vec<Time>,
+    cursor: usize,
+    initial_lifespan: Option<Time>,
+}
+
+impl TraceAdversary {
+    /// Creates the adversary from absolute interrupt times.
+    pub fn new(times: Vec<Time>) -> Self {
+        for w in times.windows(2) {
+            assert!(w[0] < w[1], "trace times must be strictly increasing");
+        }
+        TraceAdversary {
+            times,
+            cursor: 0,
+            initial_lifespan: None,
+        }
+    }
+
+    /// Interrupt times not yet consumed by the game.
+    pub fn remaining(&self) -> &[Time] {
+        &self.times[self.cursor..]
+    }
+}
+
+impl Adversary for TraceAdversary {
+    fn respond(&mut self, opp: &Opportunity, schedule: &EpisodeSchedule) -> InterruptSpec {
+        // The first call pins the opportunity's initial lifespan so elapsed
+        // time can be recovered from the residual on later calls.
+        let initial = *self.initial_lifespan.get_or_insert(opp.lifespan());
+        let elapsed = initial - opp.lifespan();
+        while self.cursor < self.times.len() {
+            let t = self.times[self.cursor];
+            if t < elapsed {
+                // Stale event (fell inside owner-side dead time); skip it.
+                self.cursor += 1;
+                continue;
+            }
+            let offset_into_episode = t - elapsed;
+            if offset_into_episode >= schedule.total() {
+                return InterruptSpec::None; // next interrupt is after this episode
+            }
+            self.cursor += 1;
+            if let Some((period, offset)) = schedule.locate(offset_into_episode) {
+                return InterruptSpec::During { period, offset };
+            }
+        }
+        InterruptSpec::None
+    }
+
+    fn name(&self) -> String {
+        format!("trace({} events)", self.times.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::prelude::*;
+
+    fn opp(u: f64, p: u32) -> Opportunity {
+        Opportunity::from_units(u, 1.0, p)
+    }
+
+    fn sched(u: f64, m: usize) -> EpisodeSchedule {
+        EpisodeSchedule::equal(secs(u), m).unwrap()
+    }
+
+    #[test]
+    fn uniform_random_is_seed_deterministic() {
+        let s = sched(100.0, 10);
+        let o = opp(100.0, 3);
+        let mut a1 = UniformRandomAdversary::new(7, 0.8);
+        let mut a2 = UniformRandomAdversary::new(7, 0.8);
+        for _ in 0..20 {
+            assert_eq!(a1.respond(&o, &s), a2.respond(&o, &s));
+        }
+    }
+
+    #[test]
+    fn uniform_random_offsets_are_inside_periods() {
+        let s = sched(100.0, 7);
+        let o = opp(100.0, 3);
+        let mut a = UniformRandomAdversary::new(3, 1.0);
+        for _ in 0..200 {
+            match a.respond(&o, &s) {
+                InterruptSpec::During { period, offset } => {
+                    assert!(period < s.len());
+                    assert!(offset >= Time::ZERO && offset < s.period(period));
+                }
+                other => panic!("prob=1 must always interrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_random_prob_zero_never_interrupts() {
+        let s = sched(100.0, 7);
+        let o = opp(100.0, 3);
+        let mut a = UniformRandomAdversary::new(3, 0.0);
+        for _ in 0..50 {
+            assert_eq!(a.respond(&o, &s), InterruptSpec::None);
+        }
+    }
+
+    #[test]
+    fn poisson_interrupt_frequency_tracks_rate() {
+        let s = sched(100.0, 10);
+        let o = opp(100.0, 3);
+        // Rate 0.02/unit over a 100-unit episode ⇒ P(interrupt) ≈ 86%.
+        let mut a = PoissonAdversary::new(11, 0.02);
+        let hits = (0..2000)
+            .filter(|_| !matches!(a.respond(&o, &s), InterruptSpec::None))
+            .count();
+        let frac = hits as f64 / 2000.0;
+        assert!(
+            (frac - 0.8647).abs() < 0.03,
+            "observed interrupt fraction {frac}"
+        );
+        // Zero rate: never interrupts.
+        let mut z = PoissonAdversary::new(11, 0.0);
+        assert_eq!(z.respond(&o, &s), InterruptSpec::None);
+    }
+
+    #[test]
+    fn trace_adversary_places_events_in_the_right_periods() {
+        // Episode of 10 periods of 10 units; trace events at 35 and 77.
+        let s = sched(100.0, 10);
+        let o = opp(100.0, 3);
+        let mut a = TraceAdversary::new(vec![secs(35.0), secs(77.0)]);
+        match a.respond(&o, &s) {
+            InterruptSpec::During { period, offset } => {
+                assert_eq!(period, 3);
+                assert!(offset.approx_eq(secs(5.0), secs(1e-9)));
+            }
+            other => panic!("expected interrupt, got {other:?}"),
+        }
+        // After consuming 35 units, a new episode of the remaining 65:
+        let o2 = o.after_interrupt(secs(35.0));
+        let s2 = EpisodeSchedule::equal(secs(65.0), 5).unwrap(); // 13 each
+        match a.respond(&o2, &s2) {
+            InterruptSpec::During { period, offset } => {
+                // 77 absolute = 42 into the new episode → period 3, offset 3.
+                assert_eq!(period, 3);
+                assert!(offset.approx_eq(secs(3.0), secs(1e-9)));
+            }
+            other => panic!("expected second interrupt, got {other:?}"),
+        }
+        assert!(a.remaining().is_empty());
+        // No more events: never interrupts again.
+        let o3 = o2.after_interrupt(secs(42.0));
+        let s3 = EpisodeSchedule::single(secs(23.0)).unwrap();
+        assert_eq!(a.respond(&o3, &s3), InterruptSpec::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn trace_times_must_increase() {
+        let _ = TraceAdversary::new(vec![secs(5.0), secs(5.0)]);
+    }
+}

@@ -1,0 +1,127 @@
+//! E4 — §3.1's non-adaptive guideline, measured:
+//!
+//! * the exact combinatorial worst case of `S_na^(p)[U]` across a
+//!   `(U/c, p)` sweep, against the closed form
+//!   `(m−p)(U/m−c) = U − 2√(pcU) + pc + O(√(cU/p))`
+//!   (DESIGN.md §1.1 note 1 explains the reconstruction of the scanned
+//!   formula);
+//! * the adversary's optimal play (which periods die);
+//! * the `m`-ablation: the guideline's `m = ⌊√(pU/c)⌋` against a sweep of
+//!   alternative period counts;
+//! * the tail-consolidation ablation (§2.2's "one long period" exception
+//!   on vs off).
+
+use cyclesteal_adversary::nonadaptive::worst_case;
+use cyclesteal_bench::{Report, C};
+use cyclesteal_core::prelude::*;
+use cyclesteal_par::{par_map, sweep};
+
+fn main() {
+    let mut report = Report::new("nonadaptive_guarantee");
+    report.line("E4 / §3.1 — non-adaptive guideline S_na^(p)[U] (c = 1)");
+    report.line("");
+    report.line(format!(
+        "{:>8} {:>3} {:>6} {:>12} {:>14} {:>10} {:>16}",
+        "U/c", "p", "m", "worst case", "U−2√(pcU)+pc", "diff", "killed periods"
+    ));
+
+    let us = sweep::geometric(16.0, 65_536.0, 4.0);
+    let ps: Vec<u32> = (1..=8).collect();
+    let cells = sweep::cartesian(&us, &ps);
+    let rows = par_map(&cells, |&(u, p)| {
+        let opp = Opportunity::from_units(u, C, p);
+        let run = NonAdaptiveGuideline::run(&opp).unwrap();
+        let wc = worst_case(&run);
+        let m = run.schedule().len();
+        let closed = (u - 2.0 * (p as f64 * C * u).sqrt() + p as f64 * C).max(0.0);
+        (u, p, m, wc, closed)
+    });
+    for (u, p, m, wc, closed) in &rows {
+        // Summarize the kill set compactly ("last 3 of 86" style).
+        let killed = if wc.killed.is_empty() {
+            "none".to_string()
+        } else {
+            let tail_kills = wc.killed.iter().rev().zip((0..*m).rev()).take_while(|(k, i)| **k == *i).count();
+            if tail_kills == wc.killed.len() {
+                format!("last {} of {m}", wc.killed.len())
+            } else {
+                format!("{:?}", wc.killed)
+            }
+        };
+        report.line(format!(
+            "{:>8} {:>3} {:>6} {:>12.1} {:>14.1} {:>10.2} {:>16}",
+            u,
+            p,
+            m,
+            wc.work,
+            closed,
+            wc.work.get() - closed,
+            killed
+        ));
+        // The integral-m guideline stays within one period of the continuum.
+        let period = (C * u / *p as f64).sqrt() + C;
+        assert!(
+            (wc.work.get() - closed).abs() <= period,
+            "U={u} p={p}: worst case {} vs closed {closed}",
+            wc.work
+        );
+    }
+    report.line("");
+
+    // --- m-ablation --------------------------------------------------------
+    report.line("m-ablation at U/c = 16384 (guideline m = ⌊√(pU/c)⌋ marked *):");
+    report.line(format!(
+        "{:>3} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "p", "m*/4", "m*/2", "m*", "2m*", "4m*"
+    ));
+    for p in [1u32, 2, 4, 8] {
+        let u = 16_384.0;
+        let opp = Opportunity::from_units(u, C, p);
+        let m_star = NonAdaptiveGuideline::period_count(&opp);
+        let cols: Vec<String> = [m_star / 4, m_star / 2, m_star, m_star * 2, m_star * 4]
+            .iter()
+            .map(|&m| {
+                let sched = NonAdaptiveGuideline::build_with_m(&opp, m.max(1)).unwrap();
+                let run = NonAdaptiveRun::new(sched, secs(C), secs(u), p).unwrap();
+                format!("{:.0}", worst_case(&run).work)
+            })
+            .collect();
+        report.line(format!(
+            "{:>3} {:>10} {:>10} {:>9}* {:>10} {:>10}",
+            p, cols[0], cols[1], cols[2], cols[3], cols[4]
+        ));
+        // The guideline's m is the best of the sampled column.
+        let best = cols
+            .iter()
+            .map(|s| s.parse::<f64>().unwrap())
+            .fold(f64::MIN, f64::max);
+        assert!(cols[2].parse::<f64>().unwrap() >= best - 1.0);
+    }
+    report.line("");
+
+    // --- consolidation ablation ---------------------------------------------
+    report.line("tail-consolidation ablation (worst case with the §2.2 exception on/off):");
+    report.line(format!("{:>8} {:>3} {:>14} {:>14}", "U/c", "p", "with", "without"));
+    for &(u, p) in &[(1_024.0, 2u32), (16_384.0, 4)] {
+        let opp = Opportunity::from_units(u, C, p);
+        let run = NonAdaptiveGuideline::run(&opp).unwrap();
+        let with = worst_case(&run).work;
+        // "Without": the adversary may delete any p contributions outright
+        // (kills at last instants, tail replayed as scheduled).
+        let sched = run.schedule();
+        let mut contributions: Vec<f64> = (0..sched.len())
+            .map(|k| sched.period_work(k, secs(C)).get())
+            .collect();
+        contributions.sort_by(|a, b| b.total_cmp(a));
+        let total: f64 = contributions.iter().sum();
+        let removed: f64 = contributions.iter().take(p as usize).sum();
+        let without = total - removed;
+        report.line(format!("{:>8} {:>3} {:>14.1} {:>14.1}", u, p, with, without));
+        // Consolidation helps the owner: the exception recovers part of
+        // the tail, so "with" ≥ … actually the adversary anticipates it;
+        // both are exact minima of their own games. Record, don't rank.
+    }
+    report.line("");
+    report.line("§3.1 reproduced: the guideline's worst case tracks U − 2√(pcU) + pc, and");
+    report.line("the adversary kills the last p periods (maximizing the dead consolidated tail).");
+}

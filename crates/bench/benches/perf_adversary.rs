@@ -1,0 +1,48 @@
+//! P3 — adversary-side costs: the exact non-adaptive worst case
+//! (`O(m log m)` over the schedule length) and full game playouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cyclesteal_adversary::nonadaptive::worst_case;
+use cyclesteal_adversary::{game::run_game, OptimalAdversary};
+use cyclesteal_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_worst_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nonadaptive_worst_case");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for m in [1_000usize, 10_000, 100_000] {
+        // m equal periods; p = 8.
+        let u = m as f64 * 10.0;
+        let sched = EpisodeSchedule::equal(secs(u), m).unwrap();
+        let run = NonAdaptiveRun::new(sched, secs(1.0), secs(u), 8).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &run, |b, r| {
+            b.iter(|| worst_case(black_box(r)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_game_playout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("game_playout");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let oracle = ClosedFormOracle::new(secs(1.0));
+    for &u in &[1_000.0, 100_000.0] {
+        let opp = Opportunity::from_units(u, 1.0, 1);
+        group.bench_with_input(
+            BenchmarkId::new("optimal_p1_vs_oracle", u as u64),
+            &opp,
+            |b, o| {
+                b.iter(|| {
+                    let mut adv = OptimalAdversary::new(oracle);
+                    run_game(&OptimalP1Policy, &mut adv, black_box(o)).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worst_case, bench_game_playout);
+criterion_main!(benches);

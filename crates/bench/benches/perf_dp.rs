@@ -1,0 +1,97 @@
+//! P1 — performance of the exact game solver: resolution ablation
+//! (`Q ∈ {4, 16, 64}`), the bisection-vs-linear-scan inner loop, and the
+//! policy evaluator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cyclesteal_core::prelude::*;
+use cyclesteal_dp::{evaluate_policy, EvalOptions, SolveOptions, ValueTable};
+use std::hint::black_box;
+
+fn bench_solve_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_solve_resolution");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for q in [4u32, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| {
+                ValueTable::solve(
+                    secs(1.0),
+                    q,
+                    secs(512.0),
+                    black_box(3),
+                    SolveOptions {
+                        keep_policy: false,
+                        bisection: true,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_inner_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_inner_loop");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, bisection) in [("bisection", true), ("linear_scan", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ValueTable::solve(
+                    secs(1.0),
+                    16,
+                    secs(256.0),
+                    black_box(3),
+                    SolveOptions {
+                        keep_policy: false,
+                        bisection,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_policy_eval");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("adaptive_guideline_p3_u512_q8", |b| {
+        b.iter(|| {
+            evaluate_policy(
+                &AdaptiveGuideline::default(),
+                secs(1.0),
+                8,
+                secs(512.0),
+                black_box(3),
+                EvalOptions::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let table = ValueTable::solve(secs(1.0), 32, secs(1024.0), 3, SolveOptions::default());
+    c.bench_function("dp_value_query_interpolated", |b| {
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 13.37) % 1024.0;
+            black_box(table.value(3, secs(x)))
+        })
+    });
+    c.bench_function("dp_episode_reconstruction", |b| {
+        b.iter(|| table.episode(black_box(3), secs(1024.0)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_solve_resolution,
+    bench_inner_loop,
+    bench_policy_eval,
+    bench_queries
+);
+criterion_main!(benches);

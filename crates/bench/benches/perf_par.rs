@@ -1,0 +1,42 @@
+//! P5 — scaling of the parallel sweep utilities on a representative
+//! workload (many small game evaluations), 1 thread vs the default pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cyclesteal_adversary::nonadaptive::worst_case;
+use cyclesteal_core::prelude::*;
+use cyclesteal_par::{default_threads, par_map_threads};
+use std::hint::black_box;
+
+fn workload() -> Vec<(f64, u32)> {
+    let mut cells = Vec::new();
+    for i in 0..256 {
+        cells.push((500.0 + 37.0 * i as f64, 1 + (i % 6) as u32));
+    }
+    cells
+}
+
+fn cell_cost(cell: &(f64, u32)) -> f64 {
+    let (u, p) = *cell;
+    let opp = Opportunity::from_units(u, 1.0, p);
+    let run = NonAdaptiveGuideline::run(&opp).unwrap();
+    worst_case(&run).work.get()
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let cells = workload();
+    let mut group = c.benchmark_group("par_map_scaling");
+    group.sample_size(20);
+    for threads in [1usize, default_threads()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| par_map_threads(black_box(&cells), threads, cell_cost))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! P2 — schedule-construction throughput for every family, plus the
+//! Theorem 4.3 equalizer (the "computationally efficient guidelines" the
+//! paper promises should be cheap; measure it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cyclesteal_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_construction");
+    for &u in &[1_000.0, 100_000.0] {
+        let opp = Opportunity::from_units(u, 1.0, 3);
+        group.bench_with_input(BenchmarkId::new("nonadaptive_s31", u as u64), &opp, |b, o| {
+            b.iter(|| NonAdaptiveGuideline::build(black_box(o)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive_s32", u as u64), &opp, |b, o| {
+            let g = AdaptiveGuideline::default();
+            b.iter(|| g.episode(black_box(o)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("optimal_p1_s52", u as u64), &opp, |b, o| {
+            b.iter(|| optimal_p1_schedule(black_box(o.lifespan()), o.setup()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_equalizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm43_equalizer");
+    group.sample_size(20);
+    let oracle = ClosedFormOracle::new(secs(1.0));
+    for &u in &[1_000.0, 10_000.0] {
+        let opp = Opportunity::from_units(u, 1.0, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(u as u64), &opp, |b, o| {
+            b.iter(|| equalized_schedule(&oracle, black_box(o)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_accounting(c: &mut Criterion) {
+    let opp = Opportunity::from_units(100_000.0, 1.0, 4);
+    let sched = NonAdaptiveGuideline::build(&opp).unwrap();
+    c.bench_function("work_uninterrupted_630_periods", |b| {
+        b.iter(|| black_box(&sched).work_uninterrupted(secs(1.0)))
+    });
+    c.bench_function("make_productive_630_periods", |b| {
+        b.iter(|| black_box(&sched).make_productive(secs(1.0)))
+    });
+}
+
+criterion_group!(benches, bench_families, bench_equalizer, bench_accounting);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! P4 — simulator throughput: completed periods per second on a pool
+//! scenario, and sensitivity to task granularity (finer tasks mean more
+//! bag traffic per period).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cyclesteal_core::prelude::*;
+use cyclesteal_workloads::{OwnerTrace, TaskBag, TaskDist};
+use now_sim::{DriverKind, LenderConfig, NowSim};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn pool(n_lenders: usize, task_len: f64) -> (Vec<LenderConfig>, TaskBag) {
+    let lenders = (0..n_lenders)
+        .map(|i| LenderConfig {
+            name: format!("ws{i}"),
+            opportunity: Opportunity::from_units(2_000.0, 1.0, 4),
+            owner: OwnerTrace::poisson(i as u64, 0.003, secs(2_000.0), 4, secs(15.0)),
+            driver: DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default())),
+            deadline: None,
+        })
+        .collect();
+    let bag = TaskBag::generate_work(
+        TaskDist::Constant(task_len),
+        secs(2_000.0 * n_lenders as f64),
+        7,
+    );
+    (lenders, bag)
+}
+
+fn bench_pool_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_pool_size");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [1usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || pool(n, 1.0),
+                |(lenders, bag)| NowSim::new(black_box(lenders), bag).run().unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_task_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_task_granularity");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for len in [0.125f64, 1.0, 8.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{len}c")),
+            &len,
+            |b, &len| {
+                b.iter_batched(
+                    || pool(4, len),
+                    |(lenders, bag)| NowSim::new(lenders, bag).run().unwrap(),
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_size, bench_task_granularity);
+criterion_main!(benches);

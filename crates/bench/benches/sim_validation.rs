@@ -1,0 +1,136 @@
+//! E8 — model-vs-execution validation: the discrete-event NOW simulator
+//! replays analytic game transcripts exactly, and measures the two things
+//! the continuum model abstracts away — task-quantization waste and
+//! owner busy time — across four task mixes and three owner populations.
+
+use cyclesteal_bench::{Report, C};
+use cyclesteal_adversary::{game::run_game, TraceAdversary};
+use cyclesteal_core::prelude::*;
+use cyclesteal_par::par_map;
+use cyclesteal_workloads::{OwnerTrace, TaskBag, TaskDist};
+use now_sim::{DriverKind, LenderConfig, NowSim};
+use std::sync::Arc;
+
+fn main() {
+    let mut report = Report::new("sim_validation");
+    report.line("E8 — now-sim vs the analytic model");
+    report.line("");
+
+    // --- Part 1: exact transcript replay ---------------------------------
+    report.line("part 1: banked Σ(t⊖c) in the simulator vs the analytic game, identical traces");
+    let seeds: Vec<u64> = (0..32).collect();
+    let diffs = par_map(&seeds, |&seed| {
+        let u = 700.0;
+        let p = 4u32;
+        let trace = OwnerTrace::poisson(seed, 0.01, secs(u - 2.0), p as usize, Time::ZERO);
+        let opp = Opportunity::from_units(u, C, p);
+        let policy = AdaptiveGuideline::default();
+        let mut adv = TraceAdversary::new(trace.interrupt_times());
+        let analytic = run_game(&policy, &mut adv, &opp).unwrap();
+        let cfg = LenderConfig {
+            name: format!("ws{seed}"),
+            opportunity: opp,
+            owner: trace,
+            driver: DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default())),
+            deadline: None,
+        };
+        let bag = TaskBag::generate_work(TaskDist::Constant(0.015625), secs(u + 50.0), seed);
+        let report = NowSim::new(vec![cfg], bag).run().unwrap();
+        (report.lenders[0].1.continuum_work - analytic.total_work)
+            .abs()
+            .get()
+    });
+    let max_diff = diffs.iter().copied().fold(0.0f64, f64::max);
+    report.line(format!(
+        "  {} random traces, max |sim − analytic| = {max_diff:.2e}",
+        seeds.len()
+    ));
+    assert!(max_diff < 1e-6);
+    report.line("");
+
+    // --- Part 2: quantization waste by task mix ---------------------------
+    report.line("part 2: task-indivisibility waste (fraction of banked capacity) by mix");
+    report.line(format!(
+        "  {:<34} {:>10} {:>10} {:>8}",
+        "task mix", "banked", "task work", "waste%"
+    ));
+    let mixes: Vec<(&str, TaskDist)> = vec![
+        ("constant 0.5c", TaskDist::Constant(0.5)),
+        ("constant 4c", TaskDist::Constant(4.0)),
+        ("uniform [0.2c, 6c)", TaskDist::Uniform { lo: 0.2, hi: 6.0 }),
+        (
+            "bimodal 0.5c/12c (20% long)",
+            TaskDist::Bimodal {
+                short: 0.5,
+                long: 12.0,
+                frac_long: 0.2,
+            },
+        ),
+        (
+            "Pareto(α=1.6, min 0.5c)",
+            TaskDist::Pareto {
+                shape: 1.6,
+                scale: 0.5,
+            },
+        ),
+    ];
+    for (name, dist) in mixes {
+        let cfg = LenderConfig {
+            name: name.into(),
+            opportunity: Opportunity::from_units(2_000.0, C, 3),
+            owner: OwnerTrace::poisson(5, 0.002, secs(2_000.0), 3, Time::ZERO),
+            driver: DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default())),
+            deadline: None,
+        };
+        let bag = TaskBag::generate_work(dist, secs(4_000.0), 9);
+        let r = NowSim::new(vec![cfg], bag).run().unwrap();
+        let m = &r.lenders[0].1;
+        let waste_pct = 100.0 * m.quantization_waste.get() / m.continuum_work.get().max(1e-9);
+        report.line(format!(
+            "  {:<34} {:>10.1} {:>10.1} {:>7.2}%",
+            name, m.continuum_work, m.task_work, waste_pct
+        ));
+        assert!(
+            (m.task_work + m.quantization_waste).approx_eq(m.continuum_work, secs(1e-6))
+        );
+    }
+    report.line("");
+
+    // --- Part 3: an eight-workstation pool under three owner climates ----
+    report.line("part 3: pool throughput under owner climates (8 stations, shared bag)");
+    report.line(format!(
+        "  {:<22} {:>12} {:>10} {:>12} {:>10}",
+        "owner climate", "task work", "tasks", "lost time", "interrupts"
+    ));
+    for (label, rate, busy) in [
+        ("quiet night", 0.0005, 10.0),
+        ("restless owners", 0.004, 40.0),
+        ("hostile owners", 0.02, 120.0),
+    ] {
+        let lenders: Vec<LenderConfig> = (0..8)
+            .map(|i| LenderConfig {
+                name: format!("ws{i}"),
+                opportunity: Opportunity::from_units(960.0, C, 3),
+                owner: OwnerTrace::poisson(1000 + i, rate, secs(960.0), 3, secs(busy)),
+                driver: DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default())),
+                deadline: Some(secs(2_400.0)),
+            })
+            .collect();
+        let bag = TaskBag::generate(TaskDist::Uniform { lo: 0.5, hi: 3.0 }, 4_000, 13);
+        let r = NowSim::new(lenders, bag).run().unwrap();
+        let lost: Work = r.lenders.iter().map(|(_, m)| m.lost_time).sum();
+        let interrupts: u32 = r.lenders.iter().map(|(_, m)| m.interrupts).sum();
+        report.line(format!(
+            "  {:<22} {:>12.1} {:>10} {:>12.1} {:>10}",
+            label,
+            r.total_task_work(),
+            r.total_tasks(),
+            lost,
+            interrupts
+        ));
+    }
+    report.line("");
+    report.line("E8 reproduced: the engine is a faithful executor of the §2.2 model, and");
+    report.line("quantization waste — invisible to the continuum analysis — stays in the");
+    report.line("low single digits for task mixes fine relative to the period lengths.");
+}

@@ -1,0 +1,133 @@
+//! E2 — regenerates **Table 2**: "Parameter values for the case p = 1",
+//! comparing the exactly optimal `S_opt^(1)[U]` against the adaptive
+//! guideline's episode `S_a^(1)[U]`, column by column:
+//!
+//! | paper row | paper's approximate value (S_opt) | this bench |
+//! |---|---|---|
+//! | `m^(1)[U]` | `√(2U/c − 7/4) − 1/2` | exact eq. (5.1) + measured |
+//! | `λ` | `∈ (0,1]` | exact |
+//! | `t_k` | `√(2cU) − kc` | measured `t_1` |
+//! | `t_m = t_{m−1}` | `3c/2` | measured |
+//! | `W^(1)[U]` | `U − √(2cU) − c/2` | exact, + DP cross-check |
+
+use cyclesteal_bench::{Report, C};
+use cyclesteal_core::prelude::*;
+use cyclesteal_core::schedules::adaptive::paper_period_count;
+use cyclesteal_dp::{evaluate_policy, EvalOptions, SolveOptions, ValueTable};
+
+fn main() {
+    let mut report = Report::new("table2");
+    report.line("E2 / Table 2 — parameter values for the case p = 1 (c = 1)");
+    report.line("");
+
+    // One DP + one policy evaluation cover every U below the cap; larger
+    // U columns use the closed forms (which the capped columns validate).
+    let dp_cap = 20_000.0;
+    let table = ValueTable::solve(secs(C), 16, secs(dp_cap), 1, SolveOptions::default());
+    let guideline = AdaptiveGuideline::default();
+    let ga = evaluate_policy(&guideline, secs(C), 16, secs(dp_cap), 1, EvalOptions::default())
+        .unwrap();
+
+    report.line(format!(
+        "{:>10} | {:>26} | {:>26}",
+        "", "S_opt^(1)[U]  (§5.2)", "S_a^(1)[U]  (§3.2)"
+    ));
+    report.line(format!(
+        "{:>10} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}",
+        "U/c", "m", "t_1", "W^(1)", "m", "t_1", "W(S_a)"
+    ));
+    for &u in &[100.0, 1_000.0, 10_000.0, 100_000.0] {
+        let uu = secs(u);
+        // --- optimal side ---
+        let m_opt = m1_opt(uu, secs(C));
+        let s_opt = optimal_p1_schedule(uu, secs(C)).unwrap();
+        let w_opt = w1_exact(uu, secs(C));
+        // --- guideline side ---
+        let opp = Opportunity::from_units(u, C, 1);
+        let s_a = guideline.episode(&opp).unwrap();
+        let w_a = if u <= dp_cap {
+            ga.value(1, uu)
+        } else {
+            // Outside the DP cap report the Thm 5.1 leading prediction.
+            thm51_lower_bound(&opp, 0.0, 0.0)
+        };
+        report.line(format!(
+            "{:>10} | {:>8} {:>8.2} {:>8.1} | {:>8} {:>8.2} {:>8.1}",
+            u,
+            m_opt,
+            s_opt.period(0),
+            w_opt,
+            s_a.len(),
+            s_a.period(0),
+            w_a,
+        ));
+    }
+    report.line("");
+
+    // --- Paper's approximate rows, checked ------------------------------
+    report.line("Paper's approximations vs exact values:");
+    report.line(format!(
+        "{:>10} {:>12} {:>12} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "U/c", "m approx", "m exact", "lambda", "t_m (=3c/2)", "W approx", "W exact", "DP check"
+    ));
+    for &u in &[100.0, 1_000.0, 10_000.0, 100_000.0] {
+        let uu = secs(u);
+        let m_exact = m1_opt(uu, secs(C));
+        let m_approx = m1_approx_row(u);
+        let lambda = lambda1_opt(uu, secs(C), m_exact);
+        let s = optimal_p1_schedule(uu, secs(C)).unwrap();
+        let t_m = s.period(s.len() - 1);
+        let w_apx = w1_approx(uu, secs(C));
+        let w_ex = w1_exact(uu, secs(C));
+        let dp_check = if u <= dp_cap {
+            format!("{:.1}", table.value(1, uu))
+        } else {
+            "—".to_string()
+        };
+        report.line(format!(
+            "{:>10} {:>12.2} {:>12} {:>10.3} {:>12.3} {:>12.1} {:>12.1} {:>10}",
+            u, m_approx, m_exact, lambda, t_m, w_apx, w_ex, dp_check
+        ));
+        // Machine checks on every Table 2 claim:
+        assert!((m_approx - m_exact as f64).abs() <= 1.0, "m row at U={u}");
+        assert!(lambda > 0.0 && lambda <= 1.0 + 1e-9, "λ row at U={u}");
+        assert!((t_m.get() - 1.5).abs() <= 0.5, "t_m row at U={u}");
+        assert!((w_apx - w_ex).abs() <= secs(1.0), "W row at U={u}");
+        if u <= dp_cap {
+            let dpw = table.value(1, uu);
+            assert!(
+                (dpw - w_ex).abs() <= secs(0.5),
+                "DP cross-check at U={u}: {dpw} vs {w_ex}"
+            );
+        }
+    }
+    report.line("");
+
+    // --- S_a^(1) literal columns -----------------------------------------
+    report.line("S_a^(1) columns (paper literal vs this implementation):");
+    for &u in &[1_000.0, 100_000.0] {
+        let opp = Opportunity::from_units(u, C, 1);
+        let s_a = AdaptiveGuideline::default().episode(&opp).unwrap();
+        let paper_m = ((2.0 * u / C).sqrt() + 2.0).floor();
+        let reconstructed_m = paper_period_count(&opp);
+        report.line(format!(
+            "  U/c = {u}: m paper ⌊√(2U/c)+2⌋ = {paper_m}, reconstructed formula = {reconstructed_m}, built = {}",
+            s_a.len()
+        ));
+        // t_k row: √(2cU) − (k − 7/2)c at k = 1 says t_1 ≈ √(2cU) + 2.5c.
+        let literal_t1 = (2.0 * C * u).sqrt() + 2.5 * C;
+        report.line(format!(
+            "        t_1 literal = {literal_t1:.2}, built = {:.2}; t_m built = {:.2} (3c/2 = 1.5)",
+            s_a.period(0),
+            s_a.period(s_a.len() - 1)
+        ));
+        assert!((s_a.len() as f64 - paper_m).abs() <= 3.0);
+    }
+    report.line("");
+    report.line("Table 2 reproduced: every row within its stated approximation band.");
+}
+
+/// The paper's approximate `m^(1)[U] = √(2U/c − 7/4) − 1/2` (pre-ceiling).
+fn m1_approx_row(u: f64) -> f64 {
+    (2.0 * u / C - 1.75).sqrt() - 0.5
+}

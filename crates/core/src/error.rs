@@ -1,0 +1,154 @@
+//! Error types shared by the model crates.
+
+use crate::time::Time;
+use std::fmt;
+
+/// Result alias for model operations.
+pub type Result<T, E = ModelError> = std::result::Result<T, E>;
+
+/// Everything that can go wrong when building model objects or schedules.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A lifespan was negative.
+    NegativeLifespan {
+        /// The offending value.
+        lifespan: Time,
+    },
+    /// The setup charge `c` must be strictly positive.
+    NonPositiveSetup {
+        /// The offending value.
+        setup: Time,
+    },
+    /// A schedule period must be strictly positive.
+    NonPositivePeriod {
+        /// Zero-based index of the offending period.
+        index: usize,
+        /// The offending length.
+        length: Time,
+    },
+    /// An episode schedule must contain at least one period when the
+    /// residual lifespan is positive.
+    EmptySchedule,
+    /// The periods of an episode schedule must sum to the episode's
+    /// residual lifespan (§2.2: `Σ t_i = L`).
+    LifespanMismatch {
+        /// What the periods sum to.
+        total: Time,
+        /// What the episode's residual lifespan is.
+        lifespan: Time,
+    },
+    /// An interrupt specification referenced a period that does not exist.
+    PeriodOutOfRange {
+        /// Requested zero-based period index.
+        index: usize,
+        /// Number of periods in the schedule.
+        len: usize,
+    },
+    /// An interrupt offset fell outside its period.
+    OffsetOutOfRange {
+        /// Requested offset from the period's start.
+        offset: Time,
+        /// The period's length.
+        length: Time,
+    },
+    /// More interrupts were specified than the adversary's budget allows.
+    BudgetExceeded {
+        /// Number of interrupts specified.
+        used: usize,
+        /// The budget `p`.
+        budget: u32,
+    },
+    /// A numeric search failed to converge (reported rather than silently
+    /// returning garbage).
+    NoConvergence {
+        /// Human-readable description of the search that failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NegativeLifespan { lifespan } => {
+                write!(f, "lifespan must be non-negative, got {lifespan}")
+            }
+            ModelError::NonPositiveSetup { setup } => {
+                write!(f, "setup charge c must be positive, got {setup}")
+            }
+            ModelError::NonPositivePeriod { index, length } => {
+                write!(f, "period {index} must be positive, got {length}")
+            }
+            ModelError::EmptySchedule => write!(f, "episode schedule has no periods"),
+            ModelError::LifespanMismatch { total, lifespan } => write!(
+                f,
+                "periods sum to {total} but the episode lifespan is {lifespan}"
+            ),
+            ModelError::PeriodOutOfRange { index, len } => {
+                write!(f, "period index {index} out of range for {len} periods")
+            }
+            ModelError::OffsetOutOfRange { offset, length } => {
+                write!(f, "offset {offset} outside period of length {length}")
+            }
+            ModelError::BudgetExceeded { used, budget } => {
+                write!(f, "{used} interrupts specified but budget is {budget}")
+            }
+            ModelError::NoConvergence { what } => {
+                write!(f, "numeric search failed to converge: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let cases: Vec<(ModelError, &str)> = vec![
+            (
+                ModelError::NegativeLifespan {
+                    lifespan: secs(-1.0),
+                },
+                "lifespan",
+            ),
+            (ModelError::NonPositiveSetup { setup: secs(0.0) }, "setup"),
+            (
+                ModelError::NonPositivePeriod {
+                    index: 3,
+                    length: secs(0.0),
+                },
+                "period 3",
+            ),
+            (ModelError::EmptySchedule, "no periods"),
+            (
+                ModelError::LifespanMismatch {
+                    total: secs(1.0),
+                    lifespan: secs(2.0),
+                },
+                "sum to",
+            ),
+            (
+                ModelError::PeriodOutOfRange { index: 9, len: 3 },
+                "out of range",
+            ),
+            (
+                ModelError::OffsetOutOfRange {
+                    offset: secs(5.0),
+                    length: secs(2.0),
+                },
+                "outside period",
+            ),
+            (ModelError::BudgetExceeded { used: 4, budget: 2 }, "budget"),
+            (ModelError::NoConvergence { what: "bisection" }, "converge"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} should contain {needle:?}");
+        }
+    }
+}

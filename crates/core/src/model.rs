@@ -1,0 +1,176 @@
+//! The cycle-stealing opportunity: the paper's `(U, c, p)` triple.
+//!
+//! Section 2 of the paper characterizes a cycle-stealing opportunity by the
+//! *usable lifespan* `U` during which workstation `B` is available to `A`,
+//! an upper bound `p` on the number of owner interrupts, and the
+//! architecture-independent setup charge `c` paid by every period for the
+//! paired communications that bracket it.
+
+use crate::error::{ModelError, Result};
+use crate::time::Time;
+
+/// A cycle-stealing opportunity (or the residual opportunity in the middle
+/// of a game): usable lifespan `U`, communication setup charge `c`, and the
+/// number `p` of interrupts the owner of `B` may still perform.
+///
+/// `A`'s owner knows all three quantities in the guaranteed-output submodel;
+/// what is unknown is how many of the `p` interrupts will actually occur and
+/// where they will fall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Opportunity {
+    lifespan: Time,
+    setup: Time,
+    interrupts: u32,
+}
+
+impl Opportunity {
+    /// Creates an opportunity, validating the model's preconditions:
+    /// `U ≥ 0` and `c > 0`.
+    pub fn new(lifespan: Time, setup: Time, interrupts: u32) -> Result<Opportunity> {
+        if lifespan.is_negative() {
+            return Err(ModelError::NegativeLifespan { lifespan });
+        }
+        if !setup.is_positive() {
+            return Err(ModelError::NonPositiveSetup { setup });
+        }
+        Ok(Opportunity {
+            lifespan,
+            setup,
+            interrupts,
+        })
+    }
+
+    /// Convenience constructor from raw numbers of time units; panics on
+    /// invalid input (use [`Opportunity::new`] for fallible construction).
+    #[track_caller]
+    pub fn from_units(lifespan: f64, setup: f64, interrupts: u32) -> Opportunity {
+        Opportunity::new(Time::new(lifespan), Time::new(setup), interrupts)
+            .expect("invalid opportunity parameters")
+    }
+
+    /// The (residual) usable lifespan `U`.
+    #[inline]
+    pub fn lifespan(&self) -> Time {
+        self.lifespan
+    }
+
+    /// The setup charge `c` for one period's paired communications.
+    #[inline]
+    pub fn setup(&self) -> Time {
+        self.setup
+    }
+
+    /// The remaining interrupt budget `p` of the adversary.
+    #[inline]
+    pub fn interrupts(&self) -> u32 {
+        self.interrupts
+    }
+
+    /// The dimensionless ratio `U/c`; the shape of every guideline depends
+    /// on the parameters only through this ratio and `p`.
+    #[inline]
+    pub fn u_over_c(&self) -> f64 {
+        self.lifespan.ratio(self.setup)
+    }
+
+    /// Proposition 4.1(c): if `U ≤ (p+1)c` the adversary can kill every
+    /// productive period, so no schedule can guarantee any work.
+    #[inline]
+    pub fn is_hopeless(&self) -> bool {
+        self.lifespan <= self.setup * (self.interrupts as f64 + 1.0)
+    }
+
+    /// The residual opportunity after the adversary interrupts, having
+    /// consumed `consumed` units of usable lifespan: `p` drops by one and
+    /// `U` drops by the consumed span.
+    ///
+    /// Panics if no interrupts remain or if `consumed` exceeds the residual
+    /// lifespan (beyond a small floating-point slack, which is clamped).
+    #[track_caller]
+    pub fn after_interrupt(&self, consumed: Time) -> Opportunity {
+        assert!(
+            self.interrupts > 0,
+            "adversary has no interrupts left to spend"
+        );
+        assert!(
+            consumed <= self.lifespan + self.setup * 1e-9,
+            "interrupt consumed {consumed} exceeds residual lifespan {}",
+            self.lifespan
+        );
+        Opportunity {
+            lifespan: self.lifespan.pos_sub(consumed),
+            setup: self.setup,
+            interrupts: self.interrupts - 1,
+        }
+    }
+
+    /// The same opportunity with lifespan replaced by `lifespan`.
+    pub fn with_lifespan(&self, lifespan: Time) -> Result<Opportunity> {
+        Opportunity::new(lifespan, self.setup, self.interrupts)
+    }
+
+    /// The same opportunity with the interrupt budget replaced by `p`.
+    pub fn with_interrupts(&self, p: u32) -> Opportunity {
+        Opportunity {
+            interrupts: p,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(Opportunity::new(secs(10.0), secs(1.0), 2).is_ok());
+        assert!(matches!(
+            Opportunity::new(secs(-1.0), secs(1.0), 0),
+            Err(ModelError::NegativeLifespan { .. })
+        ));
+        assert!(matches!(
+            Opportunity::new(secs(1.0), secs(0.0), 0),
+            Err(ModelError::NonPositiveSetup { .. })
+        ));
+        assert!(matches!(
+            Opportunity::new(secs(1.0), secs(-2.0), 0),
+            Err(ModelError::NonPositiveSetup { .. })
+        ));
+    }
+
+    #[test]
+    fn hopeless_threshold_is_prop_41c() {
+        // U ≤ (p+1)c  ⇒  no guaranteed work.
+        let c = 2.0;
+        for p in 0..5u32 {
+            let boundary = (p as f64 + 1.0) * c;
+            assert!(Opportunity::from_units(boundary, c, p).is_hopeless());
+            assert!(Opportunity::from_units(boundary - 0.1, c, p).is_hopeless());
+            assert!(!Opportunity::from_units(boundary + 0.1, c, p).is_hopeless());
+        }
+    }
+
+    #[test]
+    fn after_interrupt_decrements_budget_and_lifespan() {
+        let opp = Opportunity::from_units(100.0, 1.0, 3);
+        let rest = opp.after_interrupt(secs(30.0));
+        assert_eq!(rest.interrupts(), 2);
+        assert_eq!(rest.lifespan(), secs(70.0));
+        assert_eq!(rest.setup(), secs(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "no interrupts left")]
+    fn after_interrupt_requires_budget() {
+        let opp = Opportunity::from_units(100.0, 1.0, 0);
+        let _ = opp.after_interrupt(secs(1.0));
+    }
+
+    #[test]
+    fn u_over_c_ratio() {
+        let opp = Opportunity::from_units(128.0, 2.0, 1);
+        assert_eq!(opp.u_over_c(), 64.0);
+    }
+}

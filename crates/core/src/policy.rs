@@ -1,0 +1,225 @@
+//! Traits connecting schedules, owners, adversaries and oracles.
+//!
+//! The game of §4 involves three kinds of actors:
+//!
+//! * an **episode policy** — the owner of `A`'s adaptive strategy: a pure
+//!   map from the residual opportunity `(p, L)` to an episode schedule
+//!   (adaptivity in the paper's sense is exactly "re-plan after every
+//!   interrupt", so a memoryless map captures it);
+//! * an **adversary** — decides, for each committed episode schedule,
+//!   whether and where to interrupt;
+//! * a **work oracle** — something that can answer `W^(p)[L]` queries,
+//!   used by the bootstrapping construction of Theorem 4.3 (the exact DP
+//!   solver in `cyclesteal-dp` implements it, as do the `p ≤ 1` closed
+//!   forms here).
+
+use crate::error::Result;
+use crate::model::Opportunity;
+use crate::schedule::EpisodeSchedule;
+use crate::time::{Time, Work};
+use crate::work::InterruptSpec;
+
+/// An adaptive scheduling strategy for the owner of workstation `A`.
+///
+/// `episode` is called at the start of the opportunity and again after
+/// every interrupt, with the residual opportunity (Observation: within an
+/// episode no information arrives, so a pure map loses no generality).
+pub trait EpisodePolicy: Send + Sync {
+    /// The episode schedule this policy commits to for the residual
+    /// opportunity `opp` (`opp.lifespan()` is the residual lifespan, and
+    /// `opp.interrupts()` the adversary's remaining budget).
+    fn episode(&self, opp: &Opportunity) -> Result<EpisodeSchedule>;
+
+    /// Human-readable name used in reports and benches.
+    fn name(&self) -> String;
+}
+
+impl<P: EpisodePolicy + ?Sized> EpisodePolicy for &P {
+    fn episode(&self, opp: &Opportunity) -> Result<EpisodeSchedule> {
+        (**self).episode(opp)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<P: EpisodePolicy + ?Sized> EpisodePolicy for Box<P> {
+    fn episode(&self, opp: &Opportunity) -> Result<EpisodeSchedule> {
+        (**self).episode(opp)
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// The adversary's side of the game: respond to a committed episode
+/// schedule with an interrupt decision. Implementations may be stateful
+/// (stochastic adversaries carry RNGs; trace adversaries a cursor).
+pub trait Adversary {
+    /// Decide the interrupt for the episode the owner just committed.
+    /// Called only while the adversary has budget (`opp.interrupts() > 0`);
+    /// returning [`InterruptSpec::None`] lets the episode complete, which
+    /// ends the opportunity.
+    fn respond(&mut self, opp: &Opportunity, schedule: &EpisodeSchedule) -> InterruptSpec;
+
+    /// Human-readable name used in reports and benches.
+    fn name(&self) -> String;
+}
+
+/// Anything that can answer guaranteed-work queries `W^(p)[L]`.
+///
+/// Theorem 4.3 builds the optimal `p`-interrupt episode schedule out of an
+/// oracle for `W^(p−1)`; the exact DP table in `cyclesteal-dp` implements
+/// this trait, and [`ClosedFormOracle`] provides the `p ≤ 1` closed forms
+/// so the equalizer can run without the DP for small `p`.
+pub trait WorkOracle: Send + Sync {
+    /// The setup charge `c` this oracle was built for.
+    fn setup(&self) -> Time;
+
+    /// `W^(p)[L]`: the maximum work guaranteeable with `interrupts`
+    /// potential interrupts and residual lifespan `lifespan`.
+    fn guaranteed_work(&self, interrupts: u32, lifespan: Time) -> Work;
+
+    /// The smallest residual lifespan `R` with
+    /// `guaranteed_work(interrupts, R) ≥ target`, searched on `[0, hi]`.
+    ///
+    /// `W^(p)[·]` is nondecreasing and 1-Lipschitz, so the default
+    /// implementation bisects to an absolute tolerance of `1e-9 · c`.
+    /// Returns `hi` if even `W(hi) < target`.
+    fn inverse(&self, interrupts: u32, target: Work, hi: Time) -> Time {
+        if target <= Work::ZERO {
+            return Time::ZERO;
+        }
+        if self.guaranteed_work(interrupts, hi) < target {
+            return hi;
+        }
+        let tol = self.setup().get() * 1e-9;
+        let (mut lo, mut hi) = (0.0f64, hi.get());
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            if self.guaranteed_work(interrupts, Time::new(mid)) >= target {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Time::new(hi)
+    }
+}
+
+impl<O: WorkOracle + ?Sized> WorkOracle for &O {
+    fn setup(&self) -> Time {
+        (**self).setup()
+    }
+    fn guaranteed_work(&self, interrupts: u32, lifespan: Time) -> Work {
+        (**self).guaranteed_work(interrupts, lifespan)
+    }
+    fn inverse(&self, interrupts: u32, target: Work, hi: Time) -> Time {
+        (**self).inverse(interrupts, target, hi)
+    }
+}
+
+impl<O: WorkOracle + ?Sized> WorkOracle for std::sync::Arc<O> {
+    fn setup(&self) -> Time {
+        (**self).setup()
+    }
+    fn guaranteed_work(&self, interrupts: u32, lifespan: Time) -> Work {
+        (**self).guaranteed_work(interrupts, lifespan)
+    }
+    fn inverse(&self, interrupts: u32, target: Work, hi: Time) -> Time {
+        (**self).inverse(interrupts, target, hi)
+    }
+}
+
+/// Exact closed-form oracle for `p ∈ {0, 1}` (Prop 4.1(d) and §5.2).
+///
+/// Queries with `p ≥ 2` answer with the `p = 1` value, which is an **upper
+/// bound** on `W^(p)` (Prop 4.1(b)); callers needing exact values for
+/// `p ≥ 2` should use the DP oracle. The equalizer only ever queries level
+/// `p − 1`, so this oracle is exact for constructing `p ≤ 2` schedules'
+/// level-1 continuations... strictly: exact for `p ∈ {1, 2}` construction
+/// inputs `{0, 1}`.
+#[derive(Clone, Copy, Debug)]
+pub struct ClosedFormOracle {
+    setup: Time,
+}
+
+impl ClosedFormOracle {
+    /// Creates the oracle for setup charge `c`.
+    pub fn new(setup: Time) -> ClosedFormOracle {
+        assert!(setup.is_positive(), "setup charge must be positive");
+        ClosedFormOracle { setup }
+    }
+}
+
+impl WorkOracle for ClosedFormOracle {
+    fn setup(&self) -> Time {
+        self.setup
+    }
+
+    fn guaranteed_work(&self, interrupts: u32, lifespan: Time) -> Work {
+        match interrupts {
+            0 => crate::bounds::w0(lifespan, self.setup),
+            _ => crate::bounds::w1_exact(lifespan, self.setup),
+        }
+    }
+}
+
+/// A fixed (committed) episode schedule together with the opportunity it
+/// was built for — the non-adaptive counterpart of [`EpisodePolicy`].
+#[derive(Clone, Debug)]
+pub struct CommittedSchedule {
+    /// The schedule committed at the start of the opportunity.
+    pub schedule: EpisodeSchedule,
+    /// The opportunity it covers.
+    pub opportunity: Opportunity,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds;
+    use crate::time::secs;
+
+    #[test]
+    fn closed_form_oracle_matches_bounds_module() {
+        let c = secs(2.0);
+        let o = ClosedFormOracle::new(c);
+        assert_eq!(o.setup(), c);
+        assert_eq!(o.guaranteed_work(0, secs(10.0)), bounds::w0(secs(10.0), c));
+        assert_eq!(
+            o.guaranteed_work(1, secs(100.0)),
+            bounds::w1_exact(secs(100.0), c)
+        );
+    }
+
+    #[test]
+    fn default_inverse_inverts_w0() {
+        let c = secs(1.0);
+        let o = ClosedFormOracle::new(c);
+        // W^0(R) = R − c, so inverse(target) = target + c.
+        let r = o.inverse(0, secs(5.0), secs(100.0));
+        assert!(r.approx_eq(secs(6.0), secs(1e-6)), "got {r}");
+        // Target 0 needs no lifespan.
+        assert_eq!(o.inverse(0, secs(0.0), secs(100.0)), Time::ZERO);
+        // Unreachable target saturates at hi.
+        assert_eq!(o.inverse(0, secs(500.0), secs(100.0)), secs(100.0));
+    }
+
+    #[test]
+    fn default_inverse_inverts_w1() {
+        let c = secs(1.0);
+        let o = ClosedFormOracle::new(c);
+        for &target in &[0.5, 3.0, 42.0, 400.0] {
+            let r = o.inverse(1, secs(target), secs(10_000.0));
+            let w = o.guaranteed_work(1, r);
+            assert!(
+                w.approx_eq(secs(target), secs(1e-5)),
+                "W(inverse({target})) = {w}"
+            );
+            // Minimality: a hair less lifespan must fall short.
+            let w_less = o.guaranteed_work(1, r - secs(1e-3));
+            assert!(w_less < secs(target));
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! Episode schedules: the owner of `A`'s only lever.
+//!
+//! §2.2 of the paper: the owner partitions each episode into *periods*; an
+//! `m`-period schedule for an episode of residual lifespan `L` is a sequence
+//! `S = t_1, …, t_m` with every `t_i > 0` and `Σ t_i = L`. Period `k`
+//! occupies the half-open window `[T_{k−1}, T_k)` where `T_k = t_1 + … + t_k`,
+//! and banks `t_k ⊖ c` work iff it completes without an interrupt.
+
+use crate::error::{ModelError, Result};
+use crate::time::{Time, Work};
+
+/// Relative tolerance used when validating that periods sum to the episode
+/// lifespan (the model is continuous; sums of thousands of `f64` periods
+/// accumulate rounding on the order of a few ulps).
+pub const SUM_TOLERANCE: f64 = 1e-9;
+
+/// An episode schedule `S = t_1, …, t_m` (§2.2).
+///
+/// Invariants, enforced at construction:
+/// * at least one period,
+/// * every period strictly positive.
+///
+/// The schedule does not store `c`; work accounting takes the setup charge
+/// as a parameter so one schedule can be analyzed under several charges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EpisodeSchedule {
+    periods: Vec<Time>,
+}
+
+impl EpisodeSchedule {
+    /// Builds a schedule from explicit period lengths.
+    pub fn from_periods(periods: Vec<Time>) -> Result<EpisodeSchedule> {
+        if periods.is_empty() {
+            return Err(ModelError::EmptySchedule);
+        }
+        for (index, &length) in periods.iter().enumerate() {
+            if !length.is_positive() {
+                return Err(ModelError::NonPositivePeriod { index, length });
+            }
+        }
+        Ok(EpisodeSchedule { periods })
+    }
+
+    /// Builds a schedule and additionally checks `Σ t_i = lifespan` up to a
+    /// relative tolerance of [`SUM_TOLERANCE`].
+    pub fn for_lifespan(periods: Vec<Time>, lifespan: Time) -> Result<EpisodeSchedule> {
+        let sched = EpisodeSchedule::from_periods(periods)?;
+        let total = sched.total();
+        let tol = Time::new(lifespan.get().abs().max(1.0) * SUM_TOLERANCE);
+        if !total.approx_eq(lifespan, tol) {
+            return Err(ModelError::LifespanMismatch { total, lifespan });
+        }
+        Ok(sched)
+    }
+
+    /// The one-period schedule `S = L` — optimal when no interrupts remain
+    /// (Proposition 4.1(d)).
+    pub fn single(lifespan: Time) -> Result<EpisodeSchedule> {
+        EpisodeSchedule::from_periods(vec![lifespan])
+    }
+
+    /// `m` equal periods of length `L/m`.
+    pub fn equal(lifespan: Time, m: usize) -> Result<EpisodeSchedule> {
+        if m == 0 {
+            return Err(ModelError::EmptySchedule);
+        }
+        let t = lifespan / m as f64;
+        EpisodeSchedule::from_periods(vec![t; m])
+    }
+
+    /// The period lengths `t_1, …, t_m`.
+    #[inline]
+    pub fn periods(&self) -> &[Time] {
+        &self.periods
+    }
+
+    /// Number of periods `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// `true` iff the schedule has exactly one period.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false // invariant: never empty
+    }
+
+    /// The `k`-th period length `t_{k+1}` (zero-based index).
+    #[inline]
+    pub fn period(&self, k: usize) -> Time {
+        self.periods[k]
+    }
+
+    /// Total scheduled time `Σ t_i` (equals the episode lifespan `L`).
+    pub fn total(&self) -> Time {
+        self.periods.iter().copied().sum()
+    }
+
+    /// `T_k`, the end of period `k` (zero-based: `boundary(0) = t_1`).
+    /// For the paper's `T_0 = 0` use [`EpisodeSchedule::start_of`].
+    pub fn boundary(&self, k: usize) -> Time {
+        self.periods[..=k].iter().copied().sum()
+    }
+
+    /// `T_{k−1}`, the start of period `k` (zero-based: `start_of(0) = 0`).
+    pub fn start_of(&self, k: usize) -> Time {
+        self.periods[..k].iter().copied().sum()
+    }
+
+    /// All boundaries `T_0 = 0, T_1, …, T_m` as a prefix-sum vector of
+    /// length `m + 1`.
+    pub fn boundaries(&self) -> Vec<Time> {
+        let mut out = Vec::with_capacity(self.periods.len() + 1);
+        let mut acc = Time::ZERO;
+        out.push(acc);
+        for &t in &self.periods {
+            acc += t;
+            out.push(acc);
+        }
+        out
+    }
+
+    /// The work `t_k ⊖ c` banked by period `k` if it completes.
+    #[inline]
+    pub fn period_work(&self, k: usize, setup: Time) -> Work {
+        self.periods[k].pos_sub(setup)
+    }
+
+    /// Total work `Σ (t_i ⊖ c)` if the whole episode runs uninterrupted.
+    pub fn work_uninterrupted(&self, setup: Time) -> Work {
+        self.periods.iter().map(|t| t.pos_sub(setup)).sum()
+    }
+
+    /// A period is *productive* when its length strictly exceeds `c`.
+    #[inline]
+    pub fn is_period_productive(&self, k: usize, setup: Time) -> bool {
+        self.periods[k] > setup
+    }
+
+    /// §4.1: a schedule is *productive* when every period except possibly
+    /// the last strictly exceeds `c`.
+    pub fn is_productive(&self, setup: Time) -> bool {
+        let m = self.periods.len();
+        self.periods[..m - 1].iter().all(|&t| t > setup)
+    }
+
+    /// §4.1: a schedule is *fully productive* when **every** period strictly
+    /// exceeds `c`.
+    pub fn is_fully_productive(&self, setup: Time) -> bool {
+        self.periods.iter().all(|&t| t > setup)
+    }
+
+    /// Theorem 4.1's transformation: any schedule can be replaced by a
+    /// *productive* one with no smaller work production, by repeatedly
+    /// merging a nonproductive nonterminal period into its successor.
+    ///
+    /// Returns a productive schedule over the same lifespan. The merge never
+    /// decreases guaranteed work: the merged period saves one setup charge
+    /// and offers the adversary a superset of nothing — see the paper's
+    /// proof sketch and `tests/thm41.rs` for the machine-checked statement.
+    pub fn make_productive(&self, setup: Time) -> EpisodeSchedule {
+        let mut periods = self.periods.clone();
+        let mut i = 0;
+        while i + 1 < periods.len() {
+            if periods[i] <= setup {
+                let t = periods.remove(i);
+                periods[i] += t;
+                // Re-examine from the previous index: the merge may have
+                // made an earlier neighbour's successor change.
+                i = i.saturating_sub(1);
+            } else {
+                i += 1;
+            }
+        }
+        EpisodeSchedule { periods }
+    }
+
+    /// Theorem 4.2's transformation: split period `k` into two equal
+    /// halves. For `r`-immune tail periods this can only increase work
+    /// production (the adversary never interrupts there, and two completed
+    /// halves bank `t − 2c ≥ 0` only when worthwhile — callers apply it
+    /// while halves stay productive).
+    pub fn split_period(&self, k: usize) -> Result<EpisodeSchedule> {
+        if k >= self.periods.len() {
+            return Err(ModelError::PeriodOutOfRange {
+                index: k,
+                len: self.periods.len(),
+            });
+        }
+        let mut periods = self.periods.clone();
+        let half = periods[k] / 2.0;
+        periods[k] = half;
+        periods.insert(k + 1, half);
+        EpisodeSchedule::from_periods(periods)
+    }
+
+    /// The tail sub-schedule `t_{k+1}, …, t_m` used by the non-adaptive
+    /// discipline after an interrupt in period `k` (zero-based `k`;
+    /// returns `None` when the interrupt hit the last period).
+    pub fn tail_after(&self, k: usize) -> Option<EpisodeSchedule> {
+        if k + 1 >= self.periods.len() {
+            None
+        } else {
+            Some(EpisodeSchedule {
+                periods: self.periods[k + 1..].to_vec(),
+            })
+        }
+    }
+
+    /// Locates the period containing episode time `t`: returns the
+    /// zero-based period index and the offset from its start, or `None`
+    /// when `t` is negative or at/after the episode's end (windows are
+    /// half-open, so `t = total()` belongs to no period).
+    pub fn locate(&self, t: Time) -> Option<(usize, Time)> {
+        if t.is_negative() {
+            return None;
+        }
+        let mut start = Time::ZERO;
+        for (k, &len) in self.periods.iter().enumerate() {
+            let end = start + len;
+            if t < end {
+                return Some((k, t - start));
+            }
+            start = end;
+        }
+        None
+    }
+
+    /// Iterates over `(zero-based index, start T_{k−1}, length t_k)`.
+    pub fn iter_windows(&self) -> impl Iterator<Item = (usize, Time, Time)> + '_ {
+        let mut start = Time::ZERO;
+        self.periods.iter().copied().enumerate().map(move |(k, t)| {
+            let s = start;
+            start += t;
+            (k, s, t)
+        })
+    }
+}
+
+impl std::fmt::Display for EpisodeSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.periods.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t:.3}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    fn sched(v: &[f64]) -> EpisodeSchedule {
+        EpisodeSchedule::from_periods(v.iter().map(|&x| secs(x)).collect()).unwrap()
+    }
+
+    #[test]
+    fn construction_rejects_bad_periods() {
+        assert!(matches!(
+            EpisodeSchedule::from_periods(vec![]),
+            Err(ModelError::EmptySchedule)
+        ));
+        assert!(matches!(
+            EpisodeSchedule::from_periods(vec![secs(1.0), secs(0.0)]),
+            Err(ModelError::NonPositivePeriod { index: 1, .. })
+        ));
+        assert!(matches!(
+            EpisodeSchedule::from_periods(vec![secs(-1.0)]),
+            Err(ModelError::NonPositivePeriod { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn for_lifespan_checks_sum() {
+        let ok = EpisodeSchedule::for_lifespan(vec![secs(2.0), secs(3.0)], secs(5.0));
+        assert!(ok.is_ok());
+        let bad = EpisodeSchedule::for_lifespan(vec![secs(2.0), secs(3.0)], secs(6.0));
+        assert!(matches!(bad, Err(ModelError::LifespanMismatch { .. })));
+    }
+
+    #[test]
+    fn boundaries_are_prefix_sums() {
+        let s = sched(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.boundaries(), vec![secs(0.0), secs(1.0), secs(3.0), secs(6.0)]);
+        assert_eq!(s.start_of(0), secs(0.0));
+        assert_eq!(s.start_of(2), secs(3.0));
+        assert_eq!(s.boundary(1), secs(3.0));
+        assert_eq!(s.total(), secs(6.0));
+    }
+
+    #[test]
+    fn work_accounting_uses_positive_subtraction() {
+        let s = sched(&[0.5, 1.0, 3.0]);
+        let c = secs(1.0);
+        assert_eq!(s.period_work(0, c), secs(0.0));
+        assert_eq!(s.period_work(1, c), secs(0.0));
+        assert_eq!(s.period_work(2, c), secs(2.0));
+        assert_eq!(s.work_uninterrupted(c), secs(2.0));
+    }
+
+    #[test]
+    fn productivity_predicates() {
+        let c = secs(1.0);
+        let s = sched(&[2.0, 3.0, 0.5]);
+        assert!(s.is_productive(c)); // last period may be short
+        assert!(!s.is_fully_productive(c));
+        let s2 = sched(&[0.5, 3.0, 2.0]);
+        assert!(!s2.is_productive(c));
+        let s3 = sched(&[2.0, 3.0]);
+        assert!(s3.is_fully_productive(c));
+    }
+
+    #[test]
+    fn make_productive_merges_and_preserves_lifespan() {
+        let c = secs(1.0);
+        let s = sched(&[0.5, 0.5, 4.0, 0.25, 2.0, 0.75]);
+        let p = s.make_productive(c);
+        assert!(p.is_productive(c));
+        assert!(p.total().approx_eq(s.total(), secs(1e-12)));
+        // Work production can only improve (fewer setup charges).
+        assert!(p.work_uninterrupted(c) >= s.work_uninterrupted(c));
+    }
+
+    #[test]
+    fn make_productive_handles_cascades() {
+        // Merging 0.4 into 0.5 gives 0.9 ≤ c, which must merge again into
+        // 0.3 (making 1.2 > c, where the cascade stops).
+        let c = secs(1.0);
+        let s = sched(&[0.4, 0.5, 0.3, 5.0]);
+        let p = s.make_productive(c);
+        assert!(p.is_productive(c));
+        assert_eq!(p.periods(), &[secs(1.2), secs(5.0)]);
+        assert!(p.total().approx_eq(secs(6.2), secs(1e-12)));
+    }
+
+    #[test]
+    fn split_period_halves_in_place() {
+        let s = sched(&[4.0, 2.0]);
+        let t = s.split_period(0).unwrap();
+        assert_eq!(t.periods(), &[secs(2.0), secs(2.0), secs(2.0)]);
+        assert!(s.split_period(5).is_err());
+    }
+
+    #[test]
+    fn tail_after_returns_suffix() {
+        let s = sched(&[1.0, 2.0, 3.0]);
+        let t = s.tail_after(0).unwrap();
+        assert_eq!(t.periods(), &[secs(2.0), secs(3.0)]);
+        assert!(s.tail_after(2).is_none());
+    }
+
+    #[test]
+    fn locate_respects_half_open_windows() {
+        let s = sched(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.locate(secs(0.0)), Some((0, secs(0.0))));
+        assert_eq!(s.locate(secs(0.99)), Some((0, secs(0.99))));
+        assert_eq!(s.locate(secs(1.0)), Some((1, secs(0.0))));
+        assert_eq!(s.locate(secs(2.5)), Some((1, secs(1.5))));
+        let (k, off) = s.locate(secs(5.9)).unwrap();
+        assert_eq!(k, 2);
+        assert!(off.approx_eq(secs(2.9), secs(1e-12)));
+        assert_eq!(s.locate(secs(6.0)), None);
+        assert_eq!(s.locate(secs(-0.1)), None);
+    }
+
+    #[test]
+    fn iter_windows_yields_starts_and_lengths() {
+        let s = sched(&[1.0, 2.0, 3.0]);
+        let w: Vec<_> = s.iter_windows().collect();
+        assert_eq!(
+            w,
+            vec![
+                (0, secs(0.0), secs(1.0)),
+                (1, secs(1.0), secs(2.0)),
+                (2, secs(3.0), secs(3.0)),
+            ]
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Naive scheduling disciplines the guidelines are benchmarked against.
+//!
+//! None of these are from the paper's §3; they are the folk strategies a
+//! practitioner might reach for first, and they are what the guidelines
+//! must beat to justify themselves (experiment E7):
+//!
+//! * [`SinglePeriodPolicy`] — send everything at once (optimal only for
+//!   `p = 0`, catastrophic otherwise: one interrupt loses the lot);
+//! * [`EqualPeriodsPolicy`] — a fixed number of equal chunks per episode;
+//! * [`FixedChunkPolicy`] — fixed-size chunks regardless of the residual
+//!   (the "auction off identical chunks" shape of Atallah et al. \[1\]);
+//! * [`HalvingPolicy`] — geometrically decreasing periods (`L/2, L/4, …`),
+//!   a plausible-looking but provably poor hedge.
+
+use crate::error::Result;
+use crate::model::Opportunity;
+use crate::policy::EpisodePolicy;
+use crate::schedule::EpisodeSchedule;
+use crate::time::Time;
+
+/// One period per episode: the whole residual lifespan at once.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SinglePeriodPolicy;
+
+impl EpisodePolicy for SinglePeriodPolicy {
+    fn episode(&self, opp: &Opportunity) -> Result<EpisodeSchedule> {
+        EpisodeSchedule::single(opp.lifespan())
+    }
+    fn name(&self) -> String {
+        "baseline-single-period".into()
+    }
+}
+
+/// `m` equal periods per episode, independent of `p` and `L`.
+#[derive(Clone, Copy, Debug)]
+pub struct EqualPeriodsPolicy {
+    /// Number of periods per episode (≥ 1).
+    pub m: usize,
+}
+
+impl EqualPeriodsPolicy {
+    /// Creates the policy; `m` is clamped to at least 1.
+    pub fn new(m: usize) -> EqualPeriodsPolicy {
+        EqualPeriodsPolicy { m: m.max(1) }
+    }
+}
+
+impl EpisodePolicy for EqualPeriodsPolicy {
+    fn episode(&self, opp: &Opportunity) -> Result<EpisodeSchedule> {
+        EpisodeSchedule::equal(opp.lifespan(), self.m)
+    }
+    fn name(&self) -> String {
+        format!("baseline-equal-{}", self.m)
+    }
+}
+
+/// Fixed-length chunks of `chunk` time units; the final period absorbs the
+/// remainder (merged into the previous chunk when it would be shorter than
+/// the setup charge, so the schedule stays productive).
+#[derive(Clone, Copy, Debug)]
+pub struct FixedChunkPolicy {
+    /// The chunk length (must exceed the setup charge to ever bank work).
+    pub chunk: Time,
+}
+
+impl FixedChunkPolicy {
+    /// Creates the policy.
+    pub fn new(chunk: Time) -> FixedChunkPolicy {
+        assert!(chunk.is_positive(), "chunk must be positive");
+        FixedChunkPolicy { chunk }
+    }
+}
+
+impl EpisodePolicy for FixedChunkPolicy {
+    fn episode(&self, opp: &Opportunity) -> Result<EpisodeSchedule> {
+        let l = opp.lifespan();
+        let c = opp.setup();
+        let mut periods = Vec::new();
+        let mut remaining = l;
+        while remaining > self.chunk {
+            periods.push(self.chunk);
+            remaining -= self.chunk;
+        }
+        if remaining.is_positive() {
+            // Merge a sub-setup remainder into the last chunk.
+            if remaining <= c {
+                if let Some(last) = periods.last_mut() {
+                    *last += remaining;
+                } else {
+                    periods.push(remaining);
+                }
+            } else {
+                periods.push(remaining);
+            }
+        }
+        EpisodeSchedule::for_lifespan(periods, l)
+    }
+    fn name(&self) -> String {
+        format!("baseline-chunk-{}", self.chunk)
+    }
+}
+
+/// Geometrically decreasing periods `L/2, L/4, …` down to a floor of
+/// `floor × c`, with the final period absorbing the remainder.
+#[derive(Clone, Copy, Debug)]
+pub struct HalvingPolicy {
+    /// Periods never go below `floor` multiples of the setup charge
+    /// (default 1.5).
+    pub floor: f64,
+}
+
+impl Default for HalvingPolicy {
+    fn default() -> Self {
+        HalvingPolicy { floor: 1.5 }
+    }
+}
+
+impl EpisodePolicy for HalvingPolicy {
+    fn episode(&self, opp: &Opportunity) -> Result<EpisodeSchedule> {
+        let l = opp.lifespan();
+        let min_period = opp.setup() * self.floor;
+        let mut periods = Vec::new();
+        let mut remaining = l;
+        loop {
+            let next = remaining * 0.5;
+            if next <= min_period || remaining <= min_period * 2.0 {
+                periods.push(remaining);
+                break;
+            }
+            periods.push(next);
+            remaining -= next;
+        }
+        EpisodeSchedule::for_lifespan(periods, l)
+    }
+    fn name(&self) -> String {
+        "baseline-halving".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::EpisodePolicy;
+    use crate::time::secs;
+
+    fn opp(u: f64, p: u32) -> Opportunity {
+        Opportunity::from_units(u, 1.0, p)
+    }
+
+    #[test]
+    fn single_period_policy() {
+        let s = SinglePeriodPolicy.episode(&opp(100.0, 3)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.period(0), secs(100.0));
+    }
+
+    #[test]
+    fn equal_periods_policy_partitions() {
+        let s = EqualPeriodsPolicy::new(8).episode(&opp(100.0, 3)).unwrap();
+        assert_eq!(s.len(), 8);
+        assert!(s.total().approx_eq(secs(100.0), secs(1e-9)));
+        // Clamp to 1.
+        assert_eq!(EqualPeriodsPolicy::new(0).m, 1);
+    }
+
+    #[test]
+    fn fixed_chunk_policy_merges_tiny_remainder() {
+        let pol = FixedChunkPolicy::new(secs(7.0));
+        let s = pol.episode(&opp(22.0, 1)).unwrap();
+        // 7 + 7 + 8: the 1-unit remainder merges into the last chunk
+        // because it is ≤ c.
+        assert_eq!(s.len(), 3);
+        assert!(s.total().approx_eq(secs(22.0), secs(1e-9)));
+        assert_eq!(s.period(2), secs(8.0));
+
+        let s2 = pol.episode(&opp(23.5, 1)).unwrap();
+        // Remainder 2.5 > c stays its own period.
+        assert_eq!(s2.len(), 4);
+        assert_eq!(s2.period(3), secs(2.5));
+    }
+
+    #[test]
+    fn fixed_chunk_smaller_than_lifespan() {
+        let pol = FixedChunkPolicy::new(secs(50.0));
+        let s = pol.episode(&opp(22.0, 1)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.period(0), secs(22.0));
+    }
+
+    #[test]
+    fn halving_policy_decreases_geometrically() {
+        let s = HalvingPolicy::default().episode(&opp(64.0, 2)).unwrap();
+        assert!(s.total().approx_eq(secs(64.0), secs(1e-9)));
+        assert_eq!(s.period(0), secs(32.0));
+        assert_eq!(s.period(1), secs(16.0));
+        for k in 0..s.len() - 1 {
+            assert!(s.period(k) >= s.period(k + 1));
+        }
+        // All periods at or above the floor.
+        for &t in s.periods() {
+            assert!(t >= secs(1.5) - secs(1e-9));
+        }
+    }
+
+    #[test]
+    fn halving_policy_tiny_lifespan_is_single() {
+        let s = HalvingPolicy::default().episode(&opp(2.0, 1)).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+}

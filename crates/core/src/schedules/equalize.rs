@@ -1,0 +1,319 @@
+//! Theorem 4.3: the equalization construction of optimal episode schedules.
+//!
+//! §4.2's counter-strategy to the adversary is to make every interrupt
+//! equally damaging. Write `V_k` for what the adversary concedes by
+//! interrupting period `k` at its last instant:
+//!
+//! ```text
+//! V_k = (T_{k−1} − (k−1)c)  +  W^(p−1)[U − T_k]
+//!        banked so far          optimal continuation
+//! ```
+//!
+//! Theorem 4.3 characterizes the optimal schedule by `V_1 = V_2 = … = V`
+//! for the early periods (equivalently `t_k = c + W^(p−1)[U−T_k] −
+//! W^(p−1)[U−T_{k+1}]`), with the tail — where the continuation value has
+//! hit zero — squeezed into periods of length `(c, 2c]` (Theorem 4.2).
+//!
+//! [`equalized_schedule`] turns this into an algorithm: for a candidate
+//! value `V` it marches the boundaries `T_k` forward by inverting the
+//! `W^(p−1)` oracle, then bisects on `V` to find the largest value at which
+//! the schedule stays fully productive and the no-interrupt option
+//! `U − mc` still dominates. Against an *exact* oracle this reproduces the
+//! optimal episode schedule up to the search tolerance (machine-checked
+//! against §5.2's closed form for `p = 1`, and against the DP solver for
+//! `p ≤ 4` in `cyclesteal-dp`'s tests).
+
+use crate::error::{ModelError, Result};
+use crate::model::Opportunity;
+use crate::policy::WorkOracle;
+use crate::schedule::EpisodeSchedule;
+use crate::schedules::short_tail_partition;
+use crate::time::{Time, Work};
+
+/// Hard cap on equalizer periods; beyond this the parameters are outside
+/// any sensible regime (`m` grows like `2^p √(U/c)`).
+const MAX_PERIODS: usize = 1 << 24;
+
+/// Bisection iterations for the outer search on `V` (60 halvings reach
+/// `f64` resolution on any sensible work range).
+const OUTER_ITERS: usize = 80;
+
+/// Builds the Theorem 4.3 equalized episode schedule for `opp` using
+/// `oracle` to answer `W^(p−1)` queries.
+///
+/// Returns the schedule together with the value it guarantees **according
+/// to the oracle** (the min over all adversary options, each scored with
+/// the oracle's continuation). If the oracle is exact this is the game
+/// value `W^(p)[U]`.
+pub fn equalized_schedule(
+    oracle: &dyn WorkOracle,
+    opp: &Opportunity,
+) -> Result<(EpisodeSchedule, Work)> {
+    let c = opp.setup();
+    debug_assert!(
+        oracle.setup().approx_eq(c, c * 1e-9),
+        "oracle built for a different setup charge"
+    );
+    let u = opp.lifespan();
+    let p = opp.interrupts();
+    if !u.is_positive() {
+        return Err(ModelError::NegativeLifespan { lifespan: u });
+    }
+    if p == 0 {
+        return Ok((EpisodeSchedule::single(u)?, u.pos_sub(c)));
+    }
+    if opp.is_hopeless() {
+        // No schedule can guarantee work; return the canonical short tail.
+        return Ok((short_tail_partition(u, c)?, Work::ZERO));
+    }
+
+    let level = p - 1;
+    // V cannot exceed the continuation value of the whole lifespan (the
+    // adversary could interrupt period 1 immediately otherwise).
+    let mut lo = 0.0f64;
+    let mut hi = oracle.guaranteed_work(level, u).get();
+    let mut best: Option<(EpisodeSchedule, Work)> = None;
+
+    for _ in 0..OUTER_ITERS {
+        let v = 0.5 * (lo + hi);
+        match try_value(oracle, level, u, c, Work::new(v)) {
+            Some((sched, uninterrupted)) if uninterrupted.get() >= v => {
+                // Feasible and the no-interrupt option still dominates:
+                // the schedule guarantees V; push V up.
+                best = Some((sched, Work::new(v)));
+                lo = v;
+            }
+            _ => {
+                // Either a period went nonproductive or the no-interrupt
+                // option dropped below V: push V down.
+                hi = v;
+            }
+        }
+    }
+
+    match best {
+        Some(b) => Ok(b),
+        None => {
+            // Even V ≈ 0 failed: fall back to the short tail (guarantee 0).
+            Ok((short_tail_partition(u, c)?, Work::ZERO))
+        }
+    }
+}
+
+/// One inner construction: given candidate value `v`, march the boundaries
+/// `T_k` by inverting the oracle, then append the Theorem 4.2 tail.
+/// Returns `None` when some early period fails to stay productive; else
+/// the schedule and its uninterrupted work `Σ(t ⊖ c)`.
+fn try_value(
+    oracle: &dyn WorkOracle,
+    level: u32,
+    u: Time,
+    c: Time,
+    v: Work,
+) -> Option<(EpisodeSchedule, Work)> {
+    let tol = c * 1e-9;
+    let mut periods: Vec<Time> = Vec::new();
+    let mut t_prev = Time::ZERO; // T_{k−1}
+    let mut accrued = Work::ZERO; // T_{k−1} − (k−1)c
+
+    loop {
+        let target = v - accrued;
+        if target <= tol {
+            break; // continuation value exhausted: tail phase
+        }
+        let residual = oracle.inverse(level, target, u);
+        if oracle.guaranteed_work(level, residual) + tol < target {
+            return None; // target unreachable: V too high
+        }
+        let t_k_end = u - residual;
+        let t_k = t_k_end - t_prev;
+        if t_k <= c + tol {
+            return None; // nonproductive early period: V too high
+        }
+        periods.push(t_k);
+        accrued += t_k - c;
+        t_prev = t_k_end;
+        if periods.len() > MAX_PERIODS {
+            return None;
+        }
+    }
+
+    let remaining = u - t_prev;
+    if remaining.is_positive() {
+        let tail = short_tail_partition(remaining, c).ok()?;
+        periods.extend_from_slice(tail.periods());
+    }
+    if periods.is_empty() {
+        return None;
+    }
+    let sched = EpisodeSchedule::for_lifespan(periods, u).ok()?;
+    let uninterrupted = sched.work_uninterrupted(c);
+    Some((sched, uninterrupted))
+}
+
+/// The adversary-option audit of a schedule under an oracle: the value of
+/// every option in Table 1, used to check how well a schedule equalizes.
+#[derive(Clone, Debug)]
+pub struct EqualizationReport {
+    /// `V_k` for each period `k` (zero-based): banked work before `k` plus
+    /// the oracle continuation on the residual lifespan.
+    pub option_values: Vec<Work>,
+    /// The no-interrupt option: the episode's uninterrupted work.
+    pub uninterrupted: Work,
+    /// The minimum over all options — the schedule's guaranteed value
+    /// (according to the oracle).
+    pub value: Work,
+}
+
+impl EqualizationReport {
+    /// Max spread `max V_k − min V_k` among the *early* options — those
+    /// whose continuation value is still positive. Theorem 4.3 says the
+    /// optimal schedule drives this to zero.
+    pub fn early_spread(&self, positive_continuation: &[bool]) -> Work {
+        let mut lo: Option<Work> = None;
+        let mut hi: Option<Work> = None;
+        for (v, &early) in self.option_values.iter().zip(positive_continuation) {
+            if early {
+                lo = Some(lo.map_or(*v, |x: Work| x.min(*v)));
+                hi = Some(hi.map_or(*v, |x: Work| x.max(*v)));
+            }
+        }
+        match (lo, hi) {
+            (Some(l), Some(h)) => h - l,
+            _ => Work::ZERO,
+        }
+    }
+}
+
+/// Scores every adversary option of `schedule` with `oracle` continuations
+/// (level `p − 1`), returning the audit report.
+pub fn verify_equalization(
+    oracle: &dyn WorkOracle,
+    opp: &Opportunity,
+    schedule: &EpisodeSchedule,
+) -> EqualizationReport {
+    let c = opp.setup();
+    let u = opp.lifespan();
+    let level = opp.interrupts().saturating_sub(1);
+    let mut option_values = Vec::with_capacity(schedule.len());
+    let mut accrued = Work::ZERO;
+    for (k, _start, t) in schedule.iter_windows() {
+        let t_k_end = schedule.start_of(k) + t;
+        let residual = (u - t_k_end).clamp_min_zero();
+        let v = accrued + oracle.guaranteed_work(level, residual);
+        option_values.push(v);
+        accrued += t.pos_sub(c);
+    }
+    let uninterrupted = schedule.work_uninterrupted(c);
+    let value = option_values
+        .iter()
+        .copied()
+        .chain(std::iter::once(uninterrupted))
+        .min()
+        .unwrap_or(Work::ZERO);
+    EqualizationReport {
+        option_values,
+        uninterrupted,
+        value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::w1_exact;
+    use crate::policy::ClosedFormOracle;
+    use crate::schedules::optimal_p1::optimal_p1_schedule;
+    use crate::time::secs;
+
+    #[test]
+    fn p1_equalizer_reproduces_section_52_closed_form() {
+        let c = secs(1.0);
+        let oracle = ClosedFormOracle::new(c);
+        for &u in &[5.0, 10.0, 100.0, 1_000.0, 54_321.0] {
+            let opp = Opportunity::from_units(u, 1.0, 1);
+            let (sched, value) = equalized_schedule(&oracle, &opp).unwrap();
+            let expect = w1_exact(secs(u), c);
+            assert!(
+                value.approx_eq(expect, secs(1e-5)),
+                "U={u}: equalizer {value} vs closed form {expect}"
+            );
+            // The schedules agree structurally: same leading period up to
+            // the search tolerance.
+            let reference = optimal_p1_schedule(secs(u), c).unwrap();
+            assert!(
+                sched.period(0).approx_eq(reference.period(0), secs(1e-3)),
+                "U={u}: t1 {} vs {}",
+                sched.period(0),
+                reference.period(0)
+            );
+        }
+    }
+
+    #[test]
+    fn equalizer_value_never_exceeds_level_below() {
+        // Prop 4.1(b): W^(p) ≤ W^(p−1).
+        let c = secs(1.0);
+        let oracle = ClosedFormOracle::new(c);
+        for &u in &[10.0, 100.0, 1_000.0] {
+            let opp = Opportunity::from_units(u, 1.0, 2);
+            let (_s, value) = equalized_schedule(&oracle, &opp).unwrap();
+            assert!(value <= oracle.guaranteed_work(1, secs(u)));
+        }
+    }
+
+    #[test]
+    fn hopeless_opportunities_guarantee_zero() {
+        let c = secs(1.0);
+        let oracle = ClosedFormOracle::new(c);
+        let opp = Opportunity::from_units(1.5, 1.0, 1);
+        let (s, value) = equalized_schedule(&oracle, &opp).unwrap();
+        assert_eq!(value, Work::ZERO);
+        assert!(s.total().approx_eq(secs(1.5), secs(1e-9)));
+    }
+
+    #[test]
+    fn p0_returns_single_period() {
+        let c = secs(1.0);
+        let oracle = ClosedFormOracle::new(c);
+        let opp = Opportunity::from_units(42.0, 1.0, 0);
+        let (s, value) = equalized_schedule(&oracle, &opp).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(value, secs(41.0));
+    }
+
+    #[test]
+    fn audit_shows_tight_equalization_for_p1() {
+        let c = secs(1.0);
+        let oracle = ClosedFormOracle::new(c);
+        let opp = Opportunity::from_units(1_000.0, 1.0, 1);
+        let sched = optimal_p1_schedule(secs(1_000.0), c).unwrap();
+        let report = verify_equalization(&oracle, &opp, &sched);
+        // Every option (including the tail) is equalized for p = 1.
+        let early: Vec<bool> = vec![true; report.option_values.len()];
+        assert!(
+            report.early_spread(&early) <= secs(1e-6),
+            "spread {}",
+            report.early_spread(&early)
+        );
+        assert!(report.value.approx_eq(w1_exact(secs(1_000.0), c), secs(1e-6)));
+        assert!(report.uninterrupted >= report.value);
+    }
+
+    #[test]
+    fn equalized_schedule_audits_at_its_own_value() {
+        let c = secs(1.0);
+        let oracle = ClosedFormOracle::new(c);
+        for p in [1u32, 2] {
+            let opp = Opportunity::from_units(2_000.0, 1.0, p);
+            let (sched, value) = equalized_schedule(&oracle, &opp).unwrap();
+            let report = verify_equalization(&oracle, &opp, &sched);
+            assert!(
+                report.value.approx_eq(value, secs(1e-4)),
+                "p={p}: audit {} vs constructed {}",
+                report.value,
+                value
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The schedule families studied by the paper, plus baselines.
+//!
+//! * [`nonadaptive`] — §3.1's non-adaptive guideline `S_na^(p)[U]`.
+//! * [`adaptive`] — §3.2's adaptive guideline `Σ_a^(p)[U]`.
+//! * [`optimal_p1`] — §5.2's exactly optimal `p = 1` schedule `S_opt^(1)[U]`.
+//! * [`equalize`] — Theorem 4.3's equalization construction, which builds a
+//!   (near-)optimal `p`-interrupt episode schedule from any `W^(p−1)` oracle.
+//! * [`baselines`] — naive disciplines the guidelines are compared against.
+
+pub mod adaptive;
+pub mod baselines;
+pub mod equalize;
+pub mod nonadaptive;
+pub mod optimal_p1;
+pub mod self_similar;
+
+pub use adaptive::AdaptiveGuideline;
+pub use baselines::{EqualPeriodsPolicy, FixedChunkPolicy, HalvingPolicy, SinglePeriodPolicy};
+pub use equalize::{equalized_schedule, verify_equalization, EqualizationReport};
+pub use nonadaptive::NonAdaptiveGuideline;
+pub use optimal_p1::{optimal_p1_schedule, OptimalP1Policy};
+pub use self_similar::SelfSimilarGuideline;
+
+use crate::error::Result;
+use crate::schedule::EpisodeSchedule;
+use crate::time::Time;
+
+/// Splits a (small) residual lifespan into periods of length in `(c, 2c]`
+/// where possible — Theorem 4.2's shape for the r-immune tail of an episode.
+///
+/// Chooses the largest period count `n` with `L/n > c`; for `L ≤ c` the
+/// single (nonproductive) period `[L]` is returned, which is the best that
+/// can be done (it banks nothing either way).
+pub(crate) fn short_tail_partition(lifespan: Time, setup: Time) -> Result<EpisodeSchedule> {
+    debug_assert!(lifespan.is_positive());
+    // Largest n with L/n > c  ⇔  n < L/c  ⇔  n = ceil(L/c) − 1, except when
+    // L/c is integral, where n = L/c − 1. Guard n ≥ 1.
+    let ratio = lifespan.ratio(setup);
+    let mut n = (ratio.ceil() as usize).saturating_sub(1).max(1);
+    // Float-safety: shrink until strictly productive or single.
+    while n > 1 && (lifespan / n as f64 <= setup) {
+        n -= 1;
+    }
+    EpisodeSchedule::equal(lifespan, n)
+}
+
+/// Removes floating-point drift from a constructed period vector so that it
+/// sums to `lifespan` exactly (to the last ulp achievable), by absorbing the
+/// difference into the largest period.
+pub(crate) fn normalize_sum(periods: &mut [Time], lifespan: Time) {
+    let total: Time = periods.iter().copied().sum();
+    let drift = lifespan - total;
+    if drift.is_zero() {
+        return;
+    }
+    if let Some(idx) = periods
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, t)| **t)
+        .map(|(i, _)| i)
+    {
+        periods[idx] += drift;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    #[test]
+    fn short_tail_periods_are_in_half_open_productive_window() {
+        let c = secs(1.0);
+        for &l in &[1.2, 1.5, 2.0, 2.5, 3.0, 4.9, 7.3, 10.0] {
+            let s = short_tail_partition(secs(l), c).unwrap();
+            assert!(s.total().approx_eq(secs(l), secs(1e-9)));
+            for &t in s.periods() {
+                assert!(t > c, "period {t} not productive for L={l}");
+                assert!(t <= c * 2.0 + secs(1e-9), "period {t} too long for L={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_tail_degenerates_to_single_for_tiny_lifespans() {
+        let c = secs(1.0);
+        let s = short_tail_partition(secs(0.7), c).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.period(0), secs(0.7));
+        // Exactly c: single nonproductive period.
+        let s = short_tail_partition(secs(1.0), c).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn normalize_sum_absorbs_drift() {
+        let mut v = vec![secs(1.0), secs(2.0), secs(3.0)];
+        normalize_sum(&mut v, secs(6.5));
+        let total: Time = v.iter().copied().sum();
+        assert_eq!(total, secs(6.5));
+        assert_eq!(v[2], secs(3.5)); // largest period absorbed the drift
+    }
+}

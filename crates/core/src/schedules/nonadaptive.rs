@@ -1,0 +1,168 @@
+//! §3.1: the non-adaptive guideline `S_na^(p)[U]`.
+//!
+//! One schedule is committed for the whole opportunity:
+//!
+//! * schedule length `m^(p)[U] = ⌊√(pU/c)⌋`,
+//! * equal period lengths `t_i = √(cU/p)` (realized as `U/m` so the periods
+//!   partition the lifespan exactly; the two coincide up to the floor),
+//!
+//! with §2.2's discipline: after an interrupt in period `i` the tail
+//! `t_{i+1}, …, t_m` is replayed obliviously, except that after the `p`-th
+//! interrupt the remainder runs as one long period.
+//!
+//! Against the optimal adversary — who kills the last `p` periods at their
+//! last instants — this guarantees `(m − p)(U/m − c)`, i.e.
+//! `U − 2√(pcU) + pc` up to rounding (see DESIGN.md §1.1 note 1 on the
+//! scanned paper's rendering of this formula, and bench E4 for the
+//! measurement).
+
+use crate::error::Result;
+use crate::model::Opportunity;
+use crate::schedule::EpisodeSchedule;
+use crate::time::{Time, Work};
+use crate::work::NonAdaptiveRun;
+
+/// Builder for §3.1's non-adaptive guideline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NonAdaptiveGuideline;
+
+impl NonAdaptiveGuideline {
+    /// The guideline's period count `m^(p)[U] = ⌊√(pU/c)⌋`, clamped to at
+    /// least 1 (for `p = 0` the optimal single period is used).
+    pub fn period_count(opp: &Opportunity) -> usize {
+        let p = opp.interrupts();
+        if p == 0 {
+            return 1;
+        }
+        let m = (p as f64 * opp.u_over_c()).sqrt().floor() as usize;
+        m.max(1)
+    }
+
+    /// Builds the guideline schedule: `period_count` equal periods.
+    pub fn build(opp: &Opportunity) -> Result<EpisodeSchedule> {
+        Self::build_with_m(opp, Self::period_count(opp))
+    }
+
+    /// Builds an equal-period schedule with an explicit period count
+    /// (used by the E4 ablation sweep).
+    pub fn build_with_m(opp: &Opportunity, m: usize) -> Result<EpisodeSchedule> {
+        EpisodeSchedule::equal(opp.lifespan(), m.max(1))
+    }
+
+    /// Packages the guideline schedule as a [`NonAdaptiveRun`] carrying the
+    /// §2.2 tail-replay/consolidation discipline.
+    pub fn run(opp: &Opportunity) -> Result<NonAdaptiveRun> {
+        let schedule = Self::build(opp)?;
+        NonAdaptiveRun::new(schedule, opp.setup(), opp.lifespan(), opp.interrupts())
+    }
+
+    /// The closed-form guarantee of the integral-`m` guideline,
+    /// `(m − p)·(U/m − c)` when `m > p` and the period is productive,
+    /// else zero. This is exactly what the optimal adversary concedes
+    /// (kills the last `p` periods; verified against the exhaustive
+    /// worst-case evaluator in `cyclesteal-adversary`).
+    pub fn guarantee(opp: &Opportunity) -> Work {
+        Self::guarantee_with_m(opp, Self::period_count(opp))
+    }
+
+    /// [`NonAdaptiveGuideline::guarantee`] for an explicit period count.
+    pub fn guarantee_with_m(opp: &Opportunity, m: usize) -> Work {
+        let p = opp.interrupts() as usize;
+        if m <= p {
+            return Work::ZERO;
+        }
+        let t = opp.lifespan() / m as f64;
+        let per = t.pos_sub(opp.setup());
+        Time::new(per.get() * (m - p) as f64)
+    }
+
+    /// The real-valued optimum of `(m − p)(U/m − c)` over `m`, attained at
+    /// `m* = √(pU/c)`: `U − 2√(pcU) + pc`. The integral guideline is within
+    /// one period's worth of work of this value.
+    pub fn continuum_guarantee(opp: &Opportunity) -> Work {
+        crate::bounds::nonadaptive_guarantee(opp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    #[test]
+    fn period_count_is_floor_sqrt_pu_over_c() {
+        let opp = Opportunity::from_units(10_000.0, 1.0, 4);
+        assert_eq!(NonAdaptiveGuideline::period_count(&opp), 200);
+        let opp = Opportunity::from_units(10_000.0, 1.0, 1);
+        assert_eq!(NonAdaptiveGuideline::period_count(&opp), 100);
+        // p = 0 ⇒ single long period (Prop 4.1(d)).
+        let opp = Opportunity::from_units(10_000.0, 1.0, 0);
+        assert_eq!(NonAdaptiveGuideline::period_count(&opp), 1);
+    }
+
+    #[test]
+    fn schedule_partitions_lifespan_equally() {
+        let opp = Opportunity::from_units(10_000.0, 1.0, 4);
+        let s = NonAdaptiveGuideline::build(&opp).unwrap();
+        assert_eq!(s.len(), 200);
+        assert!(s.total().approx_eq(secs(10_000.0), secs(1e-6)));
+        let t0 = s.period(0);
+        assert!(s.periods().iter().all(|&t| t == t0));
+        // Periods approximate the paper's √(cU/p) = 50.
+        assert!(t0.approx_eq(secs(50.0), secs(0.5)));
+    }
+
+    #[test]
+    fn guarantee_matches_killing_last_p_periods() {
+        let opp = Opportunity::from_units(10_000.0, 1.0, 4);
+        let run = NonAdaptiveGuideline::run(&opp).unwrap();
+        let m = run.schedule().len();
+        // Adversary kills the last p periods at their last instants.
+        let killed: Vec<usize> = (m - 4..m).collect();
+        let w = run.work_given_killed(&killed).unwrap();
+        assert!(w.approx_eq(NonAdaptiveGuideline::guarantee(&opp), secs(1e-6)));
+    }
+
+    #[test]
+    fn guarantee_close_to_continuum_value() {
+        let c = secs(1.0);
+        for &u in &[1_000.0, 10_000.0, 100_000.0] {
+            for p in 1..6u32 {
+                let opp = Opportunity::new(secs(u), c, p).unwrap();
+                let g = NonAdaptiveGuideline::guarantee(&opp);
+                let cont = NonAdaptiveGuideline::continuum_guarantee(&opp);
+                // Integral m costs at most ~one period of work.
+                let period = secs((u / p as f64).sqrt());
+                assert!(
+                    (g - cont).abs() <= period + c,
+                    "U={u} p={p}: guideline {g} vs continuum {cont}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_small_lifespans_guarantee_zero() {
+        let opp = Opportunity::from_units(3.0, 1.0, 4); // U ≤ (p+1)c
+        assert!(opp.is_hopeless());
+        assert_eq!(NonAdaptiveGuideline::guarantee(&opp), Work::ZERO);
+        // Still builds a valid (if futile) schedule.
+        let s = NonAdaptiveGuideline::build(&opp).unwrap();
+        assert!(s.total().approx_eq(secs(3.0), secs(1e-9)));
+    }
+
+    #[test]
+    fn explicit_m_sweep_is_maximized_near_guideline_m() {
+        // The guideline's m should be (close to) the best equal-period m.
+        let opp = Opportunity::from_units(40_000.0, 1.0, 3);
+        let m_star = NonAdaptiveGuideline::period_count(&opp);
+        let g_star = NonAdaptiveGuideline::guarantee_with_m(&opp, m_star);
+        for m in [m_star / 2, m_star * 2, m_star + 50, m_star.saturating_sub(50)] {
+            let g = NonAdaptiveGuideline::guarantee_with_m(&opp, m.max(1));
+            assert!(
+                g <= g_star + secs(1e-9),
+                "m={m} beats guideline m={m_star}: {g} > {g_star}"
+            );
+        }
+    }
+}

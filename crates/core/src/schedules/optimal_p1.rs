@@ -1,0 +1,172 @@
+//! §5.2: the exactly optimal single-interrupt schedule `S_opt^(1)[U]`.
+//!
+//! For `p = 1` the bootstrapping guidelines of §4 can be carried out in
+//! closed form. With `m = m^(1)[U]` from equation (5.1) and
+//! `λ = (U − c)/(mc) − (m − 1)/2 ∈ (0, 1]`:
+//!
+//! * `t_k = (m − k + λ)·c` for `k ≤ m − 1` (arithmetic, common difference `c`),
+//! * `t_m = t_{m−1} = (1 + λ)·c`,
+//!
+//! and **every** adversary option — interrupting any period at its last
+//! instant — yields exactly `W^(1)[U] = U − (m + λ)c`, while letting the
+//! episode complete yields the strictly larger `U − mc`. The equalization
+//! is what makes the schedule optimal (Theorem 4.3); the property tests
+//! machine-check it, and `cyclesteal-dp` confirms optimality against the
+//! unrestricted game value.
+
+use crate::bounds::{lambda1_opt, m1_opt, w1_exact};
+use crate::error::Result;
+use crate::model::Opportunity;
+use crate::policy::EpisodePolicy;
+use crate::schedule::EpisodeSchedule;
+use crate::schedules::normalize_sum;
+use crate::time::{Time, Work};
+
+/// Builds `S_opt^(1)[U]` for lifespan `lifespan` and setup charge `setup`.
+///
+/// For `U ≤ 2c` no schedule guarantees work (Prop 4.1(c)); the single
+/// period `[U]` is returned as the canonical degenerate choice.
+pub fn optimal_p1_schedule(lifespan: Time, setup: Time) -> Result<EpisodeSchedule> {
+    if lifespan <= setup * 2.0 {
+        return EpisodeSchedule::single(lifespan);
+    }
+    let m = m1_opt(lifespan, setup);
+    let lambda = lambda1_opt(lifespan, setup, m);
+    let mut periods = Vec::with_capacity(m);
+    if m == 1 {
+        // Degenerate single period (only at the U = 2c boundary).
+        periods.push(lifespan);
+    } else {
+        for k in 1..m {
+            periods.push(setup * ((m - k) as f64 + lambda));
+        }
+        periods.push(setup * (1.0 + lambda));
+    }
+    normalize_sum(&mut periods, lifespan);
+    EpisodeSchedule::for_lifespan(periods, lifespan)
+}
+
+/// The exact game value `W^(1)[U] = U − (m + λ)c` achieved by
+/// [`optimal_p1_schedule`] (re-exported from [`crate::bounds::w1_exact`]).
+pub fn optimal_p1_value(lifespan: Time, setup: Time) -> Work {
+    w1_exact(lifespan, setup)
+}
+
+/// §5.2's optimal schedule as an [`EpisodePolicy`] for opportunities with
+/// `p ≤ 1` (after the single interrupt it plays the optimal one-period
+/// endgame of Prop 4.1(d)). Querying it with `p ≥ 2` is a caller bug and
+/// returns the `p = 1` schedule, which carries no optimality claim there.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OptimalP1Policy;
+
+impl EpisodePolicy for OptimalP1Policy {
+    fn episode(&self, opp: &Opportunity) -> Result<EpisodeSchedule> {
+        match opp.interrupts() {
+            0 => EpisodeSchedule::single(opp.lifespan()),
+            _ => optimal_p1_schedule(opp.lifespan(), opp.setup()),
+        }
+    }
+
+    fn name(&self) -> String {
+        "optimal-p1(§5.2)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+    use crate::work::{episode_outcome, InterruptSpec};
+
+    /// The value the adversary concedes by interrupting period `k` at its
+    /// last instant: banked work plus the optimal 0-interrupt endgame on
+    /// the residual lifespan.
+    fn option_value(s: &EpisodeSchedule, u: Time, c: Time, k: usize) -> Work {
+        let out = episode_outcome(s, c, InterruptSpec::LastInstantOf(k)).unwrap();
+        out.work + (u - out.consumed).pos_sub(c)
+    }
+
+    #[test]
+    fn all_adversary_options_are_equalized() {
+        let c = secs(1.0);
+        for &u in &[3.0, 10.0, 100.0, 1_000.0, 12_345.6] {
+            let u = secs(u);
+            let s = optimal_p1_schedule(u, c).unwrap();
+            let w = optimal_p1_value(u, c);
+            for k in 0..s.len() {
+                let v = option_value(&s, u, c, k);
+                assert!(
+                    v.approx_eq(w, secs(1e-6)),
+                    "U={u}: option {k} gives {v}, want {w}"
+                );
+            }
+            // Letting the episode complete is strictly worse for the
+            // adversary: U − mc > U − (m+λ)c since λ > 0.
+            let complete = s.work_uninterrupted(c);
+            assert!(complete >= w);
+        }
+    }
+
+    #[test]
+    fn schedule_shape_matches_section_52() {
+        let c = secs(1.0);
+        let u = secs(1_000.0);
+        let s = optimal_p1_schedule(u, c).unwrap();
+        let m = s.len();
+        // Last two periods equal (1+λ)c.
+        assert!(s.period(m - 1).approx_eq(s.period(m - 2), secs(1e-9)));
+        // Arithmetic with common difference c elsewhere.
+        for k in 0..m - 2 {
+            let diff = s.period(k) - s.period(k + 1);
+            assert!(
+                diff.approx_eq(c, secs(1e-9)),
+                "difference at {k} is {diff}"
+            );
+        }
+        // t_1 = (m − 1 + λ)c ≈ √(2cU).
+        let t1 = s.period(0).get();
+        assert!((t1 - (2.0f64 * 1_000.0).sqrt()).abs() < 2.0, "t1 = {t1}");
+    }
+
+    #[test]
+    fn degenerate_lifespans_return_single_period() {
+        let c = secs(1.0);
+        for &u in &[0.5, 1.0, 1.5, 2.0] {
+            let s = optimal_p1_schedule(secs(u), c).unwrap();
+            assert_eq!(s.len(), 1);
+            assert_eq!(optimal_p1_value(secs(u), c), Work::ZERO);
+        }
+    }
+
+    #[test]
+    fn value_dominates_every_equal_period_schedule() {
+        // Spot-check optimality within the equal-period family: the §5.2
+        // schedule must beat m equal periods for every m.
+        let c = secs(1.0);
+        let u = secs(500.0);
+        let w_opt = optimal_p1_value(u, c);
+        for m in 1..200usize {
+            let s = EpisodeSchedule::equal(u, m).unwrap();
+            // Adversary picks the worst option (including letting it run).
+            let mut worst = s.work_uninterrupted(c);
+            for k in 0..m {
+                worst = worst.min(option_value(&s, u, c, k));
+            }
+            assert!(
+                worst <= w_opt + secs(1e-9),
+                "equal-{m} gets {worst}, beating optimal {w_opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_handles_p0_endgame() {
+        let pol = OptimalP1Policy;
+        let opp = Opportunity::from_units(50.0, 1.0, 0);
+        let s = pol.episode(&opp).unwrap();
+        assert_eq!(s.len(), 1);
+        let opp1 = Opportunity::from_units(50.0, 1.0, 1);
+        let s1 = pol.episode(&opp1).unwrap();
+        assert!(s1.len() > 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! The *self-similar* guideline: the corrected closed-form schedule this
+//! reproduction derives from Theorem 4.3's equalization in the continuum
+//! limit (see [`crate::bounds::loss_coefficient`]).
+//!
+//! At residual `R` with `p` interrupts left, the optimal period length is
+//! `t ≈ γ_p·√(2cR)` with `γ_p = 1/β_p`; marching that profile down to a
+//! Theorem-4.2 short tail yields a schedule that is as cheap to build as
+//! §3.2's arithmetic guideline but tracks the exact optimum's loss
+//! constant `β_p` (the arithmetic reconstruction carries a ~5–15% excess
+//! on the constant for `p ≥ 2`; see EXPERIMENTS.md E5).
+//!
+//! For `p = 1`, `γ_1 = 1` and the profile `t(R) = √(2cR)` reproduces
+//! §5.2's arithmetic-by-`c` schedule to first order, so the two guidelines
+//! coincide where the paper is unambiguous.
+
+use crate::bounds::profile_coefficient;
+use crate::error::{ModelError, Result};
+use crate::model::Opportunity;
+use crate::policy::EpisodePolicy;
+use crate::schedule::EpisodeSchedule;
+use crate::schedules::{normalize_sum, short_tail_partition};
+use crate::time::Time;
+
+/// The corrected self-similar guideline as an [`EpisodePolicy`].
+#[derive(Clone, Copy, Debug)]
+pub struct SelfSimilarGuideline {
+    /// Periods shorter than `tail_floor × c` are delegated to the short
+    /// tail partition (default 2.5: the profile hands over once `t` would
+    /// drop to ~2.5c, keeping every period productive).
+    pub tail_floor: f64,
+    /// Safety cap on the number of periods in one episode.
+    pub max_periods: usize,
+}
+
+impl Default for SelfSimilarGuideline {
+    fn default() -> Self {
+        SelfSimilarGuideline {
+            tail_floor: 2.5,
+            max_periods: 1 << 24,
+        }
+    }
+}
+
+impl SelfSimilarGuideline {
+    /// Builds the episode schedule for the residual opportunity.
+    pub fn build(&self, opp: &Opportunity) -> Result<EpisodeSchedule> {
+        let p = opp.interrupts();
+        let c = opp.setup();
+        let l = opp.lifespan();
+        if !l.is_positive() {
+            return Err(ModelError::NegativeLifespan { lifespan: l });
+        }
+        if p == 0 {
+            return EpisodeSchedule::single(l);
+        }
+        let gamma = profile_coefficient(p);
+        let floor = c * self.tail_floor;
+        let mut periods: Vec<Time> = Vec::new();
+        let mut remaining = l;
+        loop {
+            let t = Time::new(gamma * (2.0 * c.get() * remaining.get()).sqrt());
+            if t <= floor || remaining <= floor {
+                // Hand the (productive-sized) residual to the short tail.
+                if remaining.is_positive() {
+                    let tail = short_tail_partition(remaining, c)?;
+                    periods.extend_from_slice(tail.periods());
+                }
+                break;
+            }
+            if t >= remaining || remaining - t <= c {
+                // Absorb the dregs rather than strand a nonproductive
+                // remainder behind this period.
+                periods.push(remaining);
+                break;
+            }
+            periods.push(t);
+            remaining -= t;
+            if periods.len() > self.max_periods {
+                return Err(ModelError::NoConvergence {
+                    what: "self-similar guideline exceeded max_periods",
+                });
+            }
+        }
+        normalize_sum(&mut periods, l);
+        EpisodeSchedule::for_lifespan(periods, l)
+    }
+}
+
+impl EpisodePolicy for SelfSimilarGuideline {
+    fn episode(&self, opp: &Opportunity) -> Result<EpisodeSchedule> {
+        self.build(opp)
+    }
+
+    fn name(&self) -> String {
+        "self-similar(corrected)".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::loss_coefficient;
+    use crate::time::secs;
+
+    fn build(u: f64, p: u32) -> EpisodeSchedule {
+        SelfSimilarGuideline::default()
+            .build(&Opportunity::from_units(u, 1.0, p))
+            .unwrap()
+    }
+
+    #[test]
+    fn partitions_lifespan_and_stays_productive() {
+        for p in 1..=5u32 {
+            for &u in &[20.0, 200.0, 2_000.0, 20_000.0] {
+                let s = build(u, p);
+                assert!(s.total().approx_eq(secs(u), secs(1e-6)), "p={p} U={u}");
+                if u > 4.0 {
+                    assert!(s.is_fully_productive(secs(1.0)), "p={p} U={u}: {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_period_follows_the_profile() {
+        for p in 1..=4u32 {
+            let u = 10_000.0;
+            let s = build(u, p);
+            let want = (2.0 * u).sqrt() / loss_coefficient(p);
+            assert!(
+                (s.period(0).get() - want).abs() < 1.0,
+                "p={p}: t_1 = {} vs γ_p√(2cU) = {want}",
+                s.period(0)
+            );
+        }
+    }
+
+    #[test]
+    fn periods_decrease_along_the_profile() {
+        let s = build(5_000.0, 2);
+        for k in 0..s.len() - 1 {
+            assert!(
+                s.period(k) >= s.period(k + 1) - secs(1e-9),
+                "period {k} grows"
+            );
+        }
+    }
+
+    #[test]
+    fn p1_tracks_the_exact_optimal_schedule() {
+        let u = secs(2_000.0);
+        let c = secs(1.0);
+        let s = build(2_000.0, 1);
+        let reference = crate::schedules::optimal_p1_schedule(u, c).unwrap();
+        // Same leading period to O(c), same period count to a few.
+        assert!((s.period(0) - reference.period(0)).abs() <= c * 1.5);
+        assert!((s.len() as i64 - reference.len() as i64).abs() <= 4);
+    }
+
+    #[test]
+    fn p0_is_single_period() {
+        let s = build(500.0, 0);
+        assert_eq!(s.len(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Table 1: "The consequences of the adversary's options".
+//!
+//! For an `m`-period episode schedule the adversary has `m + 1` apparent
+//! options — let the episode complete, or interrupt some period `k` (at its
+//! last instant, which Observation (a) shows is dominant). The paper's
+//! Table 1 tabulates, for each option: the episode's work output, the
+//! residual lifespan, and the whole opportunity's work production when the
+//! continuation is played optimally (`W^(p−1)`).
+//!
+//! [`table1`] regenerates the table for any schedule and any continuation
+//! oracle; the `table1` bench prints it for the paper's scenarios (E1).
+
+use crate::model::Opportunity;
+use crate::policy::WorkOracle;
+use crate::schedule::EpisodeSchedule;
+use crate::time::{Time, Work};
+
+/// One of the adversary's options against a committed episode schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdversaryOption {
+    /// Let the episode play out without an interrupt.
+    NoInterrupt,
+    /// Interrupt during period `k` (zero-based), at its last instant.
+    Period(usize),
+}
+
+/// One row of Table 1.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    /// Which option this row describes.
+    pub option: AdversaryOption,
+    /// The half-open window `[T_{k−1}, T_k)` in which the interrupt falls
+    /// (`None` for the no-interrupt row).
+    pub window: Option<(Time, Time)>,
+    /// The episode's own work output under this option.
+    pub episode_work: Work,
+    /// The residual lifespan left to the opportunity (at the last instant).
+    pub residual: Time,
+    /// The opportunity's total work production: episode work plus the
+    /// optimal continuation `W^(p−1)[residual]`.
+    pub opportunity_work: Work,
+}
+
+/// Regenerates Table 1 for `schedule` committed at `opp`, scoring
+/// continuations with `oracle` at level `p − 1`.
+///
+/// Row order matches the paper: the no-interrupt row first, then one row
+/// per period `k = 1 … m`.
+pub fn table1(
+    oracle: &dyn WorkOracle,
+    opp: &Opportunity,
+    schedule: &EpisodeSchedule,
+) -> Vec<Table1Row> {
+    let c = opp.setup();
+    let u = opp.lifespan();
+    let level = opp.interrupts().saturating_sub(1);
+    let mut rows = Vec::with_capacity(schedule.len() + 1);
+
+    let full = schedule.work_uninterrupted(c);
+    rows.push(Table1Row {
+        option: AdversaryOption::NoInterrupt,
+        window: None,
+        episode_work: full,
+        residual: (u - schedule.total()).clamp_min_zero(),
+        opportunity_work: full,
+    });
+
+    let mut accrued = Work::ZERO;
+    for (k, start, t) in schedule.iter_windows() {
+        let t_k_end = start + t;
+        let residual = (u - t_k_end).clamp_min_zero();
+        let continuation = oracle.guaranteed_work(level, residual);
+        rows.push(Table1Row {
+            option: AdversaryOption::Period(k),
+            window: Some((start, t_k_end)),
+            episode_work: accrued,
+            residual,
+            opportunity_work: accrued + continuation,
+        });
+        accrued += t.pos_sub(c);
+    }
+    rows
+}
+
+/// The adversary's value of the game against this committed episode: the
+/// minimum "opportunity work production" over all Table 1 rows.
+pub fn adversary_value(rows: &[Table1Row]) -> Work {
+    rows.iter()
+        .map(|r| r.opportunity_work)
+        .min()
+        .unwrap_or(Work::ZERO)
+}
+
+/// Pretty-prints the table in the paper's column layout.
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>12} | {:>22} | {:>14} | {:>12} | {:>18}\n",
+        "Period", "Interruption Time", "Episode Work", "Residual", "Opportunity Work"
+    ));
+    out.push_str(&"-".repeat(92));
+    out.push('\n');
+    for row in rows {
+        let (period, window) = match row.option {
+            AdversaryOption::NoInterrupt => ("No interrupt".to_string(), "N/A".to_string()),
+            AdversaryOption::Period(k) => {
+                let (a, b) = row.window.expect("period rows carry a window");
+                (format!("{}", k + 1), format!("t ∈ [{a:.2}, {b:.2})"))
+            }
+        };
+        out.push_str(&format!(
+            "{:>12} | {:>22} | {:>14.3} | {:>12.3} | {:>18.3}\n",
+            period, window, row.episode_work, row.residual, row.opportunity_work
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ClosedFormOracle;
+    use crate::schedules::optimal_p1::{optimal_p1_schedule, optimal_p1_value};
+    use crate::time::secs;
+
+    #[test]
+    fn table_has_m_plus_one_rows_in_paper_order() {
+        let c = secs(1.0);
+        let oracle = ClosedFormOracle::new(c);
+        let opp = Opportunity::from_units(100.0, 1.0, 1);
+        let s = optimal_p1_schedule(secs(100.0), c).unwrap();
+        let rows = table1(&oracle, &opp, &s);
+        assert_eq!(rows.len(), s.len() + 1);
+        assert_eq!(rows[0].option, AdversaryOption::NoInterrupt);
+        assert_eq!(rows[1].option, AdversaryOption::Period(0));
+    }
+
+    #[test]
+    fn row_semantics_match_paper_formulas() {
+        // Hand-built schedule: [5, 3, 2] with U = 10, c = 1, p = 1.
+        let c = secs(1.0);
+        let oracle = ClosedFormOracle::new(c);
+        let opp = Opportunity::from_units(10.0, 1.0, 1);
+        let s = EpisodeSchedule::from_periods(vec![secs(5.0), secs(3.0), secs(2.0)]).unwrap();
+        let rows = table1(&oracle, &opp, &s);
+
+        // No interrupt: U − mc = 10 − 3 = 7; residual 0.
+        assert_eq!(rows[0].episode_work, secs(7.0));
+        assert_eq!(rows[0].opportunity_work, secs(7.0));
+
+        // Interrupt period 1 (window [0,5)): episode 0, residual 5,
+        // continuation W^0(5) = 4.
+        assert_eq!(rows[1].window, Some((secs(0.0), secs(5.0))));
+        assert_eq!(rows[1].episode_work, secs(0.0));
+        assert_eq!(rows[1].residual, secs(5.0));
+        assert_eq!(rows[1].opportunity_work, secs(4.0));
+
+        // Interrupt period 2: T_1 − c = 4 banked, residual 2, W^0(2) = 1.
+        assert_eq!(rows[2].episode_work, secs(4.0));
+        assert_eq!(rows[2].opportunity_work, secs(5.0));
+
+        // Interrupt period 3 (last): T_2 − 2c = 6, residual 0.
+        assert_eq!(rows[3].episode_work, secs(6.0));
+        assert_eq!(rows[3].residual, secs(0.0));
+        assert_eq!(rows[3].opportunity_work, secs(6.0));
+
+        // Adversary picks the minimum: period-1 interrupt at 4.
+        assert_eq!(adversary_value(&rows), secs(4.0));
+    }
+
+    #[test]
+    fn optimal_p1_schedule_equalizes_all_interrupt_rows() {
+        let c = secs(1.0);
+        let oracle = ClosedFormOracle::new(c);
+        let u = 400.0;
+        let opp = Opportunity::from_units(u, 1.0, 1);
+        let s = optimal_p1_schedule(secs(u), c).unwrap();
+        let rows = table1(&oracle, &opp, &s);
+        let w = optimal_p1_value(secs(u), c);
+        for row in &rows[1..] {
+            assert!(
+                row.opportunity_work.approx_eq(w, secs(1e-6)),
+                "row {:?} at {}",
+                row.option,
+                row.opportunity_work
+            );
+        }
+        assert!(rows[0].opportunity_work >= w);
+        assert!(adversary_value(&rows).approx_eq(w, secs(1e-6)));
+    }
+
+    #[test]
+    fn render_includes_all_rows() {
+        let c = secs(1.0);
+        let oracle = ClosedFormOracle::new(c);
+        let opp = Opportunity::from_units(10.0, 1.0, 1);
+        let s = EpisodeSchedule::from_periods(vec![secs(6.0), secs(4.0)]).unwrap();
+        let text = render_table1(&table1(&oracle, &opp, &s));
+        assert!(text.contains("No interrupt"));
+        assert!(text.contains("Opportunity Work"));
+        // 2 period rows + header + separator + no-interrupt row.
+        assert_eq!(text.lines().count(), 5);
+    }
+}

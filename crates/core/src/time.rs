@@ -1,0 +1,311 @@
+//! Time arithmetic for the cycle-stealing model.
+//!
+//! The paper measures everything — lifespans, period lengths, setup charges
+//! and accomplished work — in a single unit of (virtual) time, and uses
+//! *positive subtraction* `x ⊖ y = max(0, x − y)` to express that a period
+//! shorter than the setup charge banks no work. [`Time`] is a thin `f64`
+//! newtype that provides exactly that algebra while keeping NaNs out of the
+//! model by construction, which in turn lets it implement a total order.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A signed span of virtual time (also used for amounts of work, which the
+/// model measures in time units).
+///
+/// Invariant: the payload is always finite (no NaN, no ±∞); every
+/// constructor and arithmetic operator enforces this with a debug assertion,
+/// and [`Time::new`] enforces it unconditionally. Because of the invariant,
+/// `Time` is [`Eq`] and [`Ord`].
+///
+/// Negative values are permitted — they arise naturally in intermediate
+/// expressions such as `U - T_k` near the end of a lifespan — and the
+/// model-level operation that clamps at zero is [`Time::pos_sub`], the
+/// paper's `⊖`.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Time(f64);
+
+/// Work accomplished, measured in time units (the paper's `W`).
+pub type Work = Time;
+
+impl Time {
+    /// The zero span.
+    pub const ZERO: Time = Time(0.0);
+    /// One time unit.
+    pub const ONE: Time = Time(1.0);
+
+    /// Wraps a raw `f64`, panicking if it is NaN or infinite.
+    #[inline]
+    #[track_caller]
+    pub fn new(seconds: f64) -> Time {
+        assert!(seconds.is_finite(), "Time must be finite, got {seconds}");
+        Time(seconds)
+    }
+
+    /// The raw value in time units.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Positive subtraction, the paper's `x ⊖ y := max(0, x − y)`.
+    ///
+    /// A period of length `t` banks `t ⊖ c` units of work, so periods no
+    /// longer than the setup charge are *nonproductive*.
+    #[inline]
+    pub fn pos_sub(self, rhs: Time) -> Time {
+        Time((self.0 - rhs.0).max(0.0))
+    }
+
+    /// Clamps a (possibly negative) span at zero.
+    #[inline]
+    pub fn clamp_min_zero(self) -> Time {
+        Time(self.0.max(0.0))
+    }
+
+    /// `true` iff the span is exactly zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// `true` iff strictly positive.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// `true` iff strictly negative.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0.0
+    }
+
+    /// The smaller of two spans.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two spans.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Time {
+        Time(self.0.abs())
+    }
+
+    /// `true` iff `self` and `other` differ by at most `tol` (inclusive).
+    ///
+    /// The model is continuous; schedule constructors and evaluators use an
+    /// explicit tolerance rather than bitwise `f64` equality.
+    #[inline]
+    pub fn approx_eq(self, other: Time, tol: Time) -> bool {
+        (self.0 - other.0).abs() <= tol.0
+    }
+
+    /// Square root of a non-negative span (used by the paper's closed-form
+    /// period lengths, e.g. `√(cU/p)`). Panics on negative input.
+    #[inline]
+    #[track_caller]
+    pub fn sqrt(self) -> Time {
+        assert!(self.0 >= 0.0, "sqrt of negative Time {self:?}");
+        Time(self.0.sqrt())
+    }
+
+    /// Dimensionless ratio `self / rhs`. Panics if `rhs` is zero.
+    #[inline]
+    #[track_caller]
+    pub fn ratio(self, rhs: Time) -> f64 {
+        assert!(rhs.0 != 0.0, "division of Time by zero");
+        self.0 / rhs.0
+    }
+}
+
+impl Eq for Time {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Payloads are finite by invariant, so total_cmp agrees with the
+        // IEEE partial order and never has to distinguish NaN payloads.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Time({})", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Delegate to f64's Display, which honours width, fill, alignment
+        // and precision flags.
+        fmt::Display::fmt(&self.0, f)
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        let out = self.0 + rhs.0;
+        debug_assert!(out.is_finite());
+        Time(out)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        let out = self.0 - rhs.0;
+        debug_assert!(out.is_finite());
+        Time(out)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    #[inline]
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: f64) -> Time {
+        let out = self.0 * rhs;
+        debug_assert!(out.is_finite());
+        Time(out)
+    }
+}
+
+impl Mul<Time> for f64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Time) -> Time {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: f64) -> Time {
+        let out = self.0 / rhs;
+        debug_assert!(out.is_finite());
+        Time(out)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl From<f64> for Time {
+    #[track_caller]
+    fn from(v: f64) -> Time {
+        Time::new(v)
+    }
+}
+
+/// Convenience constructor: `secs(3.5)` reads better than `Time::new(3.5)`
+/// in schedule-building code.
+#[inline]
+#[track_caller]
+pub fn secs(v: f64) -> Time {
+    Time::new(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_sub_clamps_at_zero() {
+        assert_eq!(secs(5.0).pos_sub(secs(2.0)), secs(3.0));
+        assert_eq!(secs(2.0).pos_sub(secs(5.0)), Time::ZERO);
+        assert_eq!(secs(2.0).pos_sub(secs(2.0)), Time::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total_on_finite_values() {
+        let mut v = vec![secs(3.0), secs(-1.0), secs(0.0), secs(2.5)];
+        v.sort();
+        assert_eq!(v, vec![secs(-1.0), secs(0.0), secs(2.5), secs(3.0)]);
+        assert_eq!(secs(1.0).max(secs(2.0)), secs(2.0));
+        assert_eq!(secs(1.0).min(secs(2.0)), secs(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinity_rejected() {
+        let _ = Time::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn arithmetic_and_sum() {
+        let total: Time = [secs(1.0), secs(2.0), secs(3.5)].into_iter().sum();
+        assert_eq!(total, secs(6.5));
+        assert_eq!(secs(4.0) * 0.5, secs(2.0));
+        assert_eq!(secs(4.0) / 2.0, secs(2.0));
+        assert_eq!(-secs(4.0), secs(-4.0));
+        let mut t = secs(1.0);
+        t += secs(2.0);
+        t -= secs(0.5);
+        assert_eq!(t, secs(2.5));
+    }
+
+    #[test]
+    fn approx_eq_uses_inclusive_tolerance() {
+        assert!(secs(1.0).approx_eq(secs(1.5), secs(0.5)));
+        assert!(!secs(1.0).approx_eq(secs(1.51), secs(0.5)));
+    }
+
+    #[test]
+    fn sqrt_and_ratio() {
+        assert_eq!(secs(9.0).sqrt(), secs(3.0));
+        assert_eq!(secs(9.0).ratio(secs(3.0)), 3.0);
+    }
+}

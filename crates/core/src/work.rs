@@ -1,0 +1,334 @@
+//! Work accounting: what a schedule banks under a given interrupt pattern.
+//!
+//! This module implements §2.2's bookkeeping exactly: an interrupt during
+//! period `k` (at time `t ∈ [τ_k, T_k)`) ends the episode with
+//! `W(S) = Σ_{i<k} (t_i ⊖ c)` banked and `t` units of usable lifespan
+//! consumed. The paper's adversary always interrupts *at the last instant*
+//! of a period (Observation (a)); [`InterruptSpec::LastInstantOf`] encodes
+//! that limiting choice (the window is half-open, so the supremum is a
+//! limit; following the paper we account it as consuming the full period).
+
+use crate::error::{ModelError, Result};
+use crate::schedule::EpisodeSchedule;
+use crate::time::{Time, Work};
+
+/// Where (if anywhere) the adversary interrupts an episode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterruptSpec {
+    /// The episode runs to completion.
+    None,
+    /// Interrupt during period `k` (zero-based) at `offset` from the
+    /// period's start, with `0 ≤ offset < t_{k+1}`.
+    During {
+        /// Zero-based period index.
+        period: usize,
+        /// Offset from the period's start.
+        offset: Time,
+    },
+    /// Interrupt at the last instant of period `k` (zero-based) — the
+    /// adversary's dominant choice (Observation (a)): the full period's
+    /// lifespan is consumed and its work is lost.
+    LastInstantOf(usize),
+}
+
+/// The outcome of playing one episode against a fixed interrupt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpisodeOutcome {
+    /// Work banked by the completed periods, `Σ_{i<k} (t_i ⊖ c)`.
+    pub work: Work,
+    /// Usable lifespan consumed by the episode (equals the interrupt time,
+    /// or the full episode length if uninterrupted).
+    pub consumed: Time,
+    /// Number of periods that completed and banked their work.
+    pub completed_periods: usize,
+    /// `true` iff the episode was interrupted.
+    pub interrupted: bool,
+}
+
+/// Plays an episode of `schedule` under setup charge `setup` against the
+/// interrupt `spec`, returning the §2.2 outcome.
+pub fn episode_outcome(
+    schedule: &EpisodeSchedule,
+    setup: Time,
+    spec: InterruptSpec,
+) -> Result<EpisodeOutcome> {
+    let m = schedule.len();
+    match spec {
+        InterruptSpec::None => Ok(EpisodeOutcome {
+            work: schedule.work_uninterrupted(setup),
+            consumed: schedule.total(),
+            completed_periods: m,
+            interrupted: false,
+        }),
+        InterruptSpec::LastInstantOf(k) => {
+            if k >= m {
+                return Err(ModelError::PeriodOutOfRange { index: k, len: m });
+            }
+            let work = (0..k).map(|i| schedule.period_work(i, setup)).sum();
+            Ok(EpisodeOutcome {
+                work,
+                consumed: schedule.boundary(k),
+                completed_periods: k,
+                interrupted: true,
+            })
+        }
+        InterruptSpec::During { period, offset } => {
+            if period >= m {
+                return Err(ModelError::PeriodOutOfRange { index: period, len: m });
+            }
+            let len = schedule.period(period);
+            if offset.is_negative() || offset >= len {
+                return Err(ModelError::OffsetOutOfRange { offset, length: len });
+            }
+            let work = (0..period).map(|i| schedule.period_work(i, setup)).sum();
+            Ok(EpisodeOutcome {
+                work,
+                consumed: schedule.start_of(period) + offset,
+                completed_periods: period,
+                interrupted: true,
+            })
+        }
+    }
+}
+
+/// A non-adaptive run (§2.2): a single committed schedule whose tail is
+/// replayed obliviously after each interrupt, **except** that after the
+/// `p`-th interrupt the remainder of the opportunity runs as one long
+/// period.
+#[derive(Clone, Debug)]
+pub struct NonAdaptiveRun {
+    schedule: EpisodeSchedule,
+    setup: Time,
+    lifespan: Time,
+    budget: u32,
+}
+
+impl NonAdaptiveRun {
+    /// Builds the run; the schedule must cover the opportunity's lifespan.
+    pub fn new(
+        schedule: EpisodeSchedule,
+        setup: Time,
+        lifespan: Time,
+        budget: u32,
+    ) -> Result<NonAdaptiveRun> {
+        let total = schedule.total();
+        let tol = Time::new(lifespan.get().abs().max(1.0) * crate::schedule::SUM_TOLERANCE);
+        if !total.approx_eq(lifespan, tol) {
+            return Err(ModelError::LifespanMismatch { total, lifespan });
+        }
+        Ok(NonAdaptiveRun {
+            schedule,
+            setup,
+            lifespan,
+            budget,
+        })
+    }
+
+    /// The committed schedule.
+    pub fn schedule(&self) -> &EpisodeSchedule {
+        &self.schedule
+    }
+
+    /// The setup charge `c`.
+    pub fn setup(&self) -> Time {
+        self.setup
+    }
+
+    /// The opportunity's usable lifespan `U`.
+    pub fn lifespan(&self) -> Time {
+        self.lifespan
+    }
+
+    /// The adversary's interrupt budget `p`.
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// The work banked when the adversary kills exactly the (zero-based)
+    /// periods in `killed`, each at its last instant.
+    ///
+    /// Implements the paper's formula
+    /// `W(S) = Σ_{k∉I} (t_k ⊖ c) + ((U − T_{i_p}) ⊖ c)`, where the final
+    /// term — the consolidated long period — replaces the scheduled tail
+    /// *only when the full budget `p` is spent* (`killed.len() == p`).
+    ///
+    /// `killed` must be strictly increasing and within the schedule;
+    /// at most `p` interrupts may be specified.
+    pub fn work_given_killed(&self, killed: &[usize]) -> Result<Work> {
+        let m = self.schedule.len();
+        if killed.len() > self.budget as usize {
+            return Err(ModelError::BudgetExceeded {
+                used: killed.len(),
+                budget: self.budget,
+            });
+        }
+        for w in killed.windows(2) {
+            if w[0] >= w[1] {
+                return Err(ModelError::PeriodOutOfRange { index: w[1], len: m });
+            }
+        }
+        if let Some(&last) = killed.last() {
+            if last >= m {
+                return Err(ModelError::PeriodOutOfRange { index: last, len: m });
+            }
+        }
+
+        let consolidates = killed.len() == self.budget as usize && self.budget > 0;
+        let last_killed = killed.last().copied();
+
+        let mut work = Work::ZERO;
+        let mut ki = 0usize;
+        for (k, _start, t) in self.schedule.iter_windows() {
+            let is_killed = ki < killed.len() && killed[ki] == k;
+            if is_killed {
+                ki += 1;
+                continue;
+            }
+            if consolidates && k > last_killed.unwrap() {
+                // The scheduled tail is replaced by one long period below.
+                continue;
+            }
+            work += t.pos_sub(self.setup);
+        }
+        if consolidates {
+            let t_last = self.schedule.boundary(last_killed.unwrap());
+            work += (self.lifespan - t_last).pos_sub(self.setup);
+        }
+        Ok(work)
+    }
+
+    /// Work banked with no interrupts at all.
+    pub fn work_uninterrupted(&self) -> Work {
+        self.schedule.work_uninterrupted(self.setup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::secs;
+
+    fn sched(v: &[f64]) -> EpisodeSchedule {
+        EpisodeSchedule::from_periods(v.iter().map(|&x| secs(x)).collect()).unwrap()
+    }
+
+    #[test]
+    fn uninterrupted_episode_banks_everything() {
+        let s = sched(&[3.0, 4.0, 2.0]);
+        let out = episode_outcome(&s, secs(1.0), InterruptSpec::None).unwrap();
+        assert_eq!(out.work, secs(2.0 + 3.0 + 1.0));
+        assert_eq!(out.consumed, secs(9.0));
+        assert_eq!(out.completed_periods, 3);
+        assert!(!out.interrupted);
+    }
+
+    #[test]
+    fn last_instant_interrupt_kills_full_period() {
+        let s = sched(&[3.0, 4.0, 2.0]);
+        let out = episode_outcome(&s, secs(1.0), InterruptSpec::LastInstantOf(1)).unwrap();
+        assert_eq!(out.work, secs(2.0)); // only period 0 banked
+        assert_eq!(out.consumed, secs(7.0)); // T_2 = 3 + 4
+        assert_eq!(out.completed_periods, 1);
+        assert!(out.interrupted);
+    }
+
+    #[test]
+    fn mid_period_interrupt_consumes_partial_lifespan() {
+        let s = sched(&[3.0, 4.0, 2.0]);
+        let out = episode_outcome(
+            &s,
+            secs(1.0),
+            InterruptSpec::During {
+                period: 1,
+                offset: secs(1.5),
+            },
+        )
+        .unwrap();
+        assert_eq!(out.work, secs(2.0));
+        assert_eq!(out.consumed, secs(4.5));
+    }
+
+    #[test]
+    fn interrupt_validation() {
+        let s = sched(&[3.0, 4.0]);
+        assert!(matches!(
+            episode_outcome(&s, secs(1.0), InterruptSpec::LastInstantOf(2)),
+            Err(ModelError::PeriodOutOfRange { .. })
+        ));
+        assert!(matches!(
+            episode_outcome(
+                &s,
+                secs(1.0),
+                InterruptSpec::During {
+                    period: 0,
+                    offset: secs(3.0) // offset must be < period length
+                }
+            ),
+            Err(ModelError::OffsetOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn nonadaptive_no_interrupts() {
+        let s = sched(&[3.0, 3.0, 3.0, 3.0]);
+        let run = NonAdaptiveRun::new(s, secs(1.0), secs(12.0), 2).unwrap();
+        assert_eq!(run.work_given_killed(&[]).unwrap(), secs(8.0));
+    }
+
+    #[test]
+    fn nonadaptive_partial_budget_removes_killed_periods_only() {
+        // One interrupt out of a budget of two: no consolidation, the tail
+        // plays out as scheduled.
+        let s = sched(&[3.0, 3.0, 3.0, 3.0]);
+        let run = NonAdaptiveRun::new(s, secs(1.0), secs(12.0), 2).unwrap();
+        assert_eq!(run.work_given_killed(&[1]).unwrap(), secs(6.0));
+    }
+
+    #[test]
+    fn nonadaptive_full_budget_consolidates_tail() {
+        // Budget 1, killed period 1 (zero-based): periods 2,3 are replaced
+        // by one long period of length U − T_2 = 12 − 6 = 6, banking 5.
+        let s = sched(&[3.0, 3.0, 3.0, 3.0]);
+        let run = NonAdaptiveRun::new(s, secs(1.0), secs(12.0), 1).unwrap();
+        assert_eq!(run.work_given_killed(&[1]).unwrap(), secs(2.0 + 5.0));
+        // Killing the very last period leaves an empty consolidated tail.
+        assert_eq!(run.work_given_killed(&[3]).unwrap(), secs(6.0));
+    }
+
+    #[test]
+    fn nonadaptive_consolidation_matches_paper_formula() {
+        // W(S) = Σ_{k∉I}(t_k ⊖ c) + ((U − T_{i_p}) ⊖ c), with the sum over
+        // periods before the last interrupt.
+        let s = sched(&[5.0, 4.0, 3.0, 2.0, 1.5]);
+        let c = secs(1.0);
+        let u = secs(15.5);
+        let run = NonAdaptiveRun::new(s.clone(), c, u, 2).unwrap();
+        // Kill periods 0 and 2 (zero-based). Survivor before last kill: t_1.
+        // Consolidated tail: U − T_3 = 15.5 − 12 = 3.5 → banks 2.5.
+        let expect = secs(3.0) + secs(2.5);
+        assert_eq!(run.work_given_killed(&[0, 2]).unwrap(), expect);
+    }
+
+    #[test]
+    fn nonadaptive_budget_and_ordering_validated() {
+        let s = sched(&[3.0, 3.0, 3.0, 3.0]);
+        let run = NonAdaptiveRun::new(s, secs(1.0), secs(12.0), 1).unwrap();
+        assert!(matches!(
+            run.work_given_killed(&[0, 1]),
+            Err(ModelError::BudgetExceeded { .. })
+        ));
+        let s2 = sched(&[3.0, 3.0, 3.0, 3.0]);
+        let run2 = NonAdaptiveRun::new(s2, secs(1.0), secs(12.0), 3).unwrap();
+        assert!(run2.work_given_killed(&[2, 1]).is_err());
+        assert!(run2.work_given_killed(&[9]).is_err());
+    }
+
+    #[test]
+    fn nonadaptive_lifespan_must_match_schedule() {
+        let s = sched(&[3.0, 3.0]);
+        assert!(matches!(
+            NonAdaptiveRun::new(s, secs(1.0), secs(7.0), 1),
+            Err(ModelError::LifespanMismatch { .. })
+        ));
+    }
+}

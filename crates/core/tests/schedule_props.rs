@@ -1,0 +1,166 @@
+//! Property tests for the core model, beyond the fixed-value unit tests:
+//! random parameters, random schedules, and — crucially — invariance under
+//! rescaling the time unit (everything in the model scales with `c`).
+
+use cyclesteal_core::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The whole model is scale-free: multiplying `U` and `c` by the same
+    /// factor multiplies every closed-form value by that factor.
+    #[test]
+    fn closed_forms_are_scale_invariant(
+        u in 3.0f64..5_000.0,
+        scale in 0.01f64..100.0,
+        p in 0u32..6,
+    ) {
+        let w1a = w1_exact(secs(u), secs(1.0));
+        let w1b = w1_exact(secs(u * scale), secs(scale));
+        prop_assert!((w1b.get() - w1a.get() * scale).abs() <= 1e-6 * scale.max(1.0),
+            "W^1 not scale-free: {w1a} vs {w1b}/{scale}");
+
+        let oa = Opportunity::from_units(u, 1.0, p);
+        let ob = Opportunity::from_units(u * scale, scale, p);
+        let na_a = nonadaptive_guarantee(&oa);
+        let na_b = nonadaptive_guarantee(&ob);
+        prop_assert!((na_b.get() - na_a.get() * scale).abs() <= 1e-6 * scale.max(1.0));
+
+        let ca = corrected_guarantee(&oa, 0.0, 0.0);
+        let cb = corrected_guarantee(&ob, 0.0, 0.0);
+        // The U^{1/4} slack term is off with slack 0, so this is exact.
+        prop_assert!((cb.get() - ca.get() * scale).abs() <= 1e-6 * scale.max(1.0));
+    }
+
+    /// Schedule constructors are scale-equivariant: the schedule for
+    /// `(kU, kc)` is the `(U, c)` schedule with every period scaled by `k`.
+    #[test]
+    fn schedules_are_scale_equivariant(
+        u in 10.0f64..2_000.0,
+        scale in 0.1f64..10.0,
+        p in 1u32..4,
+    ) {
+        let a = AdaptiveGuideline::default()
+            .episode(&Opportunity::from_units(u, 1.0, p)).unwrap();
+        let b = AdaptiveGuideline::default()
+            .episode(&Opportunity::from_units(u * scale, scale, p)).unwrap();
+        prop_assert_eq!(a.len(), b.len(), "period counts differ under scaling");
+        for k in 0..a.len() {
+            prop_assert!(
+                (b.period(k).get() - a.period(k).get() * scale).abs()
+                    <= 1e-6 * scale.max(1.0),
+                "period {k} not scaled"
+            );
+        }
+    }
+
+    /// §5.2's schedule really is optimal among random competitor schedules
+    /// of the same lifespan (p = 1, adversary plays its best option).
+    #[test]
+    fn no_random_schedule_beats_s_opt1(
+        u in 5.0f64..500.0,
+        cuts in prop::collection::vec(0.001f64..0.999, 0..12),
+    ) {
+        let c = secs(1.0);
+        // Random schedule from random cut points of [0, U].
+        let mut points: Vec<f64> = cuts.iter().map(|x| x * u).collect();
+        points.sort_by(|a, b| a.total_cmp(b));
+        points.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        let mut periods = Vec::new();
+        let mut prev = 0.0;
+        for &x in &points {
+            if x - prev > 1e-9 {
+                periods.push(secs(x - prev));
+                prev = x;
+            }
+        }
+        if u - prev > 1e-9 {
+            periods.push(secs(u - prev));
+        }
+        let sched = EpisodeSchedule::from_periods(periods).unwrap();
+
+        // Adversary's best response value against the random schedule.
+        let mut worst = sched.work_uninterrupted(c);
+        let mut accrued = Work::ZERO;
+        for (_k, start, t) in sched.iter_windows() {
+            let residual = (secs(u) - (start + t)).clamp_min_zero();
+            worst = worst.min(accrued + residual.pos_sub(c));
+            accrued += t.pos_sub(c);
+        }
+        prop_assert!(
+            worst <= w1_exact(secs(u), c) + secs(1e-9),
+            "random schedule guarantees {worst}, beating W^1 = {}",
+            w1_exact(secs(u), c)
+        );
+    }
+
+    /// Tail-consolidation dominance: for the committed guideline schedule,
+    /// the §2.2 exception (one long period after the p-th interrupt) never
+    /// hurts the owner, whatever kill set the adversary picks.
+    #[test]
+    fn consolidation_never_hurts(
+        u in 50.0f64..2_000.0,
+        p in 1u32..5,
+        picks in prop::collection::btree_set(0usize..500, 1..8),
+    ) {
+        let opp = Opportunity::from_units(u, 1.0, p);
+        let run = NonAdaptiveGuideline::run(&opp).unwrap();
+        let m = run.schedule().len();
+        // Kill set of exactly p in-range periods (when enough picks fit).
+        let killed: Vec<usize> = picks.into_iter()
+            .filter(|&k| k < m)
+            .take(p as usize)
+            .collect();
+        if killed.len() < p as usize { return Ok(()); }
+        let with = run.work_given_killed(&killed).unwrap();
+        // "Without consolidation": killed contributions simply removed.
+        let without: Work = (0..m)
+            .filter(|k| !killed.contains(k))
+            .map(|k| run.schedule().period_work(k, secs(1.0)))
+            .sum();
+        prop_assert!(
+            with + secs(1e-9) >= without,
+            "consolidation hurt: {with} < {without} (killed {killed:?})"
+        );
+    }
+
+    /// Table 1's rows are internally consistent for arbitrary schedules:
+    /// episode work is nondecreasing in the interrupted period index, and
+    /// the no-interrupt row equals the last row's episode work plus the
+    /// final period's contribution.
+    #[test]
+    fn table1_rows_are_consistent(
+        periods in prop::collection::vec(0.1f64..20.0, 1..25),
+        p in 1u32..4,
+    ) {
+        let c = secs(1.0);
+        let u: f64 = periods.iter().sum();
+        let sched = EpisodeSchedule::from_periods(
+            periods.iter().map(|&x| secs(x)).collect()).unwrap();
+        let opp = Opportunity::from_units(u, 1.0, p);
+        let oracle = ClosedFormOracle::new(c);
+        let rows = table1(&oracle, &opp, &sched);
+        prop_assert_eq!(rows.len(), sched.len() + 1);
+        for w in rows[1..].windows(2) {
+            prop_assert!(w[0].episode_work <= w[1].episode_work + secs(1e-9));
+            prop_assert!(w[0].residual >= w[1].residual - secs(1e-9));
+        }
+        let last = rows.last().unwrap();
+        let expect_full = last.episode_work
+            + sched.period_work(sched.len() - 1, c);
+        prop_assert!(rows[0].episode_work.approx_eq(expect_full, secs(1e-6)));
+    }
+
+    /// The equalizer's value is monotone in the lifespan (it inherits
+    /// Prop 4.1(a) through the construction).
+    #[test]
+    fn equalizer_monotone_in_lifespan(u in 5.0f64..400.0, du in 0.5f64..50.0) {
+        let oracle = ClosedFormOracle::new(secs(1.0));
+        let (_s1, v1) = equalized_schedule(
+            &oracle, &Opportunity::from_units(u, 1.0, 1)).unwrap();
+        let (_s2, v2) = equalized_schedule(
+            &oracle, &Opportunity::from_units(u + du, 1.0, 1)).unwrap();
+        prop_assert!(v2 + secs(1e-4) >= v1, "W^1({}) = {v2} < W^1({u}) = {v1}", u + du);
+    }
+}

@@ -1,0 +1,91 @@
+//! The integer tick grid the exact solver works on.
+//!
+//! The game of §4 is continuous in time; the solver restricts schedules and
+//! interrupts to an integer grid of `Q` ticks per setup charge `c`. On the
+//! grid the minimax value is computed **exactly** (integer arithmetic, no
+//! rounding); against the continuous game the restriction costs at most a
+//! tick per period boundary, and since `W^(p)` is 1-Lipschitz the induced
+//! error is `O(tick)` per level — the `p = 1` closed form lets the tests
+//! measure it directly.
+
+use cyclesteal_core::time::Time;
+
+/// A uniform time grid with `ticks_per_setup` ticks per setup charge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grid {
+    setup: Time,
+    ticks_per_setup: u32,
+}
+
+impl Grid {
+    /// Creates a grid; `ticks_per_setup` must be ≥ 1 and the setup charge
+    /// positive.
+    pub fn new(setup: Time, ticks_per_setup: u32) -> Grid {
+        assert!(setup.is_positive(), "setup charge must be positive");
+        assert!(ticks_per_setup >= 1, "need at least one tick per setup");
+        Grid {
+            setup,
+            ticks_per_setup,
+        }
+    }
+
+    /// The setup charge `c`.
+    #[inline]
+    pub fn setup(&self) -> Time {
+        self.setup
+    }
+
+    /// `Q`: the setup charge in ticks.
+    #[inline]
+    pub fn q(&self) -> i64 {
+        self.ticks_per_setup as i64
+    }
+
+    /// The duration of one tick, `c / Q`.
+    #[inline]
+    pub fn tick(&self) -> Time {
+        self.setup / self.ticks_per_setup as f64
+    }
+
+    /// Nearest-tick quantization of a span.
+    #[inline]
+    pub fn to_ticks(&self, t: Time) -> i64 {
+        (t.get() / self.tick().get()).round() as i64
+    }
+
+    /// The span of `ticks` grid ticks.
+    #[inline]
+    pub fn to_time(&self, ticks: i64) -> Time {
+        self.tick() * ticks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::time::secs;
+
+    #[test]
+    fn round_trips_on_grid_points() {
+        let g = Grid::new(secs(2.0), 8);
+        assert_eq!(g.q(), 8);
+        assert_eq!(g.tick(), secs(0.25));
+        for ticks in [0i64, 1, 7, 8, 100, 12345] {
+            assert_eq!(g.to_ticks(g.to_time(ticks)), ticks);
+        }
+    }
+
+    #[test]
+    fn quantization_rounds_to_nearest() {
+        let g = Grid::new(secs(1.0), 4); // tick = 0.25
+        assert_eq!(g.to_ticks(secs(0.37)), 1);
+        assert_eq!(g.to_ticks(secs(0.38)), 2);
+        assert_eq!(g.to_ticks(secs(1.0)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tick")]
+    fn zero_resolution_rejected() {
+        let _ = Grid::new(secs(1.0), 0);
+    }
+}

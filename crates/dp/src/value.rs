@@ -1,0 +1,528 @@
+//! The exact value table `W^(p)[L]` and the optimal policy it induces.
+//!
+//! ## The sequential formulation
+//!
+//! Within an episode no information reaches the owner, so committing an
+//! episode schedule up front is equivalent to choosing period lengths one
+//! at a time. The guaranteed-output game therefore satisfies
+//!
+//! ```text
+//! W^(p)(L) = max_{0 < t ≤ L} min( W^(p−1)(L − t),          // interrupted
+//!                                 (t ⊖ c) + W^(p)(L − t) ) // completed
+//! W^(0)(L) = L ⊖ c
+//! ```
+//!
+//! — the adversary interrupts the period at its last instant (any earlier
+//! concedes more residual lifespan, and `W` is nondecreasing), or lets it
+//! complete. The recursion is well-founded in `L` and is solved bottom-up
+//! on the integer tick grid in exact `i64` arithmetic.
+//!
+//! ## The inner maximization
+//!
+//! On `t ∈ [Q+1, L]` the interrupted branch `A(t) = W^(p−1)(L−t)` is
+//! nonincreasing and the completed branch `B(t) = (t−Q) + W^(p)(L−t)` is
+//! nondecreasing (both because `W` is nondecreasing and 1-Lipschitz), so
+//! `max_t min(A,B)` sits at the crossing, found by bisection in
+//! `O(log L)`. Nonproductive lengths `t ≤ Q` are dominated by the 1-tick
+//! "wait" candidate `W^(p)(L−1)`, which is also what makes each row
+//! monotone; a linear-scan fallback over the full range is kept for the
+//! correctness tests and the E-series ablation (`SolveOptions::bisection`).
+
+use crate::grid::Grid;
+use cyclesteal_core::error::{ModelError, Result};
+use cyclesteal_core::model::Opportunity;
+use cyclesteal_core::policy::{EpisodePolicy, WorkOracle};
+use cyclesteal_core::schedule::EpisodeSchedule;
+use cyclesteal_core::time::{Time, Work};
+use std::sync::Arc;
+
+/// Options for [`ValueTable::solve`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolveOptions {
+    /// Keep the argmax (first-period choice) per state, enabling
+    /// [`ValueTable::episode`] and [`OptimalPolicy`]. Costs 4 bytes/state.
+    pub keep_policy: bool,
+    /// Use the monotone-crossing bisection for the inner max (`true`,
+    /// default) or the `O(L)` linear scan (ablation/reference).
+    pub bisection: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            keep_policy: true,
+            bisection: true,
+        }
+    }
+}
+
+/// The exact grid game value `W^(p)[L]` for all `p ≤ p_max` and all grid
+/// lifespans `L ≤ L_max`, plus (optionally) the optimal first-period
+/// choice per state.
+#[derive(Clone, Debug)]
+pub struct ValueTable {
+    grid: Grid,
+    max_ticks: i64,
+    max_interrupts: u32,
+    /// `levels[p][l]` = `W^(p)` at lifespan `l` ticks, in work ticks.
+    levels: Vec<Vec<i64>>,
+    /// `argmax[p][l]` = optimal first-period length in ticks (0 ⇔ l = 0).
+    argmax: Option<Vec<Vec<u32>>>,
+}
+
+impl ValueTable {
+    /// Solves the game bottom-up for `interrupt` levels `0..=max_interrupts`
+    /// and lifespans `0..=max_lifespan` at `ticks_per_setup` resolution.
+    pub fn solve(
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+        opts: SolveOptions,
+    ) -> ValueTable {
+        let grid = Grid::new(setup, ticks_per_setup);
+        let n = grid.to_ticks(max_lifespan).max(0);
+        let q = grid.q();
+        let states = (n + 1) as usize;
+
+        let mut levels: Vec<Vec<i64>> = Vec::with_capacity(max_interrupts as usize + 1);
+        let mut argmax: Option<Vec<Vec<u32>>> = opts.keep_policy.then(Vec::new);
+
+        // Level 0: W^(0)(l) = l ⊖ Q; single period.
+        let w0: Vec<i64> = (0..=n).map(|l| (l - q).max(0)).collect();
+        if let Some(am) = argmax.as_mut() {
+            am.push((0..=n).map(|l| l as u32).collect());
+        }
+        levels.push(w0);
+
+        for _p in 1..=max_interrupts {
+            let prev = levels.last().expect("level p−1 present");
+            let mut cur = vec![0i64; states];
+            let mut arg = opts.keep_policy.then(|| vec![0u32; states]);
+
+            for l in 1..=n {
+                let lu = l as usize;
+                // Wait candidate: a 1-tick (nonproductive) period. Any
+                // t ≤ Q is dominated by it (see module docs).
+                let mut best = cur[lu - 1];
+                let mut best_t: i64 = 1;
+
+                if l > q {
+                    let lo = q + 1;
+                    let hi = l;
+                    let a = |t: i64| prev[(l - t) as usize];
+                    let b = |t: i64| (t - q) + cur[(l - t) as usize];
+                    let (cand_t, cand_v) = if opts.bisection {
+                        // Smallest t with B(t) ≥ A(t); B−A is nondecreasing.
+                        if b(hi) < a(hi) {
+                            (hi, b(hi))
+                        } else {
+                            let (mut lo_s, mut hi_s) = (lo, hi);
+                            while lo_s < hi_s {
+                                let mid = lo_s + (hi_s - lo_s) / 2;
+                                if b(mid) >= a(mid) {
+                                    hi_s = mid;
+                                } else {
+                                    lo_s = mid + 1;
+                                }
+                            }
+                            let t_star = lo_s;
+                            let v_star = a(t_star).min(b(t_star));
+                            if t_star > lo {
+                                let v_left = a(t_star - 1).min(b(t_star - 1));
+                                if v_left > v_star {
+                                    (t_star - 1, v_left)
+                                } else {
+                                    (t_star, v_star)
+                                }
+                            } else {
+                                (t_star, v_star)
+                            }
+                        }
+                    } else {
+                        let mut bt = lo;
+                        let mut bv = a(lo).min(b(lo));
+                        for t in lo + 1..=hi {
+                            let v = a(t).min(b(t));
+                            if v > bv {
+                                bv = v;
+                                bt = t;
+                            }
+                        }
+                        (bt, bv)
+                    };
+                    // Prefer a real period over waiting on ties.
+                    if cand_v >= best {
+                        best = cand_v;
+                        best_t = cand_t;
+                    }
+                }
+
+                // A zero-value state might as well burn the lifespan in one
+                // period; keeps reconstructed schedules small.
+                if best == 0 {
+                    best_t = l;
+                }
+                cur[lu] = best;
+                if let Some(arg) = arg.as_mut() {
+                    arg[lu] = best_t as u32;
+                }
+            }
+
+            levels.push(cur);
+            if let (Some(am), Some(arg)) = (argmax.as_mut(), arg) {
+                am.push(arg);
+            }
+        }
+
+        ValueTable {
+            grid,
+            max_ticks: n,
+            max_interrupts,
+            levels,
+            argmax,
+        }
+    }
+
+    /// The grid the table was solved on.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Largest lifespan (in ticks) the table covers.
+    pub fn max_ticks(&self) -> i64 {
+        self.max_ticks
+    }
+
+    /// Largest lifespan the table covers.
+    pub fn max_lifespan(&self) -> Time {
+        self.grid.to_time(self.max_ticks)
+    }
+
+    /// Largest interrupt budget the table covers.
+    pub fn max_interrupts(&self) -> u32 {
+        self.max_interrupts
+    }
+
+    /// Exact grid value in work ticks. `p` above the solved range clamps
+    /// (the adversary never benefits from more interrupts than periods, and
+    /// `W^(p)` is nonincreasing in `p`, so this is an upper bound there);
+    /// `l` outside `[0, max]` panics.
+    #[inline]
+    pub fn value_ticks(&self, p: u32, l: i64) -> i64 {
+        assert!(
+            (0..=self.max_ticks).contains(&l),
+            "lifespan {l} ticks outside solved range 0..={}",
+            self.max_ticks
+        );
+        let p = p.min(self.max_interrupts) as usize;
+        self.levels[p][l as usize]
+    }
+
+    /// Value at an arbitrary lifespan by linear interpolation between grid
+    /// points (`W` is 1-Lipschitz, so the interpolation error is below half
+    /// a tick). Lifespans beyond the solved range panic.
+    pub fn value(&self, p: u32, lifespan: Time) -> Work {
+        let tick = self.grid.tick().get();
+        let x = lifespan.get() / tick;
+        assert!(
+            x >= -1e-9 && x <= self.max_ticks as f64 + 1e-9,
+            "lifespan {lifespan} outside solved range {}",
+            self.max_lifespan()
+        );
+        let x = x.clamp(0.0, self.max_ticks as f64);
+        let i = x.floor() as i64;
+        let p = p.min(self.max_interrupts) as usize;
+        let row = &self.levels[p];
+        if i >= self.max_ticks {
+            return Time::new(row[self.max_ticks as usize] as f64 * tick);
+        }
+        let frac = x - i as f64;
+        let lo = row[i as usize] as f64;
+        let hi = row[i as usize + 1] as f64;
+        Time::new((lo + (hi - lo) * frac) * tick)
+    }
+
+    /// The optimal first-period length (in ticks) at state `(p, l)`.
+    /// Requires the table to have been solved with `keep_policy`.
+    pub fn first_period_ticks(&self, p: u32, l: i64) -> i64 {
+        let am = self
+            .argmax
+            .as_ref()
+            .expect("table solved without keep_policy");
+        let p = p.min(self.max_interrupts) as usize;
+        am[p][l as usize] as i64
+    }
+
+    /// Reconstructs the full optimal episode schedule at `(p, lifespan)`
+    /// (the lifespan is quantized to the grid; the residual quantization
+    /// drift is absorbed by the first period).
+    pub fn episode(&self, p: u32, lifespan: Time) -> Result<EpisodeSchedule> {
+        let mut l = self.grid.to_ticks(lifespan);
+        if l <= 0 {
+            return Err(ModelError::NegativeLifespan { lifespan });
+        }
+        l = l.min(self.max_ticks);
+        let mut periods_ticks: Vec<i64> = Vec::new();
+        while l > 0 {
+            let t = self.first_period_ticks(p, l).max(1).min(l);
+            periods_ticks.push(t);
+            l -= t;
+        }
+        let mut periods: Vec<Time> = periods_ticks
+            .iter()
+            .map(|&t| self.grid.to_time(t))
+            .collect();
+        // Absorb the off-grid drift into the longest (first) period.
+        let total: Time = periods.iter().copied().sum();
+        let drift = lifespan - total;
+        if !drift.is_zero() {
+            periods[0] += drift;
+        }
+        EpisodeSchedule::for_lifespan(periods, lifespan)
+    }
+}
+
+impl WorkOracle for ValueTable {
+    fn setup(&self) -> Time {
+        self.grid.setup()
+    }
+
+    fn guaranteed_work(&self, interrupts: u32, lifespan: Time) -> Work {
+        self.value(interrupts, lifespan)
+    }
+}
+
+/// The exact-DP optimal strategy as an [`EpisodePolicy`].
+#[derive(Clone)]
+pub struct OptimalPolicy {
+    table: Arc<ValueTable>,
+}
+
+impl OptimalPolicy {
+    /// Wraps a solved table (must have been solved with `keep_policy`).
+    pub fn new(table: Arc<ValueTable>) -> OptimalPolicy {
+        assert!(
+            table.argmax.is_some(),
+            "OptimalPolicy needs a table solved with keep_policy"
+        );
+        OptimalPolicy { table }
+    }
+
+    /// The backing table.
+    pub fn table(&self) -> &ValueTable {
+        &self.table
+    }
+}
+
+impl EpisodePolicy for OptimalPolicy {
+    fn episode(&self, opp: &Opportunity) -> Result<EpisodeSchedule> {
+        self.table.episode(opp.interrupts(), opp.lifespan())
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "optimal-dp(q={}, p≤{})",
+            self.table.grid.q(),
+            self.table.max_interrupts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::bounds::{w0, w1_exact};
+    use cyclesteal_core::time::secs;
+
+    fn small_table(q: u32, max_u: f64, p: u32) -> ValueTable {
+        ValueTable::solve(secs(1.0), q, secs(max_u), p, SolveOptions::default())
+    }
+
+    #[test]
+    fn level_zero_matches_prop_41d() {
+        let t = small_table(8, 64.0, 0);
+        for l in [0.0, 0.5, 1.0, 7.25, 64.0] {
+            assert_eq!(t.value(0, secs(l)), w0(secs(l), secs(1.0)), "L={l}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_lifespan_and_interrupts() {
+        let t = small_table(8, 128.0, 4);
+        for p in 0..=4u32 {
+            for l in 1..=t.max_ticks() {
+                assert!(
+                    t.value_ticks(p, l) >= t.value_ticks(p, l - 1),
+                    "Prop 4.1(a) fails at p={p}, l={l}"
+                );
+            }
+        }
+        for p in 1..=4u32 {
+            for l in 0..=t.max_ticks() {
+                assert!(
+                    t.value_ticks(p, l) <= t.value_ticks(p - 1, l),
+                    "Prop 4.1(b) fails at p={p}, l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_region_is_prop_41c() {
+        let t = small_table(8, 64.0, 3);
+        let q = 8i64;
+        for p in 0..=3u32 {
+            let threshold = (p as i64 + 1) * q;
+            for l in 0..=threshold {
+                assert_eq!(t.value_ticks(p, l), 0, "W^{p}[{l}] should be 0");
+            }
+            // Just above: (p+1) periods of Q+1 ticks leave one survivor
+            // banking one tick even after p kills.
+            let above = (p as i64 + 1) * (q + 1);
+            if above <= t.max_ticks() {
+                assert!(
+                    t.value_ticks(p, above) >= 1,
+                    "W^{p}[{above}] should be positive"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p1_matches_section_52_closed_form() {
+        // Grid restriction can only lose; the loss is O(tick · m).
+        let q = 64u32;
+        let t = small_table(q, 200.0, 1);
+        let c = secs(1.0);
+        for &u in &[3.0, 5.0, 10.0, 50.0, 100.0, 200.0] {
+            let dp = t.value(1, secs(u));
+            let cf = w1_exact(secs(u), c);
+            assert!(
+                dp <= cf + secs(1e-9),
+                "U={u}: grid value {dp} exceeds continuum optimum {cf}"
+            );
+            let m = cyclesteal_core::bounds::m1_opt(secs(u), c) as f64;
+            let slack = secs((m + 2.0) / q as f64);
+            assert!(
+                dp >= cf - slack,
+                "U={u}: grid value {dp} too far below optimum {cf} (slack {slack})"
+            );
+        }
+    }
+
+    #[test]
+    fn bisection_agrees_with_linear_scan() {
+        let fast = ValueTable::solve(
+            secs(1.0),
+            6,
+            secs(80.0),
+            3,
+            SolveOptions {
+                keep_policy: false,
+                bisection: true,
+            },
+        );
+        let slow = ValueTable::solve(
+            secs(1.0),
+            6,
+            secs(80.0),
+            3,
+            SolveOptions {
+                keep_policy: false,
+                bisection: false,
+            },
+        );
+        for p in 0..=3u32 {
+            for l in 0..=fast.max_ticks() {
+                assert_eq!(
+                    fast.value_ticks(p, l),
+                    slow.value_ticks(p, l),
+                    "mismatch at p={p}, l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brute_force_full_range_cross_check() {
+        // Reference implementation maximizing over ALL t ∈ [1, l] — no
+        // wait-candidate shortcut, no productivity restriction.
+        let q = 4i64;
+        let n = 60i64;
+        let mut ref_levels: Vec<Vec<i64>> = Vec::new();
+        ref_levels.push((0..=n).map(|l| (l - q).max(0)).collect());
+        for p in 1..=3usize {
+            let mut cur = vec![0i64; (n + 1) as usize];
+            for l in 1..=n {
+                let mut best = 0;
+                for t in 1..=l {
+                    let a = ref_levels[p - 1][(l - t) as usize];
+                    let b = (t - q).max(0) + cur[(l - t) as usize];
+                    best = best.max(a.min(b));
+                }
+                cur[l as usize] = best;
+            }
+            ref_levels.push(cur);
+        }
+
+        let t = ValueTable::solve(
+            secs(1.0),
+            q as u32,
+            secs(n as f64 / q as f64),
+            3,
+            SolveOptions::default(),
+        );
+        for p in 0..=3u32 {
+            for l in 0..=n {
+                assert_eq!(
+                    t.value_ticks(p, l),
+                    ref_levels[p as usize][l as usize],
+                    "solver differs from brute force at p={p}, l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconstructed_episode_covers_lifespan_and_starts_like_s_opt1() {
+        let t = small_table(64, 300.0, 1);
+        let u = secs(250.0);
+        let s = t.episode(1, u).unwrap();
+        assert!(s.total().approx_eq(u, secs(1e-9)));
+        let reference = cyclesteal_core::schedules::optimal_p1_schedule(u, secs(1.0)).unwrap();
+        let diff = (s.period(0) - reference.period(0)).abs();
+        assert!(
+            diff <= secs(0.2),
+            "DP first period {} vs closed form {}",
+            s.period(0),
+            reference.period(0)
+        );
+    }
+
+    #[test]
+    fn interpolation_is_between_grid_points() {
+        let t = small_table(4, 32.0, 2);
+        let a = t.value(2, secs(10.0));
+        let b = t.value(2, secs(10.25));
+        let mid = t.value(2, secs(10.125));
+        assert!(mid >= a.min(b) && mid <= a.max(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside solved range")]
+    fn out_of_range_lifespan_panics() {
+        let t = small_table(4, 32.0, 1);
+        let _ = t.value(1, secs(1000.0));
+    }
+
+    #[test]
+    fn optimal_policy_is_an_episode_policy() {
+        let t = Arc::new(small_table(16, 100.0, 2));
+        let pol = OptimalPolicy::new(t);
+        let opp = Opportunity::from_units(80.0, 1.0, 2);
+        let s = pol.episode(&opp).unwrap();
+        assert!(s.total().approx_eq(secs(80.0), secs(1e-9)));
+        assert!(pol.name().contains("optimal-dp"));
+    }
+}

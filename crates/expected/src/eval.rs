@@ -1,0 +1,137 @@
+//! Expected-work evaluation under an interrupt law.
+//!
+//! In the expected-output submodel the first interrupt ends the
+//! opportunity, so a schedule `S = t_1, …, t_m` banks period `k` iff the
+//! owner survives to its end:
+//!
+//! ```text
+//! E[W(S)] = Σ_k  S(T_k) · (t_k ⊖ c).
+//! ```
+//!
+//! [`expected_work`] computes this exactly; [`expected_work_monte_carlo`]
+//! cross-checks by simulation (used in tests and E-series sanity checks).
+
+use crate::law::InterruptLaw;
+use cyclesteal_core::schedule::EpisodeSchedule;
+use cyclesteal_core::time::{Time, Work};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Exact expected banked work of `schedule` under `law`.
+pub fn expected_work(schedule: &EpisodeSchedule, setup: Time, law: &InterruptLaw) -> Work {
+    let mut acc = 0.0f64;
+    let mut boundary = Time::ZERO;
+    for &t in schedule.periods() {
+        boundary += t;
+        acc += law.survival(boundary) * t.pos_sub(setup).get();
+    }
+    Time::new(acc)
+}
+
+/// Monte-Carlo estimate of the same expectation (seeded, `trials` draws).
+pub fn expected_work_monte_carlo(
+    schedule: &EpisodeSchedule,
+    setup: Time,
+    law: &InterruptLaw,
+    seed: u64,
+    trials: usize,
+) -> Work {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let boundaries = schedule.boundaries();
+    let mut total = 0.0f64;
+    for _ in 0..trials {
+        let t_int = law.sample(&mut rng);
+        let mut run = 0.0f64;
+        for (k, &t) in schedule.periods().iter().enumerate() {
+            let end = boundaries[k + 1];
+            let completed = match t_int {
+                None => true,
+                Some(ti) => ti >= end,
+            };
+            if completed {
+                run += t.pos_sub(setup).get();
+            } else {
+                break;
+            }
+        }
+        total += run;
+    }
+    Time::new(total / trials.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::time::secs;
+
+    fn sched(v: &[f64]) -> EpisodeSchedule {
+        EpisodeSchedule::from_periods(v.iter().map(|&x| secs(x)).collect()).unwrap()
+    }
+
+    #[test]
+    fn never_law_recovers_uninterrupted_work() {
+        let s = sched(&[10.0, 10.0, 5.0]);
+        let c = secs(1.0);
+        let w = expected_work(&s, c, &InterruptLaw::Never);
+        assert!(w.approx_eq(s.work_uninterrupted(c), secs(1e-12)));
+    }
+
+    #[test]
+    fn uniform_law_hand_computed() {
+        // U = 20, two periods of 10, c = 1, T ~ U[0, 20]:
+        // S(10) = 0.5, S(20) = 0.0 ⇒ E[W] = 0.5·9 + 0·9 = 4.5.
+        let s = sched(&[10.0, 10.0]);
+        let law = InterruptLaw::Uniform {
+            horizon: secs(20.0),
+        };
+        let w = expected_work(&s, secs(1.0), &law);
+        assert!(w.approx_eq(secs(4.5), secs(1e-12)));
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_analytic() {
+        let c = secs(1.0);
+        let schedules = [
+            sched(&[10.0, 10.0, 10.0]),
+            sched(&[20.0, 7.0, 3.0]),
+            sched(&[2.0, 2.0, 2.0, 2.0, 2.0]),
+        ];
+        let laws = [
+            InterruptLaw::Uniform {
+                horizon: secs(30.0),
+            },
+            InterruptLaw::Exponential { rate: 0.03 },
+            InterruptLaw::UniformWithEscape {
+                horizon: secs(30.0),
+                escape: 0.2,
+            },
+        ];
+        for s in &schedules {
+            for law in &laws {
+                let exact = expected_work(s, c, law);
+                let mc = expected_work_monte_carlo(s, c, law, 5, 60_000);
+                assert!(
+                    (exact - mc).abs() <= secs(0.15),
+                    "{law:?}: exact {exact} vs MC {mc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn splitting_periods_trades_risk_against_setup() {
+        // Under high risk, two short periods beat one long one; under no
+        // risk the long period wins (saves a setup charge).
+        let c = secs(1.0);
+        let long = sched(&[20.0]);
+        let split = sched(&[10.0, 10.0]);
+        let risky = InterruptLaw::Uniform {
+            horizon: secs(20.0),
+        };
+        assert!(expected_work(&split, c, &risky) > expected_work(&long, c, &risky));
+        assert!(
+            expected_work(&long, c, &InterruptLaw::Never)
+                > expected_work(&split, c, &InterruptLaw::Never)
+        );
+    }
+}

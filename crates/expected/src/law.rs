@@ -1,0 +1,165 @@
+//! Interrupt-time laws for the expected-output submodel.
+//!
+//! The two-faceted model of Bhatt–Chung–Leighton–Rosenberg \[3\] pairs the
+//! guaranteed-output submodel (this repository's main subject) with an
+//! *expected-output* submodel, studied in the companion paper
+//! (Rosenberg, IPPS 1998 \[9\]): the owner's return is a random variable
+//! `T`, the first interrupt ends the opportunity, and the owner of `A`
+//! maximizes the expectation of the banked work. An [`InterruptLaw`] is
+//! the distribution of `T`.
+
+use cyclesteal_core::time::Time;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The distribution of the (single, terminal) interrupt time `T`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InterruptLaw {
+    /// The owner never returns within the opportunity (`T = ∞`).
+    Never,
+    /// `T` uniform on `[0, horizon]`: the interrupt certainly falls within
+    /// the horizon.
+    Uniform {
+        /// Right end of the support.
+        horizon: Time,
+    },
+    /// With probability `escape` the owner never returns; otherwise `T` is
+    /// uniform on `[0, horizon]`.
+    UniformWithEscape {
+        /// Right end of the uniform part's support.
+        horizon: Time,
+        /// Probability that no interrupt ever occurs.
+        escape: f64,
+    },
+    /// Memoryless owner: `T ~ Exp(rate)`.
+    Exponential {
+        /// Hazard rate (interrupts per time unit).
+        rate: f64,
+    },
+}
+
+impl InterruptLaw {
+    /// Survival function `S(t) = P(T ≥ t)` (equivalently `P(T > t)`; the
+    /// laws here are continuous, except `Never`'s atom at infinity).
+    pub fn survival(&self, t: Time) -> f64 {
+        let x = t.get().max(0.0);
+        match *self {
+            InterruptLaw::Never => 1.0,
+            InterruptLaw::Uniform { horizon } => {
+                let h = horizon.get();
+                (1.0 - x / h).max(0.0)
+            }
+            InterruptLaw::UniformWithEscape { horizon, escape } => {
+                let h = horizon.get();
+                escape + (1.0 - escape) * (1.0 - x / h).max(0.0)
+            }
+            InterruptLaw::Exponential { rate } => (-rate * x).exp(),
+        }
+    }
+
+    /// Samples an interrupt time; `None` means "never" (possible for
+    /// [`InterruptLaw::Never`] and the escape branch).
+    pub fn sample(&self, rng: &mut StdRng) -> Option<Time> {
+        match *self {
+            InterruptLaw::Never => None,
+            InterruptLaw::Uniform { horizon } => {
+                Some(Time::new(rng.gen_range(0.0..horizon.get())))
+            }
+            InterruptLaw::UniformWithEscape { horizon, escape } => {
+                if rng.gen_bool(escape) {
+                    None
+                } else {
+                    Some(Time::new(rng.gen_range(0.0..horizon.get())))
+                }
+            }
+            InterruptLaw::Exponential { rate } => {
+                let u: f64 = rng.gen();
+                Some(Time::new(-(1.0 - u).ln() / rate))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::time::secs;
+    use rand::SeedableRng;
+
+    #[test]
+    fn survival_functions_are_valid() {
+        let laws = [
+            InterruptLaw::Never,
+            InterruptLaw::Uniform {
+                horizon: secs(100.0),
+            },
+            InterruptLaw::UniformWithEscape {
+                horizon: secs(100.0),
+                escape: 0.3,
+            },
+            InterruptLaw::Exponential { rate: 0.02 },
+        ];
+        for law in laws {
+            let mut prev = law.survival(secs(0.0));
+            assert!((prev - 1.0).abs() < 1e-12, "{law:?}: S(0) = {prev}");
+            let mut t = 0.0;
+            while t < 300.0 {
+                t += 7.3;
+                let s = law.survival(secs(t));
+                assert!((0.0..=1.0).contains(&s));
+                assert!(s <= prev + 1e-12, "{law:?} not nonincreasing at {t}");
+                prev = s;
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_survival_hits_zero_at_horizon() {
+        let law = InterruptLaw::Uniform {
+            horizon: secs(50.0),
+        };
+        assert_eq!(law.survival(secs(50.0)), 0.0);
+        assert_eq!(law.survival(secs(500.0)), 0.0);
+        assert!((law.survival(secs(25.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn escape_mass_floors_the_survival() {
+        let law = InterruptLaw::UniformWithEscape {
+            horizon: secs(50.0),
+            escape: 0.25,
+        };
+        assert!((law.survival(secs(1e6)) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_matches_survival() {
+        let laws = [
+            InterruptLaw::Uniform {
+                horizon: secs(80.0),
+            },
+            InterruptLaw::Exponential { rate: 0.05 },
+            InterruptLaw::UniformWithEscape {
+                horizon: secs(80.0),
+                escape: 0.4,
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(17);
+        for law in laws {
+            let n = 40_000;
+            let t0 = secs(30.0);
+            let hits = (0..n)
+                .filter(|_| match law.sample(&mut rng) {
+                    None => true,
+                    Some(t) => t >= t0,
+                })
+                .count();
+            let emp = hits as f64 / n as f64;
+            let want = law.survival(t0);
+            assert!(
+                (emp - want).abs() < 0.01,
+                "{law:?}: empirical {emp} vs S(30) = {want}"
+            );
+        }
+    }
+}

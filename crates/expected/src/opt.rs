@@ -1,0 +1,260 @@
+//! Optimal schedules for the expected-output submodel.
+//!
+//! * [`ExpectedDp`] — a grid dynamic program over elapsed time: with
+//!   `F(e)` the maximum expected *additional* work given the owner has not
+//!   yet returned at elapsed time `e`,
+//!
+//!   ```text
+//!   F(e) = max_t  (S(e+t)/S(e)) · ((t ⊖ c) + F(e+t)),    F(U) = 0,
+//!   ```
+//!
+//!   solved backwards exactly on the grid for any [`InterruptLaw`].
+//! * [`optimal_exponential_period`] — for the memoryless owner the optimal
+//!   schedule is stationary (every period the same length `t*`), with `t*`
+//!   the unique root of `1 − e^(−λt) = λ(t − c)`; for small `λ` this is
+//!   the classic `t* ≈ √(2c/λ)` rule, the expected-output twin of the
+//!   guaranteed model's `√(2cU)` leading term.
+
+use crate::law::InterruptLaw;
+use cyclesteal_core::error::{ModelError, Result};
+use cyclesteal_core::schedule::EpisodeSchedule;
+use cyclesteal_core::time::{Time, Work};
+
+/// Exact grid solution of the expected-work control problem.
+#[derive(Clone, Debug)]
+pub struct ExpectedDp {
+    setup: Time,
+    tick: Time,
+    n: usize,
+    values: Vec<f64>, // F at elapsed e ticks, in time units
+    argmax: Vec<u32>, // optimal next-period length in ticks (0 = stop)
+}
+
+impl ExpectedDp {
+    /// Solves the DP for `law` on `[0, horizon]` at `ticks_per_setup`
+    /// resolution.
+    pub fn solve(
+        setup: Time,
+        ticks_per_setup: u32,
+        horizon: Time,
+        law: &InterruptLaw,
+    ) -> ExpectedDp {
+        assert!(setup.is_positive() && ticks_per_setup >= 1);
+        let tick = setup / ticks_per_setup as f64;
+        let q = ticks_per_setup as usize;
+        let n = (horizon.get() / tick.get()).round() as usize;
+
+        // Precompute survival at every grid instant.
+        let surv: Vec<f64> = (0..=n).map(|e| law.survival(tick * e as f64)).collect();
+
+        let mut values = vec![0.0f64; n + 1];
+        let mut argmax = vec![0u32; n + 1];
+        for e in (0..n).rev() {
+            if surv[e] <= 0.0 {
+                continue; // unreachable alive; F = 0
+            }
+            let mut best = 0.0f64;
+            let mut best_t = 0u32;
+            // Periods of t ≤ q ticks bank nothing and cannot help (they
+            // only burn survival probability), so scan t ∈ [q+1, n−e].
+            for t in (q + 1)..=(n - e) {
+                let end = e + t;
+                let banked = (t - q) as f64 * tick.get();
+                let v = surv[end] / surv[e] * (banked + values[end]);
+                if v > best {
+                    best = v;
+                    best_t = t as u32;
+                }
+            }
+            values[e] = best;
+            argmax[e] = best_t;
+        }
+        ExpectedDp {
+            setup,
+            tick,
+            n,
+            values,
+            argmax,
+        }
+    }
+
+    /// The optimal expected work from the start of the opportunity.
+    pub fn value(&self) -> Work {
+        Time::new(self.values[0])
+    }
+
+    /// `F(e)` at elapsed time `e` (nearest grid point).
+    pub fn value_at(&self, elapsed: Time) -> Work {
+        let i = (elapsed.get() / self.tick.get()).round() as usize;
+        Time::new(self.values[i.min(self.n)])
+    }
+
+    /// Reconstructs the optimal schedule from elapsed 0. Stops when the
+    /// optimal action is to stop (remaining lifespan worthless); returns
+    /// an error only for the degenerate case where stopping immediately
+    /// is optimal.
+    pub fn schedule(&self) -> Result<EpisodeSchedule> {
+        let mut periods = Vec::new();
+        let mut e = 0usize;
+        while e < self.n {
+            let t = self.argmax[e] as usize;
+            if t == 0 {
+                break;
+            }
+            periods.push(self.tick * t as f64);
+            e += t;
+        }
+        if periods.is_empty() {
+            return Err(ModelError::EmptySchedule);
+        }
+        EpisodeSchedule::from_periods(periods)
+    }
+
+    /// The setup charge the DP was solved for.
+    pub fn setup(&self) -> Time {
+        self.setup
+    }
+}
+
+/// The optimal stationary period length for the memoryless owner:
+/// the unique `t* > c` with `1 − e^(−rate·t) = rate·(t − c)`.
+pub fn optimal_exponential_period(rate: f64, setup: Time) -> Time {
+    assert!(rate > 0.0 && setup.is_positive());
+    let c = setup.get();
+    let h = |t: f64| rate * (t - c) - 1.0 + (-rate * t).exp();
+    let mut lo = c; // h(c) = e^{−λc} − 1 < 0
+    let mut hi = c + 1.0 / rate; // h(c + 1/λ) = e^{−λ(c+1/λ)} > 0
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if h(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Time::new(0.5 * (lo + hi))
+}
+
+/// The stationary optimal expected work for the memoryless owner over an
+/// unbounded horizon: `F* = (t* − c)/(e^(rate·t*) − 1)`.
+pub fn optimal_exponential_value(rate: f64, setup: Time) -> Work {
+    let t = optimal_exponential_period(rate, setup).get();
+    let c = setup.get();
+    Time::new((t - c) / ((rate * t).exp() - 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::expected_work;
+    use cyclesteal_core::time::secs;
+
+    #[test]
+    fn never_law_yields_single_period() {
+        let dp = ExpectedDp::solve(secs(1.0), 8, secs(64.0), &InterruptLaw::Never);
+        assert!(dp.value().approx_eq(secs(63.0), secs(1e-9)));
+        let s = dp.schedule().unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.total().approx_eq(secs(64.0), secs(1e-9)));
+    }
+
+    #[test]
+    fn dp_dominates_equal_period_schedules() {
+        let c = secs(1.0);
+        let u = secs(60.0);
+        let law = InterruptLaw::Uniform { horizon: u };
+        let dp = ExpectedDp::solve(c, 8, u, &law);
+        for m in 1..=30usize {
+            let s = EpisodeSchedule::equal(u, m).unwrap();
+            let w = expected_work(&s, c, &law);
+            assert!(
+                w <= dp.value() + secs(1e-9),
+                "equal-{m} gets {w}, DP claims {}",
+                dp.value()
+            );
+        }
+        // And the DP's own schedule realizes its value.
+        let s = dp.schedule().unwrap();
+        let w = expected_work(&s, c, &law);
+        assert!(
+            w.approx_eq(dp.value(), secs(1e-9)),
+            "reconstruction {w} vs DP {}",
+            dp.value()
+        );
+    }
+
+    #[test]
+    fn uniform_law_optimal_periods_decrease() {
+        // Known structure in the expected-output submodel: as the horizon
+        // nears (hazard grows), optimal periods shrink.
+        let c = secs(1.0);
+        let u = secs(100.0);
+        let dp = ExpectedDp::solve(c, 8, u, &InterruptLaw::Uniform { horizon: u });
+        let s = dp.schedule().unwrap();
+        assert!(s.len() >= 3);
+        for k in 0..s.len() - 1 {
+            assert!(
+                s.period(k) >= s.period(k + 1) - secs(0.126),
+                "period {k} grows: {} -> {}",
+                s.period(k),
+                s.period(k + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_stationary_period_matches_dp() {
+        let c = secs(1.0);
+        let rate = 0.02; // mean return at 50
+        let t_star = optimal_exponential_period(rate, c);
+        // Root condition holds.
+        let lhs = 1.0 - (-rate * t_star.get()).exp();
+        let rhs = rate * (t_star.get() - c.get());
+        assert!((lhs - rhs).abs() < 1e-9);
+        // Truncated-horizon DP's first period approaches t* (horizon must
+        // dwarf the mean interrupt time).
+        let dp = ExpectedDp::solve(c, 8, secs(600.0), &InterruptLaw::Exponential { rate });
+        let s = dp.schedule().unwrap();
+        assert!(
+            (s.period(0) - t_star).abs() <= secs(0.6),
+            "DP first period {} vs stationary {}",
+            s.period(0),
+            t_star
+        );
+        // Value close to the stationary closed form.
+        let v = optimal_exponential_value(rate, c);
+        assert!(
+            (dp.value() - v).abs() <= secs(0.5),
+            "DP {} vs stationary {}",
+            dp.value(),
+            v
+        );
+    }
+
+    #[test]
+    fn small_rate_recovers_sqrt_rule() {
+        // t* → √(2c/λ) as λ → 0: the expected-output twin of √(2cU).
+        let c = secs(1.0);
+        for &rate in &[1e-3, 1e-4, 1e-5] {
+            let t = optimal_exponential_period(rate, c).get();
+            let sqrt_rule = (2.0 / rate).sqrt();
+            assert!(
+                (t - sqrt_rule).abs() / sqrt_rule < 0.05,
+                "rate {rate}: t* {t} vs √(2c/λ) {sqrt_rule}"
+            );
+        }
+    }
+
+    #[test]
+    fn value_at_decreases_with_elapsed_time() {
+        let c = secs(1.0);
+        let u = secs(80.0);
+        let dp = ExpectedDp::solve(c, 8, u, &InterruptLaw::Uniform { horizon: u });
+        let mut prev = dp.value_at(secs(0.0));
+        for e in [10.0, 20.0, 40.0, 60.0, 79.0] {
+            let v = dp.value_at(secs(e));
+            assert!(v <= prev + secs(1e-9), "F grew at e={e}");
+            prev = v;
+        }
+    }
+}

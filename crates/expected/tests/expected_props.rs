@@ -1,0 +1,104 @@
+//! Property tests for the expected-output companion submodel.
+
+use cyclesteal_core::prelude::*;
+use cyclesteal_expected::{expected_work, InterruptLaw};
+use cyclesteal_expected::opt::{optimal_exponential_period, optimal_exponential_value, ExpectedDp};
+use proptest::prelude::*;
+
+fn arb_schedule() -> impl Strategy<Value = EpisodeSchedule> {
+    prop::collection::vec(0.2f64..15.0, 1..20).prop_map(|v| {
+        EpisodeSchedule::from_periods(v.into_iter().map(secs).collect()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Expectations are bounded by the no-risk work and are antitone in
+    /// risk (higher hazard ⇒ lower expected work).
+    #[test]
+    fn expectation_bounds_and_risk_monotonicity(
+        sched in arb_schedule(),
+        rate in 0.001f64..0.1,
+        bump in 1.1f64..5.0,
+    ) {
+        let c = secs(1.0);
+        let low = expected_work(&sched, c, &InterruptLaw::Exponential { rate });
+        let high = expected_work(&sched, c, &InterruptLaw::Exponential { rate: rate * bump });
+        prop_assert!(low >= high - secs(1e-12), "more risk increased E[W]");
+        prop_assert!(low <= sched.work_uninterrupted(c) + secs(1e-12));
+        prop_assert!(high >= Work::ZERO);
+    }
+
+    /// The uniform law's expectation interpolates: full survival weight at
+    /// horizon → ∞ recovers the uninterrupted work.
+    #[test]
+    fn uniform_law_interpolates(sched in arb_schedule()) {
+        let c = secs(1.0);
+        let total = sched.total();
+        let tight = expected_work(&sched, c, &InterruptLaw::Uniform { horizon: total });
+        let loose = expected_work(&sched, c, &InterruptLaw::Uniform {
+            horizon: total * 1e6,
+        });
+        prop_assert!(tight <= loose + secs(1e-9));
+        prop_assert!(
+            (loose - sched.work_uninterrupted(c)).abs() <= sched.work_uninterrupted(c) * 1e-5 + secs(1e-6)
+        );
+    }
+
+    /// The expected-output DP dominates every random schedule under its
+    /// own law.
+    #[test]
+    fn dp_dominates_random_schedules(
+        sched in arb_schedule(),
+    ) {
+        let c = secs(1.0);
+        let u = sched.total();
+        let law = InterruptLaw::Uniform { horizon: u };
+        let dp = ExpectedDp::solve(c, 8, u, &law);
+        let w = expected_work(&sched, c, &law);
+        // Grid quantization of the DP costs at most ~a tick per period.
+        let slack = secs(0.125 * sched.len() as f64 + 0.25);
+        prop_assert!(w <= dp.value() + slack,
+            "random schedule {w} beats DP {} beyond slack", dp.value());
+    }
+
+    /// The memoryless stationary optimum is scale-free:
+    /// `t*(λ/k, k·c) = k · t*(λ, c)` and the value scales likewise.
+    #[test]
+    fn exponential_optimum_is_scale_free(
+        rate in 0.001f64..0.1,
+        k in 0.1f64..10.0,
+    ) {
+        let t1 = optimal_exponential_period(rate, secs(1.0));
+        let t2 = optimal_exponential_period(rate / k, secs(k));
+        prop_assert!((t2.get() - t1.get() * k).abs() <= 1e-6 * k.max(1.0),
+            "t* not scale-free: {t1} vs {t2}/{k}");
+        let v1 = optimal_exponential_value(rate, secs(1.0));
+        let v2 = optimal_exponential_value(rate / k, secs(k));
+        prop_assert!((v2.get() - v1.get() * k).abs() <= 1e-6 * k.max(1.0));
+    }
+
+    /// Survival functions integrate the samplers (coarse KS-style check at
+    /// a single random threshold, cheap enough to run many cases).
+    #[test]
+    fn sampler_matches_survival_at_threshold(
+        seed in 0u64..5_000,
+        frac in 0.05f64..0.95,
+        escape in 0.0f64..0.9,
+    ) {
+        use rand::SeedableRng;
+        let horizon = secs(100.0);
+        let law = InterruptLaw::UniformWithEscape { horizon, escape };
+        let t0 = horizon * frac;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 4_000;
+        let hits = (0..n).filter(|_| match law.sample(&mut rng) {
+            None => true,
+            Some(t) => t >= t0,
+        }).count();
+        let emp = hits as f64 / n as f64;
+        prop_assert!((emp - law.survival(t0)).abs() < 0.05,
+            "empirical {emp} vs S = {}", law.survival(t0));
+    }
+}

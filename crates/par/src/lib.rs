@@ -1,0 +1,164 @@
+//! # cyclesteal-par
+//!
+//! Small, deterministic parallel-sweep utilities used by the cyclesteal
+//! benches and the simulator's Monte-Carlo harness.
+//!
+//! The workloads here are embarrassingly parallel (value-table solves and
+//! game evaluations over a `(U/c, p)` parameter grid), so the machinery is
+//! deliberately simple: scoped threads, an atomic chunk cursor for dynamic
+//! load balancing, and a channel to collect `(index, result)` pairs so the
+//! output order — and therefore every downstream report — is independent of
+//! thread scheduling.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod reduce;
+pub mod sweep;
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The number of worker threads used by default: the machine's available
+/// parallelism, capped at 16 (the sweeps saturate memory bandwidth well
+/// before that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Applies `f` to every item of `items` on `threads` scoped workers and
+/// returns the results **in input order**.
+///
+/// Items are claimed in chunks through an atomic cursor, so long-running
+/// items do not serialize the sweep; the `(index, value)` channel restores
+/// determinism regardless of which worker computed what.
+///
+/// Panics in `f` propagate to the caller when the scope joins.
+pub fn par_map_threads<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.max(1).min(n);
+    if threads == 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    // Chunk size balances cursor contention against load balance: aim for
+    // ~8 chunks per worker.
+    let chunk = (n / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = channel::bounded::<(usize, R)>(n);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for (i, item) in items[start..end].iter().enumerate() {
+                    // The channel is sized for every result; send cannot
+                    // block or fail while the receiver lives.
+                    let _ = tx.send((start + i, f(item)));
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in rx.iter() {
+        debug_assert!(slots[i].is_none(), "index {i} produced twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("index {i} never produced")))
+        .collect()
+}
+
+/// [`par_map_threads`] with [`default_threads`].
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_threads(items, default_threads(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_map_in_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        let par = par_map(&items, |x| x * x + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |x| x + 1).is_empty());
+        assert_eq!(par_map(&[41u32], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let items: Vec<i64> = (0..1234).collect();
+        let expect: Vec<i64> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map_threads(&items, threads, |x| x * 3), expect);
+        }
+    }
+
+    #[test]
+    fn uneven_work_is_balanced() {
+        // Items with wildly different costs still come back in order.
+        let items: Vec<u64> = (0..64).collect();
+        let cost = |&x: &u64| {
+            let spin = if x % 7 == 0 { 200_000 } else { 10 };
+            (0..spin).fold(x, |a, b| a.wrapping_add(b % 13))
+        };
+        let out = par_map(&items, cost);
+        let seq: Vec<u64> = items.iter().map(cost).collect();
+        assert_eq!(out, seq);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..100).collect();
+        let _ = par_map(&items, |&x| {
+            if x == 57 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn default_threads_is_sane() {
+        let t = default_threads();
+        assert!((1..=16).contains(&t));
+    }
+}

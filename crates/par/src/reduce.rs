@@ -1,0 +1,130 @@
+//! Order-independent parallel reductions.
+//!
+//! Sweeps that only need an aggregate (a max, a histogram, an error sum)
+//! use [`par_reduce`] instead of materializing every result. The merge
+//! order is made deterministic by merging the per-worker accumulators in
+//! worker-index order, so floating-point reductions reproduce bit-for-bit
+//! across runs with the same thread count.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Folds every item into a per-worker accumulator (`init`/`fold`), then
+/// merges the accumulators **in worker order** with `merge`.
+///
+/// Determinism contract: with a fixed `threads` and input, the result is
+/// reproducible; with different `threads`, results may differ only by the
+/// usual floating-point reassociation of `merge`.
+pub fn par_reduce<T, A, I, F, M>(items: &[T], threads: usize, init: I, fold: F, merge: M) -> A
+where
+    T: Sync,
+    A: Send,
+    I: Fn() -> A + Sync,
+    F: Fn(&mut A, &T) + Sync,
+    M: Fn(A, A) -> A,
+{
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        let mut acc = init();
+        for item in items {
+            fold(&mut acc, item);
+        }
+        return acc;
+    }
+
+    let chunk = (n / (threads * 8)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<A>>> = (0..threads).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for (w, slot) in slots.iter().enumerate() {
+            let cursor = &cursor;
+            let init = &init;
+            let fold = &fold;
+            scope.spawn(move || {
+                let mut acc = init();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for item in &items[start..(start + chunk).min(n)] {
+                        fold(&mut acc, item);
+                    }
+                }
+                *slot.lock() = Some(acc);
+                let _ = w;
+            });
+        }
+    });
+
+    let mut merged: Option<A> = None;
+    for slot in slots {
+        let acc = slot.into_inner().expect("worker always stores its accumulator");
+        merged = Some(match merged {
+            None => acc,
+            Some(m) => merge(m, acc),
+        });
+    }
+    merged.expect("at least one worker ran")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_match_sequential() {
+        let items: Vec<u64> = (0..100_000).collect();
+        let expect: u64 = items.iter().sum();
+        for threads in [1, 2, 7, 16] {
+            let got = par_reduce(
+                &items,
+                threads,
+                || 0u64,
+                |acc, &x| *acc += x,
+                |a, b| a + b,
+            );
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn max_reduction() {
+        let items: Vec<i32> = vec![3, -1, 42, 7, 42, 0];
+        let got = par_reduce(
+            &items,
+            4,
+            || i32::MIN,
+            |acc, &x| *acc = (*acc).max(x),
+            |a, b| a.max(b),
+        );
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn empty_input_yields_init() {
+        let items: Vec<u8> = vec![];
+        let got = par_reduce(&items, 4, || 9u8, |_, _| {}, |a, _| a);
+        assert_eq!(got, 9);
+    }
+
+    #[test]
+    fn histogram_reduction_is_complete() {
+        let items: Vec<usize> = (0..10_000).map(|i| i % 10).collect();
+        let got = par_reduce(
+            &items,
+            8,
+            || vec![0usize; 10],
+            |acc, &x| acc[x] += 1,
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+        assert_eq!(got, vec![1000; 10]);
+    }
+}

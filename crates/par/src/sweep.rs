@@ -1,0 +1,66 @@
+//! Parameter-grid helpers for the benches' `(U/c, p)` sweeps.
+
+/// The cartesian product of two parameter axes, row-major (`xs` outer).
+pub fn cartesian<X: Clone, Y: Clone>(xs: &[X], ys: &[Y]) -> Vec<(X, Y)> {
+    let mut out = Vec::with_capacity(xs.len() * ys.len());
+    for x in xs {
+        for y in ys {
+            out.push((x.clone(), y.clone()));
+        }
+    }
+    out
+}
+
+/// Geometrically spaced values `start, start·factor, …` up to and including
+/// the last value not exceeding `end` (inclusive of `end` itself when the
+/// progression lands within `1e-9` of it).
+pub fn geometric(start: f64, end: f64, factor: f64) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && end >= start);
+    let mut out = Vec::new();
+    let mut v = start;
+    while v <= end * (1.0 + 1e-12) {
+        out.push(v);
+        v *= factor;
+    }
+    out
+}
+
+/// `n` linearly spaced values covering `[start, end]` inclusive.
+pub fn linear(start: f64, end: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2 && end >= start);
+    (0..n)
+        .map(|i| start + (end - start) * i as f64 / (n - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_is_row_major() {
+        let got = cartesian(&[1, 2], &["a", "b", "c"]);
+        assert_eq!(
+            got,
+            vec![(1, "a"), (1, "b"), (1, "c"), (2, "a"), (2, "b"), (2, "c")]
+        );
+    }
+
+    #[test]
+    fn geometric_progression_covers_range() {
+        let g = geometric(16.0, 1024.0, 2.0);
+        assert_eq!(g, vec![16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0]);
+    }
+
+    #[test]
+    fn linear_includes_endpoints() {
+        let l = linear(0.0, 10.0, 5);
+        assert_eq!(l, vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn geometric_rejects_bad_factor() {
+        let _ = geometric(1.0, 10.0, 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! The borrower-side scheduling driver: turns an [`EpisodePolicy`] or a
+//! committed non-adaptive schedule into a stream of period lengths,
+//! honouring §2.2's semantics (adaptive re-planning after every interrupt;
+//! oblivious tail replay with final consolidation for non-adaptive).
+
+use cyclesteal_core::error::Result;
+use cyclesteal_core::model::Opportunity;
+use cyclesteal_core::policy::EpisodePolicy;
+use cyclesteal_core::schedule::EpisodeSchedule;
+use cyclesteal_core::time::Time;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How a lender's work periods are scheduled.
+#[derive(Clone)]
+pub enum DriverKind {
+    /// Re-plan an episode schedule from the residual `(p, L)` after every
+    /// interrupt (the paper's adaptive discipline).
+    Adaptive(Arc<dyn EpisodePolicy>),
+    /// Commit this schedule up front; replay its tail after interrupts;
+    /// after the `p`-th interrupt run the remainder as one long period.
+    NonAdaptive(EpisodeSchedule),
+}
+
+impl std::fmt::Debug for DriverKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverKind::Adaptive(p) => write!(f, "Adaptive({})", p.name()),
+            DriverKind::NonAdaptive(s) => write!(f, "NonAdaptive({} periods)", s.len()),
+        }
+    }
+}
+
+/// Runtime state of one lender's driver.
+pub(crate) enum DriverState {
+    Adaptive {
+        policy: Arc<dyn EpisodePolicy>,
+        queue: VecDeque<Time>,
+    },
+    NonAdaptive {
+        remaining: VecDeque<Time>,
+    },
+}
+
+impl DriverState {
+    pub(crate) fn new(kind: &DriverKind) -> DriverState {
+        match kind {
+            DriverKind::Adaptive(p) => DriverState::Adaptive {
+                policy: p.clone(),
+                queue: VecDeque::new(),
+            },
+            DriverKind::NonAdaptive(s) => DriverState::NonAdaptive {
+                remaining: s.periods().iter().copied().collect(),
+            },
+        }
+    }
+
+    /// The next period to dispatch given the residual opportunity, or
+    /// `None` when the discipline has nothing left to run.
+    pub(crate) fn next_period(&mut self, residual: &Opportunity) -> Result<Option<Time>> {
+        match self {
+            DriverState::Adaptive { policy, queue } => {
+                if queue.is_empty() {
+                    if !residual.lifespan().is_positive() {
+                        return Ok(None);
+                    }
+                    let episode = policy.episode(residual)?;
+                    queue.extend(episode.periods().iter().copied());
+                }
+                Ok(queue.pop_front().map(|t| t.min(residual.lifespan())))
+            }
+            DriverState::NonAdaptive { remaining } => {
+                Ok(remaining.pop_front().map(|t| t.min(residual.lifespan())))
+            }
+        }
+    }
+
+    /// Notifies the driver that the in-flight period was killed by the
+    /// owner. `budget_exhausted` is `true` when this was the `p`-th
+    /// interrupt: the non-adaptive discipline then consolidates the whole
+    /// remaining lifespan into one long period (§2.2's exception); the
+    /// adaptive discipline discards its queued episode and will re-plan.
+    pub(crate) fn on_interrupt(&mut self, residual: Time, budget_exhausted: bool) {
+        match self {
+            DriverState::Adaptive { queue, .. } => queue.clear(),
+            DriverState::NonAdaptive { remaining } => {
+                if budget_exhausted {
+                    remaining.clear();
+                    if residual.is_positive() {
+                        remaining.push_back(residual);
+                    }
+                }
+                // Otherwise: oblivious tail replay — keep `remaining` as is.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::prelude::*;
+
+    #[test]
+    fn adaptive_driver_replans_after_interrupt() {
+        let kind = DriverKind::Adaptive(Arc::new(EqualPeriodsPolicy::new(4)));
+        let mut st = DriverState::new(&kind);
+        let opp = Opportunity::from_units(100.0, 1.0, 2);
+        // First episode: 4 × 25.
+        let t1 = st.next_period(&opp).unwrap().unwrap();
+        assert_eq!(t1, secs(25.0));
+        let t2 = st.next_period(&opp).unwrap().unwrap();
+        assert_eq!(t2, secs(25.0));
+        // Interrupted mid-second-period at consumed 30: re-plan over 70.
+        st.on_interrupt(secs(70.0), false);
+        let opp2 = Opportunity::from_units(70.0, 1.0, 1);
+        let t3 = st.next_period(&opp2).unwrap().unwrap();
+        assert_eq!(t3, secs(17.5));
+    }
+
+    #[test]
+    fn nonadaptive_driver_replays_tail_then_consolidates() {
+        let sched = EpisodeSchedule::from_periods(
+            [30.0, 30.0, 20.0, 20.0].iter().map(|&x| secs(x)).collect(),
+        )
+        .unwrap();
+        let kind = DriverKind::NonAdaptive(sched);
+        let mut st = DriverState::new(&kind);
+        let opp = Opportunity::from_units(100.0, 1.0, 2);
+        assert_eq!(st.next_period(&opp).unwrap().unwrap(), secs(30.0));
+        // Interrupt (1 of 2) mid-period: tail replayed obliviously.
+        st.on_interrupt(secs(75.0), false);
+        let opp2 = Opportunity::from_units(75.0, 1.0, 1);
+        assert_eq!(st.next_period(&opp2).unwrap().unwrap(), secs(30.0));
+        // Second interrupt exhausts the budget ⇒ consolidation.
+        st.on_interrupt(secs(40.0), true);
+        let opp3 = Opportunity::from_units(40.0, 1.0, 0);
+        assert_eq!(st.next_period(&opp3).unwrap().unwrap(), secs(40.0));
+        assert!(st.next_period(&opp3).unwrap().is_none());
+    }
+
+    #[test]
+    fn nonadaptive_driver_exhausts_without_consolidation() {
+        let sched =
+            EpisodeSchedule::from_periods([50.0, 50.0].iter().map(|&x| secs(x)).collect())
+                .unwrap();
+        let mut st = DriverState::new(&DriverKind::NonAdaptive(sched));
+        let opp = Opportunity::from_units(100.0, 1.0, 3);
+        let _ = st.next_period(&opp).unwrap();
+        let _ = st.next_period(&opp).unwrap();
+        assert!(st.next_period(&opp).unwrap().is_none());
+    }
+
+    #[test]
+    fn periods_are_clamped_to_residual() {
+        let sched = EpisodeSchedule::single(secs(100.0)).unwrap();
+        let mut st = DriverState::new(&DriverKind::NonAdaptive(sched));
+        // Residual shrank (mid-period interrupt slack): clamp.
+        let opp = Opportunity::from_units(60.0, 1.0, 0);
+        assert_eq!(st.next_period(&opp).unwrap().unwrap(), secs(60.0));
+    }
+}

@@ -1,0 +1,590 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`NowSim`] runs a *network of workstations*: one shared bag of
+//! indivisible tasks, and any number of lender workstations, each with its
+//! own draconian contract `(U, c, p)`, its own owner-activity trace, and
+//! its own scheduling driver. Time is two-dimensional, as in the paper's
+//! setting: the **usable-lifespan clock** of each lender advances only
+//! while the borrower holds the machine, while the **wall clock** orders
+//! events across the whole NOW (owner busy spells freeze the former but
+//! not the latter).
+//!
+//! Per period the engine plays §2.2 exactly: dispatch pays the setup
+//! charge `c`, a period that completes banks its tasks, and an owner
+//! interrupt kills the period in flight — tasks are requeued, the elapsed
+//! slice of lifespan is lost. Experiment E8 checks that the engine's
+//! banked `Σ(t ⊖ c)` reproduces the analytic `W(S)` transcript for the
+//! same interrupt trace, and measures what the continuum model cannot see:
+//! quantization waste from task indivisibility.
+
+use crate::driver::{DriverKind, DriverState};
+use crate::metrics::{DoneReason, LenderMetrics, SimReport};
+use cyclesteal_core::error::Result;
+use cyclesteal_core::model::Opportunity;
+use cyclesteal_core::time::{Time, Work};
+use cyclesteal_workloads::{OwnerEvent, OwnerTrace, Task, TaskBag};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Configuration of one lender workstation.
+#[derive(Clone, Debug)]
+pub struct LenderConfig {
+    /// Display name for reports.
+    pub name: String,
+    /// The contracted opportunity `(U, c, p)`.
+    pub opportunity: Opportunity,
+    /// The owner's actual behaviour (may exceed the contracted `p`, in
+    /// which case the borrower walks away on the violating interrupt).
+    pub owner: OwnerTrace,
+    /// The borrower's scheduling discipline for this lender.
+    pub driver: DriverKind,
+    /// Optional wall-clock deadline: the borrower never starts a period
+    /// that cannot complete by it (results are due — work finished later
+    /// is worthless, so owner busy spells can run out the clock).
+    pub deadline: Option<Time>,
+}
+
+struct InFlight {
+    period_len: Time,
+    usable_start: Time,
+    tasks: Vec<Task>,
+    loaded: Work,
+}
+
+struct Lender {
+    name: String,
+    contracted: Opportunity,
+    driver: DriverState,
+    consumed: Time,
+    interrupts_used: u32,
+    owner_events: VecDeque<OwnerEvent>,
+    inflight: Option<InFlight>,
+    done: bool,
+    deadline: Option<Time>,
+    metrics: LenderMetrics,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EvKind {
+    PeriodEnd,
+    OwnerInterrupt,
+    OwnerReturn,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ev {
+    wall: Time,
+    seq: u64,
+    lender: usize,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.wall
+            .cmp(&other.wall)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulator: shared task bag + lender stations + event queue.
+pub struct NowSim {
+    lenders: Vec<Lender>,
+    bag: TaskBag,
+    queue: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    wall_end: Time,
+}
+
+impl NowSim {
+    /// Builds a simulation over `configs` sharing `bag`.
+    pub fn new(configs: Vec<LenderConfig>, bag: TaskBag) -> NowSim {
+        let lenders = configs
+            .into_iter()
+            .map(|cfg| Lender {
+                driver: DriverState::new(&cfg.driver),
+                owner_events: cfg.owner.events().iter().copied().collect(),
+                name: cfg.name,
+                contracted: cfg.opportunity,
+                consumed: Time::ZERO,
+                interrupts_used: 0,
+                inflight: None,
+                done: false,
+                deadline: cfg.deadline,
+                metrics: LenderMetrics::default(),
+            })
+            .collect();
+        NowSim {
+            lenders,
+            bag,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            wall_end: Time::ZERO,
+        }
+    }
+
+    fn push(&mut self, wall: Time, lender: usize, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Ev {
+            wall,
+            seq,
+            lender,
+            kind,
+        }));
+    }
+
+    /// Runs to quiescence and returns the report.
+    pub fn run(mut self) -> Result<SimReport> {
+        for i in 0..self.lenders.len() {
+            self.dispatch(i, Time::ZERO)?;
+        }
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            self.wall_end = self.wall_end.max(ev.wall);
+            match ev.kind {
+                EvKind::PeriodEnd => self.on_period_end(ev)?,
+                EvKind::OwnerInterrupt => self.on_owner_interrupt(ev)?,
+                EvKind::OwnerReturn => self.dispatch(ev.lender, ev.wall)?,
+            }
+        }
+        let lenders = self
+            .lenders
+            .into_iter()
+            .map(|l| (l.name, l.metrics))
+            .collect();
+        Ok(SimReport {
+            lenders,
+            tasks_remaining: self.bag.len(),
+            work_remaining: self.bag.remaining_work(),
+            wall_end: self.wall_end,
+        })
+    }
+
+    /// Commits the next period of lender `i` at wall time `now`, or marks
+    /// the lender finished.
+    fn dispatch(&mut self, i: usize, now: Time) -> Result<()> {
+        let eps = self.lenders[i].contracted.setup() * 1e-9;
+        let (residual, p_left) = {
+            let l = &self.lenders[i];
+            if l.done {
+                return Ok(());
+            }
+            (
+                l.contracted.lifespan() - l.consumed,
+                l.contracted.interrupts().saturating_sub(l.interrupts_used),
+            )
+        };
+        if residual <= eps {
+            self.finish(i, now, DoneReason::LifespanExhausted);
+            return Ok(());
+        }
+        if self.bag.is_empty() {
+            self.finish(i, now, DoneReason::OutOfTasks);
+            return Ok(());
+        }
+        let opp = Opportunity::new(residual, self.lenders[i].contracted.setup(), p_left)?;
+        let period = match self.lenders[i].driver.next_period(&opp)? {
+            Some(t) if t > eps => t,
+            _ => {
+                self.finish(i, now, DoneReason::ScheduleExhausted);
+                return Ok(());
+            }
+        };
+        if let Some(deadline) = self.lenders[i].deadline {
+            if now + period > deadline + eps {
+                self.finish(i, now, DoneReason::DeadlineReached);
+                return Ok(());
+            }
+        }
+
+        let c = self.lenders[i].contracted.setup();
+        let budget = period.pos_sub(c);
+        let tasks = self.bag.take_fitting(budget);
+        let loaded: Work = tasks.iter().map(|t| t.duration).sum();
+
+        let l = &mut self.lenders[i];
+        let usable_start = l.consumed;
+        l.inflight = Some(InFlight {
+            period_len: period,
+            usable_start,
+            tasks,
+            loaded,
+        });
+
+        // One outstanding event per lender: either the owner lands inside
+        // this period (strictly before its last instant boundary — the
+        // windows are half-open) or the period completes.
+        let interrupt_now = l
+            .owner_events
+            .front()
+            .map(|e| e.at_usable < usable_start + period)
+            .unwrap_or(false);
+        if interrupt_now {
+            let at = l.owner_events.front().expect("checked above").at_usable;
+            let dt = (at - usable_start).clamp_min_zero();
+            self.push(now + dt, i, EvKind::OwnerInterrupt);
+        } else {
+            self.push(now + period, i, EvKind::PeriodEnd);
+        }
+        Ok(())
+    }
+
+    fn on_period_end(&mut self, ev: Ev) -> Result<()> {
+        let i = ev.lender;
+        let c = self.lenders[i].contracted.setup();
+        let l = &mut self.lenders[i];
+        let fl = l.inflight.take().expect("PeriodEnd without inflight");
+        let banked = fl.period_len.pos_sub(c);
+        l.metrics.continuum_work += banked;
+        l.metrics.task_work += fl.loaded;
+        l.metrics.quantization_waste += banked - fl.loaded;
+        l.metrics.comm_overhead += fl.period_len.min(c);
+        l.metrics.tasks_completed += fl.tasks.len();
+        l.metrics.periods_completed += 1;
+        l.metrics.wall_last_completion = ev.wall;
+        l.consumed = fl.usable_start + fl.period_len;
+        self.dispatch(i, ev.wall)
+    }
+
+    fn on_owner_interrupt(&mut self, ev: Ev) -> Result<()> {
+        let i = ev.lender;
+        let budget = self.lenders[i].contracted.interrupts();
+        let (requeue, busy, residual_after, violated) = {
+            let l = &mut self.lenders[i];
+            let e = l
+                .owner_events
+                .pop_front()
+                .expect("OwnerInterrupt without a pending owner event");
+            let fl = l.inflight.take().expect("OwnerInterrupt without inflight");
+            let elapsed = (e.at_usable - fl.usable_start)
+                .clamp_min_zero()
+                .min(fl.period_len);
+            l.metrics.lost_time += elapsed;
+            l.metrics.periods_killed += 1;
+            l.metrics.interrupts += 1;
+            l.consumed = fl.usable_start + elapsed;
+            l.interrupts_used += 1;
+            let violated = l.interrupts_used > budget;
+            let residual_after = l.contracted.lifespan() - l.consumed;
+            if !violated {
+                l.driver
+                    .on_interrupt(residual_after, l.interrupts_used == budget);
+            }
+            (fl.tasks, e.busy_wall, residual_after, violated)
+        };
+        // The draconian kill loses the work, not the tasks.
+        self.bag.requeue_front(requeue);
+        let _ = residual_after;
+        if violated {
+            self.finish(i, ev.wall, DoneReason::ContractViolated);
+            return Ok(());
+        }
+        if busy.is_positive() {
+            self.push(ev.wall + busy, i, EvKind::OwnerReturn);
+            Ok(())
+        } else {
+            self.dispatch(i, ev.wall)
+        }
+    }
+
+    fn finish(&mut self, i: usize, wall: Time, reason: DoneReason) {
+        let l = &mut self.lenders[i];
+        debug_assert!(!l.done, "lender {} finished twice", l.name);
+        l.done = true;
+        l.metrics.done_reason = reason;
+        l.metrics.consumed_lifespan = l.consumed;
+        l.metrics.unused_lifespan = (l.contracted.lifespan() - l.consumed).clamp_min_zero();
+        l.metrics.wall_finished = wall;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_adversary::stochastic::TraceAdversary;
+    use cyclesteal_adversary::{game::run_game, UniformRandomAdversary};
+    
+    use cyclesteal_core::prelude::*;
+    use cyclesteal_workloads::TaskDist;
+    use std::sync::Arc;
+
+    fn lender(u: f64, c: f64, p: u32, owner: OwnerTrace, driver: DriverKind) -> LenderConfig {
+        LenderConfig {
+            name: "ws".into(),
+            opportunity: Opportunity::from_units(u, c, p),
+            owner,
+            driver,
+            deadline: None,
+        }
+    }
+
+    fn plenty_of_tiny_tasks(total: f64) -> TaskBag {
+        // 1/64 is binary-exact, so greedy packing fills budgets exactly.
+        TaskBag::generate_work(TaskDist::Constant(0.015625), secs(total), 1)
+    }
+
+    #[test]
+    fn quiet_owner_single_period_banks_everything() {
+        let cfg = lender(
+            100.0,
+            1.0,
+            0,
+            OwnerTrace::quiet(),
+            DriverKind::Adaptive(Arc::new(SinglePeriodPolicy)),
+        );
+        let report = NowSim::new(vec![cfg], plenty_of_tiny_tasks(200.0))
+            .run()
+            .unwrap();
+        let m = &report.lenders[0].1;
+        assert!(m.continuum_work.approx_eq(secs(99.0), secs(1e-9)));
+        // 1/64-unit tasks fill the 99-unit budget exactly (6336 tasks).
+        assert!(m.task_work.approx_eq(secs(99.0), secs(1e-6)));
+        assert_eq!(m.tasks_completed, 6336);
+        assert_eq!(m.done_reason, DoneReason::LifespanExhausted);
+        assert_eq!(m.interrupts, 0);
+        assert!(m.unused_lifespan.approx_eq(secs(0.0), secs(1e-9)));
+    }
+
+    #[test]
+    fn sim_reproduces_analytic_game_transcripts() {
+        // The load-bearing validation: for the same interrupt trace, the
+        // engine's banked Σ(t⊖c) equals the analytic game's total work.
+        let policy = AdaptiveGuideline::default();
+        for seed in 0..12u64 {
+            let trace = OwnerTrace::poisson(seed, 0.008, secs(480.0), 3, Time::ZERO);
+            let opp = Opportunity::from_units(500.0, 1.0, 3);
+
+            let mut adv = TraceAdversary::new(trace.interrupt_times());
+            let analytic = run_game(&policy, &mut adv, &opp).unwrap();
+
+            let cfg = lender(
+                500.0,
+                1.0,
+                3,
+                trace,
+                DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default())),
+            );
+            let report = NowSim::new(vec![cfg], plenty_of_tiny_tasks(600.0))
+                .run()
+                .unwrap();
+            let m = &report.lenders[0].1;
+            assert!(
+                m.continuum_work.approx_eq(analytic.total_work, secs(1e-6)),
+                "seed {seed}: sim {} vs analytic {}",
+                m.continuum_work,
+                analytic.total_work
+            );
+            assert_eq!(m.interrupts as usize, analytic.interrupts_used());
+        }
+    }
+
+    #[test]
+    fn nonadaptive_tail_replay_and_consolidation() {
+        // U=100, c=1, p=1, schedule 4×25, owner kills at usable 30
+        // (period 1, offset 5). Budget exhausted ⇒ consolidation: one long
+        // period over the residual 70. Banked: period 0 (24) + 69 = 93.
+        let sched = EpisodeSchedule::equal(secs(100.0), 4).unwrap();
+        let owner = OwnerTrace::new(vec![OwnerEvent {
+            at_usable: secs(30.0),
+            busy_wall: Time::ZERO,
+        }]);
+        let cfg = lender(100.0, 1.0, 1, owner, DriverKind::NonAdaptive(sched));
+        let report = NowSim::new(vec![cfg], plenty_of_tiny_tasks(150.0))
+            .run()
+            .unwrap();
+        let m = &report.lenders[0].1;
+        assert!(
+            m.continuum_work.approx_eq(secs(93.0), secs(1e-9)),
+            "banked {}",
+            m.continuum_work
+        );
+        assert!(m.lost_time.approx_eq(secs(5.0), secs(1e-9)));
+        assert_eq!(m.periods_killed, 1);
+        assert_eq!(m.done_reason, DoneReason::LifespanExhausted);
+    }
+
+    #[test]
+    fn nonadaptive_without_consolidation_leaves_slack() {
+        // p=2 but only 1 interrupt: oblivious tail replay. Kill at usable
+        // 30 (period 1 of 4×25, offset 5): tail = periods 2,3 (25 each),
+        // total scheduled after = 50 < residual 70 ⇒ 20 units unused.
+        let sched = EpisodeSchedule::equal(secs(100.0), 4).unwrap();
+        let owner = OwnerTrace::new(vec![OwnerEvent {
+            at_usable: secs(30.0),
+            busy_wall: Time::ZERO,
+        }]);
+        let cfg = lender(100.0, 1.0, 2, owner, DriverKind::NonAdaptive(sched));
+        let report = NowSim::new(vec![cfg], plenty_of_tiny_tasks(150.0))
+            .run()
+            .unwrap();
+        let m = &report.lenders[0].1;
+        // Banked: period 0 (24) + two tail periods (24 each) = 72.
+        assert!(m.continuum_work.approx_eq(secs(72.0), secs(1e-9)));
+        assert_eq!(m.done_reason, DoneReason::ScheduleExhausted);
+        assert!(m.unused_lifespan.approx_eq(secs(20.0), secs(1e-9)));
+    }
+
+    #[test]
+    fn contract_violation_ends_participation() {
+        // p=1 contracted, but the owner interrupts twice.
+        let owner = OwnerTrace::new(vec![
+            OwnerEvent {
+                at_usable: secs(20.0),
+                busy_wall: Time::ZERO,
+            },
+            OwnerEvent {
+                at_usable: secs(40.0),
+                busy_wall: Time::ZERO,
+            },
+        ]);
+        let cfg = lender(
+            100.0,
+            1.0,
+            1,
+            owner,
+            DriverKind::Adaptive(Arc::new(EqualPeriodsPolicy::new(2))),
+        );
+        let report = NowSim::new(vec![cfg], plenty_of_tiny_tasks(150.0))
+            .run()
+            .unwrap();
+        let m = &report.lenders[0].1;
+        assert_eq!(m.done_reason, DoneReason::ContractViolated);
+        assert_eq!(m.interrupts, 2);
+        assert!(m.unused_lifespan > secs(50.0));
+    }
+
+    #[test]
+    fn busy_spells_stretch_wall_clock_not_usable() {
+        let owner = OwnerTrace::new(vec![OwnerEvent {
+            at_usable: secs(50.0),
+            busy_wall: secs(500.0),
+        }]);
+        let cfg = lender(
+            100.0,
+            1.0,
+            1,
+            owner,
+            DriverKind::Adaptive(Arc::new(EqualPeriodsPolicy::new(4))),
+        );
+        let report = NowSim::new(vec![cfg], plenty_of_tiny_tasks(150.0))
+            .run()
+            .unwrap();
+        let m = &report.lenders[0].1;
+        assert_eq!(m.done_reason, DoneReason::LifespanExhausted);
+        // Usable lifespan fully consumed, but the wall clock includes the
+        // owner's 500-unit session.
+        assert!(m.consumed_lifespan.approx_eq(secs(100.0), secs(1e-9)));
+        assert!(m.wall_finished >= secs(600.0) - secs(1e-6));
+    }
+
+    #[test]
+    fn out_of_tasks_stops_early_and_conserves_tasks() {
+        let bag = TaskBag::generate(TaskDist::Constant(5.0), 4, 1); // 20 work
+        let cfg = lender(
+            1000.0,
+            1.0,
+            0,
+            OwnerTrace::quiet(),
+            DriverKind::Adaptive(Arc::new(EqualPeriodsPolicy::new(10))),
+        );
+        let report = NowSim::new(vec![cfg], bag).run().unwrap();
+        let m = &report.lenders[0].1;
+        assert_eq!(m.done_reason, DoneReason::OutOfTasks);
+        assert_eq!(m.tasks_completed + report.tasks_remaining, 4);
+        assert_eq!(report.tasks_remaining, 0);
+        assert!(m.unused_lifespan > secs(700.0));
+    }
+
+    #[test]
+    fn shared_bag_conserves_tasks_across_lenders() {
+        let n_tasks = 600usize;
+        let bag = TaskBag::generate(TaskDist::Uniform { lo: 0.5, hi: 3.0 }, n_tasks, 7);
+        let mk = |seed: u64| {
+            lender(
+                400.0,
+                1.0,
+                3,
+                OwnerTrace::poisson(seed, 0.01, secs(400.0), 3, secs(5.0)),
+                DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default())),
+            )
+        };
+        let report = NowSim::new(vec![mk(1), mk(2), mk(3)], bag).run().unwrap();
+        let done: usize = report.lenders.iter().map(|(_, m)| m.tasks_completed).sum();
+        assert_eq!(done + report.tasks_remaining, n_tasks);
+        // All three lenders made progress.
+        for (name, m) in &report.lenders {
+            assert!(m.tasks_completed > 0, "{name} did nothing");
+        }
+    }
+
+    #[test]
+    fn quantization_waste_appears_with_chunky_tasks() {
+        // Periods of ~10 (budget 9) but tasks of 4: each period fits 2
+        // tasks (8), wasting 1 — waste ≈ 1/9 of capacity.
+        let bag = TaskBag::generate(TaskDist::Constant(4.0), 500, 1);
+        let cfg = lender(
+            100.0,
+            1.0,
+            0,
+            OwnerTrace::quiet(),
+            DriverKind::Adaptive(Arc::new(EqualPeriodsPolicy::new(10))),
+        );
+        let report = NowSim::new(vec![cfg], bag).run().unwrap();
+        let m = &report.lenders[0].1;
+        assert!(m.quantization_waste > secs(5.0));
+        assert!(
+            (m.task_work + m.quantization_waste).approx_eq(m.continuum_work, secs(1e-6)),
+            "waste accounting must close"
+        );
+    }
+
+    #[test]
+    fn stochastic_adversary_equivalence_smoke() {
+        // UniformRandomAdversary in the analytic game and the same
+        // interrupts replayed in the sim agree. (Build the trace from a
+        // game transcript first.)
+        let policy = EqualPeriodsPolicy::new(8);
+        let opp = Opportunity::from_units(300.0, 1.0, 2);
+        let mut adv = UniformRandomAdversary::new(99, 0.7);
+        let log = run_game(&policy, &mut adv, &opp).unwrap();
+        // Reconstruct absolute interrupt times from the transcript.
+        let mut abs = Vec::new();
+        let mut elapsed = Time::ZERO;
+        for ep in &log.episodes {
+            if !matches!(ep.response, InterruptSpec::None) {
+                abs.push(elapsed + ep.consumed);
+            }
+            elapsed += ep.consumed;
+        }
+        let events = abs
+            .iter()
+            .map(|&t| OwnerEvent {
+                at_usable: t,
+                busy_wall: Time::ZERO,
+            })
+            .collect();
+        let cfg = lender(
+            300.0,
+            1.0,
+            2,
+            OwnerTrace::new(events),
+            DriverKind::Adaptive(Arc::new(EqualPeriodsPolicy::new(8))),
+        );
+        let report = NowSim::new(vec![cfg], plenty_of_tiny_tasks(400.0))
+            .run()
+            .unwrap();
+        let m = &report.lenders[0].1;
+        assert!(
+            m.continuum_work.approx_eq(log.total_work, secs(1e-6)),
+            "sim {} vs game {}",
+            m.continuum_work,
+            log.total_work
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-lender and aggregate accounting for simulated opportunities.
+
+use cyclesteal_core::time::{Time, Work};
+
+/// Why a lender's participation ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DoneReason {
+    /// Still running (only observable mid-simulation).
+    #[default]
+    Running,
+    /// The contracted usable lifespan was fully consumed.
+    LifespanExhausted,
+    /// A committed non-adaptive schedule ran out of periods (mid-period
+    /// interrupts leave unusable slack under the oblivious discipline).
+    ScheduleExhausted,
+    /// The shared task bag ran dry.
+    OutOfTasks,
+    /// The owner interrupted more than the contracted `p` times; the
+    /// borrower walks away (the draconian contract is void).
+    ContractViolated,
+    /// The borrower's wall-clock deadline arrived (results were due; no
+    /// period that cannot complete by the deadline is started).
+    DeadlineReached,
+}
+
+/// Everything measured about one lender's opportunity.
+#[derive(Clone, Debug, Default)]
+pub struct LenderMetrics {
+    /// The continuum model's banked work: `Σ (t ⊖ c)` over completed
+    /// periods. This is the quantity the paper's `W(S)` predicts.
+    pub continuum_work: Work,
+    /// Task time actually completed (≤ `continuum_work` because tasks are
+    /// indivisible).
+    pub task_work: Work,
+    /// Capacity lost to task indivisibility: `continuum_work − task_work`.
+    pub quantization_waste: Work,
+    /// Setup charges paid on completed periods.
+    pub comm_overhead: Time,
+    /// Usable lifespan destroyed by kills (partial periods).
+    pub lost_time: Time,
+    /// Contracted lifespan never scheduled (oblivious-tail slack, or the
+    /// bag running dry).
+    pub unused_lifespan: Time,
+    /// Completed tasks.
+    pub tasks_completed: usize,
+    /// Periods that completed and banked work.
+    pub periods_completed: usize,
+    /// Periods killed in flight.
+    pub periods_killed: usize,
+    /// Owner interrupts observed (may exceed the contracted `p` by one on
+    /// a contract violation).
+    pub interrupts: u32,
+    /// Usable lifespan consumed.
+    pub consumed_lifespan: Time,
+    /// Wall-clock instant the lender finished (gave up or ran out); may
+    /// exceed a deadline when the final decision happens after an owner
+    /// busy spell returns past it.
+    pub wall_finished: Time,
+    /// Wall-clock instant of the last *completed* period — never exceeds
+    /// a configured deadline.
+    pub wall_last_completion: Time,
+    /// Why the lender stopped.
+    pub done_reason: DoneReason,
+}
+
+/// Aggregate report over all lenders of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// `(lender name, metrics)` in configuration order.
+    pub lenders: Vec<(String, LenderMetrics)>,
+    /// Tasks left in the shared bag at the end.
+    pub tasks_remaining: usize,
+    /// Work left in the shared bag at the end.
+    pub work_remaining: Work,
+    /// Wall-clock instant the simulation went quiet.
+    pub wall_end: Time,
+}
+
+impl SimReport {
+    /// Total continuum work banked across lenders.
+    pub fn total_continuum_work(&self) -> Work {
+        self.lenders.iter().map(|(_, m)| m.continuum_work).sum()
+    }
+
+    /// Total completed task time across lenders.
+    pub fn total_task_work(&self) -> Work {
+        self.lenders.iter().map(|(_, m)| m.task_work).sum()
+    }
+
+    /// Total completed tasks across lenders.
+    pub fn total_tasks(&self) -> usize {
+        self.lenders.iter().map(|(_, m)| m.tasks_completed).sum()
+    }
+
+    /// Renders a compact per-lender table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<14} {:>10} {:>10} {:>8} {:>8} {:>6} {:>6} {:>18}\n",
+            "lender", "W (model)", "task work", "lost", "unused", "tasks", "intr", "finished because"
+        ));
+        for (name, m) in &self.lenders {
+            out.push_str(&format!(
+                "{:<14} {:>10.1} {:>10.1} {:>8.1} {:>8.1} {:>6} {:>6} {:>18}\n",
+                name,
+                m.continuum_work,
+                m.task_work,
+                m.lost_time,
+                m.unused_lifespan,
+                m.tasks_completed,
+                m.interrupts,
+                format!("{:?}", m.done_reason),
+            ));
+        }
+        out.push_str(&format!(
+            "TOTAL model W = {:.1}, task work = {:.1}, tasks = {}, bag leftover = {}\n",
+            self.total_continuum_work(),
+            self.total_task_work(),
+            self.total_tasks(),
+            self.tasks_remaining
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::time::secs;
+
+    #[test]
+    fn report_totals_sum_over_lenders() {
+        let a = LenderMetrics {
+            continuum_work: secs(10.0),
+            task_work: secs(8.0),
+            tasks_completed: 3,
+            ..LenderMetrics::default()
+        };
+        let b = LenderMetrics {
+            continuum_work: secs(5.0),
+            task_work: secs(5.0),
+            tasks_completed: 2,
+            ..LenderMetrics::default()
+        };
+        let report = SimReport {
+            lenders: vec![("a".into(), a), ("b".into(), b)],
+            tasks_remaining: 1,
+            work_remaining: secs(2.0),
+            wall_end: secs(100.0),
+        };
+        assert_eq!(report.total_continuum_work(), secs(15.0));
+        assert_eq!(report.total_task_work(), secs(13.0));
+        assert_eq!(report.total_tasks(), 5);
+        let text = report.render();
+        assert!(text.contains("TOTAL"));
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the NOW simulator: conservation laws and contract
+//! semantics under randomized owners, workloads and disciplines.
+
+use cyclesteal_core::prelude::*;
+use cyclesteal_workloads::{OwnerTrace, TaskBag, TaskDist};
+use now_sim::{DoneReason, DriverKind, LenderConfig, NowSim};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_driver() -> impl Strategy<Value = u8> {
+    0u8..4
+}
+
+fn mk_driver(kind: u8, opp: &Opportunity) -> DriverKind {
+    match kind {
+        0 => DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default())),
+        1 => DriverKind::Adaptive(Arc::new(SelfSimilarGuideline::default())),
+        2 => DriverKind::Adaptive(Arc::new(EqualPeriodsPolicy::new(6))),
+        _ => DriverKind::NonAdaptive(NonAdaptiveGuideline::build(opp).unwrap()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any owner, workload and discipline: tasks are conserved,
+    /// accounting closes, and every clock inequality holds.
+    #[test]
+    fn conservation_and_accounting(
+        u in 50.0f64..800.0,
+        p in 0u32..5,
+        kind in arb_driver(),
+        seed in 0u64..5_000,
+        rate in 0.0f64..0.02,
+        busy in 0.0f64..30.0,
+        n_tasks in 10usize..200,
+    ) {
+        let opp = Opportunity::from_units(u, 1.0, p);
+        let owner = OwnerTrace::poisson(seed, rate, secs(u), p as usize + 1, secs(busy));
+        let bag = TaskBag::generate(TaskDist::Uniform { lo: 0.3, hi: 3.0 }, n_tasks, seed);
+        let cfg = LenderConfig {
+            name: "ws".into(),
+            opportunity: opp,
+            owner,
+            driver: mk_driver(kind, &opp),
+            deadline: None,
+        };
+        let report = NowSim::new(vec![cfg], bag).run().unwrap();
+        let m = &report.lenders[0].1;
+
+        // Task conservation.
+        prop_assert_eq!(m.tasks_completed + report.tasks_remaining, n_tasks);
+        // Work accounting closes.
+        prop_assert!((m.task_work + m.quantization_waste - m.continuum_work).abs()
+            <= secs(1e-6));
+        // Clocks: consumed + unused = contracted; wall ≥ consumed.
+        prop_assert!((m.consumed_lifespan + m.unused_lifespan - secs(u)).abs()
+            <= secs(1e-6));
+        prop_assert!(m.wall_finished + secs(1e-6) >= m.consumed_lifespan);
+        // Contract: at most p interrupts unless the trace violated it,
+        // in which case the run ended on the violation.
+        if m.interrupts > p {
+            prop_assert_eq!(m.done_reason, DoneReason::ContractViolated);
+            prop_assert_eq!(m.interrupts, p + 1);
+        }
+        // Banked work is bounded by the consumed lifespan.
+        prop_assert!(m.continuum_work <= m.consumed_lifespan + secs(1e-6));
+    }
+
+    /// Deadlines are honoured: nothing completes after the deadline, and
+    /// a tight deadline strictly reduces (or preserves) banked work.
+    #[test]
+    fn deadlines_are_honoured(
+        u in 100.0f64..500.0,
+        deadline_frac in 0.1f64..1.5,
+        seed in 0u64..2_000,
+    ) {
+        let p = 2u32;
+        let opp = Opportunity::from_units(u, 1.0, p);
+        let owner = OwnerTrace::poisson(seed, 0.005, secs(u), p as usize, secs(20.0));
+        let bag = || TaskBag::generate(TaskDist::Constant(0.5), 4_000, seed);
+        let mk = |deadline: Option<Time>| LenderConfig {
+            name: "ws".into(),
+            opportunity: opp,
+            owner: owner.clone(),
+            driver: DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default())),
+            deadline,
+        };
+        let deadline = secs(u * deadline_frac);
+        let with = NowSim::new(vec![mk(Some(deadline))], bag()).run().unwrap();
+        let without = NowSim::new(vec![mk(None)], bag()).run().unwrap();
+        let mw = &with.lenders[0].1;
+        let mo = &without.lenders[0].1;
+        prop_assert!(mw.wall_last_completion <= deadline + secs(1e-6),
+            "period completed at {} after deadline {deadline}", mw.wall_last_completion);
+        prop_assert!(mw.continuum_work <= mo.continuum_work + secs(1e-6),
+            "deadline increased banked work");
+    }
+
+    /// Multi-lender runs preserve global task conservation and never
+    /// duplicate a task across stations.
+    #[test]
+    fn pool_task_conservation(
+        n_lenders in 1usize..6,
+        n_tasks in 20usize..300,
+        seed in 0u64..2_000,
+    ) {
+        let lenders: Vec<LenderConfig> = (0..n_lenders).map(|i| {
+            let opp = Opportunity::from_units(200.0 + 40.0 * i as f64, 1.0, 2);
+            LenderConfig {
+                name: format!("ws{i}"),
+                opportunity: opp,
+                owner: OwnerTrace::poisson(seed + i as u64, 0.01, secs(400.0), 2, secs(10.0)),
+                driver: mk_driver((i % 4) as u8, &opp),
+                deadline: None,
+            }
+        }).collect();
+        let bag = TaskBag::generate(TaskDist::Uniform { lo: 0.3, hi: 2.0 }, n_tasks, seed);
+        let report = NowSim::new(lenders, bag).run().unwrap();
+        let done: usize = report.lenders.iter().map(|(_, m)| m.tasks_completed).sum();
+        prop_assert_eq!(done + report.tasks_remaining, n_tasks);
+    }
+}

@@ -1,0 +1,25 @@
+//! # cyclesteal-workloads
+//!
+//! Synthetic data-parallel workloads and owner-activity traces for the
+//! NOW cycle-stealing experiments: the closest executable equivalent of
+//! the workstation-pool setting the paper's introduction motivates
+//! (render/compile/simulate task bags farmed out to colleagues' idle
+//! machines, whose owners come back at inconvenient times).
+//!
+//! * [`tasks`] — indivisible tasks with perfectly known durations (the
+//!   paper's §2 assumptions), bag-of-tasks plumbing, and four duration
+//!   mixes (constant, uniform, bimodal, heavy-tailed Pareto).
+//! * [`owner`] — interrupt traces: Poisson owners, session-structured
+//!   owners, the undocked laptop; plus a plain-text trace format.
+//!
+//! Everything is seeded and reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod owner;
+pub mod tasks;
+
+pub use owner::{OwnerEvent, OwnerTrace};
+pub use tasks::{Task, TaskBag, TaskDist};

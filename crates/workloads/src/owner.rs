@@ -1,0 +1,267 @@
+//! Owner-activity traces: when (in usable-lifespan time) the owner of a
+//! lent workstation interrupts, and for how long (wall-clock) each
+//! interruption keeps the machine away.
+//!
+//! The paper's contract promises a usable lifespan `U` and at most `p`
+//! interrupts; these generators produce the owner behaviours the NOW-era
+//! literature motivates — a Poisson "checks email now and then" owner, a
+//! session-structured daytime owner, and the laptop that gets unplugged —
+//! plus a plain-text serialization so traces can be recorded and replayed.
+
+use cyclesteal_core::time::Time;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One owner interruption: at `at_usable` units of *consumed usable
+/// lifespan*, the owner reclaims the machine for `busy_wall` wall-clock
+/// units (zero for the paper's instantaneous-kill reading).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OwnerEvent {
+    /// When the interrupt lands, measured in consumed usable lifespan.
+    pub at_usable: Time,
+    /// How long the owner keeps the machine (wall-clock); the usable-
+    /// lifespan clock is frozen while the owner is active.
+    pub busy_wall: Time,
+}
+
+/// A (sorted) sequence of owner interruptions for one lender.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OwnerTrace {
+    events: Vec<OwnerEvent>,
+}
+
+impl OwnerTrace {
+    /// An owner who never interrupts.
+    pub fn quiet() -> OwnerTrace {
+        OwnerTrace::default()
+    }
+
+    /// Builds a trace from events; they must be strictly increasing in
+    /// `at_usable` and non-negative in both fields.
+    pub fn new(events: Vec<OwnerEvent>) -> OwnerTrace {
+        for e in &events {
+            assert!(!e.at_usable.is_negative() && !e.busy_wall.is_negative());
+        }
+        for w in events.windows(2) {
+            assert!(
+                w[0].at_usable < w[1].at_usable,
+                "owner events must be strictly increasing in usable time"
+            );
+        }
+        OwnerTrace { events }
+    }
+
+    /// The events, in order.
+    pub fn events(&self) -> &[OwnerEvent] {
+        &self.events
+    }
+
+    /// Number of interruptions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` iff the owner never interrupts.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Only the interrupt instants (for the analytic game's
+    /// `TraceAdversary`, which models instantaneous kills).
+    pub fn interrupt_times(&self) -> Vec<Time> {
+        self.events.iter().map(|e| e.at_usable).collect()
+    }
+
+    /// Poisson owner: interrupts arrive at `rate` per usable time unit
+    /// over `[0, horizon)`, capped at `max_events`; each busy spell is
+    /// exponential with mean `mean_busy` (zero mean ⇒ instantaneous).
+    pub fn poisson(seed: u64, rate: f64, horizon: Time, max_events: usize, mean_busy: Time) -> OwnerTrace {
+        assert!(rate >= 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        if rate == 0.0 {
+            return OwnerTrace { events };
+        }
+        let mut t = 0.0f64;
+        while events.len() < max_events {
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / rate;
+            if t >= horizon.get() {
+                break;
+            }
+            let busy = if mean_busy.is_positive() {
+                let v: f64 = rng.gen();
+                Time::new(-(1.0 - v).ln() * mean_busy.get())
+            } else {
+                Time::ZERO
+            };
+            events.push(OwnerEvent {
+                at_usable: Time::new(t),
+                busy_wall: busy,
+            });
+        }
+        OwnerTrace { events }
+    }
+
+    /// Session-structured owner: alternating away/back periods. The owner
+    /// is away for `Uniform[away_lo, away_hi)` usable units, then returns
+    /// and works for `Uniform[busy_lo, busy_hi)` wall units (one interrupt
+    /// per return), until `horizon` usable units have elapsed.
+    pub fn sessions(
+        seed: u64,
+        away: (f64, f64),
+        busy: (f64, f64),
+        horizon: Time,
+        max_events: usize,
+    ) -> OwnerTrace {
+        assert!(away.0 > 0.0 && away.1 > away.0 && busy.0 >= 0.0 && busy.1 > busy.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let mut t = 0.0f64;
+        while events.len() < max_events {
+            t += rng.gen_range(away.0..away.1);
+            if t >= horizon.get() {
+                break;
+            }
+            events.push(OwnerEvent {
+                at_usable: Time::new(t),
+                busy_wall: Time::new(rng.gen_range(busy.0..busy.1)),
+            });
+        }
+        OwnerTrace { events }
+    }
+
+    /// The laptop owner: one fatal undocking at `at` (modelled as an
+    /// interrupt followed by an effectively infinite busy spell, truncated
+    /// to `rest_of_horizon`).
+    pub fn laptop_undock(at: Time, rest_of_horizon: Time) -> OwnerTrace {
+        OwnerTrace {
+            events: vec![OwnerEvent {
+                at_usable: at,
+                busy_wall: rest_of_horizon,
+            }],
+        }
+    }
+
+    /// Serializes to a plain-text format: one `at_usable busy_wall` pair
+    /// per line, `#`-prefixed comments allowed.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# owner trace: at_usable busy_wall (time units)\n");
+        for e in &self.events {
+            out.push_str(&format!("{} {}\n", e.at_usable.get(), e.busy_wall.get()));
+        }
+        out
+    }
+
+    /// Parses the [`OwnerTrace::to_text`] format.
+    pub fn from_text(text: &str) -> Result<OwnerTrace, String> {
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let at: f64 = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing at_usable", lineno + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let busy: f64 = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing busy_wall", lineno + 1))?
+                .parse()
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            if parts.next().is_some() {
+                return Err(format!("line {}: trailing tokens", lineno + 1));
+            }
+            events.push(OwnerEvent {
+                at_usable: Time::new(at),
+                busy_wall: Time::new(busy),
+            });
+        }
+        for w in events.windows(2) {
+            if w[0].at_usable >= w[1].at_usable {
+                return Err("events not strictly increasing".to_string());
+            }
+        }
+        Ok(OwnerTrace { events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::time::secs;
+
+    #[test]
+    fn poisson_trace_is_deterministic_sorted_and_capped() {
+        let a = OwnerTrace::poisson(1, 0.05, secs(1000.0), 8, secs(10.0));
+        let b = OwnerTrace::poisson(1, 0.05, secs(1000.0), 8, secs(10.0));
+        assert_eq!(a, b);
+        assert!(a.len() <= 8);
+        for w in a.events().windows(2) {
+            assert!(w[0].at_usable < w[1].at_usable);
+        }
+        // Expected ~0.05·1000 = 50 arrivals, so the cap of 8 binds.
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn poisson_rate_zero_is_quiet() {
+        let t = OwnerTrace::poisson(1, 0.0, secs(1000.0), 10, Time::ZERO);
+        assert!(t.is_empty());
+        assert_eq!(t, OwnerTrace::quiet());
+    }
+
+    #[test]
+    fn sessions_trace_respects_horizon() {
+        let t = OwnerTrace::sessions(3, (50.0, 100.0), (5.0, 20.0), secs(400.0), 100);
+        assert!(t.len() <= 8); // at least 50 apart within 400
+        for e in t.events() {
+            assert!(e.at_usable < secs(400.0));
+            assert!(e.busy_wall >= secs(5.0) && e.busy_wall < secs(20.0));
+        }
+    }
+
+    #[test]
+    fn laptop_undock_is_single_fatal_event() {
+        let t = OwnerTrace::laptop_undock(secs(120.0), secs(10_000.0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.interrupt_times(), vec![secs(120.0)]);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = OwnerTrace::poisson(7, 0.01, secs(2000.0), 16, secs(30.0));
+        let text = t.to_text();
+        let back = OwnerTrace::from_text(&text).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn text_parser_rejects_garbage() {
+        assert!(OwnerTrace::from_text("1.0").is_err());
+        assert!(OwnerTrace::from_text("1.0 2.0 3.0").is_err());
+        assert!(OwnerTrace::from_text("abc def").is_err());
+        assert!(OwnerTrace::from_text("5.0 1.0\n4.0 1.0").is_err());
+        // Comments and blanks are fine.
+        let ok = OwnerTrace::from_text("# hi\n\n1.0 0.5\n2.0 0.0\n").unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn constructor_rejects_unsorted() {
+        let _ = OwnerTrace::new(vec![
+            OwnerEvent {
+                at_usable: secs(5.0),
+                busy_wall: Time::ZERO,
+            },
+            OwnerEvent {
+                at_usable: secs(3.0),
+                busy_wall: Time::ZERO,
+            },
+        ]);
+    }
+}

@@ -1,0 +1,280 @@
+//! Data-parallel task bags.
+//!
+//! The paper's §2 assumptions: "tasks are indivisible; task times may vary
+//! but are known perfectly; the time allotted to a task includes the
+//! marginal cost of transmitting its input and output data." A [`TaskBag`]
+//! is the bag-of-tasks a borrower draws periods of work from; because tasks
+//! are indivisible, a period of length `t` carries the greedy prefix of
+//! tasks fitting its `t ⊖ c` budget, and the shortfall is *quantization
+//! waste* the continuum model does not see (measured by experiment E8).
+
+use cyclesteal_core::time::{Time, Work};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// One indivisible data-parallel task with a perfectly known duration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Task {
+    /// Stable identifier (unique within its bag).
+    pub id: u64,
+    /// The task's processing time, inclusive of marginal data-transfer
+    /// costs (per the paper's accounting).
+    pub duration: Time,
+}
+
+/// Families of task-duration distributions for workload generation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TaskDist {
+    /// All tasks take exactly this long.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive); must exceed `lo`.
+        hi: f64,
+    },
+    /// A mix of short and long tasks (e.g. thumbnails vs full renders).
+    Bimodal {
+        /// Duration of the short class.
+        short: f64,
+        /// Duration of the long class.
+        long: f64,
+        /// Fraction of tasks in the long class, in `[0, 1]`.
+        frac_long: f64,
+    },
+    /// Heavy-tailed Pareto with minimum `scale` and tail index `shape`
+    /// (sampled by inverse CDF; `shape > 1` for a finite mean).
+    Pareto {
+        /// Tail index `α`.
+        shape: f64,
+        /// Minimum duration `x_m`.
+        scale: f64,
+    },
+}
+
+impl TaskDist {
+    /// Samples one duration.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            TaskDist::Constant(d) => d,
+            TaskDist::Uniform { lo, hi } => rng.gen_range(lo..hi),
+            TaskDist::Bimodal {
+                short,
+                long,
+                frac_long,
+            } => {
+                if rng.gen_bool(frac_long) {
+                    long
+                } else {
+                    short
+                }
+            }
+            TaskDist::Pareto { shape, scale } => {
+                let u: f64 = rng.gen(); // [0, 1)
+                scale / (1.0 - u).powf(1.0 / shape)
+            }
+        }
+    }
+
+    /// The distribution's mean (exact; used to size bags).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            TaskDist::Constant(d) => d,
+            TaskDist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            TaskDist::Bimodal {
+                short,
+                long,
+                frac_long,
+            } => short * (1.0 - frac_long) + long * frac_long,
+            TaskDist::Pareto { shape, scale } => {
+                assert!(shape > 1.0, "Pareto mean requires shape > 1");
+                shape * scale / (shape - 1.0)
+            }
+        }
+    }
+}
+
+/// A FIFO bag of indivisible tasks shared by the borrower's dispatchers.
+#[derive(Clone, Debug, Default)]
+pub struct TaskBag {
+    tasks: VecDeque<Task>,
+    next_id: u64,
+}
+
+impl TaskBag {
+    /// An empty bag.
+    pub fn new() -> TaskBag {
+        TaskBag::default()
+    }
+
+    /// Generates `count` tasks from `dist` with a deterministic seed.
+    pub fn generate(dist: TaskDist, count: usize, seed: u64) -> TaskBag {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bag = TaskBag::new();
+        for _ in 0..count {
+            let d = dist.sample(&mut rng);
+            bag.push_duration(Time::new(d));
+        }
+        bag
+    }
+
+    /// Generates tasks until the bag holds at least `total` work.
+    pub fn generate_work(dist: TaskDist, total: Time, seed: u64) -> TaskBag {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bag = TaskBag::new();
+        let mut acc = Time::ZERO;
+        while acc < total {
+            let d = Time::new(dist.sample(&mut rng));
+            acc += d;
+            bag.push_duration(d);
+        }
+        bag
+    }
+
+    /// Appends a task of the given duration (ids are assigned in order).
+    pub fn push_duration(&mut self, duration: Time) {
+        assert!(duration.is_positive(), "task durations must be positive");
+        let id = self.next_id;
+        self.next_id += 1;
+        self.tasks.push_back(Task { id, duration });
+    }
+
+    /// Number of tasks remaining.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` iff no tasks remain.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total work remaining in the bag.
+    pub fn remaining_work(&self) -> Work {
+        self.tasks.iter().map(|t| t.duration).sum()
+    }
+
+    /// Draws the greedy FIFO prefix of tasks whose total duration fits in
+    /// `budget` (a period's `t ⊖ c`). Tasks are indivisible: the first
+    /// task that does not fit stays in the bag, ending the draw (FIFO
+    /// order is preserved — the paper's model has no reordering).
+    pub fn take_fitting(&mut self, budget: Work) -> Vec<Task> {
+        let mut out = Vec::new();
+        let mut used = Work::ZERO;
+        while let Some(&front) = self.tasks.front() {
+            if used + front.duration <= budget {
+                used += front.duration;
+                out.push(front);
+                self.tasks.pop_front();
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Returns killed (never-completed) tasks to the *front* of the bag in
+    /// their original order, so the draconian kill loses work but not
+    /// tasks.
+    pub fn requeue_front(&mut self, tasks: Vec<Task>) {
+        for task in tasks.into_iter().rev() {
+            self.tasks.push_front(task);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::time::secs;
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let d = TaskDist::Uniform { lo: 1.0, hi: 5.0 };
+        let a = TaskBag::generate(d, 100, 42);
+        let b = TaskBag::generate(d, 100, 42);
+        let c = TaskBag::generate(d, 100, 43);
+        assert_eq!(a.tasks, b.tasks);
+        assert_ne!(a.tasks, c.tasks);
+    }
+
+    #[test]
+    fn generate_work_reaches_target() {
+        let d = TaskDist::Constant(3.0);
+        let bag = TaskBag::generate_work(d, secs(10.0), 1);
+        assert_eq!(bag.len(), 4); // 3+3+3+3 ≥ 10
+        assert_eq!(bag.remaining_work(), secs(12.0));
+    }
+
+    #[test]
+    fn sample_means_match_analytic_means() {
+        let dists = [
+            TaskDist::Constant(4.0),
+            TaskDist::Uniform { lo: 1.0, hi: 9.0 },
+            TaskDist::Bimodal {
+                short: 1.0,
+                long: 10.0,
+                frac_long: 0.25,
+            },
+            TaskDist::Pareto {
+                shape: 3.0,
+                scale: 2.0,
+            },
+        ];
+        let mut rng = StdRng::seed_from_u64(9);
+        for d in dists {
+            let n = 60_000;
+            let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+            let emp = sum / n as f64;
+            let want = d.mean();
+            assert!(
+                (emp - want).abs() / want < 0.05,
+                "{d:?}: empirical {emp} vs analytic {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn take_fitting_is_greedy_fifo_and_indivisible() {
+        let mut bag = TaskBag::new();
+        for d in [3.0, 3.0, 5.0, 1.0] {
+            bag.push_duration(secs(d));
+        }
+        // Budget 7: takes 3 + 3, stops at the 5 (indivisible, FIFO).
+        let got = bag.take_fitting(secs(7.0));
+        assert_eq!(got.len(), 2);
+        assert_eq!(bag.len(), 2);
+        assert_eq!(bag.remaining_work(), secs(6.0));
+        // Zero budget takes nothing.
+        assert!(bag.take_fitting(secs(0.0)).is_empty());
+    }
+
+    #[test]
+    fn requeue_front_preserves_order() {
+        let mut bag = TaskBag::new();
+        for d in [1.0, 2.0, 3.0] {
+            bag.push_duration(secs(d));
+        }
+        let taken = bag.take_fitting(secs(3.0)); // tasks 0 and 1
+        assert_eq!(taken.len(), 2);
+        bag.requeue_front(taken);
+        let ids: Vec<u64> = bag.tasks.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn pareto_tail_is_heavy() {
+        let d = TaskDist::Pareto {
+            shape: 1.5,
+            scale: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let over4 = (0..n).filter(|_| d.sample(&mut rng) > 4.0).count();
+        // P(X > 4) = 4^{−1.5} = 0.125.
+        let frac = over4 as f64 / n as f64;
+        assert!((frac - 0.125).abs() < 0.02, "tail fraction {frac}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for workload generation: conservation laws of the task
+//! bag, trace serialization round-trips, distribution sanity.
+
+use cyclesteal_core::time::{secs, Time, Work};
+use cyclesteal_workloads::{OwnerTrace, TaskBag, TaskDist};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Tasks are conserved under arbitrary take/requeue interleavings, and
+    /// FIFO order is restored when everything is requeued.
+    #[test]
+    fn bag_conservation_under_take_requeue(
+        durations in prop::collection::vec(0.1f64..5.0, 1..60),
+        budgets in prop::collection::vec(0.0f64..20.0, 1..20),
+    ) {
+        let mut bag = TaskBag::new();
+        for &d in &durations {
+            bag.push_duration(secs(d));
+        }
+        let n = bag.len();
+        let total = bag.remaining_work();
+
+        let mut in_flight = Vec::new();
+        for &b in &budgets {
+            let taken = bag.take_fitting(secs(b));
+            in_flight.push(taken);
+        }
+        let out: usize = in_flight.iter().map(Vec::len).sum();
+        prop_assert_eq!(bag.len() + out, n);
+
+        // Requeue everything in reverse order of taking (like nested
+        // kills) — the bag must end up whole.
+        let mut returned: Work = bag.remaining_work();
+        for batch in in_flight.into_iter().rev() {
+            returned += batch.iter().map(|t| t.duration).sum::<Time>();
+            bag.requeue_front(batch);
+        }
+        prop_assert_eq!(bag.len(), n);
+        prop_assert!((bag.remaining_work() - total).abs() <= secs(1e-9));
+        prop_assert!((returned - total).abs() <= secs(1e-9));
+    }
+
+    /// take_fitting never exceeds its budget and always takes a FIFO
+    /// prefix (ids strictly increasing, starting at the current head).
+    #[test]
+    fn take_fitting_is_budgeted_prefix(
+        durations in prop::collection::vec(0.1f64..5.0, 1..40),
+        budget in 0.0f64..30.0,
+    ) {
+        let mut bag = TaskBag::new();
+        for &d in &durations {
+            bag.push_duration(secs(d));
+        }
+        let taken = bag.take_fitting(secs(budget));
+        let used: Time = taken.iter().map(|t| t.duration).sum();
+        prop_assert!(used <= secs(budget) + secs(1e-12));
+        for (i, t) in taken.iter().enumerate() {
+            prop_assert_eq!(t.id, i as u64, "not a prefix");
+        }
+    }
+
+    /// Owner trace text round-trips exactly.
+    #[test]
+    fn trace_text_round_trip(
+        seed in 0u64..10_000,
+        rate in 0.0005f64..0.05,
+        busy in 0.0f64..50.0,
+    ) {
+        let t = OwnerTrace::poisson(seed, rate, secs(5_000.0), 12, secs(busy));
+        let back = OwnerTrace::from_text(&t.to_text()).unwrap();
+        prop_assert_eq!(t, back);
+    }
+
+    /// Generated bags hit their requested work target without
+    /// overshooting by more than one task.
+    #[test]
+    fn generate_work_overshoot_is_one_task(
+        target in 10.0f64..500.0,
+        seed in 0u64..1_000,
+    ) {
+        let dist = TaskDist::Uniform { lo: 0.5, hi: 4.0 };
+        let bag = TaskBag::generate_work(dist, secs(target), seed);
+        let total = bag.remaining_work();
+        prop_assert!(total >= secs(target));
+        prop_assert!(total < secs(target + 4.0), "overshot by a full task+");
+    }
+
+    /// Poisson traces respect horizon, cap and ordering for any seed.
+    #[test]
+    fn poisson_trace_invariants(
+        seed in 0u64..10_000,
+        rate in 0.0001f64..0.2,
+        cap in 1usize..20,
+    ) {
+        let horizon = secs(1_000.0);
+        let t = OwnerTrace::poisson(seed, rate, horizon, cap, secs(5.0));
+        prop_assert!(t.len() <= cap);
+        for w in t.events().windows(2) {
+            prop_assert!(w[0].at_usable < w[1].at_usable);
+        }
+        for e in t.events() {
+            prop_assert!(e.at_usable < horizon);
+            prop_assert!(!e.busy_wall.is_negative());
+        }
+    }
+}

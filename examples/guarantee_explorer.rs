@@ -1,0 +1,80 @@
+//! Guarantee explorer: sweep `(U/c, p)` in parallel and print how the
+//! paper's schedules stack up against the exact optimum and against each
+//! other — the adaptive-vs-non-adaptive separation that motivates the
+//! whole paper, as one table.
+//!
+//! ```sh
+//! cargo run --release --example guarantee_explorer
+//! ```
+
+use cyclesteal::prelude::*;
+use cyclesteal_par::{par_map, sweep};
+
+fn main() {
+    let c = secs(1.0);
+    let us = sweep::geometric(128.0, 8192.0, 4.0);
+    let ps: Vec<u32> = vec![1, 2, 3, 4];
+
+    // One DP solve covers the whole sweep (largest U, largest p).
+    let max_u = secs(*us.last().unwrap());
+    let table = ValueTable::solve(c, 8, max_u, *ps.last().unwrap(), SolveOptions::default());
+    let adaptive = evaluate_policy(
+        &AdaptiveGuideline::default(),
+        c,
+        8,
+        max_u,
+        *ps.last().unwrap(),
+        EvalOptions::default(),
+    )
+    .unwrap();
+    let selfsim = evaluate_policy(
+        &SelfSimilarGuideline::default(),
+        c,
+        8,
+        max_u,
+        *ps.last().unwrap(),
+        EvalOptions::default(),
+    )
+    .unwrap();
+
+    let cells = sweep::cartesian(&us, &ps);
+    let rows = par_map(&cells, |&(u, p)| {
+        let opp = Opportunity::from_units(u, 1.0, p);
+        let w_opt = table.value(p, secs(u));
+        let w_ad = adaptive.value(p, secs(u));
+        let w_ss = selfsim.value(p, secs(u));
+        let run = NonAdaptiveGuideline::run(&opp).unwrap();
+        let w_na = worst_case(&run).work;
+        (u, p, w_opt, w_ad, w_ss, w_na)
+    });
+
+    println!(
+        "{:>8} {:>3} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "U/c", "p", "W optimal", "§3.2 arith", "self-sim", "non-adapt", "ss/opt", "na/opt"
+    );
+    for (u, p, w_opt, w_ad, w_ss, w_na) in rows {
+        let frac = |w: Work| {
+            if w_opt.is_positive() {
+                format!("{:.3}", w.ratio(w_opt))
+            } else {
+                "—".into()
+            }
+        };
+        println!(
+            "{:>8} {:>3} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>9} {:>9}",
+            u,
+            p,
+            w_opt,
+            w_ad,
+            w_ss,
+            w_na,
+            frac(w_ss),
+            frac(w_na)
+        );
+    }
+
+    println!("\nReading the table: the corrected self-similar guideline tracks the exact");
+    println!("optimum at every p and beats the committed schedule throughout this range;");
+    println!("the paper's arithmetic §3.2 profile trails it as p grows. The committed");
+    println!("schedule closes in once p ≳ (U/c)^(1/3) — see EXPERIMENTS.md E5/E7.");
+}

@@ -1,0 +1,100 @@
+//! A NOW render farm overnight: one borrower distributes a bag of frame-
+//! render tasks over eight colleagues' workstations, each under its own
+//! draconian contract and owner behaviour, comparing the paper's adaptive
+//! guideline against naive disciplines on total completed work.
+//!
+//! ```sh
+//! cargo run --release --example overnight_pool
+//! ```
+
+use cyclesteal::prelude::*;
+use std::sync::Arc;
+
+/// One pool definition: every workstation gets the same discipline so the
+/// disciplines can be compared like-for-like across identical owners.
+fn build_pool(mk_driver: &dyn Fn(usize, &Opportunity) -> DriverKind) -> Vec<LenderConfig> {
+    let mut lenders = Vec::new();
+    for i in 0..8usize {
+        // Heterogeneous contracts: lifespans 6–10 h (in units of c = 30 s,
+        // so U/c between 720 and 1200), 1–4 allowed interruptions.
+        let u = 720.0 + 160.0 * (i % 4) as f64;
+        let p = 1 + (i % 4) as u32;
+        let opportunity = Opportunity::from_units(u, 1.0, p);
+        // Owners: mostly Poisson sleepers; workstation 3 is a laptop that
+        // undocks two-thirds of the way in; workstation 7 has a deadline
+        // session pattern.
+        let owner = match i {
+            3 => OwnerTrace::laptop_undock(secs(u * 0.66), secs(10_000.0)),
+            7 => OwnerTrace::sessions(900 + i as u64, (150.0, 400.0), (20.0, 90.0), secs(u), p as usize),
+            _ => OwnerTrace::poisson(100 + i as u64, 0.002, secs(u), p as usize, secs(40.0)),
+        };
+        lenders.push(LenderConfig {
+            name: format!("ws{i}(p={p})"),
+            opportunity,
+            owner,
+            driver: mk_driver(i, &opportunity),
+            // Frames are due at 9am: 14 hours after handoff.
+            deadline: Some(secs(1680.0)),
+        });
+    }
+    lenders
+}
+
+fn render_farm_bag() -> TaskBag {
+    // Bimodal frames: most are quick, a fifth are hero frames.
+    TaskBag::generate(
+        TaskDist::Bimodal {
+            short: 2.0,
+            long: 14.0,
+            frac_long: 0.2,
+        },
+        1800,
+        4242,
+    )
+}
+
+fn run_discipline(name: &str, mk: &dyn Fn(usize, &Opportunity) -> DriverKind) -> SimReport {
+    let report = NowSim::new(build_pool(mk), render_farm_bag()).run().unwrap();
+    println!("=== {name} ===");
+    print!("{}", report.render());
+    println!();
+    report
+}
+
+fn main() {
+    println!("Render farm: 1800 frames, 8 workstations, one night.\n");
+
+    let adaptive = run_discipline("adaptive guideline (§3.2)", &|_, _| {
+        DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default()))
+    });
+    let nonadaptive = run_discipline("non-adaptive guideline (§3.1)", &|_, opp| {
+        DriverKind::NonAdaptive(NonAdaptiveGuideline::build(opp).unwrap())
+    });
+    let naive = run_discipline("naive single period", &|_, _| {
+        DriverKind::Adaptive(Arc::new(SinglePeriodPolicy))
+    });
+    let chunky = run_discipline("fixed 20c chunks (auction-style)", &|_, _| {
+        DriverKind::Adaptive(Arc::new(FixedChunkPolicy::new(secs(20.0))))
+    });
+
+    println!("=== Night's totals (completed task work) ===");
+    println!("(Note: against these *non-malicious* owners the worst-case-optimal");
+    println!(" guidelines pay for insurance they never claim — fewer, longer periods");
+    println!(" complete more frames when interrupts are early and benign. The");
+    println!(" guidelines' value is the floor they guarantee if owners are hostile;");
+    println!(" see `guarantee_explorer` and EXPERIMENTS.md E5/E7 for that story,");
+    println!(" and the cyclesteal-expected crate for planning against random owners.)");
+
+    for (name, r) in [
+        ("adaptive guideline", &adaptive),
+        ("non-adaptive guideline", &nonadaptive),
+        ("naive single period", &naive),
+        ("fixed 20c chunks", &chunky),
+    ] {
+        println!(
+            "  {name:<24} {:>8.1} work, {:>5} frames",
+            r.total_task_work(),
+            r.total_tasks()
+        );
+    }
+}

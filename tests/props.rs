@@ -1,0 +1,150 @@
+//! Cross-crate property-based tests (proptest): the model's invariants
+//! under randomized parameters, schedules and adversaries.
+
+use cyclesteal::prelude::*;
+use proptest::prelude::*;
+
+const C: f64 = 1.0;
+
+fn arb_periods() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.05f64..30.0, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ⊖ is monotone, bounded and exact where it matters.
+    #[test]
+    fn pos_sub_invariants(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        let x = secs(a).pos_sub(secs(b));
+        prop_assert!(x >= Time::ZERO);
+        prop_assert!(x.get() <= a.max(0.0) - b.min(0.0) + 1e-9);
+        if a >= b {
+            prop_assert!((x.get() - (a - b)).abs() < 1e-12);
+        } else {
+            prop_assert_eq!(x, Time::ZERO);
+        }
+    }
+
+    /// Theorem 4.1's normalization: lifespan preserved, productivity
+    /// achieved, uninterrupted work never decreased.
+    #[test]
+    fn make_productive_invariants(periods in arb_periods()) {
+        let sched = EpisodeSchedule::from_periods(
+            periods.iter().map(|&x| secs(x)).collect()).unwrap();
+        let c = secs(C);
+        let norm = sched.make_productive(c);
+        prop_assert!(norm.total().approx_eq(sched.total(), secs(1e-6)));
+        prop_assert!(norm.is_productive(c));
+        prop_assert!(norm.work_uninterrupted(c) + secs(1e-9) >= sched.work_uninterrupted(c));
+    }
+
+    /// Boundaries are monotone and `locate` inverts them.
+    #[test]
+    fn schedule_geometry(periods in arb_periods(), frac in 0.0f64..0.999) {
+        let sched = EpisodeSchedule::from_periods(
+            periods.iter().map(|&x| secs(x)).collect()).unwrap();
+        let bounds = sched.boundaries();
+        for w in bounds.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        let t = sched.total() * frac;
+        let (k, offset) = sched.locate(t).expect("interior point locates");
+        prop_assert!((sched.start_of(k) + offset).approx_eq(t, secs(1e-9)));
+        prop_assert!(offset < sched.period(k));
+    }
+
+    /// The non-adaptive worst case is a lower bound on every explicit
+    /// adversary choice.
+    #[test]
+    fn nonadaptive_worst_case_is_a_lower_bound(
+        periods in arb_periods(),
+        budget in 0u32..4,
+        pick in prop::collection::btree_set(0usize..40, 0..4)
+    ) {
+        let sched = EpisodeSchedule::from_periods(
+            periods.iter().map(|&x| secs(x)).collect()).unwrap();
+        let u = sched.total();
+        let m = sched.len();
+        let run = NonAdaptiveRun::new(sched, secs(C), u, budget).unwrap();
+        let wc = worst_case(&run);
+        prop_assert!(wc.work <= run.work_uninterrupted() + secs(1e-9));
+        // Any valid explicit choice concedes at least the worst case.
+        let killed: Vec<usize> = pick.into_iter().filter(|&k| k < m)
+            .take(budget as usize).collect();
+        let w = run.work_given_killed(&killed).unwrap();
+        prop_assert!(w + secs(1e-9) >= wc.work,
+            "explicit {killed:?} gives {w} below worst case {}", wc.work);
+    }
+
+    /// Game-level conservation laws under random stochastic adversaries.
+    #[test]
+    fn game_conservation(u in 5.0f64..800.0, p in 0u32..5, seed in 0u64..5000, prob in 0.0f64..1.0) {
+        let opp = Opportunity::from_units(u, C, p);
+        let policy = AdaptiveGuideline::default();
+        let mut adv = UniformRandomAdversary::new(seed, prob);
+        let log = run_game(&policy, &mut adv, &opp).unwrap();
+        prop_assert!(log.interrupts_used() <= p as usize);
+        prop_assert!(log.consumed() <= secs(u) + secs(1e-6));
+        prop_assert!(log.total_work >= Work::ZERO);
+        prop_assert!(log.total_work <= secs(u).pos_sub(secs(C)) + secs(1e-6));
+        // Final episode is uninterrupted (that is how games end).
+        let last = log.episodes.last().unwrap();
+        prop_assert!(matches!(last.response, InterruptSpec::None));
+    }
+
+    /// §5.2's closed form stays within Table 2's approximation band and
+    /// between the Thm 5.1 leading bound and the lifespan.
+    #[test]
+    fn w1_closed_form_band(u in 3.0f64..200_000.0) {
+        let w = w1_exact(secs(u), secs(C));
+        prop_assert!(w <= secs(u));
+        let approx = w1_approx(secs(u), secs(C));
+        prop_assert!((w - approx).abs() <= secs(1.5),
+            "U={u}: exact {w} vs approx {approx}");
+        // Never below the p=1 leading bound minus a setup charge.
+        let lead = u - (2.0 * C * u).sqrt() - 1.5 * C;
+        prop_assert!(w.get() >= lead.max(0.0) - 1e-9);
+    }
+
+    /// The equalizer built on the exact p=0 oracle reproduces W^(1) for
+    /// random lifespans.
+    #[test]
+    fn equalizer_matches_w1(u in 3.0f64..3000.0) {
+        let oracle = ClosedFormOracle::new(secs(C));
+        let opp = Opportunity::from_units(u, C, 1);
+        let (sched, value) = equalized_schedule(&oracle, &opp).unwrap();
+        prop_assert!(sched.total().approx_eq(secs(u), secs(1e-6)));
+        prop_assert!((value - w1_exact(secs(u), secs(C))).abs() <= secs(1e-4),
+            "U={u}: equalizer {value}");
+    }
+
+    /// Adaptive guideline schedules partition the lifespan and stay fully
+    /// productive whenever the structured regime applies.
+    #[test]
+    fn adaptive_guideline_valid(u in 0.5f64..5000.0, p in 0u32..5) {
+        let opp = Opportunity::from_units(u, C, p);
+        let sched = AdaptiveGuideline::default().episode(&opp).unwrap();
+        prop_assert!(sched.total().approx_eq(secs(u), secs(1e-6)));
+        for &t in sched.periods() {
+            prop_assert!(t.is_positive());
+        }
+        if u > 3.0 * (p as f64).max(1.0) * 1.5 + 1.0 {
+            prop_assert!(sched.is_fully_productive(secs(C)),
+                "nonproductive period at U={u}, p={p}");
+        }
+    }
+
+    /// Expected-output model: analytic expectation within MC error, and
+    /// bounded by the uninterrupted work.
+    #[test]
+    fn expected_work_bounds(periods in arb_periods(), rate in 0.001f64..0.2) {
+        let sched = EpisodeSchedule::from_periods(
+            periods.iter().map(|&x| secs(x)).collect()).unwrap();
+        let c = secs(C);
+        let law = InterruptLaw::Exponential { rate };
+        let ew = expected_work(&sched, c, &law);
+        prop_assert!(ew >= Work::ZERO);
+        prop_assert!(ew <= sched.work_uninterrupted(c) + secs(1e-9));
+    }
+}

@@ -1,0 +1,235 @@
+//! Integration: the discrete-event simulator against the analytic model.
+//!
+//! Experiment E8's test-sized core: for identical interrupt traces, the
+//! engine's banked `Σ(t ⊖ c)` must reproduce the analytic game transcript
+//! for every discipline, and the quantization/conservation accounting must
+//! close for every task mix.
+
+use cyclesteal::prelude::*;
+use std::sync::Arc;
+
+const C: f64 = 1.0;
+
+fn tiny_tasks(total: f64) -> TaskBag {
+    TaskBag::generate_work(TaskDist::Constant(0.015625), secs(total), 3)
+}
+
+fn adaptive_policies() -> Vec<Arc<dyn EpisodePolicy>> {
+    vec![
+        Arc::new(AdaptiveGuideline::default()),
+        Arc::new(OptimalP1Policy),
+        Arc::new(EqualPeriodsPolicy::new(7)),
+        Arc::new(HalvingPolicy::default()),
+        Arc::new(FixedChunkPolicy::new(secs(13.0))),
+    ]
+}
+
+#[test]
+fn sim_matches_game_for_every_policy_and_trace() {
+    for (pi, policy) in adaptive_policies().into_iter().enumerate() {
+        for seed in 0..6u64 {
+            let u = 400.0;
+            let p = 3u32;
+            let trace = OwnerTrace::poisson(seed * 31 + pi as u64, 0.006, secs(u - 5.0), p as usize, Time::ZERO);
+            let opp = Opportunity::from_units(u, C, p);
+
+            let mut adv = TraceAdversary::new(trace.interrupt_times());
+            let analytic = run_game(policy.as_ref(), &mut adv, &opp).unwrap();
+
+            let cfg = LenderConfig {
+                name: format!("ws-{pi}-{seed}"),
+                opportunity: opp,
+                owner: trace,
+                driver: DriverKind::Adaptive(policy.clone()),
+                deadline: None,
+            };
+            let report = NowSim::new(vec![cfg], tiny_tasks(500.0)).run().unwrap();
+            let m = &report.lenders[0].1;
+            assert!(
+                m.continuum_work.approx_eq(analytic.total_work, secs(1e-6)),
+                "{} seed {seed}: sim {} vs game {}",
+                policy.name(),
+                m.continuum_work,
+                analytic.total_work
+            );
+        }
+    }
+}
+
+#[test]
+fn sim_nonadaptive_matches_closed_form_worst_case() {
+    // Drive the simulator with the *adversary's own* optimal kill set,
+    // converted to last-instant owner events; the banked work must equal
+    // the combinatorial worst case.
+    let u = 2_500.0;
+    let p = 3u32;
+    let opp = Opportunity::from_units(u, C, p);
+    let run = NonAdaptiveGuideline::run(&opp).unwrap();
+    let wc = worst_case(&run);
+    assert!(!wc.killed.is_empty());
+
+    // Owner events at the last instants of the killed periods. Windows
+    // are half-open, and each ε-early kill shifts the replayed tail ε
+    // earlier, so the i-th event needs a cumulative (i+1)·ε nudge to land
+    // inside its intended (shifted) period.
+    let eps = 1e-6;
+    let events: Vec<OwnerEvent> = wc
+        .killed
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| OwnerEvent {
+            at_usable: run.schedule().boundary(k) - secs(eps * (i + 1) as f64),
+            busy_wall: Time::ZERO,
+        })
+        .collect();
+    let cfg = LenderConfig {
+        name: "na".into(),
+        opportunity: opp,
+        owner: OwnerTrace::new(events),
+        driver: DriverKind::NonAdaptive(run.schedule().clone()),
+        deadline: None,
+    };
+    let report = NowSim::new(vec![cfg], tiny_tasks(3_000.0)).run().unwrap();
+    let m = &report.lenders[0].1;
+    // The ε-early interrupts only stretch the consolidated tail by O(p·ε).
+    assert!(
+        (m.continuum_work - wc.work).abs() <= secs(0.001),
+        "sim {} vs worst case {}",
+        m.continuum_work,
+        wc.work
+    );
+}
+
+#[test]
+fn accounting_closes_for_every_task_mix() {
+    let mixes = [
+        TaskDist::Constant(2.0),
+        TaskDist::Uniform { lo: 0.2, hi: 6.0 },
+        TaskDist::Bimodal {
+            short: 0.5,
+            long: 12.0,
+            frac_long: 0.2,
+        },
+        TaskDist::Pareto {
+            shape: 2.0,
+            scale: 0.8,
+        },
+    ];
+    for (i, dist) in mixes.into_iter().enumerate() {
+        let bag = TaskBag::generate(dist, 400, 11 + i as u64);
+        let total_tasks = bag.len();
+        let cfg = LenderConfig {
+            name: format!("mix-{i}"),
+            opportunity: Opportunity::from_units(600.0, C, 3),
+            owner: OwnerTrace::poisson(i as u64, 0.005, secs(600.0), 3, secs(10.0)),
+            driver: DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default())),
+            deadline: None,
+        };
+        let report = NowSim::new(vec![cfg], bag).run().unwrap();
+        let m = &report.lenders[0].1;
+        // Conservation: every task is either done or still in the bag.
+        assert_eq!(m.tasks_completed + report.tasks_remaining, total_tasks);
+        // Waste accounting closes: banked capacity = task work + waste.
+        assert!(
+            (m.task_work + m.quantization_waste).approx_eq(m.continuum_work, secs(1e-6)),
+            "mix {i}: accounting gap"
+        );
+        // Lifespan accounting closes: consumed + unused = contracted.
+        assert!(
+            (m.consumed_lifespan + m.unused_lifespan).approx_eq(secs(600.0), secs(1e-6))
+                || m.done_reason == now_sim::DoneReason::OutOfTasks,
+            "mix {i}: lifespan gap ({:?})",
+            m.done_reason
+        );
+    }
+}
+
+#[test]
+fn guideline_comparison_under_malicious_traces() {
+    // Worst-case trace for the adaptive guideline (from its policy-aware
+    // adversary), replayed in the simulator: the banked work must land on
+    // the evaluator's guaranteed value, and remain above the non-adaptive
+    // guideline's guarantee for p = 2.
+    let u = 512.0;
+    let p = 2u32;
+    let policy = AdaptiveGuideline::default();
+    let pv = evaluate_policy(&policy, secs(C), 16, secs(u), p, EvalOptions::default()).unwrap();
+    let guaranteed = pv.value(p, secs(u));
+
+    let opp = Opportunity::from_units(u, C, p);
+    let mut adv = PolicyAwareAdversary::new(pv);
+    let log = run_game(&policy, &mut adv, &opp).unwrap();
+    assert!((log.total_work - guaranteed).abs() <= secs(0.5));
+
+    // Reconstruct the trace, ε-nudged inside the half-open windows, and
+    // replay it both analytically and in the simulator: the two replays
+    // share exact semantics and must agree to float precision.
+    let eps = 1e-6;
+    let mut abs = Vec::new();
+    let mut elapsed = Time::ZERO;
+    for ep in &log.episodes {
+        if !matches!(ep.response, InterruptSpec::None) {
+            abs.push(elapsed + ep.consumed - secs(eps * (abs.len() + 1) as f64));
+        }
+        elapsed += ep.consumed;
+    }
+    let mut replay_adv = TraceAdversary::new(abs.clone());
+    let replay = run_game(&policy, &mut replay_adv, &opp).unwrap();
+    // The ε-nudged trace is still (essentially) worst case.
+    assert!(
+        (replay.total_work - guaranteed).abs() <= secs(1.0),
+        "nudged replay {} vs guaranteed {}",
+        replay.total_work,
+        guaranteed
+    );
+
+    let events = abs
+        .iter()
+        .map(|&t| OwnerEvent {
+            at_usable: t,
+            busy_wall: Time::ZERO,
+        })
+        .collect();
+    let cfg = LenderConfig {
+        name: "malicious".into(),
+        opportunity: opp,
+        owner: OwnerTrace::new(events),
+        driver: DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default())),
+        deadline: None,
+    };
+    let report = NowSim::new(vec![cfg], tiny_tasks(600.0)).run().unwrap();
+    let m = &report.lenders[0].1;
+    assert!(
+        (m.continuum_work - replay.total_work).abs() <= secs(1e-6),
+        "sim {} vs analytic replay {}",
+        m.continuum_work,
+        replay.total_work
+    );
+    assert!(m.continuum_work + secs(1.0) >= nonadaptive_guarantee(&opp));
+}
+
+#[test]
+fn pool_run_is_deterministic() {
+    let mk = || {
+        let lenders: Vec<LenderConfig> = (0..4)
+            .map(|i| LenderConfig {
+                name: format!("ws{i}"),
+                opportunity: Opportunity::from_units(300.0 + 50.0 * i as f64, C, 2),
+                owner: OwnerTrace::poisson(100 + i, 0.01, secs(500.0), 2, secs(20.0)),
+                driver: DriverKind::Adaptive(Arc::new(AdaptiveGuideline::default())),
+                deadline: None,
+            })
+            .collect();
+        let bag = TaskBag::generate(TaskDist::Uniform { lo: 0.5, hi: 4.0 }, 500, 77);
+        NowSim::new(lenders, bag).run().unwrap()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.tasks_remaining, b.tasks_remaining);
+    assert_eq!(a.total_tasks(), b.total_tasks());
+    for ((na, ma), (nb, mb)) in a.lenders.iter().zip(&b.lenders) {
+        assert_eq!(na, nb);
+        assert_eq!(ma.tasks_completed, mb.tasks_completed);
+        assert!(ma.continuum_work.approx_eq(mb.continuum_work, secs(0.0)));
+    }
+}
