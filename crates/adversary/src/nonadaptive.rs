@@ -60,9 +60,7 @@ pub fn worst_case(run: &NonAdaptiveRun) -> NonAdaptiveWorstCase {
     let c = run.setup();
     let p = run.budget() as usize;
     let m = schedule.len();
-    let contributions: Vec<f64> = (0..m)
-        .map(|k| schedule.period_work(k, c).get())
-        .collect();
+    let contributions: Vec<f64> = (0..m).map(|k| schedule.period_work(k, c).get()).collect();
     let total: f64 = contributions.iter().sum();
 
     // Candidate A: a = min(p−1, m) interrupts, no consolidation — kill the
@@ -70,7 +68,11 @@ pub fn worst_case(run: &NonAdaptiveRun) -> NonAdaptiveWorstCase {
     let mut best = {
         let kills = p.saturating_sub(1).min(m);
         let mut idx: Vec<usize> = (0..m).collect();
-        idx.sort_by(|&a, &b| contributions[b].total_cmp(&contributions[a]).then(a.cmp(&b)));
+        idx.sort_by(|&a, &b| {
+            contributions[b]
+                .total_cmp(&contributions[a])
+                .then(a.cmp(&b))
+        });
         let killed: Vec<usize> = idx.into_iter().take(kills).collect();
         let removed: f64 = killed.iter().map(|&k| contributions[k]).sum();
         let mut killed_sorted = killed;
@@ -118,7 +120,9 @@ pub fn worst_case(run: &NonAdaptiveRun) -> NonAdaptiveWorstCase {
                 // plus j itself.
                 let mut idx: Vec<usize> = (0..j).collect();
                 idx.sort_by(|&a, &b| {
-                    contributions[b].total_cmp(&contributions[a]).then(a.cmp(&b))
+                    contributions[b]
+                        .total_cmp(&contributions[a])
+                        .then(a.cmp(&b))
                 });
                 let mut killed: Vec<usize> = idx.into_iter().take(keep).collect();
                 killed.push(j);

@@ -13,7 +13,7 @@
 use cyclesteal_adversary::nonadaptive::worst_case;
 use cyclesteal_bench::{Report, C};
 use cyclesteal_core::prelude::*;
-use cyclesteal_dp::{evaluate_policy, EvalOptions, PolicyValue, SolveOptions, ValueTable};
+use cyclesteal_dp::{evaluate_policy, EvalOptions, PolicyValue, TableCache};
 use cyclesteal_par::par_map;
 
 fn main() {
@@ -24,7 +24,7 @@ fn main() {
     let q = 4u32;
     let p_max = 12u32;
     let max_u = 8_192.0;
-    let table = ValueTable::solve(secs(C), q, secs(max_u), p_max, SolveOptions::default());
+    let table = TableCache::global().get(secs(C), q, secs(max_u), p_max);
 
     let policies: Vec<(&str, Box<dyn EpisodePolicy>)> = vec![
         ("adaptive §3.2", Box::new(AdaptiveGuideline::default())),

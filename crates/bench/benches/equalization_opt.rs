@@ -10,14 +10,14 @@
 
 use cyclesteal_bench::{Report, C};
 use cyclesteal_core::prelude::*;
-use cyclesteal_dp::{SolveOptions, ValueTable};
+use cyclesteal_dp::TableCache;
 
 fn main() {
     let mut report = Report::new("equalization_opt");
     report.line("E6 / Theorem 4.3 — equalized schedules vs the exact game value (c = 1)");
     report.line("");
 
-    let table = ValueTable::solve(secs(C), 16, secs(4_096.0), 4, SolveOptions::default());
+    let table = TableCache::global().get(secs(C), 16, secs(4_096.0), 4);
 
     report.line(format!(
         "{:>8} {:>3} {:>6} {:>14} {:>14} {:>10} {:>12}",
@@ -26,9 +26,9 @@ fn main() {
     for p in 1..=4u32 {
         for &u in &[64.0, 512.0, 4_096.0] {
             let opp = Opportunity::from_units(u, C, p);
-            let (sched, value) = equalized_schedule(&table, &opp).unwrap();
+            let (sched, value) = equalized_schedule(&*table, &opp).unwrap();
             let exact = table.value(p, secs(u));
-            let audit = verify_equalization(&table, &opp, &sched);
+            let audit = verify_equalization(&*table, &opp, &sched);
             // Spread among options whose continuation is still positive.
             let early: Vec<bool> = sched
                 .iter_windows()
@@ -84,7 +84,7 @@ fn main() {
     for p in 1..=4u32 {
         for &u in &[64.0, 512.0, 4_096.0] {
             let opp = Opportunity::from_units(u, C, p);
-            let (_s, value) = equalized_schedule(&table, &opp).unwrap();
+            let (_s, value) = equalized_schedule(&*table, &opp).unwrap();
             worst_gap = worst_gap.max(table.value(p, secs(u)) - value);
         }
     }

@@ -41,7 +41,13 @@ fn main() {
         let killed = if wc.killed.is_empty() {
             "none".to_string()
         } else {
-            let tail_kills = wc.killed.iter().rev().zip((0..*m).rev()).take_while(|(k, i)| **k == *i).count();
+            let tail_kills = wc
+                .killed
+                .iter()
+                .rev()
+                .zip((0..*m).rev())
+                .take_while(|(k, i)| **k == *i)
+                .count();
             if tail_kills == wc.killed.len() {
                 format!("last {} of {m}", wc.killed.len())
             } else {
@@ -101,7 +107,10 @@ fn main() {
 
     // --- consolidation ablation ---------------------------------------------
     report.line("tail-consolidation ablation (worst case with the §2.2 exception on/off):");
-    report.line(format!("{:>8} {:>3} {:>14} {:>14}", "U/c", "p", "with", "without"));
+    report.line(format!(
+        "{:>8} {:>3} {:>14} {:>14}",
+        "U/c", "p", "with", "without"
+    ));
     for &(u, p) in &[(1_024.0, 2u32), (16_384.0, 4)] {
         let opp = Opportunity::from_units(u, C, p);
         let run = NonAdaptiveGuideline::run(&opp).unwrap();
@@ -116,7 +125,10 @@ fn main() {
         let total: f64 = contributions.iter().sum();
         let removed: f64 = contributions.iter().take(p as usize).sum();
         let without = total - removed;
-        report.line(format!("{:>8} {:>3} {:>14.1} {:>14.1}", u, p, with, without));
+        report.line(format!(
+            "{:>8} {:>3} {:>14.1} {:>14.1}",
+            u, p, with, without
+        ));
         // Consolidation helps the owner: the exception recovers part of
         // the tail, so "with" ≥ … actually the adversary anticipates it;
         // both are exact minima of their own games. Record, don't rank.

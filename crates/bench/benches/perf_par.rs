@@ -30,9 +30,7 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),
             &threads,
-            |b, &threads| {
-                b.iter(|| par_map_threads(black_box(&cells), threads, cell_cost))
-            },
+            |b, &threads| b.iter(|| par_map_threads(black_box(&cells), threads, cell_cost)),
         );
     }
     group.finish();

@@ -10,16 +10,20 @@ fn bench_families(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_construction");
     for &u in &[1_000.0, 100_000.0] {
         let opp = Opportunity::from_units(u, 1.0, 3);
-        group.bench_with_input(BenchmarkId::new("nonadaptive_s31", u as u64), &opp, |b, o| {
-            b.iter(|| NonAdaptiveGuideline::build(black_box(o)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("nonadaptive_s31", u as u64),
+            &opp,
+            |b, o| b.iter(|| NonAdaptiveGuideline::build(black_box(o)).unwrap()),
+        );
         group.bench_with_input(BenchmarkId::new("adaptive_s32", u as u64), &opp, |b, o| {
             let g = AdaptiveGuideline::default();
             b.iter(|| g.episode(black_box(o)).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("optimal_p1_s52", u as u64), &opp, |b, o| {
-            b.iter(|| optimal_p1_schedule(black_box(o.lifespan()), o.setup()).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("optimal_p1_s52", u as u64),
+            &opp,
+            |b, o| b.iter(|| optimal_p1_schedule(black_box(o.lifespan()), o.setup()).unwrap()),
+        );
     }
     group.finish();
 }

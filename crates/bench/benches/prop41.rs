@@ -5,7 +5,7 @@
 
 use cyclesteal_bench::{Report, C};
 use cyclesteal_core::prelude::*;
-use cyclesteal_dp::{SolveOptions, ValueTable};
+use cyclesteal_dp::TableCache;
 
 fn main() {
     let mut report = Report::new("prop41");
@@ -13,7 +13,7 @@ fn main() {
     let q = 8u32;
     let max_u = 512.0;
     let p_max = 6u32;
-    let table = ValueTable::solve(secs(C), q, secs(max_u), p_max, SolveOptions::default());
+    let table = TableCache::global().get(secs(C), q, secs(max_u), p_max);
     let n = table.max_ticks();
     report.line(format!(
         "grid: {} states per level, p ≤ {p_max} (resolution c/{q}, U/c ≤ {max_u})",

@@ -3,8 +3,8 @@
 //! the continuum model abstracts away — task-quantization waste and
 //! owner busy time — across four task mixes and three owner populations.
 
-use cyclesteal_bench::{Report, C};
 use cyclesteal_adversary::{game::run_game, TraceAdversary};
+use cyclesteal_bench::{Report, C};
 use cyclesteal_core::prelude::*;
 use cyclesteal_par::par_map;
 use cyclesteal_workloads::{OwnerTrace, TaskBag, TaskDist};
@@ -90,9 +90,7 @@ fn main() {
             "  {:<34} {:>10.1} {:>10.1} {:>7.2}%",
             name, m.continuum_work, m.task_work, waste_pct
         ));
-        assert!(
-            (m.task_work + m.quantization_waste).approx_eq(m.continuum_work, secs(1e-6))
-        );
+        assert!((m.task_work + m.quantization_waste).approx_eq(m.continuum_work, secs(1e-6)));
     }
     report.line("");
 

@@ -10,21 +10,23 @@
 
 use cyclesteal_bench::{Report, C};
 use cyclesteal_core::prelude::*;
-use cyclesteal_dp::{SolveOptions, ValueTable};
+use cyclesteal_dp::TableCache;
 
 fn main() {
     let mut report = Report::new("table1");
     report.line("E1 / Table 1 — the adversary's options (optimal episode schedules)");
-    report.line(format!("setup charge c = {C}; continuations scored by the exact DP oracle"));
+    report.line(format!(
+        "setup charge c = {C}; continuations scored by the exact DP oracle"
+    ));
     report.line("");
 
-    let table = ValueTable::solve(secs(C), 32, secs(256.0), 3, SolveOptions::default());
+    let table = TableCache::global().get(secs(C), 32, secs(256.0), 3);
 
     for &u in &[64.0, 256.0] {
         for p in 1..=3u32 {
             let opp = Opportunity::from_units(u, C, p);
             let sched = table.episode(p, secs(u)).unwrap();
-            let rows = table1(&table, &opp, &sched);
+            let rows = table1(&*table, &opp, &sched);
             report.line(format!(
                 "--- U/c = {u}, p = {p}: m = {} periods, W^(p)[U] = {:.3} ---",
                 sched.len(),
@@ -56,7 +58,11 @@ fn main() {
             for (i, row) in rows.iter().enumerate() {
                 if m > 14 && (6..m - 4).contains(&i) {
                     if i == 6 {
-                        report.line(format!("{:>12} | (… {} equalized rows elided …)", "⋮", m - 10));
+                        report.line(format!(
+                            "{:>12} | (… {} equalized rows elided …)",
+                            "⋮",
+                            m - 10
+                        ));
                     }
                     continue;
                 }

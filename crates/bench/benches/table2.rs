@@ -13,7 +13,7 @@
 use cyclesteal_bench::{Report, C};
 use cyclesteal_core::prelude::*;
 use cyclesteal_core::schedules::adaptive::paper_period_count;
-use cyclesteal_dp::{evaluate_policy, EvalOptions, SolveOptions, ValueTable};
+use cyclesteal_dp::{evaluate_policy, EvalOptions, TableCache};
 
 fn main() {
     let mut report = Report::new("table2");
@@ -23,10 +23,17 @@ fn main() {
     // One DP + one policy evaluation cover every U below the cap; larger
     // U columns use the closed forms (which the capped columns validate).
     let dp_cap = 20_000.0;
-    let table = ValueTable::solve(secs(C), 16, secs(dp_cap), 1, SolveOptions::default());
+    let table = TableCache::global().get(secs(C), 16, secs(dp_cap), 1);
     let guideline = AdaptiveGuideline::default();
-    let ga = evaluate_policy(&guideline, secs(C), 16, secs(dp_cap), 1, EvalOptions::default())
-        .unwrap();
+    let ga = evaluate_policy(
+        &guideline,
+        secs(C),
+        16,
+        secs(dp_cap),
+        1,
+        EvalOptions::default(),
+    )
+    .unwrap();
 
     report.line(format!(
         "{:>10} | {:>26} | {:>26}",

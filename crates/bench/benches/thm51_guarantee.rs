@@ -18,7 +18,7 @@
 use cyclesteal_bench::{Report, C};
 use cyclesteal_core::error::Result;
 use cyclesteal_core::prelude::*;
-use cyclesteal_dp::{evaluate_policy, EvalOptions, PolicyValue, SolveOptions, ValueTable};
+use cyclesteal_dp::{evaluate_policy, EvalOptions, PolicyValue, TableCache};
 use cyclesteal_par::par_map;
 
 /// Table 2's literal `S_a^(1)[U]`: `m = ⌊√(2U/c) + 2⌋` periods with
@@ -73,7 +73,8 @@ fn main() {
     let q = 8u32;
     let p_max = 5u32;
     let max_u = 16_384.0;
-    let table = ValueTable::solve(secs(C), q, secs(max_u), p_max, SolveOptions::default());
+    // One cached solve serves every (U/c, p) cell in the sweep below.
+    let table = TableCache::global().get(secs(C), q, secs(max_u), p_max);
     let policies: Vec<(&str, Box<dyn EpisodePolicy>)> = vec![
         ("arithmetic §3.2", Box::new(AdaptiveGuideline::default())),
         ("self-similar", Box::new(SelfSimilarGuideline::default())),
@@ -147,8 +148,15 @@ fn main() {
 
     // --- Reconstruction ablation at p = 1 ---------------------------------
     report.line("p = 1 ablation — exact-remainder reconstruction vs Table-2-literal schedule:");
-    let lit = evaluate_policy(&LiteralTable2P1, secs(C), q, secs(max_u), 1, EvalOptions::default())
-        .unwrap();
+    let lit = evaluate_policy(
+        &LiteralTable2P1,
+        secs(C),
+        q,
+        secs(max_u),
+        1,
+        EvalOptions::default(),
+    )
+    .unwrap();
     report.line(format!(
         "{:>8} {:>14} {:>14} {:>14}",
         "U/c", "reconstructed", "literal", "optimal"

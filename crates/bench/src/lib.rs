@@ -16,8 +16,7 @@ use std::path::PathBuf;
 
 /// Directory where experiment outputs are archived.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     fs::create_dir_all(&dir).expect("create target/experiments");
     dir
 }

@@ -273,13 +273,19 @@ mod tests {
         for p in 2..12u32 {
             let b = loss_coefficient(p);
             let b0 = loss_coefficient(p - 1);
-            assert!((b * b - b * b0 - 1.0).abs() < 1e-9, "identity fails at p={p}");
+            assert!(
+                (b * b - b * b0 - 1.0).abs() < 1e-9,
+                "identity fails at p={p}"
+            );
             // γ_p = 1/β_p.
             assert!((profile_coefficient(p) - 1.0 / b).abs() < 1e-12);
         }
         // Growth like √(2p): ratio tends to 1.
         let b = loss_coefficient(200);
-        assert!((b / (2.0 * 200.0f64).sqrt() - 1.0).abs() < 0.05, "β_200 = {b}");
+        assert!(
+            (b / (2.0 * 200.0f64).sqrt() - 1.0).abs() < 0.05,
+            "β_200 = {b}"
+        );
     }
 
     #[test]

@@ -287,7 +287,10 @@ mod tests {
     #[test]
     fn boundaries_are_prefix_sums() {
         let s = sched(&[1.0, 2.0, 3.0]);
-        assert_eq!(s.boundaries(), vec![secs(0.0), secs(1.0), secs(3.0), secs(6.0)]);
+        assert_eq!(
+            s.boundaries(),
+            vec![secs(0.0), secs(1.0), secs(3.0), secs(6.0)]
+        );
         assert_eq!(s.start_of(0), secs(0.0));
         assert_eq!(s.start_of(2), secs(3.0));
         assert_eq!(s.boundary(1), secs(3.0));

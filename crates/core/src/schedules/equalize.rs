@@ -296,7 +296,9 @@ mod tests {
             "spread {}",
             report.early_spread(&early)
         );
-        assert!(report.value.approx_eq(w1_exact(secs(1_000.0), c), secs(1e-6)));
+        assert!(report
+            .value
+            .approx_eq(w1_exact(secs(1_000.0), c), secs(1e-6)));
         assert!(report.uninterrupted >= report.value);
     }
 

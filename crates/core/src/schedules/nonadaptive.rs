@@ -157,7 +157,12 @@ mod tests {
         let opp = Opportunity::from_units(40_000.0, 1.0, 3);
         let m_star = NonAdaptiveGuideline::period_count(&opp);
         let g_star = NonAdaptiveGuideline::guarantee_with_m(&opp, m_star);
-        for m in [m_star / 2, m_star * 2, m_star + 50, m_star.saturating_sub(50)] {
+        for m in [
+            m_star / 2,
+            m_star * 2,
+            m_star + 50,
+            m_star.saturating_sub(50),
+        ] {
             let g = NonAdaptiveGuideline::guarantee_with_m(&opp, m.max(1));
             assert!(
                 g <= g_star + secs(1e-9),

@@ -118,10 +118,7 @@ mod tests {
         // Arithmetic with common difference c elsewhere.
         for k in 0..m - 2 {
             let diff = s.period(k) - s.period(k + 1);
-            assert!(
-                diff.approx_eq(c, secs(1e-9)),
-                "difference at {k} is {diff}"
-            );
+            assert!(diff.approx_eq(c, secs(1e-9)), "difference at {k} is {diff}");
         }
         // t_1 = (m − 1 + λ)c ≈ √(2cU).
         let t1 = s.period(0).get();

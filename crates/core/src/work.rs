@@ -74,11 +74,17 @@ pub fn episode_outcome(
         }
         InterruptSpec::During { period, offset } => {
             if period >= m {
-                return Err(ModelError::PeriodOutOfRange { index: period, len: m });
+                return Err(ModelError::PeriodOutOfRange {
+                    index: period,
+                    len: m,
+                });
             }
             let len = schedule.period(period);
             if offset.is_negative() || offset >= len {
-                return Err(ModelError::OffsetOutOfRange { offset, length: len });
+                return Err(ModelError::OffsetOutOfRange {
+                    offset,
+                    length: len,
+                });
             }
             let work = (0..period).map(|i| schedule.period_work(i, setup)).sum();
             Ok(EpisodeOutcome {
@@ -164,12 +170,18 @@ impl NonAdaptiveRun {
         }
         for w in killed.windows(2) {
             if w[0] >= w[1] {
-                return Err(ModelError::PeriodOutOfRange { index: w[1], len: m });
+                return Err(ModelError::PeriodOutOfRange {
+                    index: w[1],
+                    len: m,
+                });
             }
         }
         if let Some(&last) = killed.last() {
             if last >= m {
-                return Err(ModelError::PeriodOutOfRange { index: last, len: m });
+                return Err(ModelError::PeriodOutOfRange {
+                    index: last,
+                    len: m,
+                });
             }
         }
 

@@ -1,0 +1,417 @@
+//! Shared solve cache for `(U/c, p)` parameter sweeps.
+//!
+//! A solved table for lifespan `L_max` answers **every** smaller-lifespan
+//! query for free — rows are indexed by lifespan, so `W^(p)(L)` for
+//! `L ≤ L_max` is a plain lookup — and every smaller interrupt budget
+//! too, since all levels `0..=p_max` are materialized. Sweeps therefore
+//! need exactly one solve per distinct `(setup, ticks_per_setup, p_max)`
+//! key; [`TableCache`] deduplicates those solves (serving a smaller-`p`
+//! request from a larger-`p` table when one already covers the
+//! lifespan), grows tables with headroom so a slowly increasing sweep
+//! does not re-solve per step, and fans independent configurations out
+//! over `cyclesteal-par` workers in [`TableCache::solve_many`].
+//!
+//! The process-wide [`TableCache::global`] instance is what the bench
+//! sweeps and `examples/guarantee_explorer.rs` share.
+
+use crate::value::{SolveOptions, ValueTable};
+use cyclesteal_core::time::Time;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Cache key: everything that shapes a solve except the lifespan bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct TableKey {
+    /// `setup.get().to_bits()` — setups are compared exactly.
+    setup_bits: u64,
+    ticks_per_setup: u32,
+    max_interrupts: u32,
+}
+
+impl TableKey {
+    fn new(setup: Time, ticks_per_setup: u32, max_interrupts: u32) -> TableKey {
+        TableKey {
+            setup_bits: setup.get().to_bits(),
+            ticks_per_setup,
+            max_interrupts,
+        }
+    }
+}
+
+/// One solve request for [`TableCache::solve_many`].
+#[derive(Clone, Copy, Debug)]
+pub struct SolveConfig {
+    /// The setup charge `c`.
+    pub setup: Time,
+    /// Grid resolution in ticks per setup charge.
+    pub ticks_per_setup: u32,
+    /// Largest lifespan the caller will query.
+    pub max_lifespan: Time,
+    /// Largest interrupt budget the caller will query.
+    pub max_interrupts: u32,
+}
+
+/// Hit/miss counters for observability in sweeps.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Queries answered from a cached table.
+    pub hits: u64,
+    /// Queries that triggered (or re-triggered) a solve.
+    pub misses: u64,
+    /// Distinct `(setup, ticks_per_setup, p_max)` entries held.
+    pub entries: usize,
+}
+
+/// A concurrent cache of solved [`ValueTable`]s keyed by
+/// `(setup, ticks_per_setup, p_max)`, serving all smaller-lifespan
+/// queries from one solve per key.
+pub struct TableCache {
+    opts: SolveOptions,
+    /// Lifespan headroom multiplier applied on every (re-)solve, so a
+    /// sweep creeping upward in `L` amortizes to `O(log L)` solves.
+    growth: f64,
+    map: Mutex<HashMap<TableKey, Arc<ValueTable>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for TableCache {
+    fn default() -> Self {
+        TableCache::new()
+    }
+}
+
+impl TableCache {
+    /// A cache solving with [`SolveOptions::default`] and 25% lifespan
+    /// headroom.
+    pub fn new() -> TableCache {
+        TableCache::with_options(SolveOptions::default())
+    }
+
+    /// A cache with explicit solve options (e.g. `keep_policy: false`
+    /// for value-only sweeps).
+    pub fn with_options(opts: SolveOptions) -> TableCache {
+        TableCache {
+            opts,
+            growth: 1.25,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide shared cache used by the sweep benches and
+    /// examples.
+    pub fn global() -> &'static TableCache {
+        static GLOBAL: OnceLock<TableCache> = OnceLock::new();
+        GLOBAL.get_or_init(TableCache::new)
+    }
+
+    /// Returns a table covering `(setup, ticks_per_setup, ≥max_lifespan,
+    /// max_interrupts)`, solving (with lifespan headroom) only when no
+    /// cached table covers the request.
+    pub fn get(
+        &self,
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+    ) -> Arc<ValueTable> {
+        let key = TableKey::new(setup, ticks_per_setup, max_interrupts);
+        if let Some(table) = self.lookup(&key, max_lifespan) {
+            return table;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Solve outside the lock: concurrent callers may duplicate work,
+        // but never block each other behind a long solve.
+        let table = Arc::new(ValueTable::solve(
+            setup,
+            ticks_per_setup,
+            max_lifespan * self.growth,
+            max_interrupts,
+            self.opts,
+        ));
+        self.insert_if_larger(key, table)
+    }
+
+    /// Solves all `configs` with one solve per distinct key (at the
+    /// largest requested lifespan), fanned out over `cyclesteal-par`
+    /// workers, and returns one covering table per input config, in
+    /// input order.
+    pub fn solve_many(&self, configs: &[SolveConfig]) -> Vec<Arc<ValueTable>> {
+        // Coalesce: one pending solve per (setup, resolution), at the max
+        // interrupt budget and lifespan not already covered — a `p_max`
+        // solve materializes every smaller budget, so mixed-p batches
+        // need only one solve per grid.
+        let mut pending: HashMap<(u64, u32), SolveConfig> = HashMap::new();
+        for cfg in configs {
+            let key = TableKey::new(cfg.setup, cfg.ticks_per_setup, cfg.max_interrupts);
+            if self.lookup(&key, cfg.max_lifespan).is_some() {
+                continue;
+            }
+            pending
+                .entry((key.setup_bits, key.ticks_per_setup))
+                .and_modify(|p| {
+                    if cfg.max_lifespan > p.max_lifespan {
+                        p.max_lifespan = cfg.max_lifespan;
+                    }
+                    if cfg.max_interrupts > p.max_interrupts {
+                        p.max_interrupts = cfg.max_interrupts;
+                    }
+                })
+                .or_insert(*cfg);
+        }
+
+        let jobs: Vec<SolveConfig> = pending.into_values().collect();
+        self.misses.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        let solved = cyclesteal_par::par_map(&jobs, |cfg| {
+            ValueTable::solve(
+                cfg.setup,
+                cfg.ticks_per_setup,
+                cfg.max_lifespan * self.growth,
+                cfg.max_interrupts,
+                self.opts,
+            )
+        });
+        for (cfg, table) in jobs.into_iter().zip(solved) {
+            let key = TableKey::new(cfg.setup, cfg.ticks_per_setup, cfg.max_interrupts);
+            self.insert_if_larger(key, Arc::new(table));
+        }
+
+        configs
+            .iter()
+            .map(|cfg| {
+                let key = TableKey::new(cfg.setup, cfg.ticks_per_setup, cfg.max_interrupts);
+                // Plain collection, not a cache query: hits were already
+                // counted in the dedup pass, misses per solved key above.
+                self.peek(&key, cfg.max_lifespan)
+                    .expect("solve_many populated every key")
+            })
+            .collect()
+    }
+
+    /// Hit/miss/entry counters since construction (or [`Self::clear`]).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().len(),
+        }
+    }
+
+    /// Drops every cached table and resets the counters.
+    pub fn clear(&self) {
+        self.map.lock().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether `table` can answer every query up to `max_lifespan` —
+    /// the same tolerance [`ValueTable::value`] accepts, so a cache hit
+    /// can never hand back a table that panics on the requested range.
+    fn covers(table: &ValueTable, max_lifespan: Time) -> bool {
+        max_lifespan.get() / table.grid().tick().get() <= table.max_ticks() as f64 + 1e-9
+    }
+
+    fn lookup(&self, key: &TableKey, max_lifespan: Time) -> Option<Arc<ValueTable>> {
+        let found = self.peek(key, max_lifespan);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// [`Self::lookup`] without touching the hit counter. Serves the
+    /// exact key, or any table for the same `(setup, resolution)` with a
+    /// *larger* interrupt budget — levels are solved bottom-up, so a
+    /// `p_max` table holds every smaller budget exactly.
+    fn peek(&self, key: &TableKey, max_lifespan: Time) -> Option<Arc<ValueTable>> {
+        let map = self.map.lock();
+        if let Some(table) = map.get(key) {
+            if Self::covers(table, max_lifespan) {
+                return Some(table.clone());
+            }
+        }
+        map.iter()
+            .filter(|(k, table)| {
+                k.setup_bits == key.setup_bits
+                    && k.ticks_per_setup == key.ticks_per_setup
+                    && k.max_interrupts > key.max_interrupts
+                    && Self::covers(table, max_lifespan)
+            })
+            .min_by_key(|(k, _)| k.max_interrupts)
+            .map(|(_, table)| table.clone())
+    }
+
+    /// Keeps whichever of the cached and offered table covers more.
+    fn insert_if_larger(&self, key: TableKey, table: Arc<ValueTable>) -> Arc<ValueTable> {
+        let mut map = self.map.lock();
+        match map.get(&key) {
+            Some(existing) if existing.max_ticks() >= table.max_ticks() => existing.clone(),
+            _ => {
+                map.insert(key, table.clone());
+                table
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::time::secs;
+
+    #[test]
+    fn second_smaller_query_is_a_hit() {
+        let cache = TableCache::new();
+        let a = cache.get(secs(1.0), 8, secs(100.0), 2);
+        let b = cache.get(secs(1.0), 8, secs(40.0), 2);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "smaller lifespan should reuse the solve"
+        );
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        // The shared table answers the smaller query exactly.
+        assert_eq!(
+            a.value_ticks(2, 40 * 8),
+            ValueTable::solve(secs(1.0), 8, secs(40.0), 2, SolveOptions::default())
+                .value_ticks(2, 40 * 8)
+        );
+    }
+
+    #[test]
+    fn headroom_absorbs_creeping_sweeps() {
+        let cache = TableCache::new();
+        let _ = cache.get(secs(1.0), 4, secs(100.0), 1);
+        // 25% headroom: up to 125 is covered without a re-solve.
+        let _ = cache.get(secs(1.0), 4, secs(120.0), 1);
+        assert_eq!(cache.stats().misses, 1);
+        let _ = cache.get(secs(1.0), 4, secs(200.0), 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = TableCache::new();
+        let a = cache.get(secs(1.0), 8, secs(50.0), 1);
+        let b = cache.get(secs(1.0), 8, secs(50.0), 2);
+        let c = cache.get(secs(1.0), 16, secs(50.0), 1);
+        let d = cache.get(secs(2.0), 8, secs(50.0), 1);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats().entries, 4);
+        assert_eq!(b.max_interrupts(), 2);
+        assert_eq!(c.grid().q(), 16);
+        assert_eq!(d.grid().setup(), secs(2.0));
+    }
+
+    #[test]
+    fn solve_many_coalesces_and_preserves_order() {
+        let cache = TableCache::new();
+        let configs: Vec<SolveConfig> = [30.0, 80.0, 50.0]
+            .iter()
+            .map(|&u| SolveConfig {
+                setup: secs(1.0),
+                ticks_per_setup: 8,
+                max_lifespan: secs(u),
+                max_interrupts: 2,
+            })
+            .collect();
+        let tables = cache.solve_many(&configs);
+        assert_eq!(tables.len(), 3);
+        // One key → one solve → one shared table.
+        assert_eq!(cache.stats().misses, 1);
+        assert!(Arc::ptr_eq(&tables[0], &tables[1]));
+        assert!(Arc::ptr_eq(&tables[1], &tables[2]));
+        assert!(tables[0].max_lifespan() >= secs(80.0));
+    }
+
+    #[test]
+    fn solve_many_mixed_keys() {
+        let cache = TableCache::new();
+        let configs = vec![
+            SolveConfig {
+                setup: secs(1.0),
+                ticks_per_setup: 8,
+                max_lifespan: secs(60.0),
+                max_interrupts: 1,
+            },
+            SolveConfig {
+                setup: secs(1.0),
+                ticks_per_setup: 8,
+                max_lifespan: secs(60.0),
+                max_interrupts: 3,
+            },
+        ];
+        let tables = cache.solve_many(&configs);
+        // Same grid, different budgets: one p=3 solve serves both.
+        assert_eq!(cache.stats().misses, 1);
+        assert!(Arc::ptr_eq(&tables[0], &tables[1]));
+        assert_eq!(tables[1].max_interrupts(), 3);
+        // Values agree with fresh direct solves at both budgets.
+        let direct = ValueTable::solve(secs(1.0), 8, secs(60.0), 3, SolveOptions::default());
+        for l in 0..=direct.max_ticks() {
+            assert_eq!(tables[0].value_ticks(1, l), direct.value_ticks(1, l));
+            assert_eq!(tables[1].value_ticks(3, l), direct.value_ticks(3, l));
+        }
+    }
+
+    #[test]
+    fn smaller_budget_served_from_larger_p_table() {
+        let cache = TableCache::new();
+        let big = cache.get(secs(1.0), 8, secs(60.0), 3);
+        let small = cache.get(secs(1.0), 8, secs(60.0), 1);
+        assert!(
+            Arc::ptr_eq(&big, &small),
+            "p=1 request should reuse the p=3 table"
+        );
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        // Level 1 of the shared table is the exact p=1 answer.
+        let direct = ValueTable::solve(secs(1.0), 8, secs(60.0), 1, SolveOptions::default());
+        for l in 0..=direct.max_ticks() {
+            assert_eq!(small.value_ticks(1, l), direct.value_ticks(1, l));
+        }
+    }
+
+    #[test]
+    fn hit_never_returns_a_table_too_small_to_query() {
+        // A lifespan a fraction of a tick past the solved range must
+        // re-solve, not hand back a table whose value() would panic.
+        let cache = TableCache::new();
+        let first = cache.get(secs(1.0), 8, secs(100.0), 1);
+        let covered = first.max_lifespan();
+        let just_past = covered + secs(0.01);
+        let second = cache.get(secs(1.0), 8, just_past, 1);
+        // Either way the contract holds: the returned table answers the
+        // requested lifespan without panicking.
+        let _ = second.value(1, just_past);
+        assert!(second.max_lifespan() >= just_past);
+    }
+
+    #[test]
+    fn solve_many_counts_no_phantom_hits() {
+        let cache = TableCache::new();
+        let configs: Vec<SolveConfig> = (0..3)
+            .map(|_| SolveConfig {
+                setup: secs(1.0),
+                ticks_per_setup: 8,
+                max_lifespan: secs(40.0),
+                max_interrupts: 2,
+            })
+            .collect();
+        let _ = cache.solve_many(&configs);
+        let s = cache.stats();
+        // Nothing was served from cache: one solve, zero hits.
+        assert_eq!((s.hits, s.misses), (0, 1));
+    }
+
+    #[test]
+    fn global_is_shared() {
+        let a = TableCache::global();
+        let b = TableCache::global();
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -1,0 +1,518 @@
+//! Breakpoint-compressed `W^(p)[L]` tables.
+//!
+//! ## Why rows compress
+//!
+//! Every row `W^(p)[·]` is nondecreasing, 1-Lipschitz and integer on the
+//! tick grid, so consecutive differences are bits: each tick either banks
+//! a tick of work (slope 1) or loses it to the adversary (slope 0). The
+//! total number of slope-0 ticks in a row is exactly the row's final loss
+//! `L − W^(p)(L)`, which the paper bounds by `O(√(QL) + pQ)` — vanishing
+//! relative to `L`. A row is therefore stored as its **flat-tick list**
+//! (the positions where the slope is 0, i.e. the breakpoint skeleton of
+//! the piecewise-linear row) plus the zero-region prefix, and evaluated
+//! by binary search: `W(l) = (l − z) − #{flats ≤ l}` for `l` past the
+//! zero region `[0, z]`.
+//!
+//! ## Building level `p` on the skeleton of level `p−1`
+//!
+//! The builder runs the same monotone frontier sweep as the dense solver
+//! (see [`crate::value`]): the crossing residual `s*(l)` only advances
+//! with `l`, and every value the recursion reads — `W^(p−1)` and `W^(p)`
+//! at the frontier, `W^(p)(l−1)` for the wait candidate — is read at a
+//! (near-)monotone position. Lagging cursors into the flat-tick lists
+//! serve those reads in `O(1)` amortized, so level `p` is built directly
+//! from level `p−1`'s compressed skeleton in `O(L)` time and `O(k)`
+//! memory, never materializing a dense row. Total: `O(p·L)` time,
+//! `O(p·k)` memory with `k ≪ L` — lifespans in the `10^8`-tick range fit
+//! in a few megabytes where the dense arena would need tens of
+//! gigabytes.
+//!
+//! ## Policy queries without an argmax arena
+//!
+//! The optimal first period at `(p, l)` is re-derived at query time from
+//! the compressed rows alone: binary search the crossing residual
+//! (`h(s) = s + W^(p−1)(s) − W^(p)(s)` is nondecreasing), then apply the
+//! dense solver's exact tie-breaks. [`CompressedTable::episode`] is
+//! therefore bit-identical to the dense [`crate::ValueTable::episode`]
+//! at `O(m log L log k)` cost per reconstruction and zero bytes of
+//! policy storage.
+
+use crate::grid::Grid;
+use cyclesteal_core::error::{ModelError, Result};
+use cyclesteal_core::model::Opportunity;
+use cyclesteal_core::policy::{EpisodePolicy, WorkOracle};
+use cyclesteal_core::schedule::EpisodeSchedule;
+use cyclesteal_core::time::{Time, Work};
+use std::sync::Arc;
+
+/// One compressed row: the zero-region prefix plus the sorted positions
+/// of the slope-0 ticks past it.
+#[derive(Clone, Debug, Default)]
+struct CompressedRow {
+    /// Largest `l` with `W(l) = 0` (the whole row when never positive).
+    zero_until: i64,
+    /// Ticks `l > zero_until` where `W(l) = W(l−1)`, strictly increasing.
+    flats: Vec<i64>,
+}
+
+impl CompressedRow {
+    /// `W(l)` by rank query over the flat ticks.
+    #[inline]
+    fn value(&self, l: i64) -> i64 {
+        if l <= self.zero_until {
+            return 0;
+        }
+        let rank = self.flats.partition_point(|&f| f <= l) as i64;
+        (l - self.zero_until) - rank
+    }
+
+    /// Number of stored breakpoints (flat ticks + the zero-region edge).
+    fn breakpoints(&self) -> usize {
+        self.flats.len() + 1
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Capacity, not len: the accounting must reflect real heap use
+        // (build shrinks the vec, so the two normally coincide).
+        std::mem::size_of::<CompressedRow>() + self.flats.capacity() * std::mem::size_of::<i64>()
+    }
+}
+
+/// Amortized-O(1) evaluator for positions that move (nearly)
+/// monotonically forward: keeps the rank `#{flats ≤ pos}` incrementally
+/// instead of re-running the binary search of [`CompressedRow::value`].
+/// Tolerates small retreats (the sweep interleaves `s` and `s+1`).
+#[derive(Clone, Copy, Debug, Default)]
+struct RowCursor {
+    rank: usize,
+}
+
+impl RowCursor {
+    #[inline]
+    fn value(&mut self, row: &CompressedRow, flats: &[i64], pos: i64) -> i64 {
+        while self.rank > 0 && flats[self.rank - 1] > pos {
+            self.rank -= 1;
+        }
+        while self.rank < flats.len() && flats[self.rank] <= pos {
+            self.rank += 1;
+        }
+        if pos <= row.zero_until {
+            0
+        } else {
+            (pos - row.zero_until) - self.rank as i64
+        }
+    }
+}
+
+/// `W^(p)[L]` for all `p ≤ p_max`, `L ≤ L_max`, stored as breakpoint
+/// skeletons: `O(p·k)` memory with `k ≪ L`, exact agreement with the
+/// dense [`crate::ValueTable`] on values, argmax and episodes.
+#[derive(Clone, Debug)]
+pub struct CompressedTable {
+    grid: Grid,
+    max_ticks: i64,
+    max_interrupts: u32,
+    rows: Vec<CompressedRow>,
+}
+
+/// Builds level `p` from the completed level `p−1` skeleton by the
+/// monotone frontier sweep, recording only slope-0 ticks.
+fn build_level(prev: &CompressedRow, n: i64, q: i64) -> CompressedRow {
+    let mut cur = CompressedRow::default();
+    let mut last = 0i64; // W^(p)(l−1)
+    let mut frontier = 0i64; // crossing residual s*, nondecreasing in l
+    let mut prev_at = RowCursor::default(); // reads prev at s / s+1
+    let mut cur_at = RowCursor::default(); // reads cur at s / s+1
+
+    for l in 1..=n {
+        let mut best = last;
+        if l > q {
+            let tau = l - q;
+            let s_cap = l - q - 1;
+            while frontier < s_cap {
+                let s1 = frontier + 1;
+                let h =
+                    s1 + prev_at.value(prev, &prev.flats, s1) - cur_at.value(&cur, &cur.flats, s1);
+                if h <= tau {
+                    frontier += 1;
+                } else {
+                    break;
+                }
+            }
+            let s = frontier;
+            let t_star = l - s;
+            let mut cand = prev_at
+                .value(prev, &prev.flats, s)
+                .min((t_star - q) + cur_at.value(&cur, &cur.flats, s));
+            if t_star > q + 1 {
+                let v_left = prev_at
+                    .value(prev, &prev.flats, s + 1)
+                    .min((t_star - 1 - q) + cur_at.value(&cur, &cur.flats, s + 1));
+                cand = cand.max(v_left);
+            }
+            if cand >= best {
+                best = cand;
+            }
+        }
+
+        let inc = best - last;
+        debug_assert!(
+            inc == 0 || inc == 1,
+            "row not monotone 1-Lipschitz at l={l}: {last} -> {best}"
+        );
+        if best == 0 {
+            cur.zero_until = l;
+        } else if inc == 0 {
+            cur.flats.push(l);
+        }
+        last = best;
+    }
+    // Incremental pushes leave up to 2× capacity slack; release it so
+    // the memory accounting (and the actual footprint) stay tight.
+    cur.flats.shrink_to_fit();
+    cur
+}
+
+impl CompressedTable {
+    /// Solves the game bottom-up for interrupt levels `0..=max_interrupts`
+    /// and lifespans `0..=max_lifespan` at `ticks_per_setup` resolution,
+    /// storing each level as its breakpoint skeleton.
+    pub fn solve(
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+    ) -> CompressedTable {
+        let grid = Grid::new(setup, ticks_per_setup);
+        let n = grid.to_ticks(max_lifespan).max(0);
+        let q = grid.q();
+
+        let mut rows = Vec::with_capacity(max_interrupts as usize + 1);
+        // Level 0: W^(0)(l) = l ⊖ Q — a pure zero region, no flats after.
+        rows.push(CompressedRow {
+            zero_until: q.min(n),
+            flats: Vec::new(),
+        });
+        for _p in 1..=max_interrupts {
+            let prev = rows.last().expect("level p−1 present");
+            let row = build_level(prev, n, q);
+            rows.push(row);
+        }
+
+        CompressedTable {
+            grid,
+            max_ticks: n,
+            max_interrupts,
+            rows,
+        }
+    }
+
+    /// The grid the table was solved on.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Largest lifespan (in ticks) the table covers.
+    pub fn max_ticks(&self) -> i64 {
+        self.max_ticks
+    }
+
+    /// Largest lifespan the table covers.
+    pub fn max_lifespan(&self) -> Time {
+        self.grid.to_time(self.max_ticks)
+    }
+
+    /// Largest interrupt budget the table covers.
+    pub fn max_interrupts(&self) -> u32 {
+        self.max_interrupts
+    }
+
+    /// Stored breakpoints at level `p` (resolution-independent row size).
+    pub fn breakpoints(&self, p: u32) -> usize {
+        self.rows[p.min(self.max_interrupts) as usize].breakpoints()
+    }
+
+    /// Bytes held by all row skeletons — the number the `perf_dp` bench
+    /// compares against [`crate::ValueTable::memory_bytes`].
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.iter().map(CompressedRow::memory_bytes).sum()
+    }
+
+    /// Exact grid value in work ticks; same domain contract as
+    /// [`crate::ValueTable::value_ticks`].
+    #[inline]
+    pub fn value_ticks(&self, p: u32, l: i64) -> i64 {
+        assert!(
+            (0..=self.max_ticks).contains(&l),
+            "lifespan {l} ticks outside solved range 0..={}",
+            self.max_ticks
+        );
+        self.rows[p.min(self.max_interrupts) as usize].value(l)
+    }
+
+    /// Value at an arbitrary lifespan by linear interpolation between grid
+    /// points; same contract as [`crate::ValueTable::value`].
+    pub fn value(&self, p: u32, lifespan: Time) -> Work {
+        let tick = self.grid.tick().get();
+        let x = lifespan.get() / tick;
+        assert!(
+            x >= -1e-9 && x <= self.max_ticks as f64 + 1e-9,
+            "lifespan {lifespan} outside solved range {}",
+            self.max_lifespan()
+        );
+        let x = x.clamp(0.0, self.max_ticks as f64);
+        let i = x.floor() as i64;
+        let row = &self.rows[p.min(self.max_interrupts) as usize];
+        if i >= self.max_ticks {
+            return Time::new(row.value(self.max_ticks) as f64 * tick);
+        }
+        let frac = x - i as f64;
+        let lo = row.value(i) as f64;
+        let hi = row.value(i + 1) as f64;
+        Time::new((lo + (hi - lo) * frac) * tick)
+    }
+
+    /// The optimal first-period length (in ticks) at state `(p, l)`,
+    /// re-derived from the skeletons with the dense solver's exact
+    /// tie-breaks — bit-identical to
+    /// [`crate::ValueTable::first_period_ticks`] under the default
+    /// frontier-sweep/bisection inner loops.
+    pub fn first_period_ticks(&self, p: u32, l: i64) -> i64 {
+        assert!(
+            (0..=self.max_ticks).contains(&l),
+            "lifespan {l} ticks outside solved range 0..={}",
+            self.max_ticks
+        );
+        let p = p.min(self.max_interrupts);
+        if l == 0 {
+            return 0;
+        }
+        if p == 0 {
+            // Level 0: a single period consuming the whole lifespan.
+            return l;
+        }
+        let q = self.grid.q();
+        let prev = &self.rows[p as usize - 1];
+        let cur = &self.rows[p as usize];
+
+        let mut best = cur.value(l - 1);
+        let mut best_t: i64 = 1;
+        if l > q {
+            let tau = l - q;
+            // Largest s ∈ [0, l−q−1] with h(s) = s + prev(s) − cur(s) ≤ τ;
+            // h is nondecreasing and h(0) = 0, so the search is total.
+            let (mut lo_s, mut hi_s) = (0i64, l - q - 1);
+            while lo_s < hi_s {
+                let mid = lo_s + (hi_s - lo_s + 1) / 2;
+                if mid + prev.value(mid) - cur.value(mid) <= tau {
+                    lo_s = mid;
+                } else {
+                    hi_s = mid - 1;
+                }
+            }
+            let s = lo_s;
+            let t_star = l - s;
+            let v_star = prev.value(s).min((t_star - q) + cur.value(s));
+            let (cand_t, cand_v) = if t_star > q + 1 {
+                let v_left = prev.value(s + 1).min((t_star - 1 - q) + cur.value(s + 1));
+                if v_left > v_star {
+                    (t_star - 1, v_left)
+                } else {
+                    (t_star, v_star)
+                }
+            } else {
+                (t_star, v_star)
+            };
+            if cand_v >= best {
+                best = cand_v;
+                best_t = cand_t;
+            }
+        }
+        if best == 0 {
+            best_t = l;
+        }
+        best_t
+    }
+
+    /// Reconstructs the full optimal episode schedule at `(p, lifespan)`;
+    /// same contract (and output) as [`crate::ValueTable::episode`].
+    pub fn episode(&self, p: u32, lifespan: Time) -> Result<EpisodeSchedule> {
+        let mut l = self.grid.to_ticks(lifespan);
+        if l <= 0 {
+            return Err(ModelError::NegativeLifespan { lifespan });
+        }
+        l = l.min(self.max_ticks);
+        let mut periods_ticks: Vec<i64> = Vec::new();
+        while l > 0 {
+            let t = self.first_period_ticks(p, l).max(1).min(l);
+            periods_ticks.push(t);
+            l -= t;
+        }
+        let mut periods: Vec<Time> = periods_ticks
+            .iter()
+            .map(|&t| self.grid.to_time(t))
+            .collect();
+        // Absorb the off-grid drift into the longest (first) period.
+        let total: Time = periods.iter().copied().sum();
+        let drift = lifespan - total;
+        if !drift.is_zero() {
+            periods[0] += drift;
+        }
+        EpisodeSchedule::for_lifespan(periods, lifespan)
+    }
+}
+
+impl WorkOracle for CompressedTable {
+    fn setup(&self) -> Time {
+        self.grid.setup()
+    }
+
+    fn guaranteed_work(&self, interrupts: u32, lifespan: Time) -> Work {
+        self.value(interrupts, lifespan)
+    }
+}
+
+/// The compressed table's optimal strategy as an [`EpisodePolicy`].
+#[derive(Clone)]
+pub struct CompressedOptimalPolicy {
+    table: Arc<CompressedTable>,
+}
+
+impl CompressedOptimalPolicy {
+    /// Wraps a solved compressed table (the policy is always available —
+    /// no `keep_policy` arena is needed).
+    pub fn new(table: Arc<CompressedTable>) -> CompressedOptimalPolicy {
+        CompressedOptimalPolicy { table }
+    }
+
+    /// The backing table.
+    pub fn table(&self) -> &CompressedTable {
+        &self.table
+    }
+}
+
+impl EpisodePolicy for CompressedOptimalPolicy {
+    fn episode(&self, opp: &Opportunity) -> Result<EpisodeSchedule> {
+        self.table.episode(opp.interrupts(), opp.lifespan())
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "optimal-dp-compressed(q={}, p≤{})",
+            self.table.grid.q(),
+            self.table.max_interrupts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{SolveOptions, ValueTable};
+    use cyclesteal_core::time::secs;
+
+    fn dense(q: u32, max_u: f64, p: u32) -> ValueTable {
+        ValueTable::solve(secs(1.0), q, secs(max_u), p, SolveOptions::default())
+    }
+
+    #[test]
+    fn matches_dense_values_exactly() {
+        for (q, max_u, p) in [
+            (4u32, 60.0, 3u32),
+            (8, 120.0, 2),
+            (32, 40.0, 4),
+            (16, 1.0, 2),
+        ] {
+            let d = dense(q, max_u, p);
+            let c = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
+            assert_eq!(d.max_ticks(), c.max_ticks());
+            for pp in 0..=p {
+                for l in 0..=d.max_ticks() {
+                    assert_eq!(
+                        d.value_ticks(pp, l),
+                        c.value_ticks(pp, l),
+                        "value mismatch at q={q}, p={pp}, l={l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_argmax_exactly() {
+        let d = dense(8, 100.0, 3);
+        let c = CompressedTable::solve(secs(1.0), 8, secs(100.0), 3);
+        for p in 0..=3u32 {
+            for l in 1..=d.max_ticks() {
+                assert_eq!(
+                    d.first_period_ticks(p, l),
+                    c.first_period_ticks(p, l),
+                    "argmax mismatch at p={p}, l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn episodes_are_bit_identical_to_dense() {
+        let d = dense(16, 200.0, 2);
+        let c = CompressedTable::solve(secs(1.0), 16, secs(200.0), 2);
+        for p in 1..=2u32 {
+            for &u in &[17.0, 63.0, 128.5, 200.0] {
+                let de = d.episode(p, secs(u)).unwrap();
+                let ce = c.episode(p, secs(u)).unwrap();
+                assert_eq!(de.len(), ce.len(), "period count at p={p}, U={u}");
+                for k in 0..de.len() {
+                    assert_eq!(de.period(k), ce.period(k), "period {k} at p={p}, U={u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_size_tracks_loss_not_lifespan() {
+        // Doubling the lifespan must not double the skeleton: breakpoints
+        // scale like the √-loss, not like L.
+        let a = CompressedTable::solve(secs(1.0), 16, secs(500.0), 2);
+        let b = CompressedTable::solve(secs(1.0), 16, secs(2000.0), 2);
+        let (ka, kb) = (a.breakpoints(2), b.breakpoints(2));
+        assert!(
+            (kb as f64) < 3.0 * ka as f64,
+            "4× lifespan grew breakpoints {ka} -> {kb} (≥3×): not sublinear"
+        );
+        // And the compressed form must beat the dense arena handily.
+        let d = dense(16, 2000.0, 2);
+        assert!(
+            d.memory_bytes() >= 10 * b.memory_bytes(),
+            "dense {} vs compressed {}",
+            d.memory_bytes(),
+            b.memory_bytes()
+        );
+    }
+
+    #[test]
+    fn degenerate_lifespans() {
+        // L = 0: one all-zero state per level.
+        let c = CompressedTable::solve(secs(1.0), 8, secs(0.0), 2);
+        assert_eq!(c.max_ticks(), 0);
+        for p in 0..=2 {
+            assert_eq!(c.value_ticks(p, 0), 0);
+        }
+        assert!(c.episode(1, secs(0.0)).is_err());
+        // L = 1 tick: still inside every zero region.
+        let c = CompressedTable::solve(secs(1.0), 8, secs(0.125), 2);
+        assert_eq!(c.max_ticks(), 1);
+        assert_eq!(c.value_ticks(1, 1), 0);
+        let e = c.episode(1, secs(0.125)).unwrap();
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn interpolation_matches_dense() {
+        let d = dense(8, 64.0, 2);
+        let c = CompressedTable::solve(secs(1.0), 8, secs(64.0), 2);
+        for &u in &[0.06, 10.33, 29.99, 64.0] {
+            assert_eq!(d.value(2, secs(u)), c.value(2, secs(u)), "U={u}");
+        }
+    }
+}

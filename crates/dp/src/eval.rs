@@ -183,15 +183,7 @@ mod tests {
     const C: f64 = 1.0;
 
     fn eval(policy: &dyn EpisodePolicy, q: u32, max_u: f64, p: u32) -> PolicyValue {
-        evaluate_policy(
-            policy,
-            secs(C),
-            q,
-            secs(max_u),
-            p,
-            EvalOptions::default(),
-        )
-        .unwrap()
+        evaluate_policy(policy, secs(C), q, secs(max_u), p, EvalOptions::default()).unwrap()
     }
 
     #[test]
@@ -310,8 +302,8 @@ mod tests {
             &OptimalP1Policy,
             &EqualPeriodsPolicy::new(6),
         ] {
-            let fast = evaluate_policy(pol, secs(C), 8, secs(48.0), 2, EvalOptions::default())
-                .unwrap();
+            let fast =
+                evaluate_policy(pol, secs(C), 8, secs(48.0), 2, EvalOptions::default()).unwrap();
             let slow = evaluate_policy(
                 pol,
                 secs(C),

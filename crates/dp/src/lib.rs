@@ -3,18 +3,33 @@
 //! The exact game solver for the guaranteed-output cycle-stealing model:
 //! the ground truth every guideline in the paper is measured against.
 //!
-//! * [`value::ValueTable`] — solves `W^(p)[L]` exactly on an integer tick
-//!   grid (the paper's §4 bootstrapping, executed rather than assumed), and
-//!   reconstructs the optimal episode schedules; implements
+//! Four layers, fast to slow and small to large:
+//!
+//! * [`value::ValueTable`] — the dense solver: `W^(p)[L]` exactly on an
+//!   integer tick grid (the paper's §4 bootstrapping, executed rather
+//!   than assumed), stored in one flat arena and solved with a monotone
+//!   **frontier sweep** in `O(p·L)` (bisection and linear-scan inner
+//!   loops remain behind [`value::SolveOptions`] as ablations).
+//!   Reconstructs optimal episode schedules and implements
 //!   [`cyclesteal_core::policy::WorkOracle`], so Theorem 4.3's equalizer
 //!   can be driven by exact values for any `p`.
+//! * [`compressed::CompressedTable`] — the same values stored as
+//!   per-level **breakpoint skeletons** (`O(p·k)` memory, `k ≪ L`):
+//!   rows are 1-Lipschitz staircases whose flat ticks number only
+//!   `O(√(QL) + pQ)`, so lifespans in the `10^8`-tick range fit in
+//!   megabytes. Values, argmax and episodes agree with the dense solver
+//!   bit for bit.
+//! * [`cache::TableCache`] — one solve per `(setup, resolution, p_max)`
+//!   serves a whole `(U/c, p)` sweep; independent configurations solve
+//!   in parallel through `cyclesteal-par`.
 //! * [`eval::evaluate_policy`] — the guaranteed work of an *arbitrary*
-//!   policy against the optimal adversary, used by the E-series benches to
-//!   score the §3 guidelines and the baselines.
+//!   policy against the optimal adversary, used by the E-series benches
+//!   to score the §3 guidelines and the baselines.
 //!
 //! ```
 //! use cyclesteal_core::prelude::*;
 //! use cyclesteal_dp::value::{SolveOptions, ValueTable};
+//! use cyclesteal_dp::compressed::CompressedTable;
 //!
 //! let c = secs(1.0);
 //! let table = ValueTable::solve(c, 32, secs(200.0), 2, SolveOptions::default());
@@ -23,19 +38,28 @@
 //! // §5.2's closed form is confirmed by the solver at p = 1:
 //! let diff = (table.value(1, secs(200.0)) - w1_exact(secs(200.0), c)).abs();
 //! assert!(diff.get() < 0.75);
+//! // The compressed skeleton stores the same function in a fraction of
+//! // the bytes:
+//! let small = CompressedTable::solve(c, 32, secs(200.0), 2);
+//! assert_eq!(small.value_ticks(2, 6400), table.value_ticks(2, 6400));
+//! assert!(small.memory_bytes() < table.memory_bytes());
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod compressed;
 pub mod eval;
 pub mod grid;
 pub mod value;
 
+pub use cache::{CacheStats, SolveConfig, TableCache};
+pub use compressed::{CompressedOptimalPolicy, CompressedTable};
 pub use eval::{evaluate_policy, EvalOptions, PolicyValue};
 pub use grid::Grid;
-pub use value::{OptimalPolicy, SolveOptions, ValueTable};
+pub use value::{InnerLoop, OptimalPolicy, SolveOptions, ValueTable};
 
 #[cfg(test)]
 mod cross_tests {
@@ -71,6 +95,19 @@ mod cross_tests {
     }
 
     #[test]
+    fn equalizer_accepts_the_compressed_oracle_too() {
+        // WorkOracle is representation-blind: the breakpoint table drives
+        // Theorem 4.3 exactly like the dense one.
+        let c = secs(1.0);
+        let table = crate::compressed::CompressedTable::solve(c, 32, secs(120.0), 2);
+        let opp = Opportunity::from_units(120.0, 1.0, 2);
+        let (sched, value) = equalized_schedule(&table, &opp).unwrap();
+        let exact = table.value(2, secs(120.0));
+        assert!((value - exact).abs() <= secs(0.25));
+        assert!(sched.total().approx_eq(secs(120.0), secs(1e-6)));
+    }
+
+    #[test]
     fn fully_productive_restriction_is_lossless_here() {
         // §4.1 admits the fully-productive restriction is a heuristic.
         // The DP searches ALL schedules (including nonproductive periods);
@@ -85,8 +122,7 @@ mod cross_tests {
                 if table.value(p, secs(u)) > Work::ZERO {
                     let s = table.episode(p, secs(u)).unwrap();
                     assert!(
-                        s.make_productive(c).work_uninterrupted(c)
-                            >= s.work_uninterrupted(c),
+                        s.make_productive(c).work_uninterrupted(c) >= s.work_uninterrupted(c),
                         "Thm 4.1 sanity at p={p}, U={u}"
                     );
                 }

@@ -17,16 +17,44 @@
 //! complete. The recursion is well-founded in `L` and is solved bottom-up
 //! on the integer tick grid in exact `i64` arithmetic.
 //!
-//! ## The inner maximization
+//! ## The inner maximization, three ways
 //!
 //! On `t ∈ [Q+1, L]` the interrupted branch `A(t) = W^(p−1)(L−t)` is
 //! nonincreasing and the completed branch `B(t) = (t−Q) + W^(p)(L−t)` is
 //! nondecreasing (both because `W` is nondecreasing and 1-Lipschitz), so
-//! `max_t min(A,B)` sits at the crossing, found by bisection in
-//! `O(log L)`. Nonproductive lengths `t ≤ Q` are dominated by the 1-tick
-//! "wait" candidate `W^(p)(L−1)`, which is also what makes each row
-//! monotone; a linear-scan fallback over the full range is kept for the
-//! correctness tests and the E-series ablation (`SolveOptions::bisection`).
+//! `max_t min(A,B)` sits at the crossing. Nonproductive lengths `t ≤ Q`
+//! are dominated by the 1-tick "wait" candidate `W^(p)(L−1)`, which is
+//! also what makes each row monotone. [`SolveOptions::inner`] picks the
+//! search:
+//!
+//! * [`InnerLoop::FrontierSweep`] (default) — substituting `s = L − t`,
+//!   the crossing condition `B ≥ A` reads `h(s) ≤ L − Q` for
+//!   `h(s) = s + W^(p−1)(s) − W^(p)(s)`, and `h` is **nondecreasing in
+//!   `s`** (both rows are 1-Lipschitz). As `L` grows by a tick the
+//!   threshold `L − Q` only rises, so the crossing residual `s*(L)` only
+//!   advances: one monotone pointer serves the whole level in `O(L)`
+//!   amortized — the solve is `O(p·L)` total.
+//! * [`InnerLoop::Bisection`] — the seed algorithm: `O(log L)` bisection
+//!   per state, `O(p·L·log L)` total. Kept as a correctness ablation and
+//!   the baseline the `perf_dp` bench measures the sweep against.
+//! * [`InnerLoop::LinearScan`] — the `O(L)`-per-state reference used by
+//!   the E-series ablation and the equivalence property tests.
+//!
+//! Frontier sweep and bisection locate the *same* crossing and apply the
+//! same tie-breaks, so they agree on values **and** argmax (hence on
+//! reconstructed episodes) exactly; the linear scan takes the smallest
+//! maximizer, which can differ on plateaus while realizing the same
+//! value. The equivalence property tests in `tests/equivalence_props.rs`
+//! pin all of this down, together with the breakpoint-compressed solver
+//! in [`crate::compressed`].
+//!
+//! ## Storage
+//!
+//! Rows live in one flat arena (`Vec<i64>` indexed by `p · stride + l`)
+//! rather than nested `Vec<Vec<i64>>`: one allocation, no pointer chase
+//! on the hot `prev[s]`/`cur[s]` loads, and the argmax sits in a parallel
+//! flat `Vec<u32>`. For lifespans too large to hold densely at all, use
+//! [`crate::compressed::CompressedTable`].
 
 use crate::grid::Grid;
 use cyclesteal_core::error::{ModelError, Result};
@@ -36,38 +64,171 @@ use cyclesteal_core::schedule::EpisodeSchedule;
 use cyclesteal_core::time::{Time, Work};
 use std::sync::Arc;
 
+/// The inner-maximization algorithm used per state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InnerLoop {
+    /// Monotone two-pointer crossing sweep: `O(L)` amortized per level.
+    FrontierSweep,
+    /// Per-state bisection on the crossing: `O(L log L)` per level.
+    Bisection,
+    /// Full scan over productive period lengths: `O(L²)` per level.
+    LinearScan,
+}
+
 /// Options for [`ValueTable::solve`].
 #[derive(Clone, Copy, Debug)]
 pub struct SolveOptions {
     /// Keep the argmax (first-period choice) per state, enabling
     /// [`ValueTable::episode`] and [`OptimalPolicy`]. Costs 4 bytes/state.
     pub keep_policy: bool,
-    /// Use the monotone-crossing bisection for the inner max (`true`,
-    /// default) or the `O(L)` linear scan (ablation/reference).
-    pub bisection: bool,
+    /// Inner-maximization algorithm (default [`InnerLoop::FrontierSweep`];
+    /// the others are correctness ablations).
+    pub inner: InnerLoop,
 }
 
 impl Default for SolveOptions {
     fn default() -> Self {
         SolveOptions {
             keep_policy: true,
-            bisection: true,
+            inner: InnerLoop::FrontierSweep,
         }
     }
 }
 
 /// The exact grid game value `W^(p)[L]` for all `p ≤ p_max` and all grid
 /// lifespans `L ≤ L_max`, plus (optionally) the optimal first-period
-/// choice per state.
+/// choice per state. Dense flat-arena storage: `(p_max+1)·(L_max+1)`
+/// values of 8 bytes (+4 with the policy).
 #[derive(Clone, Debug)]
 pub struct ValueTable {
     grid: Grid,
     max_ticks: i64,
     max_interrupts: u32,
-    /// `levels[p][l]` = `W^(p)` at lifespan `l` ticks, in work ticks.
-    levels: Vec<Vec<i64>>,
-    /// `argmax[p][l]` = optimal first-period length in ticks (0 ⇔ l = 0).
-    argmax: Option<Vec<Vec<u32>>>,
+    /// Row stride: `max_ticks + 1` states per level.
+    stride: usize,
+    /// `levels[p·stride + l]` = `W^(p)` at lifespan `l` ticks, in ticks.
+    levels: Vec<i64>,
+    /// `argmax[p·stride + l]` = optimal first-period ticks (0 ⇔ l = 0).
+    argmax: Option<Vec<u32>>,
+}
+
+/// Solves one level: fills `cur[1..=n]` from the completed `prev` row.
+/// `cur[0]` must already be 0. The three strategies share candidate
+/// generation and tie-breaking; they differ only in how the crossing of
+/// the interrupted branch `A` and completed branch `B` is located.
+fn solve_level(
+    prev: &[i64],
+    cur: &mut [i64],
+    mut arg: Option<&mut [u32]>,
+    n: i64,
+    q: i64,
+    inner: InnerLoop,
+) {
+    // Frontier pointer: the crossing residual s* = L − t*, nondecreasing
+    // in L (see module docs).
+    let mut frontier: i64 = 0;
+
+    for l in 1..=n {
+        let lu = l as usize;
+        // Wait candidate: a 1-tick (nonproductive) period. Any t ≤ Q is
+        // dominated by it (see module docs).
+        let mut best = cur[lu - 1];
+        let mut best_t: i64 = 1;
+
+        if l > q {
+            let lo = q + 1;
+            let hi = l;
+            let (cand_t, cand_v) = match inner {
+                InnerLoop::FrontierSweep => {
+                    // Advance s* while the crossing condition
+                    // h(s+1) = (s+1) + prev[s+1] − cur[s+1] ≤ L − Q
+                    // still holds; h is nondecreasing and the threshold
+                    // only rises with l, so the pointer never retreats.
+                    let tau = l - q;
+                    let s_cap = l - q - 1;
+                    while frontier < s_cap {
+                        let s1 = (frontier + 1) as usize;
+                        if frontier + 1 + prev[s1] - cur[s1] <= tau {
+                            frontier += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let su = frontier as usize;
+                    let t_star = l - frontier;
+                    let v_star = prev[su].min((t_star - q) + cur[su]);
+                    // The maximum of min(A, B) sits at the crossing t*
+                    // or one tick before it; prefer t* on ties.
+                    if t_star > lo {
+                        let s1 = su + 1;
+                        let v_left = prev[s1].min((t_star - 1 - q) + cur[s1]);
+                        if v_left > v_star {
+                            (t_star - 1, v_left)
+                        } else {
+                            (t_star, v_star)
+                        }
+                    } else {
+                        (t_star, v_star)
+                    }
+                }
+                InnerLoop::Bisection => {
+                    let a = |t: i64| prev[(l - t) as usize];
+                    let b = |t: i64| (t - q) + cur[(l - t) as usize];
+                    // Smallest t with B(t) ≥ A(t); B−A is nondecreasing.
+                    let (mut lo_s, mut hi_s) = (lo, hi);
+                    while lo_s < hi_s {
+                        let mid = lo_s + (hi_s - lo_s) / 2;
+                        if b(mid) >= a(mid) {
+                            hi_s = mid;
+                        } else {
+                            lo_s = mid + 1;
+                        }
+                    }
+                    let t_star = lo_s;
+                    let v_star = a(t_star).min(b(t_star));
+                    if t_star > lo {
+                        let v_left = a(t_star - 1).min(b(t_star - 1));
+                        if v_left > v_star {
+                            (t_star - 1, v_left)
+                        } else {
+                            (t_star, v_star)
+                        }
+                    } else {
+                        (t_star, v_star)
+                    }
+                }
+                InnerLoop::LinearScan => {
+                    let a = |t: i64| prev[(l - t) as usize];
+                    let b = |t: i64| (t - q) + cur[(l - t) as usize];
+                    let mut bt = lo;
+                    let mut bv = a(lo).min(b(lo));
+                    for t in lo + 1..=hi {
+                        let v = a(t).min(b(t));
+                        if v > bv {
+                            bv = v;
+                            bt = t;
+                        }
+                    }
+                    (bt, bv)
+                }
+            };
+            // Prefer a real period over waiting on ties.
+            if cand_v >= best {
+                best = cand_v;
+                best_t = cand_t;
+            }
+        }
+
+        // A zero-value state might as well burn the lifespan in one
+        // period; keeps reconstructed schedules small.
+        if best == 0 {
+            best_t = l;
+        }
+        cur[lu] = best;
+        if let Some(arg) = arg.as_deref_mut() {
+            arg[lu] = best_t as u32;
+        }
+    }
 }
 
 impl ValueTable {
@@ -83,102 +244,37 @@ impl ValueTable {
         let grid = Grid::new(setup, ticks_per_setup);
         let n = grid.to_ticks(max_lifespan).max(0);
         let q = grid.q();
-        let states = (n + 1) as usize;
+        let stride = (n + 1) as usize;
+        let p_levels = max_interrupts as usize + 1;
 
-        let mut levels: Vec<Vec<i64>> = Vec::with_capacity(max_interrupts as usize + 1);
-        let mut argmax: Option<Vec<Vec<u32>>> = opts.keep_policy.then(Vec::new);
+        let mut levels = vec![0i64; p_levels * stride];
+        let mut argmax = opts.keep_policy.then(|| vec![0u32; p_levels * stride]);
 
         // Level 0: W^(0)(l) = l ⊖ Q; single period.
-        let w0: Vec<i64> = (0..=n).map(|l| (l - q).max(0)).collect();
-        if let Some(am) = argmax.as_mut() {
-            am.push((0..=n).map(|l| l as u32).collect());
+        for l in 0..=n {
+            levels[l as usize] = (l - q).max(0);
         }
-        levels.push(w0);
-
-        for _p in 1..=max_interrupts {
-            let prev = levels.last().expect("level p−1 present");
-            let mut cur = vec![0i64; states];
-            let mut arg = opts.keep_policy.then(|| vec![0u32; states]);
-
-            for l in 1..=n {
-                let lu = l as usize;
-                // Wait candidate: a 1-tick (nonproductive) period. Any
-                // t ≤ Q is dominated by it (see module docs).
-                let mut best = cur[lu - 1];
-                let mut best_t: i64 = 1;
-
-                if l > q {
-                    let lo = q + 1;
-                    let hi = l;
-                    let a = |t: i64| prev[(l - t) as usize];
-                    let b = |t: i64| (t - q) + cur[(l - t) as usize];
-                    let (cand_t, cand_v) = if opts.bisection {
-                        // Smallest t with B(t) ≥ A(t); B−A is nondecreasing.
-                        if b(hi) < a(hi) {
-                            (hi, b(hi))
-                        } else {
-                            let (mut lo_s, mut hi_s) = (lo, hi);
-                            while lo_s < hi_s {
-                                let mid = lo_s + (hi_s - lo_s) / 2;
-                                if b(mid) >= a(mid) {
-                                    hi_s = mid;
-                                } else {
-                                    lo_s = mid + 1;
-                                }
-                            }
-                            let t_star = lo_s;
-                            let v_star = a(t_star).min(b(t_star));
-                            if t_star > lo {
-                                let v_left = a(t_star - 1).min(b(t_star - 1));
-                                if v_left > v_star {
-                                    (t_star - 1, v_left)
-                                } else {
-                                    (t_star, v_star)
-                                }
-                            } else {
-                                (t_star, v_star)
-                            }
-                        }
-                    } else {
-                        let mut bt = lo;
-                        let mut bv = a(lo).min(b(lo));
-                        for t in lo + 1..=hi {
-                            let v = a(t).min(b(t));
-                            if v > bv {
-                                bv = v;
-                                bt = t;
-                            }
-                        }
-                        (bt, bv)
-                    };
-                    // Prefer a real period over waiting on ties.
-                    if cand_v >= best {
-                        best = cand_v;
-                        best_t = cand_t;
-                    }
-                }
-
-                // A zero-value state might as well burn the lifespan in one
-                // period; keeps reconstructed schedules small.
-                if best == 0 {
-                    best_t = l;
-                }
-                cur[lu] = best;
-                if let Some(arg) = arg.as_mut() {
-                    arg[lu] = best_t as u32;
-                }
+        if let Some(am) = argmax.as_mut() {
+            for l in 0..=n {
+                am[l as usize] = l as u32;
             }
+        }
 
-            levels.push(cur);
-            if let (Some(am), Some(arg)) = (argmax.as_mut(), arg) {
-                am.push(arg);
-            }
+        for p in 1..=max_interrupts as usize {
+            let (done, rest) = levels.split_at_mut(p * stride);
+            let prev = &done[(p - 1) * stride..];
+            let cur = &mut rest[..stride];
+            let arg = argmax
+                .as_mut()
+                .map(|am| &mut am[p * stride..(p + 1) * stride]);
+            solve_level(prev, cur, arg, n, q, opts.inner);
         }
 
         ValueTable {
             grid,
             max_ticks: n,
             max_interrupts,
+            stride,
             levels,
             argmax,
         }
@@ -204,6 +300,28 @@ impl ValueTable {
         self.max_interrupts
     }
 
+    /// Whether the optimal first-period choice was kept per state.
+    pub fn has_policy(&self) -> bool {
+        self.argmax.is_some()
+    }
+
+    /// One solved row `W^(p)[0..=max_ticks]` as a slice into the arena.
+    #[inline]
+    pub fn row(&self, p: u32) -> &[i64] {
+        let p = p.min(self.max_interrupts) as usize;
+        &self.levels[p * self.stride..(p + 1) * self.stride]
+    }
+
+    /// Bytes held by the value arena and (if kept) the argmax arena.
+    /// The accounting the `perf_dp` bench and the compression tests use.
+    pub fn memory_bytes(&self) -> usize {
+        self.levels.len() * std::mem::size_of::<i64>()
+            + self
+                .argmax
+                .as_ref()
+                .map_or(0, |am| am.len() * std::mem::size_of::<u32>())
+    }
+
     /// Exact grid value in work ticks. `p` above the solved range clamps
     /// (the adversary never benefits from more interrupts than periods, and
     /// `W^(p)` is nonincreasing in `p`, so this is an upper bound there);
@@ -215,8 +333,7 @@ impl ValueTable {
             "lifespan {l} ticks outside solved range 0..={}",
             self.max_ticks
         );
-        let p = p.min(self.max_interrupts) as usize;
-        self.levels[p][l as usize]
+        self.row(p)[l as usize]
     }
 
     /// Value at an arbitrary lifespan by linear interpolation between grid
@@ -232,8 +349,7 @@ impl ValueTable {
         );
         let x = x.clamp(0.0, self.max_ticks as f64);
         let i = x.floor() as i64;
-        let p = p.min(self.max_interrupts) as usize;
-        let row = &self.levels[p];
+        let row = self.row(p);
         if i >= self.max_ticks {
             return Time::new(row[self.max_ticks as usize] as f64 * tick);
         }
@@ -244,14 +360,21 @@ impl ValueTable {
     }
 
     /// The optimal first-period length (in ticks) at state `(p, l)`.
-    /// Requires the table to have been solved with `keep_policy`.
+    /// Requires the table to have been solved with `keep_policy`;
+    /// `l` outside `[0, max]` panics (it would otherwise silently read
+    /// a neighbouring level's row in the flat arena).
     pub fn first_period_ticks(&self, p: u32, l: i64) -> i64 {
+        assert!(
+            (0..=self.max_ticks).contains(&l),
+            "lifespan {l} ticks outside solved range 0..={}",
+            self.max_ticks
+        );
         let am = self
             .argmax
             .as_ref()
             .expect("table solved without keep_policy");
         let p = p.min(self.max_interrupts) as usize;
-        am[p][l as usize] as i64
+        am[p * self.stride + l as usize] as i64
     }
 
     /// Reconstructs the full optimal episode schedule at `(p, lifespan)`
@@ -339,6 +462,13 @@ mod tests {
         ValueTable::solve(secs(1.0), q, secs(max_u), p, SolveOptions::default())
     }
 
+    fn with_inner(inner: InnerLoop) -> SolveOptions {
+        SolveOptions {
+            keep_policy: true,
+            inner,
+        }
+    }
+
     #[test]
     fn level_zero_matches_prop_41d() {
         let t = small_table(8, 64.0, 0);
@@ -412,33 +542,51 @@ mod tests {
     }
 
     #[test]
-    fn bisection_agrees_with_linear_scan() {
-        let fast = ValueTable::solve(
+    fn all_inner_loops_agree_on_values() {
+        let solve = |inner| ValueTable::solve(secs(1.0), 6, secs(80.0), 3, with_inner(inner));
+        let sweep = solve(InnerLoop::FrontierSweep);
+        let bisect = solve(InnerLoop::Bisection);
+        let scan = solve(InnerLoop::LinearScan);
+        for p in 0..=3u32 {
+            for l in 0..=sweep.max_ticks() {
+                assert_eq!(
+                    sweep.value_ticks(p, l),
+                    bisect.value_ticks(p, l),
+                    "sweep vs bisection at p={p}, l={l}"
+                );
+                assert_eq!(
+                    sweep.value_ticks(p, l),
+                    scan.value_ticks(p, l),
+                    "sweep vs linear scan at p={p}, l={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_and_bisection_agree_on_argmax() {
+        // Not just values: the crossing and its tie-breaks are identical,
+        // so the induced policies coincide state by state.
+        let sweep = ValueTable::solve(
             secs(1.0),
-            6,
-            secs(80.0),
+            7,
+            secs(90.0),
             3,
-            SolveOptions {
-                keep_policy: false,
-                bisection: true,
-            },
+            with_inner(InnerLoop::FrontierSweep),
         );
-        let slow = ValueTable::solve(
+        let bisect = ValueTable::solve(
             secs(1.0),
-            6,
-            secs(80.0),
+            7,
+            secs(90.0),
             3,
-            SolveOptions {
-                keep_policy: false,
-                bisection: false,
-            },
+            with_inner(InnerLoop::Bisection),
         );
         for p in 0..=3u32 {
-            for l in 0..=fast.max_ticks() {
+            for l in 1..=sweep.max_ticks() {
                 assert_eq!(
-                    fast.value_ticks(p, l),
-                    slow.value_ticks(p, l),
-                    "mismatch at p={p}, l={l}"
+                    sweep.first_period_ticks(p, l),
+                    bisect.first_period_ticks(p, l),
+                    "argmax mismatch at p={p}, l={l}"
                 );
             }
         }
@@ -514,6 +662,24 @@ mod tests {
     fn out_of_range_lifespan_panics() {
         let t = small_table(4, 32.0, 1);
         let _ = t.value(1, secs(1000.0));
+    }
+
+    #[test]
+    fn memory_accounting_matches_arena_sizes() {
+        let t = small_table(4, 32.0, 2);
+        let states = (t.max_ticks() + 1) as usize * 3;
+        assert_eq!(t.memory_bytes(), states * 8 + states * 4);
+        let bare = ValueTable::solve(
+            secs(1.0),
+            4,
+            secs(32.0),
+            2,
+            SolveOptions {
+                keep_policy: false,
+                inner: InnerLoop::FrontierSweep,
+            },
+        );
+        assert_eq!(bare.memory_bytes(), states * 8);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Equivalence property tests: the four solver paths — dense frontier
+//! sweep, dense bisection, dense linear scan, and the breakpoint-
+//! compressed table — must agree on values *and* on the episodes their
+//! argmax induces, over randomized `(q, L, p)` grids and at the
+//! documented edges (`t ≤ Q` wait domination, `L ∈ {0, 1}`).
+
+use cyclesteal_core::prelude::*;
+use cyclesteal_dp::{CompressedTable, InnerLoop, SolveOptions, ValueTable};
+use proptest::prelude::*;
+
+fn solve(q: u32, max_u: f64, p: u32, inner: InnerLoop) -> ValueTable {
+    ValueTable::solve(
+        secs(1.0),
+        q,
+        secs(max_u),
+        p,
+        SolveOptions {
+            keep_policy: true,
+            inner,
+        },
+    )
+}
+
+/// Worst-case value an episode schedule actually realizes at `(p, u)`,
+/// scored by the Table-1 machinery against the exact oracle.
+fn realized(table: &ValueTable, p: u32, u: f64, sched: &EpisodeSchedule) -> Work {
+    let rows = table1(table, &Opportunity::from_units(u, 1.0, p), sched);
+    adversary_value(&rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All four representations produce identical values at every state.
+    #[test]
+    fn values_agree_everywhere(q in 2u32..12, max_u in 1.0f64..60.0, p in 0u32..4) {
+        let sweep = solve(q, max_u, p, InnerLoop::FrontierSweep);
+        let bisect = solve(q, max_u, p, InnerLoop::Bisection);
+        let scan = solve(q, max_u, p, InnerLoop::LinearScan);
+        let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
+        prop_assert_eq!(sweep.max_ticks(), compressed.max_ticks());
+        for pp in 0..=p {
+            for l in 0..=sweep.max_ticks() {
+                let w = sweep.value_ticks(pp, l);
+                prop_assert_eq!(w, bisect.value_ticks(pp, l),
+                    "bisection differs at q={}, p={}, l={}", q, pp, l);
+                prop_assert_eq!(w, scan.value_ticks(pp, l),
+                    "linear scan differs at q={}, p={}, l={}", q, pp, l);
+                prop_assert_eq!(w, compressed.value_ticks(pp, l),
+                    "compressed differs at q={}, p={}, l={}", q, pp, l);
+            }
+        }
+    }
+
+    /// Sweep, bisection and the compressed query-time policy share one
+    /// crossing rule: their argmax — and hence their reconstructed
+    /// episodes — are bit-identical.
+    #[test]
+    fn crossing_argmax_is_identical(q in 2u32..12, max_u in 1.0f64..60.0, p in 0u32..4) {
+        let sweep = solve(q, max_u, p, InnerLoop::FrontierSweep);
+        let bisect = solve(q, max_u, p, InnerLoop::Bisection);
+        let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
+        for pp in 0..=p {
+            for l in 1..=sweep.max_ticks() {
+                let t = sweep.first_period_ticks(pp, l);
+                prop_assert_eq!(t, bisect.first_period_ticks(pp, l),
+                    "bisection argmax differs at q={}, p={}, l={}", q, pp, l);
+                prop_assert_eq!(t, compressed.first_period_ticks(pp, l),
+                    "compressed argmax differs at q={}, p={}, l={}", q, pp, l);
+            }
+        }
+    }
+
+    /// The linear scan may break argmax ties differently (it keeps the
+    /// smallest maximizer), but the episode it induces realizes exactly
+    /// the same guaranteed work as the sweep's.
+    #[test]
+    fn episode_outputs_are_equivalent(
+        q in 4u32..10,
+        max_u in 10.0f64..50.0,
+        p in 1u32..3,
+        frac in 0.3f64..1.0,
+    ) {
+        let sweep = solve(q, max_u, p, InnerLoop::FrontierSweep);
+        let scan = solve(q, max_u, p, InnerLoop::LinearScan);
+        let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
+        let u = max_u * frac;
+        if sweep.value(p, secs(u)) > Work::ZERO {
+            let es = sweep.episode(p, secs(u)).unwrap();
+            let el = scan.episode(p, secs(u)).unwrap();
+            let ec = compressed.episode(p, secs(u)).unwrap();
+            // Compressed reconstruction is bit-identical to the sweep's.
+            prop_assert_eq!(es.len(), ec.len());
+            for k in 0..es.len() {
+                prop_assert_eq!(es.period(k), ec.period(k), "period {} differs", k);
+            }
+            // The scan's episode may differ in shape but not in what it
+            // guarantees (a tick of tolerance for off-grid drift).
+            let tick = secs(1.0 / q as f64);
+            let vs = realized(&sweep, p, u, &es);
+            let vl = realized(&sweep, p, u, &el);
+            prop_assert!((vs - vl).abs() <= tick,
+                "episodes realize different values: sweep {} vs scan {}", vs, vl);
+            // And both realize the claimed table value.
+            let claimed = sweep.value(p, secs(u));
+            prop_assert!((vs - claimed).abs() <= tick * 2.0,
+                "sweep episode realizes {} but table claims {}", vs, claimed);
+        }
+    }
+
+    /// Wait-domination edge: just above the zero region every solver
+    /// agrees the optimum is positive, and below it everything is zero
+    /// with the burn-it-all argmax.
+    #[test]
+    fn wait_domination_edge(q in 2u32..10, p in 1u32..4) {
+        // Cover exactly the interesting band around (p+1)·Q ticks.
+        let max_u = (p as f64 + 1.0) * 2.0 + 1.0;
+        let sweep = solve(q, max_u, p, InnerLoop::FrontierSweep);
+        let scan = solve(q, max_u, p, InnerLoop::LinearScan);
+        let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
+        let qq = q as i64;
+        let zero_edge = (p as i64 + 1) * qq;
+        for l in 0..=sweep.max_ticks() {
+            let w = sweep.value_ticks(p, l);
+            prop_assert_eq!(w, scan.value_ticks(p, l));
+            prop_assert_eq!(w, compressed.value_ticks(p, l));
+            if l <= zero_edge {
+                prop_assert_eq!(w, 0, "W^{}[{}] must be 0 (≤ (p+1)Q)", p, l);
+                if l >= 1 {
+                    // Zero states burn the lifespan in one period — in
+                    // every representation.
+                    prop_assert_eq!(sweep.first_period_ticks(p, l), l);
+                    prop_assert_eq!(compressed.first_period_ticks(p, l), l);
+                }
+            }
+        }
+        let above = (p as i64 + 1) * (qq + 1);
+        if above <= sweep.max_ticks() {
+            prop_assert!(sweep.value_ticks(p, above) >= 1);
+        }
+    }
+}
+
+#[test]
+fn boundary_lifespans_zero_and_one_tick() {
+    for q in [1u32, 2, 8] {
+        for p in 0..=2u32 {
+            // L = 0 ticks.
+            let sweep = solve(q, 0.0, p, InnerLoop::FrontierSweep);
+            let scan = solve(q, 0.0, p, InnerLoop::LinearScan);
+            let compressed = CompressedTable::solve(secs(1.0), q, secs(0.0), p);
+            assert_eq!(sweep.max_ticks(), 0);
+            assert_eq!(sweep.value_ticks(p, 0), 0);
+            assert_eq!(scan.value_ticks(p, 0), 0);
+            assert_eq!(compressed.value_ticks(p, 0), 0);
+            assert!(sweep.episode(p, secs(0.0)).is_err());
+            assert!(compressed.episode(p, secs(0.0)).is_err());
+
+            // L = 1 tick.
+            let u1 = 1.0 / q as f64;
+            let sweep = solve(q, u1, p, InnerLoop::FrontierSweep);
+            let bisect = solve(q, u1, p, InnerLoop::Bisection);
+            let compressed = CompressedTable::solve(secs(1.0), q, secs(u1), p);
+            assert_eq!(sweep.max_ticks(), 1);
+            // W^(p)(1 tick) = 1 ⊖ Q = 0 for every Q ≥ 1 and every p.
+            let w = sweep.value_ticks(p, 1);
+            assert_eq!(w, bisect.value_ticks(p, 1));
+            assert_eq!(w, compressed.value_ticks(p, 1));
+            assert_eq!(w, 0, "one tick can never out-bank the setup charge");
+            let e = sweep.episode(p, secs(u1)).unwrap();
+            assert_eq!(e.len(), 1, "zero-value state burns the lifespan whole");
+        }
+    }
+}
+
+#[test]
+fn compressed_scales_where_dense_cannot() {
+    // A lifespan deep into the 10⁷-tick range: the dense table would hold
+    // 3 × (10⁷+1) i64 values (~240 MB with argmax); the skeleton holds
+    // the same two levels in well under a megabyte and still answers
+    // exact queries at the far end.
+    let q = 8u32;
+    let ticks: i64 = 10_000_000;
+    let u = ticks as f64 / q as f64;
+    let table = CompressedTable::solve(secs(1.0), q, secs(u), 1);
+    assert_eq!(table.max_ticks(), ticks);
+    assert!(
+        table.memory_bytes() < 1 << 20,
+        "skeleton too large: {} B",
+        table.memory_bytes()
+    );
+    // Exact agreement with the p = 1 closed form at the far end, within
+    // grid-quantization slack (the grid only loses, by O(m/Q)).
+    let dp = table.value(1, secs(u));
+    let cf = w1_exact(secs(u), secs(1.0));
+    assert!(dp <= cf + secs(1e-6), "grid beats continuum: {dp} vs {cf}");
+    let m = cyclesteal_core::bounds::m1_opt(secs(u), secs(1.0)) as f64;
+    assert!(
+        dp >= cf - secs((m + 2.0) / q as f64),
+        "grid too lossy at U={u}: {dp} vs {cf}"
+    );
+}

@@ -62,9 +62,7 @@ impl InterruptLaw {
     pub fn sample(&self, rng: &mut StdRng) -> Option<Time> {
         match *self {
             InterruptLaw::Never => None,
-            InterruptLaw::Uniform { horizon } => {
-                Some(Time::new(rng.gen_range(0.0..horizon.get())))
-            }
+            InterruptLaw::Uniform { horizon } => Some(Time::new(rng.gen_range(0.0..horizon.get()))),
             InterruptLaw::UniformWithEscape { horizon, escape } => {
                 if rng.gen_bool(escape) {
                     None

@@ -1,14 +1,13 @@
 //! Property tests for the expected-output companion submodel.
 
 use cyclesteal_core::prelude::*;
-use cyclesteal_expected::{expected_work, InterruptLaw};
 use cyclesteal_expected::opt::{optimal_exponential_period, optimal_exponential_value, ExpectedDp};
+use cyclesteal_expected::{expected_work, InterruptLaw};
 use proptest::prelude::*;
 
 fn arb_schedule() -> impl Strategy<Value = EpisodeSchedule> {
-    prop::collection::vec(0.2f64..15.0, 1..20).prop_map(|v| {
-        EpisodeSchedule::from_periods(v.into_iter().map(secs).collect()).unwrap()
-    })
+    prop::collection::vec(0.2f64..15.0, 1..20)
+        .prop_map(|v| EpisodeSchedule::from_periods(v.into_iter().map(secs).collect()).unwrap())
 }
 
 proptest! {

@@ -21,14 +21,35 @@ use crossbeam::channel;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// The number of worker threads used by default: the machine's available
-/// parallelism, capped at 16 (the sweeps saturate memory bandwidth well
-/// before that).
+/// The number of worker threads used by default: the `CYCLESTEAL_THREADS`
+/// environment override when set to a positive integer, otherwise the
+/// machine's available parallelism capped at 16 (the sweeps saturate
+/// memory bandwidth well before that).
 pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("CYCLESTEAL_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
         .min(16)
+}
+
+/// Chunk size for the atomic work-claiming cursor: ~8 chunks per worker
+/// on large inputs (load balance), but never finer than ~2 chunks per
+/// worker on small ones — claiming single items would put every worker
+/// on the cursor cache line between every item.
+pub(crate) fn chunk_size(n: usize, threads: usize) -> usize {
+    if n >= threads * 16 {
+        n / (threads * 8)
+    } else {
+        n.div_ceil(threads * 2)
+    }
+    .max(1)
 }
 
 /// Applies `f` to every item of `items` on `threads` scoped workers and
@@ -54,9 +75,7 @@ where
         return items.iter().map(&f).collect();
     }
 
-    // Chunk size balances cursor contention against load balance: aim for
-    // ~8 chunks per worker.
-    let chunk = (n / (threads * 8)).max(1);
+    let chunk = chunk_size(n, threads);
     let cursor = AtomicUsize::new(0);
     let (tx, rx) = channel::bounded::<(usize, R)>(n);
 
@@ -159,6 +178,17 @@ mod tests {
     #[test]
     fn default_threads_is_sane() {
         let t = default_threads();
-        assert!((1..=16).contains(&t));
+        assert!(t >= 1);
+    }
+
+    #[test]
+    fn chunk_size_never_degenerates_on_small_inputs() {
+        // Small inputs: ~2 chunks per worker, not chunk=1 cursor thrash.
+        assert_eq!(chunk_size(20, 8), 2);
+        assert_eq!(chunk_size(16, 16), 1); // n == threads: 1 item each
+        assert_eq!(chunk_size(48, 4), 6); // just under the cutover: 2/worker
+                                          // Large inputs: ~8 chunks per worker for load balance.
+        assert_eq!(chunk_size(6400, 8), 100);
+        assert!(chunk_size(1, 16) >= 1);
     }
 }

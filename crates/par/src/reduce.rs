@@ -33,7 +33,7 @@ where
         return acc;
     }
 
-    let chunk = (n / (threads * 8)).max(1);
+    let chunk = crate::chunk_size(n, threads);
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<A>>> = (0..threads).map(|_| Mutex::new(None)).collect();
 
@@ -61,7 +61,9 @@ where
 
     let mut merged: Option<A> = None;
     for slot in slots {
-        let acc = slot.into_inner().expect("worker always stores its accumulator");
+        let acc = slot
+            .into_inner()
+            .expect("worker always stores its accumulator");
         merged = Some(match merged {
             None => acc,
             Some(m) => merge(m, acc),
@@ -79,13 +81,7 @@ mod tests {
         let items: Vec<u64> = (0..100_000).collect();
         let expect: u64 = items.iter().sum();
         for threads in [1, 2, 7, 16] {
-            let got = par_reduce(
-                &items,
-                threads,
-                || 0u64,
-                |acc, &x| *acc += x,
-                |a, b| a + b,
-            );
+            let got = par_reduce(&items, threads, || 0u64, |acc, &x| *acc += x, |a, b| a + b);
             assert_eq!(got, expect, "threads={threads}");
         }
     }

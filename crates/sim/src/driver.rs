@@ -142,8 +142,7 @@ mod tests {
     #[test]
     fn nonadaptive_driver_exhausts_without_consolidation() {
         let sched =
-            EpisodeSchedule::from_periods([50.0, 50.0].iter().map(|&x| secs(x)).collect())
-                .unwrap();
+            EpisodeSchedule::from_periods([50.0, 50.0].iter().map(|&x| secs(x)).collect()).unwrap();
         let mut st = DriverState::new(&DriverKind::NonAdaptive(sched));
         let opp = Opportunity::from_units(100.0, 1.0, 3);
         let _ = st.next_period(&opp).unwrap();

@@ -81,9 +81,7 @@ struct Ev {
 
 impl Ord for Ev {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.wall
-            .cmp(&other.wall)
-            .then(self.seq.cmp(&other.seq))
+        self.wall.cmp(&other.wall).then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -309,7 +307,7 @@ mod tests {
     use super::*;
     use cyclesteal_adversary::stochastic::TraceAdversary;
     use cyclesteal_adversary::{game::run_game, UniformRandomAdversary};
-    
+
     use cyclesteal_core::prelude::*;
     use cyclesteal_workloads::TaskDist;
     use std::sync::Arc;

@@ -97,7 +97,14 @@ impl SimReport {
         let mut out = String::new();
         out.push_str(&format!(
             "{:<14} {:>10} {:>10} {:>8} {:>8} {:>6} {:>6} {:>18}\n",
-            "lender", "W (model)", "task work", "lost", "unused", "tasks", "intr", "finished because"
+            "lender",
+            "W (model)",
+            "task work",
+            "lost",
+            "unused",
+            "tasks",
+            "intr",
+            "finished because"
         ));
         for (name, m) in &self.lenders {
             out.push_str(&format!(

@@ -75,7 +75,13 @@ impl OwnerTrace {
     /// Poisson owner: interrupts arrive at `rate` per usable time unit
     /// over `[0, horizon)`, capped at `max_events`; each busy spell is
     /// exponential with mean `mean_busy` (zero mean ⇒ instantaneous).
-    pub fn poisson(seed: u64, rate: f64, horizon: Time, max_events: usize, mean_busy: Time) -> OwnerTrace {
+    pub fn poisson(
+        seed: u64,
+        rate: f64,
+        horizon: Time,
+        max_events: usize,
+        mean_busy: Time,
+    ) -> OwnerTrace {
         assert!(rate >= 0.0);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut events = Vec::new();

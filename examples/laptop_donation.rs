@@ -16,7 +16,10 @@ fn main() {
 
     println!("Donated laptop: U/c = 1440. What does each reserved interrupt cost?\n");
     let table = ValueTable::solve(c, 16, u, 6, SolveOptions::default());
-    println!("{:>3} {:>12} {:>14} {:>12}", "p", "W^(p) exact", "Thm 5.1 bound", "loss vs p−1");
+    println!(
+        "{:>3} {:>12} {:>14} {:>12}",
+        "p", "W^(p) exact", "Thm 5.1 bound", "loss vs p−1"
+    );
     let mut prev = Work::ZERO;
     for p in 0..=6u32 {
         let w = table.value(p, u);

@@ -25,7 +25,13 @@ fn build_pool(mk_driver: &dyn Fn(usize, &Opportunity) -> DriverKind) -> Vec<Lend
         // session pattern.
         let owner = match i {
             3 => OwnerTrace::laptop_undock(secs(u * 0.66), secs(10_000.0)),
-            7 => OwnerTrace::sessions(900 + i as u64, (150.0, 400.0), (20.0, 90.0), secs(u), p as usize),
+            7 => OwnerTrace::sessions(
+                900 + i as u64,
+                (150.0, 400.0),
+                (20.0, 90.0),
+                secs(u),
+                p as usize,
+            ),
             _ => OwnerTrace::poisson(100 + i as u64, 0.002, secs(u), p as usize, secs(40.0)),
         };
         lenders.push(LenderConfig {
@@ -54,7 +60,9 @@ fn render_farm_bag() -> TaskBag {
 }
 
 fn run_discipline(name: &str, mk: &dyn Fn(usize, &Opportunity) -> DriverKind) -> SimReport {
-    let report = NowSim::new(build_pool(mk), render_farm_bag()).run().unwrap();
+    let report = NowSim::new(build_pool(mk), render_farm_bag())
+        .run()
+        .unwrap();
     println!("=== {name} ===");
     print!("{}", report.render());
     println!();

@@ -15,7 +15,11 @@ fn main() {
     let u = secs(960.0);
     let opp = Opportunity::new(u, c, 3).unwrap();
 
-    println!("Opportunity: U/c = {}, p = {}", opp.u_over_c(), opp.interrupts());
+    println!(
+        "Opportunity: U/c = {}, p = {}",
+        opp.u_over_c(),
+        opp.interrupts()
+    );
     println!();
 
     // --- What the closed forms promise -----------------------------------

@@ -206,7 +206,9 @@ fn section_31_nonadaptive_guarantee() {
         let o = opp(u, p);
         let run = NonAdaptiveGuideline::run(&o).unwrap();
         let wc = worst_case(&run);
-        assert!(wc.work.approx_eq(NonAdaptiveGuideline::guarantee(&o), secs(1e-6)));
+        assert!(wc
+            .work
+            .approx_eq(NonAdaptiveGuideline::guarantee(&o), secs(1e-6)));
         let continuum = u - 2.0 * (p as f64 * C * u).sqrt() + p as f64 * C;
         let slack = (C * u / p as f64).sqrt() + C; // one period's worth
         assert!(

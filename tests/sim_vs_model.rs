@@ -30,7 +30,13 @@ fn sim_matches_game_for_every_policy_and_trace() {
         for seed in 0..6u64 {
             let u = 400.0;
             let p = 3u32;
-            let trace = OwnerTrace::poisson(seed * 31 + pi as u64, 0.006, secs(u - 5.0), p as usize, Time::ZERO);
+            let trace = OwnerTrace::poisson(
+                seed * 31 + pi as u64,
+                0.006,
+                secs(u - 5.0),
+                p as usize,
+                Time::ZERO,
+            );
             let opp = Opportunity::from_units(u, C, p);
 
             let mut adv = TraceAdversary::new(trace.interrupt_times());

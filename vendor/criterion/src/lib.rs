@@ -1,0 +1,353 @@
+//! Vendored subset of the `criterion 0.5` API.
+//!
+//! Implements the surface the workspace benches use — benchmark groups,
+//! [`BenchmarkId`], `iter`/`iter_batched`, `sample_size`,
+//! `measurement_time`, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros — over a plain wall-clock timer reporting min/median/mean
+//! nanoseconds per iteration.
+//!
+//! CLI: a bare (non-flag) argument filters benchmarks by substring, and
+//! `--quick` (or `CRITERION_QUICK=1` in the environment) collapses
+//! measurement to a handful of iterations — that is what the CI bench
+//! smoke job uses. All other flags cargo passes (`--bench`, …) are
+//! ignored.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// vendored harness always re-runs setup per timed call).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name and/or parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// One benchmark's measurement settings.
+#[derive(Clone, Copy, Debug)]
+struct RunCfg {
+    sample_size: usize,
+    measurement_time: Duration,
+    quick: bool,
+}
+
+/// A timing summary in nanoseconds per iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct Summary {
+    /// Fastest observed sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean of all samples.
+    pub mean_ns: f64,
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    cfg: RunCfg,
+    summary: Option<Summary>,
+}
+
+impl Bencher {
+    /// Times `f`, called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + per-call estimate.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let est = t0.elapsed().max(Duration::from_nanos(20));
+
+        let (samples, per_sample) = if self.cfg.quick {
+            (3usize, 1u64)
+        } else {
+            let budget = self.cfg.measurement_time;
+            let total_iters = (budget.as_nanos() / est.as_nanos().max(1)).clamp(1, 50_000_000);
+            let samples = self.cfg.sample_size.clamp(3, 100) as u128;
+            (samples as usize, (total_iters / samples).max(1) as u64)
+        };
+
+        let mut per_iter_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std::hint::black_box(f());
+            }
+            per_iter_ns.push(start.elapsed().as_nanos() as f64 / per_sample as f64);
+        }
+        self.summary = Some(summarize(per_iter_ns));
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(routine(input));
+        let est = t0.elapsed().max(Duration::from_nanos(20));
+
+        let samples = if self.cfg.quick {
+            3
+        } else {
+            let budget = self.cfg.measurement_time;
+            ((budget.as_nanos() / est.as_nanos().max(1)).clamp(3, 1000) as usize)
+                .min(self.cfg.sample_size.clamp(3, 100) * 4)
+        };
+
+        let mut per_iter_ns = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            per_iter_ns.push(start.elapsed().as_nanos() as f64);
+        }
+        self.summary = Some(summarize(per_iter_ns));
+    }
+}
+
+fn summarize(mut ns: Vec<f64>) -> Summary {
+    ns.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    let min_ns = ns[0];
+    let median_ns = ns[ns.len() / 2];
+    let mean_ns = ns.iter().sum::<f64>() / ns.len() as f64;
+    Summary {
+        min_ns,
+        median_ns,
+        mean_ns,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    cfg: RunCfg,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v == "1");
+        for arg in std::env::args().skip(1) {
+            if arg == "--quick" {
+                quick = true;
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion {
+            filter,
+            cfg: RunCfg {
+                sample_size: 100,
+                measurement_time: Duration::from_secs(1),
+                quick,
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; argument parsing already happened
+    /// in [`Criterion::default`].
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Whether `id` survives the CLI name filter (true when no filter
+    /// was given). Lets hand-rolled measurements in `main`-adjacent code
+    /// honor the same filtering as registered benchmarks.
+    pub fn filter_matches(&self, id: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| id.contains(f.as_str()))
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+            cfg: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let cfg = self.cfg;
+        self.run_one(id, cfg, f);
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, cfg: RunCfg, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher { cfg, summary: None };
+        f(&mut b);
+        match b.summary {
+            Some(s) => println!(
+                "{id:<56} time: [{} {} {}]",
+                fmt_ns(s.min_ns),
+                fmt_ns(s.median_ns),
+                fmt_ns(s.mean_ns)
+            ),
+            None => println!("{id:<56} (no measurement recorded)"),
+        }
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    cfg: Option<RunCfg>,
+}
+
+impl BenchmarkGroup<'_> {
+    fn cfg_mut(&mut self) -> &mut RunCfg {
+        let base = self.criterion.cfg;
+        self.cfg.get_or_insert(base)
+    }
+
+    /// Sets the target number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg_mut().sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg_mut().measurement_time = d;
+        self
+    }
+
+    /// Runs a named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let full = format!("{}/{}", self.prefix, id.into_benchmark_id().id);
+        let cfg = self.cfg.unwrap_or(self.criterion.cfg);
+        self.criterion.run_one(&full, cfg, f);
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.prefix, id.id);
+        let cfg = self.cfg.unwrap_or(self.criterion.cfg);
+        self.criterion.run_one(&full, cfg, |b| f(b, input));
+    }
+
+    /// Ends the group (report flushing is immediate in this subset).
+    pub fn finish(self) {}
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function` arguments.
+pub trait IntoBenchmarkId {
+    /// Converts to a [`BenchmarkId`].
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_produces_a_summary() {
+        let mut b = Bencher {
+            cfg: RunCfg {
+                sample_size: 5,
+                measurement_time: Duration::from_millis(5),
+                quick: true,
+            },
+            summary: None,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        let s = b.summary.expect("summary recorded");
+        assert!(s.min_ns > 0.0 && s.min_ns <= s.median_ns);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("solve", 64).id, "solve/64");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

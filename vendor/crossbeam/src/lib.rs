@@ -1,0 +1,76 @@
+//! Vendored subset of the `crossbeam 0.8` API: `channel::bounded` only,
+//! backed by `std::sync::mpsc::sync_channel`. Sufficient for the
+//! fan-out/fan-in pattern in `cyclesteal-par`, where every send is
+//! pre-sized to fit the channel and the receiver outlives all senders.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels (vendored subset).
+pub mod channel {
+    pub use std::sync::mpsc::SendError;
+
+    /// The sending half of a bounded channel; cloneable across threads.
+    pub struct Sender<T>(std::sync::mpsc::SyncSender<T>);
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued; errors when the receiver
+        /// has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Iterates over received messages until every sender is dropped.
+        pub fn iter(&self) -> std::sync::mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+
+        /// Receives one message, or errors when the channel is closed and
+        /// drained.
+        pub fn recv(&self) -> Result<T, std::sync::mpsc::RecvError> {
+            self.0.recv()
+        }
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_from_threads() {
+            let (tx, rx) = bounded::<usize>(64);
+            std::thread::scope(|scope| {
+                for w in 0..4 {
+                    let tx = tx.clone();
+                    scope.spawn(move || {
+                        for i in 0..16 {
+                            tx.send(w * 16 + i).unwrap();
+                        }
+                    });
+                }
+                drop(tx);
+            });
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..64).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Vendored subset of the `proptest 1.4` API.
+//!
+//! Supports the surface this workspace uses: the [`proptest!`] macro with
+//! an optional `#![proptest_config(...)]` header, numeric range
+//! strategies, [`prop::collection::vec`], [`Strategy::prop_map`], and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics immediately with its case
+//!   index and seed printed via the assert message; cases are
+//!   deterministic per (test name, case index), so failures reproduce
+//!   exactly on re-run.
+//! * `prop_assert!`/`prop_assert_eq!` panic instead of returning
+//!   `Err(TestCaseError)` — equivalent observable behavior under the
+//!   harness.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a property-test case failed (vendored: a rendered message).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> Self {
+        TestCaseError(e.to_string())
+    }
+}
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy namespace mirror (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{StdRng, Strategy};
+        use rand::Rng;
+
+        /// A strategy for `Vec`s with a length drawn from `size` and
+        /// elements drawn from `elem`.
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// Generates vectors of `elem` values with length in `size`.
+        pub fn vec<S: Strategy>(elem: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty size range");
+            VecStrategy { elem, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+
+        /// A strategy for `BTreeSet`s with a target size drawn from
+        /// `size`. Duplicate draws collapse, so like upstream the
+        /// resulting set may be smaller than the drawn target.
+        #[derive(Clone, Debug)]
+        pub struct BTreeSetStrategy<S> {
+            elem: S,
+            size: std::ops::Range<usize>,
+        }
+
+        /// Generates `BTreeSet`s of `elem` values with target size in
+        /// `size`.
+        pub fn btree_set<S>(elem: S, size: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            assert!(size.start < size.end, "empty size range");
+            BTreeSetStrategy { elem, size }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = std::collections::BTreeSet<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> std::collections::BTreeSet<S::Value> {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test needs, in one import.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+/// Deterministic per-(test, case) generator used by the [`proptest!`]
+/// expansion. Public for macro hygiene, not part of the upstream API.
+#[doc(hidden)]
+pub fn __rng_for_case(test_name: &str, case: u32) -> StdRng {
+    use rand::SeedableRng;
+    let mut seed: u64 = 0xc0ff_ee11_5bad_cafe;
+    for b in test_name.bytes() {
+        seed = seed.wrapping_mul(0x100_0000_01b3).wrapping_add(b as u64);
+    }
+    StdRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+          $(#[$meta:meta])*
+          fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::__rng_for_case(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                    // Bodies may `return Ok(())` early or use `?`, as in
+                    // upstream proptest where properties return a Result.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    if let Err(e) = __outcome {
+                        panic!("property {} failed at case {__case}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property-test condition (vendored: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality in a property test (vendored: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality in a property test (vendored: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Strategies stay inside their declared ranges.
+        #[test]
+        fn ranges_hold(x in 1.5f64..9.5, n in 3usize..7, b in 0u8..2) {
+            prop_assert!((1.5..9.5).contains(&x));
+            prop_assert!((3..7).contains(&n));
+            prop_assert!(b < 2);
+        }
+
+        /// vec + prop_map compose.
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(0.0f64..1.0, 1..10).prop_map(|v| {
+            v.into_iter().map(|x| x * 2.0).collect::<Vec<_>>()
+        })) {
+            prop_assert!(!v.is_empty() && v.len() < 10);
+            for x in v {
+                prop_assert!((0.0..2.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let s = 0.0f64..100.0;
+        let a: Vec<f64> = (0..5)
+            .map(|i| s.sample(&mut crate::__rng_for_case("t", i)))
+            .collect();
+        let b: Vec<f64> = (0..5)
+            .map(|i| s.sample(&mut crate::__rng_for_case("t", i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
