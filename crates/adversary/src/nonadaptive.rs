@@ -99,7 +99,13 @@ pub fn worst_case(run: &NonAdaptiveRun) -> NonAdaptiveWorstCase {
                 // [0..j); heap holds the `keep` largest of them).
                 let tail = (u - schedule.boundary(j)).pos_sub(c).get();
                 let value = (prefix - heap_sum).max(0.0) + tail;
-                if best_j.is_none_or(|(_, v)| value < v) {
+                // (match, not Option::is_none_or: that adapter needs Rust
+                // 1.82 and the workspace MSRV is 1.75.)
+                let better = match best_j {
+                    Some((_, v)) => value < v,
+                    None => true,
+                };
+                if better {
                     best_j = Some((j, value));
                 }
             }

@@ -1,12 +1,22 @@
 //! P1 — performance of the exact game solver.
 //!
-//! Covers the resolution ablation (`Q ∈ {4, 16, 64}`), the three inner
-//! loops (frontier sweep vs bisection vs linear scan), the
-//! breakpoint-compressed solver, cached sweeps, the policy evaluator and
-//! query paths — and emits the headline numbers to `BENCH_dp.json` at the
-//! workspace root: the acceptance point is `(Q=32, p=16, L=10⁶ ticks)`,
-//! where the frontier sweep must beat bisection ≥ 3× and the compressed
-//! table must hold the same function in ≤ 1/10 the bytes.
+//! Covers the resolution ablation (`Q ∈ {4, 16, 64}`), the three dense
+//! inner loops (frontier sweep vs bisection vs linear scan), the
+//! breakpoint-compressed solver (tick-walking and event-driven), cached
+//! sweeps, the policy evaluators and query paths — and emits the
+//! headline numbers to `BENCH_dp.json` at the workspace root. Two
+//! acceptance points: at `(Q=32, p=16, L=10⁶ ticks)` the frontier sweep
+//! must beat bisection ≥ 3× and the compressed table must hold the same
+//! function in ≤ 1/10 the bytes; at `(Q=32, p=16, L=10⁹ ticks)` the
+//! event-driven build must finish in under a second.
+//!
+//! Quick mode (`CRITERION_QUICK=1` or `--quick`) is the CI smoke
+//! configuration: single-run measurements (`runs_per_measurement: 1`,
+//! stamped `"quick_mode": true`) and the 10⁶-tick *dense comparison*
+//! measurements — the bisection baseline and the dense-vs-compressed
+//! memory rebuild — are skipped so the job finishes in seconds; their
+//! JSON fields are simply absent (`bench_diff` skips fields missing on
+//! either side).
 //!
 //! ```sh
 //! cargo bench -p cyclesteal-bench --bench perf_dp            # full
@@ -16,17 +26,19 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cyclesteal_core::prelude::*;
 use cyclesteal_dp::{
-    evaluate_policy, CompressedTable, EvalOptions, InnerLoop, SolveConfig, SolveOptions,
-    TableCache, ValueTable,
+    evaluate_policy, evaluate_policy_compressed, CompressedEvalOptions, CompressedTable,
+    EvalOptions, InnerLoop, SolveConfig, SolveOptions, TableCache, ValueTable,
 };
 use std::hint::black_box;
 use std::time::Instant;
 
 /// The acceptance-criteria configuration: Q ticks/setup, interrupt
-/// budget, lifespan in ticks.
+/// budget, lifespan in ticks for the dense-vs-compressed point, and the
+/// deep lifespan only the event-driven build can touch.
 const ACCEPT_Q: u32 = 32;
 const ACCEPT_P: u32 = 16;
 const ACCEPT_TICKS: i64 = 1_000_000;
+const ACCEPT_EVENT_TICKS: i64 = 1_000_000_000;
 
 fn accept_lifespan() -> Time {
     // L ticks at Q ticks per unit-setup: U = L/Q time units.
@@ -84,6 +96,53 @@ fn bench_compressed_solve(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.bench_function("q16_u512_p3", |b| {
         b.iter(|| CompressedTable::solve(secs(1.0), 16, secs(512.0), black_box(3)))
+    });
+    group.bench_function("event_q16_u512_p3", |b| {
+        b.iter(|| {
+            CompressedTable::solve_with(
+                secs(1.0),
+                16,
+                secs(512.0),
+                black_box(3),
+                value_only(InnerLoop::EventDriven),
+            )
+        })
+    });
+    // The run-skipping regime only shows at depth: 10⁷ ticks, where the
+    // tick walk pays 10⁷ steps per level and the event build ~k.
+    group.bench_function("event_q16_u625000_p3", |b| {
+        b.iter(|| {
+            CompressedTable::solve_with(
+                secs(1.0),
+                16,
+                secs(625_000.0),
+                black_box(3),
+                value_only(InnerLoop::EventDriven),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_compressed_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_compressed_eval");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    // Guideline scoring on a 10⁶-tick grid through the knot-compressed
+    // evaluator — the dense evaluator at this size is the policy_eval
+    // group's 4096-tick bench scaled by ~250×.
+    group.bench_function("adaptive_guideline_p2_u125000_q8", |b| {
+        b.iter(|| {
+            evaluate_policy_compressed(
+                &AdaptiveGuideline::default(),
+                secs(1.0),
+                8,
+                secs(125_000.0),
+                black_box(2),
+                CompressedEvalOptions::default(),
+            )
+            .unwrap()
+        })
     });
     group.finish();
 }
@@ -159,23 +218,35 @@ fn bench_queries(c: &mut Criterion) {
 /// Median wall-clock seconds of `runs` executions of `f`, after one
 /// untimed warm-up run (the first solve at this scale pays the OS
 /// page-fault cost of mapping the arena; later ones reuse the pages).
-fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> f64 {
+/// The last run's output is returned so callers can read stats off it
+/// without paying for yet another solve.
+fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     black_box(f());
+    let mut last = None;
     let mut times: Vec<f64> = (0..runs)
         .map(|_| {
             let start = Instant::now();
-            black_box(f());
+            last = Some(black_box(f()));
             start.elapsed().as_secs_f64()
         })
         .collect();
     times.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    times[times.len() / 2]
+    (
+        times[times.len() / 2],
+        last.expect("runs >= 1 timed executions"),
+    )
 }
 
 /// The acceptance-criteria measurement, reported on stdout and written
 /// to `BENCH_dp.json` at the workspace root. Honors the CLI name filter
 /// under the id `dp_acceptance_report` — `cargo bench ... -- dp_value`
-/// skips the heavyweight p=16/10⁶-tick solves (and the JSON rewrite).
+/// skips the heavyweight p=16 solves (and the JSON rewrite).
+///
+/// Quick mode stamps `"quick_mode": true` with `runs_per_measurement: 1`
+/// and skips the 10⁶-tick dense comparison — the bisection baseline and
+/// the dense-memory rebuild — whose fields are then absent from the
+/// JSON; the frontier-sweep, compressed and event-driven timings are
+/// always emitted, so `bench_diff` can gate on them in every mode.
 fn acceptance_report(c: &mut Criterion) {
     if !c.filter_matches("dp_acceptance_report") {
         return;
@@ -184,8 +255,9 @@ fn acceptance_report(c: &mut Criterion) {
         || std::env::args().any(|a| a == "--quick");
     let runs = if quick { 1 } else { 3 };
     let u = accept_lifespan();
+    let deep_u = secs(ACCEPT_EVENT_TICKS as f64 / ACCEPT_Q as f64);
 
-    let sweep_s = time_median(runs, || {
+    let (sweep_s, _) = time_median(runs, || {
         ValueTable::solve(
             secs(1.0),
             ACCEPT_Q,
@@ -194,39 +266,80 @@ fn acceptance_report(c: &mut Criterion) {
             value_only(InnerLoop::FrontierSweep),
         )
     });
-    let bisect_s = time_median(runs, || {
-        ValueTable::solve(
-            secs(1.0),
-            ACCEPT_Q,
-            u,
-            ACCEPT_P,
-            value_only(InnerLoop::Bisection),
-        )
-    });
-    let compressed_s = time_median(runs, || {
+    let (compressed_s, _) = time_median(runs, || {
         CompressedTable::solve(secs(1.0), ACCEPT_Q, u, ACCEPT_P)
     });
-
-    let dense = ValueTable::solve(secs(1.0), ACCEPT_Q, u, ACCEPT_P, SolveOptions::default());
-    let compressed = CompressedTable::solve(secs(1.0), ACCEPT_Q, u, ACCEPT_P);
-    let dense_bytes = dense.memory_bytes();
-    let compressed_bytes = compressed.memory_bytes();
-    let breakpoints: usize = (0..=ACCEPT_P).map(|p| compressed.breakpoints(p)).sum();
-
-    let speedup = bisect_s / sweep_s;
-    let mem_ratio = dense_bytes as f64 / compressed_bytes as f64;
+    // The deep point: 1000× the dense lifespan, event-driven only; the
+    // last timed build doubles as the stats source.
+    let (event_s, deep) = time_median(runs, || {
+        CompressedTable::solve_with(
+            secs(1.0),
+            ACCEPT_Q,
+            deep_u,
+            ACCEPT_P,
+            value_only(InnerLoop::EventDriven),
+        )
+    });
+    let event_count = deep.events();
+    let deep_breakpoints: usize = (0..=ACCEPT_P).map(|p| deep.breakpoints(p)).sum();
 
     println!("\n=== perf_dp acceptance (Q={ACCEPT_Q}, p={ACCEPT_P}, L={ACCEPT_TICKS} ticks) ===");
     println!("frontier sweep solve : {sweep_s:.3} s");
-    println!("bisection solve      : {bisect_s:.3} s   (sweep speedup {speedup:.2}×, target ≥ 3×)");
     println!("compressed solve     : {compressed_s:.3} s");
-    println!("dense memory         : {dense_bytes} B (values + argmax)");
     println!(
-        "compressed memory    : {compressed_bytes} B across {breakpoints} breakpoints ({mem_ratio:.1}× smaller, target ≥ 10×)"
+        "event-driven solve   : {event_s:.3} s at L={ACCEPT_EVENT_TICKS} ticks ({event_count} events, {deep_breakpoints} breakpoints; target < 1 s)"
     );
 
+    let mut fields = vec![
+        format!("\"quick_mode\": {quick}"),
+        format!("\"runs_per_measurement\": {runs}"),
+        format!("\"frontier_sweep_solve_s\": {sweep_s:.6}"),
+        format!("\"compressed_solve_s\": {compressed_s:.6}"),
+        format!("\"event_driven_solve_s\": {event_s:.6}"),
+        format!("\"event_driven_lifespan_ticks\": {ACCEPT_EVENT_TICKS}"),
+        format!("\"event_count\": {event_count}"),
+        format!("\"event_driven_breakpoints\": {deep_breakpoints}"),
+    ];
+
+    if quick {
+        println!("quick mode: skipping the 10⁶-tick dense comparison (bisection + memory rebuild)");
+    } else {
+        let (bisect_s, _) = time_median(runs, || {
+            ValueTable::solve(
+                secs(1.0),
+                ACCEPT_Q,
+                u,
+                ACCEPT_P,
+                value_only(InnerLoop::Bisection),
+            )
+        });
+        let dense = ValueTable::solve(secs(1.0), ACCEPT_Q, u, ACCEPT_P, SolveOptions::default());
+        let compressed = CompressedTable::solve(secs(1.0), ACCEPT_Q, u, ACCEPT_P);
+        let dense_bytes = dense.memory_bytes();
+        let compressed_bytes = compressed.memory_bytes();
+        let breakpoints: usize = (0..=ACCEPT_P).map(|p| compressed.breakpoints(p)).sum();
+        let speedup = bisect_s / sweep_s;
+        let mem_ratio = dense_bytes as f64 / compressed_bytes as f64;
+        println!(
+            "bisection solve      : {bisect_s:.3} s   (sweep speedup {speedup:.2}×, target ≥ 3×)"
+        );
+        println!("dense memory         : {dense_bytes} B (values + argmax)");
+        println!(
+            "compressed memory    : {compressed_bytes} B across {breakpoints} breakpoints ({mem_ratio:.1}× smaller, target ≥ 10×)"
+        );
+        fields.extend([
+            format!("\"bisection_solve_s\": {bisect_s:.6}"),
+            format!("\"sweep_vs_bisection_speedup\": {speedup:.3}"),
+            format!("\"dense_memory_bytes\": {dense_bytes}"),
+            format!("\"compressed_memory_bytes\": {compressed_bytes}"),
+            format!("\"compressed_breakpoints\": {breakpoints}"),
+            format!("\"memory_ratio\": {mem_ratio:.3}"),
+        ]);
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"perf_dp\",\n  \"config\": {{ \"ticks_per_setup\": {ACCEPT_Q}, \"max_interrupts\": {ACCEPT_P}, \"lifespan_ticks\": {ACCEPT_TICKS} }},\n  \"quick_mode\": {quick},\n  \"runs_per_measurement\": {runs},\n  \"frontier_sweep_solve_s\": {sweep_s:.6},\n  \"bisection_solve_s\": {bisect_s:.6},\n  \"compressed_solve_s\": {compressed_s:.6},\n  \"sweep_vs_bisection_speedup\": {speedup:.3},\n  \"dense_memory_bytes\": {dense_bytes},\n  \"compressed_memory_bytes\": {compressed_bytes},\n  \"compressed_breakpoints\": {breakpoints},\n  \"memory_ratio\": {mem_ratio:.3}\n}}\n"
+        "{{\n  \"bench\": \"perf_dp\",\n  \"config\": {{ \"ticks_per_setup\": {ACCEPT_Q}, \"max_interrupts\": {ACCEPT_P}, \"lifespan_ticks\": {ACCEPT_TICKS} }},\n  {}\n}}\n",
+        fields.join(",\n  ")
     );
     let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_dp.json");
     std::fs::write(&path, json).expect("write BENCH_dp.json");
@@ -238,6 +351,7 @@ criterion_group!(
     bench_solve_resolution,
     bench_inner_loop,
     bench_compressed_solve,
+    bench_compressed_eval,
     bench_cached_sweep,
     bench_policy_eval,
     bench_queries,

@@ -1,0 +1,177 @@
+//! Perf-trajectory gate: compares two `BENCH_dp.json` snapshots and
+//! fails (exit 1) on regressions beyond a threshold.
+//!
+//! The CI `bench-diff` job downloads the previous successful run's
+//! `BENCH_dp` artifact as the baseline and the fresh quick-mode output
+//! as the candidate; locally the same comparison runs against any saved
+//! snapshot:
+//!
+//! ```sh
+//! cargo run -p cyclesteal-bench --bin bench_diff -- \
+//!     baseline/BENCH_dp.json BENCH_dp.json --threshold 0.10
+//! ```
+//!
+//! Gated keys: the wall-clock solve timings `frontier_sweep_solve_s`,
+//! `compressed_solve_s` and `event_driven_solve_s` (lower is better;
+//! shared CI runners make these noisy, so treat a timing failure as a
+//! prompt to re-run before believing it), plus `event_count` — the
+//! event-driven build's loop-iteration count, which is fully
+//! deterministic for a given code revision and therefore catches
+//! algorithmic regressions with zero noise. A key missing on either
+//! side is skipped with a note — quick mode intentionally omits the
+//! dense-comparison fields, and new fields appear over time. A missing
+//! baseline *file* passes with a note so the first run of a fresh
+//! repository (or a fork without artifact history) is green.
+//!
+//! No JSON crate is vendored, so the parser is a deliberately minimal
+//! `"key": number` scanner — exactly the shape `perf_dp` emits.
+
+use std::process::ExitCode;
+
+/// Keys gated on regression (lower is better), in report order. The
+/// `_s` keys are wall-clock seconds; `event_count` is the deterministic
+/// work counter of the event-driven build.
+const GATED_KEYS: [&str; 4] = [
+    "frontier_sweep_solve_s",
+    "compressed_solve_s",
+    "event_driven_solve_s",
+    "event_count",
+];
+
+/// Extracts `"key": <number>` from a flat JSON document. Only the first
+/// occurrence is considered; returns `None` when the key is absent or
+/// its value is not a bare number.
+fn get_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key": true|false` from a flat JSON document.
+fn get_bool(json: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\"");
+    let start = json.find(&pat)? + pat.len();
+    let rest = json[start..].trim_start().strip_prefix(':')?.trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut threshold = 0.10f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--threshold needs a fraction, e.g. 0.10");
+                    std::process::exit(2);
+                });
+            }
+            p => paths.push(p),
+        }
+        i += 1;
+    }
+    let [baseline_path, fresh_path] = paths[..] else {
+        eprintln!("usage: bench_diff <baseline.json> <fresh.json> [--threshold 0.10]");
+        return ExitCode::from(2);
+    };
+
+    let fresh = match std::fs::read_to_string(fresh_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read fresh snapshot {fresh_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("bench_diff: no baseline at {baseline_path} ({e}) — nothing to gate, passing");
+            return ExitCode::SUCCESS;
+        }
+    };
+
+    if get_bool(&baseline, "quick_mode") != get_bool(&fresh, "quick_mode") {
+        println!(
+            "bench_diff: warning — baseline and fresh snapshots ran in different modes \
+             (quick vs full); timings compare single runs against medians"
+        );
+    }
+
+    println!(
+        "{:<26} {:>14} {:>14} {:>9}  verdict (threshold +{:.0}%)",
+        "key",
+        "baseline",
+        "fresh",
+        "delta",
+        threshold * 100.0
+    );
+    let mut regressions = Vec::new();
+    for key in GATED_KEYS {
+        match (get_number(&baseline, key), get_number(&fresh, key)) {
+            (Some(base), Some(new)) if base > 0.0 => {
+                let delta = (new - base) / base;
+                let verdict = if delta > threshold {
+                    regressions.push((key, base, new, delta));
+                    "REGRESSION"
+                } else if delta < -threshold {
+                    "improved"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{key:<26} {base:>14.6} {new:>14.6} {:>+8.1}%  {verdict}",
+                    delta * 100.0
+                );
+            }
+            (Some(base), Some(_)) => {
+                // Present on both sides but no usable ratio: a zero or
+                // negative baseline is a corrupt/truncated snapshot, not
+                // an absent field — say so instead of gating on it.
+                println!(
+                    "{key:<26} {base:>14.6} {:>14} {:>9}  skipped (non-positive baseline)",
+                    "—", "—"
+                );
+            }
+            (b, f) => {
+                let side = match (b, f) {
+                    (None, None) => "both sides",
+                    (None, _) => "baseline",
+                    _ => "fresh snapshot",
+                };
+                println!(
+                    "{key:<26} {:>14} {:>14} {:>9}  skipped (absent in {side})",
+                    "—", "—", "—"
+                );
+            }
+        }
+    }
+
+    if regressions.is_empty() {
+        println!(
+            "bench_diff: no gated regression beyond {:.0}%",
+            threshold * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for (key, base, new, delta) in &regressions {
+            eprintln!(
+                "bench_diff: {key} regressed {:+.1}% ({base} -> {new})",
+                delta * 100.0
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

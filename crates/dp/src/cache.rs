@@ -11,10 +11,17 @@
 //! does not re-solve per step, and fans independent configurations out
 //! over `cyclesteal-par` workers in [`TableCache::solve_many`].
 //!
+//! Compressed tables cache alongside dense ones:
+//! [`TableCache::get_compressed`] serves breakpoint-skeleton tables
+//! (built event-driven, so `10^9`-tick lifespans are cheap to cache)
+//! under the same key/headroom/coalescing rules, letting huge-horizon
+//! sweeps share one skeleton the way dense sweeps share one arena.
+//!
 //! The process-wide [`TableCache::global`] instance is what the bench
 //! sweeps and `examples/guarantee_explorer.rs` share.
 
-use crate::value::{SolveOptions, ValueTable};
+use crate::compressed::CompressedTable;
+use crate::value::{InnerLoop, SolveOptions, ValueTable};
 use cyclesteal_core::time::Time;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -40,6 +47,80 @@ impl TableKey {
     }
 }
 
+/// What a cached table must expose for the shared cache policy — both
+/// representations answer "what grid am I on" and "how far do I reach".
+trait CachedTable {
+    fn grid(&self) -> &crate::grid::Grid;
+    fn max_ticks(&self) -> i64;
+
+    /// Whether the table can answer every query up to `max_lifespan` —
+    /// the same tolerance the `value()` accessors accept, so a cache hit
+    /// can never hand back a table that panics on the requested range.
+    fn covers(&self, max_lifespan: Time) -> bool {
+        max_lifespan.get() / self.grid().tick().get() <= self.max_ticks() as f64 + 1e-9
+    }
+}
+
+impl CachedTable for ValueTable {
+    fn grid(&self) -> &crate::grid::Grid {
+        ValueTable::grid(self)
+    }
+    fn max_ticks(&self) -> i64 {
+        ValueTable::max_ticks(self)
+    }
+}
+
+impl CachedTable for CompressedTable {
+    fn grid(&self) -> &crate::grid::Grid {
+        CompressedTable::grid(self)
+    }
+    fn max_ticks(&self) -> i64 {
+        CompressedTable::max_ticks(self)
+    }
+}
+
+/// The shared lookup policy: the exact key, or any table for the same
+/// `(setup, resolution)` with a *larger* interrupt budget — levels are
+/// solved bottom-up, so a `p_max` table holds every smaller budget
+/// exactly.
+fn peek_map<T: CachedTable>(
+    map: &HashMap<TableKey, Arc<T>>,
+    key: &TableKey,
+    max_lifespan: Time,
+) -> Option<Arc<T>> {
+    if let Some(table) = map.get(key) {
+        if table.covers(max_lifespan) {
+            return Some(table.clone());
+        }
+    }
+    map.iter()
+        .filter(|(k, table)| {
+            k.setup_bits == key.setup_bits
+                && k.ticks_per_setup == key.ticks_per_setup
+                && k.max_interrupts > key.max_interrupts
+                && table.covers(max_lifespan)
+        })
+        .min_by_key(|(k, _)| k.max_interrupts)
+        .map(|(_, table)| table.clone())
+}
+
+/// The shared insert policy: keep whichever of the cached and offered
+/// table covers more (a racing solver may have beaten us to the key).
+fn insert_if_larger<T: CachedTable>(
+    map: &Mutex<HashMap<TableKey, Arc<T>>>,
+    key: TableKey,
+    table: Arc<T>,
+) -> Arc<T> {
+    let mut map = map.lock();
+    match map.get(&key) {
+        Some(existing) if existing.max_ticks() >= table.max_ticks() => existing.clone(),
+        _ => {
+            map.insert(key, table.clone());
+            table
+        }
+    }
+}
+
 /// One solve request for [`TableCache::solve_many`].
 #[derive(Clone, Copy, Debug)]
 pub struct SolveConfig {
@@ -56,12 +137,14 @@ pub struct SolveConfig {
 /// Hit/miss counters for observability in sweeps.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
-    /// Queries answered from a cached table.
+    /// Queries answered from a cached table (dense or compressed).
     pub hits: u64,
     /// Queries that triggered (or re-triggered) a solve.
     pub misses: u64,
-    /// Distinct `(setup, ticks_per_setup, p_max)` entries held.
+    /// Distinct `(setup, ticks_per_setup, p_max)` dense entries held.
     pub entries: usize,
+    /// Distinct compressed (breakpoint-skeleton) entries held.
+    pub compressed_entries: usize,
 }
 
 /// A concurrent cache of solved [`ValueTable`]s keyed by
@@ -73,6 +156,7 @@ pub struct TableCache {
     /// sweep creeping upward in `L` amortizes to `O(log L)` solves.
     growth: f64,
     map: Mutex<HashMap<TableKey, Arc<ValueTable>>>,
+    compressed: Mutex<HashMap<TableKey, Arc<CompressedTable>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -97,6 +181,7 @@ impl TableCache {
             opts,
             growth: 1.25,
             map: Mutex::new(HashMap::new()),
+            compressed: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -192,27 +277,59 @@ impl TableCache {
             .collect()
     }
 
+    /// Returns a compressed (breakpoint-skeleton) table covering
+    /// `(setup, ticks_per_setup, ≥max_lifespan, max_interrupts)`, built
+    /// event-driven on a miss — the cache entry point for huge-horizon
+    /// sweeps (`10^7`–`10^9` ticks) where a dense arena is not an
+    /// option. Same key, headroom and larger-budget-serves-smaller rules
+    /// as [`Self::get`].
+    pub fn get_compressed(
+        &self,
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+    ) -> Arc<CompressedTable> {
+        let key = TableKey::new(setup, ticks_per_setup, max_interrupts);
+        if let Some(table) = self.peek_compressed(&key, max_lifespan) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return table;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Solve outside the lock, like the dense path.
+        let table = Arc::new(CompressedTable::solve_with(
+            setup,
+            ticks_per_setup,
+            max_lifespan * self.growth,
+            max_interrupts,
+            SolveOptions {
+                inner: InnerLoop::EventDriven,
+                ..self.opts
+            },
+        ));
+        insert_if_larger(&self.compressed, key, table)
+    }
+
+    fn peek_compressed(&self, key: &TableKey, max_lifespan: Time) -> Option<Arc<CompressedTable>> {
+        peek_map(&self.compressed.lock(), key, max_lifespan)
+    }
+
     /// Hit/miss/entry counters since construction (or [`Self::clear`]).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.map.lock().len(),
+            compressed_entries: self.compressed.lock().len(),
         }
     }
 
     /// Drops every cached table and resets the counters.
     pub fn clear(&self) {
         self.map.lock().clear();
+        self.compressed.lock().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
-    }
-
-    /// Whether `table` can answer every query up to `max_lifespan` —
-    /// the same tolerance [`ValueTable::value`] accepts, so a cache hit
-    /// can never hand back a table that panics on the requested range.
-    fn covers(table: &ValueTable, max_lifespan: Time) -> bool {
-        max_lifespan.get() / table.grid().tick().get() <= table.max_ticks() as f64 + 1e-9
     }
 
     fn lookup(&self, key: &TableKey, max_lifespan: Time) -> Option<Arc<ValueTable>> {
@@ -223,38 +340,14 @@ impl TableCache {
         found
     }
 
-    /// [`Self::lookup`] without touching the hit counter. Serves the
-    /// exact key, or any table for the same `(setup, resolution)` with a
-    /// *larger* interrupt budget — levels are solved bottom-up, so a
-    /// `p_max` table holds every smaller budget exactly.
+    /// [`Self::lookup`] without touching the hit counter.
     fn peek(&self, key: &TableKey, max_lifespan: Time) -> Option<Arc<ValueTable>> {
-        let map = self.map.lock();
-        if let Some(table) = map.get(key) {
-            if Self::covers(table, max_lifespan) {
-                return Some(table.clone());
-            }
-        }
-        map.iter()
-            .filter(|(k, table)| {
-                k.setup_bits == key.setup_bits
-                    && k.ticks_per_setup == key.ticks_per_setup
-                    && k.max_interrupts > key.max_interrupts
-                    && Self::covers(table, max_lifespan)
-            })
-            .min_by_key(|(k, _)| k.max_interrupts)
-            .map(|(_, table)| table.clone())
+        peek_map(&self.map.lock(), key, max_lifespan)
     }
 
     /// Keeps whichever of the cached and offered table covers more.
     fn insert_if_larger(&self, key: TableKey, table: Arc<ValueTable>) -> Arc<ValueTable> {
-        let mut map = self.map.lock();
-        match map.get(&key) {
-            Some(existing) if existing.max_ticks() >= table.max_ticks() => existing.clone(),
-            _ => {
-                map.insert(key, table.clone());
-                table
-            }
-        }
+        insert_if_larger(&self.map, key, table)
     }
 }
 
@@ -413,5 +506,42 @@ mod tests {
         let a = TableCache::global();
         let b = TableCache::global();
         assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn compressed_side_shares_solves_and_counts_entries() {
+        let cache = TableCache::new();
+        let a = cache.get_compressed(secs(1.0), 8, secs(100.0), 2);
+        let b = cache.get_compressed(secs(1.0), 8, secs(40.0), 2);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "smaller lifespan should reuse the solve"
+        );
+        // Smaller budget served from the larger-p skeleton, like dense.
+        let c = cache.get_compressed(secs(1.0), 8, secs(40.0), 1);
+        assert!(Arc::ptr_eq(&a, &c));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 1));
+        assert_eq!((s.entries, s.compressed_entries), (0, 1));
+        // The cached skeleton answers queries exactly like a fresh solve.
+        let direct = crate::compressed::CompressedTable::solve(secs(1.0), 8, secs(40.0), 2);
+        for l in 0..=direct.max_ticks() {
+            assert_eq!(a.value_ticks(2, l), direct.value_ticks(2, l));
+        }
+        cache.clear();
+        assert_eq!(cache.stats().compressed_entries, 0);
+    }
+
+    #[test]
+    fn dense_and_compressed_entries_are_independent() {
+        let cache = TableCache::new();
+        let dense = cache.get(secs(1.0), 8, secs(50.0), 1);
+        let small = cache.get_compressed(secs(1.0), 8, secs(50.0), 1);
+        let s = cache.stats();
+        assert_eq!((s.entries, s.compressed_entries), (1, 1));
+        assert_eq!(s.misses, 2, "representations solve independently");
+        for l in 0..=dense.max_ticks().min(small.max_ticks()) {
+            assert_eq!(dense.value_ticks(1, l), small.value_ticks(1, l));
+        }
     }
 }

@@ -46,19 +46,20 @@ use cyclesteal_core::time::{Time, Work};
 use std::sync::Arc;
 
 /// One compressed row: the zero-region prefix plus the sorted positions
-/// of the slope-0 ticks past it.
+/// of the slope-0 ticks past it. Shared with the event-driven builder in
+/// [`crate::event`], which emits rows in this exact form.
 #[derive(Clone, Debug, Default)]
-struct CompressedRow {
+pub(crate) struct CompressedRow {
     /// Largest `l` with `W(l) = 0` (the whole row when never positive).
-    zero_until: i64,
+    pub(crate) zero_until: i64,
     /// Ticks `l > zero_until` where `W(l) = W(l−1)`, strictly increasing.
-    flats: Vec<i64>,
+    pub(crate) flats: Vec<i64>,
 }
 
 impl CompressedRow {
     /// `W(l)` by rank query over the flat ticks.
     #[inline]
-    fn value(&self, l: i64) -> i64 {
+    pub(crate) fn value(&self, l: i64) -> i64 {
         if l <= self.zero_until {
             return 0;
         }
@@ -113,11 +114,16 @@ pub struct CompressedTable {
     max_ticks: i64,
     max_interrupts: u32,
     rows: Vec<CompressedRow>,
+    /// Build-loop iterations summed over all levels: one per tick for the
+    /// tick-walking build, one per breakpoint event for the event-driven
+    /// build (see [`Self::events`]).
+    events: u64,
 }
 
 /// Builds level `p` from the completed level `p−1` skeleton by the
-/// monotone frontier sweep, recording only slope-0 ticks.
-fn build_level(prev: &CompressedRow, n: i64, q: i64) -> CompressedRow {
+/// monotone frontier sweep, recording only slope-0 ticks. Walks every
+/// tick; the run-skipping alternative is [`crate::event`].
+pub(crate) fn build_level(prev: &CompressedRow, n: i64, q: i64) -> CompressedRow {
     let mut cur = CompressedRow::default();
     let mut last = 0i64; // W^(p)(l−1)
     let mut frontier = 0i64; // crossing residual s*, nondecreasing in l
@@ -176,18 +182,47 @@ fn build_level(prev: &CompressedRow, n: i64, q: i64) -> CompressedRow {
 impl CompressedTable {
     /// Solves the game bottom-up for interrupt levels `0..=max_interrupts`
     /// and lifespans `0..=max_lifespan` at `ticks_per_setup` resolution,
-    /// storing each level as its breakpoint skeleton.
+    /// storing each level as its breakpoint skeleton. Walks every tick
+    /// (`O(p·L)` time); for huge lifespans prefer [`Self::solve_with`]
+    /// with [`crate::InnerLoop::EventDriven`].
     pub fn solve(
         setup: Time,
         ticks_per_setup: u32,
         max_lifespan: Time,
         max_interrupts: u32,
     ) -> CompressedTable {
+        Self::solve_with(
+            setup,
+            ticks_per_setup,
+            max_lifespan,
+            max_interrupts,
+            crate::value::SolveOptions {
+                keep_policy: false,
+                inner: crate::value::InnerLoop::FrontierSweep,
+            },
+        )
+    }
+
+    /// [`Self::solve`] with an explicit inner-build selection.
+    /// [`crate::InnerLoop::EventDriven`] jumps lifespan ahead run by run
+    /// (`O(p·k log k)` time, `k` = breakpoints — see [`crate::event`]);
+    /// every other variant walks the ticks with the monotone frontier
+    /// sweep. Both emit identical skeletons; `keep_policy` is ignored
+    /// (compressed tables re-derive the policy at query time for free).
+    pub fn solve_with(
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+        opts: crate::value::SolveOptions,
+    ) -> CompressedTable {
         let grid = Grid::new(setup, ticks_per_setup);
         let n = grid.to_ticks(max_lifespan).max(0);
         let q = grid.q();
+        let event_driven = opts.inner == crate::value::InnerLoop::EventDriven;
 
         let mut rows = Vec::with_capacity(max_interrupts as usize + 1);
+        let mut events: u64 = 0;
         // Level 0: W^(0)(l) = l ⊖ Q — a pure zero region, no flats after.
         rows.push(CompressedRow {
             zero_until: q.min(n),
@@ -195,7 +230,14 @@ impl CompressedTable {
         });
         for _p in 1..=max_interrupts {
             let prev = rows.last().expect("level p−1 present");
-            let row = build_level(prev, n, q);
+            let row = if event_driven {
+                let (row, level_events) = crate::event::build_level_events(prev, n, q);
+                events += level_events;
+                row
+            } else {
+                events += n.max(0) as u64;
+                build_level(prev, n, q)
+            };
             rows.push(row);
         }
 
@@ -204,7 +246,16 @@ impl CompressedTable {
             max_ticks: n,
             max_interrupts,
             rows,
+            events,
         }
+    }
+
+    /// Build-loop iterations summed over all levels: `p·L` for the
+    /// tick-walking build, the number of breakpoint events (skips, stalls
+    /// and boundary single-steps) for the event-driven build. The
+    /// `perf_dp` bench reports this as `event_count`.
+    pub fn events(&self) -> u64 {
+        self.events
     }
 
     /// The grid the table was solved on.

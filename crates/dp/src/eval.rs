@@ -22,6 +22,20 @@
 //! [`EvalOptions::scan_within_period`] makes the adversary scan every grid
 //! instant inside each period, which is exact for any policy at `O(N²)`
 //! cost; the tests confirm both modes agree on the shipped policies.
+//!
+//! ## Two row representations
+//!
+//! [`evaluate_policy`] materializes every grid state — `O(p·N)` policy
+//! invocations and `f64`s, exact on the grid, right for `N ≲ 10^6`.
+//! [`evaluate_policy_compressed`] instead exploits that `G_π` is
+//! piecewise linear in the lifespan (schedules change shape at a
+//! vanishing set of lifespans): each level is *adaptively sampled* into
+//! a breakpoint-knot skeleton, refining any segment whose midpoint (and
+//! quarter points) deviates from the chord by more than a tolerance, and
+//! continuations in the recursion read the previous level's knots — the
+//! compressed-oracle evaluator. Guideline scoring at `10^7`–`10^9` tick
+//! grids then costs `O(p·k·log N)` policy invocations (`k` = knots)
+//! instead of `O(p·N)`, with no dense `f64` rows anywhere.
 
 use crate::grid::Grid;
 use cyclesteal_core::error::Result;
@@ -86,6 +100,61 @@ impl PolicyValue {
     }
 }
 
+/// Worst-case guaranteed work (in ticks) of `policy` at state `(p, l)`:
+/// the adversary picks the cheapest of letting the committed episode
+/// complete or killing some period at its last instant (every instant
+/// with `scan_within_period`), with level-`p−1` continuations answered
+/// by `continuation` at a fractional residual in ticks. Shared by the
+/// dense and the compressed-oracle evaluators.
+fn state_worst_case<C: Fn(f64) -> f64>(
+    policy: &dyn EpisodePolicy,
+    grid: &Grid,
+    p: u32,
+    l: i64,
+    continuation: Option<&C>,
+    scan_within_period: bool,
+) -> Result<f64> {
+    if l == 0 {
+        return Ok(0.0);
+    }
+    let setup = grid.setup();
+    let tick = grid.tick().get();
+    let lifespan = grid.to_time(l);
+    let opp = Opportunity::new(lifespan, setup, p)?;
+    let sched = policy.episode(&opp)?;
+    debug_assert!(
+        sched.total().approx_eq(lifespan, setup * 1e-6),
+        "policy {} returned a schedule covering {} of {}",
+        policy.name(),
+        sched.total(),
+        lifespan
+    );
+
+    let uninterrupted = sched.work_uninterrupted(setup).get() / tick;
+    let mut worst = uninterrupted;
+    if let Some(continuation) = continuation {
+        let mut accrued = 0.0f64; // work ticks banked before period k
+        for (_k, start, t) in sched.iter_windows() {
+            let start_ticks = start.get() / tick;
+            let end_ticks = (start + t).get() / tick;
+            // Last-instant interrupt: residual L − T_k.
+            let v = accrued + continuation(l as f64 - end_ticks);
+            worst = worst.min(v);
+            if scan_within_period {
+                // Every interior grid instant τ ∈ [T_{k−1}, T_k).
+                let first = start_ticks.ceil() as i64;
+                let last = end_ticks.floor() as i64;
+                for tau in first..last {
+                    let v = accrued + continuation((l - tau) as f64);
+                    worst = worst.min(v);
+                }
+            }
+            accrued += t.pos_sub(setup).get() / tick;
+        }
+    }
+    Ok(worst)
+}
+
 /// Evaluates `policy` against the optimal adversary for all budgets
 /// `0..=max_interrupts` and lifespans `0..=max_lifespan` on a grid with
 /// `ticks_per_setup` ticks per setup charge.
@@ -102,31 +171,14 @@ pub fn evaluate_policy(
 ) -> Result<PolicyValue> {
     let grid = Grid::new(setup, ticks_per_setup);
     let n = grid.to_ticks(max_lifespan).max(0);
-    let tick = grid.tick().get();
     let mut levels: Vec<Vec<f64>> = Vec::with_capacity(max_interrupts as usize + 1);
 
     for p in 0..=max_interrupts {
         let prev = levels.last();
         let lattice: Vec<i64> = (0..=n).collect();
         let results: Vec<Result<f64>> = par_map(&lattice, |&l| {
-            if l == 0 {
-                return Ok(0.0);
-            }
-            let lifespan = grid.to_time(l);
-            let opp = Opportunity::new(lifespan, setup, p)?;
-            let sched = policy.episode(&opp)?;
-            debug_assert!(
-                sched.total().approx_eq(lifespan, setup * 1e-6),
-                "policy {} returned a schedule covering {} of {}",
-                policy.name(),
-                sched.total(),
-                lifespan
-            );
-
-            let uninterrupted = sched.work_uninterrupted(setup).get() / tick;
-            let mut worst = uninterrupted;
-            if let Some(prev) = prev {
-                let continuation = |residual_ticks: f64| -> f64 {
+            let continuation = prev.map(|prev| {
+                move |residual_ticks: f64| -> f64 {
                     let x = residual_ticks.clamp(0.0, n as f64);
                     let i = x.floor() as usize;
                     if i as i64 >= n {
@@ -135,27 +187,16 @@ pub fn evaluate_policy(
                         let frac = x - i as f64;
                         prev[i] + (prev[i + 1] - prev[i]) * frac
                     }
-                };
-                let mut accrued = 0.0f64; // work ticks banked before period k
-                for (_k, start, t) in sched.iter_windows() {
-                    let start_ticks = start.get() / tick;
-                    let end_ticks = (start + t).get() / tick;
-                    // Last-instant interrupt: residual L − T_k.
-                    let v = accrued + continuation(l as f64 - end_ticks);
-                    worst = worst.min(v);
-                    if opts.scan_within_period {
-                        // Every interior grid instant τ ∈ [T_{k−1}, T_k).
-                        let first = start_ticks.ceil() as i64;
-                        let last = end_ticks.floor() as i64;
-                        for tau in first..last {
-                            let v = accrued + continuation((l - tau) as f64);
-                            worst = worst.min(v);
-                        }
-                    }
-                    accrued += t.pos_sub(setup).get() / tick;
                 }
-            }
-            Ok(worst)
+            });
+            state_worst_case(
+                policy,
+                &grid,
+                p,
+                l,
+                continuation.as_ref(),
+                opts.scan_within_period,
+            )
         });
         let mut row = Vec::with_capacity(results.len());
         for r in results {
@@ -165,6 +206,264 @@ pub fn evaluate_policy(
     }
 
     Ok(PolicyValue {
+        grid,
+        max_ticks: n,
+        levels,
+        name: policy.name(),
+    })
+}
+
+/// Options for [`evaluate_policy_compressed`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompressedEvalOptions {
+    /// Adversary scans every grid instant inside each period (see
+    /// [`EvalOptions::scan_within_period`]); quadratic per state, only
+    /// sensible on small grids.
+    pub scan_within_period: bool,
+    /// Refinement tolerance in work ticks: a segment is accepted as
+    /// linear when its mid- and quarter-point samples deviate from the
+    /// chord by at most this much. At sampled points the rows are exact;
+    /// between them the `O(p · tol)` deviation bound holds for rows
+    /// whose pieces the probes can see — a kink pair narrower than the
+    /// probe spacing inside one accepted segment can slip through, so
+    /// for adversarially fine-structured policies raise
+    /// [`Self::coarse_segments`] (or cross-check against the dense
+    /// evaluator, which remains the exact small-grid oracle).
+    pub tol_ticks: f64,
+    /// Initial uniform segments per level the adaptive refinement starts
+    /// from (and fans out over `cyclesteal-par` workers). More segments
+    /// cost more up-front samples but localize refinement.
+    pub coarse_segments: usize,
+}
+
+impl Default for CompressedEvalOptions {
+    fn default() -> Self {
+        CompressedEvalOptions {
+            scan_within_period: false,
+            tol_ticks: 0.25,
+            coarse_segments: 64,
+        }
+    }
+}
+
+/// The guaranteed-work table `G_π(p, ·)` of one policy stored as
+/// piecewise-linear breakpoint knots per level — the compressed-oracle
+/// counterpart of [`PolicyValue`], built by [`evaluate_policy_compressed`]
+/// for grids far too large to materialize densely.
+#[derive(Clone, Debug)]
+pub struct CompressedPolicyValue {
+    grid: Grid,
+    max_ticks: i64,
+    /// `levels[p]`: `(tick, value-in-ticks)` knots, strictly increasing
+    /// in tick, always containing `(0, 0)` and the far end.
+    levels: Vec<Vec<(i64, f64)>>,
+    name: String,
+}
+
+/// Linear interpolation over a knot row at a fractional tick position.
+fn knots_value(knots: &[(i64, f64)], x: f64) -> f64 {
+    let last = knots[knots.len() - 1];
+    let x = x.clamp(0.0, last.0 as f64);
+    let i = knots.partition_point(|&(t, _)| (t as f64) <= x);
+    if i >= knots.len() {
+        return last.1;
+    }
+    let (t0, v0) = knots[i - 1];
+    let (t1, v1) = knots[i];
+    v0 + (v1 - v0) * ((x - t0 as f64) / (t1 - t0) as f64)
+}
+
+/// One level's adaptive sampler: evaluates states against the previous
+/// level's knot row and bisects any segment that is not linear within
+/// tolerance.
+struct LevelSampler<'a> {
+    policy: &'a dyn EpisodePolicy,
+    grid: &'a Grid,
+    p: u32,
+    prev: Option<&'a [(i64, f64)]>,
+    scan: bool,
+    tol: f64,
+}
+
+impl LevelSampler<'_> {
+    fn eval(&self, l: i64) -> Result<f64> {
+        let continuation = self.prev.map(|knots| move |x: f64| knots_value(knots, x));
+        state_worst_case(
+            self.policy,
+            self.grid,
+            self.p,
+            l,
+            continuation.as_ref(),
+            self.scan,
+        )
+    }
+
+    /// Emits knots covering `(lo, hi]`; `lo`'s knot is owned by the
+    /// caller (or the preceding segment). `mid_hint` carries a sample an
+    /// enclosing call already paid for (a quarter-point probe lands
+    /// exactly on the child's midpoint), so a failed linearity check
+    /// never re-evaluates the probe that failed it.
+    fn refine(
+        &self,
+        lo: i64,
+        v_lo: f64,
+        hi: i64,
+        v_hi: f64,
+        mid_hint: Option<(i64, f64)>,
+        out: &mut Vec<(i64, f64)>,
+    ) -> Result<()> {
+        if hi - lo <= 1 {
+            out.push((hi, v_hi));
+            return Ok(());
+        }
+        let chord = |t: i64| v_lo + (v_hi - v_lo) * ((t - lo) as f64 / (hi - lo) as f64);
+        let mid = lo + (hi - lo) / 2;
+        let v_mid = match mid_hint {
+            Some((t, v)) if t == mid => v,
+            _ => self.eval(mid)?,
+        };
+        let mut linear = (v_mid - chord(mid)).abs() <= self.tol;
+        let mut quarters: [Option<(i64, f64)>; 2] = [None, None];
+        if linear && hi - lo > 8 {
+            // A midpoint can sit on the chord of a non-linear segment by
+            // accident; quarter-point probes catch the common wiggles.
+            for (slot, t) in [lo + (hi - lo) / 4, lo + 3 * (hi - lo) / 4]
+                .into_iter()
+                .enumerate()
+            {
+                let v = self.eval(t)?;
+                quarters[slot] = Some((t, v));
+                if (v - chord(t)).abs() > self.tol {
+                    linear = false;
+                    break;
+                }
+            }
+        }
+        if linear {
+            out.push((hi, v_hi));
+            Ok(())
+        } else {
+            self.refine(lo, v_lo, mid, v_mid, quarters[0], out)?;
+            self.refine(mid, v_mid, hi, v_hi, quarters[1], out)
+        }
+    }
+}
+
+impl CompressedPolicyValue {
+    /// The grid the evaluation ran on.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// The evaluated policy's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Largest lifespan covered.
+    pub fn max_lifespan(&self) -> Time {
+        self.grid.to_time(self.max_ticks)
+    }
+
+    /// Stored knots at level `p` — the resolution-independent row size.
+    /// Budgets above the evaluated range saturate to the deepest level,
+    /// like [`Self::value`].
+    pub fn knots(&self, p: u32) -> usize {
+        self.levels[(p as usize).min(self.levels.len() - 1)].len()
+    }
+
+    /// Bytes held by all knot rows.
+    pub fn memory_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|row| row.capacity() * std::mem::size_of::<(i64, f64)>())
+            .sum()
+    }
+
+    /// Guaranteed work of the policy at `(p, lifespan)`, interpolated on
+    /// the knot skeleton; same contract as [`PolicyValue::value`],
+    /// including the budget saturation: `p` beyond the evaluated range
+    /// clamps to the deepest level, whose value is an *upper* bound on
+    /// the true guarantee there (`G_π` is nonincreasing in `p`) —
+    /// evaluate with a larger `max_interrupts` if the exact deep-budget
+    /// number matters. Lifespans outside the evaluated range panic.
+    pub fn value(&self, p: u32, lifespan: Time) -> Work {
+        let tick = self.grid.tick().get();
+        let x = lifespan.get() / tick;
+        assert!(
+            x >= -1e-9 && x <= self.max_ticks as f64 + 1e-9,
+            "lifespan {lifespan} outside evaluated range"
+        );
+        let p = (p as usize).min(self.levels.len() - 1);
+        Time::new(knots_value(&self.levels[p], x) * tick)
+    }
+}
+
+/// Evaluates `policy` like [`evaluate_policy`], but stores each level as
+/// adaptively-sampled piecewise-linear knots and reads continuations
+/// from the previous level's knots — no dense `f64` rows, so `10^7`+
+/// tick grids cost `O(p·k·log N)` policy invocations instead of
+/// `O(p·N)`. Within each level the coarse segments refine in parallel
+/// over `cyclesteal-par`.
+///
+/// Values agree with the dense evaluator up to the refinement tolerance
+/// (compounded once per level); the `compressed_evaluator_*` tests
+/// measure it.
+pub fn evaluate_policy_compressed(
+    policy: &dyn EpisodePolicy,
+    setup: Time,
+    ticks_per_setup: u32,
+    max_lifespan: Time,
+    max_interrupts: u32,
+    opts: CompressedEvalOptions,
+) -> Result<CompressedPolicyValue> {
+    let grid = Grid::new(setup, ticks_per_setup);
+    let n = grid.to_ticks(max_lifespan).max(0);
+    let mut levels: Vec<Vec<(i64, f64)>> = Vec::with_capacity(max_interrupts as usize + 1);
+
+    for p in 0..=max_interrupts {
+        let knots = {
+            let sampler = LevelSampler {
+                policy,
+                grid: &grid,
+                p,
+                prev: levels.last().map(|v| v.as_slice()),
+                scan: opts.scan_within_period,
+                tol: opts.tol_ticks.max(1e-9),
+            };
+            if n == 0 {
+                vec![(0i64, 0.0f64)]
+            } else {
+                let segs = opts.coarse_segments.clamp(1, n as usize);
+                let mut pts: Vec<i64> = (0..=segs)
+                    .map(|i| (n as u128 * i as u128 / segs as u128) as i64)
+                    .collect();
+                pts.dedup();
+                let vals = {
+                    let sampled: Vec<Result<f64>> = par_map(&pts, |&l| sampler.eval(l));
+                    let mut vals = Vec::with_capacity(sampled.len());
+                    for v in sampled {
+                        vals.push(v?);
+                    }
+                    vals
+                };
+                let seg_ids: Vec<usize> = (0..pts.len() - 1).collect();
+                let parts: Vec<Result<Vec<(i64, f64)>>> = par_map(&seg_ids, |&i| {
+                    let mut out = Vec::new();
+                    sampler.refine(pts[i], vals[i], pts[i + 1], vals[i + 1], None, &mut out)?;
+                    Ok(out)
+                });
+                let mut knots = vec![(0i64, 0.0f64)];
+                for part in parts {
+                    knots.extend(part?);
+                }
+                knots
+            }
+        };
+        levels.push(knots);
+    }
+
+    Ok(CompressedPolicyValue {
         grid,
         max_ticks: n,
         levels,
@@ -327,6 +626,67 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn compressed_evaluator_tracks_dense_rows() {
+        // The knot skeleton must reproduce the dense evaluator within the
+        // compounded refinement tolerance, for a closed-form policy and
+        // for the paper's adaptive guideline.
+        let opts = CompressedEvalOptions::default();
+        for pol in [
+            &AdaptiveGuideline::default() as &dyn EpisodePolicy,
+            &OptimalP1Policy,
+            &EqualPeriodsPolicy::new(7),
+        ] {
+            let dense = eval(pol, 8, 96.0, 2);
+            let sparse = evaluate_policy_compressed(pol, secs(C), 8, secs(96.0), 2, opts).unwrap();
+            let slack = secs((2.0 + 1.0) * opts.tol_ticks / 8.0);
+            for p in 0..=2u32 {
+                for &u in &[0.5, 7.0, 23.25, 51.0, 96.0] {
+                    let d = dense.value(p, secs(u));
+                    let s = sparse.value(p, secs(u));
+                    assert!(
+                        (d - s).abs() <= slack,
+                        "{}: dense {d} vs compressed {s} at p={p}, U={u}",
+                        pol.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_evaluator_scales_to_huge_grids() {
+        // 10⁷ ticks: the dense evaluator would need 3 × 10⁷ policy
+        // invocations and 240 MB of rows; the knot skeleton answers from
+        // a few thousand samples. The p = 1 closed form pins the far end.
+        let ticks: i64 = 10_000_000;
+        let q = 8u32;
+        let u = ticks as f64 / q as f64;
+        let pv = evaluate_policy_compressed(
+            &OptimalP1Policy,
+            secs(C),
+            q,
+            secs(u),
+            1,
+            CompressedEvalOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            pv.knots(1) < 100_000,
+            "knot skeleton too dense: {}",
+            pv.knots(1)
+        );
+        assert!(pv.memory_bytes() < 4 << 20);
+        let got = pv.value(1, secs(u));
+        let want = w1_exact(secs(u), secs(C));
+        // Grid restriction + knot interpolation both cost low-order
+        // terms; at U ~ 10⁶ the closed form is ~10⁶ ticks of work.
+        assert!(
+            (got - want).abs() <= secs(2.0),
+            "U={u}: compressed evaluator {got} vs closed form {want}"
+        );
     }
 
     #[test]

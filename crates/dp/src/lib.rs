@@ -3,7 +3,7 @@
 //! The exact game solver for the guaranteed-output cycle-stealing model:
 //! the ground truth every guideline in the paper is measured against.
 //!
-//! Four layers, fast to slow and small to large:
+//! Five layers, fast to slow and small to large:
 //!
 //! * [`value::ValueTable`] — the dense solver: `W^(p)[L]` exactly on an
 //!   integer tick grid (the paper's §4 bootstrapping, executed rather
@@ -19,12 +19,24 @@
 //!   `O(√(QL) + pQ)`, so lifespans in the `10^8`-tick range fit in
 //!   megabytes. Values, argmax and episodes agree with the dense solver
 //!   bit for bit.
+//! * [`event`] — the **event-driven (run-skipping) build** of those
+//!   skeletons: between breakpoints every sweep quantity is linear in
+//!   `L`, so the builder jumps lifespan event to event (stall ends,
+//!   flat-tick onsets, branch/regime switches) in `O(p·k log k)` time —
+//!   `10^9`-tick tables in well under a second, bit-identical output.
+//!   Selected with `SolveOptions { inner: InnerLoop::EventDriven, .. }`
+//!   through [`compressed::CompressedTable::solve_with`].
 //! * [`cache::TableCache`] — one solve per `(setup, resolution, p_max)`
 //!   serves a whole `(U/c, p)` sweep; independent configurations solve
-//!   in parallel through `cyclesteal-par`.
+//!   in parallel through `cyclesteal-par`, and
+//!   [`cache::TableCache::get_compressed`] caches event-driven
+//!   skeletons for huge-horizon sweeps.
 //! * [`eval::evaluate_policy`] — the guaranteed work of an *arbitrary*
 //!   policy against the optimal adversary, used by the E-series benches
-//!   to score the §3 guidelines and the baselines.
+//!   to score the §3 guidelines and the baselines;
+//!   [`eval::evaluate_policy_compressed`] carries the same scoring to
+//!   `10^7`–`10^9` tick grids on adaptively-sampled piecewise-linear
+//!   rows instead of dense `f64` arenas.
 //!
 //! ```
 //! use cyclesteal_core::prelude::*;
@@ -52,12 +64,16 @@
 pub mod cache;
 pub mod compressed;
 pub mod eval;
+pub mod event;
 pub mod grid;
 pub mod value;
 
 pub use cache::{CacheStats, SolveConfig, TableCache};
 pub use compressed::{CompressedOptimalPolicy, CompressedTable};
-pub use eval::{evaluate_policy, EvalOptions, PolicyValue};
+pub use eval::{
+    evaluate_policy, evaluate_policy_compressed, CompressedEvalOptions, CompressedPolicyValue,
+    EvalOptions, PolicyValue,
+};
 pub use grid::Grid;
 pub use value::{InnerLoop, OptimalPolicy, SolveOptions, ValueTable};
 

@@ -73,6 +73,14 @@ pub enum InnerLoop {
     Bisection,
     /// Full scan over productive period lengths: `O(L²)` per level.
     LinearScan,
+    /// Event-driven run skipping: `O(k log k)` per level, `k` =
+    /// breakpoints (see [`crate::event`]). Native to the breakpoint
+    /// skeleton, so it is only a distinct build for
+    /// [`crate::CompressedTable::solve_with`]; a dense [`ValueTable`]
+    /// has no runs to skip and solves with the frontier sweep (the two
+    /// share one crossing rule, so values and argmax are identical
+    /// either way).
+    EventDriven,
 }
 
 /// Options for [`ValueTable::solve`].
@@ -139,7 +147,7 @@ fn solve_level(
             let lo = q + 1;
             let hi = l;
             let (cand_t, cand_v) = match inner {
-                InnerLoop::FrontierSweep => {
+                InnerLoop::FrontierSweep | InnerLoop::EventDriven => {
                     // Advance s* while the crossing condition
                     // h(s+1) = (s+1) + prev[s+1] − cur[s+1] ≤ L − Q
                     // still holds; h is nondecreasing and the threshold

@@ -1,8 +1,10 @@
-//! Equivalence property tests: the four solver paths — dense frontier
-//! sweep, dense bisection, dense linear scan, and the breakpoint-
-//! compressed table — must agree on values *and* on the episodes their
+//! Equivalence property tests: the five solver paths — dense frontier
+//! sweep, dense bisection, dense linear scan, the tick-walking
+//! breakpoint-compressed table, and the event-driven (run-skipping)
+//! compressed build — must agree on values *and* on the episodes their
 //! argmax induces, over randomized `(q, L, p)` grids and at the
-//! documented edges (`t ≤ Q` wait domination, `L ∈ {0, 1}`).
+//! documented edges (`t ≤ Q` wait domination, `L ∈ {0, 1}`,
+//! single-breakpoint rows, all-flat tails).
 
 use cyclesteal_core::prelude::*;
 use cyclesteal_dp::{CompressedTable, InnerLoop, SolveOptions, ValueTable};
@@ -21,6 +23,19 @@ fn solve(q: u32, max_u: f64, p: u32, inner: InnerLoop) -> ValueTable {
     )
 }
 
+fn solve_event(q: u32, max_u: f64, p: u32) -> CompressedTable {
+    CompressedTable::solve_with(
+        secs(1.0),
+        q,
+        secs(max_u),
+        p,
+        SolveOptions {
+            keep_policy: false,
+            inner: InnerLoop::EventDriven,
+        },
+    )
+}
+
 /// Worst-case value an episode schedule actually realizes at `(p, u)`,
 /// scored by the Table-1 machinery against the exact oracle.
 fn realized(table: &ValueTable, p: u32, u: f64, sched: &EpisodeSchedule) -> Work {
@@ -31,14 +46,16 @@ fn realized(table: &ValueTable, p: u32, u: f64, sched: &EpisodeSchedule) -> Work
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// All four representations produce identical values at every state.
+    /// All five representations produce identical values at every state.
     #[test]
     fn values_agree_everywhere(q in 2u32..12, max_u in 1.0f64..60.0, p in 0u32..4) {
         let sweep = solve(q, max_u, p, InnerLoop::FrontierSweep);
         let bisect = solve(q, max_u, p, InnerLoop::Bisection);
         let scan = solve(q, max_u, p, InnerLoop::LinearScan);
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
+        let event = solve_event(q, max_u, p);
         prop_assert_eq!(sweep.max_ticks(), compressed.max_ticks());
+        prop_assert_eq!(sweep.max_ticks(), event.max_ticks());
         for pp in 0..=p {
             for l in 0..=sweep.max_ticks() {
                 let w = sweep.value_ticks(pp, l);
@@ -48,6 +65,8 @@ proptest! {
                     "linear scan differs at q={}, p={}, l={}", q, pp, l);
                 prop_assert_eq!(w, compressed.value_ticks(pp, l),
                     "compressed differs at q={}, p={}, l={}", q, pp, l);
+                prop_assert_eq!(w, event.value_ticks(pp, l),
+                    "event-driven differs at q={}, p={}, l={}", q, pp, l);
             }
         }
     }
@@ -60,6 +79,7 @@ proptest! {
         let sweep = solve(q, max_u, p, InnerLoop::FrontierSweep);
         let bisect = solve(q, max_u, p, InnerLoop::Bisection);
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
+        let event = solve_event(q, max_u, p);
         for pp in 0..=p {
             for l in 1..=sweep.max_ticks() {
                 let t = sweep.first_period_ticks(pp, l);
@@ -67,6 +87,8 @@ proptest! {
                     "bisection argmax differs at q={}, p={}, l={}", q, pp, l);
                 prop_assert_eq!(t, compressed.first_period_ticks(pp, l),
                     "compressed argmax differs at q={}, p={}, l={}", q, pp, l);
+                prop_assert_eq!(t, event.first_period_ticks(pp, l),
+                    "event-driven argmax differs at q={}, p={}, l={}", q, pp, l);
             }
         }
     }
@@ -84,15 +106,20 @@ proptest! {
         let sweep = solve(q, max_u, p, InnerLoop::FrontierSweep);
         let scan = solve(q, max_u, p, InnerLoop::LinearScan);
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
+        let event = solve_event(q, max_u, p);
         let u = max_u * frac;
         if sweep.value(p, secs(u)) > Work::ZERO {
             let es = sweep.episode(p, secs(u)).unwrap();
             let el = scan.episode(p, secs(u)).unwrap();
             let ec = compressed.episode(p, secs(u)).unwrap();
-            // Compressed reconstruction is bit-identical to the sweep's.
+            let ee = event.episode(p, secs(u)).unwrap();
+            // Compressed and event-driven reconstructions are
+            // bit-identical to the sweep's.
             prop_assert_eq!(es.len(), ec.len());
+            prop_assert_eq!(es.len(), ee.len());
             for k in 0..es.len() {
                 prop_assert_eq!(es.period(k), ec.period(k), "period {} differs", k);
+                prop_assert_eq!(es.period(k), ee.period(k), "event period {} differs", k);
             }
             // The scan's episode may differ in shape but not in what it
             // guarantees (a tick of tolerance for off-grid drift).
@@ -118,12 +145,14 @@ proptest! {
         let sweep = solve(q, max_u, p, InnerLoop::FrontierSweep);
         let scan = solve(q, max_u, p, InnerLoop::LinearScan);
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
+        let event = solve_event(q, max_u, p);
         let qq = q as i64;
         let zero_edge = (p as i64 + 1) * qq;
         for l in 0..=sweep.max_ticks() {
             let w = sweep.value_ticks(p, l);
             prop_assert_eq!(w, scan.value_ticks(p, l));
             prop_assert_eq!(w, compressed.value_ticks(p, l));
+            prop_assert_eq!(w, event.value_ticks(p, l));
             if l <= zero_edge {
                 prop_assert_eq!(w, 0, "W^{}[{}] must be 0 (≤ (p+1)Q)", p, l);
                 if l >= 1 {
@@ -131,6 +160,7 @@ proptest! {
                     // every representation.
                     prop_assert_eq!(sweep.first_period_ticks(p, l), l);
                     prop_assert_eq!(compressed.first_period_ticks(p, l), l);
+                    prop_assert_eq!(event.first_period_ticks(p, l), l);
                 }
             }
         }
@@ -149,26 +179,105 @@ fn boundary_lifespans_zero_and_one_tick() {
             let sweep = solve(q, 0.0, p, InnerLoop::FrontierSweep);
             let scan = solve(q, 0.0, p, InnerLoop::LinearScan);
             let compressed = CompressedTable::solve(secs(1.0), q, secs(0.0), p);
+            let event = solve_event(q, 0.0, p);
             assert_eq!(sweep.max_ticks(), 0);
+            assert_eq!(event.max_ticks(), 0);
             assert_eq!(sweep.value_ticks(p, 0), 0);
             assert_eq!(scan.value_ticks(p, 0), 0);
             assert_eq!(compressed.value_ticks(p, 0), 0);
+            assert_eq!(event.value_ticks(p, 0), 0);
             assert!(sweep.episode(p, secs(0.0)).is_err());
             assert!(compressed.episode(p, secs(0.0)).is_err());
+            assert!(event.episode(p, secs(0.0)).is_err());
 
             // L = 1 tick.
             let u1 = 1.0 / q as f64;
             let sweep = solve(q, u1, p, InnerLoop::FrontierSweep);
             let bisect = solve(q, u1, p, InnerLoop::Bisection);
             let compressed = CompressedTable::solve(secs(1.0), q, secs(u1), p);
+            let event = solve_event(q, u1, p);
             assert_eq!(sweep.max_ticks(), 1);
             // W^(p)(1 tick) = 1 ⊖ Q = 0 for every Q ≥ 1 and every p.
             let w = sweep.value_ticks(p, 1);
             assert_eq!(w, bisect.value_ticks(p, 1));
             assert_eq!(w, compressed.value_ticks(p, 1));
+            assert_eq!(w, event.value_ticks(p, 1));
             assert_eq!(w, 0, "one tick can never out-bank the setup charge");
             let e = sweep.episode(p, secs(u1)).unwrap();
             assert_eq!(e.len(), 1, "zero-value state burns the lifespan whole");
+        }
+    }
+}
+
+#[test]
+fn single_breakpoint_rows_and_all_flat_tails() {
+    // Rows whose skeleton is a single breakpoint (the zero-region edge,
+    // no flats after): lifespans that never escape the zero region at
+    // the deepest level, plus level 0 (W^(0) = l ⊖ Q exactly). And
+    // all-flat tails: lifespans ending just inside the zero region of
+    // the deepest level, where the event builder must not overrun `n`.
+    for q in [1u32, 3, 16] {
+        for p in 1..=3u32 {
+            let qq = q as i64;
+            // n lands exactly on, just below and just above (p+1)·Q —
+            // the all-zero / first-positive boundary of level p.
+            for n in [
+                (p as i64 + 1) * qq - 1,
+                (p as i64 + 1) * qq,
+                (p as i64 + 1) * qq + 1,
+                (p as i64 + 1) * (qq + 1),
+                (p as i64 + 1) * (qq + 1) + 3,
+            ] {
+                if n < 0 {
+                    continue;
+                }
+                let u = n as f64 / q as f64;
+                let sweep = solve(q, u, p, InnerLoop::FrontierSweep);
+                let event = solve_event(q, u, p);
+                assert_eq!(sweep.max_ticks(), event.max_ticks(), "q={q} p={p} n={n}");
+                for pp in 0..=p {
+                    for l in 0..=sweep.max_ticks() {
+                        assert_eq!(
+                            sweep.value_ticks(pp, l),
+                            event.value_ticks(pp, l),
+                            "q={q} p={pp} l={l} (n={n})"
+                        );
+                    }
+                }
+                // Level 0 compresses to the single zero-edge breakpoint.
+                assert_eq!(event.breakpoints(0), 1, "q={q} n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn event_driven_matches_tick_walk_at_a_million_ticks() {
+    // The deep check behind the acceptance criterion: at 10⁶ ticks the
+    // event build and the tick-walking build agree at *every* lifespan
+    // (equal values everywhere ⇔ identical skeletons), for a mid and a
+    // coarse resolution. The tick walk itself is pinned to the dense
+    // sweep by `matches_dense_values_exactly` and the properties above.
+    for (q, p) in [(8u32, 2u32), (32, 3)] {
+        let ticks: i64 = 1_000_000;
+        let u = ticks as f64 / q as f64;
+        let walked = CompressedTable::solve(secs(1.0), q, secs(u), p);
+        let event = solve_event(q, u, p);
+        assert_eq!(walked.max_ticks(), ticks);
+        assert_eq!(event.max_ticks(), ticks);
+        for pp in 0..=p {
+            assert_eq!(
+                walked.breakpoints(pp),
+                event.breakpoints(pp),
+                "breakpoint count differs at q={q}, p={pp}"
+            );
+        }
+        for l in 0..=ticks {
+            assert_eq!(
+                walked.value_ticks(p, l),
+                event.value_ticks(p, l),
+                "value differs at q={q}, l={l}"
+            );
         }
     }
 }

@@ -84,11 +84,56 @@ fn main() {
         );
     }
 
+    // ---- Large horizons: the compressed oracle ----------------------
+    // Beyond ~10⁶ ticks a dense arena (and a dense policy evaluation)
+    // stops being an option; the event-driven skeleton and the
+    // knot-compressed evaluator carry the same sweep to 10⁷ ticks and
+    // beyond in milliseconds and megabytes.
+    let deep_ticks: i64 = 10_000_000;
+    let q = 8u32;
+    let deep_u = secs(deep_ticks as f64 / q as f64);
+    let deep = cache.get_compressed(c, q, deep_u, 2);
+    let deep_ad = evaluate_policy_compressed(
+        &AdaptiveGuideline::default(),
+        c,
+        q,
+        deep_u,
+        2,
+        CompressedEvalOptions::default(),
+    )
+    .unwrap();
+    println!(
+        "\n{:>10} {:>3} {:>12} {:>12} {:>8}",
+        "U/c", "p", "W optimal", "§3.2 arith", "ad/opt"
+    );
+    for &u in &[100_000.0, 400_000.0, 1_250_000.0] {
+        for p in 1..=2u32 {
+            let w_opt = deep.value(p, secs(u));
+            let w_ad = deep_ad.value(p, secs(u));
+            println!(
+                "{:>10} {:>3} {:>12.0} {:>12.0} {:>8.4}",
+                u,
+                p,
+                w_opt,
+                w_ad,
+                w_ad.ratio(w_opt)
+            );
+        }
+    }
+    println!(
+        "[deep table: {} breakpoints over {} ticks, {} events to build, {} KiB]",
+        (0..=2).map(|p| deep.breakpoints(p)).sum::<usize>(),
+        deep.max_ticks(),
+        deep.events(),
+        deep.memory_bytes() >> 10
+    );
+
     let stats = cache.stats();
     println!(
-        "\n[table cache: {} solve(s) and {} cached table(s) served {} sweep cells]",
+        "\n[table cache: {} solve(s), {} dense + {} compressed cached table(s) served {} sweep cells]",
         stats.misses,
         stats.entries,
+        stats.compressed_entries,
         cells.len()
     );
     println!("\nReading the table: the corrected self-similar guideline tracks the exact");

@@ -17,7 +17,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `cyclesteal-core` | model, schedules (§3.1, §3.2, §5.2, Thm 4.3), bounds, Table 1 |
-//! | [`dp`] | `cyclesteal-dp` | exact `W^(p)[L]` solvers (dense frontier-sweep + breakpoint-compressed), table cache, policy evaluator |
+//! | [`dp`] | `cyclesteal-dp` | exact `W^(p)[L]` solvers (dense frontier-sweep, breakpoint-compressed, event-driven run-skipping), table cache, dense + compressed-oracle policy evaluators |
 //! | [`adversary`] | `cyclesteal-adversary` | optimal/stochastic adversaries, game runner |
 //! | [`sim`] | `now-sim` | discrete-event NOW simulator |
 //! | [`workloads`] | `cyclesteal-workloads` | task bags + owner traces |
@@ -64,7 +64,8 @@ pub mod prelude {
     };
     pub use cyclesteal_core::prelude::*;
     pub use cyclesteal_dp::{
-        evaluate_policy, CompressedOptimalPolicy, CompressedTable, EvalOptions, InnerLoop,
+        evaluate_policy, evaluate_policy_compressed, CompressedEvalOptions,
+        CompressedOptimalPolicy, CompressedPolicyValue, CompressedTable, EvalOptions, InnerLoop,
         OptimalPolicy, PolicyValue, SolveConfig, SolveOptions, TableCache, ValueTable,
     };
     pub use cyclesteal_expected::{expected_work, ExpectedDp, InterruptLaw};

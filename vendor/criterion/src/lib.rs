@@ -199,7 +199,12 @@ impl Criterion {
     /// was given). Lets hand-rolled measurements in `main`-adjacent code
     /// honor the same filtering as registered benchmarks.
     pub fn filter_matches(&self, id: &str) -> bool {
-        self.filter.as_ref().is_none_or(|f| id.contains(f.as_str()))
+        // (match, not Option::is_none_or: that adapter needs Rust 1.82
+        // and the workspace MSRV is 1.75.)
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
     }
 
     /// Opens a named group of related benchmarks.

@@ -14,6 +14,11 @@
 //! * `prop_assert!`/`prop_assert_eq!` panic instead of returning
 //!   `Err(TestCaseError)` — equivalent observable behavior under the
 //!   harness.
+//! * **`PROPTEST_CASES` always wins.** Upstream lets an explicit
+//!   `with_cases` override the environment; here the environment
+//!   overrides even explicit per-test configs, so CI can deepen every
+//!   suite (`PROPTEST_CASES=256 cargo test`) without code changes — the
+//!   deep-props CI job relies on this.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,16 +35,29 @@ pub struct ProptestConfig {
     pub cases: u32,
 }
 
+/// Resolves a case count against a `PROPTEST_CASES`-style override:
+/// a parseable positive override wins, anything else falls back.
+fn resolve_cases(fallback: u32, env: Option<&str>) -> u32 {
+    match env.and_then(|v| v.parse::<u32>().ok()) {
+        Some(n) if n > 0 => n,
+        _ => fallback,
+    }
+}
+
 impl ProptestConfig {
-    /// A config running `cases` random cases per property.
+    /// A config running `cases` random cases per property — unless the
+    /// `PROPTEST_CASES` environment variable overrides it (see the crate
+    /// docs; this deviation is what lets CI deepen suites wholesale).
     pub fn with_cases(cases: u32) -> ProptestConfig {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: resolve_cases(cases, std::env::var("PROPTEST_CASES").ok().as_deref()),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        ProptestConfig::with_cases(256)
     }
 }
 
@@ -300,6 +318,15 @@ mod tests {
                 prop_assert!((0.0..2.0).contains(&x));
             }
         }
+    }
+
+    #[test]
+    fn env_override_resolution() {
+        use crate::resolve_cases;
+        assert_eq!(resolve_cases(24, None), 24);
+        assert_eq!(resolve_cases(24, Some("256")), 256);
+        assert_eq!(resolve_cases(24, Some("0")), 24, "zero cases is nonsense");
+        assert_eq!(resolve_cases(24, Some("many")), 24);
     }
 
     #[test]
