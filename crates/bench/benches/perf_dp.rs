@@ -4,11 +4,13 @@
 //! inner loops (frontier sweep vs bisection vs linear scan), the
 //! breakpoint-compressed solver (tick-walking and event-driven), cached
 //! sweeps, the policy evaluators and query paths — and emits the
-//! headline numbers to `BENCH_dp.json` at the workspace root. Two
+//! headline numbers to `BENCH_dp.json` at the workspace root. Three
 //! acceptance points: at `(Q=32, p=16, L=10⁶ ticks)` the frontier sweep
-//! must beat bisection ≥ 3× and the compressed table must hold the same
-//! function in ≤ 1/10 the bytes; at `(Q=32, p=16, L=10⁹ ticks)` the
-//! event-driven build must finish in under a second.
+//! must beat bisection ≥ 3×, the intra-level parallel solve must beat
+//! the sequential sweep ≥ 1.5× at 4+ workers, and the compressed table
+//! must hold the same function in ≤ 1/10 the bytes; at
+//! `(Q=32, p=16, L=10⁹ ticks)` the event-driven build must finish in
+//! under a second.
 //!
 //! Quick mode (`CRITERION_QUICK=1` or `--quick`) is the CI smoke
 //! configuration: single-run measurements (`runs_per_measurement: 1`,
@@ -49,6 +51,16 @@ fn value_only(inner: InnerLoop) -> SolveOptions {
     SolveOptions {
         keep_policy: false,
         inner,
+        threads: 1,
+    }
+}
+
+/// The intra-level parallel configuration: `threads` workers sweep
+/// anchor-segmented l-ranges of each level (bit-identical output).
+fn value_only_parallel(threads: usize) -> SolveOptions {
+    SolveOptions {
+        threads,
+        ..value_only(InnerLoop::FrontierSweep)
     }
 }
 
@@ -87,6 +99,19 @@ fn bench_inner_loop(c: &mut Criterion) {
             })
         });
     }
+    // The segmented intra-level sweep at an explicit 4 workers — the
+    // ablation point the acceptance report measures at p=16.
+    group.bench_function("parallel_sweep_t4", |b| {
+        b.iter(|| {
+            ValueTable::solve(
+                secs(1.0),
+                16,
+                secs(256.0),
+                black_box(3),
+                value_only_parallel(4),
+            )
+        })
+    });
     group.finish();
 }
 
@@ -245,8 +270,9 @@ fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
 /// Quick mode stamps `"quick_mode": true` with `runs_per_measurement: 1`
 /// and skips the 10⁶-tick dense comparison — the bisection baseline and
 /// the dense-memory rebuild — whose fields are then absent from the
-/// JSON; the frontier-sweep, compressed and event-driven timings are
-/// always emitted, so `bench_diff` can gate on them in every mode.
+/// JSON; the frontier-sweep, parallel, compressed and event-driven
+/// timings are always emitted, so `bench_diff` can gate on them in
+/// every mode.
 fn acceptance_report(c: &mut Criterion) {
     if !c.filter_matches("dp_acceptance_report") {
         return;
@@ -266,6 +292,21 @@ fn acceptance_report(c: &mut Criterion) {
             value_only(InnerLoop::FrontierSweep),
         )
     });
+    // The intra-level parallel solve, at 4+ workers (the acceptance
+    // point asks for ≥ 1.5× over the sequential sweep). Bit-identical
+    // output; the speedup comes from the anchor-segmented fan-out plus
+    // the skeleton-first formulation of each level.
+    let parallel_threads = cyclesteal_par::default_threads().max(4);
+    let (parallel_s, _) = time_median(runs, || {
+        ValueTable::solve(
+            secs(1.0),
+            ACCEPT_Q,
+            u,
+            ACCEPT_P,
+            value_only_parallel(parallel_threads),
+        )
+    });
+    let parallel_speedup = sweep_s / parallel_s;
     let (compressed_s, _) = time_median(runs, || {
         CompressedTable::solve(secs(1.0), ACCEPT_Q, u, ACCEPT_P)
     });
@@ -285,6 +326,9 @@ fn acceptance_report(c: &mut Criterion) {
 
     println!("\n=== perf_dp acceptance (Q={ACCEPT_Q}, p={ACCEPT_P}, L={ACCEPT_TICKS} ticks) ===");
     println!("frontier sweep solve : {sweep_s:.3} s");
+    println!(
+        "parallel solve       : {parallel_s:.3} s at {parallel_threads} threads ({parallel_speedup:.2}× vs sequential sweep, target ≥ 1.5×)"
+    );
     println!("compressed solve     : {compressed_s:.3} s");
     println!(
         "event-driven solve   : {event_s:.3} s at L={ACCEPT_EVENT_TICKS} ticks ({event_count} events, {deep_breakpoints} breakpoints; target < 1 s)"
@@ -294,6 +338,9 @@ fn acceptance_report(c: &mut Criterion) {
         format!("\"quick_mode\": {quick}"),
         format!("\"runs_per_measurement\": {runs}"),
         format!("\"frontier_sweep_solve_s\": {sweep_s:.6}"),
+        format!("\"parallel_solve_s\": {parallel_s:.6}"),
+        format!("\"parallel_speedup\": {parallel_speedup:.3}"),
+        format!("\"parallel_threads\": {parallel_threads}"),
         format!("\"compressed_solve_s\": {compressed_s:.6}"),
         format!("\"event_driven_solve_s\": {event_s:.6}"),
         format!("\"event_driven_lifespan_ticks\": {ACCEPT_EVENT_TICKS}"),

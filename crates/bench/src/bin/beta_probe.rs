@@ -12,6 +12,9 @@ fn main() {
     let opts = SolveOptions {
         keep_policy: false,
         inner: cyclesteal_dp::InnerLoop::FrontierSweep,
+        // Deep single solve: let the intra-level segmented sweep use the
+        // machine's workers (CYCLESTEAL_THREADS still overrides).
+        threads: 0,
     };
     let table = ValueTable::solve(secs(1.0), 8, secs(131072.0), 4, opts);
     for p in 1..=4u32 {

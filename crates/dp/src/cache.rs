@@ -9,7 +9,9 @@
 //! request from a larger-`p` table when one already covers the
 //! lifespan), grows tables with headroom so a slowly increasing sweep
 //! does not re-solve per step, and fans independent configurations out
-//! over `cyclesteal-par` workers in [`TableCache::solve_many`].
+//! over `cyclesteal-par` workers in [`TableCache::solve_many`] — with
+//! any thread budget the fan-out leaves idle flowing into each solve's
+//! *intra-level* segmented sweep (see [`SolveOptions::threads`]).
 //!
 //! Compressed tables cache alongside dense ones:
 //! [`TableCache::get_compressed`] serves breakpoint-skeleton tables
@@ -168,10 +170,16 @@ impl Default for TableCache {
 }
 
 impl TableCache {
-    /// A cache solving with [`SolveOptions::default`] and 25% lifespan
-    /// headroom.
+    /// A cache solving with [`SolveOptions::default`] — except
+    /// `threads: 0`, so cache-triggered solves use the machine's workers
+    /// (or the `CYCLESTEAL_THREADS` override) for their intra-level
+    /// sweeps — and 25% lifespan headroom. Results are bit-identical to
+    /// sequential solves at any worker count.
     pub fn new() -> TableCache {
-        TableCache::with_options(SolveOptions::default())
+        TableCache::with_options(SolveOptions {
+            threads: 0,
+            ..SolveOptions::default()
+        })
     }
 
     /// A cache with explicit solve options (e.g. `keep_policy: false`
@@ -223,21 +231,38 @@ impl TableCache {
 
     /// Solves all `configs` with one solve per distinct key (at the
     /// largest requested lifespan), fanned out over `cyclesteal-par`
-    /// workers, and returns one covering table per input config, in
-    /// input order.
+    /// workers — and, when the batch leaves workers idle (fewer pending
+    /// solves than threads), each solve additionally parallelizes
+    /// *within* its levels via [`SolveOptions::threads`]. Returns one
+    /// covering table per input config, in input order.
+    ///
+    /// The returned tables are the solver's (or the dedup pass's) own
+    /// `Arc`s, **not** re-read from the cache afterwards: cache insertion
+    /// is best-effort, so a concurrent [`Self::clear`] — or a racing
+    /// insert that kept a different table for the key — can never turn
+    /// the collection into a panic or change what the caller gets.
+    ///
+    /// Every config counts exactly once in [`CacheStats`]: a hit when a
+    /// cached table already covered it, a hit when it coalesced onto
+    /// another config's solve, a miss for each solve actually run.
     pub fn solve_many(&self, configs: &[SolveConfig]) -> Vec<Arc<ValueTable>> {
-        // Coalesce: one pending solve per (setup, resolution), at the max
-        // interrupt budget and lifespan not already covered — a `p_max`
-        // solve materializes every smaller budget, so mixed-p batches
-        // need only one solve per grid.
+        // Resolution pass: serve what the cache already covers, coalesce
+        // the rest — one pending solve per (setup, resolution), at the
+        // max interrupt budget and lifespan requested for that grid (a
+        // `p_max` solve materializes every smaller budget, so mixed-p
+        // batches need only one solve per grid).
+        let mut results: Vec<Option<Arc<ValueTable>>> = vec![None; configs.len()];
         let mut pending: HashMap<(u64, u32), SolveConfig> = HashMap::new();
-        for cfg in configs {
+        let mut waiting: Vec<(usize, (u64, u32))> = Vec::new();
+        for (i, cfg) in configs.iter().enumerate() {
             let key = TableKey::new(cfg.setup, cfg.ticks_per_setup, cfg.max_interrupts);
-            if self.lookup(&key, cfg.max_lifespan).is_some() {
+            if let Some(table) = self.lookup(&key, cfg.max_lifespan) {
+                results[i] = Some(table);
                 continue;
             }
+            let group = (key.setup_bits, key.ticks_per_setup);
             pending
-                .entry((key.setup_bits, key.ticks_per_setup))
+                .entry(group)
                 .and_modify(|p| {
                     if cfg.max_lifespan > p.max_lifespan {
                         p.max_lifespan = cfg.max_lifespan;
@@ -247,33 +272,55 @@ impl TableCache {
                     }
                 })
                 .or_insert(*cfg);
+            waiting.push((i, group));
         }
 
-        let jobs: Vec<SolveConfig> = pending.into_values().collect();
+        let jobs: Vec<((u64, u32), SolveConfig)> = pending.into_iter().collect();
+        // One miss per solve run; configs that coalesced onto another
+        // config's solve were still served without their own solve, which
+        // is a hit — so hits + misses always equals the batch size.
         self.misses.fetch_add(jobs.len() as u64, Ordering::Relaxed);
-        let solved = cyclesteal_par::par_map(&jobs, |cfg| {
+        self.hits
+            .fetch_add((waiting.len() - jobs.len()) as u64, Ordering::Relaxed);
+
+        // Split the thread budget: distinct keys fan out across workers,
+        // and whatever that fan-out leaves idle goes into each solve's
+        // intra-level segmented sweep.
+        let intra = (self.opts.resolved_threads() / jobs.len().max(1)).max(1);
+        let solve_opts = SolveOptions {
+            threads: intra,
+            ..self.opts
+        };
+        let solved = cyclesteal_par::par_map(&jobs, |(_, cfg)| {
             ValueTable::solve(
                 cfg.setup,
                 cfg.ticks_per_setup,
                 cfg.max_lifespan * self.growth,
                 cfg.max_interrupts,
-                self.opts,
+                solve_opts,
             )
         });
-        for (cfg, table) in jobs.into_iter().zip(solved) {
+        let mut by_group: HashMap<(u64, u32), Arc<ValueTable>> = HashMap::new();
+        for ((group, cfg), table) in jobs.into_iter().zip(solved) {
             let key = TableKey::new(cfg.setup, cfg.ticks_per_setup, cfg.max_interrupts);
-            self.insert_if_larger(key, Arc::new(table));
+            let table = Arc::new(table);
+            // Best-effort publication; the batch's answers come from the
+            // solver output either way.
+            self.insert_if_larger(key, table.clone());
+            by_group.insert(group, table);
+        }
+        for (i, group) in waiting {
+            results[i] = Some(
+                by_group
+                    .get(&group)
+                    .expect("every waiting config joined a pending group")
+                    .clone(),
+            );
         }
 
-        configs
-            .iter()
-            .map(|cfg| {
-                let key = TableKey::new(cfg.setup, cfg.ticks_per_setup, cfg.max_interrupts);
-                // Plain collection, not a cache query: hits were already
-                // counted in the dedup pass, misses per solved key above.
-                self.peek(&key, cfg.max_lifespan)
-                    .expect("solve_many populated every key")
-            })
+        results
+            .into_iter()
+            .map(|t| t.expect("every config resolved to a hit or a solved group"))
             .collect()
     }
 
@@ -485,7 +532,7 @@ mod tests {
     }
 
     #[test]
-    fn solve_many_counts_no_phantom_hits() {
+    fn solve_many_accounts_every_config_exactly_once() {
         let cache = TableCache::new();
         let configs: Vec<SolveConfig> = (0..3)
             .map(|_| SolveConfig {
@@ -497,8 +544,54 @@ mod tests {
             .collect();
         let _ = cache.solve_many(&configs);
         let s = cache.stats();
-        // Nothing was served from cache: one solve, zero hits.
-        assert_eq!((s.hits, s.misses), (0, 1));
+        // One solve ran (miss); the two configs that coalesced onto it
+        // were served without their own solve (hits). Every config is
+        // counted: hits + misses == batch size.
+        assert_eq!((s.hits, s.misses), (2, 1));
+
+        // A second identical batch is pure cache hits.
+        let _ = cache.solve_many(&configs);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (5, 1));
+    }
+
+    #[test]
+    fn solve_many_survives_concurrent_clear() {
+        // Regression: the collection pass used to re-read the cache after
+        // the insert loop and `expect` the key to be present — a racing
+        // `clear()` in that window panicked. Results now come straight
+        // from the solver, so a clear storm must never break a batch.
+        use std::sync::atomic::AtomicBool;
+
+        let cache = TableCache::new();
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    cache.clear();
+                    std::thread::yield_now();
+                }
+            });
+            for round in 0..40u32 {
+                let configs: Vec<SolveConfig> = (0..3u32)
+                    .map(|i| SolveConfig {
+                        setup: secs(1.0),
+                        ticks_per_setup: 4,
+                        max_lifespan: secs(20.0 + (round % 5) as f64 + i as f64),
+                        max_interrupts: 1 + (i % 2),
+                    })
+                    .collect();
+                let tables = cache.solve_many(&configs);
+                for (cfg, table) in configs.iter().zip(&tables) {
+                    assert!(table.max_lifespan() >= cfg.max_lifespan);
+                    assert!(table.max_interrupts() >= cfg.max_interrupts);
+                    // The contract: every returned table answers its
+                    // config's full range without panicking.
+                    let _ = table.value(cfg.max_interrupts, cfg.max_lifespan);
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
     }
 
     #[test]

@@ -84,13 +84,13 @@ impl CompressedRow {
 /// instead of re-running the binary search of [`CompressedRow::value`].
 /// Tolerates small retreats (the sweep interleaves `s` and `s+1`).
 #[derive(Clone, Copy, Debug, Default)]
-struct RowCursor {
+pub(crate) struct RowCursor {
     rank: usize,
 }
 
 impl RowCursor {
     #[inline]
-    fn value(&mut self, row: &CompressedRow, flats: &[i64], pos: i64) -> i64 {
+    pub(crate) fn value(&mut self, row: &CompressedRow, flats: &[i64], pos: i64) -> i64 {
         while self.rank > 0 && flats[self.rank - 1] > pos {
             self.rank -= 1;
         }
@@ -199,6 +199,7 @@ impl CompressedTable {
             crate::value::SolveOptions {
                 keep_policy: false,
                 inner: crate::value::InnerLoop::FrontierSweep,
+                threads: 1,
             },
         )
     }
@@ -221,6 +222,11 @@ impl CompressedTable {
         let q = grid.q();
         let event_driven = opts.inner == crate::value::InnerLoop::EventDriven;
 
+        // `threads` only parallelizes the per-level breakpoint-run
+        // expansion inside the event-driven builder — the build loop (and
+        // with it the event count and the emitted skeleton) is identical
+        // at every thread count. The tick-walking build stays sequential.
+        let threads = opts.resolved_threads();
         let mut rows = Vec::with_capacity(max_interrupts as usize + 1);
         let mut events: u64 = 0;
         // Level 0: W^(0)(l) = l ⊖ Q — a pure zero region, no flats after.
@@ -231,7 +237,7 @@ impl CompressedTable {
         for _p in 1..=max_interrupts {
             let prev = rows.last().expect("level p−1 present");
             let row = if event_driven {
-                let (row, level_events) = crate::event::build_level_events(prev, n, q);
+                let (row, level_events) = crate::event::build_level_events(prev, n, q, threads);
                 events += level_events;
                 row
             } else {
@@ -386,7 +392,9 @@ impl CompressedTable {
     }
 
     /// Reconstructs the full optimal episode schedule at `(p, lifespan)`;
-    /// same contract (and output) as [`crate::ValueTable::episode`].
+    /// same contract (and output) as [`crate::ValueTable::episode`],
+    /// including the shared coarse-grid drift guard
+    /// (`crate::value::assemble_episode`).
     pub fn episode(&self, p: u32, lifespan: Time) -> Result<EpisodeSchedule> {
         let mut l = self.grid.to_ticks(lifespan);
         if l <= 0 {
@@ -399,17 +407,7 @@ impl CompressedTable {
             periods_ticks.push(t);
             l -= t;
         }
-        let mut periods: Vec<Time> = periods_ticks
-            .iter()
-            .map(|&t| self.grid.to_time(t))
-            .collect();
-        // Absorb the off-grid drift into the longest (first) period.
-        let total: Time = periods.iter().copied().sum();
-        let drift = lifespan - total;
-        if !drift.is_zero() {
-            periods[0] += drift;
-        }
-        EpisodeSchedule::for_lifespan(periods, lifespan)
+        crate::value::assemble_episode(&self.grid, &periods_ticks, lifespan)
     }
 }
 

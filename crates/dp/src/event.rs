@@ -33,10 +33,24 @@
 //!
 //! Between consecutive events the output is `max(last, C + j)` for a
 //! span-constant `C`, so the span contributes either a run of slope-1
-//! ticks (skipped in `O(1)`) or a run of flat ticks (appended to the
-//! skeleton — and the skeleton is the output, so this work is already
-//! accounted in `k`). Boundary ticks where no linear span applies fall
-//! back to an exact single-tick transcription of the dense sweep.
+//! ticks (skipped in `O(1)`) or a run of flat ticks. Boundary ticks
+//! where no linear span applies fall back to an exact single-tick
+//! transcription of the dense sweep.
+//!
+//! ## Breakpoint runs, materialized in parallel
+//!
+//! The row under construction is kept as **run-length-encoded flat
+//! runs** (`FlatRun`): a stall of `d` ticks contributes one run
+//! descriptor in `O(1)` instead of `d` vector pushes, and the builder's
+//! own reads of the partial row go through a forward-only `RunCursor`
+//! (rank, next-flat and membership queries, each `O(1)` amortized).
+//! Only after the level is fully determined are the runs expanded into
+//! the sorted flat-tick list a `CompressedRow` stores — an
+//! embarrassingly parallel concatenation that `build_level_events` fans
+//! out over `cyclesteal-par` workers when
+//! the caller's `SolveOptions::threads` asks for them: each worker owns
+//! a disjoint slice of the output vector and a matching sub-range of
+//! runs, so the result is byte-identical at every thread count.
 //!
 //! ## Cost
 //!
@@ -68,33 +82,126 @@ use crate::compressed::CompressedRow;
 /// span, small enough to never overflow the arithmetic around it.
 const NO_FLAT: i64 = i64::MAX / 4;
 
+/// A maximal run of consecutive flat ticks `start, start+1, …,
+/// start+len−1` of the row under construction.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FlatRun {
+    /// First flat tick of the run.
+    start: i64,
+    /// Number of consecutive flat ticks.
+    len: i64,
+}
+
+/// The row under construction: zero-region prefix plus run-length-encoded
+/// flat ticks. The builder reads it through [`RunCursor`]s and expands it
+/// into a [`CompressedRow`] only once the level is complete.
+#[derive(Debug, Default)]
+struct RunRow {
+    /// Largest `l` with `W(l) = 0` so far.
+    zero_until: i64,
+    /// Flat runs, sorted, disjoint, never adjacent (adjacent appends are
+    /// merged on push).
+    runs: Vec<FlatRun>,
+    /// Total flat ticks across `runs`.
+    count: i64,
+}
+
+impl RunRow {
+    /// Appends the flat run `start..start+len`, merging with the last run
+    /// when contiguous. Positions only ever grow, so append-or-merge is
+    /// complete.
+    #[inline]
+    fn push_run(&mut self, start: i64, len: i64) {
+        debug_assert!(len >= 1);
+        match self.runs.last_mut() {
+            Some(r) if r.start + r.len == start => r.len += len,
+            _ => self.runs.push(FlatRun { start, len }),
+        }
+        self.count += len;
+    }
+
+    /// Appends a single flat tick.
+    #[inline]
+    fn push_flat(&mut self, pos: i64) {
+        self.push_run(pos, 1);
+    }
+}
+
+/// Forward-only reader over a [`RunRow`]'s runs: rank (`#flats ≤ pos`),
+/// next-flat-after and flat-membership queries in `O(1)` amortized, for
+/// query positions that never decrease (the sweep residual `s` is
+/// monotone in `l`).
+#[derive(Clone, Copy, Debug, Default)]
+struct RunCursor {
+    /// First run whose last flat is ≥ the latest query position.
+    idx: usize,
+    /// Total flats in `runs[..idx]`.
+    before: i64,
+}
+
+impl RunCursor {
+    /// `#flats ≤ pos`. Also positions the cursor for [`Self::is_flat`] and
+    /// [`Self::next_after`] at the same `pos`.
+    #[inline]
+    fn rank(&mut self, runs: &[FlatRun], pos: i64) -> i64 {
+        while self.idx < runs.len() && runs[self.idx].start + runs[self.idx].len - 1 < pos {
+            self.before += runs[self.idx].len;
+            self.idx += 1;
+        }
+        match runs.get(self.idx) {
+            Some(r) if r.start <= pos => self.before + (pos - r.start + 1),
+            _ => self.before,
+        }
+    }
+
+    /// Whether `pos` itself is a flat tick. Only valid immediately after
+    /// [`Self::rank`] was called with the same `pos`.
+    #[inline]
+    fn is_flat(&self, runs: &[FlatRun], pos: i64) -> bool {
+        matches!(runs.get(self.idx), Some(r) if r.start <= pos)
+    }
+
+    /// The smallest flat tick strictly greater than `pos`, or [`NO_FLAT`].
+    /// Only valid immediately after [`Self::rank`] was called with the
+    /// same `pos`.
+    #[inline]
+    fn next_after(&self, runs: &[FlatRun], pos: i64) -> i64 {
+        match runs.get(self.idx) {
+            Some(r) if r.start > pos => r.start,
+            Some(r) if r.start + r.len - 1 > pos => pos + 1,
+            Some(_) => runs.get(self.idx + 1).map_or(NO_FLAT, |r2| r2.start),
+            None => NO_FLAT,
+        }
+    }
+}
+
 /// Row value at `x` given `rank_le` = the number of flat ticks `≤ x`:
 /// the staircase banks every tick past the zero region except the flats.
 #[inline(always)]
-fn val(zero: i64, rank_le: usize, x: i64) -> i64 {
+fn val(zero: i64, rank_le: i64, x: i64) -> i64 {
     if x <= zero {
         0
     } else {
-        (x - zero) - rank_le as i64
+        (x - zero) - rank_le
     }
 }
 
 /// One exact tick of the monotone frontier sweep, transcribed from the
 /// dense solver (`value::solve_level`) onto cursor reads. Used for every
 /// tick where no linear span is provable: zero-region edges, flat
-/// crossings, cap transitions. `rp1`/`rc1` are the forward-only cursor
-/// ranks `#flats ≤ s+1` into `prev`/`cur` and are kept in sync as the
-/// frontier advances.
+/// crossings, cap transitions. `rp1` is the forward-only cursor rank
+/// `#flats ≤ s+1` into `prev`; `rc` serves the same queries against the
+/// run-encoded row under construction.
 #[allow(clippy::too_many_arguments)]
 fn single_step(
     prev: &CompressedRow,
-    cur: &mut CompressedRow,
+    cur: &mut RunRow,
     l: &mut i64,
     last: &mut i64,
     s: &mut i64,
     q: i64,
     rp1: &mut usize,
-    rc1: &mut usize,
+    rc: &mut RunCursor,
 ) {
     let pz = prev.zero_until;
     let pf: &[i64] = &prev.flats;
@@ -103,31 +210,30 @@ fn single_step(
     if lt > q {
         let tau = lt - q;
         let s_cap = tau - 1;
+        let mut c1 = rc.rank(&cur.runs, *s + 1);
         loop {
             while *rp1 < pf.len() && pf[*rp1] <= *s + 1 {
                 *rp1 += 1;
             }
-            while *rc1 < cur.flats.len() && cur.flats[*rc1] <= *s + 1 {
-                *rc1 += 1;
-            }
             if *s >= s_cap {
                 break;
             }
-            let h = (*s + 1) + val(pz, *rp1, *s + 1) - val(cur.zero_until, *rc1, *s + 1);
+            let h = (*s + 1) + val(pz, *rp1 as i64, *s + 1) - val(cur.zero_until, c1, *s + 1);
             if h <= tau {
                 *s += 1;
+                c1 = rc.rank(&cur.runs, *s + 1);
             } else {
                 break;
             }
         }
         let sf = *s;
         let rp0 = *rp1 - usize::from(*rp1 > 0 && pf[*rp1 - 1] == sf + 1);
-        let rc0 = *rc1 - usize::from(*rc1 > 0 && cur.flats[*rc1 - 1] == sf + 1);
+        let rc0 = c1 - i64::from(rc.is_flat(&cur.runs, sf + 1));
         let cz = cur.zero_until;
         let t_star = lt - sf;
-        let v_star = val(pz, rp0, sf).min((t_star - q) + val(cz, rc0, sf));
+        let v_star = val(pz, rp0 as i64, sf).min((t_star - q) + val(cz, rc0, sf));
         let cand = if t_star > q + 1 {
-            let v_left = val(pz, *rp1, sf + 1).min((t_star - 1 - q) + val(cz, *rc1, sf + 1));
+            let v_left = val(pz, *rp1 as i64, sf + 1).min((t_star - 1 - q) + val(cz, c1, sf + 1));
             v_star.max(v_left)
         } else {
             v_star
@@ -145,17 +251,15 @@ fn single_step(
 /// Requires `c ≤ last` (checked by the caller against the sweep
 /// invariants).
 #[inline]
-fn emit_span(cur: &mut CompressedRow, l: &mut i64, last: &mut i64, delta: i64, c: i64) {
+fn emit_span(cur: &mut RunRow, l: &mut i64, last: &mut i64, delta: i64, c: i64) {
     debug_assert!(c <= *last, "span candidate {c} above running max {last}");
     let j_cut = (*last - c).min(delta);
     if j_cut > 0 {
         if *last == 0 {
             // Still inside the zero region: extend it, don't store flats.
             cur.zero_until = *l + j_cut;
-        } else if j_cut == 1 {
-            cur.flats.push(*l + 1);
         } else {
-            cur.flats.extend(*l + 1..=*l + j_cut);
+            cur.push_run(*l + 1, j_cut);
         }
     }
     *last = (*last).max(c + delta);
@@ -165,7 +269,7 @@ fn emit_span(cur: &mut CompressedRow, l: &mut i64, last: &mut i64, delta: i64, c
 /// Records one computed tick `l+1` with value `best` — the shared tail
 /// of [`single_step`] and the O(1) flat-crossing transitions.
 #[inline(always)]
-fn emit_tick(cur: &mut CompressedRow, l: &mut i64, last: &mut i64, best: i64) {
+fn emit_tick(cur: &mut RunRow, l: &mut i64, last: &mut i64, best: i64) {
     let inc = best - *last;
     debug_assert!(
         inc == 0 || inc == 1,
@@ -176,32 +280,84 @@ fn emit_tick(cur: &mut CompressedRow, l: &mut i64, last: &mut i64, best: i64) {
     if best == 0 {
         cur.zero_until = *l + 1;
     } else if inc == 0 {
-        cur.flats.push(*l + 1);
+        cur.push_flat(*l + 1);
     }
     *last = best;
     *l += 1;
 }
 
+/// Expands run-length-encoded flat runs into the sorted flat-tick list a
+/// [`CompressedRow`] stores. With `threads > 1` the runs are partitioned
+/// into contiguous chunks of roughly equal flat count and each worker
+/// writes its own disjoint slice of the output — byte-identical to the
+/// sequential expansion by construction.
+fn materialize_runs(runs: &[FlatRun], count: i64, threads: usize) -> Vec<i64> {
+    let count = count as usize;
+    let mut flats = vec![0i64; count];
+    let expand = |out: &mut [i64], runs: &[FlatRun]| {
+        let mut slot = out.iter_mut();
+        for r in runs {
+            for x in r.start..r.start + r.len {
+                *slot.next().expect("run lengths sum to the slice length") = x;
+            }
+        }
+        debug_assert!(slot.next().is_none(), "slice longer than its runs");
+    };
+    // Below ~16k flats the expansion is cheaper than waking workers.
+    if threads <= 1 || count < (1 << 14) {
+        expand(&mut flats, runs);
+        return flats;
+    }
+    let target = count.div_ceil(threads);
+    let mut jobs: Vec<(&mut [i64], &[FlatRun])> = Vec::with_capacity(threads + 1);
+    let mut rest: &mut [i64] = &mut flats;
+    let mut run_lo = 0usize;
+    while run_lo < runs.len() {
+        let mut take_flats = 0usize;
+        let mut run_hi = run_lo;
+        while run_hi < runs.len() && take_flats < target {
+            take_flats += runs[run_hi].len as usize;
+            run_hi += 1;
+        }
+        let (seg, tail) = std::mem::take(&mut rest).split_at_mut(take_flats);
+        jobs.push((seg, &runs[run_lo..run_hi]));
+        rest = tail;
+        run_lo = run_hi;
+    }
+    cyclesteal_par::par_sweep_segments(jobs, threads, |(seg, chunk): (&mut [i64], &[FlatRun])| {
+        expand(seg, chunk)
+    });
+    flats
+}
+
 /// Builds level `p` from the completed level `p−1` skeleton by event
 /// jumps. Returns the row and the number of events (loop iterations —
-/// span applications plus boundary single-steps) taken.
-pub(crate) fn build_level_events(prev: &CompressedRow, n: i64, q: i64) -> (CompressedRow, u64) {
+/// span applications plus boundary single-steps) taken. `threads` only
+/// affects how the final flat-run expansion is fanned out; the build
+/// loop — and therefore the event count and the emitted skeleton — is
+/// identical at every thread count.
+pub(crate) fn build_level_events(
+    prev: &CompressedRow,
+    n: i64,
+    q: i64,
+    threads: usize,
+) -> (CompressedRow, u64) {
     let pz = prev.zero_until;
-    let mut cur = CompressedRow::default();
-    // Level p's loss exceeds level p−1's by roughly one period's worth;
-    // seeding capacity near the parent's skeleton size skips most of the
-    // doubling-and-copy churn (shrink_to_fit below returns any excess).
-    cur.flats
-        .reserve(prev.flats.len() + prev.flats.len() / 4 + 64);
+    let mut cur = RunRow::default();
+    // Level p's loss exceeds level p−1's by roughly one period's worth,
+    // but runs compress consecutive flats; a modest seed avoids the first
+    // few doubling-and-copy rounds without over-reserving.
+    cur.runs.reserve(prev.flats.len() / 8 + 32);
     let mut l: i64 = 0; // last computed tick
     let mut last: i64 = 0; // W^(p)(l)
     let mut s: i64 = 0; // crossing residual s*, nondecreasing in l
     let mut events: u64 = 0;
-    // Forward-only cursor ranks at position s+1: #flats ≤ s+1 in prev /
-    // in the row under construction. `s` never retreats, so each cursor
-    // crosses each flat once per level.
+    // Forward-only cursors at position s+1: #flats ≤ s+1 in prev (plain
+    // rank into the sorted flat list) and the run cursor into the row
+    // under construction. `s` never retreats, so each cursor crosses each
+    // flat once per level.
     let mut rp1: usize = 0;
-    let mut rc1: usize = 0;
+    let mut rc = RunCursor::default();
 
     // Ticks 1..=Q carry no productive period and a zero wait-chain: the
     // whole prefix is zero region, in one event.
@@ -218,9 +374,7 @@ pub(crate) fn build_level_events(prev: &CompressedRow, n: i64, q: i64) -> (Compr
         while rp1 < pf.len() && pf[rp1] <= s + 1 {
             rp1 += 1;
         }
-        while rc1 < cur.flats.len() && cur.flats[rc1] <= s + 1 {
-            rc1 += 1;
-        }
+        let crank1 = rc.rank(&cur.runs, s + 1);
 
         // The span formulas difference the rows across the sweep window;
         // inside either zero region the slopes differ — single-step until
@@ -228,11 +382,11 @@ pub(crate) fn build_level_events(prev: &CompressedRow, n: i64, q: i64) -> (Compr
         let cz = cur.zero_until;
         if s > pz && s + 1 > cz {
             let tau = l - q; // threshold for the already-processed tick l
-            let p1 = val(pz, rp1, s + 1);
-            let c1 = val(cz, rc1, s + 1);
+            let p1 = val(pz, rp1 as i64, s + 1);
+            let c1 = val(cz, crank1, s + 1);
             let d = (s + 1) + p1 - c1 - tau;
             let s1_is_pflat = rp1 > 0 && pf[rp1 - 1] == s + 1;
-            let a0 = val(pz, rp1 - usize::from(s1_is_pflat), s);
+            let a0 = val(pz, (rp1 - usize::from(s1_is_pflat)) as i64, s);
 
             if d >= 2 {
                 // Stall: h(s*+1) > τ for the next d−1 ticks, so the
@@ -258,11 +412,7 @@ pub(crate) fn build_level_events(prev: &CompressedRow, n: i64, q: i64) -> (Compr
                 } else {
                     NO_FLAT
                 };
-                let nc = if rc1 < cur.flats.len() {
-                    cur.flats[rc1]
-                } else {
-                    NO_FLAT
-                };
+                let nc = rc.next_after(&cur.runs, s + 1);
                 if d >= 1 || s == s_cap {
                     // Genericity horizons: no flat of either row may
                     // enter the sweep window (s, s+Δ+1], and reads of the
@@ -326,12 +476,18 @@ pub(crate) fn build_level_events(prev: &CompressedRow, n: i64, q: i64) -> (Compr
         }
         // No provable span — take one exact tick of the dense sweep.
         single_step(
-            prev, &mut cur, &mut l, &mut last, &mut s, q, &mut rp1, &mut rc1,
+            prev, &mut cur, &mut l, &mut last, &mut s, q, &mut rp1, &mut rc,
         );
     }
 
-    cur.flats.shrink_to_fit();
-    (cur, events)
+    let flats = materialize_runs(&cur.runs, cur.count, threads);
+    (
+        CompressedRow {
+            zero_until: cur.zero_until,
+            flats,
+        },
+        events,
+    )
 }
 
 #[cfg(test)]
@@ -351,7 +507,7 @@ mod tests {
             };
             for p in 1..=p_max {
                 let walked = crate::compressed::build_level(&prev, n, q);
-                let (jumped, events) = build_level_events(&prev, n, q);
+                let (jumped, events) = build_level_events(&prev, n, q, 1);
                 assert_eq!(
                     walked.zero_until, jumped.zero_until,
                     "zero region differs at q={q}, n={n}, p={p}"
@@ -381,7 +537,7 @@ mod tests {
             zero_until: q,
             flats: Vec::new(),
         };
-        let (row, events) = build_level_events(&prev, n, q);
+        let (row, events) = build_level_events(&prev, n, q, 1);
         // k = O(√(QL)): ~9e3 here. Events track k, not L.
         assert!(
             (events as i64) < n / 50,
@@ -390,5 +546,53 @@ mod tests {
         // The flat count equals the total loss L − W(L) by construction;
         // confirm the far-end value closes the books.
         assert_eq!(row.value(n), n - row.zero_until - row.flats.len() as i64);
+    }
+
+    /// The parallel run expansion is byte-identical to the sequential
+    /// one, events included, across thread counts and run shapes that
+    /// land chunk boundaries inside and between runs.
+    #[test]
+    fn parallel_materialization_is_identical() {
+        for (q, n) in [(3i64, 200_000i64), (16, 500_000), (1, 50_000)] {
+            let mut prev = CompressedRow {
+                zero_until: q.min(n),
+                flats: Vec::new(),
+            };
+            for _p in 1..=3u32 {
+                let (seq, seq_events) = build_level_events(&prev, n, q, 1);
+                for threads in [2usize, 4, 8] {
+                    let (par, par_events) = build_level_events(&prev, n, q, threads);
+                    assert_eq!(seq_events, par_events, "event count at {threads} threads");
+                    assert_eq!(seq.zero_until, par.zero_until);
+                    assert_eq!(seq.flats, par.flats, "flats differ at {threads} threads");
+                }
+                prev = seq;
+            }
+        }
+    }
+
+    /// RunCursor rank/membership/next queries against a brute-force
+    /// reference over irregular runs.
+    #[test]
+    fn run_cursor_matches_bruteforce() {
+        let runs = [
+            FlatRun { start: 5, len: 3 },
+            FlatRun { start: 9, len: 1 },
+            FlatRun { start: 20, len: 10 },
+            FlatRun { start: 31, len: 2 },
+        ];
+        let flats: Vec<i64> = runs.iter().flat_map(|r| r.start..r.start + r.len).collect();
+        let mut cursor = RunCursor::default();
+        for pos in 0..40i64 {
+            let rank = flats.iter().filter(|&&f| f <= pos).count() as i64;
+            assert_eq!(cursor.rank(&runs, pos), rank, "rank at {pos}");
+            assert_eq!(
+                cursor.is_flat(&runs, pos),
+                flats.contains(&pos),
+                "membership at {pos}"
+            );
+            let next = flats.iter().find(|&&f| f > pos).copied().unwrap_or(NO_FLAT);
+            assert_eq!(cursor.next_after(&runs, pos), next, "next after {pos}");
+        }
     }
 }

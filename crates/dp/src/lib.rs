@@ -12,7 +12,15 @@
 //!   loops remain behind [`value::SolveOptions`] as ablations).
 //!   Reconstructs optimal episode schedules and implements
 //!   [`cyclesteal_core::policy::WorkOracle`], so Theorem 4.3's equalizer
-//!   can be driven by exact values for any `p`.
+//!   can be driven by exact values for any `p`. With
+//!   `SolveOptions { threads, .. }` the solve parallelizes **inside**
+//!   each level — the sixth solver path: levels stay sequential, but
+//!   each level is skeletonized first (event-driven, `O(k log k)`) and
+//!   then expanded into the dense arena by workers sweeping disjoint
+//!   `l`-ranges, each resumed from a precomputed `h`-crossing anchor.
+//!   Values, argmax and episodes are bit-identical to the sequential
+//!   sweep at every thread count (pinned by
+//!   `tests/equivalence_props.rs` and `tests/parallel_props.rs`).
 //! * [`compressed::CompressedTable`] — the same values stored as
 //!   per-level **breakpoint skeletons** (`O(p·k)` memory, `k ≪ L`):
 //!   rows are 1-Lipschitz staircases whose flat ticks number only

@@ -48,6 +48,32 @@
 //! pin all of this down, together with the breakpoint-compressed solver
 //! in [`crate::compressed`].
 //!
+//! ## Intra-level parallelism
+//!
+//! The recursion is sequential in `p` (level `p` reads level `p−1`) and
+//! self-referential in `l` (the completed branch reads `cur[s]` for
+//! `s ≤ l − Q − 1`), so the row cannot simply be chopped up mid-sweep.
+//! With [`SolveOptions::threads`] `> 1` each level is instead solved in
+//! two phases that together cost less than one sequential sweep:
+//!
+//! 1. the level's **breakpoint skeleton** is built from the previous
+//!    level's skeleton by the event-driven builder ([`crate::event`]) in
+//!    `O(k log k)` — this fully determines the row's values, breaking
+//!    the self-reference;
+//! 2. workers expand disjoint `l`-ranges of the dense row concurrently.
+//!    A value-only fill is a pure rank walk off the skeleton; with
+//!    `keep_policy` each worker *replays* the frontier sweep over its
+//!    range — started from its **`h`-crossing anchor**
+//!    `frontier(a−1) = min(a−Q−2, max{s : h(s) ≤ a−1−Q})`, a binary
+//!    search over the two completed rows — reading the row under
+//!    construction through the skeleton, so candidate generation and
+//!    tie-breaks are literally the sequential code path and the argmax
+//!    comes out bit-identical at every thread count.
+//!
+//! Segment boundaries need no stitching: the anchor *is* the sweep state
+//! the sequential solver would carry into the segment, and all reads are
+//! of fully determined data.
+//!
 //! ## Storage
 //!
 //! Rows live in one flat arena (`Vec<i64>` indexed by `p · stride + l`)
@@ -56,6 +82,7 @@
 //! flat `Vec<u32>`. For lifespans too large to hold densely at all, use
 //! [`crate::compressed::CompressedTable`].
 
+use crate::compressed::{CompressedRow, RowCursor};
 use crate::grid::Grid;
 use cyclesteal_core::error::{ModelError, Result};
 use cyclesteal_core::model::Opportunity;
@@ -92,6 +119,22 @@ pub struct SolveOptions {
     /// Inner-maximization algorithm (default [`InnerLoop::FrontierSweep`];
     /// the others are correctness ablations).
     pub inner: InnerLoop,
+    /// Worker threads for the *intra-level* segmented sweep: `1` (the
+    /// default) keeps the classic fully sequential solve, `0` resolves to
+    /// [`cyclesteal_par::default_threads`] (which honors the
+    /// `CYCLESTEAL_THREADS` override), any other value is used as given.
+    ///
+    /// Levels stay sequential (level `p` reads level `p−1`); with more
+    /// than one thread each level is first skeletonized by the
+    /// event-driven builder ([`crate::event`]) and then expanded into the
+    /// dense row by workers sweeping disjoint `l`-ranges, each started at
+    /// a precomputed `h`-crossing anchor. The result is **bit-identical**
+    /// to the sequential solve at every thread count (values, argmax and
+    /// episodes — pinned by the equivalence and determinism suites). Only
+    /// [`InnerLoop::FrontierSweep`] and [`InnerLoop::EventDriven`] honor
+    /// the knob; the bisection and linear-scan ablations always run
+    /// sequentially.
+    pub threads: usize,
 }
 
 impl Default for SolveOptions {
@@ -99,6 +142,19 @@ impl Default for SolveOptions {
         SolveOptions {
             keep_policy: true,
             inner: InnerLoop::FrontierSweep,
+            threads: 1,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// The worker count the solve will actually use: `threads` itself, or
+    /// [`cyclesteal_par::default_threads`] when `threads == 0`.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            cyclesteal_par::default_threads()
+        } else {
+            self.threads
         }
     }
 }
@@ -239,6 +295,188 @@ fn solve_level(
     }
 }
 
+/// Minimum ticks per worker segment for the intra-level parallel sweep —
+/// below this, per-segment anchor setup and thread hand-off dominate the
+/// actual filling.
+const MIN_SEGMENT_TICKS: i64 = 256;
+
+/// How many segments an `n`-tick level is worth splitting into for
+/// `threads` workers (1 ⇒ run the plain sequential sweep).
+fn effective_segments(n: i64, threads: usize) -> usize {
+    if n < 2 * MIN_SEGMENT_TICKS {
+        return 1;
+    }
+    threads.max(1).min((n / MIN_SEGMENT_TICKS) as usize)
+}
+
+/// The frontier pointer's exact state after the sequential sweep has
+/// processed tick `m` — the `h`-crossing anchor a segment starting at
+/// `m + 1` resumes from. The sweep maintains
+/// `frontier(m) = min(m − Q − 1, max{s ≥ 0 : h(s) ≤ m − Q})` with
+/// `h(s) = s + prev(s) − cur(s)` nondecreasing, so the anchor is a
+/// binary search over the two completed rows (`prev` dense, `cur` as its
+/// breakpoint skeleton).
+fn anchor_frontier(prev: &[i64], skel: &CompressedRow, q: i64, m: i64) -> i64 {
+    if m <= q {
+        return 0;
+    }
+    let tau = m - q;
+    let (mut lo, mut hi) = (0i64, m - q - 1);
+    while lo < hi {
+        let mid = lo + (hi - lo + 1) / 2;
+        if mid + prev[mid as usize] - skel.value(mid) <= tau {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// One worker's share of a level: the tick range `[start, start+len)`
+/// as disjoint `&mut` windows into the level's value (and optionally
+/// argmax) arena rows.
+struct RowSegment<'a> {
+    start: i64,
+    vals: &'a mut [i64],
+    args: Option<&'a mut [u32]>,
+}
+
+/// Splits `cur[1..=n]` (and the matching argmax window) into `segments`
+/// near-equal consecutive [`RowSegment`]s.
+fn split_row_segments<'a>(
+    cur: &'a mut [i64],
+    arg: Option<&'a mut [u32]>,
+    n: i64,
+    segments: usize,
+) -> Vec<RowSegment<'a>> {
+    let mut out = Vec::with_capacity(segments);
+    let mut vals_rest = &mut cur[1..=n as usize];
+    let mut args_rest = arg.map(|a| &mut a[1..=n as usize]);
+    let mut start = 1i64;
+    for k in 0..segments {
+        let remaining = n - start + 1;
+        let take = (remaining / (segments - k) as i64).max(1).min(remaining);
+        let (vals, vtail) = std::mem::take(&mut vals_rest).split_at_mut(take as usize);
+        vals_rest = vtail;
+        let args = args_rest.take().map(|a| {
+            let (head, tail) = a.split_at_mut(take as usize);
+            args_rest = Some(tail);
+            head
+        });
+        out.push(RowSegment { start, vals, args });
+        start += take;
+    }
+    debug_assert_eq!(start, n + 1, "segments must tile [1, n]");
+    out
+}
+
+/// Fills one worker's segment of level `p ≥ 1` from the completed dense
+/// `prev` row and the level's own breakpoint skeleton.
+///
+/// With an argmax window the segment *replays* the frontier sweep from
+/// its anchor — every read of the row under construction is served by
+/// the skeleton (those positions may belong to other segments), so the
+/// per-tick candidate generation and tie-breaking are literally the
+/// sequential [`solve_level`] arm and the argmax comes out bit-identical.
+/// Without one, the values alone are expanded straight off the skeleton
+/// by an incremental rank walk.
+fn fill_segment(seg: RowSegment<'_>, prev: &[i64], skel: &CompressedRow, q: i64) {
+    let RowSegment { start, vals, args } = seg;
+    let end = start + vals.len() as i64 - 1;
+    match args {
+        None => {
+            // Value-only expansion, run by run: between consecutive flat
+            // ticks the row is an arithmetic ramp, written by a tight
+            // (auto-vectorizable) loop instead of a per-tick rank check.
+            // The zero-region prefix is skipped outright — the arena
+            // arrives zero-initialized, so not touching it also avoids
+            // faulting pages the solve never reads.
+            let z = skel.zero_until;
+            let mut l = start.max(z + 1);
+            if l > end {
+                return;
+            }
+            let mut i = (l - start) as usize;
+            let mut rank = skel.flats.partition_point(|&f| f < l);
+            loop {
+                let next_flat = skel.flats.get(rank).copied().unwrap_or(i64::MAX);
+                let ramp_end = end.min(next_flat - 1);
+                if l <= ramp_end {
+                    let base = (l - z) - rank as i64;
+                    let len = (ramp_end - l + 1) as usize;
+                    for (j, slot) in vals[i..i + len].iter_mut().enumerate() {
+                        *slot = base + j as i64;
+                    }
+                    i += len;
+                    l = ramp_end + 1;
+                }
+                if l > end {
+                    break;
+                }
+                // l == next_flat: the value repeats the previous tick's.
+                rank += 1;
+                vals[i] = (l - z) - rank as i64;
+                i += 1;
+                l += 1;
+                if l > end {
+                    break;
+                }
+            }
+        }
+        Some(args) => {
+            let mut last = skel.value(start - 1);
+            let mut frontier = anchor_frontier(prev, skel, q, start - 1);
+            let mut cur_at = RowCursor::default();
+            for (i, l) in (start..=end).enumerate() {
+                let mut best = last;
+                let mut best_t: i64 = 1;
+                if l > q {
+                    let lo = q + 1;
+                    let tau = l - q;
+                    let s_cap = l - q - 1;
+                    while frontier < s_cap {
+                        let s1 = frontier + 1;
+                        let h = s1 + prev[s1 as usize] - cur_at.value(skel, &skel.flats, s1);
+                        if h <= tau {
+                            frontier += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let su = frontier;
+                    let t_star = l - su;
+                    let v_star =
+                        prev[su as usize].min((t_star - q) + cur_at.value(skel, &skel.flats, su));
+                    let (cand_t, cand_v) = if t_star > lo {
+                        let s1 = su + 1;
+                        let v_left = prev[s1 as usize]
+                            .min((t_star - 1 - q) + cur_at.value(skel, &skel.flats, s1));
+                        if v_left > v_star {
+                            (t_star - 1, v_left)
+                        } else {
+                            (t_star, v_star)
+                        }
+                    } else {
+                        (t_star, v_star)
+                    };
+                    if cand_v >= best {
+                        best = cand_v;
+                        best_t = cand_t;
+                    }
+                }
+                if best == 0 {
+                    best_t = l;
+                }
+                debug_assert_eq!(best, skel.value(l), "replay left the skeleton at l={l}");
+                vals[i] = best;
+                args[i] = best_t as u32;
+                last = best;
+            }
+        }
+    }
+}
+
 impl ValueTable {
     /// Solves the game bottom-up for `interrupt` levels `0..=max_interrupts`
     /// and lifespans `0..=max_lifespan` at `ticks_per_setup` resolution.
@@ -268,14 +506,50 @@ impl ValueTable {
             }
         }
 
-        for p in 1..=max_interrupts as usize {
-            let (done, rest) = levels.split_at_mut(p * stride);
-            let prev = &done[(p - 1) * stride..];
-            let cur = &mut rest[..stride];
-            let arg = argmax
-                .as_mut()
-                .map(|am| &mut am[p * stride..(p + 1) * stride]);
-            solve_level(prev, cur, arg, n, q, opts.inner);
+        // Intra-level parallel path: only the frontier-sweep crossing rule
+        // has the segmented formulation (the event-driven build shares it);
+        // the bisection/linear-scan ablations stay sequential.
+        let segments = match opts.inner {
+            InnerLoop::FrontierSweep | InnerLoop::EventDriven => {
+                effective_segments(n, opts.resolved_threads())
+            }
+            InnerLoop::Bisection | InnerLoop::LinearScan => 1,
+        };
+
+        if segments > 1 {
+            let threads = opts.resolved_threads();
+            // Levels stay sequential; within each level the row is first
+            // skeletonized (event-driven, O(k log k)) and then expanded —
+            // values and argmax — by workers on disjoint l-ranges, each
+            // resuming the sweep from its h-crossing anchor.
+            let mut prev_skel = CompressedRow {
+                zero_until: q.min(n),
+                flats: Vec::new(),
+            };
+            for p in 1..=max_interrupts as usize {
+                let (skel, _events) = crate::event::build_level_events(&prev_skel, n, q, threads);
+                let (done, rest) = levels.split_at_mut(p * stride);
+                let prev = &done[(p - 1) * stride..];
+                let cur = &mut rest[..stride];
+                let arg = argmax
+                    .as_mut()
+                    .map(|am| &mut am[p * stride..(p + 1) * stride]);
+                let jobs = split_row_segments(cur, arg, n, segments);
+                cyclesteal_par::par_sweep_segments(jobs, threads, |seg| {
+                    fill_segment(seg, prev, &skel, q)
+                });
+                prev_skel = skel;
+            }
+        } else {
+            for p in 1..=max_interrupts as usize {
+                let (done, rest) = levels.split_at_mut(p * stride);
+                let prev = &done[(p - 1) * stride..];
+                let cur = &mut rest[..stride];
+                let arg = argmax
+                    .as_mut()
+                    .map(|am| &mut am[p * stride..(p + 1) * stride]);
+                solve_level(prev, cur, arg, n, q, opts.inner);
+            }
         }
 
         ValueTable {
@@ -387,7 +661,8 @@ impl ValueTable {
 
     /// Reconstructs the full optimal episode schedule at `(p, lifespan)`
     /// (the lifespan is quantized to the grid; the residual quantization
-    /// drift is absorbed by the first period).
+    /// drift is absorbed by the first period — see `assemble_episode` in
+    /// this module for the coarse-grid guard).
     pub fn episode(&self, p: u32, lifespan: Time) -> Result<EpisodeSchedule> {
         let mut l = self.grid.to_ticks(lifespan);
         if l <= 0 {
@@ -400,18 +675,38 @@ impl ValueTable {
             periods_ticks.push(t);
             l -= t;
         }
-        let mut periods: Vec<Time> = periods_ticks
-            .iter()
-            .map(|&t| self.grid.to_time(t))
-            .collect();
-        // Absorb the off-grid drift into the longest (first) period.
-        let total: Time = periods.iter().copied().sum();
-        let drift = lifespan - total;
-        if !drift.is_zero() {
-            periods[0] += drift;
-        }
-        EpisodeSchedule::for_lifespan(periods, lifespan)
+        assemble_episode(&self.grid, &periods_ticks, lifespan)
     }
+}
+
+/// Turns reconstructed on-grid period ticks into an [`EpisodeSchedule`]
+/// at the requested (off-grid) lifespan. The quantization drift
+/// `lifespan − Σ tᵢ·tick` is absorbed by the first period; when a
+/// *negative* drift would consume the entire first period — reachable
+/// only at very coarse grids, where half a tick can rival a whole period
+/// — every period is instead scaled by the same positive factor, so the
+/// schedule never contains a non-positive length and still sums to the
+/// lifespan. Shared by the dense and compressed reconstructions so their
+/// outputs stay bit-identical.
+pub(crate) fn assemble_episode(
+    grid: &Grid,
+    periods_ticks: &[i64],
+    lifespan: Time,
+) -> Result<EpisodeSchedule> {
+    let mut periods: Vec<Time> = periods_ticks.iter().map(|&t| grid.to_time(t)).collect();
+    let total: Time = periods.iter().copied().sum();
+    let drift = lifespan - total;
+    if !drift.is_zero() {
+        if (periods[0] + drift).is_positive() {
+            periods[0] += drift;
+        } else {
+            let scale = lifespan.get() / total.get();
+            for t in periods.iter_mut() {
+                *t = Time::new(t.get() * scale);
+            }
+        }
+    }
+    EpisodeSchedule::for_lifespan(periods, lifespan)
 }
 
 impl WorkOracle for ValueTable {
@@ -474,6 +769,7 @@ mod tests {
         SolveOptions {
             keep_policy: true,
             inner,
+            threads: 1,
         }
     }
 
@@ -685,9 +981,60 @@ mod tests {
             SolveOptions {
                 keep_policy: false,
                 inner: InnerLoop::FrontierSweep,
+                threads: 1,
             },
         );
         assert_eq!(bare.memory_bytes(), states * 8);
+    }
+
+    #[test]
+    fn coarse_grid_episodes_never_emit_nonpositive_periods() {
+        // Q = 1 is the coarsest grid: one tick per setup charge, so the
+        // quantization drift (up to half a tick) rivals whole periods.
+        // Every reconstructed episode must consist of strictly positive
+        // periods summing to the requested lifespan — including lifespans
+        // sitting right at the round-half-away boundary.
+        let t = ValueTable::solve(secs(1.0), 1, secs(40.0), 2, SolveOptions::default());
+        for p in 0..=2u32 {
+            for k in 1..=39i64 {
+                for du in [-0.5, -0.499, -0.25, 0.0, 0.25, 0.499] {
+                    let u = secs(k as f64 + du);
+                    if t.grid().to_ticks(u) <= 0 {
+                        continue;
+                    }
+                    let s = t.episode(p, u).unwrap();
+                    assert!(
+                        s.periods().iter().all(|pd| pd.is_positive()),
+                        "non-positive period at p={p}, U={u}: {:?}",
+                        s.periods()
+                    );
+                    assert!(
+                        s.total().approx_eq(u, secs(1e-9)),
+                        "episode at p={p}, U={u} sums to {}",
+                        s.total()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_episode_renormalizes_when_drift_consumes_first_period() {
+        // Direct exercise of the guard: a 1-tick first period with a
+        // negative drift larger than itself. Unreachable through today's
+        // reconstruction loop (|drift| ≤ tick/2 < any period), but the
+        // helper must never emit a non-positive length even if a future
+        // caller feeds it a worse quantization.
+        let grid = Grid::new(secs(1.0), 1);
+        let periods_ticks = [1i64, 5, 5];
+        let lifespan = secs(0.5); // total is 11.0 — drift −10.5 swallows t₁
+        let s = assemble_episode(&grid, &periods_ticks, lifespan).unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(s.periods().iter().all(|pd| pd.is_positive()));
+        assert!(s.total().approx_eq(lifespan, secs(1e-9)));
+        // Proportions survive the renormalization.
+        assert!(s.period(1).approx_eq(s.period(2), secs(1e-12)));
+        assert!(s.period(1) > s.period(0));
     }
 
     #[test]

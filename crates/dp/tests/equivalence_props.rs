@@ -1,10 +1,12 @@
-//! Equivalence property tests: the five solver paths — dense frontier
+//! Equivalence property tests: the six solver paths — dense frontier
 //! sweep, dense bisection, dense linear scan, the tick-walking
-//! breakpoint-compressed table, and the event-driven (run-skipping)
-//! compressed build — must agree on values *and* on the episodes their
-//! argmax induces, over randomized `(q, L, p)` grids and at the
-//! documented edges (`t ≤ Q` wait domination, `L ∈ {0, 1}`,
-//! single-breakpoint rows, all-flat tails).
+//! breakpoint-compressed table, the event-driven (run-skipping)
+//! compressed build, and the intra-level *parallel* dense solve
+//! (anchor-segmented sweeps, `threads: 0` so the CI
+//! `CYCLESTEAL_THREADS` matrix drives the worker count) — must agree on
+//! values *and* on the episodes their argmax induces, over randomized
+//! `(q, L, p)` grids and at the documented edges (`t ≤ Q` wait
+//! domination, `L ∈ {0, 1}`, single-breakpoint rows, all-flat tails).
 
 use cyclesteal_core::prelude::*;
 use cyclesteal_dp::{CompressedTable, InnerLoop, SolveOptions, ValueTable};
@@ -19,6 +21,25 @@ fn solve(q: u32, max_u: f64, p: u32, inner: InnerLoop) -> ValueTable {
         SolveOptions {
             keep_policy: true,
             inner,
+            threads: 1,
+        },
+    )
+}
+
+/// The sixth path: the intra-level segmented parallel solve. `threads: 0`
+/// resolves through `CYCLESTEAL_THREADS`/available parallelism, so the CI
+/// thread matrix exercises real multi-worker splits; small tables
+/// degenerate to a single segment, which is part of the contract.
+fn solve_parallel(q: u32, max_u: f64, p: u32) -> ValueTable {
+    ValueTable::solve(
+        secs(1.0),
+        q,
+        secs(max_u),
+        p,
+        SolveOptions {
+            keep_policy: true,
+            inner: InnerLoop::FrontierSweep,
+            threads: 0,
         },
     )
 }
@@ -32,6 +53,7 @@ fn solve_event(q: u32, max_u: f64, p: u32) -> CompressedTable {
         SolveOptions {
             keep_policy: false,
             inner: InnerLoop::EventDriven,
+            threads: 1,
         },
     )
 }
@@ -46,7 +68,7 @@ fn realized(table: &ValueTable, p: u32, u: f64, sched: &EpisodeSchedule) -> Work
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// All five representations produce identical values at every state.
+    /// All six representations produce identical values at every state.
     #[test]
     fn values_agree_everywhere(q in 2u32..12, max_u in 1.0f64..60.0, p in 0u32..4) {
         let sweep = solve(q, max_u, p, InnerLoop::FrontierSweep);
@@ -54,8 +76,10 @@ proptest! {
         let scan = solve(q, max_u, p, InnerLoop::LinearScan);
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
         let event = solve_event(q, max_u, p);
+        let par = solve_parallel(q, max_u, p);
         prop_assert_eq!(sweep.max_ticks(), compressed.max_ticks());
         prop_assert_eq!(sweep.max_ticks(), event.max_ticks());
+        prop_assert_eq!(sweep.max_ticks(), par.max_ticks());
         for pp in 0..=p {
             for l in 0..=sweep.max_ticks() {
                 let w = sweep.value_ticks(pp, l);
@@ -67,6 +91,8 @@ proptest! {
                     "compressed differs at q={}, p={}, l={}", q, pp, l);
                 prop_assert_eq!(w, event.value_ticks(pp, l),
                     "event-driven differs at q={}, p={}, l={}", q, pp, l);
+                prop_assert_eq!(w, par.value_ticks(pp, l),
+                    "parallel sweep differs at q={}, p={}, l={}", q, pp, l);
             }
         }
     }
@@ -80,6 +106,7 @@ proptest! {
         let bisect = solve(q, max_u, p, InnerLoop::Bisection);
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
         let event = solve_event(q, max_u, p);
+        let par = solve_parallel(q, max_u, p);
         for pp in 0..=p {
             for l in 1..=sweep.max_ticks() {
                 let t = sweep.first_period_ticks(pp, l);
@@ -89,6 +116,8 @@ proptest! {
                     "compressed argmax differs at q={}, p={}, l={}", q, pp, l);
                 prop_assert_eq!(t, event.first_period_ticks(pp, l),
                     "event-driven argmax differs at q={}, p={}, l={}", q, pp, l);
+                prop_assert_eq!(t, par.first_period_ticks(pp, l),
+                    "parallel-sweep argmax differs at q={}, p={}, l={}", q, pp, l);
             }
         }
     }
@@ -107,19 +136,23 @@ proptest! {
         let scan = solve(q, max_u, p, InnerLoop::LinearScan);
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
         let event = solve_event(q, max_u, p);
+        let par = solve_parallel(q, max_u, p);
         let u = max_u * frac;
         if sweep.value(p, secs(u)) > Work::ZERO {
             let es = sweep.episode(p, secs(u)).unwrap();
             let el = scan.episode(p, secs(u)).unwrap();
             let ec = compressed.episode(p, secs(u)).unwrap();
             let ee = event.episode(p, secs(u)).unwrap();
-            // Compressed and event-driven reconstructions are
+            let ep = par.episode(p, secs(u)).unwrap();
+            // Compressed, event-driven and parallel reconstructions are
             // bit-identical to the sweep's.
             prop_assert_eq!(es.len(), ec.len());
             prop_assert_eq!(es.len(), ee.len());
+            prop_assert_eq!(es.len(), ep.len());
             for k in 0..es.len() {
                 prop_assert_eq!(es.period(k), ec.period(k), "period {} differs", k);
                 prop_assert_eq!(es.period(k), ee.period(k), "event period {} differs", k);
+                prop_assert_eq!(es.period(k), ep.period(k), "parallel period {} differs", k);
             }
             // The scan's episode may differ in shape but not in what it
             // guarantees (a tick of tolerance for off-grid drift).
@@ -146,6 +179,7 @@ proptest! {
         let scan = solve(q, max_u, p, InnerLoop::LinearScan);
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
         let event = solve_event(q, max_u, p);
+        let par = solve_parallel(q, max_u, p);
         let qq = q as i64;
         let zero_edge = (p as i64 + 1) * qq;
         for l in 0..=sweep.max_ticks() {
@@ -153,6 +187,7 @@ proptest! {
             prop_assert_eq!(w, scan.value_ticks(p, l));
             prop_assert_eq!(w, compressed.value_ticks(p, l));
             prop_assert_eq!(w, event.value_ticks(p, l));
+            prop_assert_eq!(w, par.value_ticks(p, l));
             if l <= zero_edge {
                 prop_assert_eq!(w, 0, "W^{}[{}] must be 0 (≤ (p+1)Q)", p, l);
                 if l >= 1 {
@@ -161,6 +196,7 @@ proptest! {
                     prop_assert_eq!(sweep.first_period_ticks(p, l), l);
                     prop_assert_eq!(compressed.first_period_ticks(p, l), l);
                     prop_assert_eq!(event.first_period_ticks(p, l), l);
+                    prop_assert_eq!(par.first_period_ticks(p, l), l);
                 }
             }
         }

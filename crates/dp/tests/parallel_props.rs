@@ -1,0 +1,167 @@
+//! Determinism properties of the intra-level parallel solve: at every
+//! thread count the anchor-segmented sweep must reproduce the sequential
+//! solver **bit for bit** — values, argmax, reconstructed episodes, and
+//! (for the compressed path) breakpoints and event counts. Covers both
+//! inner loops that honor `SolveOptions::threads`, segment boundaries
+//! landing on zero-region and crossing anchors, and the degenerate
+//! single-segment split on tables too small to partition.
+
+use cyclesteal_core::prelude::*;
+use cyclesteal_dp::{CompressedTable, InnerLoop, SolveOptions, ValueTable};
+use proptest::prelude::*;
+
+fn solve_dense(q: u32, ticks: i64, p: u32, threads: usize, keep_policy: bool) -> ValueTable {
+    ValueTable::solve(
+        secs(1.0),
+        q,
+        secs(ticks as f64 / q as f64),
+        p,
+        SolveOptions {
+            keep_policy,
+            inner: InnerLoop::FrontierSweep,
+            threads,
+        },
+    )
+}
+
+fn solve_compressed(q: u32, ticks: i64, p: u32, threads: usize) -> CompressedTable {
+    CompressedTable::solve_with(
+        secs(1.0),
+        q,
+        secs(ticks as f64 / q as f64),
+        p,
+        SolveOptions {
+            keep_policy: false,
+            inner: InnerLoop::EventDriven,
+            threads,
+        },
+    )
+}
+
+/// Sequential vs parallel dense solves must match on every value, every
+/// argmax, and every reconstructed episode.
+fn assert_dense_identical(seq: &ValueTable, par: &ValueTable, ctx: &str) {
+    assert_eq!(seq.max_ticks(), par.max_ticks(), "{ctx}: max_ticks");
+    for p in 0..=seq.max_interrupts() {
+        for l in 0..=seq.max_ticks() {
+            assert_eq!(
+                seq.value_ticks(p, l),
+                par.value_ticks(p, l),
+                "{ctx}: value at p={p}, l={l}"
+            );
+            if l >= 1 && seq.has_policy() && par.has_policy() {
+                assert_eq!(
+                    seq.first_period_ticks(p, l),
+                    par.first_period_ticks(p, l),
+                    "{ctx}: argmax at p={p}, l={l}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Randomized grids, explicitly at 1, 2 and 8 workers, with and
+    /// without the policy arena.
+    #[test]
+    fn dense_solve_is_thread_count_invariant(
+        q in 2u32..10,
+        ticks in 600i64..6000,
+        p in 1u32..4,
+    ) {
+        let seq = solve_dense(q, ticks, p, 1, true);
+        for threads in [2usize, 8] {
+            let par = solve_dense(q, ticks, p, threads, true);
+            assert_dense_identical(&seq, &par, &format!("q={q} ticks={ticks} p={p} threads={threads}"));
+            // Episode reconstruction goes through the same argmax; pin a
+            // few lifespans end to end.
+            for frac in [0.37, 0.81, 1.0] {
+                let u = secs(ticks as f64 * frac / q as f64);
+                if seq.value(p, u) > Work::ZERO {
+                    let es = seq.episode(p, u).unwrap();
+                    let ep = par.episode(p, u).unwrap();
+                    prop_assert_eq!(es.len(), ep.len());
+                    for k in 0..es.len() {
+                        prop_assert_eq!(es.period(k), ep.period(k), "period {} at {} threads", k, threads);
+                    }
+                }
+            }
+        }
+        // Value-only solves take the rank-expansion fill instead of the
+        // sweep replay — same values required.
+        let bare_seq = solve_dense(q, ticks, p, 1, false);
+        let bare_par = solve_dense(q, ticks, p, 8, false);
+        assert_dense_identical(&bare_seq, &bare_par, &format!("bare q={q} ticks={ticks} p={p}"));
+    }
+
+    /// The event-driven compressed build at any thread count: identical
+    /// skeletons (hence values) *and* identical event counts — threading
+    /// only parallelizes the run expansion, never the build loop.
+    #[test]
+    fn compressed_build_is_thread_count_invariant(
+        q in 2u32..10,
+        ticks in 600i64..60_000,
+        p in 1u32..4,
+    ) {
+        let seq = solve_compressed(q, ticks, p, 1);
+        for threads in [2usize, 8] {
+            let par = solve_compressed(q, ticks, p, threads);
+            prop_assert_eq!(seq.events(), par.events(), "event count at {} threads", threads);
+            for pp in 0..=p {
+                prop_assert_eq!(seq.breakpoints(pp), par.breakpoints(pp),
+                    "breakpoints at p={}, {} threads", pp, threads);
+            }
+            for l in 0..=seq.max_ticks() {
+                prop_assert_eq!(seq.value_ticks(p, l), par.value_ticks(p, l),
+                    "value at l={}, {} threads", l, threads);
+            }
+        }
+    }
+}
+
+/// Segment boundaries landing exactly on the structure the sweep cares
+/// about: the zero-region edge, the first positive tick, and
+/// even-division points (with 2 and 8 workers an `n` divisible by 16
+/// puts every boundary on a multiple of `n/16`).
+#[test]
+fn anchor_on_boundary_splits_are_exact() {
+    for (q, n, p) in [
+        (4u32, 4096i64, 3u32), // boundaries on powers of two
+        (8, 4096 + 8, 2),      // zero region ends inside segment 1
+        (2, 513, 3),           // just past the two-segment threshold
+        (6, 516 * 6, 4),       // boundaries land on multiples of Q
+    ] {
+        let seq = solve_dense(q, n, p, 1, true);
+        for threads in [2usize, 3, 8] {
+            let par = solve_dense(q, n, p, threads, true);
+            assert_dense_identical(&seq, &par, &format!("q={q} n={n} p={p} threads={threads}"));
+        }
+    }
+}
+
+/// Tables too small to split must degenerate to the sequential sweep —
+/// one segment, no worker hand-off, same table.
+#[test]
+fn single_segment_degenerate_split() {
+    for n in [0i64, 1, 40, 511] {
+        let q = 3u32;
+        let seq = solve_dense(q, n, 2, 1, true);
+        let par = solve_dense(q, n, 2, 8, true);
+        assert_dense_identical(&seq, &par, &format!("degenerate n={n}"));
+    }
+}
+
+/// `threads: 0` resolves through `CYCLESTEAL_THREADS`/available
+/// parallelism — whatever it lands on, the result is pinned to the
+/// sequential solve (this is the configuration the CI thread matrix
+/// runs at 1 and 4 workers).
+#[test]
+fn auto_thread_count_matches_sequential() {
+    let q = 5u32;
+    let n = 7321i64;
+    let seq = solve_dense(q, n, 3, 1, true);
+    let auto = solve_dense(q, n, 3, 0, true);
+    assert_dense_identical(&seq, &auto, "threads=0 (auto)");
+}

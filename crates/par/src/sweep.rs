@@ -13,12 +13,21 @@ pub fn cartesian<X: Clone, Y: Clone>(xs: &[X], ys: &[Y]) -> Vec<(X, Y)> {
 
 /// Geometrically spaced values `start, start·factor, …` up to and including
 /// the last value not exceeding `end` (inclusive of `end` itself when the
-/// progression lands within `1e-9` of it).
+/// progression lands within `1e-9` *relative* of it).
+///
+/// The endpoint tolerance is deliberately generous: `v` accumulates one
+/// rounding per multiplication, so a long progression whose exact landing
+/// point is `end` (computed by any other route — `powi`, a spec constant,
+/// a sum) can drift several ulps past it. `1e-9` comfortably covers that
+/// drift for any progression that fits in an `f64`; for factors so close
+/// to 1 that a full step is smaller than that, the tolerance is clamped
+/// to half a step so it can never admit a spurious extra value.
 pub fn geometric(start: f64, end: f64, factor: f64) -> Vec<f64> {
     assert!(start > 0.0 && factor > 1.0 && end >= start);
+    let cutoff = end * (1.0 + 1e-9f64.min((factor - 1.0) / 2.0));
     let mut out = Vec::new();
     let mut v = start;
-    while v <= end * (1.0 + 1e-12) {
+    while v <= cutoff {
         out.push(v);
         v *= factor;
     }
@@ -62,5 +71,64 @@ mod tests {
     #[should_panic]
     fn geometric_rejects_bad_factor() {
         let _ = geometric(1.0, 10.0, 1.0);
+    }
+
+    #[test]
+    fn geometric_long_progression_stays_below_end() {
+        // 40 doublings from 1.0: every value ≤ end, nothing spurious past
+        // it, and the progression is not cut short.
+        let g = geometric(1.0, 1e12, 2.0);
+        assert_eq!(g.len(), 40, "2^0..=2^39 fit below 1e12");
+        assert_eq!(*g.last().unwrap(), (1u64 << 39) as f64);
+        assert!(g.iter().all(|&v| v <= 1e12));
+    }
+
+    #[test]
+    fn geometric_endpoint_within_documented_tolerance_is_kept() {
+        // The progression lands 5e-10 (relative) above `end` — inside the
+        // documented 1e-9 endpoint tolerance, outside the 1e-12 the code
+        // used to apply. The landing value must be kept.
+        let landing = 2f64.powi(40);
+        let end = landing * (1.0 - 5e-10);
+        let g = geometric(1.0, end, 2.0);
+        assert_eq!(
+            g.len(),
+            41,
+            "endpoint dropped despite being within 1e-9: last = {:?}",
+            g.last()
+        );
+        assert_eq!(*g.last().unwrap(), landing);
+    }
+
+    #[test]
+    fn geometric_fine_factor_never_oversteps_end() {
+        // A factor within 1e-9 of 1: the endpoint tolerance shrinks to
+        // half a step, so the progression can admit at most the landing
+        // value (within half a step of `end`) — never the multi-value
+        // tail a fixed 1e-9 cutoff would allow.
+        let g = geometric(1.0, 1.0, 1.0 + 1e-10);
+        assert_eq!(g, vec![1.0]);
+        for factor in [1.0 + 1e-10, 1.0 + 3e-10, 1.0 + 8e-10] {
+            let end = 1.0 + 2e-9;
+            let g = geometric(1.0, end, factor);
+            assert!(
+                g.iter().all(|&v| v < end * factor),
+                "value a full step past end at factor {factor}"
+            );
+            assert!(
+                g.iter().filter(|&&v| v > end).count() <= 1,
+                "more than the landing value past end at factor {factor}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometric_endpoint_far_outside_tolerance_is_dropped() {
+        // 1e-6 relative past the endpoint is a genuine overshoot, not
+        // rounding drift — it must stay excluded.
+        let landing = 2f64.powi(40);
+        let end = landing * (1.0 - 1e-6);
+        let g = geometric(1.0, end, 2.0);
+        assert_eq!(g.len(), 40);
     }
 }

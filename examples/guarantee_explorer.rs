@@ -17,10 +17,17 @@ fn main() {
 
     // One cached DP solve covers the whole sweep (largest U, largest p):
     // a row for L_max contains every smaller lifespan, so all cells below
-    // are plain lookups into the shared table.
+    // are plain lookups into the shared table. With a single pending
+    // solve, `solve_many`'s whole thread budget flows into the solve
+    // itself: workers sweep anchor-segmented l-ranges of each level
+    // (bit-identical to the sequential solve).
     let max_u = secs(*us.last().unwrap());
     let p_max = *ps.last().unwrap();
     let cache = TableCache::global();
+    println!(
+        "[{} worker thread(s): solve fan-out + intra-level segmented sweeps]",
+        cyclesteal_par::default_threads()
+    );
     let table = &cache.solve_many(&[SolveConfig {
         setup: c,
         ticks_per_setup: 8,
