@@ -4,13 +4,15 @@
 //! inner loops (frontier sweep vs bisection vs linear scan), the
 //! breakpoint-compressed solver (tick-walking and event-driven), cached
 //! sweeps, the policy evaluators and query paths — and emits the
-//! headline numbers to `BENCH_dp.json` at the workspace root. Three
+//! headline numbers to `BENCH_dp.json` at the workspace root. Four
 //! acceptance points: at `(Q=32, p=16, L=10⁶ ticks)` the frontier sweep
 //! must beat bisection ≥ 3×, the intra-level parallel solve must beat
 //! the sequential sweep ≥ 1.5× at 4+ workers, and the compressed table
 //! must hold the same function in ≤ 1/10 the bytes; at
 //! `(Q=32, p=16, L=10⁹ ticks)` the event-driven build must finish in
-//! under a second.
+//! under a second and the run-backed (second-order) build must store
+//! ≤ 0.2× the flat list's breakpoint descriptors
+//! (`run_compressed_breakpoints` vs `event_driven_breakpoints`).
 //!
 //! Quick mode (`CRITERION_QUICK=1` or `--quick`) is the CI smoke
 //! configuration: single-run measurements (`runs_per_measurement: 1`,
@@ -29,7 +31,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cyclesteal_core::prelude::*;
 use cyclesteal_dp::{
     evaluate_policy, evaluate_policy_compressed, CompressedEvalOptions, CompressedTable,
-    EvalOptions, InnerLoop, SolveConfig, SolveOptions, TableCache, ValueTable,
+    EvalOptions, InnerLoop, RowRepr, SolveConfig, SolveOptions, TableCache, ValueTable,
 };
 use std::hint::black_box;
 use std::time::Instant;
@@ -51,7 +53,7 @@ fn value_only(inner: InnerLoop) -> SolveOptions {
     SolveOptions {
         keep_policy: false,
         inner,
-        threads: 1,
+        ..SolveOptions::default()
     }
 }
 
@@ -143,6 +145,22 @@ fn bench_compressed_solve(c: &mut Criterion) {
                 secs(625_000.0),
                 black_box(3),
                 value_only(InnerLoop::EventDriven),
+            )
+        })
+    });
+    // Same deep build, stored second-order (arithmetic runs): measures
+    // the compression pass the run-backed representation adds.
+    group.bench_function("event_runs_q16_u625000_p3", |b| {
+        b.iter(|| {
+            CompressedTable::solve_with(
+                secs(1.0),
+                16,
+                secs(625_000.0),
+                black_box(3),
+                SolveOptions {
+                    repr: RowRepr::Runs,
+                    ..value_only(InnerLoop::EventDriven)
+                },
             )
         })
     });
@@ -323,6 +341,29 @@ fn acceptance_report(c: &mut Criterion) {
     });
     let event_count = deep.events();
     let deep_breakpoints: usize = (0..=ACCEPT_P).map(|p| deep.breakpoints(p)).sum();
+    let deep_flat_bytes = deep.memory_bytes();
+    // Same deep build, run-backed: second-order compression at the
+    // acceptance point. The build loop is identical (same events), only
+    // the stored representation changes — the acceptance criterion is
+    // run_compressed_breakpoints ≤ 0.2× event_driven_breakpoints.
+    let (run_s, deep_runs) = time_median(runs, || {
+        CompressedTable::solve_with(
+            secs(1.0),
+            ACCEPT_Q,
+            deep_u,
+            ACCEPT_P,
+            SolveOptions {
+                repr: RowRepr::Runs,
+                ..value_only(InnerLoop::EventDriven)
+            },
+        )
+    });
+    let run_breakpoints: usize = (0..=ACCEPT_P)
+        .map(|p| deep_runs.stored_breakpoints(p))
+        .sum();
+    let run_bytes = deep_runs.memory_bytes();
+    let run_k_ratio = run_breakpoints as f64 / deep_breakpoints as f64;
+    let run_mem_ratio = run_bytes as f64 / deep_flat_bytes as f64;
 
     println!("\n=== perf_dp acceptance (Q={ACCEPT_Q}, p={ACCEPT_P}, L={ACCEPT_TICKS} ticks) ===");
     println!("frontier sweep solve : {sweep_s:.3} s");
@@ -332,6 +373,9 @@ fn acceptance_report(c: &mut Criterion) {
     println!("compressed solve     : {compressed_s:.3} s");
     println!(
         "event-driven solve   : {event_s:.3} s at L={ACCEPT_EVENT_TICKS} ticks ({event_count} events, {deep_breakpoints} breakpoints; target < 1 s)"
+    );
+    println!(
+        "run-compressed solve : {run_s:.3} s — {run_breakpoints} stored descriptors ({run_k_ratio:.4}× of flat, target ≤ 0.2×), {run_bytes} B ({run_mem_ratio:.3}× of flat)"
     );
 
     let mut fields = vec![
@@ -346,6 +390,9 @@ fn acceptance_report(c: &mut Criterion) {
         format!("\"event_driven_lifespan_ticks\": {ACCEPT_EVENT_TICKS}"),
         format!("\"event_count\": {event_count}"),
         format!("\"event_driven_breakpoints\": {deep_breakpoints}"),
+        format!("\"run_compressed_solve_s\": {run_s:.6}"),
+        format!("\"run_compressed_breakpoints\": {run_breakpoints}"),
+        format!("\"run_memory_bytes\": {run_bytes}"),
     ];
 
     if quick {

@@ -13,16 +13,23 @@
 //!
 //! Gated keys: the wall-clock solve timings `frontier_sweep_solve_s`,
 //! `parallel_solve_s`, `compressed_solve_s` and `event_driven_solve_s`
-//! (lower is better;
-//! shared CI runners make these noisy, so treat a timing failure as a
-//! prompt to re-run before believing it), plus `event_count` — the
-//! event-driven build's loop-iteration count, which is fully
-//! deterministic for a given code revision and therefore catches
-//! algorithmic regressions with zero noise. A key missing on either
-//! side is skipped with a note — quick mode intentionally omits the
-//! dense-comparison fields, and new fields appear over time. A missing
-//! baseline *file* passes with a note so the first run of a fresh
-//! repository (or a fork without artifact history) is green.
+//! (lower is better; shared CI runners make these noisy, so treat a
+//! timing failure as a prompt to re-run before believing it), plus the
+//! deterministic structure counters — `event_count` (the event-driven
+//! build's loop iterations) and the second-order compression sizes
+//! `run_compressed_breakpoints` / `run_memory_bytes` — which are fully
+//! reproducible for a given code revision and therefore catch
+//! algorithmic regressions with zero noise.
+//!
+//! A gated key missing from the *baseline* but present in the fresh
+//! snapshot is a **newly introduced field**: it is reported (`new field
+//! (absent in baseline) — gated from the next baseline on`) and never
+//! fails the gate, so landing a new measurement does not require a
+//! manual baseline refresh. Keys missing from the fresh snapshot (or
+//! both sides) are likewise skipped with a note — quick mode
+//! intentionally omits the dense-comparison fields. A missing baseline
+//! *file* passes with a note so the first run of a fresh repository (or
+//! a fork without artifact history) is green.
 //!
 //! No JSON crate is vendored, so the parser is a deliberately minimal
 //! `"key": number` scanner — exactly the shape `perf_dp` emits.
@@ -30,17 +37,20 @@
 use std::process::ExitCode;
 
 /// Keys gated on regression (lower is better), in report order. The
-/// `_s` keys are wall-clock seconds; `event_count` is the deterministic
-/// work counter of the event-driven build. `parallel_solve_s` is the
-/// intra-level segmented solve at 4+ workers (its companion
-/// `parallel_speedup` is a higher-is-better ratio and deliberately not
-/// gated — the timing already is).
-const GATED_KEYS: [&str; 5] = [
+/// `_s` keys are wall-clock seconds; `event_count`,
+/// `run_compressed_breakpoints` and `run_memory_bytes` are the
+/// deterministic counters of the event-driven build and its run-backed
+/// storage. `parallel_solve_s` is the intra-level segmented solve at 4+
+/// workers (its companion `parallel_speedup` is a higher-is-better
+/// ratio and deliberately not gated — the timing already is).
+const GATED_KEYS: [&str; 7] = [
     "frontier_sweep_solve_s",
     "parallel_solve_s",
     "compressed_solve_s",
     "event_driven_solve_s",
     "event_count",
+    "run_compressed_breakpoints",
+    "run_memory_bytes",
 ];
 
 /// Extracts `"key": <number>` from a flat JSON document. Only the first
@@ -68,6 +78,76 @@ fn get_bool(json: &str, key: &str) -> Option<bool> {
     } else {
         None
     }
+}
+
+/// One gated key's comparison outcome.
+#[derive(Clone, Debug, PartialEq)]
+enum Verdict {
+    /// Both sides present, delta within the threshold.
+    Ok { delta: f64 },
+    /// Both sides present, improved beyond the threshold.
+    Improved { delta: f64 },
+    /// Both sides present, regressed beyond the threshold — the only
+    /// verdict that fails the gate.
+    Regression { base: f64, new: f64, delta: f64 },
+    /// Present in the fresh snapshot only: a newly introduced gated
+    /// field, tolerated and reported until a baseline carries it.
+    NewField,
+    /// Absent somewhere else (fresh snapshot, or both sides), or a
+    /// non-positive baseline value that admits no ratio.
+    Skipped { why: &'static str },
+}
+
+/// One gated key's comparison: the parsed values from each side (kept
+/// so the report never re-scans the documents) and the verdict.
+#[derive(Clone, Debug)]
+struct KeyDiff {
+    key: &'static str,
+    base: Option<f64>,
+    new: Option<f64>,
+    verdict: Verdict,
+}
+
+/// Compares every gated key of two snapshots. Pure — the CLI wrapper
+/// adds I/O and formatting; the unit tests drive this directly.
+fn compare(baseline: &str, fresh: &str, threshold: f64) -> Vec<KeyDiff> {
+    GATED_KEYS
+        .iter()
+        .map(|&key| {
+            let (base, new) = (get_number(baseline, key), get_number(fresh, key));
+            let verdict = match (base, new) {
+                (Some(base), Some(new)) if base > 0.0 => {
+                    let delta = (new - base) / base;
+                    if delta > threshold {
+                        Verdict::Regression { base, new, delta }
+                    } else if delta < -threshold {
+                        Verdict::Improved { delta }
+                    } else {
+                        Verdict::Ok { delta }
+                    }
+                }
+                // Present on both sides but no usable ratio: a zero or
+                // negative baseline is a corrupt/truncated snapshot, not
+                // an absent field — say so instead of gating on it.
+                (Some(_), Some(_)) => Verdict::Skipped {
+                    why: "non-positive baseline",
+                },
+                (None, Some(_)) => Verdict::NewField,
+                (Some(_), None) => Verdict::Skipped {
+                    why: "absent in fresh snapshot",
+                },
+                (None, None) => Verdict::Skipped {
+                    why: "absent on both sides",
+                },
+            };
+            KeyDiff {
+                key,
+                base,
+                new,
+                verdict,
+            }
+        })
+        .collect()
 }
 
 fn main() -> ExitCode {
@@ -123,42 +203,45 @@ fn main() -> ExitCode {
         "delta",
         threshold * 100.0
     );
+    let results = compare(&baseline, &fresh, threshold);
     let mut regressions = Vec::new();
-    for key in GATED_KEYS {
-        match (get_number(&baseline, key), get_number(&fresh, key)) {
-            (Some(base), Some(new)) if base > 0.0 => {
-                let delta = (new - base) / base;
-                let verdict = if delta > threshold {
-                    regressions.push((key, base, new, delta));
-                    "REGRESSION"
-                } else if delta < -threshold {
+    for diff in &results {
+        let key = diff.key;
+        match &diff.verdict {
+            Verdict::Ok { delta } | Verdict::Improved { delta } => {
+                let word = if matches!(diff.verdict, Verdict::Improved { .. }) {
                     "improved"
                 } else {
                     "ok"
                 };
+                // Ok/Improved imply both sides parsed.
+                let (base, new) = (diff.base.expect("parsed"), diff.new.expect("parsed"));
                 println!(
-                    "{key:<26} {base:>14.6} {new:>14.6} {:>+8.1}%  {verdict}",
+                    "{key:<26} {base:>14.6} {new:>14.6} {:>+8.1}%  {word}",
                     delta * 100.0
                 );
             }
-            (Some(base), Some(_)) => {
-                // Present on both sides but no usable ratio: a zero or
-                // negative baseline is a corrupt/truncated snapshot, not
-                // an absent field — say so instead of gating on it.
+            Verdict::Regression { base, new, delta } => {
+                regressions.push((key, *base, *new, *delta));
                 println!(
-                    "{key:<26} {base:>14.6} {:>14} {:>9}  skipped (non-positive baseline)",
-                    "—", "—"
+                    "{key:<26} {base:>14.6} {new:>14.6} {:>+8.1}%  REGRESSION",
+                    delta * 100.0
                 );
             }
-            (b, f) => {
-                let side = match (b, f) {
-                    (None, None) => "both sides",
-                    (None, _) => "baseline",
-                    _ => "fresh snapshot",
-                };
+            Verdict::NewField => {
                 println!(
-                    "{key:<26} {:>14} {:>14} {:>9}  skipped (absent in {side})",
-                    "—", "—", "—"
+                    "{key:<26} {:>14} {:>14.6} {:>9}  new field (absent in baseline) — gated from the next baseline on",
+                    "—",
+                    diff.new.expect("NewField implies a fresh value"),
+                    "—"
+                );
+            }
+            Verdict::Skipped { why } => {
+                println!(
+                    "{key:<26} {:>14} {:>14} {:>9}  skipped ({why})",
+                    diff.base.map_or("—".into(), |b| format!("{b:.6}")),
+                    diff.new.map_or("—".into(), |n| format!("{n:.6}")),
+                    "—"
                 );
             }
         }
@@ -178,5 +261,112 @@ fn main() -> ExitCode {
             );
         }
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(pairs: &[(&str, f64)]) -> String {
+        let fields: Vec<String> = pairs
+            .iter()
+            .map(|(k, v)| format!("  \"{k}\": {v}"))
+            .collect();
+        format!("{{\n{}\n}}\n", fields.join(",\n"))
+    }
+
+    fn verdict_for<'a>(results: &'a [KeyDiff], key: &str) -> &'a Verdict {
+        &results
+            .iter()
+            .find(|d| d.key == key)
+            .expect("gated key")
+            .verdict
+    }
+
+    fn has_regression(results: &[KeyDiff]) -> bool {
+        results
+            .iter()
+            .any(|d| matches!(d.verdict, Verdict::Regression { .. }))
+    }
+
+    #[test]
+    fn newly_introduced_gated_field_is_reported_not_failed() {
+        // A baseline from before this PR: no run_compressed_* fields.
+        let baseline = snapshot(&[
+            ("frontier_sweep_solve_s", 0.15),
+            ("event_count", 55_969_025.0),
+        ]);
+        // A fresh snapshot that carries the new gated fields.
+        let fresh = snapshot(&[
+            ("frontier_sweep_solve_s", 0.15),
+            ("event_count", 55_969_025.0),
+            ("run_compressed_breakpoints", 500_000.0),
+            ("run_memory_bytes", 16_000_000.0),
+        ]);
+        let results = compare(&baseline, &fresh, 0.10);
+        assert!(!has_regression(&results), "new fields must never fail");
+        assert_eq!(
+            verdict_for(&results, "run_compressed_breakpoints"),
+            &Verdict::NewField
+        );
+        assert_eq!(
+            verdict_for(&results, "run_memory_bytes"),
+            &Verdict::NewField
+        );
+        // Fields present on both sides still gate normally.
+        assert!(matches!(
+            verdict_for(&results, "event_count"),
+            Verdict::Ok { .. }
+        ));
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails_and_improvement_does_not() {
+        let baseline = snapshot(&[("event_count", 100.0), ("frontier_sweep_solve_s", 1.0)]);
+        let fresh = snapshot(&[("event_count", 120.0), ("frontier_sweep_solve_s", 0.5)]);
+        let results = compare(&baseline, &fresh, 0.10);
+        assert!(matches!(
+            verdict_for(&results, "event_count"),
+            Verdict::Regression { delta, .. } if (*delta - 0.2).abs() < 1e-12
+        ));
+        assert!(matches!(
+            verdict_for(&results, "frontier_sweep_solve_s"),
+            Verdict::Improved { .. }
+        ));
+    }
+
+    #[test]
+    fn quick_mode_omissions_and_corrupt_baselines_are_skipped() {
+        let baseline = snapshot(&[("compressed_solve_s", 0.0), ("event_driven_solve_s", 0.7)]);
+        let fresh = snapshot(&[("compressed_solve_s", 0.2)]);
+        let results = compare(&baseline, &fresh, 0.10);
+        assert_eq!(
+            verdict_for(&results, "compressed_solve_s"),
+            &Verdict::Skipped {
+                why: "non-positive baseline"
+            }
+        );
+        assert_eq!(
+            verdict_for(&results, "event_driven_solve_s"),
+            &Verdict::Skipped {
+                why: "absent in fresh snapshot"
+            }
+        );
+        assert_eq!(
+            verdict_for(&results, "event_count"),
+            &Verdict::Skipped {
+                why: "absent on both sides"
+            }
+        );
+        assert!(!has_regression(&results));
+    }
+
+    #[test]
+    fn number_scanner_handles_the_emitted_shape() {
+        let json = "{\n  \"bench\": \"perf_dp\",\n  \"run_memory_bytes\": 15728640,\n  \"quick_mode\": true\n}\n";
+        assert_eq!(get_number(json, "run_memory_bytes"), Some(15_728_640.0));
+        assert_eq!(get_number(json, "missing"), None);
+        assert_eq!(get_bool(json, "quick_mode"), Some(true));
     }
 }

@@ -14,8 +14,10 @@
 //! *intra-level* segmented sweep (see [`SolveOptions::threads`]).
 //!
 //! Compressed tables cache alongside dense ones:
-//! [`TableCache::get_compressed`] serves breakpoint-skeleton tables
-//! (built event-driven, so `10^9`-tick lifespans are cheap to cache)
+//! [`TableCache::get_compressed`] serves skeleton tables built
+//! event-driven and stored **run-backed**
+//! ([`RowRepr::Runs`](crate::RowRepr)) — second-order compression makes
+//! `10^9`-tick lifespans cheap to build *and* cheap to keep resident —
 //! under the same key/headroom/coalescing rules, letting huge-horizon
 //! sweeps share one skeleton the way dense sweeps share one arena.
 //!
@@ -23,7 +25,7 @@
 //! sweeps and `examples/guarantee_explorer.rs` share.
 
 use crate::compressed::CompressedTable;
-use crate::value::{InnerLoop, SolveOptions, ValueTable};
+use crate::value::{InnerLoop, RowRepr, SolveOptions, ValueTable};
 use cyclesteal_core::time::Time;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -245,6 +247,30 @@ impl TableCache {
     /// Every config counts exactly once in [`CacheStats`]: a hit when a
     /// cached table already covered it, a hit when it coalesced onto
     /// another config's solve, a miss for each solve actually run.
+    ///
+    /// ```
+    /// use cyclesteal_core::time::secs;
+    /// use cyclesteal_dp::{SolveConfig, TableCache};
+    ///
+    /// let cache = TableCache::new();
+    /// // Three sweep cells on one grid: the batch coalesces them into a
+    /// // single solve at the largest lifespan and budget.
+    /// let configs: Vec<SolveConfig> = [(30.0, 1u32), (80.0, 2), (50.0, 2)]
+    ///     .iter()
+    ///     .map(|&(u, p)| SolveConfig {
+    ///         setup: secs(1.0),
+    ///         ticks_per_setup: 8,
+    ///         max_lifespan: secs(u),
+    ///         max_interrupts: p,
+    ///     })
+    ///     .collect();
+    /// let tables = cache.solve_many(&configs);
+    /// assert_eq!(tables.len(), 3);
+    /// assert_eq!(cache.stats().misses, 1, "one grid → one solve");
+    /// // Every returned table covers its config's full range.
+    /// let w = tables[1].value(2, secs(80.0));
+    /// assert!(w.get() > 0.0);
+    /// ```
     pub fn solve_many(&self, configs: &[SolveConfig]) -> Vec<Arc<ValueTable>> {
         // Resolution pass: serve what the cache already covers, coalesce
         // the rest — one pending solve per (setup, resolution), at the
@@ -324,9 +350,12 @@ impl TableCache {
             .collect()
     }
 
-    /// Returns a compressed (breakpoint-skeleton) table covering
+    /// Returns a compressed (skeleton) table covering
     /// `(setup, ticks_per_setup, ≥max_lifespan, max_interrupts)`, built
-    /// event-driven on a miss — the cache entry point for huge-horizon
+    /// event-driven and stored **run-backed** on a miss
+    /// ([`crate::RowRepr::Runs`]: second-order arithmetic-run rows, an
+    /// order of magnitude fewer stored descriptors than flat lists,
+    /// bit-identical answers) — the cache entry point for huge-horizon
     /// sweeps (`10^7`–`10^9` ticks) where a dense arena is not an
     /// option. Same key, headroom and larger-budget-serves-smaller rules
     /// as [`Self::get`].
@@ -351,6 +380,7 @@ impl TableCache {
             max_interrupts,
             SolveOptions {
                 inner: InnerLoop::EventDriven,
+                repr: RowRepr::Runs,
                 ..self.opts
             },
         ));
@@ -616,7 +646,9 @@ mod tests {
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (2, 1));
         assert_eq!((s.entries, s.compressed_entries), (0, 1));
-        // The cached skeleton answers queries exactly like a fresh solve.
+        // Cached skeletons are run-backed (second-order compression) and
+        // answer queries exactly like a fresh flat-list solve.
+        assert_eq!(a.repr(), RowRepr::Runs);
         let direct = crate::compressed::CompressedTable::solve(secs(1.0), 8, secs(40.0), 2);
         for l in 0..=direct.max_ticks() {
             assert_eq!(a.value_ticks(2, l), direct.value_ticks(2, l));

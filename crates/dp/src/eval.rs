@@ -255,9 +255,42 @@ pub struct CompressedPolicyValue {
     grid: Grid,
     max_ticks: i64,
     /// `levels[p]`: `(tick, value-in-ticks)` knots, strictly increasing
-    /// in tick, always containing `(0, 0)` and the far end.
+    /// in tick, always containing `(0, 0)` and the far end. Runs of
+    /// exactly collinear knots are merged (see [`merge_collinear_knots`]),
+    /// so each stored knot marks a genuine slope change.
     levels: Vec<Vec<(i64, f64)>>,
     name: String,
+}
+
+/// Second-order compression of a knot row: drops every interior knot
+/// that lies *exactly* on the chord of its neighbours, so a maximal run
+/// of collinear knots — the adaptive sampler emits plenty, since `G_π`
+/// is piecewise linear and probes land inside linear pieces — collapses
+/// to its endpoints. Interpolated values are unchanged (the dropped
+/// knots sat on the surviving segments), which keeps the next level's
+/// continuation reads, and therefore the whole evaluation, on the same
+/// function; the exactness predicate is conservative in `f64`, so a
+/// knot is only elided when both slopes compare equal cross-multiplied.
+fn merge_collinear_knots(knots: Vec<(i64, f64)>) -> Vec<(i64, f64)> {
+    if knots.len() <= 2 {
+        return knots;
+    }
+    let mut out: Vec<(i64, f64)> = Vec::with_capacity(knots.len());
+    out.push(knots[0]);
+    for &(t2, v2) in &knots[1..] {
+        while out.len() >= 2 {
+            let (t0, v0) = out[out.len() - 2];
+            let (t1, v1) = out[out.len() - 1];
+            // (v1−v0)/(t1−t0) == (v2−v1)/(t2−t1), cross-multiplied.
+            if (v1 - v0) * (t2 - t1) as f64 == (v2 - v1) * (t1 - t0) as f64 {
+                out.pop();
+            } else {
+                break;
+            }
+        }
+        out.push((t2, v2));
+    }
+    out
 }
 
 /// Linear interpolation over a knot row at a fractional tick position.
@@ -404,11 +437,36 @@ impl CompressedPolicyValue {
 /// from the previous level's knots — no dense `f64` rows, so `10^7`+
 /// tick grids cost `O(p·k·log N)` policy invocations instead of
 /// `O(p·N)`. Within each level the coarse segments refine in parallel
-/// over `cyclesteal-par`.
+/// over `cyclesteal-par`, and each finished row is run-merged
+/// (`merge_collinear_knots`) so the knots the next level reads mark
+/// genuine slope changes only.
 ///
 /// Values agree with the dense evaluator up to the refinement tolerance
 /// (compounded once per level); the `compressed_evaluator_*` tests
 /// measure it.
+///
+/// ```
+/// use cyclesteal_core::prelude::*;
+/// use cyclesteal_dp::{evaluate_policy_compressed, CompressedEvalOptions};
+///
+/// // Score the closed-form p=1 guideline on a 16k-tick grid without
+/// // materializing a dense row.
+/// let pv = evaluate_policy_compressed(
+///     &OptimalP1Policy,
+///     secs(1.0),
+///     8,
+///     secs(2048.0),
+///     1,
+///     CompressedEvalOptions::default(),
+/// )
+/// .unwrap();
+/// // A few hundred knots stand in for 16k dense states…
+/// assert!(pv.knots(1) < 2000);
+/// // …and the guarantee still tracks the §5.2 closed form.
+/// let got = pv.value(1, secs(2000.0));
+/// let want = w1_exact(secs(2000.0), secs(1.0));
+/// assert!((got - want).abs() <= secs(1.0));
+/// ```
 pub fn evaluate_policy_compressed(
     policy: &dyn EpisodePolicy,
     setup: Time,
@@ -457,7 +515,9 @@ pub fn evaluate_policy_compressed(
                 for part in parts {
                     knots.extend(part?);
                 }
-                knots
+                // Second-order pass: the next level's continuations (and
+                // every query) read through run-merged knots.
+                merge_collinear_knots(knots)
             }
         };
         levels.push(knots);
@@ -686,6 +746,53 @@ mod tests {
         assert!(
             (got - want).abs() <= secs(2.0),
             "U={u}: compressed evaluator {got} vs closed form {want}"
+        );
+    }
+
+    #[test]
+    fn collinear_knot_merge_preserves_the_function() {
+        // Three collinear spans with noise-free interior knots: only the
+        // genuine slope changes survive, and interpolation is unchanged.
+        let knots: Vec<(i64, f64)> = vec![
+            (0, 0.0),
+            (10, 0.0),
+            (20, 0.0), // flat span
+            (30, 5.0),
+            (40, 10.0), // slope 1/2 span
+            (60, 10.0),
+            (80, 10.0), // flat tail
+        ];
+        let merged = merge_collinear_knots(knots.clone());
+        assert_eq!(merged, vec![(0, 0.0), (20, 0.0), (40, 10.0), (80, 10.0)]);
+        for x in 0..=80 {
+            assert_eq!(
+                knots_value(&knots, x as f64),
+                knots_value(&merged, x as f64),
+                "merge changed the function at {x}"
+            );
+        }
+        // Degenerate rows pass through untouched.
+        assert_eq!(merge_collinear_knots(vec![(0, 0.0)]), vec![(0, 0.0)]);
+    }
+
+    #[test]
+    fn compressed_rows_store_only_slope_changes() {
+        // The equal-periods policy has a piecewise-linear guarantee with
+        // few pieces: after the run merge, the knot rows must be far
+        // sparser than the probe count the adaptive sampler paid.
+        let pv = evaluate_policy_compressed(
+            &EqualPeriodsPolicy::new(4),
+            secs(C),
+            8,
+            secs(512.0),
+            2,
+            CompressedEvalOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            pv.knots(1) < 200,
+            "knot row not run-merged: {} knots",
+            pv.knots(1)
         );
     }
 

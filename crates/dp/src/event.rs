@@ -37,20 +37,27 @@
 //! where no linear span applies fall back to an exact single-tick
 //! transcription of the dense sweep.
 //!
-//! ## Breakpoint runs, materialized in parallel
+//! ## Emitting runs, not flat lists
 //!
 //! The row under construction is kept as **run-length-encoded flat
 //! runs** (`FlatRun`): a stall of `d` ticks contributes one run
 //! descriptor in `O(1)` instead of `d` vector pushes, and the builder's
-//! own reads of the partial row go through a forward-only `RunCursor`
+//! own reads of the partial row go through a forward-only `BlockCursor`
 //! (rank, next-flat and membership queries, each `O(1)` amortized).
-//! Only after the level is fully determined are the runs expanded into
-//! the sorted flat-tick list a `CompressedRow` stores — an
-//! embarrassingly parallel concatenation that `build_level_events` fans
-//! out over `cyclesteal-par` workers when
-//! the caller's `SolveOptions::threads` asks for them: each worker owns
-//! a disjoint slice of the output vector and a matching sub-range of
-//! runs, so the result is byte-identical at every thread count.
+//! Reads of the *completed* previous level go through the
+//! representation-blind `SkelCursor` (see [`crate::compressed`]), so the build
+//! loop — and therefore the event count and the emitted skeleton — is
+//! identical whether level `p−1` was stored as a flat list or as
+//! second-order arithmetic runs.
+//!
+//! Once a level is fully determined, [`crate::RowRepr`] decides what the
+//! runs become: `Breakpoints` expands them into the sorted flat-tick
+//! list (an embarrassingly parallel concatenation fanned out over
+//! `cyclesteal-par` workers when the caller's `SolveOptions::threads`
+//! asks for them — each worker owns a disjoint slice of the output, so
+//! the result is byte-identical at every thread count), while `Runs`
+//! feeds them straight into the second-order compressor of
+//! [`crate::run`] **without ever materializing a per-breakpoint list**.
 //!
 //! ## Cost
 //!
@@ -76,11 +83,9 @@
 //! output is *bit-identical* to the tick-walking builds by construction,
 //! which `tests/equivalence_props.rs` pins down over randomized setups.
 
-use crate::compressed::CompressedRow;
-
-/// Sentinel for "no flat tick ahead" — large enough to never constrain a
-/// span, small enough to never overflow the arithmetic around it.
-const NO_FLAT: i64 = i64::MAX / 4;
+use crate::compressed::{CompressedRow, RowSkeleton, SkelRead};
+use crate::run::{RunRow, NO_FLAT};
+use crate::value::RowRepr;
 
 /// A maximal run of consecutive flat ticks `start, start+1, …,
 /// start+len−1` of the row under construction.
@@ -93,10 +98,10 @@ pub(crate) struct FlatRun {
 }
 
 /// The row under construction: zero-region prefix plus run-length-encoded
-/// flat ticks. The builder reads it through [`RunCursor`]s and expands it
-/// into a [`CompressedRow`] only once the level is complete.
+/// flat ticks. The builder reads it through `BlockCursor`s and converts
+/// it into a [`CompressedRow`] only once the level is complete.
 #[derive(Debug, Default)]
-struct RunRow {
+struct BuildRow {
     /// Largest `l` with `W(l) = 0` so far.
     zero_until: i64,
     /// Flat runs, sorted, disjoint, never adjacent (adjacent appends are
@@ -106,7 +111,7 @@ struct RunRow {
     count: i64,
 }
 
-impl RunRow {
+impl BuildRow {
     /// Appends the flat run `start..start+len`, merging with the last run
     /// when contiguous. Positions only ever grow, so append-or-merge is
     /// complete.
@@ -127,19 +132,19 @@ impl RunRow {
     }
 }
 
-/// Forward-only reader over a [`RunRow`]'s runs: rank (`#flats ≤ pos`),
+/// Forward-only reader over a [`BuildRow`]'s runs: rank (`#flats ≤ pos`),
 /// next-flat-after and flat-membership queries in `O(1)` amortized, for
 /// query positions that never decrease (the sweep residual `s` is
 /// monotone in `l`).
 #[derive(Clone, Copy, Debug, Default)]
-struct RunCursor {
+struct BlockCursor {
     /// First run whose last flat is ≥ the latest query position.
     idx: usize,
     /// Total flats in `runs[..idx]`.
     before: i64,
 }
 
-impl RunCursor {
+impl BlockCursor {
     /// `#flats ≤ pos`. Also positions the cursor for [`Self::is_flat`] and
     /// [`Self::next_after`] at the same `pos`.
     #[inline]
@@ -189,51 +194,48 @@ fn val(zero: i64, rank_le: i64, x: i64) -> i64 {
 /// One exact tick of the monotone frontier sweep, transcribed from the
 /// dense solver (`value::solve_level`) onto cursor reads. Used for every
 /// tick where no linear span is provable: zero-region edges, flat
-/// crossings, cap transitions. `rp1` is the forward-only cursor rank
-/// `#flats ≤ s+1` into `prev`; `rc` serves the same queries against the
+/// crossings, cap transitions. `pc` is the forward-only cursor into the
+/// completed previous level; `rc` serves the same queries against the
 /// run-encoded row under construction.
 #[allow(clippy::too_many_arguments)]
-fn single_step(
-    prev: &CompressedRow,
-    cur: &mut RunRow,
+fn single_step<C: SkelRead>(
+    pc: &mut C,
+    cur: &mut BuildRow,
     l: &mut i64,
     last: &mut i64,
     s: &mut i64,
     q: i64,
-    rp1: &mut usize,
-    rc: &mut RunCursor,
+    rc: &mut BlockCursor,
 ) {
-    let pz = prev.zero_until;
-    let pf: &[i64] = &prev.flats;
+    let pz = pc.zero_until();
     let lt = *l + 1;
     let mut best = *last;
     if lt > q {
         let tau = lt - q;
         let s_cap = tau - 1;
         let mut c1 = rc.rank(&cur.runs, *s + 1);
+        let mut p1 = pc.rank_le(*s + 1);
         loop {
-            while *rp1 < pf.len() && pf[*rp1] <= *s + 1 {
-                *rp1 += 1;
-            }
             if *s >= s_cap {
                 break;
             }
-            let h = (*s + 1) + val(pz, *rp1 as i64, *s + 1) - val(cur.zero_until, c1, *s + 1);
+            let h = (*s + 1) + val(pz, p1, *s + 1) - val(cur.zero_until, c1, *s + 1);
             if h <= tau {
                 *s += 1;
                 c1 = rc.rank(&cur.runs, *s + 1);
+                p1 = pc.rank_le(*s + 1);
             } else {
                 break;
             }
         }
         let sf = *s;
-        let rp0 = *rp1 - usize::from(*rp1 > 0 && pf[*rp1 - 1] == sf + 1);
+        let rp0 = p1 - i64::from(pc.is_flat(sf + 1));
         let rc0 = c1 - i64::from(rc.is_flat(&cur.runs, sf + 1));
         let cz = cur.zero_until;
         let t_star = lt - sf;
-        let v_star = val(pz, rp0 as i64, sf).min((t_star - q) + val(cz, rc0, sf));
+        let v_star = val(pz, rp0, sf).min((t_star - q) + val(cz, rc0, sf));
         let cand = if t_star > q + 1 {
-            let v_left = val(pz, *rp1 as i64, sf + 1).min((t_star - 1 - q) + val(cz, c1, sf + 1));
+            let v_left = val(pz, p1, sf + 1).min((t_star - 1 - q) + val(cz, c1, sf + 1));
             v_star.max(v_left)
         } else {
             v_star
@@ -251,7 +253,7 @@ fn single_step(
 /// Requires `c ≤ last` (checked by the caller against the sweep
 /// invariants).
 #[inline]
-fn emit_span(cur: &mut RunRow, l: &mut i64, last: &mut i64, delta: i64, c: i64) {
+fn emit_span(cur: &mut BuildRow, l: &mut i64, last: &mut i64, delta: i64, c: i64) {
     debug_assert!(c <= *last, "span candidate {c} above running max {last}");
     let j_cut = (*last - c).min(delta);
     if j_cut > 0 {
@@ -269,7 +271,7 @@ fn emit_span(cur: &mut RunRow, l: &mut i64, last: &mut i64, delta: i64, c: i64) 
 /// Records one computed tick `l+1` with value `best` — the shared tail
 /// of [`single_step`] and the O(1) flat-crossing transitions.
 #[inline(always)]
-fn emit_tick(cur: &mut RunRow, l: &mut i64, last: &mut i64, best: i64) {
+fn emit_tick(cur: &mut BuildRow, l: &mut i64, last: &mut i64, best: i64) {
     let inc = best - *last;
     debug_assert!(
         inc == 0 || inc == 1,
@@ -287,10 +289,10 @@ fn emit_tick(cur: &mut RunRow, l: &mut i64, last: &mut i64, best: i64) {
 }
 
 /// Expands run-length-encoded flat runs into the sorted flat-tick list a
-/// [`CompressedRow`] stores. With `threads > 1` the runs are partitioned
-/// into contiguous chunks of roughly equal flat count and each worker
-/// writes its own disjoint slice of the output — byte-identical to the
-/// sequential expansion by construction.
+/// flat-list [`CompressedRow`] stores. With `threads > 1` the runs are
+/// partitioned into contiguous chunks of roughly equal flat count and
+/// each worker writes its own disjoint slice of the output —
+/// byte-identical to the sequential expansion by construction.
 fn materialize_runs(runs: &[FlatRun], count: i64, threads: usize) -> Vec<i64> {
     let count = count as usize;
     let mut flats = vec![0i64; count];
@@ -331,33 +333,64 @@ fn materialize_runs(runs: &[FlatRun], count: i64, threads: usize) -> Vec<i64> {
 }
 
 /// Builds level `p` from the completed level `p−1` skeleton by event
-/// jumps. Returns the row and the number of events (loop iterations —
-/// span applications plus boundary single-steps) taken. `threads` only
-/// affects how the final flat-run expansion is fanned out; the build
-/// loop — and therefore the event count and the emitted skeleton — is
-/// identical at every thread count.
+/// jumps. Returns the row — in the representation `repr` asks for — and
+/// the number of events (loop iterations — span applications plus
+/// boundary single-steps) taken. `threads` only affects how a
+/// flat-list expansion is fanned out; the build loop — and therefore the
+/// event count and the emitted flat ticks — is identical at every thread
+/// count and in every representation.
 pub(crate) fn build_level_events(
     prev: &CompressedRow,
     n: i64,
     q: i64,
     threads: usize,
+    repr: RowRepr,
 ) -> (CompressedRow, u64) {
-    let pz = prev.zero_until;
-    let mut cur = RunRow::default();
+    // Dispatch on the prev representation once per level, so the build
+    // loop's few-reads-per-event monomorphize to direct slice/run walks.
+    match prev.skeleton() {
+        RowSkeleton::Flats(flats) => build_events_from(
+            prev.flats_cursor_over(flats),
+            prev.count(),
+            n,
+            q,
+            threads,
+            repr,
+        ),
+        RowSkeleton::Runs(runs) => build_events_from(
+            prev.runs_cursor_over(runs),
+            prev.count(),
+            n,
+            q,
+            threads,
+            repr,
+        ),
+    }
+}
+
+fn build_events_from<C: SkelRead>(
+    mut pc: C,
+    prev_count: i64,
+    n: i64,
+    q: i64,
+    threads: usize,
+    repr: RowRepr,
+) -> (CompressedRow, u64) {
+    let pz = pc.zero_until();
+    let mut cur = BuildRow::default();
     // Level p's loss exceeds level p−1's by roughly one period's worth,
     // but runs compress consecutive flats; a modest seed avoids the first
     // few doubling-and-copy rounds without over-reserving.
-    cur.runs.reserve(prev.flats.len() / 8 + 32);
+    cur.runs.reserve(prev_count as usize / 8 + 32);
     let mut l: i64 = 0; // last computed tick
     let mut last: i64 = 0; // W^(p)(l)
     let mut s: i64 = 0; // crossing residual s*, nondecreasing in l
     let mut events: u64 = 0;
-    // Forward-only cursors at position s+1: #flats ≤ s+1 in prev (plain
-    // rank into the sorted flat list) and the run cursor into the row
-    // under construction. `s` never retreats, so each cursor crosses each
-    // flat once per level.
-    let mut rp1: usize = 0;
-    let mut rc = RunCursor::default();
+    // Forward-only cursors at position s+1: the previous level through
+    // the representation-blind skeleton cursor, the row under
+    // construction through the block cursor. `s` never retreats, so each
+    // cursor crosses each flat once per level.
+    let mut rc = BlockCursor::default();
 
     // Ticks 1..=Q carry no productive period and a zero wait-chain: the
     // whole prefix is zero region, in one event.
@@ -370,10 +403,7 @@ pub(crate) fn build_level_events(
 
     while l < n {
         events += 1;
-        let pf: &[i64] = &prev.flats;
-        while rp1 < pf.len() && pf[rp1] <= s + 1 {
-            rp1 += 1;
-        }
+        let prank1 = pc.rank_le(s + 1);
         let crank1 = rc.rank(&cur.runs, s + 1);
 
         // The span formulas difference the rows across the sweep window;
@@ -382,11 +412,11 @@ pub(crate) fn build_level_events(
         let cz = cur.zero_until;
         if s > pz && s + 1 > cz {
             let tau = l - q; // threshold for the already-processed tick l
-            let p1 = val(pz, rp1 as i64, s + 1);
+            let p1 = val(pz, prank1, s + 1);
             let c1 = val(cz, crank1, s + 1);
             let d = (s + 1) + p1 - c1 - tau;
-            let s1_is_pflat = rp1 > 0 && pf[rp1 - 1] == s + 1;
-            let a0 = val(pz, (rp1 - usize::from(s1_is_pflat)) as i64, s);
+            let s1_is_pflat = pc.is_flat(s + 1);
+            let a0 = val(pz, prank1 - i64::from(s1_is_pflat), s);
 
             if d >= 2 {
                 // Stall: h(s*+1) > τ for the next d−1 ticks, so the
@@ -405,13 +435,7 @@ pub(crate) fn build_level_events(
                 // to the cap s_cap = τ − 1 (d ≤ 0, periods of exactly Q+1
                 // ticks).
                 let s_cap = tau - 1;
-                let np = if s1_is_pflat {
-                    s + 1
-                } else if rp1 < pf.len() {
-                    pf[rp1]
-                } else {
-                    NO_FLAT
-                };
+                let np = if s1_is_pflat { s + 1 } else { pc.peek(0) };
                 let nc = rc.next_after(&cur.runs, s + 1);
                 if d >= 1 || s == s_cap {
                     // Genericity horizons: no flat of either row may
@@ -457,7 +481,7 @@ pub(crate) fn build_level_events(
                         s += 1;
                         continue;
                     }
-                    let s3_is_pflat = rp1 + 1 < pf.len() && pf[rp1 + 1] == s + 3;
+                    let s3_is_pflat = pc.peek(1) == s + 3;
                     if np == s + 2 && !s3_is_pflat && nc > s + 3 && s + 2 < tau {
                         // The window edge moves onto a flat of the
                         // completed level: h is locally flat there, so
@@ -475,46 +499,60 @@ pub(crate) fn build_level_events(
             }
         }
         // No provable span — take one exact tick of the dense sweep.
-        single_step(
-            prev, &mut cur, &mut l, &mut last, &mut s, q, &mut rp1, &mut rc,
-        );
+        single_step(&mut pc, &mut cur, &mut l, &mut last, &mut s, q, &mut rc);
     }
 
-    let flats = materialize_runs(&cur.runs, cur.count, threads);
-    (
-        CompressedRow {
-            zero_until: cur.zero_until,
-            flats,
-        },
-        events,
-    )
+    let row = match repr {
+        RowRepr::Breakpoints => CompressedRow::from_flats(
+            cur.zero_until,
+            materialize_runs(&cur.runs, cur.count, threads),
+        ),
+        // Feed the block runs straight into the second-order compressor
+        // without expanding a per-breakpoint list.
+        RowRepr::Runs => CompressedRow::from_runs(
+            cur.zero_until,
+            RunRow::compress(cur.runs.iter().flat_map(|r| r.start..r.start + r.len)),
+        ),
+    };
+    (row, events)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn all_flats(row: &CompressedRow) -> Vec<i64> {
+        row.flats_after(i64::MIN + 1).1.collect()
+    }
+
     /// The event builder against the tick-walking skeleton builder, level
     /// by level, across resolutions that exercise stalls, cap pinning and
-    /// flat runs. (The cross-representation equivalence suite lives in
+    /// flat runs — in both output representations. (The
+    /// cross-representation equivalence suite lives in
     /// `tests/equivalence_props.rs`.)
     #[test]
     fn levels_match_tick_walk_exactly() {
         for (q, n, p_max) in [(1i64, 400i64, 4u32), (4, 1000, 3), (16, 3000, 5), (7, 0, 2)] {
-            let mut prev = CompressedRow {
-                zero_until: q.min(n),
-                flats: Vec::new(),
-            };
+            let mut prev = CompressedRow::empty(q.min(n));
             for p in 1..=p_max {
                 let walked = crate::compressed::build_level(&prev, n, q);
-                let (jumped, events) = build_level_events(&prev, n, q, 1);
+                let (jumped, events) = build_level_events(&prev, n, q, 1, RowRepr::Breakpoints);
+                let (runs, run_events) = build_level_events(&prev, n, q, 1, RowRepr::Runs);
                 assert_eq!(
                     walked.zero_until, jumped.zero_until,
                     "zero region differs at q={q}, n={n}, p={p}"
                 );
                 assert_eq!(
-                    walked.flats, jumped.flats,
+                    all_flats(&walked),
+                    all_flats(&jumped),
                     "flat ticks differ at q={q}, n={n}, p={p}"
+                );
+                assert_eq!(events, run_events, "repr changed the event count");
+                assert_eq!(runs.zero_until, jumped.zero_until);
+                assert_eq!(
+                    all_flats(&runs),
+                    all_flats(&jumped),
+                    "run-backed flat ticks differ at q={q}, n={n}, p={p}"
                 );
                 if n >= 1000 {
                     assert!(
@@ -522,7 +560,9 @@ mod tests {
                         "event build took {events} events for {n} ticks — not skipping"
                     );
                 }
-                prev = jumped;
+                // Alternate which representation seeds the next level, so
+                // the builder's prev-reads cover both cursor paths.
+                prev = if p % 2 == 0 { jumped } else { runs };
             }
         }
     }
@@ -533,11 +573,8 @@ mod tests {
     fn deep_lifespan_event_count_is_sublinear() {
         let n: i64 = 5_000_000;
         let q: i64 = 8;
-        let prev = CompressedRow {
-            zero_until: q,
-            flats: Vec::new(),
-        };
-        let (row, events) = build_level_events(&prev, n, q, 1);
+        let prev = CompressedRow::empty(q);
+        let (row, events) = build_level_events(&prev, n, q, 1, RowRepr::Breakpoints);
         // k = O(√(QL)): ~9e3 here. Events track k, not L.
         assert!(
             (events as i64) < n / 50,
@@ -545,7 +582,19 @@ mod tests {
         );
         // The flat count equals the total loss L − W(L) by construction;
         // confirm the far-end value closes the books.
-        assert_eq!(row.value(n), n - row.zero_until - row.flats.len() as i64);
+        assert_eq!(row.value(n), n - row.zero_until - row.count());
+
+        // The run-backed output stores the same function in a fraction of
+        // the descriptors.
+        let (runs, _) = build_level_events(&prev, n, q, 1, RowRepr::Runs);
+        assert_eq!(runs.value(n), row.value(n));
+        assert_eq!(runs.count(), row.count());
+        assert!(
+            runs.stored_breakpoints() * 4 < row.stored_breakpoints(),
+            "second-order compression inert: {} of {} descriptors",
+            runs.stored_breakpoints(),
+            row.stored_breakpoints()
+        );
     }
 
     /// The parallel run expansion is byte-identical to the sequential
@@ -554,27 +603,29 @@ mod tests {
     #[test]
     fn parallel_materialization_is_identical() {
         for (q, n) in [(3i64, 200_000i64), (16, 500_000), (1, 50_000)] {
-            let mut prev = CompressedRow {
-                zero_until: q.min(n),
-                flats: Vec::new(),
-            };
+            let mut prev = CompressedRow::empty(q.min(n));
             for _p in 1..=3u32 {
-                let (seq, seq_events) = build_level_events(&prev, n, q, 1);
+                let (seq, seq_events) = build_level_events(&prev, n, q, 1, RowRepr::Breakpoints);
                 for threads in [2usize, 4, 8] {
-                    let (par, par_events) = build_level_events(&prev, n, q, threads);
+                    let (par, par_events) =
+                        build_level_events(&prev, n, q, threads, RowRepr::Breakpoints);
                     assert_eq!(seq_events, par_events, "event count at {threads} threads");
                     assert_eq!(seq.zero_until, par.zero_until);
-                    assert_eq!(seq.flats, par.flats, "flats differ at {threads} threads");
+                    assert_eq!(
+                        all_flats(&seq),
+                        all_flats(&par),
+                        "flats differ at {threads} threads"
+                    );
                 }
                 prev = seq;
             }
         }
     }
 
-    /// RunCursor rank/membership/next queries against a brute-force
+    /// BlockCursor rank/membership/next queries against a brute-force
     /// reference over irregular runs.
     #[test]
-    fn run_cursor_matches_bruteforce() {
+    fn block_cursor_matches_bruteforce() {
         let runs = [
             FlatRun { start: 5, len: 3 },
             FlatRun { start: 9, len: 1 },
@@ -582,7 +633,7 @@ mod tests {
             FlatRun { start: 31, len: 2 },
         ];
         let flats: Vec<i64> = runs.iter().flat_map(|r| r.start..r.start + r.len).collect();
-        let mut cursor = RunCursor::default();
+        let mut cursor = BlockCursor::default();
         for pos in 0..40i64 {
             let rank = flats.iter().filter(|&&f| f <= pos).count() as i64;
             assert_eq!(cursor.rank(&runs, pos), rank, "rank at {pos}");

@@ -27,13 +27,25 @@
 //!   `O(√(QL) + pQ)`, so lifespans in the `10^8`-tick range fit in
 //!   megabytes. Values, argmax and episodes agree with the dense solver
 //!   bit for bit.
+//! * [`run`] — **second-order (arithmetic-run) compression** of those
+//!   skeletons: the flat ticks recur near-arithmetically (once per
+//!   optimal period), so `RowRepr::Runs` stores each level as runs of
+//!   (start, fixed-point common difference, length) plus one `i8`
+//!   residual per jittery breakpoint — stored descriptors track *regime
+//!   changes* instead of breakpoints (an order of magnitude fewer at
+//!   the `10⁹`-tick bench point, ≈1 byte per breakpoint), and every
+//!   query path reads through the same cursors, so the output stays
+//!   bit-identical. Selected with `SolveOptions { repr: RowRepr::Runs,
+//!   .. }`; [`cache::TableCache::get_compressed`] caches run-backed
+//!   tables by default.
 //! * [`event`] — the **event-driven (run-skipping) build** of those
 //!   skeletons: between breakpoints every sweep quantity is linear in
 //!   `L`, so the builder jumps lifespan event to event (stall ends,
 //!   flat-tick onsets, branch/regime switches) in `O(p·k log k)` time —
 //!   `10^9`-tick tables in well under a second, bit-identical output.
 //!   Selected with `SolveOptions { inner: InnerLoop::EventDriven, .. }`
-//!   through [`compressed::CompressedTable::solve_with`].
+//!   through [`compressed::CompressedTable::solve_with`]; emits either
+//!   representation directly, without a flat-list detour.
 //! * [`cache::TableCache`] — one solve per `(setup, resolution, p_max)`
 //!   serves a whole `(U/c, p)` sweep; independent configurations solve
 //!   in parallel through `cyclesteal-par`, and
@@ -44,7 +56,12 @@
 //!   to score the §3 guidelines and the baselines;
 //!   [`eval::evaluate_policy_compressed`] carries the same scoring to
 //!   `10^7`–`10^9` tick grids on adaptively-sampled piecewise-linear
-//!   rows instead of dense `f64` arenas.
+//!   rows instead of dense `f64` arenas, with collinear knots merged so
+//!   continuations read from run-compressed knot rows.
+//!
+//! A symbol-by-symbol map from the paper's notation (`W^(p)[L]`, `Q`,
+//! `h(s)`, episodes, the `h`-crossing anchor) to the types and functions
+//! here lives in `docs/NOTATION.md` at the repository root.
 //!
 //! ```
 //! use cyclesteal_core::prelude::*;
@@ -74,6 +91,7 @@ pub mod compressed;
 pub mod eval;
 pub mod event;
 pub mod grid;
+pub mod run;
 pub mod value;
 
 pub use cache::{CacheStats, SolveConfig, TableCache};
@@ -83,7 +101,7 @@ pub use eval::{
     EvalOptions, PolicyValue,
 };
 pub use grid::Grid;
-pub use value::{InnerLoop, OptimalPolicy, SolveOptions, ValueTable};
+pub use value::{InnerLoop, OptimalPolicy, RowRepr, SolveOptions, ValueTable};
 
 #[cfg(test)]
 mod cross_tests {

@@ -1,0 +1,515 @@
+//! Second-order (arithmetic-run) compression of breakpoint skeletons.
+//!
+//! ## Why skeletons compress again
+//!
+//! The first-order representation ([`crate::compressed`]) stores a row as
+//! its flat ticks — `k = O(√(QL) + pQ)` positions instead of `L` values.
+//! But those positions are themselves highly structured: the optimal
+//! episode loses roughly one tick per period, so flats recur once per
+//! period length, and the period length drifts only slowly across the
+//! row. The gap sequence between consecutive flats is therefore
+//! **near-arithmetic** — long stretches of near-constant difference with
+//! a few ticks of jitter inherited from the previous level's own
+//! skeleton (measured at the `(Q=32, p=16, L=10⁹)` acceptance point the
+//! gaps wobble by ±3 around means that drift over thousands of flats).
+//!
+//! ## The representation
+//!
+//! A `RunRow` stores a level as a list of `ArithRun`s. Each run
+//! covers `len` consecutive flats modeled by an arithmetic progression
+//! with a **fixed-point common difference** (`step_fx`, in units of
+//! `1/2¹⁶` tick — fractional mean gaps would otherwise force a break
+//! every couple of flats just to absorb rounding):
+//!
+//! ```text
+//! flat_j = start + (j · step_fx) >> 16 + res_j        j ∈ [0, len)
+//! ```
+//!
+//! The per-flat residual `res_j ∈ [−127, 127]` records the jitter
+//! exactly; an all-zero residual block is elided entirely (`res_off ==
+//! NO_RES`), so genuinely arithmetic stretches cost 32 bytes total.
+//! A run closes when the next flat's residual would overflow an `i8` —
+//! i.e. run boundaries track *regime changes* of the row, not individual
+//! breakpoints. The representation is **lossless**: every query is
+//! answered from the exact reconstructed positions, so run-backed tables
+//! are bit-identical to flat-list and dense tables (the equivalence
+//! suite pins this).
+//!
+//! ## Cost
+//!
+//! At the acceptance point the run count is 2–3 orders of magnitude
+//! below the flat count and memory drops to ≈1 byte per breakpoint
+//! (descriptors are amortized across their runs, jittery flats pay one
+//! residual byte, arithmetic flats pay nothing) — the `perf_dp` bench
+//! reports both as `run_compressed_breakpoints` / `run_memory_bytes`.
+//! Queries stay `O(log r + log len)` random-access and `O(1)` amortized
+//! through the forward `RunCursor`, which is what the event-driven
+//! builder and the parallel dense expansion read the rows through.
+
+/// Sentinel for "no flat tick ahead" — large enough to never constrain a
+/// span, small enough to never overflow the arithmetic around it.
+/// Shared with [`crate::event`].
+pub(crate) const NO_FLAT: i64 = i64::MAX / 4;
+
+/// Fixed-point fraction bits of [`ArithRun::step_fx`].
+const STEP_FRAC_BITS: u32 = 16;
+
+/// `res_off` sentinel: the run's residuals are all zero and not stored.
+const NO_RES: u32 = u32::MAX;
+
+/// Residual magnitude bound; one `i8` per jittery flat, with ±128
+/// reserved so the overflow check is symmetric.
+const RES_MAX: i64 = 127;
+
+/// How many upcoming flats the compressor inspects to estimate a new
+/// run's common difference.
+const LOOKAHEAD: usize = 64;
+
+/// Hard cap on flats per run, keeping `len · step_fx` far from `i64`
+/// overflow for any step the estimator can produce.
+const LEN_CAP: u32 = 1 << 20;
+
+/// One arithmetic run: `len` flat ticks starting at tick `start` (where
+/// the row takes the value implied by `rank_before`), advancing by the
+/// fixed-point common difference `step_fx`, corrected per flat by an
+/// optional `i8` residual.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ArithRun {
+    /// First flat tick of the run (`flat_0 == start` exactly: the
+    /// compressor anchors each run so `res_0 == 0`).
+    start: i64,
+    /// Common difference between modeled flats, in `1/2¹⁶` ticks.
+    step_fx: i64,
+    /// Number of flats the run covers.
+    len: u32,
+    /// Offset of the run's residual block in [`RunRow::res`], or
+    /// [`NO_RES`] when every residual is zero.
+    res_off: u32,
+    /// Flats stored before this run — the run's start *value* in
+    /// staircase terms: `W(start) = (start − zero_until) − rank_before − 1`.
+    rank_before: i64,
+}
+
+impl ArithRun {
+    /// Largest `j` (exclusive) such that `j · step_fx` stays well inside
+    /// `i64` for this run's step.
+    fn len_cap(step_fx: i64) -> u32 {
+        let by_overflow = ((1i64 << 62) / step_fx.max(1)).min(LEN_CAP as i64);
+        by_overflow.max(1) as u32
+    }
+}
+
+/// A row's flat ticks as arithmetic runs plus a shared residual stream.
+/// The second-order counterpart of the flat-tick list inside
+/// [`crate::compressed::CompressedRow`].
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RunRow {
+    runs: Vec<ArithRun>,
+    /// Residual bytes, one per flat of every run with `res_off != NO_RES`.
+    res: Vec<i8>,
+    /// Total flats across all runs.
+    count: i64,
+}
+
+impl RunRow {
+    /// The exact flat tick at index `j` of `run`.
+    #[inline]
+    fn flat_at(&self, run: &ArithRun, j: u32) -> i64 {
+        let modeled = run.start + ((j as i64 * run.step_fx) >> STEP_FRAC_BITS);
+        if run.res_off == NO_RES {
+            modeled
+        } else {
+            modeled + self.res[(run.res_off + j) as usize] as i64
+        }
+    }
+
+    /// The exact last flat tick of `run`.
+    #[inline]
+    fn last_of(&self, run: &ArithRun) -> i64 {
+        self.flat_at(run, run.len - 1)
+    }
+
+    /// Total flats stored.
+    #[inline]
+    pub(crate) fn count(&self) -> i64 {
+        self.count
+    }
+
+    /// Stored run descriptors — the second-order `k` the bench reports.
+    #[inline]
+    pub(crate) fn descriptors(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Heap bytes held (descriptors + residual stream), by capacity so
+    /// the accounting matches real footprint.
+    pub(crate) fn memory_bytes(&self) -> usize {
+        self.runs.capacity() * std::mem::size_of::<ArithRun>() + self.res.capacity()
+    }
+
+    /// `#flats ≤ pos` by binary search: over runs first, then over the
+    /// (strictly increasing) flats inside the located run.
+    pub(crate) fn rank_le(&self, pos: i64) -> i64 {
+        let i = self.runs.partition_point(|r| r.start <= pos);
+        if i == 0 {
+            return 0;
+        }
+        let run = &self.runs[i - 1];
+        if self.last_of(run) <= pos {
+            return run.rank_before + run.len as i64;
+        }
+        // Exact flats are strictly increasing inside a run, so the usual
+        // partition point applies to the index space.
+        let (mut lo, mut hi) = (0u32, run.len - 1);
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if self.flat_at(run, mid) <= pos {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        // lo = largest index with flat ≤ pos, unless even flat_0 > pos.
+        if self.flat_at(run, lo) <= pos {
+            run.rank_before + lo as i64 + 1
+        } else {
+            run.rank_before
+        }
+    }
+
+    /// Builds a [`RunRow`] from strictly increasing flat ticks. The
+    /// compression is deterministic: a new run estimates its common
+    /// difference from the endpoint slope of up to [`LOOKAHEAD`] upcoming
+    /// flats, then extends greedily while each flat's residual fits an
+    /// `i8`; residual blocks that end up all-zero are elided.
+    pub(crate) fn compress(flats: impl Iterator<Item = i64>) -> RunRow {
+        let mut row = RunRow::default();
+        let mut pending: std::collections::VecDeque<i64> = std::collections::VecDeque::new();
+        let mut src = flats;
+        loop {
+            while pending.len() < LOOKAHEAD {
+                match src.next() {
+                    Some(f) => pending.push_back(f),
+                    None => break,
+                }
+            }
+            let Some(&start) = pending.front() else {
+                break;
+            };
+            let m = pending.len();
+            let step_fx = if m >= 2 {
+                let span = pending[m - 1] - start;
+                ((span << STEP_FRAC_BITS) / (m as i64 - 1)).max(1)
+            } else {
+                1 << STEP_FRAC_BITS
+            };
+            let cap = ArithRun::len_cap(step_fx);
+            let res_off = row.res.len() as u32;
+            let mut len: u32 = 0;
+            let mut all_zero = true;
+            loop {
+                if len == cap {
+                    break;
+                }
+                let f = match pending.front() {
+                    Some(&f) => f,
+                    None => match src.next() {
+                        Some(f) => f,
+                        None => break,
+                    },
+                };
+                let modeled = start + ((len as i64 * step_fx) >> STEP_FRAC_BITS);
+                let r = f - modeled;
+                if r.abs() > RES_MAX {
+                    // Put a flat pulled straight from the source back in
+                    // front so the next run starts from it.
+                    if pending.front() != Some(&f) {
+                        pending.push_front(f);
+                    }
+                    break;
+                }
+                if pending.front() == Some(&f) {
+                    pending.pop_front();
+                }
+                row.res.push(r as i8);
+                all_zero &= r == 0;
+                len += 1;
+                if pending.is_empty() {
+                    // Keep the source drained through the deque so the
+                    // `front()` fast path above stays coherent.
+                    if let Some(next) = src.next() {
+                        pending.push_back(next);
+                    }
+                }
+            }
+            debug_assert!(len >= 1, "a run always covers its anchor flat");
+            let run = ArithRun {
+                start,
+                step_fx,
+                len,
+                res_off: if all_zero { NO_RES } else { res_off },
+                rank_before: row.count,
+            };
+            if all_zero {
+                row.res.truncate(res_off as usize);
+            }
+            row.count += len as i64;
+            row.runs.push(run);
+        }
+        row.runs.shrink_to_fit();
+        row.res.shrink_to_fit();
+        row
+    }
+
+    /// An iterator over all flat ticks, in increasing order.
+    pub(crate) fn iter(&self) -> RunFlatIter<'_> {
+        RunFlatIter {
+            row: self,
+            run: 0,
+            j: 0,
+        }
+    }
+}
+
+/// Forward iterator over a [`RunRow`]'s exact flat ticks.
+pub(crate) struct RunFlatIter<'a> {
+    row: &'a RunRow,
+    run: usize,
+    j: u32,
+}
+
+impl Iterator for RunFlatIter<'_> {
+    type Item = i64;
+
+    fn next(&mut self) -> Option<i64> {
+        let run = self.row.runs.get(self.run)?;
+        let f = self.row.flat_at(run, self.j);
+        self.j += 1;
+        if self.j == run.len {
+            self.run += 1;
+            self.j = 0;
+        }
+        Some(f)
+    }
+}
+
+impl RunFlatIter<'_> {
+    /// Positions the iterator at the first flat strictly greater than
+    /// `pos` and returns the rank `#flats ≤ pos`. `O(log r + log len)`.
+    pub(crate) fn seek_after(&mut self, pos: i64) -> i64 {
+        let rank = self.row.rank_le(pos);
+        let i = self.row.runs.partition_point(|r| r.rank_before < rank);
+        // i = first run with rank_before ≥ rank; the target flat (index
+        // `rank`, 0-based) lives in run i−1 unless it starts a new run.
+        if i > 0 && rank < self.row.runs[i - 1].rank_before + self.row.runs[i - 1].len as i64 {
+            self.run = i - 1;
+            self.j = (rank - self.row.runs[i - 1].rank_before) as u32;
+        } else {
+            self.run = i;
+            self.j = 0;
+        }
+        rank
+    }
+}
+
+/// Forward-only cursor over a [`RunRow`]: `rank`/`is_flat`/`next_after`/
+/// `next2_after` in `O(1)` amortized for query positions that move
+/// (nearly) monotonically forward; tolerates the one-tick retreats the
+/// frontier sweep performs when it interleaves `s` and `s+1`.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct RunCursor {
+    /// Current run index (may equal `runs.len()` past the end).
+    run: usize,
+    /// Flats consumed inside the current run.
+    j: u32,
+}
+
+impl RunCursor {
+    /// `#flats ≤ pos`; positions the cursor for the sibling queries.
+    #[inline]
+    pub(crate) fn rank_le(&mut self, row: &RunRow, pos: i64) -> i64 {
+        // Retreat (rare, bounded): step back while the last counted flat
+        // exceeds pos.
+        loop {
+            if self.j > 0 {
+                let run = &row.runs[self.run];
+                if row.flat_at(run, self.j - 1) > pos {
+                    self.j -= 1;
+                    continue;
+                }
+            } else if self.run > 0 {
+                let prev = &row.runs[self.run - 1];
+                if row.last_of(prev) > pos {
+                    self.run -= 1;
+                    self.j = prev.len - 1;
+                    continue;
+                }
+            }
+            break;
+        }
+        // Advance while the next flat is ≤ pos.
+        while self.run < row.runs.len() {
+            let run = &row.runs[self.run];
+            if self.j < run.len && row.flat_at(run, self.j) <= pos {
+                self.j += 1;
+                continue;
+            }
+            if self.j == run.len {
+                match row.runs.get(self.run + 1) {
+                    Some(next) if next.start <= pos => {
+                        self.run += 1;
+                        self.j = 0;
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            break;
+        }
+        match row.runs.get(self.run) {
+            Some(run) => run.rank_before + self.j as i64,
+            None => row.count,
+        }
+    }
+
+    /// Whether `pos` itself is a flat tick. Only valid immediately after
+    /// [`Self::rank_le`] with the same `pos`.
+    #[inline]
+    pub(crate) fn is_flat(&self, row: &RunRow, pos: i64) -> bool {
+        if self.j > 0 {
+            row.flat_at(&row.runs[self.run], self.j - 1) == pos
+        } else if self.run > 0 {
+            row.last_of(&row.runs[self.run - 1]) == pos
+        } else {
+            false
+        }
+    }
+
+    /// The `k`-th flat strictly past the cursor (`k = 0` ⇒ the first),
+    /// or [`NO_FLAT`]. Only valid immediately after [`Self::rank_le`];
+    /// `k ≤ 1` is what the event builder needs, but any small `k` works.
+    #[inline]
+    pub(crate) fn peek(&self, row: &RunRow, k: u32) -> i64 {
+        let mut run_idx = self.run;
+        let mut j = self.j + k;
+        while let Some(run) = row.runs.get(run_idx) {
+            if j < run.len {
+                return row.flat_at(run, j);
+            }
+            j -= run.len;
+            run_idx += 1;
+        }
+        NO_FLAT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A jittery near-arithmetic sequence like the solver's skeletons
+    /// produce: base gap drifting slowly, deterministic ±3 wobble.
+    fn jittery(n: usize) -> Vec<i64> {
+        let mut pos = 17i64;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(pos);
+            let base = 40 + (i as i64 / 500); // slow drift
+            let wobble = [0i64, 2, -1, 3, -2, 1, -3, 0][i % 8];
+            pos += (base + wobble).max(1);
+        }
+        out
+    }
+
+    #[test]
+    fn compression_is_lossless() {
+        for flats in [
+            jittery(5000),
+            (0..400).map(|i| 10 + 7 * i).collect::<Vec<_>>(), // pure arithmetic
+            vec![5],
+            vec![],
+            vec![3, 4, 5, 6, 100, 200, 300, 5000], // mixed regimes
+        ] {
+            let row = RunRow::compress(flats.iter().copied());
+            assert_eq!(row.count(), flats.len() as i64);
+            let back: Vec<i64> = row.iter().collect();
+            assert_eq!(back, flats, "round-trip mismatch");
+        }
+    }
+
+    #[test]
+    fn jittery_rows_compress_and_pure_rows_store_no_residuals() {
+        let flats = jittery(50_000);
+        let row = RunRow::compress(flats.iter().copied());
+        assert!(
+            row.descriptors() * 20 < flats.len(),
+            "{} runs for {} jittery flats — regime tracking broke",
+            row.descriptors(),
+            flats.len()
+        );
+        // ~1 residual byte per flat + a handful of descriptors.
+        assert!(row.memory_bytes() < flats.len() * 2 + 4096);
+
+        let arith: Vec<i64> = (0..10_000).map(|i| 3 + 11 * i).collect();
+        let row = RunRow::compress(arith.iter().copied());
+        assert_eq!(row.descriptors(), 1, "pure progression should be one run");
+        assert!(row.res.is_empty(), "pure runs must elide residuals");
+    }
+
+    #[test]
+    fn rank_matches_bruteforce() {
+        let flats = jittery(2000);
+        let row = RunRow::compress(flats.iter().copied());
+        let max = *flats.last().unwrap() + 5;
+        for pos in (0..max).step_by(13).chain(flats.iter().copied()) {
+            let want = flats.iter().filter(|&&f| f <= pos).count() as i64;
+            assert_eq!(row.rank_le(pos), want, "rank at {pos}");
+        }
+    }
+
+    #[test]
+    fn cursor_matches_bruteforce_with_retreats() {
+        let flats = jittery(800);
+        let row = RunRow::compress(flats.iter().copied());
+        let mut cur = RunCursor::default();
+        let max = *flats.last().unwrap() + 3;
+        let mut pos = 0i64;
+        // Sweep forward with interleaved one-step retreats, like the
+        // frontier sweep's s / s+1 reads.
+        while pos < max {
+            for p in [pos + 1, pos, pos + 1] {
+                let want = flats.iter().filter(|&&f| f <= p).count() as i64;
+                assert_eq!(cur.rank_le(&row, p), want, "rank at {p}");
+                assert_eq!(cur.is_flat(&row, p), flats.contains(&p), "is_flat at {p}");
+                let next: Vec<i64> = flats.iter().copied().filter(|&f| f > p).take(2).collect();
+                assert_eq!(cur.peek(&row, 0), next.first().copied().unwrap_or(NO_FLAT));
+                assert_eq!(cur.peek(&row, 1), next.get(1).copied().unwrap_or(NO_FLAT));
+            }
+            pos += 7;
+        }
+    }
+
+    #[test]
+    fn seek_after_positions_the_iterator() {
+        let flats = jittery(1500);
+        let row = RunRow::compress(flats.iter().copied());
+        for pos in [0i64, 16, 17, 18, 500, 20_000, i64::MAX / 8] {
+            let mut it = row.iter();
+            let rank = it.seek_after(pos);
+            assert_eq!(rank, flats.iter().filter(|&&f| f <= pos).count() as i64);
+            let rest: Vec<i64> = it.take(3).collect();
+            let want: Vec<i64> = flats.iter().copied().filter(|&f| f > pos).take(3).collect();
+            assert_eq!(rest, want, "tail after {pos}");
+        }
+    }
+
+    #[test]
+    fn huge_gaps_do_not_overflow() {
+        // Steps near the NO_FLAT scale: len caps keep j·step_fx in range.
+        let flats = vec![0i64, 1 << 40, 2 << 40, 3 << 40, (3 << 40) + 5];
+        let row = RunRow::compress(flats.iter().copied());
+        let back: Vec<i64> = row.iter().collect();
+        assert_eq!(back, flats);
+        assert_eq!(row.rank_le(1 << 41), 3);
+    }
+}

@@ -82,7 +82,7 @@
 //! flat `Vec<u32>`. For lifespans too large to hold densely at all, use
 //! [`crate::compressed::CompressedTable`].
 
-use crate::compressed::{CompressedRow, RowCursor};
+use crate::compressed::{CompressedRow, SkelRead};
 use crate::grid::Grid;
 use cyclesteal_core::error::{ModelError, Result};
 use cyclesteal_core::model::Opportunity;
@@ -110,6 +110,23 @@ pub enum InnerLoop {
     EventDriven,
 }
 
+/// How compressed rows store their flat ticks — the skeletons of
+/// [`crate::CompressedTable`] and the internal per-level skeletons the
+/// intra-level parallel dense solve expands from. Purely a storage
+/// choice: values, argmax and episodes are bit-identical either way
+/// (pinned by the equivalence suite).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum RowRepr {
+    /// First-order: one sorted `i64` per flat tick (`O(k)` words).
+    #[default]
+    Breakpoints,
+    /// Second-order: arithmetic runs (start, fixed-point common
+    /// difference, length) plus an `i8` residual per jittery flat — the
+    /// stored descriptor count tracks regime changes, not breakpoints,
+    /// and memory drops to ≈1 byte per breakpoint. See [`crate::run`].
+    Runs,
+}
+
 /// Options for [`ValueTable::solve`].
 #[derive(Clone, Copy, Debug)]
 pub struct SolveOptions {
@@ -135,6 +152,13 @@ pub struct SolveOptions {
     /// the knob; the bisection and linear-scan ablations always run
     /// sequentially.
     pub threads: usize,
+    /// Skeleton representation for compressed rows (default
+    /// [`RowRepr::Breakpoints`]): what [`crate::CompressedTable`] stores
+    /// its levels as, and what the intra-level parallel dense solve
+    /// reads its per-level skeletons through. [`RowRepr::Runs`] is the
+    /// second-order-compressed form — bit-identical output, an order of
+    /// magnitude fewer stored descriptors.
+    pub repr: RowRepr,
 }
 
 impl Default for SolveOptions {
@@ -143,6 +167,7 @@ impl Default for SolveOptions {
             keep_policy: true,
             inner: InnerLoop::FrontierSweep,
             threads: 1,
+            repr: RowRepr::Breakpoints,
         }
     }
 }
@@ -315,7 +340,7 @@ fn effective_segments(n: i64, threads: usize) -> usize {
 /// `frontier(m) = min(m − Q − 1, max{s ≥ 0 : h(s) ≤ m − Q})` with
 /// `h(s) = s + prev(s) − cur(s)` nondecreasing, so the anchor is a
 /// binary search over the two completed rows (`prev` dense, `cur` as its
-/// breakpoint skeleton).
+/// skeleton in either representation).
 fn anchor_frontier(prev: &[i64], skel: &CompressedRow, q: i64, m: i64) -> i64 {
     if m <= q {
         return 0;
@@ -372,7 +397,8 @@ fn split_row_segments<'a>(
 }
 
 /// Fills one worker's segment of level `p ≥ 1` from the completed dense
-/// `prev` row and the level's own breakpoint skeleton.
+/// `prev` row and the level's own skeleton (flat-list or run-backed —
+/// every read goes through the representation-blind row API).
 ///
 /// With an argmax window the segment *replays* the frontier sweep from
 /// its anchor — every read of the row under construction is served by
@@ -398,12 +424,13 @@ fn fill_segment(seg: RowSegment<'_>, prev: &[i64], skel: &CompressedRow, q: i64)
                 return;
             }
             let mut i = (l - start) as usize;
-            let mut rank = skel.flats.partition_point(|&f| f < l);
+            let (rank, mut flats) = skel.flats_after(l - 1);
+            let mut rank = rank;
+            let mut next_flat = flats.next().unwrap_or(i64::MAX);
             loop {
-                let next_flat = skel.flats.get(rank).copied().unwrap_or(i64::MAX);
                 let ramp_end = end.min(next_flat - 1);
                 if l <= ramp_end {
-                    let base = (l - z) - rank as i64;
+                    let base = (l - z) - rank;
                     let len = (ramp_end - l + 1) as usize;
                     for (j, slot) in vals[i..i + len].iter_mut().enumerate() {
                         *slot = base + j as i64;
@@ -416,9 +443,10 @@ fn fill_segment(seg: RowSegment<'_>, prev: &[i64], skel: &CompressedRow, q: i64)
                 }
                 // l == next_flat: the value repeats the previous tick's.
                 rank += 1;
-                vals[i] = (l - z) - rank as i64;
+                vals[i] = (l - z) - rank;
                 i += 1;
                 l += 1;
+                next_flat = flats.next().unwrap_or(i64::MAX);
                 if l > end {
                     break;
                 }
@@ -427,7 +455,7 @@ fn fill_segment(seg: RowSegment<'_>, prev: &[i64], skel: &CompressedRow, q: i64)
         Some(args) => {
             let mut last = skel.value(start - 1);
             let mut frontier = anchor_frontier(prev, skel, q, start - 1);
-            let mut cur_at = RowCursor::default();
+            let mut cur_at = skel.cursor();
             for (i, l) in (start..=end).enumerate() {
                 let mut best = last;
                 let mut best_t: i64 = 1;
@@ -437,7 +465,7 @@ fn fill_segment(seg: RowSegment<'_>, prev: &[i64], skel: &CompressedRow, q: i64)
                     let s_cap = l - q - 1;
                     while frontier < s_cap {
                         let s1 = frontier + 1;
-                        let h = s1 + prev[s1 as usize] - cur_at.value(skel, &skel.flats, s1);
+                        let h = s1 + prev[s1 as usize] - cur_at.value(s1);
                         if h <= tau {
                             frontier += 1;
                         } else {
@@ -446,12 +474,10 @@ fn fill_segment(seg: RowSegment<'_>, prev: &[i64], skel: &CompressedRow, q: i64)
                     }
                     let su = frontier;
                     let t_star = l - su;
-                    let v_star =
-                        prev[su as usize].min((t_star - q) + cur_at.value(skel, &skel.flats, su));
+                    let v_star = prev[su as usize].min((t_star - q) + cur_at.value(su));
                     let (cand_t, cand_v) = if t_star > lo {
                         let s1 = su + 1;
-                        let v_left = prev[s1 as usize]
-                            .min((t_star - 1 - q) + cur_at.value(skel, &skel.flats, s1));
+                        let v_left = prev[s1 as usize].min((t_star - 1 - q) + cur_at.value(s1));
                         if v_left > v_star {
                             (t_star - 1, v_left)
                         } else {
@@ -480,6 +506,23 @@ fn fill_segment(seg: RowSegment<'_>, prev: &[i64], skel: &CompressedRow, q: i64)
 impl ValueTable {
     /// Solves the game bottom-up for `interrupt` levels `0..=max_interrupts`
     /// and lifespans `0..=max_lifespan` at `ticks_per_setup` resolution.
+    ///
+    /// ```
+    /// use cyclesteal_core::time::secs;
+    /// use cyclesteal_dp::{SolveOptions, ValueTable};
+    ///
+    /// // W^(p)[L] for p ≤ 2 and lifespans up to 100 setup charges, at 8
+    /// // ticks per charge.
+    /// let table = ValueTable::solve(secs(1.0), 8, secs(100.0), 2, SolveOptions::default());
+    /// // Rows are nondecreasing in lifespan and nonincreasing in the
+    /// // adversary's interrupt budget (paper Prop. 4.1):
+    /// assert!(table.value(1, secs(80.0)) >= table.value(1, secs(40.0)));
+    /// assert!(table.value(2, secs(80.0)) <= table.value(1, secs(80.0)));
+    /// // keep_policy (the default) also records the optimal first period
+    /// // per state, so full episode schedules reconstruct exactly:
+    /// let episode = table.episode(2, secs(80.0)).unwrap();
+    /// assert!(episode.total().approx_eq(secs(80.0), secs(1e-9)));
+    /// ```
     pub fn solve(
         setup: Time,
         ticks_per_setup: u32,
@@ -522,12 +565,10 @@ impl ValueTable {
             // skeletonized (event-driven, O(k log k)) and then expanded —
             // values and argmax — by workers on disjoint l-ranges, each
             // resuming the sweep from its h-crossing anchor.
-            let mut prev_skel = CompressedRow {
-                zero_until: q.min(n),
-                flats: Vec::new(),
-            };
+            let mut prev_skel = CompressedRow::empty(q.min(n));
             for p in 1..=max_interrupts as usize {
-                let (skel, _events) = crate::event::build_level_events(&prev_skel, n, q, threads);
+                let (skel, _events) =
+                    crate::event::build_level_events(&prev_skel, n, q, threads, opts.repr);
                 let (done, rest) = levels.split_at_mut(p * stride);
                 let prev = &done[(p - 1) * stride..];
                 let cur = &mut rest[..stride];
@@ -585,6 +626,13 @@ impl ValueTable {
     /// Whether the optimal first-period choice was kept per state.
     pub fn has_policy(&self) -> bool {
         self.argmax.is_some()
+    }
+
+    /// Short human label for the row representation — the counterpart of
+    /// [`crate::CompressedTable::repr_name`] ("breakpoint" / "run"), so
+    /// sweep reports can say which representation served each query.
+    pub fn repr_name(&self) -> &'static str {
+        "dense"
     }
 
     /// One solved row `W^(p)[0..=max_ticks]` as a slice into the arena.
@@ -767,9 +815,8 @@ mod tests {
 
     fn with_inner(inner: InnerLoop) -> SolveOptions {
         SolveOptions {
-            keep_policy: true,
             inner,
-            threads: 1,
+            ..SolveOptions::default()
         }
     }
 
@@ -980,8 +1027,7 @@ mod tests {
             2,
             SolveOptions {
                 keep_policy: false,
-                inner: InnerLoop::FrontierSweep,
-                threads: 1,
+                ..SolveOptions::default()
             },
         );
         assert_eq!(bare.memory_bytes(), states * 8);

@@ -1,15 +1,17 @@
-//! Equivalence property tests: the six solver paths — dense frontier
+//! Equivalence property tests: the seven solver paths — dense frontier
 //! sweep, dense bisection, dense linear scan, the tick-walking
 //! breakpoint-compressed table, the event-driven (run-skipping)
-//! compressed build, and the intra-level *parallel* dense solve
+//! compressed build, the intra-level *parallel* dense solve
 //! (anchor-segmented sweeps, `threads: 0` so the CI
-//! `CYCLESTEAL_THREADS` matrix drives the worker count) — must agree on
-//! values *and* on the episodes their argmax induces, over randomized
-//! `(q, L, p)` grids and at the documented edges (`t ≤ Q` wait
-//! domination, `L ∈ {0, 1}`, single-breakpoint rows, all-flat tails).
+//! `CYCLESTEAL_THREADS` matrix drives the worker count), and the
+//! **run-backed** event-driven build (`RowRepr::Runs`: second-order
+//! arithmetic-run skeletons) — must agree on values *and* on the
+//! episodes their argmax induces, over randomized `(q, L, p)` grids and
+//! at the documented edges (`t ≤ Q` wait domination, `L ∈ {0, 1}`,
+//! single-breakpoint rows, all-flat tails).
 
 use cyclesteal_core::prelude::*;
-use cyclesteal_dp::{CompressedTable, InnerLoop, SolveOptions, ValueTable};
+use cyclesteal_dp::{CompressedTable, InnerLoop, RowRepr, SolveOptions, ValueTable};
 use proptest::prelude::*;
 
 fn solve(q: u32, max_u: f64, p: u32, inner: InnerLoop) -> ValueTable {
@@ -19,9 +21,8 @@ fn solve(q: u32, max_u: f64, p: u32, inner: InnerLoop) -> ValueTable {
         secs(max_u),
         p,
         SolveOptions {
-            keep_policy: true,
             inner,
-            threads: 1,
+            ..SolveOptions::default()
         },
     )
 }
@@ -37,9 +38,8 @@ fn solve_parallel(q: u32, max_u: f64, p: u32) -> ValueTable {
         secs(max_u),
         p,
         SolveOptions {
-            keep_policy: true,
-            inner: InnerLoop::FrontierSweep,
             threads: 0,
+            ..SolveOptions::default()
         },
     )
 }
@@ -53,7 +53,26 @@ fn solve_event(q: u32, max_u: f64, p: u32) -> CompressedTable {
         SolveOptions {
             keep_policy: false,
             inner: InnerLoop::EventDriven,
-            threads: 1,
+            ..SolveOptions::default()
+        },
+    )
+}
+
+/// The seventh path: the event-driven build emitting **run-backed** rows
+/// (`RowRepr::Runs`) — second-order compression both *read* by the
+/// builder (each level's prev-cursor walks arithmetic runs) and *stored*
+/// in the finished table.
+fn solve_runs(q: u32, max_u: f64, p: u32) -> CompressedTable {
+    CompressedTable::solve_with(
+        secs(1.0),
+        q,
+        secs(max_u),
+        p,
+        SolveOptions {
+            keep_policy: false,
+            inner: InnerLoop::EventDriven,
+            repr: RowRepr::Runs,
+            ..SolveOptions::default()
         },
     )
 }
@@ -68,7 +87,7 @@ fn realized(table: &ValueTable, p: u32, u: f64, sched: &EpisodeSchedule) -> Work
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// All six representations produce identical values at every state.
+    /// All seven representations produce identical values at every state.
     #[test]
     fn values_agree_everywhere(q in 2u32..12, max_u in 1.0f64..60.0, p in 0u32..4) {
         let sweep = solve(q, max_u, p, InnerLoop::FrontierSweep);
@@ -77,10 +96,15 @@ proptest! {
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
         let event = solve_event(q, max_u, p);
         let par = solve_parallel(q, max_u, p);
+        let runs = solve_runs(q, max_u, p);
         prop_assert_eq!(sweep.max_ticks(), compressed.max_ticks());
         prop_assert_eq!(sweep.max_ticks(), event.max_ticks());
         prop_assert_eq!(sweep.max_ticks(), par.max_ticks());
+        prop_assert_eq!(sweep.max_ticks(), runs.max_ticks());
         for pp in 0..=p {
+            // Run compression is lossless: same logical breakpoints.
+            prop_assert_eq!(runs.breakpoints(pp), event.breakpoints(pp),
+                "run-backed logical breakpoints differ at q={}, p={}", q, pp);
             for l in 0..=sweep.max_ticks() {
                 let w = sweep.value_ticks(pp, l);
                 prop_assert_eq!(w, bisect.value_ticks(pp, l),
@@ -93,6 +117,8 @@ proptest! {
                     "event-driven differs at q={}, p={}, l={}", q, pp, l);
                 prop_assert_eq!(w, par.value_ticks(pp, l),
                     "parallel sweep differs at q={}, p={}, l={}", q, pp, l);
+                prop_assert_eq!(w, runs.value_ticks(pp, l),
+                    "run-backed differs at q={}, p={}, l={}", q, pp, l);
             }
         }
     }
@@ -107,6 +133,7 @@ proptest! {
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
         let event = solve_event(q, max_u, p);
         let par = solve_parallel(q, max_u, p);
+        let runs = solve_runs(q, max_u, p);
         for pp in 0..=p {
             for l in 1..=sweep.max_ticks() {
                 let t = sweep.first_period_ticks(pp, l);
@@ -118,6 +145,8 @@ proptest! {
                     "event-driven argmax differs at q={}, p={}, l={}", q, pp, l);
                 prop_assert_eq!(t, par.first_period_ticks(pp, l),
                     "parallel-sweep argmax differs at q={}, p={}, l={}", q, pp, l);
+                prop_assert_eq!(t, runs.first_period_ticks(pp, l),
+                    "run-backed argmax differs at q={}, p={}, l={}", q, pp, l);
             }
         }
     }
@@ -137,6 +166,7 @@ proptest! {
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
         let event = solve_event(q, max_u, p);
         let par = solve_parallel(q, max_u, p);
+        let runs = solve_runs(q, max_u, p);
         let u = max_u * frac;
         if sweep.value(p, secs(u)) > Work::ZERO {
             let es = sweep.episode(p, secs(u)).unwrap();
@@ -144,15 +174,18 @@ proptest! {
             let ec = compressed.episode(p, secs(u)).unwrap();
             let ee = event.episode(p, secs(u)).unwrap();
             let ep = par.episode(p, secs(u)).unwrap();
-            // Compressed, event-driven and parallel reconstructions are
-            // bit-identical to the sweep's.
+            let er = runs.episode(p, secs(u)).unwrap();
+            // Compressed, event-driven, parallel and run-backed
+            // reconstructions are bit-identical to the sweep's.
             prop_assert_eq!(es.len(), ec.len());
             prop_assert_eq!(es.len(), ee.len());
             prop_assert_eq!(es.len(), ep.len());
+            prop_assert_eq!(es.len(), er.len());
             for k in 0..es.len() {
                 prop_assert_eq!(es.period(k), ec.period(k), "period {} differs", k);
                 prop_assert_eq!(es.period(k), ee.period(k), "event period {} differs", k);
                 prop_assert_eq!(es.period(k), ep.period(k), "parallel period {} differs", k);
+                prop_assert_eq!(es.period(k), er.period(k), "run-backed period {} differs", k);
             }
             // The scan's episode may differ in shape but not in what it
             // guarantees (a tick of tolerance for off-grid drift).
@@ -180,6 +213,7 @@ proptest! {
         let compressed = CompressedTable::solve(secs(1.0), q, secs(max_u), p);
         let event = solve_event(q, max_u, p);
         let par = solve_parallel(q, max_u, p);
+        let runs = solve_runs(q, max_u, p);
         let qq = q as i64;
         let zero_edge = (p as i64 + 1) * qq;
         for l in 0..=sweep.max_ticks() {
@@ -188,6 +222,7 @@ proptest! {
             prop_assert_eq!(w, compressed.value_ticks(p, l));
             prop_assert_eq!(w, event.value_ticks(p, l));
             prop_assert_eq!(w, par.value_ticks(p, l));
+            prop_assert_eq!(w, runs.value_ticks(p, l));
             if l <= zero_edge {
                 prop_assert_eq!(w, 0, "W^{}[{}] must be 0 (≤ (p+1)Q)", p, l);
                 if l >= 1 {
@@ -197,6 +232,7 @@ proptest! {
                     prop_assert_eq!(compressed.first_period_ticks(p, l), l);
                     prop_assert_eq!(event.first_period_ticks(p, l), l);
                     prop_assert_eq!(par.first_period_ticks(p, l), l);
+                    prop_assert_eq!(runs.first_period_ticks(p, l), l);
                 }
             }
         }
@@ -216,15 +252,19 @@ fn boundary_lifespans_zero_and_one_tick() {
             let scan = solve(q, 0.0, p, InnerLoop::LinearScan);
             let compressed = CompressedTable::solve(secs(1.0), q, secs(0.0), p);
             let event = solve_event(q, 0.0, p);
+            let runs = solve_runs(q, 0.0, p);
             assert_eq!(sweep.max_ticks(), 0);
             assert_eq!(event.max_ticks(), 0);
+            assert_eq!(runs.max_ticks(), 0);
             assert_eq!(sweep.value_ticks(p, 0), 0);
             assert_eq!(scan.value_ticks(p, 0), 0);
             assert_eq!(compressed.value_ticks(p, 0), 0);
             assert_eq!(event.value_ticks(p, 0), 0);
+            assert_eq!(runs.value_ticks(p, 0), 0);
             assert!(sweep.episode(p, secs(0.0)).is_err());
             assert!(compressed.episode(p, secs(0.0)).is_err());
             assert!(event.episode(p, secs(0.0)).is_err());
+            assert!(runs.episode(p, secs(0.0)).is_err());
 
             // L = 1 tick.
             let u1 = 1.0 / q as f64;
@@ -232,12 +272,14 @@ fn boundary_lifespans_zero_and_one_tick() {
             let bisect = solve(q, u1, p, InnerLoop::Bisection);
             let compressed = CompressedTable::solve(secs(1.0), q, secs(u1), p);
             let event = solve_event(q, u1, p);
+            let runs = solve_runs(q, u1, p);
             assert_eq!(sweep.max_ticks(), 1);
             // W^(p)(1 tick) = 1 ⊖ Q = 0 for every Q ≥ 1 and every p.
             let w = sweep.value_ticks(p, 1);
             assert_eq!(w, bisect.value_ticks(p, 1));
             assert_eq!(w, compressed.value_ticks(p, 1));
             assert_eq!(w, event.value_ticks(p, 1));
+            assert_eq!(w, runs.value_ticks(p, 1));
             assert_eq!(w, 0, "one tick can never out-bank the setup charge");
             let e = sweep.episode(p, secs(u1)).unwrap();
             assert_eq!(e.len(), 1, "zero-value state burns the lifespan whole");
@@ -270,7 +312,9 @@ fn single_breakpoint_rows_and_all_flat_tails() {
                 let u = n as f64 / q as f64;
                 let sweep = solve(q, u, p, InnerLoop::FrontierSweep);
                 let event = solve_event(q, u, p);
+                let runs = solve_runs(q, u, p);
                 assert_eq!(sweep.max_ticks(), event.max_ticks(), "q={q} p={p} n={n}");
+                assert_eq!(sweep.max_ticks(), runs.max_ticks(), "q={q} p={p} n={n}");
                 for pp in 0..=p {
                     for l in 0..=sweep.max_ticks() {
                         assert_eq!(
@@ -278,10 +322,16 @@ fn single_breakpoint_rows_and_all_flat_tails() {
                             event.value_ticks(pp, l),
                             "q={q} p={pp} l={l} (n={n})"
                         );
+                        assert_eq!(
+                            sweep.value_ticks(pp, l),
+                            runs.value_ticks(pp, l),
+                            "run-backed q={q} p={pp} l={l} (n={n})"
+                        );
                     }
                 }
                 // Level 0 compresses to the single zero-edge breakpoint.
                 assert_eq!(event.breakpoints(0), 1, "q={q} n={n}");
+                assert_eq!(runs.stored_breakpoints(0), 1, "q={q} n={n}");
             }
         }
     }
@@ -299,13 +349,20 @@ fn event_driven_matches_tick_walk_at_a_million_ticks() {
         let u = ticks as f64 / q as f64;
         let walked = CompressedTable::solve(secs(1.0), q, secs(u), p);
         let event = solve_event(q, u, p);
+        let runs = solve_runs(q, u, p);
         assert_eq!(walked.max_ticks(), ticks);
         assert_eq!(event.max_ticks(), ticks);
+        assert_eq!(runs.max_ticks(), ticks);
         for pp in 0..=p {
             assert_eq!(
                 walked.breakpoints(pp),
                 event.breakpoints(pp),
                 "breakpoint count differs at q={q}, p={pp}"
+            );
+            assert_eq!(
+                walked.breakpoints(pp),
+                runs.breakpoints(pp),
+                "run-backed logical breakpoint count differs at q={q}, p={pp}"
             );
         }
         for l in 0..=ticks {
@@ -314,7 +371,26 @@ fn event_driven_matches_tick_walk_at_a_million_ticks() {
                 event.value_ticks(p, l),
                 "value differs at q={q}, l={l}"
             );
+            assert_eq!(
+                walked.value_ticks(p, l),
+                runs.value_ticks(p, l),
+                "run-backed value differs at q={q}, l={l}"
+            );
         }
+        // The second-order promise at depth: stored descriptors collapse
+        // by an order of magnitude while answering identically.
+        let flat_k: usize = (0..=p).map(|pp| event.stored_breakpoints(pp)).sum();
+        let run_k: usize = (0..=p).map(|pp| runs.stored_breakpoints(pp)).sum();
+        assert!(
+            run_k * 5 <= flat_k,
+            "q={q}: run-backed stored {run_k} of {flat_k} descriptors (> 0.2×)"
+        );
+        assert!(
+            runs.memory_bytes() < event.memory_bytes(),
+            "q={q}: run-backed table not smaller: {} vs {}",
+            runs.memory_bytes(),
+            event.memory_bytes()
+        );
     }
 }
 

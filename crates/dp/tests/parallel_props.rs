@@ -2,15 +2,25 @@
 //! thread count the anchor-segmented sweep must reproduce the sequential
 //! solver **bit for bit** — values, argmax, reconstructed episodes, and
 //! (for the compressed path) breakpoints and event counts. Covers both
-//! inner loops that honor `SolveOptions::threads`, segment boundaries
-//! landing on zero-region and crossing anchors, and the degenerate
-//! single-segment split on tables too small to partition.
+//! inner loops that honor `SolveOptions::threads`, **both skeleton
+//! representations** (`RowRepr::Breakpoints` and the second-order
+//! `RowRepr::Runs`, which the dense workers read through and the
+//! compressed build stores), segment boundaries landing on zero-region
+//! and crossing anchors, and the degenerate single-segment split on
+//! tables too small to partition.
 
 use cyclesteal_core::prelude::*;
-use cyclesteal_dp::{CompressedTable, InnerLoop, SolveOptions, ValueTable};
+use cyclesteal_dp::{CompressedTable, InnerLoop, RowRepr, SolveOptions, ValueTable};
 use proptest::prelude::*;
 
-fn solve_dense(q: u32, ticks: i64, p: u32, threads: usize, keep_policy: bool) -> ValueTable {
+fn solve_dense_repr(
+    q: u32,
+    ticks: i64,
+    p: u32,
+    threads: usize,
+    keep_policy: bool,
+    repr: RowRepr,
+) -> ValueTable {
     ValueTable::solve(
         secs(1.0),
         q,
@@ -20,11 +30,16 @@ fn solve_dense(q: u32, ticks: i64, p: u32, threads: usize, keep_policy: bool) ->
             keep_policy,
             inner: InnerLoop::FrontierSweep,
             threads,
+            repr,
         },
     )
 }
 
-fn solve_compressed(q: u32, ticks: i64, p: u32, threads: usize) -> CompressedTable {
+fn solve_dense(q: u32, ticks: i64, p: u32, threads: usize, keep_policy: bool) -> ValueTable {
+    solve_dense_repr(q, ticks, p, threads, keep_policy, RowRepr::Breakpoints)
+}
+
+fn solve_compressed(q: u32, ticks: i64, p: u32, threads: usize, repr: RowRepr) -> CompressedTable {
     CompressedTable::solve_with(
         secs(1.0),
         q,
@@ -34,6 +49,7 @@ fn solve_compressed(q: u32, ticks: i64, p: u32, threads: usize) -> CompressedTab
             keep_policy: false,
             inner: InnerLoop::EventDriven,
             threads,
+            repr,
         },
     )
 }
@@ -96,26 +112,52 @@ proptest! {
         assert_dense_identical(&bare_seq, &bare_par, &format!("bare q={q} ticks={ticks} p={p}"));
     }
 
-    /// The event-driven compressed build at any thread count: identical
-    /// skeletons (hence values) *and* identical event counts — threading
-    /// only parallelizes the run expansion, never the build loop.
+    /// The dense parallel solve reading its per-level skeletons through
+    /// **run-backed** rows: the anchor replay and the rank-expansion fill
+    /// must be bit-identical to the sequential sweep regardless of how
+    /// the skeleton is stored.
+    #[test]
+    fn dense_solve_is_repr_invariant(
+        q in 2u32..10,
+        ticks in 600i64..6000,
+        p in 1u32..4,
+    ) {
+        let seq = solve_dense(q, ticks, p, 1, true);
+        for threads in [2usize, 8] {
+            let runs = solve_dense_repr(q, ticks, p, threads, true, RowRepr::Runs);
+            assert_dense_identical(&seq, &runs,
+                &format!("runs q={q} ticks={ticks} p={p} threads={threads}"));
+        }
+        let bare_runs = solve_dense_repr(q, ticks, p, 8, false, RowRepr::Runs);
+        let bare_seq = solve_dense(q, ticks, p, 1, false);
+        assert_dense_identical(&bare_seq, &bare_runs, &format!("bare runs q={q} ticks={ticks} p={p}"));
+    }
+
+    /// The event-driven compressed build at any thread count and in both
+    /// row representations: identical skeletons (hence values) *and*
+    /// identical event counts — threading only parallelizes the flat
+    /// expansion and representation only changes storage, never the
+    /// build loop.
     #[test]
     fn compressed_build_is_thread_count_invariant(
         q in 2u32..10,
         ticks in 600i64..60_000,
         p in 1u32..4,
     ) {
-        let seq = solve_compressed(q, ticks, p, 1);
+        let seq = solve_compressed(q, ticks, p, 1, RowRepr::Breakpoints);
         for threads in [2usize, 8] {
-            let par = solve_compressed(q, ticks, p, threads);
-            prop_assert_eq!(seq.events(), par.events(), "event count at {} threads", threads);
-            for pp in 0..=p {
-                prop_assert_eq!(seq.breakpoints(pp), par.breakpoints(pp),
-                    "breakpoints at p={}, {} threads", pp, threads);
-            }
-            for l in 0..=seq.max_ticks() {
-                prop_assert_eq!(seq.value_ticks(p, l), par.value_ticks(p, l),
-                    "value at l={}, {} threads", l, threads);
+            for repr in [RowRepr::Breakpoints, RowRepr::Runs] {
+                let par = solve_compressed(q, ticks, p, threads, repr);
+                prop_assert_eq!(seq.events(), par.events(),
+                    "event count at {} threads ({:?})", threads, repr);
+                for pp in 0..=p {
+                    prop_assert_eq!(seq.breakpoints(pp), par.breakpoints(pp),
+                        "breakpoints at p={}, {} threads ({:?})", pp, threads, repr);
+                }
+                for l in 0..=seq.max_ticks() {
+                    prop_assert_eq!(seq.value_ticks(p, l), par.value_ticks(p, l),
+                        "value at l={}, {} threads ({:?})", l, threads, repr);
+                }
             }
         }
     }

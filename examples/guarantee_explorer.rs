@@ -34,6 +34,10 @@ fn main() {
         max_lifespan: max_u,
         max_interrupts: p_max,
     }])[0];
+    println!(
+        "[sweep queries below served by the {} row representation]",
+        table.repr_name()
+    );
     let adaptive = evaluate_policy(
         &AdaptiveGuideline::default(),
         c,
@@ -100,6 +104,10 @@ fn main() {
     let q = 8u32;
     let deep_u = secs(deep_ticks as f64 / q as f64);
     let deep = cache.get_compressed(c, q, deep_u, 2);
+    println!(
+        "\n[deep queries below served by the {} row representation]",
+        deep.repr_name()
+    );
     let deep_ad = evaluate_policy_compressed(
         &AdaptiveGuideline::default(),
         c,
@@ -128,8 +136,10 @@ fn main() {
         }
     }
     println!(
-        "[deep table: {} breakpoints over {} ticks, {} events to build, {} KiB]",
+        "[deep table ({} rows): {} breakpoints compressed into {} stored descriptors over {} ticks, {} events to build, {} KiB]",
+        deep.repr_name(),
         (0..=2).map(|p| deep.breakpoints(p)).sum::<usize>(),
+        (0..=2).map(|p| deep.stored_breakpoints(p)).sum::<usize>(),
         deep.max_ticks(),
         deep.events(),
         deep.memory_bytes() >> 10

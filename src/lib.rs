@@ -66,7 +66,7 @@ pub mod prelude {
     pub use cyclesteal_dp::{
         evaluate_policy, evaluate_policy_compressed, CompressedEvalOptions,
         CompressedOptimalPolicy, CompressedPolicyValue, CompressedTable, EvalOptions, InnerLoop,
-        OptimalPolicy, PolicyValue, SolveConfig, SolveOptions, TableCache, ValueTable,
+        OptimalPolicy, PolicyValue, RowRepr, SolveConfig, SolveOptions, TableCache, ValueTable,
     };
     pub use cyclesteal_expected::{expected_work, ExpectedDp, InterruptLaw};
     pub use cyclesteal_workloads::{OwnerEvent, OwnerTrace, Task, TaskBag, TaskDist};
