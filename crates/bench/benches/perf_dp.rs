@@ -365,6 +365,64 @@ fn acceptance_report(c: &mut Criterion) {
     let run_k_ratio = run_breakpoints as f64 / deep_breakpoints as f64;
     let run_mem_ratio = run_bytes as f64 / deep_flat_bytes as f64;
 
+    // Warm start: snapshot the run-backed deep table once, then time a
+    // fresh cache warming from disk *and serving its first query* — the
+    // restart path of the serving layer. Acceptance: ≥ 10× faster than
+    // the cold run-compressed solve it replaces.
+    use cyclesteal_store::CacheSnapshotExt;
+    let snap_dir =
+        std::env::temp_dir().join(format!("cyclesteal-bench-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    {
+        let cache = TableCache::new();
+        cache.admit_compressed(std::sync::Arc::new(deep_runs.clone()));
+        cache
+            .snapshot_to_dir(&snap_dir)
+            .expect("write warm-start snapshot");
+    }
+    let (warm_s, _) = time_median(runs, || {
+        let cache = TableCache::new();
+        let report = cache.warm_from_dir(&snap_dir).expect("read snapshot dir");
+        assert_eq!(report.loaded, 1, "snapshot must load");
+        let table = cache.get_compressed(secs(1.0), ACCEPT_Q, deep_u, ACCEPT_P);
+        assert_eq!(cache.stats().misses, 0, "warm start must not solve");
+        table.value(ACCEPT_P, deep_u)
+    });
+    let _ = std::fs::remove_dir_all(&snap_dir);
+    let warm_speedup = run_s / warm_s;
+
+    // Broker throughput: batched guarantee queries against a warmed
+    // in-process broker, from 4 client threads.
+    let serve_qps = {
+        use cyclesteal_serve::{Broker, BrokerConfig, GuaranteeQuery};
+        let broker = std::sync::Arc::new(Broker::new(BrokerConfig::default()).unwrap());
+        let queries: Vec<GuaranteeQuery> = (0..64)
+            .map(|i| GuaranteeQuery {
+                setup: secs(1.0),
+                ticks_per_setup: 8,
+                interrupts: 1 + (i % 3),
+                lifespan: secs(8.0 * (1 + i % 64) as f64),
+            })
+            .collect();
+        let _ = broker.query_batch(&queries).unwrap(); // one solve, warm
+        let batches_per_thread = if quick { 250 } else { 1000 };
+        let threads = 4;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let broker = broker.clone();
+                let queries = &queries;
+                scope.spawn(move || {
+                    for _ in 0..batches_per_thread {
+                        black_box(broker.query_batch(black_box(queries)).unwrap());
+                    }
+                });
+            }
+        });
+        let total_queries = (threads * batches_per_thread * queries.len()) as f64;
+        total_queries / start.elapsed().as_secs_f64()
+    };
+
     println!("\n=== perf_dp acceptance (Q={ACCEPT_Q}, p={ACCEPT_P}, L={ACCEPT_TICKS} ticks) ===");
     println!("frontier sweep solve : {sweep_s:.3} s");
     println!(
@@ -377,6 +435,10 @@ fn acceptance_report(c: &mut Criterion) {
     println!(
         "run-compressed solve : {run_s:.3} s — {run_breakpoints} stored descriptors ({run_k_ratio:.4}× of flat, target ≤ 0.2×), {run_bytes} B ({run_mem_ratio:.3}× of flat)"
     );
+    println!(
+        "warm start           : {warm_s:.3} s snapshot-load + first query ({warm_speedup:.1}× vs cold run-compressed solve, target ≥ 10×)"
+    );
+    println!("broker throughput    : {serve_qps:.0} queries/s (batched, 4 client threads)");
 
     let mut fields = vec![
         format!("\"quick_mode\": {quick}"),
@@ -393,6 +455,9 @@ fn acceptance_report(c: &mut Criterion) {
         format!("\"run_compressed_solve_s\": {run_s:.6}"),
         format!("\"run_compressed_breakpoints\": {run_breakpoints}"),
         format!("\"run_memory_bytes\": {run_bytes}"),
+        format!("\"warm_start_s\": {warm_s:.6}"),
+        format!("\"warm_start_speedup\": {warm_speedup:.3}"),
+        format!("\"serve_qps\": {serve_qps:.1}"),
     ];
 
     if quick {

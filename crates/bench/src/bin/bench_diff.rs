@@ -12,14 +12,17 @@
 //! ```
 //!
 //! Gated keys: the wall-clock solve timings `frontier_sweep_solve_s`,
-//! `parallel_solve_s`, `compressed_solve_s` and `event_driven_solve_s`
-//! (lower is better; shared CI runners make these noisy, so treat a
-//! timing failure as a prompt to re-run before believing it), plus the
-//! deterministic structure counters — `event_count` (the event-driven
-//! build's loop iterations) and the second-order compression sizes
-//! `run_compressed_breakpoints` / `run_memory_bytes` — which are fully
-//! reproducible for a given code revision and therefore catch
-//! algorithmic regressions with zero noise.
+//! `parallel_solve_s`, `compressed_solve_s`, `event_driven_solve_s` and
+//! the serving layer's `warm_start_s` (lower is better; shared CI
+//! runners make these noisy, so treat a timing failure as a prompt to
+//! re-run before believing it), the broker throughput `serve_qps`
+//! (**higher** is better — the gate fails on a drop beyond the
+//! threshold), plus the deterministic structure counters —
+//! `event_count` (the event-driven build's loop iterations) and the
+//! second-order compression sizes `run_compressed_breakpoints` /
+//! `run_memory_bytes` — which are fully reproducible for a given code
+//! revision and therefore catch algorithmic regressions with zero
+//! noise.
 //!
 //! A gated key missing from the *baseline* but present in the fresh
 //! snapshot is a **newly introduced field**: it is reported (`new field
@@ -36,14 +39,17 @@
 
 use std::process::ExitCode;
 
-/// Keys gated on regression (lower is better), in report order. The
-/// `_s` keys are wall-clock seconds; `event_count`,
+/// Keys gated on regression where **lower is better**, in report
+/// order. The `_s` keys are wall-clock seconds; `event_count`,
 /// `run_compressed_breakpoints` and `run_memory_bytes` are the
 /// deterministic counters of the event-driven build and its run-backed
-/// storage. `parallel_solve_s` is the intra-level segmented solve at 4+
-/// workers (its companion `parallel_speedup` is a higher-is-better
-/// ratio and deliberately not gated — the timing already is).
-const GATED_KEYS: [&str; 7] = [
+/// storage; `warm_start_s` is the snapshot-load + first-query restart
+/// path of the serving layer. `parallel_solve_s` is the intra-level
+/// segmented solve at 4+ workers (its companion `parallel_speedup` is a
+/// higher-is-better ratio and deliberately not gated — the timing
+/// already is, and `warm_start_speedup` is ungated for the same
+/// reason).
+const GATED_KEYS_LOWER: [&str; 8] = [
     "frontier_sweep_solve_s",
     "parallel_solve_s",
     "compressed_solve_s",
@@ -51,7 +57,12 @@ const GATED_KEYS: [&str; 7] = [
     "event_count",
     "run_compressed_breakpoints",
     "run_memory_bytes",
+    "warm_start_s",
 ];
+
+/// Keys gated on regression where **higher is better**: a drop beyond
+/// the threshold fails, a rise is an improvement.
+const GATED_KEYS_HIGHER: [&str; 1] = ["serve_qps"];
 
 /// Extracts `"key": <number>` from a flat JSON document. Only the first
 /// occurrence is considered; returns `None` when the key is absent or
@@ -109,18 +120,25 @@ struct KeyDiff {
 }
 
 /// Compares every gated key of two snapshots. Pure — the CLI wrapper
-/// adds I/O and formatting; the unit tests drive this directly.
+/// adds I/O and formatting; the unit tests drive this directly. The
+/// reported `delta` is always the raw relative change `(new−base)/base`;
+/// for higher-is-better keys the *sign that fails* flips.
 fn compare(baseline: &str, fresh: &str, threshold: f64) -> Vec<KeyDiff> {
-    GATED_KEYS
-        .iter()
-        .map(|&key| {
+    let lower = GATED_KEYS_LOWER.iter().map(|&k| (k, false));
+    let higher = GATED_KEYS_HIGHER.iter().map(|&k| (k, true));
+    lower
+        .chain(higher)
+        .map(|(key, higher_is_better)| {
             let (base, new) = (get_number(baseline, key), get_number(fresh, key));
             let verdict = match (base, new) {
                 (Some(base), Some(new)) if base > 0.0 => {
                     let delta = (new - base) / base;
-                    if delta > threshold {
+                    // The direction that counts as a regression flips
+                    // for throughput-style keys.
+                    let regressed = if higher_is_better { -delta } else { delta };
+                    if regressed > threshold {
                         Verdict::Regression { base, new, delta }
-                    } else if delta < -threshold {
+                    } else if regressed < -threshold {
                         Verdict::Improved { delta }
                     } else {
                         Verdict::Ok { delta }
@@ -334,6 +352,42 @@ mod tests {
             verdict_for(&results, "frontier_sweep_solve_s"),
             Verdict::Improved { .. }
         ));
+    }
+
+    #[test]
+    fn higher_is_better_keys_gate_on_drops_not_rises() {
+        // serve_qps doubling is an improvement; halving is a regression.
+        let baseline = snapshot(&[("serve_qps", 100_000.0), ("warm_start_s", 0.05)]);
+        let faster = snapshot(&[("serve_qps", 200_000.0), ("warm_start_s", 0.04)]);
+        let results = compare(&baseline, &faster, 0.10);
+        assert!(matches!(
+            verdict_for(&results, "serve_qps"),
+            Verdict::Improved { .. }
+        ));
+        assert!(!has_regression(&results));
+
+        let slower = snapshot(&[("serve_qps", 50_000.0), ("warm_start_s", 0.05)]);
+        let results = compare(&baseline, &slower, 0.10);
+        assert!(matches!(
+            verdict_for(&results, "serve_qps"),
+            Verdict::Regression { delta, .. } if (*delta + 0.5).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn serving_fields_are_new_against_a_pre_serve_baseline() {
+        // A baseline from before the serving subsystem: the new gated
+        // fields must report, never fail.
+        let baseline = snapshot(&[("frontier_sweep_solve_s", 0.11)]);
+        let fresh = snapshot(&[
+            ("frontier_sweep_solve_s", 0.11),
+            ("warm_start_s", 0.05),
+            ("serve_qps", 150_000.0),
+        ]);
+        let results = compare(&baseline, &fresh, 0.10);
+        assert!(!has_regression(&results));
+        assert_eq!(verdict_for(&results, "warm_start_s"), &Verdict::NewField);
+        assert_eq!(verdict_for(&results, "serve_qps"), &Verdict::NewField);
     }
 
     #[test]

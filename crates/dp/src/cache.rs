@@ -21,6 +21,30 @@
 //! under the same key/headroom/coalescing rules, letting huge-horizon
 //! sweeps share one skeleton the way dense sweeps share one arena.
 //!
+//! ## Memory budget and eviction
+//!
+//! An unbounded cache grows forever under a long-running server's
+//! traffic. [`TableCache::set_memory_budget`] caps the resident bytes
+//! (dense arenas + compressed skeletons together, by each table's own
+//! `memory_bytes` accounting); when an insert pushes the cache past the
+//! budget, least-recently-used entries are **evicted** until it fits
+//! again. Every lookup that serves a table — hit or insert — refreshes
+//! its recency, so sweep working sets stay resident while stale grids
+//! age out. Evicted *compressed* tables are offered to the optional
+//! [`TableCache::set_evict_hook`] callback first (outside the cache
+//! locks), which is how `cyclesteal-serve` snapshots them to disk
+//! before dropping them; dense tables are simply dropped (their arenas
+//! are cheap to re-solve relative to their size). [`CacheStats`]
+//! reports `evictions` and `resident_bytes`. The budget is enforced
+//! strictly: a table larger than the whole budget is still *served* to
+//! its caller (who holds their own `Arc`) but is not retained — so
+//! correctness never depends on the budget, only residency does.
+//!
+//! The persistence layer (`cyclesteal-store`) restores a cache through
+//! [`TableCache::admit_compressed`] / [`TableCache::compressed_tables`]:
+//! warm-started processes re-admit solved skeletons from disk instead
+//! of paying the solve.
+//!
 //! The process-wide [`TableCache::global`] instance is what the bench
 //! sweeps and `examples/guarantee_explorer.rs` share.
 
@@ -29,7 +53,7 @@ use crate::value::{InnerLoop, RowRepr, SolveOptions, ValueTable};
 use cyclesteal_core::time::Time;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Cache key: everything that shapes a solve except the lifespan bound.
@@ -52,74 +76,103 @@ impl TableKey {
 }
 
 /// What a cached table must expose for the shared cache policy — both
-/// representations answer "what grid am I on" and "how far do I reach".
+/// representations answer "how far do I reach", "can I serve this
+/// lifespan" (each table's own `covers`, so the tolerance lives in one
+/// place per type next to its `value()` contract) and "how many bytes
+/// do I hold".
 trait CachedTable {
-    fn grid(&self) -> &crate::grid::Grid;
     fn max_ticks(&self) -> i64;
-
+    fn bytes(&self) -> usize;
     /// Whether the table can answer every query up to `max_lifespan` —
     /// the same tolerance the `value()` accessors accept, so a cache hit
     /// can never hand back a table that panics on the requested range.
-    fn covers(&self, max_lifespan: Time) -> bool {
-        max_lifespan.get() / self.grid().tick().get() <= self.max_ticks() as f64 + 1e-9
-    }
+    fn covers(&self, max_lifespan: Time) -> bool;
 }
 
 impl CachedTable for ValueTable {
-    fn grid(&self) -> &crate::grid::Grid {
-        ValueTable::grid(self)
-    }
     fn max_ticks(&self) -> i64 {
         ValueTable::max_ticks(self)
+    }
+    fn bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+    fn covers(&self, max_lifespan: Time) -> bool {
+        ValueTable::covers(self, max_lifespan)
     }
 }
 
 impl CachedTable for CompressedTable {
-    fn grid(&self) -> &crate::grid::Grid {
-        CompressedTable::grid(self)
-    }
     fn max_ticks(&self) -> i64 {
         CompressedTable::max_ticks(self)
     }
+    fn bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+    fn covers(&self, max_lifespan: Time) -> bool {
+        CompressedTable::covers(self, max_lifespan)
+    }
+}
+
+/// One cached table plus its LRU recency stamp.
+struct Entry<T> {
+    table: Arc<T>,
+    /// Value of the cache's logical clock when the entry last served a
+    /// request (or was inserted). Larger = more recently used.
+    last_used: u64,
 }
 
 /// The shared lookup policy: the exact key, or any table for the same
 /// `(setup, resolution)` with a *larger* interrupt budget — levels are
 /// solved bottom-up, so a `p_max` table holds every smaller budget
-/// exactly.
+/// exactly. Serving an entry refreshes its LRU stamp.
 fn peek_map<T: CachedTable>(
-    map: &HashMap<TableKey, Arc<T>>,
+    map: &mut HashMap<TableKey, Entry<T>>,
     key: &TableKey,
     max_lifespan: Time,
+    clock: &AtomicU64,
 ) -> Option<Arc<T>> {
-    if let Some(table) = map.get(key) {
-        if table.covers(max_lifespan) {
-            return Some(table.clone());
-        }
-    }
-    map.iter()
-        .filter(|(k, table)| {
-            k.setup_bits == key.setup_bits
-                && k.ticks_per_setup == key.ticks_per_setup
-                && k.max_interrupts > key.max_interrupts
-                && table.covers(max_lifespan)
-        })
-        .min_by_key(|(k, _)| k.max_interrupts)
-        .map(|(_, table)| table.clone())
+    let hit_key = match map.get(key) {
+        Some(entry) if entry.table.covers(max_lifespan) => Some(*key),
+        _ => map
+            .iter()
+            .filter(|(k, entry)| {
+                k.setup_bits == key.setup_bits
+                    && k.ticks_per_setup == key.ticks_per_setup
+                    && k.max_interrupts > key.max_interrupts
+                    && entry.table.covers(max_lifespan)
+            })
+            .min_by_key(|(k, _)| k.max_interrupts)
+            .map(|(k, _)| *k),
+    }?;
+    let entry = map.get_mut(&hit_key).expect("key located above");
+    entry.last_used = clock.fetch_add(1, Ordering::Relaxed) + 1;
+    Some(entry.table.clone())
 }
 
 /// The shared insert policy: keep whichever of the cached and offered
-/// table covers more (a racing solver may have beaten us to the key).
+/// table covers more (a racing solver may have beaten us to the key);
+/// either way the surviving entry becomes most recently used.
 fn insert_if_larger<T: CachedTable>(
-    map: &Mutex<HashMap<TableKey, Arc<T>>>,
+    map: &Mutex<HashMap<TableKey, Entry<T>>>,
     key: TableKey,
     table: Arc<T>,
+    clock: &AtomicU64,
 ) -> Arc<T> {
+    let stamp = clock.fetch_add(1, Ordering::Relaxed) + 1;
     let mut map = map.lock();
-    match map.get(&key) {
-        Some(existing) if existing.max_ticks() >= table.max_ticks() => existing.clone(),
+    match map.get_mut(&key) {
+        Some(existing) if existing.table.max_ticks() >= table.max_ticks() => {
+            existing.last_used = stamp;
+            existing.table.clone()
+        }
         _ => {
-            map.insert(key, table.clone());
+            map.insert(
+                key,
+                Entry {
+                    table: table.clone(),
+                    last_used: stamp,
+                },
+            );
             table
         }
     }
@@ -138,31 +191,46 @@ pub struct SolveConfig {
     pub max_interrupts: u32,
 }
 
-/// Hit/miss counters for observability in sweeps.
+/// Hit/miss/eviction counters for observability in sweeps and servers.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CacheStats {
     /// Queries answered from a cached table (dense or compressed).
     pub hits: u64,
     /// Queries that triggered (or re-triggered) a solve.
     pub misses: u64,
+    /// Entries dropped by the memory budget's LRU eviction.
+    pub evictions: u64,
     /// Distinct `(setup, ticks_per_setup, p_max)` dense entries held.
     pub entries: usize,
     /// Distinct compressed (breakpoint-skeleton) entries held.
     pub compressed_entries: usize,
+    /// Bytes currently held by all cached tables (dense arenas plus
+    /// compressed skeletons), by each table's own accounting.
+    pub resident_bytes: usize,
 }
+
+/// The callback offered every compressed table the memory budget evicts
+/// (see [`TableCache::set_evict_hook`]).
+pub type EvictHook = Box<dyn Fn(&Arc<CompressedTable>) + Send + Sync>;
 
 /// A concurrent cache of solved [`ValueTable`]s keyed by
 /// `(setup, ticks_per_setup, p_max)`, serving all smaller-lifespan
-/// queries from one solve per key.
+/// queries from one solve per key, with an optional LRU memory budget.
 pub struct TableCache {
     opts: SolveOptions,
     /// Lifespan headroom multiplier applied on every (re-)solve, so a
     /// sweep creeping upward in `L` amortizes to `O(log L)` solves.
     growth: f64,
-    map: Mutex<HashMap<TableKey, Arc<ValueTable>>>,
-    compressed: Mutex<HashMap<TableKey, Arc<CompressedTable>>>,
+    map: Mutex<HashMap<TableKey, Entry<ValueTable>>>,
+    compressed: Mutex<HashMap<TableKey, Entry<CompressedTable>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Resident-bytes cap; `usize::MAX` means unbounded (the default).
+    budget: AtomicUsize,
+    /// Logical LRU clock, bumped whenever an entry serves a request.
+    clock: AtomicU64,
+    evict_hook: Mutex<Option<EvictHook>>,
 }
 
 impl Default for TableCache {
@@ -176,7 +244,8 @@ impl TableCache {
     /// `threads: 0`, so cache-triggered solves use the machine's workers
     /// (or the `CYCLESTEAL_THREADS` override) for their intra-level
     /// sweeps — and 25% lifespan headroom. Results are bit-identical to
-    /// sequential solves at any worker count.
+    /// sequential solves at any worker count. Unbounded until
+    /// [`Self::set_memory_budget`].
     pub fn new() -> TableCache {
         TableCache::with_options(SolveOptions {
             threads: 0,
@@ -194,6 +263,10 @@ impl TableCache {
             compressed: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            budget: AtomicUsize::new(usize::MAX),
+            clock: AtomicU64::new(0),
+            evict_hook: Mutex::new(None),
         }
     }
 
@@ -202,6 +275,34 @@ impl TableCache {
     pub fn global() -> &'static TableCache {
         static GLOBAL: OnceLock<TableCache> = OnceLock::new();
         GLOBAL.get_or_init(TableCache::new)
+    }
+
+    /// Caps (or, with `None`, unbounds) the bytes the cache may keep
+    /// resident, and immediately evicts LRU entries down to the new
+    /// budget. The budget bounds *residency*, never correctness: an
+    /// oversized solve is still served to its caller, it just doesn't
+    /// stay cached.
+    pub fn set_memory_budget(&self, budget: Option<usize>) {
+        self.budget
+            .store(budget.unwrap_or(usize::MAX), Ordering::Relaxed);
+        self.enforce_budget();
+    }
+
+    /// The current resident-bytes cap, if one is set.
+    pub fn memory_budget(&self) -> Option<usize> {
+        match self.budget.load(Ordering::Relaxed) {
+            usize::MAX => None,
+            b => Some(b),
+        }
+    }
+
+    /// Installs (or, with `None`, removes) the callback offered every
+    /// *compressed* table the memory budget evicts — the
+    /// snapshot-on-evict hook of the serving layer. Called outside the
+    /// cache locks, after the entry is already gone from the cache;
+    /// dense tables are evicted without a callback.
+    pub fn set_evict_hook(&self, hook: Option<EvictHook>) {
+        *self.evict_hook.lock() = hook;
     }
 
     /// Returns a table covering `(setup, ticks_per_setup, ≥max_lifespan,
@@ -228,7 +329,9 @@ impl TableCache {
             max_interrupts,
             self.opts,
         ));
-        self.insert_if_larger(key, table)
+        let table = insert_if_larger(&self.map, key, table, &self.clock);
+        self.enforce_budget();
+        table
     }
 
     /// Solves all `configs` with one solve per distinct key (at the
@@ -332,9 +435,10 @@ impl TableCache {
             let table = Arc::new(table);
             // Best-effort publication; the batch's answers come from the
             // solver output either way.
-            self.insert_if_larger(key, table.clone());
+            insert_if_larger(&self.map, key, table.clone(), &self.clock);
             by_group.insert(group, table);
         }
+        self.enforce_budget();
         for (i, group) in waiting {
             results[i] = Some(
                 by_group
@@ -384,29 +488,137 @@ impl TableCache {
                 ..self.opts
             },
         ));
-        insert_if_larger(&self.compressed, key, table)
+        let table = insert_if_larger(&self.compressed, key, table, &self.clock);
+        self.enforce_budget();
+        table
+    }
+
+    /// Inserts an externally obtained compressed table — typically one
+    /// deserialized from a snapshot — under its own
+    /// `(setup, resolution, p_max)` key, so later
+    /// [`Self::get_compressed`] calls it covers are hits instead of
+    /// solves. Follows the normal insert policy (the larger-coverage
+    /// table wins a key collision) and the memory budget; counts
+    /// neither a hit nor a miss. Returns the entry that ended up cached
+    /// for the key (the admitted table, unless a larger one was already
+    /// there).
+    pub fn admit_compressed(&self, table: Arc<CompressedTable>) -> Arc<CompressedTable> {
+        let key = TableKey::new(
+            table.grid().setup(),
+            table.grid().q() as u32,
+            table.max_interrupts(),
+        );
+        let table = insert_if_larger(&self.compressed, key, table, &self.clock);
+        self.enforce_budget();
+        table
+    }
+
+    /// A point-in-time snapshot of every cached compressed table — what
+    /// the persistence layer writes out in
+    /// `snapshot_to_dir`-style sweeps. Does not touch LRU recency or the
+    /// hit/miss counters.
+    pub fn compressed_tables(&self) -> Vec<Arc<CompressedTable>> {
+        self.compressed
+            .lock()
+            .values()
+            .map(|entry| entry.table.clone())
+            .collect()
     }
 
     fn peek_compressed(&self, key: &TableKey, max_lifespan: Time) -> Option<Arc<CompressedTable>> {
-        peek_map(&self.compressed.lock(), key, max_lifespan)
+        peek_map(&mut self.compressed.lock(), key, max_lifespan, &self.clock)
     }
 
     /// Hit/miss/entry counters since construction (or [`Self::clear`]).
     pub fn stats(&self) -> CacheStats {
+        // Lock order everywhere both are held: dense map, then compressed.
+        let map = self.map.lock();
+        let compressed = self.compressed.lock();
+        let resident = map.values().map(|e| e.table.bytes()).sum::<usize>()
+            + compressed.values().map(|e| e.table.bytes()).sum::<usize>();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.map.lock().len(),
-            compressed_entries: self.compressed.lock().len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: map.len(),
+            compressed_entries: compressed.len(),
+            resident_bytes: resident,
         }
     }
 
-    /// Drops every cached table and resets the counters.
+    /// Drops every cached table and resets the counters (the budget and
+    /// evict hook persist).
     pub fn clear(&self) {
         self.map.lock().clear();
         self.compressed.lock().clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Evicts least-recently-used entries (across both maps) until the
+    /// resident bytes fit the budget — strictly: the entry that
+    /// triggered the enforcement is the most recently used and goes
+    /// last, but even it is dropped when it alone exceeds the budget
+    /// (its caller already holds the `Arc`). Evicted compressed tables
+    /// are offered to the evict hook after the locks are released.
+    fn enforce_budget(&self) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == usize::MAX {
+            return;
+        }
+        let mut snapshot_victims: Vec<Arc<CompressedTable>> = Vec::new();
+        {
+            // Lock order: dense map, then compressed (matches stats()).
+            let mut map = self.map.lock();
+            let mut compressed = self.compressed.lock();
+            // Sum once, subtract per eviction: an eviction burst (e.g. a
+            // shrinking budget over a large cache) stays O(N) sums + one
+            // O(N) LRU scan per victim instead of O(N) sums per victim,
+            // all while both locks are held.
+            let mut resident = map.values().map(|e| e.table.bytes()).sum::<usize>()
+                + compressed.values().map(|e| e.table.bytes()).sum::<usize>();
+            loop {
+                if resident <= budget {
+                    break;
+                }
+                let dense_lru = map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, e)| (*k, e.last_used));
+                let comp_lru = compressed
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, e)| (*k, e.last_used));
+                let evict_dense = match (dense_lru, comp_lru) {
+                    (Some((_, d)), Some((_, c))) => d <= c,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (None, None) => break,
+                };
+                if evict_dense {
+                    let (key, _) = dense_lru.expect("picked dense LRU");
+                    if let Some(entry) = map.remove(&key) {
+                        resident = resident.saturating_sub(entry.table.bytes());
+                    }
+                } else {
+                    let (key, _) = comp_lru.expect("picked compressed LRU");
+                    if let Some(entry) = compressed.remove(&key) {
+                        resident = resident.saturating_sub(entry.table.bytes());
+                        snapshot_victims.push(entry.table);
+                    }
+                }
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if !snapshot_victims.is_empty() {
+            let hook = self.evict_hook.lock();
+            if let Some(hook) = hook.as_ref() {
+                for table in &snapshot_victims {
+                    hook(table);
+                }
+            }
+        }
     }
 
     fn lookup(&self, key: &TableKey, max_lifespan: Time) -> Option<Arc<ValueTable>> {
@@ -419,12 +631,7 @@ impl TableCache {
 
     /// [`Self::lookup`] without touching the hit counter.
     fn peek(&self, key: &TableKey, max_lifespan: Time) -> Option<Arc<ValueTable>> {
-        peek_map(&self.map.lock(), key, max_lifespan)
-    }
-
-    /// Keeps whichever of the cached and offered table covers more.
-    fn insert_if_larger(&self, key: TableKey, table: Arc<ValueTable>) -> Arc<ValueTable> {
-        insert_if_larger(&self.map, key, table)
+        peek_map(&mut self.map.lock(), key, max_lifespan, &self.clock)
     }
 }
 
@@ -668,5 +875,116 @@ mod tests {
         for l in 0..=dense.max_ticks().min(small.max_ticks()) {
             assert_eq!(dense.value_ticks(1, l), small.value_ticks(1, l));
         }
+    }
+
+    #[test]
+    fn resident_bytes_track_cached_tables() {
+        let cache = TableCache::new();
+        assert_eq!(cache.stats().resident_bytes, 0);
+        let a = cache.get(secs(1.0), 8, secs(60.0), 1);
+        let b = cache.get_compressed(secs(1.0), 8, secs(60.0), 1);
+        assert_eq!(
+            cache.stats().resident_bytes,
+            a.memory_bytes() + b.memory_bytes()
+        );
+        cache.clear();
+        assert_eq!(cache.stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        let cache = TableCache::new();
+        // Three dense grids; the middle one is then refreshed by a hit,
+        // so the *first* grid is the LRU victim when the budget bites.
+        let a = cache.get(secs(1.0), 8, secs(60.0), 1);
+        let b = cache.get(secs(2.0), 8, secs(60.0), 1);
+        let _hit = cache.get(secs(1.0), 8, secs(30.0), 1);
+        assert_eq!(cache.stats().entries, 2);
+        let keep = a.memory_bytes() + b.memory_bytes() - 1;
+        cache.set_memory_budget(Some(keep));
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "one entry must have been evicted");
+        assert_eq!(s.evictions, 1);
+        assert!(s.resident_bytes <= keep);
+        // The refreshed grid survived; the stale one re-solves.
+        let before = cache.stats().misses;
+        let _ = cache.get(secs(1.0), 8, secs(30.0), 1);
+        assert_eq!(cache.stats().misses, before, "refreshed entry still hit");
+        let _ = cache.get(secs(2.0), 8, secs(30.0), 1);
+        assert_eq!(cache.stats().misses, before + 1, "evicted entry re-solves");
+    }
+
+    #[test]
+    fn oversized_insert_is_served_but_not_retained() {
+        let cache = TableCache::new();
+        let small = cache.get(secs(1.0), 4, secs(30.0), 1);
+        cache.set_memory_budget(Some(small.memory_bytes()));
+        assert_eq!(cache.stats().entries, 1, "small table fits its budget");
+        // A larger solve cannot fit the budget at all: the caller is
+        // still served (this Arc), but the budget is enforced strictly —
+        // both the old entry and the oversized new one are evicted.
+        let big = cache.get(secs(1.0), 4, secs(300.0), 2);
+        assert!(big.memory_bytes() > small.memory_bytes());
+        assert!(big.max_lifespan() >= secs(300.0), "caller fully served");
+        let s = cache.stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.entries, 0);
+        assert!(s.resident_bytes <= small.memory_bytes());
+    }
+
+    #[test]
+    fn evict_hook_sees_evicted_compressed_tables() {
+        use std::sync::Mutex as StdMutex;
+        let cache = TableCache::new();
+        let seen: Arc<StdMutex<Vec<Arc<CompressedTable>>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink = seen.clone();
+        cache.set_evict_hook(Some(Box::new(move |table| {
+            sink.lock().unwrap().push(table.clone());
+        })));
+        let a = cache.get_compressed(secs(1.0), 8, secs(400.0), 2);
+        let _b = cache.get_compressed(secs(2.0), 8, secs(400.0), 2);
+        cache.set_memory_budget(Some(1));
+        let evicted = seen.lock().unwrap();
+        assert_eq!(evicted.len(), 2, "both compressed entries evicted");
+        assert!(evicted.iter().any(|t| Arc::ptr_eq(t, &a)));
+        assert_eq!(cache.stats().compressed_entries, 0);
+    }
+
+    #[test]
+    fn admit_compressed_turns_later_gets_into_hits() {
+        let source = TableCache::new();
+        let table = source.get_compressed(secs(1.0), 8, secs(80.0), 2);
+
+        let fresh = TableCache::new();
+        let admitted = fresh.admit_compressed(table.clone());
+        assert!(Arc::ptr_eq(&admitted, &table));
+        let s = fresh.stats();
+        assert_eq!((s.hits, s.misses, s.compressed_entries), (0, 0, 1));
+        // The admitted table serves the covered range without a solve.
+        let served = fresh.get_compressed(secs(1.0), 8, secs(80.0), 2);
+        assert!(Arc::ptr_eq(&served, &table));
+        let s = fresh.stats();
+        assert_eq!((s.hits, s.misses), (1, 0));
+        // And the snapshot listing returns exactly the cached tables.
+        let listed = fresh.compressed_tables();
+        assert_eq!(listed.len(), 1);
+        assert!(Arc::ptr_eq(&listed[0], &table));
+    }
+
+    #[test]
+    fn admit_keeps_the_larger_table_on_key_collision() {
+        let source = TableCache::new();
+        let big = source.get_compressed(secs(1.0), 8, secs(200.0), 2);
+        let fresh = TableCache::new();
+        let _ = fresh.get_compressed(secs(1.0), 8, secs(40.0), 2);
+        let kept = fresh.admit_compressed(big.clone());
+        assert!(Arc::ptr_eq(&kept, &big), "larger admitted table wins");
+        let small_again = TableCache::new();
+        let solved = small_again.get_compressed(secs(1.0), 8, secs(500.0), 2);
+        let kept = small_again.admit_compressed(big.clone());
+        assert!(
+            Arc::ptr_eq(&kept, &solved),
+            "existing larger table survives the admit"
+        );
     }
 }

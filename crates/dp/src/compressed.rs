@@ -67,7 +67,7 @@ use std::sync::Arc;
 
 /// How one compressed row's flat ticks are stored: the first-order flat
 /// list or the second-order arithmetic runs of [`crate::run`].
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) enum RowSkeleton {
     /// Sorted flat ticks, one word per breakpoint.
     Flats(Vec<i64>),
@@ -78,7 +78,7 @@ pub(crate) enum RowSkeleton {
 /// One compressed row: the zero-region prefix plus the flat ticks past
 /// it, in either skeleton representation. Shared with the event-driven
 /// builder in [`crate::event`], which emits rows in this exact form.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) struct CompressedRow {
     /// Largest `l` with `W(l) = 0` (the whole row when never positive).
     pub(crate) zero_until: i64,
@@ -433,17 +433,25 @@ impl FlatSliceCursor {
 /// `W^(p)[L]` for all `p ≤ p_max`, `L ≤ L_max`, stored as breakpoint
 /// skeletons: `O(p·k)` memory with `k ≪ L`, exact agreement with the
 /// dense [`crate::ValueTable`] on values, argmax and episodes.
-#[derive(Clone, Debug)]
+///
+/// Equality is **structural**: two tables compare equal only when every
+/// field — grid, extent, representation, event count and each row's
+/// skeleton storage — matches exactly. This is the bit-identical
+/// round-trip contract of the persistence layer
+/// (`from_parts(to_parts(t)) == t`, see [`crate::snapshot`]); two
+/// tables holding the same *values* in different representations are
+/// deliberately unequal.
+#[derive(Clone, Debug, PartialEq)]
 pub struct CompressedTable {
-    grid: Grid,
-    max_ticks: i64,
-    max_interrupts: u32,
-    repr: RowRepr,
-    rows: Vec<CompressedRow>,
+    pub(crate) grid: Grid,
+    pub(crate) max_ticks: i64,
+    pub(crate) max_interrupts: u32,
+    pub(crate) repr: RowRepr,
+    pub(crate) rows: Vec<CompressedRow>,
     /// Build-loop iterations summed over all levels: one per tick for the
     /// tick-walking build, one per breakpoint event for the event-driven
     /// build (see [`Self::events`]).
-    events: u64,
+    pub(crate) events: u64,
 }
 
 /// Builds level `p` from the completed level `p−1` skeleton by the
@@ -636,6 +644,14 @@ impl CompressedTable {
     /// Largest lifespan the table covers.
     pub fn max_lifespan(&self) -> Time {
         self.grid.to_time(self.max_ticks)
+    }
+
+    /// Whether the table can answer every query up to `max_lifespan`,
+    /// with the same tolerance [`Self::value`] accepts — the coverage
+    /// check the [`crate::TableCache`] and the serving layer share, so
+    /// a "covered" table can never panic on the promised range.
+    pub fn covers(&self, max_lifespan: Time) -> bool {
+        max_lifespan.get() / self.grid.tick().get() <= self.max_ticks as f64 + 1e-9
     }
 
     /// Largest interrupt budget the table covers.

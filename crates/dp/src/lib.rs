@@ -51,6 +51,12 @@
 //!   in parallel through `cyclesteal-par`, and
 //!   [`cache::TableCache::get_compressed`] caches event-driven
 //!   skeletons for huge-horizon sweeps.
+//! * [`snapshot`] — the persistence boundary: lossless decomposition of
+//!   a [`compressed::CompressedTable`] into primitive, representation-
+//!   native parts and exact (validated) reconstruction — what the
+//!   `cyclesteal-store` snapshot format serializes, so a solved `10⁹`-
+//!   tick table can be written to disk once and warm-started by every
+//!   later process instead of re-solved.
 //! * [`eval::evaluate_policy`] — the guaranteed work of an *arbitrary*
 //!   policy against the optimal adversary, used by the E-series benches
 //!   to score the §3 guidelines and the baselines;
@@ -92,15 +98,17 @@ pub mod eval;
 pub mod event;
 pub mod grid;
 pub mod run;
+pub mod snapshot;
 pub mod value;
 
-pub use cache::{CacheStats, SolveConfig, TableCache};
+pub use cache::{CacheStats, EvictHook, SolveConfig, TableCache};
 pub use compressed::{CompressedOptimalPolicy, CompressedTable};
 pub use eval::{
     evaluate_policy, evaluate_policy_compressed, CompressedEvalOptions, CompressedPolicyValue,
     EvalOptions, PolicyValue,
 };
 pub use grid::Grid;
+pub use snapshot::{PartsError, RowParts, RunParts, TableParts};
 pub use value::{InnerLoop, OptimalPolicy, RowRepr, SolveOptions, ValueTable};
 
 #[cfg(test)]

@@ -55,7 +55,9 @@ pub(crate) const NO_FLAT: i64 = i64::MAX / 4;
 const STEP_FRAC_BITS: u32 = 16;
 
 /// `res_off` sentinel: the run's residuals are all zero and not stored.
-const NO_RES: u32 = u32::MAX;
+/// Shared with [`crate::snapshot`], which maps it to a `has_residuals`
+/// flag at the persistence boundary.
+pub(crate) const NO_RES: u32 = u32::MAX;
 
 /// Residual magnitude bound; one `i8` per jittery flat, with ±128
 /// reserved so the overflow check is symmetric.
@@ -73,27 +75,27 @@ const LEN_CAP: u32 = 1 << 20;
 /// the row takes the value implied by `rank_before`), advancing by the
 /// fixed-point common difference `step_fx`, corrected per flat by an
 /// optional `i8` residual.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct ArithRun {
     /// First flat tick of the run (`flat_0 == start` exactly: the
     /// compressor anchors each run so `res_0 == 0`).
-    start: i64,
+    pub(crate) start: i64,
     /// Common difference between modeled flats, in `1/2¹⁶` ticks.
-    step_fx: i64,
+    pub(crate) step_fx: i64,
     /// Number of flats the run covers.
-    len: u32,
+    pub(crate) len: u32,
     /// Offset of the run's residual block in [`RunRow::res`], or
     /// [`NO_RES`] when every residual is zero.
-    res_off: u32,
+    pub(crate) res_off: u32,
     /// Flats stored before this run — the run's start *value* in
     /// staircase terms: `W(start) = (start − zero_until) − rank_before − 1`.
-    rank_before: i64,
+    pub(crate) rank_before: i64,
 }
 
 impl ArithRun {
     /// Largest `j` (exclusive) such that `j · step_fx` stays well inside
     /// `i64` for this run's step.
-    fn len_cap(step_fx: i64) -> u32 {
+    pub(crate) fn len_cap(step_fx: i64) -> u32 {
         let by_overflow = ((1i64 << 62) / step_fx.max(1)).min(LEN_CAP as i64);
         by_overflow.max(1) as u32
     }
@@ -102,19 +104,19 @@ impl ArithRun {
 /// A row's flat ticks as arithmetic runs plus a shared residual stream.
 /// The second-order counterpart of the flat-tick list inside
 /// [`crate::compressed::CompressedRow`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub(crate) struct RunRow {
-    runs: Vec<ArithRun>,
+    pub(crate) runs: Vec<ArithRun>,
     /// Residual bytes, one per flat of every run with `res_off != NO_RES`.
-    res: Vec<i8>,
+    pub(crate) res: Vec<i8>,
     /// Total flats across all runs.
-    count: i64,
+    pub(crate) count: i64,
 }
 
 impl RunRow {
     /// The exact flat tick at index `j` of `run`.
     #[inline]
-    fn flat_at(&self, run: &ArithRun, j: u32) -> i64 {
+    pub(crate) fn flat_at(&self, run: &ArithRun, j: u32) -> i64 {
         let modeled = run.start + ((j as i64 * run.step_fx) >> STEP_FRAC_BITS);
         if run.res_off == NO_RES {
             modeled
@@ -125,7 +127,7 @@ impl RunRow {
 
     /// The exact last flat tick of `run`.
     #[inline]
-    fn last_of(&self, run: &ArithRun) -> i64 {
+    pub(crate) fn last_of(&self, run: &ArithRun) -> i64 {
         self.flat_at(run, run.len - 1)
     }
 

@@ -208,15 +208,125 @@ pub struct ValueTable {
 fn solve_level(
     prev: &[i64],
     cur: &mut [i64],
+    arg: Option<&mut [u32]>,
+    n: i64,
+    q: i64,
+    inner: InnerLoop,
+) {
+    match inner {
+        // The warm path: the register-carried frontier sweep below.
+        InnerLoop::FrontierSweep | InnerLoop::EventDriven => match arg {
+            Some(arg) => sweep_fill::<true>(prev, cur, arg, n, q),
+            None => sweep_fill::<false>(prev, cur, &mut [], n, q),
+        },
+        InnerLoop::Bisection | InnerLoop::LinearScan => {
+            solve_level_search(prev, cur, arg, n, q, inner)
+        }
+    }
+}
+
+/// The frontier-sweep level fill, bounds-check-audited (the first rung
+/// of the ROADMAP's SIMD/bounds-check item). The crossing rule and
+/// tie-breaks are literally the classic sweep's — values and argmax are
+/// bit-identical — but the memory traffic is restructured so the
+/// steady-state tick performs **no reads at all**:
+///
+/// * the wait candidate `cur[l−1]` is the carried local `last`;
+/// * the four row values the candidates need — `prev`/`cur` at the
+///   frontier `s` and at `s+1` — live in locals and are reloaded only
+///   when the frontier *advances* (amortized ≤ 1 reload per tick across
+///   the level, typically ~1 per period), which also removes the
+///   per-tick bounds checks those indexed loads paid;
+/// * the trivial prefix `l ≤ Q+1` (identically zero: the paper's
+///   `(p+1)·c` zero region covers it for every level this fill solves)
+///   is written by a dedicated loop instead of running the full
+///   candidate machinery per tick.
+///
+/// The remaining per-tick slice accesses are the two sequential stores
+/// (`cur[l]`, and `arg[l]` when `KEEP`); eliding those too needs the
+/// blocked `split_at_mut` formulation — the next rung.
+fn sweep_fill<const KEEP: bool>(prev: &[i64], cur: &mut [i64], arg: &mut [u32], n: i64, q: i64) {
+    // Zero prefix: W(l) = 0 for l ≤ Q+1 on every level p ≥ 1, and a
+    // zero-value state burns its whole lifespan in one period.
+    let trivial = n.min(q + 1);
+    for l in 1..=trivial {
+        cur[l as usize] = 0;
+        if KEEP {
+            arg[l as usize] = l as u32;
+        }
+    }
+    if n <= q + 1 {
+        return;
+    }
+
+    // Frontier pointer s* = L − t*, nondecreasing in L (module docs),
+    // plus the cached row values at s* and s*+1. `cur[1]` is the zero
+    // just written above; `prev[0]` is 0 by the `cur[0] = 0` contract.
+    let mut frontier: i64 = 0;
+    let (mut prev_s, mut cur_s) = (prev[0], 0i64);
+    let (mut prev_s1, mut cur_s1) = (prev[1], cur[1]);
+    let mut last = 0i64; // cur[q+1], end of the trivial prefix
+
+    for l in q + 2..=n {
+        // Advance s* while the crossing condition
+        // h(s+1) = (s+1) + prev[s+1] − cur[s+1] ≤ L − Q still holds;
+        // h is nondecreasing and the threshold only rises with l, so
+        // the pointer never retreats.
+        let tau = l - q;
+        let s_cap = l - q - 1;
+        while frontier < s_cap && frontier + 1 + prev_s1 - cur_s1 <= tau {
+            frontier += 1;
+            prev_s = prev_s1;
+            cur_s = cur_s1;
+            // s*+1 ≤ l − Q, solved strictly earlier in this row (Q ≥ 1),
+            // so both reloads see final values.
+            let s1 = (frontier + 1) as usize;
+            prev_s1 = prev[s1];
+            cur_s1 = cur[s1];
+        }
+        let t_star = l - frontier;
+        let v_star = prev_s.min((t_star - q) + cur_s);
+        // The maximum of min(A, B) sits at the crossing t* or one tick
+        // before it; prefer t* on ties. t* > Q+1 ⇔ s* < s_cap.
+        let (cand_t, cand_v) = if frontier < s_cap {
+            let v_left = prev_s1.min((t_star - 1 - q) + cur_s1);
+            if v_left > v_star {
+                (t_star - 1, v_left)
+            } else {
+                (t_star, v_star)
+            }
+        } else {
+            (t_star, v_star)
+        };
+        // Wait candidate: a 1-tick (nonproductive) period. Any t ≤ Q is
+        // dominated by it; prefer a real period over waiting on ties.
+        let (mut best, mut best_t) = (last, 1i64);
+        if cand_v >= best {
+            best = cand_v;
+            best_t = cand_t;
+        }
+        if best == 0 {
+            best_t = l;
+        }
+        cur[l as usize] = best;
+        if KEEP {
+            arg[l as usize] = best_t as u32;
+        }
+        last = best;
+    }
+}
+
+/// The bisection / linear-scan ablation fills (the seed algorithms the
+/// sweep is benched against); candidate generation and tie-breaks match
+/// [`sweep_fill`] exactly.
+fn solve_level_search(
+    prev: &[i64],
+    cur: &mut [i64],
     mut arg: Option<&mut [u32]>,
     n: i64,
     q: i64,
     inner: InnerLoop,
 ) {
-    // Frontier pointer: the crossing residual s* = L − t*, nondecreasing
-    // in L (see module docs).
-    let mut frontier: i64 = 0;
-
     for l in 1..=n {
         let lu = l as usize;
         // Wait candidate: a 1-tick (nonproductive) period. Any t ≤ Q is
@@ -229,36 +339,7 @@ fn solve_level(
             let hi = l;
             let (cand_t, cand_v) = match inner {
                 InnerLoop::FrontierSweep | InnerLoop::EventDriven => {
-                    // Advance s* while the crossing condition
-                    // h(s+1) = (s+1) + prev[s+1] − cur[s+1] ≤ L − Q
-                    // still holds; h is nondecreasing and the threshold
-                    // only rises with l, so the pointer never retreats.
-                    let tau = l - q;
-                    let s_cap = l - q - 1;
-                    while frontier < s_cap {
-                        let s1 = (frontier + 1) as usize;
-                        if frontier + 1 + prev[s1] - cur[s1] <= tau {
-                            frontier += 1;
-                        } else {
-                            break;
-                        }
-                    }
-                    let su = frontier as usize;
-                    let t_star = l - frontier;
-                    let v_star = prev[su].min((t_star - q) + cur[su]);
-                    // The maximum of min(A, B) sits at the crossing t*
-                    // or one tick before it; prefer t* on ties.
-                    if t_star > lo {
-                        let s1 = su + 1;
-                        let v_left = prev[s1].min((t_star - 1 - q) + cur[s1]);
-                        if v_left > v_star {
-                            (t_star - 1, v_left)
-                        } else {
-                            (t_star, v_star)
-                        }
-                    } else {
-                        (t_star, v_star)
-                    }
+                    unreachable!("sweep variants use sweep_fill")
                 }
                 InnerLoop::Bisection => {
                     let a = |t: i64| prev[(l - t) as usize];
@@ -616,6 +697,14 @@ impl ValueTable {
     /// Largest lifespan the table covers.
     pub fn max_lifespan(&self) -> Time {
         self.grid.to_time(self.max_ticks)
+    }
+
+    /// Whether the table can answer every query up to `max_lifespan`,
+    /// with the same tolerance [`Self::value`] accepts — the coverage
+    /// check the [`crate::TableCache`] and the serving layer share, so
+    /// a "covered" table can never panic on the promised range.
+    pub fn covers(&self, max_lifespan: Time) -> bool {
+        max_lifespan.get() / self.grid.tick().get() <= self.max_ticks as f64 + 1e-9
     }
 
     /// Largest interrupt budget the table covers.

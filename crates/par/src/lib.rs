@@ -14,8 +14,11 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod pool;
 pub mod reduce;
 pub mod sweep;
+
+pub use pool::WorkerPool;
 
 use crossbeam::channel;
 use std::num::NonZeroUsize;

@@ -1,0 +1,613 @@
+//! The batched guarantee-query broker (see the crate docs for the
+//! serving model). All solve work funnels through one
+//! [`TableCache`] and one [`WorkerPool`]; request threads only group,
+//! look up and format.
+
+use cyclesteal_core::time::{Time, Work};
+use cyclesteal_dp::compressed::CompressedTable;
+use cyclesteal_dp::{CacheStats, TableCache};
+use cyclesteal_par::WorkerPool;
+use cyclesteal_store::CacheSnapshotExt;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Instant;
+
+/// One guarantee query: "how much work is guaranteed at
+/// `(setup, Q, p, L)`?" — the unit the wire protocol and the batch API
+/// share.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuaranteeQuery {
+    /// The setup charge `c`.
+    pub setup: Time,
+    /// Grid resolution in ticks per setup charge.
+    pub ticks_per_setup: u32,
+    /// The adversary's interrupt budget `p`.
+    pub interrupts: u32,
+    /// The episode lifespan `L`.
+    pub lifespan: Time,
+}
+
+/// One query's answer, in both the continuous and the exact grid view.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GuaranteeAnswer {
+    /// `W^(p)(L)` interpolated to the requested lifespan — bit-identical
+    /// to `table.value(p, L)` on the covering cached table.
+    pub value: Work,
+    /// The exact integer value at the nearest grid tick.
+    pub value_ticks: i64,
+}
+
+/// A structurally invalid query the broker refuses to solve (solver
+/// preconditions would panic on it instead).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryError {
+    /// Index of the offending query within the batch.
+    pub index: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query {} rejected: {}", self.index, self.reason)
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Broker construction options.
+#[derive(Clone, Debug, Default)]
+pub struct BrokerConfig {
+    /// Worker threads of the solve pool (`0` = machine default /
+    /// `CYCLESTEAL_THREADS`).
+    pub threads: usize,
+    /// Resident-bytes cap for the underlying [`TableCache`]
+    /// (`None` = unbounded). Evicted compressed tables are snapshotted
+    /// first when `snapshot_dir` is set.
+    pub memory_budget: Option<usize>,
+    /// Snapshot directory: warmed from at startup, snapshotted to on
+    /// eviction and on [`Broker::snapshot`].
+    pub snapshot_dir: Option<PathBuf>,
+}
+
+/// Everything the in-flight solve closures share with the broker.
+struct Shared {
+    cache: Arc<TableCache>,
+    inflight: StdMutex<HashMap<SolveKey, Arc<Flight>>>,
+}
+
+/// Single-flight key: one concurrent solve per `(setup, Q, p_max)` —
+/// the `TableCache` key shape (lifespan rides along via headroom).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct SolveKey {
+    setup_bits: u64,
+    ticks_per_setup: u32,
+    max_interrupts: u32,
+}
+
+/// One in-flight solve: followers park on the condvar until the leader
+/// publishes. `Err(())` means the leader died without publishing
+/// (poisoned flight) — followers then solve for themselves.
+struct Flight {
+    result: StdMutex<Option<Result<Arc<CompressedTable>, ()>>>,
+    cv: Condvar,
+}
+
+/// Removes the flight from the in-flight map on drop and poisons it if
+/// the leader never published — a panicking solve must not strand its
+/// followers on the condvar forever.
+struct FlightGuard<'a> {
+    shared: &'a Shared,
+    key: SolveKey,
+    flight: Arc<Flight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        {
+            let mut result = self.flight.result.lock().unwrap_or_else(|e| e.into_inner());
+            if result.is_none() {
+                *result = Some(Err(()));
+            }
+        }
+        self.flight.cv.notify_all();
+        if let Ok(mut map) = self.shared.inflight.lock() {
+            map.remove(&self.key);
+        }
+    }
+}
+
+const HIST_BUCKETS: usize = 40;
+
+/// Per-endpoint counters: request/query totals, solves coalesced onto
+/// another request's flight, and a log₂-bucketed latency histogram
+/// (microseconds), from which the p50/p99 snapshots are read.
+struct Endpoint {
+    requests: AtomicU64,
+    queries: AtomicU64,
+    coalesced: AtomicU64,
+    hist: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Endpoint {
+    fn default() -> Endpoint {
+        Endpoint {
+            requests: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Endpoint {
+    fn record(&self, queries: usize, elapsed_us: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(queries as u64, Ordering::Relaxed);
+        let bucket = (63 - (elapsed_us.max(1)).leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile request —
+    /// accurate to within the 2× bucket width.
+    fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .hist
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return (1u64 << (i + 1)).saturating_sub(1);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A point-in-time view of one endpoint's counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Endpoint label (`"inproc"`, `"tcp"`).
+    pub endpoint: String,
+    /// Batches served.
+    pub requests: u64,
+    /// Individual queries answered across those batches.
+    pub queries: u64,
+    /// Solves this endpoint's requests coalesced onto another request's
+    /// in-flight solve instead of running themselves.
+    pub coalesced: u64,
+    /// Approximate median batch latency in microseconds (log₂ bucket
+    /// upper bound).
+    pub p50_us: u64,
+    /// Approximate 99th-percentile batch latency in microseconds.
+    pub p99_us: u64,
+}
+
+/// Broker-level observability: per-endpoint request stats plus the
+/// underlying cache's hit/miss/eviction/residency counters.
+#[derive(Clone, Debug)]
+pub struct BrokerStats {
+    /// One entry per endpoint that served at least one request, sorted
+    /// by label.
+    pub endpoints: Vec<EndpointStats>,
+    /// The shared [`TableCache`]'s counters (hits, misses, evictions,
+    /// resident bytes, entry counts).
+    pub cache: CacheStats,
+}
+
+/// The batched guarantee-query broker. Cheap to share: wrap it in an
+/// [`Arc`] and hand clones to every connection/test thread.
+pub struct Broker {
+    shared: Arc<Shared>,
+    pool: WorkerPool,
+    snapshot_dir: Option<PathBuf>,
+    endpoints: parking_lot::Mutex<HashMap<&'static str, Arc<Endpoint>>>,
+}
+
+impl Broker {
+    /// Builds a broker: a fresh [`TableCache`] (budgeted if configured),
+    /// a worker pool, and — when a snapshot directory is configured — a
+    /// warm start from it plus snapshot-on-evict wiring. Returns the
+    /// warm-start I/O error if the directory exists but cannot be read.
+    pub fn new(config: BrokerConfig) -> Result<Broker, cyclesteal_store::StoreError> {
+        let cache = Arc::new(TableCache::new());
+        cache.set_memory_budget(config.memory_budget);
+        if let Some(dir) = &config.snapshot_dir {
+            cache.warm_from_dir(dir)?;
+            cache.set_evict_hook(Some(cyclesteal_store::evict_hook_to_dir(dir.clone())));
+        }
+        Ok(Broker {
+            shared: Arc::new(Shared {
+                cache,
+                inflight: StdMutex::new(HashMap::new()),
+            }),
+            pool: WorkerPool::new(config.threads),
+            snapshot_dir: config.snapshot_dir,
+            endpoints: parking_lot::Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The broker's shared solve cache (for diffing broker answers
+    /// against direct queries, and for operational introspection).
+    pub fn cache(&self) -> &TableCache {
+        &self.shared.cache
+    }
+
+    /// Answers a batch of queries, grouping them per `(setup, Q)` grid,
+    /// resolving each grid's covering table once (coalescing with any
+    /// concurrent request for the same solve), and answering every
+    /// query by table lookup. Answers are in input order and
+    /// bit-identical to querying the covering `TableCache` table
+    /// directly.
+    pub fn query_batch(
+        &self,
+        queries: &[GuaranteeQuery],
+    ) -> Result<Vec<GuaranteeAnswer>, QueryError> {
+        self.query_batch_at("inproc", queries)
+    }
+
+    /// [`Self::query_batch`] recorded under an explicit endpoint label —
+    /// what the TCP server calls with `"tcp"`.
+    pub fn query_batch_at(
+        &self,
+        endpoint: &'static str,
+        queries: &[GuaranteeQuery],
+    ) -> Result<Vec<GuaranteeAnswer>, QueryError> {
+        let start = Instant::now();
+        validate(queries)?;
+        let ep = self.endpoint(endpoint);
+
+        // Group by grid; each group solves once at the max (p, L) asked
+        // of it — a p_max solve holds every smaller budget exactly.
+        let mut groups: HashMap<(u64, u32), GuaranteeQuery> = HashMap::new();
+        for q in queries {
+            groups
+                .entry((q.setup.get().to_bits(), q.ticks_per_setup))
+                .and_modify(|g| {
+                    if q.lifespan > g.lifespan {
+                        g.lifespan = q.lifespan;
+                    }
+                    if q.interrupts > g.interrupts {
+                        g.interrupts = q.interrupts;
+                    }
+                })
+                .or_insert(*q);
+        }
+
+        let group_list: Vec<((u64, u32), GuaranteeQuery)> = groups.into_iter().collect();
+        let tables: Vec<Arc<CompressedTable>> = if group_list.len() <= 1 {
+            // The common case (one grid per batch) resolves inline —
+            // no pool hand-off latency.
+            group_list
+                .iter()
+                .map(|(_, g)| resolve(&self.shared, &ep, g))
+                .collect()
+        } else {
+            let jobs: Vec<_> = group_list
+                .iter()
+                .map(|(_, g)| {
+                    let shared = self.shared.clone();
+                    let ep = ep.clone();
+                    let g = *g;
+                    move || resolve(&shared, &ep, &g)
+                })
+                .collect();
+            self.pool.scatter(jobs)
+        };
+        let by_group: HashMap<(u64, u32), Arc<CompressedTable>> =
+            group_list.iter().map(|(k, _)| *k).zip(tables).collect();
+
+        let answers = queries
+            .iter()
+            .map(|q| {
+                let table = &by_group[&(q.setup.get().to_bits(), q.ticks_per_setup)];
+                let ticks = table
+                    .grid()
+                    .to_ticks(q.lifespan)
+                    .clamp(0, table.max_ticks());
+                GuaranteeAnswer {
+                    value: table.value(q.interrupts, q.lifespan),
+                    value_ticks: table.value_ticks(q.interrupts, ticks),
+                }
+            })
+            .collect();
+        ep.record(queries.len(), start.elapsed().as_micros() as u64);
+        Ok(answers)
+    }
+
+    /// Snapshot every cached table to the configured directory (no-op
+    /// `Ok(0)` without one) — the graceful-shutdown path.
+    pub fn snapshot(&self) -> Result<usize, cyclesteal_store::StoreError> {
+        match &self.snapshot_dir {
+            Some(dir) => self.shared.cache.snapshot_to_dir(dir),
+            None => Ok(0),
+        }
+    }
+
+    /// Per-endpoint and cache-level counters.
+    pub fn stats(&self) -> BrokerStats {
+        let mut endpoints: Vec<EndpointStats> = self
+            .endpoints
+            .lock()
+            .iter()
+            .map(|(name, ep)| EndpointStats {
+                endpoint: (*name).to_string(),
+                requests: ep.requests.load(Ordering::Relaxed),
+                queries: ep.queries.load(Ordering::Relaxed),
+                coalesced: ep.coalesced.load(Ordering::Relaxed),
+                p50_us: ep.quantile_us(0.50),
+                p99_us: ep.quantile_us(0.99),
+            })
+            .collect();
+        endpoints.sort_by(|a, b| a.endpoint.cmp(&b.endpoint));
+        BrokerStats {
+            endpoints,
+            cache: self.shared.cache.stats(),
+        }
+    }
+
+    fn endpoint(&self, name: &'static str) -> Arc<Endpoint> {
+        self.endpoints.lock().entry(name).or_default().clone()
+    }
+}
+
+/// Largest grid extent (in ticks) one query may demand —
+/// ~16× the `10⁹`-tick acceptance point, still a sub-minute solve.
+/// Solve cost scales with the tick count, so without this cap a single
+/// 24-byte frame could demand an effectively unbounded solve.
+pub const MAX_QUERY_TICKS: i64 = 1 << 34;
+
+/// Largest interrupt budget one query may demand (one solved level per
+/// interrupt).
+pub const MAX_QUERY_INTERRUPTS: u32 = 1 << 12;
+
+/// Largest grid resolution one query may demand.
+pub const MAX_QUERY_TICKS_PER_SETUP: u32 = 1 << 20;
+
+fn validate(queries: &[GuaranteeQuery]) -> Result<(), QueryError> {
+    for (index, q) in queries.iter().enumerate() {
+        let reason = if !q.setup.get().is_finite() || !q.setup.is_positive() {
+            Some(format!("setup charge {} must be positive", q.setup))
+        } else if q.ticks_per_setup < 1 {
+            Some("ticks_per_setup must be ≥ 1".to_string())
+        } else if q.ticks_per_setup > MAX_QUERY_TICKS_PER_SETUP {
+            Some(format!(
+                "ticks_per_setup {} exceeds the broker cap {MAX_QUERY_TICKS_PER_SETUP}",
+                q.ticks_per_setup
+            ))
+        } else if q.interrupts > MAX_QUERY_INTERRUPTS {
+            Some(format!(
+                "interrupt budget {} exceeds the broker cap {MAX_QUERY_INTERRUPTS}",
+                q.interrupts
+            ))
+        } else if !q.lifespan.get().is_finite() || q.lifespan.is_negative() {
+            Some(format!("lifespan {} must be nonnegative", q.lifespan))
+        } else {
+            // Solve cost scales with the tick extent, so the magnitude
+            // cap is on ticks, not raw lifespan: a tiny setup charge at
+            // a huge lifespan is just as expensive.
+            let ticks = q.lifespan.get() / q.setup.get() * q.ticks_per_setup as f64;
+            if ticks > MAX_QUERY_TICKS as f64 {
+                Some(format!(
+                    "lifespan {} at this resolution is {ticks:.0} ticks, over the broker cap {MAX_QUERY_TICKS}",
+                    q.lifespan
+                ))
+            } else {
+                None
+            }
+        };
+        if let Some(reason) = reason {
+            return Err(QueryError { index, reason });
+        }
+    }
+    Ok(())
+}
+
+/// Resolves one grid group to a covering table with single-flight
+/// coalescing: the first arrival for a `(setup, Q, p_max)` key leads
+/// the solve (through the cache, so already-cached tables are plain
+/// hits); concurrent arrivals park and reuse its result. A follower
+/// whose lifespan outruns what the leader solved falls back to its own
+/// cache call (rare: headroom absorbs creeping lifespans).
+fn resolve(shared: &Shared, ep: &Endpoint, g: &GuaranteeQuery) -> Arc<CompressedTable> {
+    let key = SolveKey {
+        setup_bits: g.setup.get().to_bits(),
+        ticks_per_setup: g.ticks_per_setup,
+        max_interrupts: g.interrupts,
+    };
+    let (flight, leader) = {
+        let mut map = shared.inflight.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(&key) {
+            Some(flight) => (flight.clone(), false),
+            None => {
+                let flight = Arc::new(Flight {
+                    result: StdMutex::new(None),
+                    cv: Condvar::new(),
+                });
+                map.insert(key, flight.clone());
+                (flight, true)
+            }
+        }
+    };
+
+    if leader {
+        let guard = FlightGuard {
+            shared,
+            key,
+            flight: flight.clone(),
+        };
+        let table =
+            shared
+                .cache
+                .get_compressed(g.setup, g.ticks_per_setup, g.lifespan, g.interrupts);
+        *flight.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(table.clone()));
+        drop(guard); // notifies followers, removes the flight
+        return table;
+    }
+
+    ep.coalesced.fetch_add(1, Ordering::Relaxed);
+    let mut result = flight.result.lock().unwrap_or_else(|e| e.into_inner());
+    while result.is_none() {
+        result = flight.cv.wait(result).unwrap_or_else(|e| e.into_inner());
+    }
+    match result.clone().expect("loop exits only when set") {
+        // `covers` is the table's own coverage contract — the same
+        // check the cache applies — so a coalesced result is never
+        // returned for a range it cannot answer.
+        Ok(table) if table.covers(g.lifespan) => table,
+        // Leader died, or solved a smaller lifespan than we need: pay
+        // our own cache call (usually still a hit).
+        _ => shared
+            .cache
+            .get_compressed(g.setup, g.ticks_per_setup, g.lifespan, g.interrupts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::time::secs;
+
+    fn q(setup: f64, ticks: u32, p: u32, lifespan: f64) -> GuaranteeQuery {
+        GuaranteeQuery {
+            setup: secs(setup),
+            ticks_per_setup: ticks,
+            interrupts: p,
+            lifespan: secs(lifespan),
+        }
+    }
+
+    #[test]
+    fn batch_answers_match_direct_cache_queries() {
+        let broker = Broker::new(BrokerConfig::default()).unwrap();
+        let queries = vec![
+            q(1.0, 8, 1, 40.0),
+            q(1.0, 8, 2, 100.0),
+            q(1.0, 8, 2, 0.0),
+            q(2.0, 4, 1, 60.0),
+        ];
+        let answers = broker.query_batch(&queries).unwrap();
+        // Two grids → at most two solves, whatever the batch size.
+        assert!(broker.cache().stats().misses <= 2);
+        for (query, answer) in queries.iter().zip(&answers) {
+            let direct = broker.cache().get_compressed(
+                query.setup,
+                query.ticks_per_setup,
+                query.lifespan,
+                query.interrupts,
+            );
+            let want = direct.value(query.interrupts, query.lifespan);
+            assert_eq!(
+                answer.value.get().to_bits(),
+                want.get().to_bits(),
+                "value at {query:?}"
+            );
+            let ticks = direct.grid().to_ticks(query.lifespan);
+            assert_eq!(
+                answer.value_ticks,
+                direct.value_ticks(query.interrupts, ticks)
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_queries_are_rejected_not_solved() {
+        let broker = Broker::new(BrokerConfig::default()).unwrap();
+        // NaN/infinite inputs cannot exist in-process (`Time::new`
+        // refuses them); the wire decoder rejects those bit patterns
+        // before they ever reach the broker (see `wire::finite_time`).
+        let bad = [
+            q(-1.0, 8, 1, 40.0),
+            q(0.0, 8, 1, 40.0),
+            q(1.0, 0, 1, 40.0),
+            q(1.0, 8, 1, -40.0),
+        ];
+        for (i, query) in bad.iter().enumerate() {
+            let batch = [q(1.0, 8, 1, 10.0), *query];
+            let err = broker.query_batch(&batch).unwrap_err();
+            assert_eq!(err.index, 1, "bad case {i}");
+        }
+        assert_eq!(broker.cache().stats().misses, 0, "nothing was solved");
+    }
+
+    #[test]
+    fn oversized_queries_are_rejected_before_solving() {
+        // A 24-byte frame must not be able to demand an unbounded
+        // solve: the caps on tick extent, interrupts and resolution
+        // all reject before any table is built.
+        let broker = Broker::new(BrokerConfig::default()).unwrap();
+        let too_big = [
+            q(1.0, 8, 1, 1e300),                            // astronomic lifespan
+            q(1e-12, 8, 1, 1e6),                            // tiny setup ⇒ huge tick count
+            q(1.0, 8, MAX_QUERY_INTERRUPTS + 1, 10.0),      // interrupt budget
+            q(1.0, MAX_QUERY_TICKS_PER_SETUP + 1, 1, 10.0), // resolution
+        ];
+        for (i, query) in too_big.iter().enumerate() {
+            assert!(broker.query_batch(&[*query]).is_err(), "cap case {i}");
+        }
+        assert_eq!(broker.cache().stats().misses, 0, "nothing was solved");
+        // The acceptance-scale deep query (10⁹ ticks) stays well inside
+        // the caps.
+        let deep = q(1.0, 32, 16, 31_250_000.0);
+        assert!(super::validate(&[deep]).is_ok());
+    }
+
+    #[test]
+    fn stats_track_requests_and_endpoints() {
+        let broker = Broker::new(BrokerConfig::default()).unwrap();
+        broker.query_batch(&[q(1.0, 8, 1, 20.0)]).unwrap();
+        broker
+            .query_batch_at("tcp", &[q(1.0, 8, 1, 20.0), q(1.0, 8, 1, 10.0)])
+            .unwrap();
+        let stats = broker.stats();
+        assert_eq!(stats.endpoints.len(), 2);
+        let inproc = &stats.endpoints[0];
+        assert_eq!(
+            (inproc.endpoint.as_str(), inproc.requests, inproc.queries),
+            ("inproc", 1, 1)
+        );
+        let tcp = &stats.endpoints[1];
+        assert_eq!(
+            (tcp.endpoint.as_str(), tcp.requests, tcp.queries),
+            ("tcp", 1, 2)
+        );
+        assert!(inproc.p50_us > 0, "latency histogram recorded");
+        assert!(inproc.p99_us >= inproc.p50_us);
+        assert_eq!(stats.cache.hits + stats.cache.misses, 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_requests_coalesce() {
+        let broker = Arc::new(Broker::new(BrokerConfig::default()).unwrap());
+        // A moderately expensive grid so the flights genuinely overlap.
+        let query = q(1.0, 16, 3, 20_000.0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let broker = broker.clone();
+                scope.spawn(move || broker.query_batch(&[query]).unwrap());
+            }
+        });
+        let stats = broker.stats();
+        // Single-flight: the 8 concurrent requests ran ≤ … well, at
+        // least one coalesced or hit the cache; never 8 solves.
+        assert!(
+            stats.cache.misses < 8,
+            "8 identical requests must not run 8 solves (got {})",
+            stats.cache.misses
+        );
+        let answers: Vec<_> = (0..3)
+            .map(|_| broker.query_batch(&[query]).unwrap()[0])
+            .collect();
+        assert!(answers.windows(2).all(|w| w[0] == w[1]));
+    }
+}

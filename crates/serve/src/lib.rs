@@ -1,0 +1,73 @@
+//! # cyclesteal-serve
+//!
+//! The serving layer over the exact solver stack: a thread-pool request
+//! **broker** that answers batched guarantee queries
+//! `(setup, Q, p, L)` from shared [`cyclesteal_dp::TableCache`] solves,
+//! plus a small TCP **server/client** pair speaking a length-prefixed
+//! binary framing — no async runtime, no serialization crates (this is
+//! a registry-less environment), just `std::net` and plain threads.
+//!
+//! ## Why a broker
+//!
+//! One solved `(setup, Q, p_max)` table answers *every* query at
+//! smaller `p` and `L` exactly, so under multi-user traffic the right
+//! unit of work is the **table**, not the query. [`Broker`] exploits
+//! that three ways:
+//!
+//! * **batching** — a request carries many queries; the broker groups
+//!   them per grid and resolves each grid once, then answers every
+//!   query by lookup;
+//! * **coalescing** — concurrent requests needing the same
+//!   `(setup, Q, p_max)` solve join a single in-flight solve
+//!   (single-flight) instead of duplicating it, on top of the
+//!   `TableCache`'s own key dedup;
+//! * **warm starts** — with a snapshot directory configured, the broker
+//!   loads previously solved tables at startup
+//!   ([`cyclesteal_store::CacheSnapshotExt::warm_from_dir`]) and
+//!   snapshots tables the memory budget evicts
+//!   ([`cyclesteal_store::evict_hook_to_dir`]), so a restart skips the
+//!   solves entirely.
+//!
+//! Answers are **bit-identical** to direct `TableCache` queries — the
+//! broker serves the same `CompressedTable` values every other path in
+//! the repository serves (the equivalence suite pins compressed ==
+//! dense), and `tests/serve_props.rs` pins broker == direct under
+//! concurrent multi-client load.
+//!
+//! ## In-process use
+//!
+//! ```
+//! use cyclesteal_core::time::secs;
+//! use cyclesteal_serve::{Broker, BrokerConfig, GuaranteeQuery};
+//!
+//! let broker = Broker::new(BrokerConfig::default()).unwrap();
+//! let answers = broker
+//!     .query_batch(&[GuaranteeQuery {
+//!         setup: secs(1.0),
+//!         ticks_per_setup: 8,
+//!         interrupts: 2,
+//!         lifespan: secs(100.0),
+//!     }])
+//!     .unwrap();
+//! assert!(answers[0].value.get() > 0.0);
+//! ```
+//!
+//! ## Over TCP
+//!
+//! [`Server::start`] binds a listener and serves each connection on its
+//! own thread (solves still share the broker's worker pool);
+//! [`Client`] frames batches to it. See [`wire`] for the exact byte
+//! protocol.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod broker;
+pub mod server;
+pub mod wire;
+
+pub use broker::{
+    Broker, BrokerConfig, BrokerStats, EndpointStats, GuaranteeAnswer, GuaranteeQuery, QueryError,
+};
+pub use server::{Client, Server};

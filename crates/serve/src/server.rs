@@ -1,0 +1,239 @@
+//! TCP transport: [`Server`] binds a listener and serves the broker
+//! over the [`crate::wire`] framing; [`Client`] is the matching caller.
+//!
+//! Threading model: the acceptor runs on one thread; each accepted
+//! connection gets its own handler thread (requests on one connection
+//! are processed in order — pipelining is the client's choice); the
+//! *solves* all funnel through the broker's shared worker pool and
+//! cache, so a hundred connections still coalesce onto one solve per
+//! `(setup, Q, p_max)` key. Handler threads end when their peer
+//! disconnects; [`Server::shutdown`] stops accepting and joins the
+//! acceptor (draining connections keep serving until their clients
+//! hang up — a restart-friendly, never-drop-a-request default).
+
+use crate::broker::{Broker, BrokerStats, GuaranteeAnswer, GuaranteeQuery};
+use crate::wire;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running TCP front-end over a shared [`Broker`].
+pub struct Server {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections against `broker`.
+    pub fn start(addr: impl ToSocketAddrs, broker: Arc<Broker>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Nonblocking accept + short sleep lets shutdown() stop the
+        // acceptor without a self-connect trick.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = stop.clone();
+        let acceptor = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let broker = broker.clone();
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(stream, &broker);
+                        });
+                    }
+                    // accept() can fail transiently under load
+                    // (ECONNABORTED on a reset handshake, EMFILE on fd
+                    // exhaustion). Dropping the listener over one of
+                    // those would silently refuse every future
+                    // connection, so *no* error kills the acceptor —
+                    // only shutdown() does. Backing off briefly lets
+                    // fd-exhaustion cases drain.
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+        });
+        Ok(Server {
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting new connections and joins the acceptor thread.
+    /// Connections already established keep serving until their clients
+    /// disconnect.
+    pub fn shutdown(mut self) {
+        self.stop_acceptor();
+    }
+
+    fn stop_acceptor(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_acceptor();
+    }
+}
+
+/// One connection's request loop: frame in, dispatch, frame out, until
+/// the peer hangs up. A malformed request answers an error frame and
+/// keeps the connection (the framing itself is still intact); a framing
+/// error tears the connection down.
+fn serve_connection(stream: TcpStream, broker: &Broker) -> io::Result<()> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = wire::read_frame(&mut reader)? {
+        let response = handle_request(&payload, broker);
+        wire::write_frame(&mut writer, &response)?;
+    }
+    writer.flush()
+}
+
+fn handle_request(payload: &[u8], broker: &Broker) -> Vec<u8> {
+    match payload.split_first() {
+        Some((&wire::OP_QUERY_BATCH, body)) => match wire::decode_query_batch(&mut { body }) {
+            Ok(queries) => match broker.query_batch_at("tcp", &queries) {
+                Ok(answers) => wire::encode_answers(&answers),
+                Err(e) => wire::encode_error(&e.to_string()),
+            },
+            Err(e) => wire::encode_error(&format!("malformed query batch: {e}")),
+        },
+        Some((&wire::OP_STATS, [])) => wire::encode_stats(&broker.stats()),
+        Some((&wire::OP_STATS, _)) => wire::encode_error("stats request carries no body"),
+        Some((op, _)) => wire::encode_error(&format!("unknown opcode {op}")),
+        None => wire::encode_error("empty request"),
+    }
+}
+
+/// A blocking client for the [`Server`]'s wire protocol. One request at
+/// a time per client; open several clients (they're cheap) for
+/// concurrent load.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn round_trip(&mut self, request: &[u8]) -> io::Result<Vec<u8>> {
+        wire::write_frame(&mut self.writer, request)?;
+        wire::read_frame(&mut self.reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
+        })
+    }
+
+    /// Sends one batch of queries and returns the answers in input
+    /// order. Values cross the wire as IEEE bit patterns, so what the
+    /// broker computed is exactly what this returns.
+    pub fn query_batch(&mut self, queries: &[GuaranteeQuery]) -> io::Result<Vec<GuaranteeAnswer>> {
+        let response = self.round_trip(&wire::encode_query_batch(queries))?;
+        let answers = wire::decode_answers(&response)?;
+        if answers.len() != queries.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "answer count does not match query count",
+            ));
+        }
+        Ok(answers)
+    }
+
+    /// Fetches the broker's per-endpoint and cache stats.
+    pub fn stats(&mut self) -> io::Result<BrokerStats> {
+        let response = self.round_trip(&[wire::OP_STATS])?;
+        wire::decode_stats(&response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use cyclesteal_core::time::secs;
+
+    fn query(p: u32, lifespan: f64) -> GuaranteeQuery {
+        GuaranteeQuery {
+            setup: secs(1.0),
+            ticks_per_setup: 8,
+            interrupts: p,
+            lifespan: secs(lifespan),
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip_matches_in_process_broker() {
+        let broker = Arc::new(Broker::new(BrokerConfig::default()).unwrap());
+        let server = Server::start("127.0.0.1:0", broker.clone()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let queries: Vec<GuaranteeQuery> = (1..=3).map(|p| query(p, 40.0 * p as f64)).collect();
+        let over_wire = client.query_batch(&queries).unwrap();
+        let direct = broker.query_batch(&queries).unwrap();
+        for (a, b) in over_wire.iter().zip(&direct) {
+            assert_eq!(a.value.get().to_bits(), b.value.get().to_bits());
+            assert_eq!(a.value_ticks, b.value_ticks);
+        }
+
+        let stats = client.stats().unwrap();
+        assert!(stats.endpoints.iter().any(|e| e.endpoint == "tcp"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_error_without_killing_the_connection() {
+        let broker = Arc::new(Broker::new(BrokerConfig::default()).unwrap());
+        let server = Server::start("127.0.0.1:0", broker).unwrap();
+        let stream = TcpStream::connect(server.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = BufWriter::new(stream);
+
+        // Unknown opcode → error frame, connection stays up.
+        wire::write_frame(&mut writer, &[99u8]).unwrap();
+        let resp = wire::read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(resp[0], wire::STATUS_ERR);
+
+        // An invalid query (negative setup) → error frame too.
+        let bad = wire::encode_query_batch(&[GuaranteeQuery {
+            setup: secs(-1.0),
+            ticks_per_setup: 8,
+            interrupts: 1,
+            lifespan: secs(10.0),
+        }]);
+        wire::write_frame(&mut writer, &bad).unwrap();
+        let resp = wire::read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(resp[0], wire::STATUS_ERR);
+
+        // And the connection still answers a good batch afterwards.
+        wire::write_frame(&mut writer, &wire::encode_query_batch(&[query(1, 20.0)])).unwrap();
+        let resp = wire::read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(resp[0], wire::STATUS_OK);
+        server.shutdown();
+    }
+}

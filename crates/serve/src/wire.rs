@@ -1,0 +1,420 @@
+//! The wire protocol: length-prefixed binary frames over a byte stream.
+//!
+//! Every message is one **frame**: a `u32` little-endian payload length
+//! followed by that many payload bytes (capped at [`MAX_FRAME_BYTES`] —
+//! a corrupt peer cannot make the server allocate unboundedly). All
+//! multi-byte integers are little-endian; `f64`s travel as their IEEE
+//! bit patterns, so answers survive the wire **bit-identically**.
+//!
+//! Request payload:
+//!
+//! ```text
+//! op  u8          1 = query batch, 2 = stats
+//! op 1: count u32, then per query (24 B):
+//!       setup_bits u64 · ticks_per_setup u32 · interrupts u32 · lifespan_bits u64
+//! op 2: (empty)
+//! ```
+//!
+//! Response payload:
+//!
+//! ```text
+//! status u8       0 = ok, 1 = error
+//! ok, op 1: count u32, then per answer (16 B): value_bits u64 · value_ticks i64
+//! ok, op 2: hits u64 · misses u64 · evictions u64 · entries u64 ·
+//!           compressed_entries u64 · resident_bytes u64 ·
+//!           endpoint_count u32, then per endpoint:
+//!           name_len u8 · name bytes · requests u64 · queries u64 ·
+//!           coalesced u64 · p50_us u64 · p99_us u64
+//! error:    UTF-8 message (the rest of the payload)
+//! ```
+
+use crate::broker::{BrokerStats, EndpointStats, GuaranteeAnswer, GuaranteeQuery};
+use cyclesteal_core::time::Time;
+use cyclesteal_dp::CacheStats;
+use std::io::{self, Read, Write};
+
+/// Largest payload either side will accept (64 MiB ≈ 2.7M queries per
+/// batch — far past any sane batch, small enough to bound allocation).
+pub const MAX_FRAME_BYTES: u32 = 1 << 26;
+
+/// Request opcode: batched guarantee queries.
+pub const OP_QUERY_BATCH: u8 = 1;
+/// Request opcode: broker stats.
+pub const OP_STATS: u8 = 2;
+
+/// Response status: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status: error (payload is a UTF-8 message).
+pub const STATUS_ERR: u8 = 1;
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(invalid("frame exceeds MAX_FRAME_BYTES"));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame's payload. `Ok(None)` is a clean EOF *between*
+/// frames (the peer hung up); EOF mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    // A clean close before any length byte is a normal end of session;
+    // a signal landing mid-wait (Interrupted) is retried, matching
+    // read_exact's convention — neither should tear the session down.
+    loop {
+        match r.read(&mut len) {
+            Ok(0) => return Ok(None),
+            Ok(n) => {
+                r.read_exact(&mut len[n..])?;
+                break;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME_BYTES {
+        return Err(invalid("frame length exceeds MAX_FRAME_BYTES"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn invalid(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Rebuilds a [`Time`] from wire bits, rejecting NaN/infinite patterns
+/// *before* construction — `Time::new` panics on them, and a corrupt or
+/// hostile peer must never be able to panic the decoder.
+fn finite_time(bits: u64) -> io::Result<Time> {
+    let v = f64::from_bits(bits);
+    if v.is_finite() {
+        Ok(Time::new(v))
+    } else {
+        Err(invalid("non-finite time value on the wire"))
+    }
+}
+
+// ---- payload encode/decode -------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or_else(|| invalid("payload truncated"))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+    fn done(&self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(invalid("trailing bytes in payload"))
+        }
+    }
+}
+
+/// Encodes a query-batch request payload.
+pub fn encode_query_batch(queries: &[GuaranteeQuery]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + queries.len() * 24);
+    out.push(OP_QUERY_BATCH);
+    out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
+    for q in queries {
+        out.extend_from_slice(&q.setup.get().to_bits().to_le_bytes());
+        out.extend_from_slice(&q.ticks_per_setup.to_le_bytes());
+        out.extend_from_slice(&q.interrupts.to_le_bytes());
+        out.extend_from_slice(&q.lifespan.get().to_bits().to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a query-batch request payload (after the op byte was read).
+pub fn decode_query_batch(r: &mut &[u8]) -> io::Result<Vec<GuaranteeQuery>> {
+    let mut rd = Reader { buf: r, pos: 0 };
+    let count = rd.u32()? as usize;
+    // checked_mul: on 32-bit targets a hostile count could wrap the
+    // size check and reach a huge Vec::with_capacity below.
+    if count.checked_mul(24) != Some(rd.buf.len() - rd.pos) {
+        return Err(invalid("query count does not match payload size"));
+    }
+    let mut queries = Vec::with_capacity(count);
+    for _ in 0..count {
+        queries.push(GuaranteeQuery {
+            setup: finite_time(rd.u64()?)?,
+            ticks_per_setup: rd.u32()?,
+            interrupts: rd.u32()?,
+            lifespan: finite_time(rd.u64()?)?,
+        });
+    }
+    rd.done()?;
+    Ok(queries)
+}
+
+/// Encodes a successful query-batch response payload.
+pub fn encode_answers(answers: &[GuaranteeAnswer]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + answers.len() * 16);
+    out.push(STATUS_OK);
+    out.extend_from_slice(&(answers.len() as u32).to_le_bytes());
+    for a in answers {
+        out.extend_from_slice(&a.value.get().to_bits().to_le_bytes());
+        out.extend_from_slice(&a.value_ticks.to_le_bytes());
+    }
+    out
+}
+
+/// Encodes an error response payload.
+pub fn encode_error(message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + message.len());
+    out.push(STATUS_ERR);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Splits a response payload into its status-checked body: `Ok` bytes
+/// after the status on success, the server's message as an
+/// `InvalidData` error otherwise.
+fn response_body(payload: &[u8]) -> io::Result<&[u8]> {
+    match payload.split_first() {
+        Some((&STATUS_OK, body)) => Ok(body),
+        Some((&STATUS_ERR, body)) => Err(invalid(&format!(
+            "server error: {}",
+            String::from_utf8_lossy(body)
+        ))),
+        _ => Err(invalid("empty response payload")),
+    }
+}
+
+/// Decodes a query-batch response payload.
+pub fn decode_answers(payload: &[u8]) -> io::Result<Vec<GuaranteeAnswer>> {
+    let body = response_body(payload)?;
+    let mut rd = Reader { buf: body, pos: 0 };
+    let count = rd.u32()? as usize;
+    if count.checked_mul(16) != Some(body.len() - 4) {
+        return Err(invalid("answer count does not match payload size"));
+    }
+    let mut answers = Vec::with_capacity(count);
+    for _ in 0..count {
+        answers.push(GuaranteeAnswer {
+            value: finite_time(rd.u64()?)?,
+            value_ticks: rd.u64()? as i64,
+        });
+    }
+    rd.done()?;
+    Ok(answers)
+}
+
+/// Encodes a stats response payload.
+pub fn encode_stats(stats: &BrokerStats) -> Vec<u8> {
+    let mut out = vec![STATUS_OK];
+    for v in [
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache.evictions,
+        stats.cache.entries as u64,
+        stats.cache.compressed_entries as u64,
+        stats.cache.resident_bytes as u64,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out.extend_from_slice(&(stats.endpoints.len() as u32).to_le_bytes());
+    for ep in &stats.endpoints {
+        let name = ep.endpoint.as_bytes();
+        out.push(name.len().min(255) as u8);
+        out.extend_from_slice(&name[..name.len().min(255)]);
+        for v in [ep.requests, ep.queries, ep.coalesced, ep.p50_us, ep.p99_us] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a stats response payload.
+pub fn decode_stats(payload: &[u8]) -> io::Result<BrokerStats> {
+    let body = response_body(payload)?;
+    let mut rd = Reader { buf: body, pos: 0 };
+    let cache = CacheStats {
+        hits: rd.u64()?,
+        misses: rd.u64()?,
+        evictions: rd.u64()?,
+        entries: rd.u64()? as usize,
+        compressed_entries: rd.u64()? as usize,
+        resident_bytes: rd.u64()? as usize,
+    };
+    let count = rd.u32()? as usize;
+    let mut endpoints = Vec::new();
+    for _ in 0..count {
+        let name_len = rd.u8()? as usize;
+        let name = String::from_utf8_lossy(rd.take(name_len)?).into_owned();
+        endpoints.push(EndpointStats {
+            endpoint: name,
+            requests: rd.u64()?,
+            queries: rd.u64()?,
+            coalesced: rd.u64()?,
+            p50_us: rd.u64()?,
+            p99_us: rd.u64()?,
+        });
+    }
+    rd.done()?;
+    Ok(BrokerStats { endpoints, cache })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::time::secs;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        // Truncated mid-frame is an error, not a silent None.
+        let mut r = &buf[..3];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_lengths_are_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn query_batches_round_trip_bit_identically() {
+        let queries = vec![
+            GuaranteeQuery {
+                setup: secs(1.5),
+                ticks_per_setup: 32,
+                interrupts: 7,
+                lifespan: secs(1234.5678),
+            },
+            GuaranteeQuery {
+                setup: secs(0.1),
+                ticks_per_setup: 1,
+                interrupts: 0,
+                lifespan: secs(0.0),
+            },
+        ];
+        let payload = encode_query_batch(&queries);
+        assert_eq!(payload[0], OP_QUERY_BATCH);
+        let decoded = decode_query_batch(&mut &payload[1..]).unwrap();
+        for (a, b) in queries.iter().zip(&decoded) {
+            assert_eq!(a.setup.get().to_bits(), b.setup.get().to_bits());
+            assert_eq!(a.lifespan.get().to_bits(), b.lifespan.get().to_bits());
+            assert_eq!(
+                (a.ticks_per_setup, a.interrupts),
+                (b.ticks_per_setup, b.interrupts)
+            );
+        }
+        // A count/size mismatch is an error.
+        assert!(decode_query_batch(&mut &payload[1..payload.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn non_finite_wire_times_error_instead_of_panicking() {
+        let mut payload = encode_query_batch(&[GuaranteeQuery {
+            setup: secs(1.0),
+            ticks_per_setup: 8,
+            interrupts: 1,
+            lifespan: secs(10.0),
+        }]);
+        // Overwrite the setup bits (right after op + count) with NaN.
+        payload[5..13].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(decode_query_batch(&mut &payload[1..]).is_err());
+    }
+
+    #[test]
+    fn answers_and_errors_round_trip() {
+        let answers = vec![
+            GuaranteeAnswer {
+                value: secs(42.125),
+                value_ticks: 337,
+            },
+            GuaranteeAnswer {
+                value: secs(0.0),
+                value_ticks: -1,
+            },
+        ];
+        let decoded = decode_answers(&encode_answers(&answers)).unwrap();
+        for (a, b) in answers.iter().zip(&decoded) {
+            assert_eq!(a.value.get().to_bits(), b.value.get().to_bits());
+            assert_eq!(a.value_ticks, b.value_ticks);
+        }
+        let err = decode_answers(&encode_error("nope")).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = BrokerStats {
+            endpoints: vec![EndpointStats {
+                endpoint: "tcp".into(),
+                requests: 3,
+                queries: 17,
+                coalesced: 2,
+                p50_us: 127,
+                p99_us: 1023,
+            }],
+            cache: CacheStats {
+                hits: 5,
+                misses: 2,
+                evictions: 1,
+                entries: 0,
+                compressed_entries: 2,
+                resident_bytes: 16_000_000,
+            },
+        };
+        let decoded = decode_stats(&encode_stats(&stats)).unwrap();
+        assert_eq!(decoded.endpoints, stats.endpoints);
+        let (a, b) = (decoded.cache, stats.cache);
+        assert_eq!(
+            (
+                a.hits,
+                a.misses,
+                a.evictions,
+                a.entries,
+                a.compressed_entries,
+                a.resident_bytes
+            ),
+            (
+                b.hits,
+                b.misses,
+                b.evictions,
+                b.entries,
+                b.compressed_entries,
+                b.resident_bytes
+            )
+        );
+    }
+}
