@@ -393,7 +393,7 @@ fn acceptance_report(c: &mut Criterion) {
 
     // Broker throughput: batched guarantee queries against a warmed
     // in-process broker, from 4 client threads.
-    let serve_qps = {
+    let (serve_qps, serve_p99_us) = {
         use cyclesteal_serve::{Broker, BrokerConfig, GuaranteeQuery};
         let broker = std::sync::Arc::new(Broker::new(BrokerConfig::default()).unwrap());
         let queries: Vec<GuaranteeQuery> = (0..64)
@@ -420,7 +420,18 @@ fn acceptance_report(c: &mut Criterion) {
             }
         });
         let total_queries = (threads * batches_per_thread * queries.len()) as f64;
-        total_queries / start.elapsed().as_secs_f64()
+        let qps = total_queries / start.elapsed().as_secs_f64();
+        // Tail latency of the same batches, from the broker's own
+        // per-endpoint digest (the warm-up batch is included — one
+        // cache-hit batch among thousands cannot move the p99).
+        let p99_us = broker
+            .stats()
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == "inproc")
+            .map(|e| e.p99_us)
+            .unwrap_or(0);
+        (qps, p99_us)
     };
 
     println!("\n=== perf_dp acceptance (Q={ACCEPT_Q}, p={ACCEPT_P}, L={ACCEPT_TICKS} ticks) ===");
@@ -438,7 +449,9 @@ fn acceptance_report(c: &mut Criterion) {
     println!(
         "warm start           : {warm_s:.3} s snapshot-load + first query ({warm_speedup:.1}× vs cold run-compressed solve, target ≥ 10×)"
     );
-    println!("broker throughput    : {serve_qps:.0} queries/s (batched, 4 client threads)");
+    println!(
+        "broker throughput    : {serve_qps:.0} queries/s (batched, 4 client threads), batch p99 {serve_p99_us} µs"
+    );
 
     let mut fields = vec![
         format!("\"quick_mode\": {quick}"),
@@ -458,6 +471,7 @@ fn acceptance_report(c: &mut Criterion) {
         format!("\"warm_start_s\": {warm_s:.6}"),
         format!("\"warm_start_speedup\": {warm_speedup:.3}"),
         format!("\"serve_qps\": {serve_qps:.1}"),
+        format!("\"serve_p99_us\": {serve_p99_us}"),
     ];
 
     if quick {

@@ -13,11 +13,12 @@
 //!
 //! Gated keys: the wall-clock solve timings `frontier_sweep_solve_s`,
 //! `parallel_solve_s`, `compressed_solve_s`, `event_driven_solve_s` and
-//! the serving layer's `warm_start_s` (lower is better; shared CI
-//! runners make these noisy, so treat a timing failure as a prompt to
-//! re-run before believing it), the broker throughput `serve_qps`
-//! (**higher** is better — the gate fails on a drop beyond the
-//! threshold), plus the deterministic structure counters —
+//! the serving layer's `warm_start_s` and batch tail latency
+//! `serve_p99_us` (lower is better; shared CI runners make these noisy,
+//! so treat a timing failure as a prompt to re-run before believing
+//! it), the broker throughput `serve_qps` (**higher** is better — the
+//! gate fails on a drop beyond the threshold), plus the deterministic
+//! structure counters —
 //! `event_count` (the event-driven build's loop iterations) and the
 //! second-order compression sizes `run_compressed_breakpoints` /
 //! `run_memory_bytes` — which are fully reproducible for a given code
@@ -44,12 +45,14 @@ use std::process::ExitCode;
 /// `run_compressed_breakpoints` and `run_memory_bytes` are the
 /// deterministic counters of the event-driven build and its run-backed
 /// storage; `warm_start_s` is the snapshot-load + first-query restart
-/// path of the serving layer. `parallel_solve_s` is the intra-level
+/// path of the serving layer and `serve_p99_us` the broker's batch
+/// tail latency under the throughput load. `parallel_solve_s` is the
+/// intra-level
 /// segmented solve at 4+ workers (its companion `parallel_speedup` is a
 /// higher-is-better ratio and deliberately not gated — the timing
 /// already is, and `warm_start_speedup` is ungated for the same
 /// reason).
-const GATED_KEYS_LOWER: [&str; 8] = [
+const GATED_KEYS_LOWER: [&str; 9] = [
     "frontier_sweep_solve_s",
     "parallel_solve_s",
     "compressed_solve_s",
@@ -58,6 +61,7 @@ const GATED_KEYS_LOWER: [&str; 8] = [
     "run_compressed_breakpoints",
     "run_memory_bytes",
     "warm_start_s",
+    "serve_p99_us",
 ];
 
 /// Keys gated on regression where **higher is better**: a drop beyond
@@ -375,6 +379,24 @@ mod tests {
     }
 
     #[test]
+    fn serve_tail_latency_gates_lower_is_better() {
+        // serve_p99_us is a latency: a rise past threshold regresses, a
+        // drop improves.
+        let baseline = snapshot(&[("serve_p99_us", 2_000.0)]);
+        let results = compare(&baseline, &snapshot(&[("serve_p99_us", 3_000.0)]), 0.10);
+        assert!(matches!(
+            verdict_for(&results, "serve_p99_us"),
+            Verdict::Regression { delta, .. } if (*delta - 0.5).abs() < 1e-12
+        ));
+        let results = compare(&baseline, &snapshot(&[("serve_p99_us", 1_500.0)]), 0.10);
+        assert!(matches!(
+            verdict_for(&results, "serve_p99_us"),
+            Verdict::Improved { .. }
+        ));
+        assert!(!has_regression(&results));
+    }
+
+    #[test]
     fn serving_fields_are_new_against_a_pre_serve_baseline() {
         // A baseline from before the serving subsystem: the new gated
         // fields must report, never fail.
@@ -383,11 +405,13 @@ mod tests {
             ("frontier_sweep_solve_s", 0.11),
             ("warm_start_s", 0.05),
             ("serve_qps", 150_000.0),
+            ("serve_p99_us", 2_500.0),
         ]);
         let results = compare(&baseline, &fresh, 0.10);
         assert!(!has_regression(&results));
         assert_eq!(verdict_for(&results, "warm_start_s"), &Verdict::NewField);
         assert_eq!(verdict_for(&results, "serve_qps"), &Verdict::NewField);
+        assert_eq!(verdict_for(&results, "serve_p99_us"), &Verdict::NewField);
     }
 
     #[test]

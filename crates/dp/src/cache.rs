@@ -615,7 +615,16 @@ impl TableCache {
             let hook = self.evict_hook.lock();
             if let Some(hook) = hook.as_ref() {
                 for table in &snapshot_victims {
-                    hook(table);
+                    // A panicking hook must not unwind into whichever
+                    // cache caller happened to trigger the eviction (and
+                    // must not skip the remaining victims): eviction
+                    // side effects are best-effort by contract, so the
+                    // panic is contained here and merely logged.
+                    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook(table)))
+                        .is_err()
+                    {
+                        eprintln!("cyclesteal-dp: evict hook panicked (contained)");
+                    }
                 }
             }
         }
@@ -948,6 +957,28 @@ mod tests {
         assert_eq!(evicted.len(), 2, "both compressed entries evicted");
         assert!(evicted.iter().any(|t| Arc::ptr_eq(t, &a)));
         assert_eq!(cache.stats().compressed_entries, 0);
+    }
+
+    #[test]
+    fn a_panicking_evict_hook_is_contained() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cache = TableCache::new();
+        let calls = Arc::new(AtomicU64::new(0));
+        let counter = calls.clone();
+        cache.set_evict_hook(Some(Box::new(move |_table| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            panic!("snapshot disk is gone");
+        })));
+        let _a = cache.get_compressed(secs(1.0), 8, secs(400.0), 2);
+        let _b = cache.get_compressed(secs(2.0), 8, secs(400.0), 2);
+        // The evicting call must neither panic nor stop at the first
+        // victim, and the cache stays fully usable afterwards.
+        cache.set_memory_budget(Some(1));
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "hook ran per victim");
+        assert_eq!(cache.stats().compressed_entries, 0);
+        cache.set_memory_budget(None);
+        let again = cache.get_compressed(secs(1.0), 8, secs(400.0), 2);
+        assert!(again.covers(secs(400.0)));
     }
 
     #[test]

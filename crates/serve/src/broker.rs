@@ -2,15 +2,44 @@
 //! serving model). All solve work funnels through one
 //! [`TableCache`] and one [`WorkerPool`]; request threads only group,
 //! look up and format.
+//!
+//! ## Failure semantics
+//!
+//! Every failure a batch can hit is a typed [`ServeError`]:
+//!
+//! * **Admission.** At most [`BrokerConfig::max_inflight`] batches are
+//!   admitted concurrently; the rest are shed immediately with
+//!   [`ErrorCode::Overloaded`](crate::ErrorCode::Overloaded) — the
+//!   broker never queues unboundedly.
+//! * **Deadlines.** A batch may carry a deadline
+//!   ([`Broker::query_batch_within`]). It is checked on admission,
+//!   before a leader starts a solve, and bounds how long a follower
+//!   waits on a coalesced flight — a query that would blow its deadline
+//!   joining a cold solve is rejected early with the retryable
+//!   [`ErrorCode::DeadlineExceeded`](crate::ErrorCode::DeadlineExceeded)
+//!   instead of blocking past it.
+//! * **Panic containment.** A panicking solve is caught
+//!   ([`std::panic::catch_unwind`]) — it can *never* escape
+//!   [`Broker::query_batch`]. The poisoned flight is retried once by a
+//!   new leader (the first follower to observe the poison); a second
+//!   poison makes followers solve for themselves. The panicked
+//!   request itself gets a retryable
+//!   [`ErrorCode::Internal`](crate::ErrorCode::Internal) error.
+//!
+//! All shed/deadline/panic/retry events are counted in
+//! [`ResilienceStats`], as are snapshot-on-evict write failures.
 
+use crate::errors::ServeError;
+use crate::faults;
 use cyclesteal_core::time::{Time, Work};
 use cyclesteal_dp::compressed::CompressedTable;
 use cyclesteal_dp::{CacheStats, TableCache};
 use cyclesteal_par::WorkerPool;
 use cyclesteal_store::CacheSnapshotExt;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::Instant;
 
@@ -39,23 +68,10 @@ pub struct GuaranteeAnswer {
     pub value_ticks: i64,
 }
 
-/// A structurally invalid query the broker refuses to solve (solver
-/// preconditions would panic on it instead).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct QueryError {
-    /// Index of the offending query within the batch.
-    pub index: usize,
-    /// What was wrong with it.
-    pub reason: String,
-}
-
-impl std::fmt::Display for QueryError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "query {} rejected: {}", self.index, self.reason)
-    }
-}
-
-impl std::error::Error for QueryError {}
+/// In-flight batch budget used when [`BrokerConfig::max_inflight`] is
+/// zero: far above any sane concurrency, small enough that a runaway
+/// client sheds instead of exhausting memory.
+pub const DEFAULT_MAX_INFLIGHT: usize = 1024;
 
 /// Broker construction options.
 #[derive(Clone, Debug, Default)]
@@ -70,12 +86,67 @@ pub struct BrokerConfig {
     /// Snapshot directory: warmed from at startup, snapshotted to on
     /// eviction and on [`Broker::snapshot`].
     pub snapshot_dir: Option<PathBuf>,
+    /// Most batches admitted concurrently; the rest are shed with
+    /// `Overloaded` (`0` = [`DEFAULT_MAX_INFLIGHT`]).
+    pub max_inflight: usize,
+}
+
+/// Resilience-event counters (all monotone): how often the broker shed,
+/// rejected on deadline, contained a panic, re-led a poisoned flight,
+/// or failed a snapshot-on-evict write.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Batches shed by the in-flight budget (`Overloaded`).
+    pub shed: u64,
+    /// Batches rejected because their deadline expired (on admission,
+    /// before a solve, or waiting on a coalesced flight).
+    pub deadline_rejects: u64,
+    /// Solve panics contained by the flight machinery.
+    pub solve_panics: u64,
+    /// Poisoned flights re-led by a follower-turned-leader.
+    pub flight_retries: u64,
+    /// Snapshot-on-evict writes that failed (logged, never propagated).
+    pub snapshot_failures: u64,
+}
+
+/// Live resilience counters ([`ResilienceStats`] is their snapshot).
+/// `snapshot_failures` is an `Arc` because the store's counting evict
+/// hook holds the other reference.
+struct Resilience {
+    shed: AtomicU64,
+    deadline_rejects: AtomicU64,
+    solve_panics: AtomicU64,
+    flight_retries: AtomicU64,
+    snapshot_failures: Arc<AtomicU64>,
+}
+
+impl Resilience {
+    fn new() -> Resilience {
+        Resilience {
+            shed: AtomicU64::new(0),
+            deadline_rejects: AtomicU64::new(0),
+            solve_panics: AtomicU64::new(0),
+            flight_retries: AtomicU64::new(0),
+            snapshot_failures: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn snapshot(&self) -> ResilienceStats {
+        ResilienceStats {
+            shed: self.shed.load(Ordering::Relaxed),
+            deadline_rejects: self.deadline_rejects.load(Ordering::Relaxed),
+            solve_panics: self.solve_panics.load(Ordering::Relaxed),
+            flight_retries: self.flight_retries.load(Ordering::Relaxed),
+            snapshot_failures: self.snapshot_failures.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Everything the in-flight solve closures share with the broker.
 struct Shared {
     cache: Arc<TableCache>,
     inflight: StdMutex<HashMap<SolveKey, Arc<Flight>>>,
+    res: Resilience,
 }
 
 /// Single-flight key: one concurrent solve per `(setup, Q, p_max)` —
@@ -89,7 +160,8 @@ struct SolveKey {
 
 /// One in-flight solve: followers park on the condvar until the leader
 /// publishes. `Err(())` means the leader died without publishing
-/// (poisoned flight) — followers then solve for themselves.
+/// (poisoned flight) — followers then re-lead once, then solve for
+/// themselves.
 struct Flight {
     result: StdMutex<Option<Result<Arc<CompressedTable>, ()>>>,
     cv: Condvar,
@@ -116,6 +188,36 @@ impl Drop for FlightGuard<'_> {
         if let Ok(mut map) = self.shared.inflight.lock() {
             map.remove(&self.key);
         }
+    }
+}
+
+/// Bounded admission: a relaxed counter plus an RAII permit. A batch
+/// past the budget is never queued — it sheds immediately, keeping the
+/// broker's memory and latency bounded under overload.
+struct Admission {
+    inflight: AtomicUsize,
+    budget: usize,
+}
+
+impl Admission {
+    fn try_acquire(&self) -> Option<Permit<'_>> {
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.budget {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            None
+        } else {
+            Some(Permit { admission: self })
+        }
+    }
+}
+
+struct Permit<'a> {
+    admission: &'a Admission,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.admission.inflight.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -193,8 +295,8 @@ pub struct EndpointStats {
     pub p99_us: u64,
 }
 
-/// Broker-level observability: per-endpoint request stats plus the
-/// underlying cache's hit/miss/eviction/residency counters.
+/// Broker-level observability: per-endpoint request stats, the
+/// underlying cache's counters, and the resilience-event counters.
 #[derive(Clone, Debug)]
 pub struct BrokerStats {
     /// One entry per endpoint that served at least one request, sorted
@@ -203,6 +305,8 @@ pub struct BrokerStats {
     /// The shared [`TableCache`]'s counters (hits, misses, evictions,
     /// resident bytes, entry counts).
     pub cache: CacheStats,
+    /// Shed/deadline/panic/retry/snapshot-failure counters.
+    pub resilience: ResilienceStats,
 }
 
 /// The batched guarantee-query broker. Cheap to share: wrap it in an
@@ -211,28 +315,43 @@ pub struct Broker {
     shared: Arc<Shared>,
     pool: WorkerPool,
     snapshot_dir: Option<PathBuf>,
+    admission: Admission,
     endpoints: parking_lot::Mutex<HashMap<&'static str, Arc<Endpoint>>>,
 }
 
 impl Broker {
     /// Builds a broker: a fresh [`TableCache`] (budgeted if configured),
     /// a worker pool, and — when a snapshot directory is configured — a
-    /// warm start from it plus snapshot-on-evict wiring. Returns the
-    /// warm-start I/O error if the directory exists but cannot be read.
+    /// warm start from it plus snapshot-on-evict wiring (whose write
+    /// failures are counted, never propagated). Returns the warm-start
+    /// I/O error if the directory exists but cannot be read.
     pub fn new(config: BrokerConfig) -> Result<Broker, cyclesteal_store::StoreError> {
         let cache = Arc::new(TableCache::new());
         cache.set_memory_budget(config.memory_budget);
+        let res = Resilience::new();
         if let Some(dir) = &config.snapshot_dir {
             cache.warm_from_dir(dir)?;
-            cache.set_evict_hook(Some(cyclesteal_store::evict_hook_to_dir(dir.clone())));
+            cache.set_evict_hook(Some(cyclesteal_store::evict_hook_to_dir_counting(
+                dir.clone(),
+                res.snapshot_failures.clone(),
+            )));
         }
         Ok(Broker {
             shared: Arc::new(Shared {
                 cache,
                 inflight: StdMutex::new(HashMap::new()),
+                res,
             }),
             pool: WorkerPool::new(config.threads),
             snapshot_dir: config.snapshot_dir,
+            admission: Admission {
+                inflight: AtomicUsize::new(0),
+                budget: if config.max_inflight == 0 {
+                    DEFAULT_MAX_INFLIGHT
+                } else {
+                    config.max_inflight
+                },
+            },
             endpoints: parking_lot::Mutex::new(HashMap::new()),
         })
     }
@@ -252,8 +371,8 @@ impl Broker {
     pub fn query_batch(
         &self,
         queries: &[GuaranteeQuery],
-    ) -> Result<Vec<GuaranteeAnswer>, QueryError> {
-        self.query_batch_at("inproc", queries)
+    ) -> Result<Vec<GuaranteeAnswer>, ServeError> {
+        self.query_batch_within("inproc", queries, None)
     }
 
     /// [`Self::query_batch`] recorded under an explicit endpoint label —
@@ -262,8 +381,39 @@ impl Broker {
         &self,
         endpoint: &'static str,
         queries: &[GuaranteeQuery],
-    ) -> Result<Vec<GuaranteeAnswer>, QueryError> {
+    ) -> Result<Vec<GuaranteeAnswer>, ServeError> {
+        self.query_batch_within(endpoint, queries, None)
+    }
+
+    /// The full batch entry point: endpoint label plus an optional
+    /// deadline. The deadline is enforced on admission, before any
+    /// solve starts, and while waiting on a coalesced flight — an
+    /// expired deadline is the retryable `DeadlineExceeded`, never an
+    /// open-ended block.
+    pub fn query_batch_within(
+        &self,
+        endpoint: &'static str,
+        queries: &[GuaranteeQuery],
+        deadline: Option<Instant>,
+    ) -> Result<Vec<GuaranteeAnswer>, ServeError> {
         let start = Instant::now();
+        let _permit = match self.admission.try_acquire() {
+            Some(permit) => permit,
+            None => {
+                self.shared.res.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::overloaded(
+                    self.admission.inflight.load(Ordering::Relaxed),
+                    self.admission.budget,
+                ));
+            }
+        };
+        if expired(deadline) {
+            self.shared
+                .res
+                .deadline_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::deadline_exceeded("expired on arrival"));
+        }
         validate(queries)?;
         let ep = self.endpoint(endpoint);
 
@@ -285,25 +435,42 @@ impl Broker {
         }
 
         let group_list: Vec<((u64, u32), GuaranteeQuery)> = groups.into_iter().collect();
-        let tables: Vec<Arc<CompressedTable>> = if group_list.len() <= 1 {
+        let tables: Vec<Result<Arc<CompressedTable>, ServeError>> = if group_list.len() <= 1 {
             // The common case (one grid per batch) resolves inline —
             // no pool hand-off latency.
             group_list
                 .iter()
-                .map(|(_, g)| resolve(&self.shared, &ep, g))
+                .map(|(_, g)| resolve(&self.shared, &ep, g, deadline, 0))
                 .collect()
         } else {
+            // Jobs return Results and contain their own panics, so no
+            // panic can cross the pool boundary and abort the scatter.
             let jobs: Vec<_> = group_list
                 .iter()
                 .map(|(_, g)| {
                     let shared = self.shared.clone();
                     let ep = ep.clone();
                     let g = *g;
-                    move || resolve(&shared, &ep, &g)
+                    move || resolve(&shared, &ep, &g, deadline, 0)
                 })
                 .collect();
             self.pool.scatter(jobs)
         };
+        let tables: Vec<Arc<CompressedTable>> =
+            tables.into_iter().collect::<Result<Vec<_>, _>>()?;
+        // The answer contract is "within the deadline or a typed
+        // reject", so a solve that finished late still errors — but its
+        // table is cached now, which is exactly why the error is
+        // retryable: the next attempt answers from cache in time.
+        if expired(deadline) {
+            self.shared
+                .res
+                .deadline_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::deadline_exceeded(
+                "answer ready only after the deadline",
+            ));
+        }
         let by_group: HashMap<(u64, u32), Arc<CompressedTable>> =
             group_list.iter().map(|(k, _)| *k).zip(tables).collect();
 
@@ -334,7 +501,16 @@ impl Broker {
         }
     }
 
-    /// Per-endpoint and cache-level counters.
+    /// Test-only: takes one admission permit directly (released on
+    /// drop), so suites can fill the in-flight budget deterministically
+    /// instead of racing real requests against it. Hidden — not part of
+    /// the serving API.
+    #[doc(hidden)]
+    pub fn hold_admission(&self) -> Option<impl Drop + '_> {
+        self.admission.try_acquire()
+    }
+
+    /// Per-endpoint, cache-level and resilience counters.
     pub fn stats(&self) -> BrokerStats {
         let mut endpoints: Vec<EndpointStats> = self
             .endpoints
@@ -353,6 +529,7 @@ impl Broker {
         BrokerStats {
             endpoints,
             cache: self.shared.cache.stats(),
+            resilience: self.shared.res.snapshot(),
         }
     }
 
@@ -374,7 +551,7 @@ pub const MAX_QUERY_INTERRUPTS: u32 = 1 << 12;
 /// Largest grid resolution one query may demand.
 pub const MAX_QUERY_TICKS_PER_SETUP: u32 = 1 << 20;
 
-fn validate(queries: &[GuaranteeQuery]) -> Result<(), QueryError> {
+fn validate(queries: &[GuaranteeQuery]) -> Result<(), ServeError> {
     for (index, q) in queries.iter().enumerate() {
         let reason = if !q.setup.get().is_finite() || !q.setup.is_positive() {
             Some(format!("setup charge {} must be positive", q.setup))
@@ -407,19 +584,59 @@ fn validate(queries: &[GuaranteeQuery]) -> Result<(), QueryError> {
             }
         };
         if let Some(reason) = reason {
-            return Err(QueryError { index, reason });
+            return Err(ServeError::invalid_query(index, reason));
         }
     }
     Ok(())
 }
 
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Runs one cache solve with panic containment: the fault harness's
+/// solve-panic injection point sits inside the `catch_unwind`, and any
+/// panic — injected or real — is converted into a counted, retryable
+/// `Internal` error instead of unwinding through the broker.
+fn solve_guarded(shared: &Shared, g: &GuaranteeQuery) -> Result<Arc<CompressedTable>, ServeError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        faults::maybe_panic_solve();
+        shared
+            .cache
+            .get_compressed(g.setup, g.ticks_per_setup, g.lifespan, g.interrupts)
+    }))
+    .map_err(|payload| {
+        shared.res.solve_panics.fetch_add(1, Ordering::Relaxed);
+        let what = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        ServeError::internal(format!("solve panicked (contained): {what}"))
+    })
+}
+
 /// Resolves one grid group to a covering table with single-flight
 /// coalescing: the first arrival for a `(setup, Q, p_max)` key leads
 /// the solve (through the cache, so already-cached tables are plain
-/// hits); concurrent arrivals park and reuse its result. A follower
-/// whose lifespan outruns what the leader solved falls back to its own
-/// cache call (rare: headroom absorbs creeping lifespans).
-fn resolve(shared: &Shared, ep: &Endpoint, g: &GuaranteeQuery) -> Arc<CompressedTable> {
+/// hits); concurrent arrivals park and reuse its result.
+///
+/// Failure paths: a leader whose solve panics poisons the flight and
+/// returns a retryable `Internal` error; the first follower to observe
+/// the poison re-resolves at `attempt + 1` — the guard already removed
+/// the dead flight, so the retrier becomes (or joins) a fresh leader —
+/// and a follower seeing poison at `attempt ≥ 1` solves for itself. A
+/// follower whose lifespan outruns what the leader solved also falls
+/// back to its own solve (rare: headroom absorbs creeping lifespans).
+/// A deadline bounds the condvar wait; expiry is a retryable
+/// `DeadlineExceeded`.
+fn resolve(
+    shared: &Shared,
+    ep: &Endpoint,
+    g: &GuaranteeQuery,
+    deadline: Option<Instant>,
+    attempt: u32,
+) -> Result<Arc<CompressedTable>, ServeError> {
     let key = SolveKey {
         setup_bits: g.setup.get().to_bits(),
         ticks_per_setup: g.ticks_per_setup,
@@ -446,37 +663,76 @@ fn resolve(shared: &Shared, ep: &Endpoint, g: &GuaranteeQuery) -> Arc<Compressed
             key,
             flight: flight.clone(),
         };
-        let table =
-            shared
-                .cache
-                .get_compressed(g.setup, g.ticks_per_setup, g.lifespan, g.interrupts);
+        // Gate the solve on the deadline *before* paying for it: a cold
+        // solve that cannot finish in time would just burn a worker. The
+        // guard's drop poisons the flight, so followers re-check their
+        // own deadlines instead of hanging.
+        if expired(deadline) {
+            shared.res.deadline_rejects.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::deadline_exceeded("before the solve started"));
+        }
+        let table = solve_guarded(shared, g)?;
         *flight.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(table.clone()));
         drop(guard); // notifies followers, removes the flight
-        return table;
+        return Ok(table);
     }
 
     ep.coalesced.fetch_add(1, Ordering::Relaxed);
     let mut result = flight.result.lock().unwrap_or_else(|e| e.into_inner());
     while result.is_none() {
-        result = flight.cv.wait(result).unwrap_or_else(|e| e.into_inner());
+        match deadline {
+            None => result = flight.cv.wait(result).unwrap_or_else(|e| e.into_inner()),
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    drop(result);
+                    shared.res.deadline_rejects.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServeError::deadline_exceeded(
+                        "waiting on a coalesced solve",
+                    ));
+                }
+                result = flight
+                    .cv
+                    .wait_timeout(result, d - now)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        }
     }
     match result.clone().expect("loop exits only when set") {
         // `covers` is the table's own coverage contract — the same
         // check the cache applies — so a coalesced result is never
         // returned for a range it cannot answer.
-        Ok(table) if table.covers(g.lifespan) => table,
-        // Leader died, or solved a smaller lifespan than we need: pay
-        // our own cache call (usually still a hit).
-        _ => shared
-            .cache
-            .get_compressed(g.setup, g.ticks_per_setup, g.lifespan, g.interrupts),
+        Ok(table) if table.covers(g.lifespan) => Ok(table),
+        // Leader solved a smaller lifespan than we need: pay our own
+        // cache call (usually still a hit).
+        Ok(_) => {
+            drop(result);
+            solve_guarded(shared, g)
+        }
+        // Poisoned flight: the dead leader's guard already removed the
+        // key, so re-resolving makes (or joins) a fresh leader — the
+        // "retried once by a new leader" step. A second poison means
+        // the solve itself is sick: solve for ourselves so one broken
+        // flight cannot starve the whole key.
+        Err(()) => {
+            drop(result);
+            if attempt == 0 {
+                shared.res.flight_retries.fetch_add(1, Ordering::Relaxed);
+                resolve(shared, ep, g, deadline, attempt + 1)
+            } else {
+                solve_guarded(shared, g)
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::errors::ErrorCode;
     use cyclesteal_core::time::secs;
+    use std::time::Duration;
 
     fn q(setup: f64, ticks: u32, p: u32, lifespan: f64) -> GuaranteeQuery {
         GuaranteeQuery {
@@ -535,7 +791,9 @@ mod tests {
         for (i, query) in bad.iter().enumerate() {
             let batch = [q(1.0, 8, 1, 10.0), *query];
             let err = broker.query_batch(&batch).unwrap_err();
-            assert_eq!(err.index, 1, "bad case {i}");
+            assert_eq!(err.code, ErrorCode::InvalidQuery, "bad case {i}");
+            assert!(!err.retryable, "bad case {i} must not invite retries");
+            assert!(err.message.contains("query 1"), "names the index: {err}");
         }
         assert_eq!(broker.cache().stats().misses, 0, "nothing was solved");
     }
@@ -563,6 +821,63 @@ mod tests {
     }
 
     #[test]
+    fn expired_deadlines_reject_before_any_solve() {
+        let broker = Broker::new(BrokerConfig::default()).unwrap();
+        let past = Instant::now() - Duration::from_millis(1);
+        let err = broker
+            .query_batch_within("inproc", &[q(1.0, 8, 1, 20.0)], Some(past))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::DeadlineExceeded);
+        assert!(err.retryable);
+        assert_eq!(broker.cache().stats().misses, 0, "nothing was solved");
+        assert_eq!(broker.stats().resilience.deadline_rejects, 1);
+
+        // A generous deadline changes nothing about the answer.
+        let future = Instant::now() + Duration::from_secs(60);
+        let within = broker
+            .query_batch_within("inproc", &[q(1.0, 8, 1, 20.0)], Some(future))
+            .unwrap();
+        let without = broker.query_batch(&[q(1.0, 8, 1, 20.0)]).unwrap();
+        assert_eq!(within, without);
+    }
+
+    #[test]
+    fn the_inflight_budget_sheds_with_a_typed_overloaded_error() {
+        // Budget 0 admits nothing — the degenerate case makes shedding
+        // deterministic without racing threads.
+        let broker = Broker::new(BrokerConfig {
+            max_inflight: 1,
+            ..BrokerConfig::default()
+        })
+        .unwrap();
+        // Hold the only permit and probe from another thread.
+        let permit = broker.admission.try_acquire().expect("first admit");
+        let err = broker.query_batch(&[q(1.0, 8, 1, 20.0)]).unwrap_err();
+        assert_eq!(err.code, ErrorCode::Overloaded);
+        assert!(err.retryable);
+        assert_eq!(broker.stats().resilience.shed, 1);
+        drop(permit);
+        // Budget released: the same batch now succeeds.
+        assert!(broker.query_batch(&[q(1.0, 8, 1, 20.0)]).is_ok());
+    }
+
+    #[test]
+    fn admission_permits_are_raii() {
+        let admission = Admission {
+            inflight: AtomicUsize::new(0),
+            budget: 2,
+        };
+        let a = admission.try_acquire().expect("1st");
+        let _b = admission.try_acquire().expect("2nd");
+        assert!(admission.try_acquire().is_none(), "budget exhausted");
+        drop(a);
+        let _c = admission.try_acquire().expect("slot freed by drop");
+        // A failed acquire must not leak counter increments.
+        assert!(admission.try_acquire().is_none());
+        assert_eq!(admission.inflight.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
     fn stats_track_requests_and_endpoints() {
         let broker = Broker::new(BrokerConfig::default()).unwrap();
         broker.query_batch(&[q(1.0, 8, 1, 20.0)]).unwrap();
@@ -584,6 +899,8 @@ mod tests {
         assert!(inproc.p50_us > 0, "latency histogram recorded");
         assert!(inproc.p99_us >= inproc.p50_us);
         assert_eq!(stats.cache.hits + stats.cache.misses, 2);
+        // A clean run has no resilience events.
+        assert_eq!(stats.resilience, ResilienceStats::default());
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Typed serving errors — the failure half of the wire contract.
+//!
+//! Every way a query can fail is one [`ServeError`]: a stable
+//! [`ErrorCode`], a **retryable** flag (the client's retry loop keys off
+//! it — see [`crate::RetryPolicy`]), and a human-readable message. The
+//! code and flag travel the wire in the typed error frame (see
+//! [`crate::wire`]), so a remote caller can distinguish "back off and
+//! retry" (overload, deadline, a contained solve panic) from "fix your
+//! request" (malformed frame, invalid query) without parsing prose.
+
+use std::io;
+
+/// Stable error taxonomy shared by the broker, the wire protocol and
+/// the client. The `u8` values are the on-wire encoding and must never
+/// be reused for a different meaning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request was structurally valid but a query in it violates
+    /// the broker's preconditions or caps. Not retryable: the same
+    /// query will always be rejected.
+    InvalidQuery = 1,
+    /// The request bytes could not be decoded. Not retryable as-is.
+    Malformed = 2,
+    /// The broker's in-flight request budget is exhausted — the request
+    /// was shed *before* queueing. Retryable after backoff.
+    Overloaded = 3,
+    /// The request's deadline expired (or would certainly expire)
+    /// before an answer could be produced. Retryable: a later attempt
+    /// may find the table cached.
+    DeadlineExceeded = 4,
+    /// The broker contained an internal failure (e.g. a panicking
+    /// solve). Retryable: flights are re-led and caches re-solved.
+    Internal = 5,
+}
+
+impl ErrorCode {
+    /// The on-wire byte for this code.
+    pub fn wire(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a wire byte; unknown codes (a newer peer) map to `None`
+    /// and the caller should fall back to [`ErrorCode::Internal`] while
+    /// trusting the frame's own retryable flag.
+    pub fn from_wire(byte: u8) -> Option<ErrorCode> {
+        match byte {
+            1 => Some(ErrorCode::InvalidQuery),
+            2 => Some(ErrorCode::Malformed),
+            3 => Some(ErrorCode::Overloaded),
+            4 => Some(ErrorCode::DeadlineExceeded),
+            5 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// A typed serving failure: what went wrong, whether retrying can help,
+/// and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// The stable failure category.
+    pub code: ErrorCode,
+    /// Whether a backoff-and-retry can succeed. Carried explicitly
+    /// (not derived from `code`) so the flag survives unknown codes
+    /// from a newer peer.
+    pub retryable: bool,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServeError {
+    /// A new error with the given code's conventional retryability.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ServeError {
+        let retryable = matches!(
+            code,
+            ErrorCode::Overloaded | ErrorCode::DeadlineExceeded | ErrorCode::Internal
+        );
+        ServeError {
+            code,
+            retryable,
+            message: message.into(),
+        }
+    }
+
+    /// An invalid-query rejection naming the offending batch index.
+    pub fn invalid_query(index: usize, reason: impl std::fmt::Display) -> ServeError {
+        ServeError::new(
+            ErrorCode::InvalidQuery,
+            format!("query {index} rejected: {reason}"),
+        )
+    }
+
+    /// A request that could not be decoded.
+    pub fn malformed(reason: impl std::fmt::Display) -> ServeError {
+        ServeError::new(ErrorCode::Malformed, reason.to_string())
+    }
+
+    /// A request shed by the in-flight budget.
+    pub fn overloaded(inflight: usize, budget: usize) -> ServeError {
+        ServeError::new(
+            ErrorCode::Overloaded,
+            format!("broker overloaded: {inflight} requests in flight (budget {budget})"),
+        )
+    }
+
+    /// A request whose deadline expired.
+    pub fn deadline_exceeded(context: impl std::fmt::Display) -> ServeError {
+        ServeError::new(
+            ErrorCode::DeadlineExceeded,
+            format!("deadline exceeded: {context}"),
+        )
+    }
+
+    /// A contained internal failure.
+    pub fn internal(context: impl std::fmt::Display) -> ServeError {
+        ServeError::new(ErrorCode::Internal, context.to_string())
+    }
+
+    /// Extracts the [`ServeError`] carried inside an [`io::Error`], if
+    /// any — the inverse of the `From<ServeError> for io::Error`
+    /// conversion the client's decode path uses.
+    pub fn from_io(err: &io::Error) -> Option<&ServeError> {
+        err.get_ref().and_then(|inner| {
+            (inner as &(dyn std::error::Error + 'static)).downcast_ref::<ServeError>()
+        })
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} ({}): {}",
+            self.code,
+            if self.retryable {
+                "retryable"
+            } else {
+                "permanent"
+            },
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ServeError> for io::Error {
+    fn from(e: ServeError) -> io::Error {
+        io::Error::other(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_the_wire_byte() {
+        for code in [
+            ErrorCode::InvalidQuery,
+            ErrorCode::Malformed,
+            ErrorCode::Overloaded,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Internal,
+        ] {
+            assert_eq!(ErrorCode::from_wire(code.wire()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_wire(0), None);
+        assert_eq!(ErrorCode::from_wire(200), None);
+    }
+
+    #[test]
+    fn conventional_retryability() {
+        assert!(!ServeError::invalid_query(0, "bad").retryable);
+        assert!(!ServeError::malformed("bytes").retryable);
+        assert!(ServeError::overloaded(9, 8).retryable);
+        assert!(ServeError::deadline_exceeded("cold solve").retryable);
+        assert!(ServeError::internal("solve panicked").retryable);
+    }
+
+    #[test]
+    fn io_round_trip_preserves_the_typed_error() {
+        let e = ServeError::overloaded(10, 4);
+        let io_err: io::Error = e.clone().into();
+        let back = ServeError::from_io(&io_err).expect("typed error recoverable");
+        assert_eq!(*back, e);
+        // A plain io error carries no ServeError.
+        assert!(ServeError::from_io(&io::Error::other("x")).is_none());
+    }
+}

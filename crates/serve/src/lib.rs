@@ -3,9 +3,10 @@
 //! The serving layer over the exact solver stack: a thread-pool request
 //! **broker** that answers batched guarantee queries
 //! `(setup, Q, p, L)` from shared [`cyclesteal_dp::TableCache`] solves,
-//! plus a small TCP **server/client** pair speaking a length-prefixed
-//! binary framing — no async runtime, no serialization crates (this is
-//! a registry-less environment), just `std::net` and plain threads.
+//! plus a small TCP **server/client** pair speaking a checksummed,
+//! length-prefixed binary framing — no async runtime, no serialization
+//! crates (this is a registry-less environment), just `std::net` and
+//! plain threads.
 //!
 //! ## Why a broker
 //!
@@ -34,6 +35,33 @@
 //! dense), and `tests/serve_props.rs` pins broker == direct under
 //! concurrent multi-client load.
 //!
+//! ## Failure semantics
+//!
+//! The paper's premise is guaranteed output from an unreliable
+//! resource; the serving layer holds itself to the same standard. The
+//! contract — enforced across ≥ 64 seeded fault plans by the
+//! `serve_chaos` suite — is:
+//!
+//! > Under connection drops, read delays, corrupted wire bytes,
+//! > panicking solves and failing snapshot writes, every query returns
+//! > either the **bit-identical answer** or a **typed retryable
+//! > error** ([`ServeError`]) — never a hang, never an escaped panic,
+//! > never a wrong value.
+//!
+//! The pieces: per-connection read/write **timeouts**
+//! ([`ServerConfig`]/[`ClientConfig`]); per-batch **deadlines** carried
+//! on the wire and enforced inside the broker
+//! ([`Broker::query_batch_within`]); **typed error frames**
+//! ([`ErrorCode`] + retryable flag + message) instead of silent
+//! connection drops; client **retry** with capped exponential backoff
+//! and seeded jitter ([`RetryPolicy`]); **load shedding** past a
+//! bounded in-flight budget ([`BrokerConfig::max_inflight`]); contained
+//! solve panics with single **flight re-lead**; store-level snapshot
+//! **quarantine** and save retry; and the seeded, deterministic
+//! [`FaultPlan`] harness ([`faults`]) that injects all of the above.
+//! Every resilience event is counted in
+//! [`BrokerStats::resilience`](broker::ResilienceStats).
+//!
 //! ## In-process use
 //!
 //! ```
@@ -56,18 +84,23 @@
 //!
 //! [`Server::start`] binds a listener and serves each connection on its
 //! own thread (solves still share the broker's worker pool);
-//! [`Client`] frames batches to it. See [`wire`] for the exact byte
-//! protocol.
+//! [`Client`] frames batches to it and transparently retries transient
+//! failures. See [`wire`] for the exact byte protocol.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
 pub mod broker;
+pub mod errors;
+pub mod faults;
 pub mod server;
 pub mod wire;
 
 pub use broker::{
-    Broker, BrokerConfig, BrokerStats, EndpointStats, GuaranteeAnswer, GuaranteeQuery, QueryError,
+    Broker, BrokerConfig, BrokerStats, EndpointStats, GuaranteeAnswer, GuaranteeQuery,
+    ResilienceStats,
 };
-pub use server::{Client, Server};
+pub use errors::{ErrorCode, ServeError};
+pub use faults::{FaultPlan, FaultPoint, FaultsGuard};
+pub use server::{Client, ClientConfig, RetryPolicy, Server, ServerConfig};

@@ -10,15 +10,59 @@
 //! disconnects; [`Server::shutdown`] stops accepting and joins the
 //! acceptor (draining connections keep serving until their clients
 //! hang up — a restart-friendly, never-drop-a-request default).
+//!
+//! ## Failure semantics
+//!
+//! * **Timeouts.** Every connection carries the
+//!   [`ServerConfig`]/[`ClientConfig`] read/write timeouts — a stalled
+//!   peer can park a handler thread for at most the timeout, never
+//!   forever. A server-side read timeout closes the connection (the
+//!   client reconnects); a client-side one surfaces as a transient,
+//!   retried error.
+//! * **Typed errors.** Request failures answer a typed error frame
+//!   ([`crate::ServeError`]: code + retryable flag + message) on a
+//!   still-healthy connection; only *framing* damage tears the
+//!   connection down.
+//! * **Retry.** [`Client`] transparently retries transient transport
+//!   errors (connection reset/refused, timeouts, truncated or
+//!   CRC-corrupt frames) and typed retryable errors, with capped
+//!   exponential backoff and seeded full jitter ([`RetryPolicy`]),
+//!   reconnecting when the stream may be out of sync. Deadlines ride
+//!   the wire as relative budgets ([`Client::query_batch_within`]).
+//! * **Accept-loop survival.** Transient `accept()` failures (EMFILE,
+//!   ECONNABORTED) back off — doubling up to a cap — and keep
+//!   accepting; only [`Server::shutdown`] stops the listener.
 
 use crate::broker::{Broker, BrokerStats, GuaranteeAnswer, GuaranteeQuery};
+use crate::errors::ServeError;
+use crate::faults::{self, FaultPoint};
 use crate::wire;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Server connection-handling options.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// How long a connection may sit idle (or a peer may stall
+    /// mid-frame) before the server closes it. `None` = wait forever —
+    /// only for trusted peers.
+    pub read_timeout: Option<Duration>,
+    /// How long one response write may block on a congested peer.
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+        }
+    }
+}
 
 /// A running TCP front-end over a shared [`Broker`].
 pub struct Server {
@@ -29,8 +73,18 @@ pub struct Server {
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts accepting connections against `broker`.
+    /// starts accepting connections against `broker`, with the default
+    /// [`ServerConfig`] timeouts.
     pub fn start(addr: impl ToSocketAddrs, broker: Arc<Broker>) -> io::Result<Server> {
+        Server::start_with(addr, broker, ServerConfig::default())
+    }
+
+    /// [`Server::start`] with explicit connection-handling options.
+    pub fn start_with(
+        addr: impl ToSocketAddrs,
+        broker: Arc<Broker>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         // Nonblocking accept + short sleep lets shutdown() stop the
@@ -39,23 +93,35 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = stop.clone();
         let acceptor = std::thread::spawn(move || {
+            // Real accept errors back off with doubling delays (capped);
+            // a successful accept resets the backoff.
+            const ERROR_BACKOFF_CAP: Duration = Duration::from_secs(1);
+            let mut error_backoff = Duration::from_millis(10);
             while !stop_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
                     Ok((stream, _peer)) => {
+                        error_backoff = Duration::from_millis(10);
                         let broker = broker.clone();
                         std::thread::spawn(move || {
-                            let _ = serve_connection(stream, &broker);
+                            let _ = serve_connection(stream, &broker, config);
                         });
+                    }
+                    // The listener is nonblocking: WouldBlock just means
+                    // "no connection pending" — a short poll interval,
+                    // not an error.
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
                     }
                     // accept() can fail transiently under load
                     // (ECONNABORTED on a reset handshake, EMFILE on fd
                     // exhaustion). Dropping the listener over one of
                     // those would silently refuse every future
                     // connection, so *no* error kills the acceptor —
-                    // only shutdown() does. Backing off briefly lets
-                    // fd-exhaustion cases drain.
+                    // only shutdown() does. Backing off (harder each
+                    // consecutive failure) lets fd-exhaustion drain.
                     Err(_) => {
-                        std::thread::sleep(Duration::from_millis(10));
+                        std::thread::sleep(error_backoff);
+                        error_backoff = (error_backoff * 2).min(ERROR_BACKOFF_CAP);
                     }
                 }
             }
@@ -94,15 +160,56 @@ impl Drop for Server {
 }
 
 /// One connection's request loop: frame in, dispatch, frame out, until
-/// the peer hangs up. A malformed request answers an error frame and
-/// keeps the connection (the framing itself is still intact); a framing
-/// error tears the connection down.
-fn serve_connection(stream: TcpStream, broker: &Broker) -> io::Result<()> {
+/// the peer hangs up or stalls past the read timeout. A malformed or
+/// failing request answers a typed error frame and keeps the connection
+/// (the framing itself is still intact); a framing error or timeout
+/// tears the connection down. The fault-injection points (read delay,
+/// drop-before-response, corrupt-frame) live here, inert unless a
+/// [`crate::FaultPlan`] is armed.
+fn serve_connection(stream: TcpStream, broker: &Broker, config: ServerConfig) -> io::Result<()> {
     stream.set_nodelay(true).ok();
+    // Accepted sockets are blocking on the platforms we target, but the
+    // listener is nonblocking — pin it down rather than assume.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_write_timeout(config.write_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    while let Some(payload) = wire::read_frame(&mut reader)? {
+    loop {
+        if let Some(delay) = faults::read_delay() {
+            std::thread::sleep(delay);
+        }
+        let payload = match wire::read_frame(&mut reader) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break, // peer hung up cleanly
+            // A stalled peer hit the read timeout: close the connection
+            // — the handler thread must never be parked forever.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                break;
+            }
+            Err(e) => return Err(e),
+        };
         let response = handle_request(&payload, broker);
+        if faults::should(FaultPoint::DropConnection) {
+            // Injected mid-exchange drop: the request was read but no
+            // response will come — the client sees a truncated session.
+            return Ok(());
+        }
+        if faults::should(FaultPoint::CorruptFrame) {
+            // Injected wire damage: flip one byte of the encoded frame.
+            // The frame CRC guarantees the client detects it.
+            let mut bytes = wire::frame_bytes(&response);
+            let pos = faults::corrupt_position(bytes.len());
+            bytes[pos] ^= 0x01;
+            writer.write_all(&bytes)?;
+            writer.flush()?;
+            continue;
+        }
         wire::write_frame(&mut writer, &response)?;
     }
     writer.flush()
@@ -111,71 +218,269 @@ fn serve_connection(stream: TcpStream, broker: &Broker) -> io::Result<()> {
 fn handle_request(payload: &[u8], broker: &Broker) -> Vec<u8> {
     match payload.split_first() {
         Some((&wire::OP_QUERY_BATCH, body)) => match wire::decode_query_batch(&mut { body }) {
-            Ok(queries) => match broker.query_batch_at("tcp", &queries) {
-                Ok(answers) => wire::encode_answers(&answers),
-                Err(e) => wire::encode_error(&e.to_string()),
-            },
-            Err(e) => wire::encode_error(&format!("malformed query batch: {e}")),
+            Ok((queries, deadline_us)) => {
+                // The wire deadline is a relative budget; convert to an
+                // absolute Instant at the moment of decode. checked_add
+                // so an absurd (hostile) budget degrades to "none"
+                // instead of panicking on Instant overflow.
+                let deadline = match deadline_us {
+                    wire::NO_DEADLINE_US => None,
+                    us => Instant::now().checked_add(Duration::from_micros(us)),
+                };
+                match broker.query_batch_within("tcp", &queries, deadline) {
+                    Ok(answers) => wire::encode_answers(&answers),
+                    Err(e) => wire::encode_error(&e),
+                }
+            }
+            Err(e) => wire::encode_error(&ServeError::malformed(format!(
+                "malformed query batch: {e}"
+            ))),
         },
         Some((&wire::OP_STATS, [])) => wire::encode_stats(&broker.stats()),
-        Some((&wire::OP_STATS, _)) => wire::encode_error("stats request carries no body"),
-        Some((op, _)) => wire::encode_error(&format!("unknown opcode {op}")),
-        None => wire::encode_error("empty request"),
+        Some((&wire::OP_STATS, _)) => {
+            wire::encode_error(&ServeError::malformed("stats request carries no body"))
+        }
+        Some((op, _)) => wire::encode_error(&ServeError::malformed(format!("unknown opcode {op}"))),
+        None => wire::encode_error(&ServeError::malformed("empty request")),
+    }
+}
+
+/// Client retry policy: capped exponential backoff with seeded **full
+/// jitter** — attempt `k` sleeps uniformly in
+/// `(0, min(base·2ᵏ, max)]`, with the uniform draw coming from a
+/// deterministic splitmix64 stream over `seed`. Seeded jitter keeps
+/// retry storms decorrelated across clients (give each a different
+/// seed) while staying reproducible in tests.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (`0` = never retry).
+    pub max_retries: u32,
+    /// Backoff cap doubles from here.
+    pub base_delay: Duration,
+    /// Backoff cap never exceeds this.
+    pub max_delay: Duration,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x1CEB_00DA,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic jittered sleep before retry number `attempt`
+    /// (0-based), where `n` indexes the jitter stream (monotone across
+    /// the client's lifetime so repeated retry rounds keep fresh
+    /// jitter).
+    fn backoff(&self, attempt: u32, n: u64) -> Duration {
+        let cap = self
+            .base_delay
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_delay);
+        let cap_ns = cap.as_nanos().max(1) as u64;
+        Duration::from_nanos(faults::splitmix64(self.seed ^ n) % cap_ns + 1)
+    }
+}
+
+/// Client construction options.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// How long one response read may block. `None` = wait forever.
+    pub read_timeout: Option<Duration>,
+    /// How long one request write may block.
+    pub write_timeout: Option<Duration>,
+    /// Transient-failure retry policy.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            retry: RetryPolicy::default(),
+        }
     }
 }
 
 /// A blocking client for the [`Server`]'s wire protocol. One request at
 /// a time per client; open several clients (they're cheap) for
-/// concurrent load.
+/// concurrent load. Transient failures are retried per the configured
+/// [`RetryPolicy`], reconnecting when the transport may be out of sync.
 pub struct Client {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Option<Conn>,
+    /// Monotone jitter-stream index (see [`RetryPolicy::backoff`]).
+    jitter_n: u64,
+}
+
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
 }
 
+/// Transport-level failures worth a reconnect-and-retry: the connection
+/// died, stalled, or delivered provably damaged bytes — none of which
+/// says anything about the *request* being wrong.
+fn transient(err: &io::Error) -> bool {
+    if wire::is_corrupt_frame(err) {
+        return true;
+    }
+    matches!(
+        err.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::Interrupted
+    )
+}
+
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server with the default [`ClientConfig`].
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// [`Client::connect`] with explicit timeout/retry options. The
+    /// first connection is dialed eagerly (so an unreachable address
+    /// errors here); later reconnects happen lazily inside the retry
+    /// loop.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let mut client = Client {
+            addr,
+            config,
+            conn: None,
+            jitter_n: 0,
+        };
+        client.conn = Some(client.dial()?);
+        Ok(client)
+    }
+
+    fn dial(&self) -> io::Result<Conn> {
+        let stream = TcpStream::connect(self.addr)?;
         stream.set_nodelay(true).ok();
-        Ok(Client {
+        stream.set_read_timeout(self.config.read_timeout)?;
+        stream.set_write_timeout(self.config.write_timeout)?;
+        Ok(Conn {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
         })
     }
 
-    fn round_trip(&mut self, request: &[u8]) -> io::Result<Vec<u8>> {
-        wire::write_frame(&mut self.writer, request)?;
-        wire::read_frame(&mut self.reader)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request")
-        })
+    /// Runs `op` against a live connection, retrying per the policy.
+    /// Typed retryable server errors retry on the *same* connection
+    /// (the frame was intact — the stream is still in sync); transport
+    /// errors drop the connection and redial, because after a
+    /// truncated or corrupt frame the stream position is unreliable.
+    fn with_retry<T>(&mut self, mut op: impl FnMut(&mut Conn) -> io::Result<T>) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            let result = {
+                match self.ensure_conn() {
+                    Ok(conn) => op(conn),
+                    Err(e) => Err(e),
+                }
+            };
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let typed_retryable = ServeError::from_io(&err).map(|se| se.retryable);
+            if typed_retryable.is_none() {
+                self.conn = None;
+            }
+            let retryable = typed_retryable.unwrap_or_else(|| transient(&err));
+            if !retryable || attempt >= self.config.retry.max_retries {
+                return Err(err);
+            }
+            let n = self.jitter_n;
+            self.jitter_n += 1;
+            std::thread::sleep(self.config.retry.backoff(attempt, n));
+            attempt += 1;
+        }
+    }
+
+    fn ensure_conn(&mut self) -> io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            self.conn = Some(self.dial()?);
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
     }
 
     /// Sends one batch of queries and returns the answers in input
-    /// order. Values cross the wire as IEEE bit patterns, so what the
-    /// broker computed is exactly what this returns.
+    /// order, retrying transient failures. Values cross the wire as
+    /// IEEE bit patterns, so what the broker computed is exactly what
+    /// this returns.
     pub fn query_batch(&mut self, queries: &[GuaranteeQuery]) -> io::Result<Vec<GuaranteeAnswer>> {
-        let response = self.round_trip(&wire::encode_query_batch(queries))?;
-        let answers = wire::decode_answers(&response)?;
-        if answers.len() != queries.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "answer count does not match query count",
-            ));
-        }
-        Ok(answers)
+        self.query_batch_within(queries, None)
     }
 
-    /// Fetches the broker's per-endpoint and cache stats.
-    pub fn stats(&mut self) -> io::Result<BrokerStats> {
-        let response = self.round_trip(&[wire::OP_STATS])?;
-        wire::decode_stats(&response)
+    /// [`Client::query_batch`] with a per-batch deadline budget. The
+    /// budget travels the wire as relative microseconds and is re-armed
+    /// fresh on every retry attempt; the server rejects (typed,
+    /// retryable `DeadlineExceeded`) any attempt it cannot answer in
+    /// time rather than blocking past it.
+    pub fn query_batch_within(
+        &mut self,
+        queries: &[GuaranteeQuery],
+        deadline: Option<Duration>,
+    ) -> io::Result<Vec<GuaranteeAnswer>> {
+        let deadline_us = deadline
+            .map(|d| (d.as_micros().min(u64::MAX as u128) as u64).max(1))
+            .unwrap_or(wire::NO_DEADLINE_US);
+        let request = wire::encode_query_batch(queries, deadline_us);
+        let want = queries.len();
+        self.with_retry(|conn| {
+            let response = round_trip(conn, &request)?;
+            let answers = wire::decode_answers(&response)?;
+            if answers.len() != want {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "answer count does not match query count",
+                ));
+            }
+            Ok(answers)
+        })
     }
+
+    /// Fetches the broker's per-endpoint, cache and resilience stats,
+    /// retrying transient failures.
+    pub fn stats(&mut self) -> io::Result<BrokerStats> {
+        self.with_retry(|conn| {
+            let response = round_trip(conn, &[wire::OP_STATS])?;
+            wire::decode_stats(&response)
+        })
+    }
+}
+
+fn round_trip(conn: &mut Conn, request: &[u8]) -> io::Result<Vec<u8>> {
+    wire::write_frame(&mut conn.writer, request)?;
+    wire::read_frame(&mut conn.reader)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed mid-request"))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::broker::BrokerConfig;
+    use crate::errors::ErrorCode;
     use cyclesteal_core::time::secs;
 
     fn query(p: u32, lifespan: f64) -> GuaranteeQuery {
@@ -214,26 +519,129 @@ mod tests {
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut writer = BufWriter::new(stream);
 
-        // Unknown opcode → error frame, connection stays up.
+        // Unknown opcode → typed error frame, connection stays up.
         wire::write_frame(&mut writer, &[99u8]).unwrap();
         let resp = wire::read_frame(&mut reader).unwrap().unwrap();
         assert_eq!(resp[0], wire::STATUS_ERR);
+        assert_eq!(wire::decode_error(&resp[1..]).code, ErrorCode::Malformed);
 
-        // An invalid query (negative setup) → error frame too.
-        let bad = wire::encode_query_batch(&[GuaranteeQuery {
-            setup: secs(-1.0),
-            ticks_per_setup: 8,
-            interrupts: 1,
-            lifespan: secs(10.0),
-        }]);
+        // An invalid query (negative setup) → typed error frame too.
+        let bad = wire::encode_query_batch(
+            &[GuaranteeQuery {
+                setup: secs(-1.0),
+                ticks_per_setup: 8,
+                interrupts: 1,
+                lifespan: secs(10.0),
+            }],
+            wire::NO_DEADLINE_US,
+        );
         wire::write_frame(&mut writer, &bad).unwrap();
         let resp = wire::read_frame(&mut reader).unwrap().unwrap();
         assert_eq!(resp[0], wire::STATUS_ERR);
+        let err = wire::decode_error(&resp[1..]);
+        assert_eq!(err.code, ErrorCode::InvalidQuery);
+        assert!(!err.retryable);
 
         // And the connection still answers a good batch afterwards.
-        wire::write_frame(&mut writer, &wire::encode_query_batch(&[query(1, 20.0)])).unwrap();
+        wire::write_frame(
+            &mut writer,
+            &wire::encode_query_batch(&[query(1, 20.0)], wire::NO_DEADLINE_US),
+        )
+        .unwrap();
         let resp = wire::read_frame(&mut reader).unwrap().unwrap();
         assert_eq!(resp[0], wire::STATUS_OK);
         server.shutdown();
+    }
+
+    #[test]
+    fn a_connection_killed_mid_frame_leaves_the_server_serving() {
+        let broker = Arc::new(Broker::new(BrokerConfig::default()).unwrap());
+        let server = Server::start("127.0.0.1:0", broker).unwrap();
+
+        // Claim a 64-byte frame, send 3 bytes, and vanish: the handler
+        // sees EOF mid-frame (an error, not a hang) and dies alone.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(&64u32.to_le_bytes()).unwrap();
+        stream.write_all(&[1, 2, 3]).unwrap();
+        stream.flush().unwrap();
+        drop(stream);
+
+        // The server is unaffected: a fresh client gets real answers.
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let answers = client.query_batch(&[query(1, 20.0)]).unwrap();
+        assert_eq!(answers.len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn an_expired_wire_deadline_returns_the_typed_retryable_error() {
+        let broker = Arc::new(Broker::new(BrokerConfig::default()).unwrap());
+        let server = Server::start("127.0.0.1:0", broker.clone()).unwrap();
+        // max_retries 0: surface the first typed error instead of
+        // burning retries on a deadline that can never be met.
+        let mut client = Client::connect_with(
+            server.local_addr(),
+            ClientConfig {
+                retry: RetryPolicy {
+                    max_retries: 0,
+                    ..RetryPolicy::default()
+                },
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        // A 1 µs budget is spent before the broker even sees the batch.
+        let err = client
+            .query_batch_within(&[query(1, 20.0)], Some(Duration::from_micros(1)))
+            .unwrap_err();
+        let typed = ServeError::from_io(&err).expect("typed error over the wire");
+        assert_eq!(typed.code, ErrorCode::DeadlineExceeded);
+        assert!(typed.retryable);
+        assert!(broker.stats().resilience.deadline_rejects >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_retries: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(80),
+            seed: 7,
+        };
+        for attempt in 0..8 {
+            let cap = Duration::from_millis(10)
+                .saturating_mul(1 << attempt)
+                .min(Duration::from_millis(80));
+            let d = policy.backoff(attempt, attempt as u64);
+            assert!(d > Duration::ZERO && d <= cap, "attempt {attempt}: {d:?}");
+            // Same (seed, stream index) → same delay.
+            assert_eq!(d, policy.backoff(attempt, attempt as u64));
+        }
+        // Distinct stream indices decorrelate the jitter.
+        let a: Vec<_> = (0..16).map(|n| policy.backoff(3, n)).collect();
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "jitter varies: {a:?}");
+    }
+
+    #[test]
+    fn transient_classification_separates_retryable_from_fatal() {
+        for kind in [
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionRefused,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WouldBlock,
+        ] {
+            assert!(transient(&io::Error::new(kind, "x")), "{kind:?}");
+        }
+        assert!(!transient(&io::Error::new(io::ErrorKind::InvalidData, "x")));
+        assert!(
+            transient(&io::Error::new(
+                io::ErrorKind::InvalidData,
+                wire::CorruptFrame
+            )),
+            "CRC damage is transport, not protocol"
+        );
     }
 }

@@ -1,19 +1,37 @@
-//! The wire protocol: length-prefixed binary frames over a byte stream.
+//! The wire protocol: checksummed, length-prefixed binary frames over a
+//! byte stream.
 //!
-//! Every message is one **frame**: a `u32` little-endian payload length
-//! followed by that many payload bytes (capped at [`MAX_FRAME_BYTES`] —
-//! a corrupt peer cannot make the server allocate unboundedly). All
-//! multi-byte integers are little-endian; `f64`s travel as their IEEE
-//! bit patterns, so answers survive the wire **bit-identically**.
+//! Every message is one **frame**:
+//!
+//! ```text
+//! len  u32        payload length (capped at MAX_FRAME_BYTES)
+//! crc  u32        CRC-32/IEEE of the payload
+//! payload         len bytes
+//! ```
+//!
+//! The CRC exists for the chaos invariant, not for TCP (which already
+//! checksums): a corrupted frame — injected by the fault harness or by
+//! a buggy middlebox — must surface as a **detectable, retryable
+//! transport error** ([`is_corrupt_frame`]), never as a silently wrong
+//! answer. The length cap means a corrupt peer cannot make either side
+//! allocate unboundedly. All multi-byte integers are little-endian;
+//! `f64`s travel as their IEEE bit patterns, so answers survive the
+//! wire **bit-identically**.
 //!
 //! Request payload:
 //!
 //! ```text
 //! op  u8          1 = query batch, 2 = stats
-//! op 1: count u32, then per query (24 B):
+//! op 1: deadline_us u64 (0 = none; remaining budget in µs)
+//!       count u32, then per query (24 B):
 //!       setup_bits u64 · ticks_per_setup u32 · interrupts u32 · lifespan_bits u64
 //! op 2: (empty)
 //! ```
+//!
+//! The deadline travels as a *relative* budget (µs left), not a wall
+//! timestamp — the two hosts' clocks never need to agree. The server
+//! converts it to an absolute `Instant` the moment it decodes the
+//! request.
 //!
 //! Response payload:
 //!
@@ -22,15 +40,23 @@
 //! ok, op 1: count u32, then per answer (16 B): value_bits u64 · value_ticks i64
 //! ok, op 2: hits u64 · misses u64 · evictions u64 · entries u64 ·
 //!           compressed_entries u64 · resident_bytes u64 ·
+//!           shed u64 · deadline_rejects u64 · solve_panics u64 ·
+//!           flight_retries u64 · snapshot_failures u64 ·
 //!           endpoint_count u32, then per endpoint:
 //!           name_len u8 · name bytes · requests u64 · queries u64 ·
 //!           coalesced u64 · p50_us u64 · p99_us u64
-//! error:    UTF-8 message (the rest of the payload)
+//! error:    code u8 · retryable u8 · UTF-8 message (rest of payload)
 //! ```
+//!
+//! The typed error body carries the [`ErrorCode`] and the retryable
+//! flag explicitly, so a client can decide *back off and retry* versus
+//! *fix the request* without parsing prose (see [`crate::errors`]).
 
-use crate::broker::{BrokerStats, EndpointStats, GuaranteeAnswer, GuaranteeQuery};
+use crate::broker::{BrokerStats, EndpointStats, GuaranteeAnswer, GuaranteeQuery, ResilienceStats};
+use crate::errors::{ErrorCode, ServeError};
 use cyclesteal_core::time::Time;
 use cyclesteal_dp::CacheStats;
+use cyclesteal_store::crc::crc32;
 use std::io::{self, Read, Write};
 
 /// Largest payload either side will accept (64 MiB ≈ 2.7M queries per
@@ -44,43 +70,89 @@ pub const OP_STATS: u8 = 2;
 
 /// Response status: success.
 pub const STATUS_OK: u8 = 0;
-/// Response status: error (payload is a UTF-8 message).
+/// Response status: error (payload is `code · retryable · message`).
 pub const STATUS_ERR: u8 = 1;
 
-/// Writes one frame (length prefix + payload).
+/// On-wire deadline meaning "none".
+pub const NO_DEADLINE_US: u64 = 0;
+
+/// Marker error for a frame whose payload failed its CRC: the bytes
+/// made it but are provably damaged. Distinguishable via
+/// [`is_corrupt_frame`] so the client's retry loop can treat it as
+/// transient (re-request) rather than protocol-fatal.
+#[derive(Debug)]
+pub struct CorruptFrame;
+
+impl std::fmt::Display for CorruptFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame payload failed CRC check (corrupt on the wire)")
+    }
+}
+
+impl std::error::Error for CorruptFrame {}
+
+/// Whether `err` is the frame-CRC-mismatch marker ([`CorruptFrame`]).
+pub fn is_corrupt_frame(err: &io::Error) -> bool {
+    err.get_ref()
+        .is_some_and(|inner| (inner as &(dyn std::error::Error + 'static)).is::<CorruptFrame>())
+}
+
+/// Serializes a complete frame (header + payload) into one buffer. The
+/// server's corrupt-frame fault injection flips a byte of this buffer
+/// before writing it raw — which is exactly what the CRC exists to
+/// catch.
+pub(crate) fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes one frame (length prefix, payload CRC, payload).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     if payload.len() as u64 > MAX_FRAME_BYTES as u64 {
         return Err(invalid("frame exceeds MAX_FRAME_BYTES"));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
 }
 
-/// Reads one frame's payload. `Ok(None)` is a clean EOF *between*
-/// frames (the peer hung up); EOF mid-frame is an error.
+/// Reads one frame's payload, verifying its CRC. `Ok(None)` is a clean
+/// EOF *between* frames (the peer hung up); EOF mid-frame is an error,
+/// and a CRC mismatch is the [`CorruptFrame`] marker error.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
-    // A clean close before any length byte is a normal end of session;
+    let mut header = [0u8; 8];
+    // A clean close before any header byte is a normal end of session;
     // a signal landing mid-wait (Interrupted) is retried, matching
     // read_exact's convention — neither should tear the session down.
     loop {
-        match r.read(&mut len) {
+        match r.read(&mut header) {
             Ok(0) => return Ok(None),
             Ok(n) => {
-                r.read_exact(&mut len[n..])?;
+                r.read_exact(&mut header[n..])?;
                 break;
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
         }
     }
-    let len = u32::from_le_bytes(len);
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let stored_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    // An impossible length is indistinguishable from a damaged length
+    // byte (no honest peer sends one), so it classifies as wire
+    // corruption: the connection is unusable, but a retry on a fresh
+    // connection is sound.
     if len > MAX_FRAME_BYTES {
-        return Err(invalid("frame length exceeds MAX_FRAME_BYTES"));
+        return Err(io::Error::new(io::ErrorKind::InvalidData, CorruptFrame));
     }
     let mut payload = vec![0u8; len as usize];
     r.read_exact(&mut payload)?;
+    if crc32(&payload) != stored_crc {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, CorruptFrame));
+    }
     Ok(Some(payload))
 }
 
@@ -140,10 +212,12 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Encodes a query-batch request payload.
-pub fn encode_query_batch(queries: &[GuaranteeQuery]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(5 + queries.len() * 24);
+/// Encodes a query-batch request payload. `deadline_us` is the
+/// remaining budget in microseconds ([`NO_DEADLINE_US`] for none).
+pub fn encode_query_batch(queries: &[GuaranteeQuery], deadline_us: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(13 + queries.len() * 24);
     out.push(OP_QUERY_BATCH);
+    out.extend_from_slice(&deadline_us.to_le_bytes());
     out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
     for q in queries {
         out.extend_from_slice(&q.setup.get().to_bits().to_le_bytes());
@@ -154,9 +228,12 @@ pub fn encode_query_batch(queries: &[GuaranteeQuery]) -> Vec<u8> {
     out
 }
 
-/// Decodes a query-batch request payload (after the op byte was read).
-pub fn decode_query_batch(r: &mut &[u8]) -> io::Result<Vec<GuaranteeQuery>> {
+/// Decodes a query-batch request payload (after the op byte was read):
+/// the queries plus the relative deadline budget in µs
+/// ([`NO_DEADLINE_US`] = none).
+pub fn decode_query_batch(r: &mut &[u8]) -> io::Result<(Vec<GuaranteeQuery>, u64)> {
     let mut rd = Reader { buf: r, pos: 0 };
+    let deadline_us = rd.u64()?;
     let count = rd.u32()? as usize;
     // checked_mul: on 32-bit targets a hostile count could wrap the
     // size check and reach a huge Vec::with_capacity below.
@@ -173,7 +250,7 @@ pub fn decode_query_batch(r: &mut &[u8]) -> io::Result<Vec<GuaranteeQuery>> {
         });
     }
     rd.done()?;
-    Ok(queries)
+    Ok((queries, deadline_us))
 }
 
 /// Encodes a successful query-batch response payload.
@@ -188,24 +265,40 @@ pub fn encode_answers(answers: &[GuaranteeAnswer]) -> Vec<u8> {
     out
 }
 
-/// Encodes an error response payload.
-pub fn encode_error(message: &str) -> Vec<u8> {
-    let mut out = Vec::with_capacity(1 + message.len());
+/// Encodes a typed error response payload: `code · retryable · message`.
+pub fn encode_error(err: &ServeError) -> Vec<u8> {
+    let mut out = Vec::with_capacity(3 + err.message.len());
     out.push(STATUS_ERR);
-    out.extend_from_slice(message.as_bytes());
+    out.push(err.code.wire());
+    out.push(err.retryable as u8);
+    out.extend_from_slice(err.message.as_bytes());
     out
 }
 
+/// Decodes the body of a [`STATUS_ERR`] response into the typed error.
+/// Unknown codes (a newer peer) degrade to [`ErrorCode::Internal`] but
+/// keep the frame's own retryable flag — forward compatibility must not
+/// turn a permanent error into a retry storm or vice versa.
+pub fn decode_error(body: &[u8]) -> ServeError {
+    match body {
+        [code, retryable, message @ ..] => ServeError {
+            code: ErrorCode::from_wire(*code).unwrap_or(ErrorCode::Internal),
+            retryable: *retryable != 0,
+            message: String::from_utf8_lossy(message).into_owned(),
+        },
+        // A short error body is itself malformed; report what we can.
+        _ => ServeError::malformed("error frame too short for code + retryable flag"),
+    }
+}
+
 /// Splits a response payload into its status-checked body: `Ok` bytes
-/// after the status on success, the server's message as an
-/// `InvalidData` error otherwise.
+/// after the status on success, the server's typed [`ServeError`]
+/// (carried inside the `io::Error`, recoverable via
+/// [`ServeError::from_io`]) otherwise.
 fn response_body(payload: &[u8]) -> io::Result<&[u8]> {
     match payload.split_first() {
         Some((&STATUS_OK, body)) => Ok(body),
-        Some((&STATUS_ERR, body)) => Err(invalid(&format!(
-            "server error: {}",
-            String::from_utf8_lossy(body)
-        ))),
+        Some((&STATUS_ERR, body)) => Err(decode_error(body).into()),
         _ => Err(invalid("empty response payload")),
     }
 }
@@ -239,6 +332,11 @@ pub fn encode_stats(stats: &BrokerStats) -> Vec<u8> {
         stats.cache.entries as u64,
         stats.cache.compressed_entries as u64,
         stats.cache.resident_bytes as u64,
+        stats.resilience.shed,
+        stats.resilience.deadline_rejects,
+        stats.resilience.solve_panics,
+        stats.resilience.flight_retries,
+        stats.resilience.snapshot_failures,
     ] {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -266,6 +364,13 @@ pub fn decode_stats(payload: &[u8]) -> io::Result<BrokerStats> {
         compressed_entries: rd.u64()? as usize,
         resident_bytes: rd.u64()? as usize,
     };
+    let resilience = ResilienceStats {
+        shed: rd.u64()?,
+        deadline_rejects: rd.u64()?,
+        solve_panics: rd.u64()?,
+        flight_retries: rd.u64()?,
+        snapshot_failures: rd.u64()?,
+    };
     let count = rd.u32()? as usize;
     let mut endpoints = Vec::new();
     for _ in 0..count {
@@ -281,7 +386,11 @@ pub fn decode_stats(payload: &[u8]) -> io::Result<BrokerStats> {
         });
     }
     rd.done()?;
-    Ok(BrokerStats { endpoints, cache })
+    Ok(BrokerStats {
+        endpoints,
+        cache,
+        resilience,
+    })
 }
 
 #[cfg(test)]
@@ -304,10 +413,45 @@ mod tests {
     }
 
     #[test]
+    fn truncated_frames_error_at_every_cut_point() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload bytes").unwrap();
+        // Mid-header, exactly at header end, and mid-payload: every
+        // truncation is an error, never a hang or a silent None.
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(read_frame(&mut r).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_bytes_are_detected_by_the_frame_crc() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"the answer is 42").unwrap();
+        // Flip each payload byte in turn (payload starts after the 8 B
+        // header): every flip must surface as the CorruptFrame marker.
+        for i in 8..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x01;
+            let err = read_frame(&mut &bad[..]).unwrap_err();
+            assert!(is_corrupt_frame(&err), "flip at {i} detected");
+        }
+        // A flipped CRC byte is also a mismatch.
+        let mut bad = buf.clone();
+        bad[5] ^= 0x80;
+        assert!(is_corrupt_frame(&read_frame(&mut &bad[..]).unwrap_err()));
+        // And an intact frame is not flagged.
+        assert!(read_frame(&mut &buf[..]).unwrap().is_some());
+    }
+
+    #[test]
     fn oversized_frame_lengths_are_rejected_without_allocation() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&u32::MAX.to_le_bytes());
-        assert!(read_frame(&mut &buf[..]).is_err());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        // Classified as wire corruption: an honest peer never sends an
+        // impossible length, so it reads as a damaged length byte.
+        assert!(is_corrupt_frame(&read_frame(&mut &buf[..]).unwrap_err()));
     }
 
     #[test]
@@ -326,9 +470,10 @@ mod tests {
                 lifespan: secs(0.0),
             },
         ];
-        let payload = encode_query_batch(&queries);
+        let payload = encode_query_batch(&queries, 250_000);
         assert_eq!(payload[0], OP_QUERY_BATCH);
-        let decoded = decode_query_batch(&mut &payload[1..]).unwrap();
+        let (decoded, deadline_us) = decode_query_batch(&mut &payload[1..]).unwrap();
+        assert_eq!(deadline_us, 250_000);
         for (a, b) in queries.iter().zip(&decoded) {
             assert_eq!(a.setup.get().to_bits(), b.setup.get().to_bits());
             assert_eq!(a.lifespan.get().to_bits(), b.lifespan.get().to_bits());
@@ -337,25 +482,31 @@ mod tests {
                 (b.ticks_per_setup, b.interrupts)
             );
         }
+        // No deadline travels as the zero sentinel.
+        let payload = encode_query_batch(&queries, NO_DEADLINE_US);
+        assert_eq!(decode_query_batch(&mut &payload[1..]).unwrap().1, 0);
         // A count/size mismatch is an error.
         assert!(decode_query_batch(&mut &payload[1..payload.len() - 1]).is_err());
     }
 
     #[test]
     fn non_finite_wire_times_error_instead_of_panicking() {
-        let mut payload = encode_query_batch(&[GuaranteeQuery {
-            setup: secs(1.0),
-            ticks_per_setup: 8,
-            interrupts: 1,
-            lifespan: secs(10.0),
-        }]);
-        // Overwrite the setup bits (right after op + count) with NaN.
-        payload[5..13].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        let mut payload = encode_query_batch(
+            &[GuaranteeQuery {
+                setup: secs(1.0),
+                ticks_per_setup: 8,
+                interrupts: 1,
+                lifespan: secs(10.0),
+            }],
+            NO_DEADLINE_US,
+        );
+        // Overwrite the setup bits (after op + deadline + count) with NaN.
+        payload[13..21].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
         assert!(decode_query_batch(&mut &payload[1..]).is_err());
     }
 
     #[test]
-    fn answers_and_errors_round_trip() {
+    fn answers_round_trip() {
         let answers = vec![
             GuaranteeAnswer {
                 value: secs(42.125),
@@ -371,8 +522,24 @@ mod tests {
             assert_eq!(a.value.get().to_bits(), b.value.get().to_bits());
             assert_eq!(a.value_ticks, b.value_ticks);
         }
-        let err = decode_answers(&encode_error("nope")).unwrap_err();
-        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn typed_errors_round_trip_code_flag_and_message() {
+        let e = ServeError::overloaded(12, 8);
+        let err = decode_answers(&encode_error(&e)).unwrap_err();
+        let back = ServeError::from_io(&err).expect("typed error on the wire");
+        assert_eq!(*back, e);
+
+        // An unknown code from a future peer degrades to Internal but
+        // keeps the frame's retryable flag.
+        let mut payload = encode_error(&e);
+        payload[1] = 0xEE;
+        let err = decode_answers(&payload).unwrap_err();
+        let back = ServeError::from_io(&err).unwrap();
+        assert_eq!(back.code, ErrorCode::Internal);
+        assert!(back.retryable);
+        assert_eq!(back.message, e.message);
     }
 
     #[test]
@@ -394,9 +561,17 @@ mod tests {
                 compressed_entries: 2,
                 resident_bytes: 16_000_000,
             },
+            resilience: ResilienceStats {
+                shed: 4,
+                deadline_rejects: 3,
+                solve_panics: 2,
+                flight_retries: 1,
+                snapshot_failures: 9,
+            },
         };
         let decoded = decode_stats(&encode_stats(&stats)).unwrap();
         assert_eq!(decoded.endpoints, stats.endpoints);
+        assert_eq!(decoded.resilience, stats.resilience);
         let (a, b) = (decoded.cache, stats.cache);
         assert_eq!(
             (

@@ -168,6 +168,7 @@ fn eviction_snapshots_and_warm_start_serves_without_solving() {
             threads: 2,
             memory_budget: Some(1), // evict everything immediately
             snapshot_dir: Some(dir.clone()),
+            max_inflight: 0,
         })
         .unwrap();
         let got = broker.query_batch(&queries).unwrap();
@@ -190,6 +191,7 @@ fn eviction_snapshots_and_warm_start_serves_without_solving() {
             threads: 2,
             memory_budget: None,
             snapshot_dir: Some(dir.clone()),
+            max_inflight: 0,
         })
         .unwrap();
         assert_eq!(

@@ -445,6 +445,50 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompressedTable, StoreError> {
 
 // ---- files and directories -------------------------------------------
 
+/// Test-only save fault: consulted once per write attempt; returning
+/// `true` makes that attempt fail with an injected I/O error (see
+/// [`set_save_fault`]).
+type SaveFault = Box<dyn Fn(&Path) -> bool + Send + Sync>;
+
+static SAVE_FAULT_ARMED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn save_fault_slot() -> &'static std::sync::Mutex<Option<SaveFault>> {
+    static SLOT: std::sync::OnceLock<std::sync::Mutex<Option<SaveFault>>> =
+        std::sync::OnceLock::new();
+    SLOT.get_or_init(|| std::sync::Mutex::new(None))
+}
+
+/// Installs (or, with `None`, removes) a **test-only** fault hook
+/// consulted once per [`save`] write attempt; a `true` return fails
+/// that attempt with an injected I/O error. This is how the
+/// fault-injection harness in `cyclesteal-serve` exercises the save
+/// retry and the snapshot-on-evict failure path. Disarmed, the hook
+/// costs one relaxed atomic load per save.
+#[doc(hidden)]
+pub fn set_save_fault(hook: Option<SaveFault>) {
+    let armed = hook.is_some();
+    *save_fault_slot().lock().unwrap_or_else(|e| e.into_inner()) = hook;
+    SAVE_FAULT_ARMED.store(armed, std::sync::atomic::Ordering::Release);
+}
+
+fn save_fault_fires(path: &Path) -> bool {
+    if !SAVE_FAULT_ARMED.load(std::sync::atomic::Ordering::Acquire) {
+        return false;
+    }
+    save_fault_slot()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .as_ref()
+        .is_some_and(|hook| hook(path))
+}
+
+/// Write attempts [`save`] makes before giving up: the first try plus
+/// `SAVE_RETRIES` retries with a short doubling backoff. Snapshot saves
+/// sit off the serving path (evictions, shutdown), so a few retries
+/// against transient I/O (fd pressure, a busy volume) are cheap
+/// insurance; persistent failures still surface as the last error.
+pub const SAVE_RETRIES: u32 = 2;
+
 /// Writes `table` to `path` atomically: the bytes land in a temp file
 /// in the same directory first, are fsynced, and are `rename`d into
 /// place — so a concurrent reader or a process crash can never observe
@@ -455,21 +499,43 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompressedTable, StoreError> {
 /// carries a process-wide counter on top of the pid, so concurrent
 /// savers of the *same* key (e.g. the evict hook racing a periodic
 /// snapshot) each write their own temp file and the rename stays whole.
+///
+/// Transient I/O failures are retried ([`SAVE_RETRIES`] retries, 1 ms
+/// doubling backoff); the final error is returned if every attempt
+/// fails.
 pub fn save(table: &CompressedTable, path: &Path) -> Result<(), StoreError> {
-    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
     let bytes = to_bytes(table);
+    let mut last: Option<io::Error> = None;
+    for attempt in 0..=SAVE_RETRIES {
+        if attempt > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1 << (attempt - 1)));
+        }
+        match save_attempt(&bytes, path) {
+            Ok(()) => return Ok(()),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last.expect("at least one attempt ran").into())
+}
+
+/// One atomic temp-write + rename attempt.
+fn save_attempt(bytes: &[u8], path: &Path) -> io::Result<()> {
+    static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    if save_fault_fires(path) {
+        return Err(io::Error::other("injected store write failure"));
+    }
     let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let tmp = path.with_extension(format!("tmp{}-{seq}", std::process::id()));
     let write = |tmp: &Path| -> io::Result<()> {
         let mut file = std::fs::File::create(tmp)?;
-        io::Write::write_all(&mut file, &bytes)?;
+        io::Write::write_all(&mut file, bytes)?;
         file.sync_all()
     };
     match write(&tmp).and_then(|()| std::fs::rename(&tmp, path)) {
         Ok(()) => Ok(()),
         Err(e) => {
             let _ = std::fs::remove_file(&tmp);
-            Err(e.into())
+            Err(e)
         }
     }
 }
@@ -498,10 +564,19 @@ pub fn snapshot_file_name(table: &CompressedTable) -> String {
 pub struct WarmReport {
     /// Snapshots loaded, validated and admitted into the cache.
     pub loaded: usize,
-    /// Snapshot files that failed to load (corrupt, unreadable, wrong
-    /// version), with why. A warm start never fails wholesale because
-    /// one file rotted — the table is simply re-solved on first use.
+    /// Snapshot files whose *read* failed (I/O error), with why. The
+    /// failure may be transient (permissions, fd pressure), so the file
+    /// is left in place for the next warm start. A warm start never
+    /// fails wholesale because one file rotted — the table is simply
+    /// re-solved on first use.
     pub skipped: Vec<(PathBuf, StoreError)>,
+    /// Snapshot files whose *bytes* are provably bad (wrong magic,
+    /// unsupported version, truncation, checksum mismatch, structural
+    /// invalidity) and were quarantined: renamed with a `.corrupt`
+    /// suffix so they stop matching the `*.cst` glob, keep their bytes
+    /// for post-mortem, and never waste another warm start. The path
+    /// recorded is the original (pre-rename) one.
+    pub quarantined: Vec<(PathBuf, StoreError)>,
 }
 
 /// Directory-level persistence for [`TableCache`] — the warm-start
@@ -514,9 +589,10 @@ pub trait CacheSnapshotExt {
 
     /// Loads every `*.cst` snapshot in `dir` and admits it into the
     /// cache, so covering `get_compressed` queries become hits instead
-    /// of solves. A missing directory is an empty warm start, and
-    /// individual corrupt files are reported in
-    /// [`WarmReport::skipped`], not fatal.
+    /// of solves. A missing directory is an empty warm start; unreadable
+    /// files are reported in [`WarmReport::skipped`] and provably
+    /// corrupt ones are renamed `*.corrupt` and reported in
+    /// [`WarmReport::quarantined`] — neither is fatal.
     fn warm_from_dir(&self, dir: &Path) -> Result<WarmReport, StoreError>;
 }
 
@@ -547,12 +623,37 @@ impl CacheSnapshotExt for TableCache {
                     self.admit_compressed(Arc::new(table));
                     report.loaded += 1;
                 }
-                Err(e) => report.skipped.push((path, e)),
+                // An I/O failure may be transient: leave the file alone
+                // and let the next warm start retry it.
+                Err(e @ StoreError::Io(_)) => report.skipped.push((path, e)),
+                // Anything else means the *bytes* are bad — the file
+                // can never load. Quarantine it out of the `*.cst` glob
+                // (best-effort; a failed rename degrades to a skip).
+                Err(e) => {
+                    if quarantine(&path).is_ok() {
+                        report.quarantined.push((path, e));
+                    } else {
+                        report.skipped.push((path, e));
+                    }
+                }
             }
         }
         Ok(report)
     }
 }
+
+/// Renames a provably corrupt snapshot by appending
+/// [`QUARANTINE_SUFFIX`] to its file name (`rotten.cst` →
+/// `rotten.cst.corrupt`), taking it out of the warm-start glob while
+/// preserving the bytes for inspection.
+pub fn quarantine(path: &Path) -> io::Result<()> {
+    let mut name = path.as_os_str().to_os_string();
+    name.push(QUARANTINE_SUFFIX);
+    std::fs::rename(path, PathBuf::from(name))
+}
+
+/// Suffix appended to quarantined snapshot file names.
+pub const QUARANTINE_SUFFIX: &str = ".corrupt";
 
 /// Packages "save to `dir` on eviction" as a
 /// [`cyclesteal_dp::EvictHook`] for
@@ -560,9 +661,27 @@ impl CacheSnapshotExt for TableCache {
 /// budget pushes out is snapshotted (best-effort — an I/O failure drops
 /// the snapshot, never the serving path) before the cache forgets it.
 pub fn evict_hook_to_dir(dir: PathBuf) -> cyclesteal_dp::EvictHook {
+    evict_hook_to_dir_counting(dir, Arc::new(std::sync::atomic::AtomicU64::new(0)))
+}
+
+/// Like [`evict_hook_to_dir`], but every failed snapshot-on-evict write
+/// bumps `failures` (and logs to stderr) instead of disappearing — the
+/// serving layer surfaces the counter as
+/// `BrokerStats.resilience.snapshot_failures`. The failure is *never*
+/// propagated: the hook runs from [`TableCache`]'s eviction path, and
+/// an error escaping there would trade a lost snapshot for a broken
+/// cache.
+pub fn evict_hook_to_dir_counting(
+    dir: PathBuf,
+    failures: Arc<std::sync::atomic::AtomicU64>,
+) -> cyclesteal_dp::EvictHook {
     Box::new(move |table: &Arc<CompressedTable>| {
-        if std::fs::create_dir_all(&dir).is_ok() {
-            let _ = save(table, &dir.join(snapshot_file_name(table)));
+        let result = std::fs::create_dir_all(&dir)
+            .map_err(StoreError::Io)
+            .and_then(|()| save(table, &dir.join(snapshot_file_name(table))));
+        if let Err(e) = result {
+            failures.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            eprintln!("cyclesteal-store: snapshot-on-evict failed: {e}");
         }
     })
 }
@@ -650,12 +769,23 @@ mod tests {
         assert_eq!(*wa, *a);
         assert_eq!(*wb, *b);
 
-        // A corrupt file is skipped, not fatal.
+        // A corrupt file is quarantined (renamed `.corrupt`), not fatal.
         std::fs::write(dir.join("rotten.cst"), b"not a snapshot").unwrap();
         let partial = TableCache::new();
         let report = partial.warm_from_dir(&dir).unwrap();
         assert_eq!(report.loaded, 2);
-        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped.is_empty());
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].0, dir.join("rotten.cst"));
+        assert!(!dir.join("rotten.cst").exists());
+        assert!(dir.join("rotten.cst.corrupt").exists());
+
+        // The quarantined file no longer matches the glob: the next warm
+        // start is clean.
+        let report = TableCache::new().warm_from_dir(&dir).unwrap();
+        assert_eq!(report.loaded, 2);
+        assert!(report.skipped.is_empty());
+        assert!(report.quarantined.is_empty());
 
         // A missing directory is an empty warm start.
         let report = TableCache::new()
@@ -684,5 +814,58 @@ mod tests {
         assert_eq!(*back, *a);
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_retries_past_transient_injected_failures() {
+        // NOTE: set_save_fault is process-global; this is the only unit
+        // test in this crate that arms it, and it disarms before exiting.
+        let dir = std::env::temp_dir().join(format!("cyclesteal-retry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let t = table(RowRepr::Runs);
+        let path = dir.join(snapshot_file_name(&t));
+
+        // Fail the first attempt only: the retry succeeds.
+        let calls = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let c = calls.clone();
+        set_save_fault(Some(Box::new(move |_| {
+            c.fetch_add(1, std::sync::atomic::Ordering::Relaxed) == 0
+        })));
+        save(&t, &path).expect("retry rides past one transient failure");
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(load(&path).unwrap(), t);
+
+        // Fail every attempt: the last error surfaces, no temp litter.
+        set_save_fault(Some(Box::new(|_| true)));
+        assert!(matches!(save(&t, &path), Err(StoreError::Io(_))));
+        set_save_fault(None);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) != Some(SNAPSHOT_EXTENSION))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files cleaned up: {leftovers:?}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn counting_evict_hook_counts_failures_without_propagating() {
+        let dir =
+            std::env::temp_dir().join(format!("cyclesteal-evict-count-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Make the directory path unusable: a *file* where the hook
+        // wants a directory, so create_dir_all fails persistently.
+        std::fs::write(&dir, b"in the way").unwrap();
+
+        let failures = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let hook = evict_hook_to_dir_counting(dir.clone(), failures.clone());
+        let t = Arc::new(table(RowRepr::Runs));
+        hook(&t); // must not panic
+        hook(&t);
+        assert_eq!(failures.load(std::sync::atomic::Ordering::Relaxed), 2);
+
+        std::fs::remove_file(&dir).unwrap();
     }
 }

@@ -99,6 +99,14 @@ fn print_stats(broker: &Broker) {
             ep.endpoint, ep.requests, ep.queries, ep.coalesced, ep.p50_us, ep.p99_us
         );
     }
+    let r = stats.resilience;
+    if r != Default::default() {
+        println!(
+            "[resilience: {} shed, {} deadline rejects, {} contained panics, \
+             {} flight retries, {} snapshot failures]",
+            r.shed, r.deadline_rejects, r.solve_panics, r.flight_retries, r.snapshot_failures
+        );
+    }
 }
 
 fn run_demo() {
