@@ -10,6 +10,9 @@
 //!   committed non-adaptive schedule with §2.2's tail-consolidation rule.
 //! * [`stochastic`] — uniform, Poisson and trace-replay owners for
 //!   typical-case studies.
+//! * [`counter`] — counter-based per-episode RNG streams for
+//!   population-scale batch simulation (bit-identical at any thread
+//!   count or block size).
 //! * [`game`] — the opportunity game loop and its transcript.
 //!
 //! ```
@@ -28,11 +31,13 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod counter;
 pub mod game;
 pub mod nonadaptive;
 pub mod optimal;
 pub mod stochastic;
 
+pub use counter::CounterRng;
 pub use game::{run_game, EpisodeRecord, GameLog};
 pub use nonadaptive::{worst_case, NonAdaptiveWorstCase};
 pub use optimal::{OptimalAdversary, PolicyAwareAdversary};

@@ -434,6 +434,58 @@ fn acceptance_report(c: &mut Criterion) {
         (qps, p99_us)
     };
 
+    // Population-scale batch simulation: 10⁶ seeded episodes of the
+    // table-driven optimal borrower against the Poisson owner, on the
+    // struct-of-arrays BatchSim. The same batch is run once at a single
+    // worker and asserted bit-identical to the threaded run (the
+    // acceptance criterion), then timed threaded.
+    let (sim_episodes_per_s, sim_batch_episodes, sim_batch_threads) = {
+        use now_sim::{BatchAdversary, BatchConfig, BatchSim};
+        let sim_l_ticks = 4_096i64;
+        let sim_p = 3u32;
+        let sim_table = std::sync::Arc::new(CompressedTable::solve_with(
+            secs(1.0),
+            ACCEPT_Q,
+            secs(sim_l_ticks as f64 / ACCEPT_Q as f64),
+            sim_p,
+            SolveOptions {
+                repr: RowRepr::Runs,
+                ..value_only(InnerLoop::EventDriven)
+            },
+        ));
+        let episodes = 1_000_000usize;
+        let mk = |threads: usize| {
+            BatchSim::new(BatchConfig {
+                table: sim_table.clone(),
+                lifespan_ticks: sim_l_ticks,
+                interrupts: sim_p,
+                episodes,
+                seed: 0xBA7C4,
+                adversary: BatchAdversary::Poisson {
+                    mean_gap_ticks: 256.0,
+                },
+                block: 0,
+                threads,
+            })
+            .run()
+        };
+        let (sim_s, threaded) = time_median(runs, || mk(0));
+        let sequential = mk(1);
+        assert_eq!(
+            sequential, threaded,
+            "batch reports must be bit-identical at 1 vs N threads"
+        );
+        assert_eq!(
+            threaded.violations, 0,
+            "guarantee violated at the bench point"
+        );
+        (
+            episodes as f64 / sim_s,
+            episodes,
+            cyclesteal_par::default_threads(),
+        )
+    };
+
     println!("\n=== perf_dp acceptance (Q={ACCEPT_Q}, p={ACCEPT_P}, L={ACCEPT_TICKS} ticks) ===");
     println!("frontier sweep solve : {sweep_s:.3} s");
     println!(
@@ -451,6 +503,9 @@ fn acceptance_report(c: &mut Criterion) {
     );
     println!(
         "broker throughput    : {serve_qps:.0} queries/s (batched, 4 client threads), batch p99 {serve_p99_us} µs"
+    );
+    println!(
+        "batch simulation     : {sim_episodes_per_s:.0} episodes/s ({sim_batch_episodes} seeded episodes at {sim_batch_threads} threads, bit-identical to 1 thread)"
     );
 
     let mut fields = vec![
@@ -472,6 +527,9 @@ fn acceptance_report(c: &mut Criterion) {
         format!("\"warm_start_speedup\": {warm_speedup:.3}"),
         format!("\"serve_qps\": {serve_qps:.1}"),
         format!("\"serve_p99_us\": {serve_p99_us}"),
+        format!("\"sim_episodes_per_s\": {sim_episodes_per_s:.1}"),
+        format!("\"sim_batch_episodes\": {sim_batch_episodes}"),
+        format!("\"sim_batch_threads\": {sim_batch_threads}"),
     ];
 
     if quick {

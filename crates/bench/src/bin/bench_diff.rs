@@ -16,8 +16,9 @@
 //! the serving layer's `warm_start_s` and batch tail latency
 //! `serve_p99_us` (lower is better; shared CI runners make these noisy,
 //! so treat a timing failure as a prompt to re-run before believing
-//! it), the broker throughput `serve_qps` (**higher** is better — the
-//! gate fails on a drop beyond the threshold), plus the deterministic
+//! it), the broker throughput `serve_qps` and the batch simulator's
+//! `sim_episodes_per_s` (**higher** is better — the gate fails on a
+//! drop beyond the threshold), plus the deterministic
 //! structure counters —
 //! `event_count` (the event-driven build's loop iterations) and the
 //! second-order compression sizes `run_compressed_breakpoints` /
@@ -65,8 +66,12 @@ const GATED_KEYS_LOWER: [&str; 9] = [
 ];
 
 /// Keys gated on regression where **higher is better**: a drop beyond
-/// the threshold fails, a rise is an improvement.
-const GATED_KEYS_HIGHER: [&str; 1] = ["serve_qps"];
+/// the threshold fails, a rise is an improvement. `serve_qps` is the
+/// broker's batched query throughput; `sim_episodes_per_s` is the
+/// struct-of-arrays batch simulator's episode throughput at the
+/// acceptance point (its companions `sim_batch_episodes` and
+/// `sim_batch_threads` are configuration stamps, deliberately ungated).
+const GATED_KEYS_HIGHER: [&str; 2] = ["serve_qps", "sim_episodes_per_s"];
 
 /// Extracts `"key": <number>` from a flat JSON document. Only the first
 /// occurrence is considered; returns `None` when the key is absent or
@@ -375,6 +380,65 @@ mod tests {
         assert!(matches!(
             verdict_for(&results, "serve_qps"),
             Verdict::Regression { delta, .. } if (*delta + 0.5).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn sim_throughput_gates_on_drops_not_rises() {
+        // sim_episodes_per_s mirrors serve_qps: a drop beyond the
+        // threshold regresses, a rise improves, and staying flat is ok.
+        let baseline = snapshot(&[("sim_episodes_per_s", 1_000_000.0)]);
+        let results = compare(
+            &baseline,
+            &snapshot(&[("sim_episodes_per_s", 2_000_000.0)]),
+            0.10,
+        );
+        assert!(matches!(
+            verdict_for(&results, "sim_episodes_per_s"),
+            Verdict::Improved { .. }
+        ));
+        assert!(!has_regression(&results));
+
+        let results = compare(
+            &baseline,
+            &snapshot(&[("sim_episodes_per_s", 800_000.0)]),
+            0.10,
+        );
+        assert!(matches!(
+            verdict_for(&results, "sim_episodes_per_s"),
+            Verdict::Regression { delta, .. } if (*delta + 0.2).abs() < 1e-12
+        ));
+
+        let results = compare(
+            &baseline,
+            &snapshot(&[("sim_episodes_per_s", 950_000.0)]),
+            0.10,
+        );
+        assert!(matches!(
+            verdict_for(&results, "sim_episodes_per_s"),
+            Verdict::Ok { .. }
+        ));
+    }
+
+    #[test]
+    fn sim_throughput_is_new_against_a_pre_batch_baseline() {
+        // A baseline from before the batch simulator existed: the new
+        // gated field must report, never fail — same contract the
+        // serving fields got when they landed.
+        let baseline = snapshot(&[("serve_qps", 150_000.0)]);
+        let fresh = snapshot(&[
+            ("serve_qps", 150_000.0),
+            ("sim_episodes_per_s", 1_200_000.0),
+        ]);
+        let results = compare(&baseline, &fresh, 0.10);
+        assert!(!has_regression(&results));
+        assert_eq!(
+            verdict_for(&results, "sim_episodes_per_s"),
+            &Verdict::NewField
+        );
+        assert!(matches!(
+            verdict_for(&results, "serve_qps"),
+            Verdict::Ok { .. }
         ));
     }
 

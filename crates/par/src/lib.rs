@@ -159,6 +159,27 @@ where
     });
 }
 
+/// Splits `0..len` into consecutive half-open ranges of at most `block`
+/// items — the blocking scheme the batch simulator fans over a
+/// [`WorkerPool`]. Consecutive, in-order blocks are what make a
+/// block-parallel reduction independent of which worker ran what: block
+/// `k` always covers the same indices, and a sequential merge in block
+/// order is a sequential merge in item order.
+///
+/// # Panics
+/// Panics if `block == 0`.
+pub fn block_ranges(len: usize, block: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(block > 0, "block size must be positive");
+    let mut out = Vec::with_capacity(len.div_ceil(block));
+    let mut start = 0usize;
+    while start < len {
+        let end = (start + block).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
 /// [`par_map_threads`] with [`default_threads`].
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -272,6 +293,31 @@ mod tests {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    fn block_ranges_tile_the_index_space_exactly() {
+        for (len, block) in [(0usize, 1usize), (1, 1), (10, 3), (12, 4), (5, 100)] {
+            let ranges = block_ranges(len, block);
+            let mut covered = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "blocks must be consecutive");
+                assert!(r.end - r.start <= block);
+                assert!(r.end > r.start, "no empty blocks");
+                covered = r.end;
+            }
+            assert_eq!(covered, len);
+            // Only the last block may be short.
+            for r in ranges.iter().rev().skip(1) {
+                assert_eq!(r.end - r.start, block);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn block_ranges_reject_zero_blocks() {
+        let _ = block_ranges(10, 0);
     }
 
     #[test]

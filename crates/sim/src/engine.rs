@@ -18,6 +18,7 @@
 //! quantization waste from task indivisibility.
 
 use crate::driver::{DriverKind, DriverState};
+use crate::kernel;
 use crate::metrics::{DoneReason, LenderMetrics, SimReport};
 use cyclesteal_core::error::Result;
 use cyclesteal_core::model::Opportunity;
@@ -167,7 +168,7 @@ impl NowSim {
     /// Commits the next period of lender `i` at wall time `now`, or marks
     /// the lender finished.
     fn dispatch(&mut self, i: usize, now: Time) -> Result<()> {
-        let eps = self.lenders[i].contracted.setup() * 1e-9;
+        let eps = kernel::eps(self.lenders[i].contracted.setup());
         let (residual, p_left) = {
             let l = &self.lenders[i];
             if l.done {
@@ -202,7 +203,7 @@ impl NowSim {
         }
 
         let c = self.lenders[i].contracted.setup();
-        let budget = period.pos_sub(c);
+        let budget = kernel::banked(period, c);
         let tasks = self.bag.take_fitting(budget);
         let loaded: Work = tasks.iter().map(|t| t.duration).sum();
 
@@ -221,11 +222,11 @@ impl NowSim {
         let interrupt_now = l
             .owner_events
             .front()
-            .map(|e| e.at_usable < usable_start + period)
+            .map(|e| kernel::lands_inside(e.at_usable, usable_start, period))
             .unwrap_or(false);
         if interrupt_now {
             let at = l.owner_events.front().expect("checked above").at_usable;
-            let dt = (at - usable_start).clamp_min_zero();
+            let dt = kernel::interrupt_elapsed(at, usable_start, period);
             self.push(now + dt, i, EvKind::OwnerInterrupt);
         } else {
             self.push(now + period, i, EvKind::PeriodEnd);
@@ -238,14 +239,13 @@ impl NowSim {
         let c = self.lenders[i].contracted.setup();
         let l = &mut self.lenders[i];
         let fl = l.inflight.take().expect("PeriodEnd without inflight");
-        let banked = fl.period_len.pos_sub(c);
-        l.metrics.continuum_work += banked;
-        l.metrics.task_work += fl.loaded;
-        l.metrics.quantization_waste += banked - fl.loaded;
-        l.metrics.comm_overhead += fl.period_len.min(c);
-        l.metrics.tasks_completed += fl.tasks.len();
-        l.metrics.periods_completed += 1;
-        l.metrics.wall_last_completion = ev.wall;
+        l.metrics.record_completed_period(
+            kernel::banked(fl.period_len, c),
+            fl.loaded,
+            kernel::setup_paid(fl.period_len, c),
+            fl.tasks.len(),
+            ev.wall,
+        );
         l.consumed = fl.usable_start + fl.period_len;
         self.dispatch(i, ev.wall)
     }
@@ -260,12 +260,8 @@ impl NowSim {
                 .pop_front()
                 .expect("OwnerInterrupt without a pending owner event");
             let fl = l.inflight.take().expect("OwnerInterrupt without inflight");
-            let elapsed = (e.at_usable - fl.usable_start)
-                .clamp_min_zero()
-                .min(fl.period_len);
-            l.metrics.lost_time += elapsed;
-            l.metrics.periods_killed += 1;
-            l.metrics.interrupts += 1;
+            let elapsed = kernel::interrupt_elapsed(e.at_usable, fl.usable_start, fl.period_len);
+            l.metrics.record_killed_period(elapsed);
             l.consumed = fl.usable_start + elapsed;
             l.interrupts_used += 1;
             let violated = l.interrupts_used > budget;

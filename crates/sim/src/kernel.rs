@@ -1,0 +1,100 @@
+//! The per-step period-accounting kernel.
+//!
+//! One period of §2.2's game has exactly four arithmetic facts: the
+//! epsilon guard below which a residual cannot host a period, the work a
+//! completed period banks (`t ⊖ c`), the setup charge it pays, and the
+//! lifespan slice an owner interrupt destroys. The scalar event-driven
+//! engine ([`crate::NowSim`]) and the struct-of-arrays batch loop
+//! ([`crate::batch::BatchSim`]) must agree on these *bit for bit* — so
+//! they are defined once here, as free functions over plain scalars, and
+//! both simulators call them in the same order. The continuum (`f64`)
+//! forms serve the event engine; the tick (`i64`) forms serve the batch
+//! loop, where the grid makes every quantity exact.
+
+use cyclesteal_core::time::{Time, Work};
+
+/// The engine's "too small to matter" guard: residuals and periods at or
+/// below this are treated as exhausted. Scales with the setup charge so
+/// coarse and fine grids degrade identically.
+#[inline]
+pub fn eps(setup: Time) -> Time {
+    setup * 1e-9
+}
+
+/// Work banked by a period of length `period_len` that ran to
+/// completion: `t ⊖ c` (the paper's banked output for one period).
+#[inline]
+pub fn banked(period_len: Time, setup: Time) -> Work {
+    period_len.pos_sub(setup)
+}
+
+/// The setup charge actually paid by a completed period (a period
+/// shorter than `c` pays only itself).
+#[inline]
+pub fn setup_paid(period_len: Time, setup: Time) -> Time {
+    period_len.min(setup)
+}
+
+/// Whether an owner arrival at usable time `at_usable` lands strictly
+/// inside the period `[usable_start, usable_start + period_len)` — the
+/// half-open window semantics both simulators share: an arrival exactly
+/// at the period boundary lets the period complete.
+#[inline]
+pub fn lands_inside(at_usable: Time, usable_start: Time, period_len: Time) -> bool {
+    at_usable < usable_start + period_len
+}
+
+/// The slice of usable lifespan a killed period consumed: the elapsed
+/// time from period start to the interrupt, clamped into
+/// `[0, period_len]`.
+#[inline]
+pub fn interrupt_elapsed(at_usable: Time, usable_start: Time, period_len: Time) -> Time {
+    (at_usable - usable_start).clamp_min_zero().min(period_len)
+}
+
+/// Tick-grid form of [`banked`]: a completed period of `t` ticks banks
+/// `(t − q)⁺` work ticks, where `q` is the setup charge in ticks. Exact
+/// integer arithmetic — the batch loop's ground truth.
+#[inline]
+pub fn banked_ticks(t: i64, q: i64) -> i64 {
+    (t - q).max(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclesteal_core::time::secs;
+
+    #[test]
+    fn continuum_and_tick_banking_agree_on_the_grid() {
+        // On a tick grid with q ticks per setup, the two forms are the
+        // same number (scaled by the tick length).
+        let setup = secs(1.0);
+        let q = 4i64;
+        let tick = secs(1.0 / q as f64);
+        for t in 0..64i64 {
+            let cont = banked(tick * t as f64, setup);
+            let ticks = banked_ticks(t, q);
+            assert_eq!(cont.get(), ticks as f64 * tick.get(), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn interrupt_window_is_half_open() {
+        let start = secs(10.0);
+        let len = secs(5.0);
+        assert!(lands_inside(secs(14.999), start, len));
+        assert!(!lands_inside(secs(15.0), start, len));
+        assert_eq!(interrupt_elapsed(secs(12.0), start, len), secs(2.0));
+        // Clamped on both sides.
+        assert_eq!(interrupt_elapsed(secs(3.0), start, len), secs(0.0));
+        assert_eq!(interrupt_elapsed(secs(99.0), start, len), len);
+    }
+
+    #[test]
+    fn short_periods_pay_only_themselves() {
+        assert_eq!(setup_paid(secs(0.25), secs(1.0)), secs(0.25));
+        assert_eq!(setup_paid(secs(7.0), secs(1.0)), secs(1.0));
+        assert_eq!(banked(secs(0.25), secs(1.0)), Time::ZERO);
+    }
+}

@@ -36,10 +36,13 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod driver;
 pub mod engine;
+pub mod kernel;
 pub mod metrics;
 
+pub use batch::{BatchAdversary, BatchConfig, BatchReport, BatchSim};
 pub use driver::DriverKind;
 pub use engine::{LenderConfig, NowSim};
 pub use metrics::{DoneReason, LenderMetrics, SimReport};

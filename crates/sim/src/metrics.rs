@@ -63,6 +63,37 @@ pub struct LenderMetrics {
     pub done_reason: DoneReason,
 }
 
+impl LenderMetrics {
+    /// Per-step accounting for a period that ran to completion — the one
+    /// place a completed period's facts turn into metrics, shared by the
+    /// event engine (and mirrored, in tick arithmetic, by the batch
+    /// loop's aggregation).
+    pub(crate) fn record_completed_period(
+        &mut self,
+        banked: Work,
+        loaded: Work,
+        setup_paid: Time,
+        tasks: usize,
+        wall: Time,
+    ) {
+        self.continuum_work += banked;
+        self.task_work += loaded;
+        self.quantization_waste += banked - loaded;
+        self.comm_overhead += setup_paid;
+        self.tasks_completed += tasks;
+        self.periods_completed += 1;
+        self.wall_last_completion = wall;
+    }
+
+    /// Per-step accounting for a period killed in flight by an owner
+    /// interrupt that consumed `elapsed` of usable lifespan.
+    pub(crate) fn record_killed_period(&mut self, elapsed: Time) {
+        self.lost_time += elapsed;
+        self.periods_killed += 1;
+        self.interrupts += 1;
+    }
+}
+
 /// Aggregate report over all lenders of one simulation run.
 #[derive(Clone, Debug, Default)]
 pub struct SimReport {

@@ -10,7 +10,9 @@
 //!   paper's §2 assumptions), bag-of-tasks plumbing, and four duration
 //!   mixes (constant, uniform, bimodal, heavy-tailed Pareto).
 //! * [`owner`] — interrupt traces: Poisson owners, session-structured
-//!   owners, the undocked laptop; plus a plain-text trace format.
+//!   owners, the undocked laptop; plus a plain-text trace format and the
+//!   [`OwnerClimate`] catalogue of named owner-behaviour families used by
+//!   the population-scale validation grid.
 //!
 //! Everything is seeded and reproducible.
 
@@ -21,5 +23,5 @@
 pub mod owner;
 pub mod tasks;
 
-pub use owner::{OwnerEvent, OwnerTrace};
+pub use owner::{OwnerClimate, OwnerEvent, OwnerTrace};
 pub use tasks::{Task, TaskBag, TaskDist};

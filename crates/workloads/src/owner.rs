@@ -195,10 +195,86 @@ impl OwnerTrace {
     }
 }
 
+/// A named owner-behaviour family — the *workload* dimension of the
+/// population-scale validation grid. Each climate describes how often
+/// (and how maliciously) the owner reclaims the machine, in units of the
+/// setup charge so the same catalogue is meaningful at every grid
+/// resolution. The batch simulator maps climates onto its counter-seeded
+/// adversaries; scalar studies can map them onto [`OwnerTrace`]s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OwnerClimate {
+    /// The owner never comes back: the borrower keeps the machine for the
+    /// whole contracted lifespan.
+    Quiet,
+    /// Rare Poisson arrivals — mean gap of 16 setup charges between
+    /// owner returns.
+    Sparse,
+    /// Frequent Poisson arrivals — mean gap of 4 setup charges.
+    Busy,
+    /// The paper's malicious owner: interrupts exactly when (and only
+    /// when) it minimizes the borrower's banked output. Observed output
+    /// under this climate *equals* the guarantee.
+    Hostile,
+}
+
+impl OwnerClimate {
+    /// Every climate in the catalogue, in validation-grid order.
+    pub fn all() -> [OwnerClimate; 4] {
+        [
+            OwnerClimate::Quiet,
+            OwnerClimate::Sparse,
+            OwnerClimate::Busy,
+            OwnerClimate::Hostile,
+        ]
+    }
+
+    /// Short display name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OwnerClimate::Quiet => "quiet",
+            OwnerClimate::Sparse => "sparse",
+            OwnerClimate::Busy => "busy",
+            OwnerClimate::Hostile => "hostile",
+        }
+    }
+
+    /// Mean gap between owner arrivals in setup charges, for the
+    /// stochastic climates; `None` for the deterministic ones.
+    pub fn mean_gap_setups(self) -> Option<f64> {
+        match self {
+            OwnerClimate::Quiet | OwnerClimate::Hostile => None,
+            OwnerClimate::Sparse => Some(16.0),
+            OwnerClimate::Busy => Some(4.0),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use cyclesteal_core::time::secs;
+
+    #[test]
+    fn climate_catalogue_is_well_formed() {
+        let all = OwnerClimate::all();
+        for climate in all {
+            assert!(!climate.name().is_empty());
+            if let Some(gap) = climate.mean_gap_setups() {
+                assert!(gap > 0.0);
+            }
+        }
+        // Names are distinct (they key report rows).
+        for (i, a) in all.iter().enumerate() {
+            for b in all.iter().skip(i + 1) {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+        // The busy climate really is busier than the sparse one.
+        assert!(
+            OwnerClimate::Busy.mean_gap_setups().unwrap()
+                < OwnerClimate::Sparse.mean_gap_setups().unwrap()
+        );
+    }
 
     #[test]
     fn poisson_trace_is_deterministic_sorted_and_capped() {

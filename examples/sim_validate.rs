@@ -1,0 +1,155 @@
+//! Empirical validation of the paper's guarantees at population scale.
+//!
+//! ```sh
+//! cargo run --release --example sim_validate             # full grid
+//! cargo run --release --example sim_validate -- smoke    # CI gate
+//! ```
+//!
+//! For every owner climate in `cyclesteal-workloads` × a grid of
+//! `(Q, p, L)` contract points, this driver runs thousands of seeded
+//! episodes of the table-driven optimal borrower through the
+//! struct-of-arrays `BatchSim` and compares each episode's *observed*
+//! banked output against the *guaranteed* output `W^(p)[L]` served by
+//! the `TableCache`. The check is exact integer arithmetic on the tick
+//! grid, so the tolerance is zero:
+//!
+//! * **No episode may bank less than the guarantee.** Any
+//!   observed-below-guaranteed episode is a solver or policy bug; the
+//!   driver exits nonzero (this is the `sim-validate` CI gate).
+//! * **The hostile climate must bank exactly the guarantee**, every
+//!   episode — the worst-case owner realizes the minimax value, so
+//!   `observed == guaranteed` pins both sides of the bound.
+//!
+//! The report prints one distribution curve per point: banked-output
+//! quantiles as multiples of the guarantee (`min` = worst observed
+//! episode; `1.000×` means an episode banked exactly `W^(p)[L]`).
+
+use cyclesteal_core::time::secs;
+use cyclesteal_dp::TableCache;
+use cyclesteal_workloads::OwnerClimate;
+use now_sim::{BatchAdversary, BatchConfig, BatchSim};
+
+struct GridPoint {
+    q: u32,
+    p: u32,
+    l_ticks: i64,
+}
+
+fn grid(smoke: bool) -> Vec<GridPoint> {
+    let mut points = Vec::new();
+    let ls: &[i64] = if smoke { &[64, 512] } else { &[64, 512, 4096] };
+    for &q in &[4u32, 32] {
+        for &p in &[1u32, 3] {
+            for &l_setups in ls {
+                points.push(GridPoint {
+                    q,
+                    p,
+                    l_ticks: l_setups * q as i64,
+                });
+            }
+        }
+    }
+    points
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let smoke = match mode.as_str() {
+        "smoke" => true,
+        "" | "full" => false,
+        other => {
+            eprintln!("usage: sim_validate [smoke|full]   (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+    let episodes: usize = if smoke { 1000 } else { 20_000 };
+    let seed = 0x1999_0415u64; // fixed: the whole grid is reproducible
+
+    let cache = TableCache::new();
+    let points = grid(smoke);
+    let climates = OwnerClimate::all();
+
+    println!(
+        "sim_validate ({}): {} contract points x {} climates x {} episodes",
+        if smoke { "smoke" } else { "full" },
+        points.len(),
+        climates.len(),
+        episodes
+    );
+    println!(
+        "{:<22} {:>8} {:>10} | {:>7} {:>7} {:>7} {:>7} {:>7} | {:>5} {:>10}",
+        "point", "climate", "W (ticks)", "min", "p10", "p50", "p90", "max", "intr%", "violations"
+    );
+
+    let mut total_violations = 0u64;
+    let mut total_episodes = 0u64;
+    for pt in &points {
+        // One solve per (Q, p) serves every L at that resolution — the
+        // same cache path the serving layer uses.
+        let table =
+            cache.get_compressed(secs(1.0), pt.q, secs(pt.l_ticks as f64 / pt.q as f64), pt.p);
+        for climate in climates {
+            let sim = BatchSim::new(BatchConfig {
+                table: table.clone(),
+                lifespan_ticks: pt.l_ticks,
+                interrupts: pt.p,
+                episodes,
+                seed: seed ^ (pt.q as u64) << 32 ^ (pt.p as u64) << 16 ^ pt.l_ticks as u64,
+                adversary: BatchAdversary::from_climate(climate, pt.q as i64),
+                block: 0,
+                threads: 0,
+            });
+            let report = sim.run();
+            total_violations += report.violations;
+            total_episodes += report.episodes as u64;
+
+            let w = report.guarantee_ticks.max(1) as f64;
+            let qs = report.banked_quantiles(&[0.0, 0.1, 0.5, 0.9, 1.0]);
+            let ratio = |ticks: i64| ticks as f64 / w;
+            let interrupted = report.interrupts_used.iter().filter(|&&k| k > 0).count() as f64
+                / report.episodes as f64;
+            println!(
+                "Q={:<3} p={} L={:<9} {:>8} {:>10} | {:>6.3}x {:>6.3}x {:>6.3}x {:>6.3}x {:>6.3}x | {:>4.0}% {:>10}",
+                pt.q,
+                pt.p,
+                pt.l_ticks,
+                climate.name(),
+                report.guarantee_ticks,
+                ratio(qs[0]),
+                ratio(qs[1]),
+                ratio(qs[2]),
+                ratio(qs[3]),
+                ratio(qs[4]),
+                interrupted * 100.0,
+                report.violations
+            );
+
+            // The hostile climate is the two-sided anchor: the minimax
+            // owner must realize the guarantee exactly, every episode.
+            if climate == OwnerClimate::Hostile && report.exact_matches as usize != report.episodes
+            {
+                eprintln!(
+                    "FAIL: hostile climate at Q={} p={} L={} banked != W in {} episode(s)",
+                    pt.q,
+                    pt.p,
+                    pt.l_ticks,
+                    report.episodes as u64 - report.exact_matches
+                );
+                total_violations += 1;
+            }
+        }
+    }
+
+    println!();
+    if total_violations > 0 {
+        eprintln!(
+            "FAIL: {total_violations} violation(s) across {total_episodes} episodes — observed output fell below the guarantee"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: 0 observed-below-guaranteed violations across {total_episodes} episodes ({} points x {} climates)",
+        points.len(),
+        climates.len()
+    );
+}
