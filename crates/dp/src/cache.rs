@@ -52,12 +52,18 @@ use crate::compressed::CompressedTable;
 use crate::value::{InnerLoop, RowRepr, SolveOptions, ValueTable};
 use cyclesteal_core::time::Time;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+// BTreeMap, not HashMap: map iteration feeds the fallback lookup and
+// LRU tie-breaking, so iteration order must be deterministic (the
+// `hash-collections` lint rule pins this).
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Cache key: everything that shapes a solve except the lifespan bound.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// Ordered (for the `BTreeMap`s) by setup bits, then resolution, then
+/// interrupt budget — so same-grid keys are adjacent and the fallback
+/// scan's "smallest larger budget" is the first match in key order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct TableKey {
     /// `setup.get().to_bits()` — setups are compared exactly.
     setup_bits: u64,
@@ -126,7 +132,7 @@ struct Entry<T> {
 /// solved bottom-up, so a `p_max` table holds every smaller budget
 /// exactly. Serving an entry refreshes its LRU stamp.
 fn peek_map<T: CachedTable>(
-    map: &mut HashMap<TableKey, Entry<T>>,
+    map: &mut BTreeMap<TableKey, Entry<T>>,
     key: &TableKey,
     max_lifespan: Time,
     clock: &AtomicU64,
@@ -153,7 +159,7 @@ fn peek_map<T: CachedTable>(
 /// table covers more (a racing solver may have beaten us to the key);
 /// either way the surviving entry becomes most recently used.
 fn insert_if_larger<T: CachedTable>(
-    map: &Mutex<HashMap<TableKey, Entry<T>>>,
+    map: &Mutex<BTreeMap<TableKey, Entry<T>>>,
     key: TableKey,
     table: Arc<T>,
     clock: &AtomicU64,
@@ -221,8 +227,8 @@ pub struct TableCache {
     /// Lifespan headroom multiplier applied on every (re-)solve, so a
     /// sweep creeping upward in `L` amortizes to `O(log L)` solves.
     growth: f64,
-    map: Mutex<HashMap<TableKey, Entry<ValueTable>>>,
-    compressed: Mutex<HashMap<TableKey, Entry<CompressedTable>>>,
+    map: Mutex<BTreeMap<TableKey, Entry<ValueTable>>>,
+    compressed: Mutex<BTreeMap<TableKey, Entry<CompressedTable>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -259,8 +265,8 @@ impl TableCache {
         TableCache {
             opts,
             growth: 1.25,
-            map: Mutex::new(HashMap::new()),
-            compressed: Mutex::new(HashMap::new()),
+            map: Mutex::new(BTreeMap::new()),
+            compressed: Mutex::new(BTreeMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -381,7 +387,7 @@ impl TableCache {
         // `p_max` solve materializes every smaller budget, so mixed-p
         // batches need only one solve per grid).
         let mut results: Vec<Option<Arc<ValueTable>>> = vec![None; configs.len()];
-        let mut pending: HashMap<(u64, u32), SolveConfig> = HashMap::new();
+        let mut pending: BTreeMap<(u64, u32), SolveConfig> = BTreeMap::new();
         let mut waiting: Vec<(usize, (u64, u32))> = Vec::new();
         for (i, cfg) in configs.iter().enumerate() {
             let key = TableKey::new(cfg.setup, cfg.ticks_per_setup, cfg.max_interrupts);
@@ -429,7 +435,7 @@ impl TableCache {
                 solve_opts,
             )
         });
-        let mut by_group: HashMap<(u64, u32), Arc<ValueTable>> = HashMap::new();
+        let mut by_group: BTreeMap<(u64, u32), Arc<ValueTable>> = BTreeMap::new();
         for ((group, cfg), table) in jobs.into_iter().zip(solved) {
             let key = TableKey::new(cfg.setup, cfg.ticks_per_setup, cfg.max_interrupts);
             let table = Arc::new(table);

@@ -1,0 +1,376 @@
+//! `lint.toml` loading — a minimal, hand-rolled TOML subset.
+//!
+//! The engine is zero-dependency by constraint (no registry access), so
+//! the config format is the subset of TOML the rule table actually
+//! needs: `[section]` headers, `key = "string"`, `key = true|false`,
+//! and (possibly multi-line) `key = ["a", "b", …]` string arrays.
+//! Anything else is a hard error — a config typo must fail the run, not
+//! silently lint nothing.
+//!
+//! ```toml
+//! # Which crates the determinism family covers.
+//! [determinism]
+//! crates = ["core", "dp", "adversary", "sim", "workloads", "par"]
+//!
+//! [panic-policy]
+//! crates = ["serve", "store", "lint"]
+//!
+//! [wire-safety]
+//! files = ["crates/serve/src/wire.rs", "crates/store/src/lib.rs"]
+//!
+//! [meta]
+//! crates = ["core", "dp"]
+//! roots = ["src/lib.rs"]
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse/validation failure, with the offending line.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in the config file (0 for file-level errors).
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// One parsed value.
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    StrArray(Vec<String>),
+}
+
+/// The lint configuration: which crates/files each rule family covers.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Crates whose non-test `src/` code the determinism family scans.
+    pub determinism_crates: Vec<String>,
+    /// Crates whose non-test `src/` code the panic-policy family scans.
+    pub panic_crates: Vec<String>,
+    /// Workspace-relative files the wire-safety (lossy-cast) rule scans.
+    pub wire_files: Vec<String>,
+    /// Crates whose roots (`src/lib.rs` / `src/main.rs`) must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub meta_crates: Vec<String>,
+    /// Extra workspace-relative crate-root files for the meta rule
+    /// (e.g. the root package's `src/lib.rs`).
+    pub meta_roots: Vec<String>,
+}
+
+impl Config {
+    /// Parses a `lint.toml` document.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let tables = parse_tables(text)?;
+        let mut cfg = Config::default();
+        for (section, entries) in &tables {
+            match section.as_str() {
+                "determinism" => {
+                    cfg.determinism_crates = take_array(entries, section, "crates")?;
+                    expect_only(entries, section, &["crates"])?;
+                }
+                "panic-policy" => {
+                    cfg.panic_crates = take_array(entries, section, "crates")?;
+                    expect_only(entries, section, &["crates"])?;
+                }
+                "wire-safety" => {
+                    cfg.wire_files = take_array(entries, section, "files")?;
+                    expect_only(entries, section, &["files"])?;
+                }
+                "meta" => {
+                    cfg.meta_crates = take_array(entries, section, "crates")?;
+                    cfg.meta_roots = match entries.get("roots") {
+                        Some((v, line)) => as_array(v, *line, section, "roots")?,
+                        None => Vec::new(),
+                    };
+                    expect_only(entries, section, &["crates", "roots"])?;
+                }
+                other => {
+                    return Err(ConfigError {
+                        line: 0,
+                        message: format!(
+                            "unknown section [{other}] (expected determinism, \
+                             panic-policy, wire-safety or meta)"
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+type Tables = BTreeMap<String, BTreeMap<String, (Value, u32)>>;
+
+fn take_array(
+    entries: &BTreeMap<String, (Value, u32)>,
+    section: &str,
+    key: &str,
+) -> Result<Vec<String>, ConfigError> {
+    match entries.get(key) {
+        Some((v, line)) => as_array(v, *line, section, key),
+        None => Err(ConfigError {
+            line: 0,
+            message: format!("section [{section}] is missing `{key} = [..]`"),
+        }),
+    }
+}
+
+fn as_array(v: &Value, line: u32, section: &str, key: &str) -> Result<Vec<String>, ConfigError> {
+    match v {
+        Value::StrArray(a) => Ok(a.clone()),
+        _ => Err(ConfigError {
+            line,
+            message: format!("[{section}] {key} must be an array of strings"),
+        }),
+    }
+}
+
+fn expect_only(
+    entries: &BTreeMap<String, (Value, u32)>,
+    section: &str,
+    allowed: &[&str],
+) -> Result<(), ConfigError> {
+    for (key, (_, line)) in entries {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ConfigError {
+                line: *line,
+                message: format!("unknown key `{key}` in section [{section}]"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Parses the raw `[section]` / `key = value` structure.
+fn parse_tables(text: &str) -> Result<Tables, ConfigError> {
+    let mut tables: Tables = BTreeMap::new();
+    let mut section: Option<String> = None;
+
+    let lines: Vec<&str> = text.lines().collect();
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(lines[idx]);
+        let trimmed = line.trim();
+        idx += 1;
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(name) = trimmed.strip_prefix('[') {
+            let name = name.strip_suffix(']').ok_or(ConfigError {
+                line: line_no,
+                message: "unterminated [section] header".into(),
+            })?;
+            let name = name.trim().to_string();
+            if tables.contains_key(&name) {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("duplicate section [{name}]"),
+                });
+            }
+            tables.insert(name.clone(), BTreeMap::new());
+            section = Some(name);
+            continue;
+        }
+        let Some((key, rest)) = trimmed.split_once('=') else {
+            return Err(ConfigError {
+                line: line_no,
+                message: format!("expected `key = value`, got `{trimmed}`"),
+            });
+        };
+        let key = key.trim().to_string();
+        // Accumulate a multi-line array until brackets balance.
+        let mut value_text = rest.trim().to_string();
+        while value_text.starts_with('[') && !brackets_balanced(&value_text) {
+            let Some(next) = lines.get(idx) else {
+                return Err(ConfigError {
+                    line: line_no,
+                    message: format!("unterminated array for key `{key}`"),
+                });
+            };
+            value_text.push(' ');
+            value_text.push_str(strip_comment(next).trim());
+            idx += 1;
+        }
+        let value = parse_value(&value_text, line_no)?;
+        let Some(ref sec) = section else {
+            return Err(ConfigError {
+                line: line_no,
+                message: format!("key `{key}` appears before any [section]"),
+            });
+        };
+        let entries = tables.get_mut(sec).ok_or(ConfigError {
+            line: line_no,
+            message: "internal: section vanished".into(),
+        })?;
+        if entries.insert(key.clone(), (value, line_no)).is_some() {
+            return Err(ConfigError {
+                line: line_no,
+                message: format!("duplicate key `{key}` in [{sec}]"),
+            });
+        }
+    }
+    Ok(tables)
+}
+
+/// Drops a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(text: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    for c in text.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_value(text: &str, line: u32) -> Result<Value, ConfigError> {
+    let t = text.trim();
+    if t == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if t == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(s) = parse_string(t) {
+        return Ok(Value::Str(s));
+    }
+    if let Some(inner) = t.strip_prefix('[').and_then(|x| x.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_array_items(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let s = parse_string(part).ok_or(ConfigError {
+                line,
+                message: format!("array item `{part}` is not a quoted string"),
+            })?;
+            items.push(s);
+        }
+        return Ok(Value::StrArray(items));
+    }
+    Err(ConfigError {
+        line,
+        message: format!("unsupported value `{t}` (string, bool or string array)"),
+    })
+}
+
+/// Splits array items on commas outside quotes.
+fn split_array_items(inner: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&inner[start..]);
+    items
+}
+
+fn parse_string(t: &str) -> Option<String> {
+    let inner = t.strip_prefix('"')?.strip_suffix('"')?;
+    // No escapes in paths/crate names; reject embedded quotes.
+    if inner.contains('"') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+[determinism]
+crates = ["dp", "sim"] # trailing comment
+
+[panic-policy]
+crates = [
+    "serve",
+    "store",
+]
+
+[wire-safety]
+files = ["crates/serve/src/wire.rs"]
+
+[meta]
+crates = ["dp"]
+roots = ["src/lib.rs"]
+"#;
+
+    #[test]
+    fn parses_the_full_schema() {
+        let cfg = Config::parse(GOOD).expect("parses");
+        assert_eq!(cfg.determinism_crates, ["dp", "sim"]);
+        assert_eq!(cfg.panic_crates, ["serve", "store"]);
+        assert_eq!(cfg.wire_files, ["crates/serve/src/wire.rs"]);
+        assert_eq!(cfg.meta_crates, ["dp"]);
+        assert_eq!(cfg.meta_roots, ["src/lib.rs"]);
+    }
+
+    #[test]
+    fn unknown_section_is_an_error() {
+        let err = Config::parse("[nonsense]\ncrates = []\n").unwrap_err();
+        assert!(err.message.contains("unknown section"));
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let err = Config::parse("[determinism]\ncrates = []\nfoo = \"x\"\n").unwrap_err();
+        assert!(err.message.contains("unknown key"));
+    }
+
+    #[test]
+    fn missing_required_key_is_an_error() {
+        let err = Config::parse("[determinism]\n").unwrap_err();
+        assert!(err.message.contains("missing"));
+    }
+
+    #[test]
+    fn bad_value_reports_its_line() {
+        let err = Config::parse("[determinism]\ncrates = 17\n").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn duplicate_section_rejected() {
+        let err = Config::parse("[meta]\ncrates=[]\n[meta]\ncrates=[]\n").unwrap_err();
+        assert!(err.message.contains("duplicate section"));
+    }
+}

@@ -1,0 +1,358 @@
+//! The engine: walk the configured scopes, scan each file once, apply
+//! the applicable rule families, and resolve waivers.
+//!
+//! Output order is deterministic (files sorted, hits in source order),
+//! so two runs over the same tree produce byte-identical reports.
+
+use crate::config::Config;
+use crate::rules;
+use crate::scan::{scan, FileScan};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One finding: a rule hit plus its waiver resolution.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable rule id.
+    pub rule: String,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human explanation of the hit.
+    pub message: String,
+    /// The trimmed source line, for context.
+    pub snippet: String,
+    /// Whether an inline waiver with a reason covers this hit.
+    pub waived: bool,
+    /// The waiver's reason, when waived.
+    pub reason: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} [{}] {}{}",
+            self.file,
+            self.line,
+            self.col,
+            self.rule,
+            self.message,
+            if self.waived { " (waived)" } else { "" }
+        )
+    }
+}
+
+/// A whole run's report.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, waived or not, in (file, line, col) order.
+    pub findings: Vec<Finding>,
+    /// How many files were scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by a reasoned waiver — what fails the run.
+    pub fn unwaived(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.waived)
+    }
+
+    /// Whether the tree is clean (every finding waived).
+    pub fn clean(&self) -> bool {
+        self.unwaived().next().is_none()
+    }
+}
+
+/// Which rule families apply to one file.
+#[derive(Clone, Copy, Default)]
+struct Families {
+    determinism: bool,
+    panic_policy: bool,
+    wire_safety: bool,
+    meta_root: bool,
+}
+
+/// Runs the configured lint over the workspace at `root`.
+pub fn run(root: &Path, config: &Config) -> io::Result<Report> {
+    // Build the file → families map first (BTreeMap: sorted, stable).
+    let mut files: BTreeMap<String, Families> = BTreeMap::new();
+
+    for name in &config.determinism_crates {
+        for file in crate_src_files(root, name)? {
+            files.entry(file).or_default().determinism = true;
+        }
+    }
+    for name in &config.panic_crates {
+        for file in crate_src_files(root, name)? {
+            files.entry(file).or_default().panic_policy = true;
+        }
+    }
+    for file in &config.wire_files {
+        if !root.join(file).is_file() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("[wire-safety] file not found: {file}"),
+            ));
+        }
+        files.entry(file.clone()).or_default().wire_safety = true;
+    }
+    for name in &config.meta_crates {
+        let src = root.join("crates").join(name).join("src");
+        if !src.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("[meta] crate not found: crates/{name}/src"),
+            ));
+        }
+        for leaf in ["lib.rs", "main.rs"] {
+            if src.join(leaf).is_file() {
+                let rel = format!("crates/{name}/src/{leaf}");
+                files.entry(rel).or_default().meta_root = true;
+            }
+        }
+    }
+    for file in &config.meta_roots {
+        if !root.join(file).is_file() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("[meta] root file not found: {file}"),
+            ));
+        }
+        files.entry(file.clone()).or_default().meta_root = true;
+    }
+
+    let mut report = Report::default();
+    for (file, families) in &files {
+        let text = fs::read_to_string(root.join(file))?;
+        let file_scan = scan(&text);
+
+        let mut hits = Vec::new();
+        if families.determinism {
+            rules::determinism(&file_scan, &mut hits);
+        }
+        if families.panic_policy {
+            rules::panic_policy(&file_scan, &mut hits);
+        }
+        if families.wire_safety {
+            rules::wire_safety(&file_scan, &mut hits);
+        }
+        if families.meta_root {
+            rules::forbid_unsafe(&file_scan, &mut hits);
+        }
+        hits.sort_by_key(|h| (h.line, h.col));
+
+        let mut used = vec![false; file_scan.waivers.len()];
+        for hit in hits {
+            let (waived, reason) = resolve_waiver(&file_scan, hit.rule, hit.line, &mut used);
+            report.findings.push(Finding {
+                rule: hit.rule.to_string(),
+                file: file.clone(),
+                line: hit.line,
+                col: hit.col,
+                message: hit.message,
+                snippet: snippet(&file_scan, hit.line),
+                waived,
+                reason,
+            });
+        }
+
+        // Waiver hygiene: a malformed waiver (no reason) or one that
+        // matched nothing is itself a finding — stale or typo'd
+        // waivers must not silently accumulate.
+        for (w, used) in file_scan.waivers.iter().zip(&used) {
+            if w.reason.is_none() {
+                report.findings.push(Finding {
+                    rule: "waiver-syntax".to_string(),
+                    file: file.clone(),
+                    line: w.line,
+                    col: 1,
+                    message: format!(
+                        "waiver for `{}` is missing its mandatory `: <reason>`",
+                        w.rule
+                    ),
+                    snippet: snippet(&file_scan, w.line),
+                    waived: false,
+                    reason: None,
+                });
+            } else if !*used {
+                report.findings.push(Finding {
+                    rule: "unused-waiver".to_string(),
+                    file: file.clone(),
+                    line: w.line,
+                    col: 1,
+                    message: format!("waiver for `{}` matches no finding here", w.rule),
+                    snippet: snippet(&file_scan, w.line),
+                    waived: false,
+                    reason: None,
+                });
+            }
+        }
+        report.files_scanned += 1;
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+    Ok(report)
+}
+
+/// Looks for a reasoned waiver covering `rule` at `line`: on the line
+/// itself, or in the contiguous block of comment-only lines directly
+/// above it. Marks the waiver used.
+fn resolve_waiver(
+    file_scan: &FileScan,
+    rule: &str,
+    line: u32,
+    used: &mut [bool],
+) -> (bool, Option<String>) {
+    let mut candidate_lines = vec![line];
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let comment_only = !file_scan
+            .code_lines
+            .get(l as usize - 1)
+            .copied()
+            .unwrap_or(false)
+            && !file_scan
+                .lines
+                .get(l as usize - 1)
+                .map(|s| s.trim().is_empty())
+                .unwrap_or(true);
+        if comment_only {
+            candidate_lines.push(l);
+        } else {
+            break;
+        }
+    }
+    for (idx, w) in file_scan.waivers.iter().enumerate() {
+        if w.rule == rule && candidate_lines.contains(&w.line) {
+            if let Some(reason) = &w.reason {
+                used[idx] = true;
+                return (true, Some(reason.clone()));
+            }
+        }
+    }
+    (false, None)
+}
+
+fn snippet(file_scan: &FileScan, line: u32) -> String {
+    file_scan
+        .lines
+        .get(line as usize - 1)
+        .map(|s| s.trim().to_string())
+        .unwrap_or_default()
+}
+
+/// All `.rs` files under `crates/<name>/src`, workspace-relative,
+/// sorted.
+fn crate_src_files(root: &Path, name: &str) -> io::Result<Vec<String>> {
+    let src = root.join("crates").join(name).join("src");
+    if !src.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("crate not found: crates/{name}/src"),
+        ));
+    }
+    let mut out = Vec::new();
+    let mut stack = vec![src.clone()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Serializes findings as a JSON array (hand-rolled — no deps).
+pub fn to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        let reason = match &f.reason {
+            Some(r) => format!("\"{}\"", esc(r)),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!(
+            "  {{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\
+             \"message\":\"{}\",\"snippet\":\"{}\",\"waived\":{},\"reason\":{}}}{}\n",
+            esc(&f.rule),
+            esc(&f.file),
+            f.line,
+            f.col,
+            esc(&f.message),
+            esc(&f.snippet),
+            f.waived,
+            reason,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_controls() {
+        let f = Finding {
+            rule: "x".into(),
+            file: "a\"b".into(),
+            line: 1,
+            col: 2,
+            message: "tab\there".into(),
+            snippet: "s".into(),
+            waived: true,
+            reason: Some("why \\ because".into()),
+        };
+        let json = to_json(&[f]);
+        assert!(json.contains("a\\\"b"));
+        assert!(json.contains("tab\\there"));
+        assert!(json.contains("why \\\\ because"));
+        assert!(json.ends_with(']'));
+    }
+
+    #[test]
+    fn empty_findings_serialize() {
+        assert_eq!(to_json(&[]), "[\n]");
+    }
+}

@@ -1,0 +1,47 @@
+//! # cyclesteal-lint
+//!
+//! A registry-less invariant lint engine for the workspace: a
+//! lightweight, comment/string-aware Rust source scanner that enforces
+//! the repo's *static* invariants — the properties the dynamic
+//! property suites can only sample:
+//!
+//! * **determinism** — the solver/simulation crates must be free of
+//!   wall clocks, sleeps, iteration-order-unstable collections and
+//!   unseeded randomness, so the bit-identical `W^(p)[L]` contract is
+//!   a property of the source tree, not just of the tested seeds;
+//! * **panic-policy** — the serving/storage crates answer every
+//!   request with a value or a typed error, never a panic (the PR 6
+//!   chaos contract), so `.unwrap()`-class escapes are banned in their
+//!   production paths;
+//! * **wire-safety** — the encode/decode modules must use checked
+//!   conversions: a narrowing `as` cast can silently wrap a length or
+//!   a tick count on the wire;
+//! * **meta** — every crate root carries `#![forbid(unsafe_code)]`.
+//!
+//! Scopes come from the workspace-root `lint.toml` (see
+//! [`config::Config`]); intentional exceptions are inline waivers —
+//! `// lint:allow(<rule-id>): <reason>` with a **mandatory** reason —
+//! and stale or reasonless waivers are themselves findings. Test code
+//! (`#[cfg(test)]` / `#[test]` / inline `mod tests`) is exempt from
+//! every rule.
+//!
+//! The `cyclesteal-lint` binary walks the tree, prints `file:line:col`
+//! findings (or `--json`), and exits nonzero on any unwaived finding —
+//! the CI `static-analysis` job. Rule catalogue and rationale:
+//! `docs/INVARIANTS.md`.
+//!
+//! Like `WorkerPool` and the CRC module, the whole engine is
+//! hand-rolled with zero dependencies: this build environment has no
+//! registry access.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod rules;
+pub mod scan;
+
+pub use config::Config;
+pub use engine::{run, to_json, Finding, Report};

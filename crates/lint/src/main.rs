@@ -1,0 +1,125 @@
+//! `cyclesteal-lint` — walk the workspace, enforce `lint.toml`, exit
+//! nonzero on any unwaived finding.
+//!
+//! ```text
+//! cargo run -p cyclesteal-lint [-- --json] [--root DIR] [--config FILE]
+//! ```
+//!
+//! Exit codes: `0` clean (every finding waived), `1` unwaived findings,
+//! `2` usage/config/I-O error.
+
+// The findings report is this binary's product.
+#![allow(clippy::print_stdout)]
+#![forbid(unsafe_code)]
+
+use cyclesteal_lint::{run, to_json, Config};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    json: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        root: PathBuf::from("."),
+        config: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "--help" | "-h" => {
+                return Err("usage: cyclesteal-lint [--json] [--root DIR] [--config FILE]".into());
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "cyclesteal-lint: cannot read {}: {e}",
+                config_path.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let config = match Config::parse(&config_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cyclesteal-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run(&args.root, &config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cyclesteal-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut out = String::new();
+    if args.json {
+        out.push_str(&to_json(&report.findings));
+        out.push('\n');
+    } else {
+        use std::fmt::Write as _;
+        for f in &report.findings {
+            let _ = writeln!(out, "{f}");
+            if let Some(reason) = &f.reason {
+                let _ = writeln!(out, "    waiver: {reason}");
+            } else if !f.waived {
+                let _ = writeln!(out, "    | {}", f.snippet);
+            }
+        }
+        let waived = report.findings.iter().filter(|f| f.waived).count();
+        let unwaived = report.findings.len() - waived;
+        let _ = writeln!(
+            out,
+            "cyclesteal-lint: {} file(s) scanned, {} finding(s) ({} waived, {} unwaived)",
+            report.files_scanned,
+            report.findings.len(),
+            waived,
+            unwaived
+        );
+    }
+    // One write, errors tolerated: `cyclesteal-lint | head` closing the
+    // pipe early must not turn a finished scan into a panic — the exit
+    // code below is the contract, the text is advisory.
+    let _ = std::io::stdout().write_all(out.as_bytes());
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

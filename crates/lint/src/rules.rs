@@ -1,0 +1,305 @@
+//! The rule table: token-pattern matchers over a [`FileScan`].
+//!
+//! Every rule has a stable kebab-case id — the name a waiver cites —
+//! and belongs to one of four families, scoped by `lint.toml`:
+//!
+//! | family | rule ids |
+//! |---|---|
+//! | determinism | `wall-clock`, `sleep`, `hash-collections`, `unseeded-rng` |
+//! | panic-policy | `panic-unwrap`, `panic-macro` |
+//! | wire-safety | `lossy-cast` |
+//! | meta | `forbid-unsafe` |
+//!
+//! Matching is over the blanked token stream (comments/strings can
+//! never hit) and skips tokens inside test regions. See
+//! `docs/INVARIANTS.md` for rationale and the waiver syntax.
+
+use crate::scan::{FileScan, Tok, TokKind};
+
+/// One raw rule hit (pre-waiver): which rule fired at which token.
+#[derive(Clone, Debug)]
+pub struct Hit {
+    /// Stable rule id (what a waiver must cite).
+    pub rule: &'static str,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub col: u32,
+    /// Short human explanation of this specific hit.
+    pub message: String,
+}
+
+/// Cast targets the `lossy-cast` rule flags: every integer target that
+/// can truncate or change sign coming from the wire's unsigned field
+/// types. `usize`/`u64`/`u128`/floats are exempt — on the supported
+/// 64-bit serving targets, widening the wire's `u8`/`u32` fields into
+/// them is value-preserving. (`i64 as u64` slips through; the codecs
+/// keep tick counts in `i64`/`u64` deliberately.)
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "i64", "isize"];
+
+/// Identifiers that name an unseeded (environment-keyed) randomness
+/// source in any of the vendored or std APIs.
+const UNSEEDED_RNG: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "OsRng",
+    "RandomState",
+    "getrandom",
+];
+
+fn live(toks: &[Tok], i: usize) -> Option<&Tok> {
+    toks.get(i).filter(|t| !t.in_test)
+}
+
+/// Determinism family: wall clocks, sleeps, iteration-order-unstable
+/// collections, unseeded randomness.
+pub fn determinism(scan: &FileScan, hits: &mut Vec<Hit>) {
+    let toks = &scan.tokens;
+    for i in 0..toks.len() {
+        let Some(t) = live(toks, i) else { continue };
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            // `SystemTime` anywhere (even `use`) — wall-clock type.
+            "SystemTime" => hits.push(Hit {
+                rule: "wall-clock",
+                line: t.line,
+                col: t.col,
+                message: "SystemTime is wall-clock state; use the logical clock".into(),
+            }),
+            // `Instant::now` — `Instant` alone may ride in signatures.
+            "Instant" if path_follows(toks, i, "now") => hits.push(Hit {
+                rule: "wall-clock",
+                line: t.line,
+                col: t.col,
+                message: "Instant::now() reads the wall clock; use the logical clock".into(),
+            }),
+            "thread" if path_follows(toks, i, "sleep") => hits.push(Hit {
+                rule: "sleep",
+                line: t.line,
+                col: t.col,
+                message: "thread::sleep makes timing part of the output".into(),
+            }),
+            "HashMap" | "HashSet" => hits.push(Hit {
+                rule: "hash-collections",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "{} iterates in nondeterministic order; use BTreeMap/BTreeSet",
+                    t.text
+                ),
+            }),
+            name if UNSEEDED_RNG.contains(&name) => hits.push(Hit {
+                rule: "unseeded-rng",
+                line: t.line,
+                col: t.col,
+                message: format!("{name} is seeded from the environment; pass an explicit seed"),
+            }),
+            _ => {}
+        }
+    }
+}
+
+/// Panic-policy family: `.unwrap()`/`.expect(…)` and panicking macros
+/// in serving/storage production paths.
+pub fn panic_policy(scan: &FileScan, hits: &mut Vec<Hit>) {
+    let toks = &scan.tokens;
+    for i in 0..toks.len() {
+        let Some(t) = live(toks, i) else { continue };
+        match t.kind {
+            TokKind::Punct('.') => {
+                // `.unwrap(` / `.expect(` — exact method-name match, so
+                // `unwrap_or_else` / `expect_err` never hit.
+                let Some(name) = live(toks, i + 1) else {
+                    continue;
+                };
+                if (name.is_ident("unwrap") || name.is_ident("expect"))
+                    && live(toks, i + 2).is_some_and(|p| p.is_punct('('))
+                {
+                    hits.push(Hit {
+                        rule: "panic-unwrap",
+                        line: name.line,
+                        col: name.col,
+                        message: format!(
+                            ".{}() can panic; return a typed error instead",
+                            name.text
+                        ),
+                    });
+                }
+            }
+            TokKind::Ident
+                if matches!(
+                    t.text.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) && live(toks, i + 1).is_some_and(|p| p.is_punct('!')) =>
+            {
+                hits.push(Hit {
+                    rule: "panic-macro",
+                    line: t.line,
+                    col: t.col,
+                    message: format!("{}! aborts the request path", t.text),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Wire-safety: narrowing/sign-changing `as` casts in codec modules.
+pub fn wire_safety(scan: &FileScan, hits: &mut Vec<Hit>) {
+    let toks = &scan.tokens;
+    for i in 0..toks.len() {
+        let Some(t) = live(toks, i) else { continue };
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(target) = live(toks, i + 1) else {
+            continue;
+        };
+        if target.kind == TokKind::Ident && NARROW_TARGETS.contains(&target.text.as_str()) {
+            hits.push(Hit {
+                rule: "lossy-cast",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`as {}` can truncate or change sign on the wire; use a checked conversion",
+                    target.text
+                ),
+            });
+        }
+    }
+}
+
+/// Meta: a crate root must carry `#![forbid(unsafe_code)]`.
+pub fn forbid_unsafe(scan: &FileScan, hits: &mut Vec<Hit>) {
+    let toks = &scan.tokens;
+    let found = toks.windows(8).any(|w| {
+        w[0].is_punct('#')
+            && w[1].is_punct('!')
+            && w[2].is_punct('[')
+            && w[3].is_ident("forbid")
+            && w[4].is_punct('(')
+            && w[5].is_ident("unsafe_code")
+            && w[6].is_punct(')')
+            && w[7].is_punct(']')
+    });
+    if !found {
+        hits.push(Hit {
+            rule: "forbid-unsafe",
+            line: 1,
+            col: 1,
+            message: "crate root is missing #![forbid(unsafe_code)]".into(),
+        });
+    }
+}
+
+/// Whether `toks[i]` is followed by `::<segment>` (tolerating nothing
+/// in between — the scanner keeps `::` as two adjacent puncts).
+fn path_follows(toks: &[Tok], i: usize, segment: &str) -> bool {
+    toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|b| b.is_punct(':'))
+        && toks.get(i + 3).is_some_and(|c| c.is_ident(segment))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn rules_of(hits: &[Hit]) -> Vec<&'static str> {
+        hits.iter().map(|h| h.rule).collect()
+    }
+
+    #[test]
+    fn determinism_patterns_fire_once_each() {
+        let s = scan(
+            "use std::time::SystemTime;\n\
+             fn f() { let t = Instant::now(); thread::sleep(d); }\n\
+             fn g(m: HashMap<u32, u32>, s: HashSet<u32>) { let r = thread_rng(); }\n",
+        );
+        let mut hits = Vec::new();
+        determinism(&s, &mut hits);
+        assert_eq!(
+            rules_of(&hits),
+            [
+                "wall-clock",
+                "wall-clock",
+                "sleep",
+                "hash-collections",
+                "hash-collections",
+                "unseeded-rng"
+            ]
+        );
+    }
+
+    #[test]
+    fn instant_in_a_signature_is_not_a_hit() {
+        let s = scan("fn f(deadline: Option<Instant>) -> Instant { deadline.unwrap_or(x) }\n");
+        let mut hits = Vec::new();
+        determinism(&s, &mut hits);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn unwrap_variants_do_not_false_positive() {
+        let s = scan(
+            "fn f() { a.unwrap(); b.expect(\"x\"); c.unwrap_or(1); d.unwrap_or_else(g); \
+             e.unwrap_or_default(); h.expect_err(\"y\"); }\n",
+        );
+        let mut hits = Vec::new();
+        panic_policy(&s, &mut hits);
+        assert_eq!(rules_of(&hits), ["panic-unwrap", "panic-unwrap"]);
+    }
+
+    #[test]
+    fn panic_macros_hit_but_paths_do_not() {
+        let s = scan(
+            "fn f() { panic!(\"x\"); unreachable!(); todo!(); unimplemented!(); }\n\
+             fn g() { std::panic::catch_unwind(h); }\n",
+        );
+        let mut hits = Vec::new();
+        panic_policy(&s, &mut hits);
+        assert_eq!(
+            rules_of(&hits),
+            ["panic-macro", "panic-macro", "panic-macro", "panic-macro"]
+        );
+    }
+
+    #[test]
+    fn only_narrowing_casts_hit() {
+        let s = scan(
+            "fn f(x: usize, y: u64) { let a = x as u32; let b = y as i64; \
+             let c = x as u64; let d = y as usize; let e = x as f64; }\n\
+             use foo as bar;\n",
+        );
+        let mut hits = Vec::new();
+        wire_safety(&s, &mut hits);
+        assert_eq!(rules_of(&hits), ["lossy-cast", "lossy-cast"]);
+    }
+
+    #[test]
+    fn forbid_unsafe_detects_presence_and_absence() {
+        let with = scan("//! docs\n#![forbid(unsafe_code)]\nfn f() {}\n");
+        let without = scan("//! docs\n#![warn(missing_docs)]\nfn f() {}\n");
+        let mut hits = Vec::new();
+        forbid_unsafe(&with, &mut hits);
+        assert!(hits.is_empty());
+        forbid_unsafe(&without, &mut hits);
+        assert_eq!(rules_of(&hits), ["forbid-unsafe"]);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let s = scan(
+            "fn live() { m.insert(HashMap::new()); }\n\
+             #[cfg(test)]\nmod tests {\n  fn t() { a.unwrap(); let h = HashMap::new(); \
+             panic!(); let x = 1u64 as u32; }\n}\n",
+        );
+        let mut hits = Vec::new();
+        determinism(&s, &mut hits);
+        panic_policy(&s, &mut hits);
+        wire_safety(&s, &mut hits);
+        assert_eq!(rules_of(&hits), ["hash-collections"]);
+    }
+}

@@ -1,0 +1,669 @@
+//! Source scanner: a comment/string/raw-string-aware lexer, test-region
+//! tracking, and waiver collection.
+//!
+//! The scanner is deliberately *not* a Rust parser. It produces exactly
+//! what the rule patterns need and nothing more:
+//!
+//! 1. a **token stream** (identifiers and single-char punctuation with
+//!    1-based line/column spans) lexed from a *blanked* copy of the file
+//!    in which every comment, string literal, raw string, byte string
+//!    and char literal has been replaced by spaces — so a rule pattern
+//!    can never match text that the compiler treats as data;
+//! 2. a **test-region mark** on every token: code under a
+//!    `#[cfg(test)]` / `#[test]` attribute (tracked to the matching
+//!    close brace of the item that follows) or inside an inline
+//!    `mod tests { .. }` is exempt from every rule;
+//! 3. the **waivers**: `// lint:allow(<rule-id>): <reason>` comments,
+//!    with the line they sit on and whether the mandatory reason is
+//!    present.
+//!
+//! Lifetimes (`'a`) are distinguished from char literals (`'a'`) by
+//! lookahead; block comments nest, as in Rust proper.
+
+/// What a lexed token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `as`, `unwrap`, …).
+    Ident,
+    /// A numeric literal (consumed as one token, suffix included).
+    Number,
+    /// A single punctuation character.
+    Punct(char),
+}
+
+/// One token of the blanked source.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token kind; for punctuation the character rides in the kind.
+    pub kind: TokKind,
+    /// The token text (empty for punctuation — the char is in the kind).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based character column of the token's first character.
+    pub col: u32,
+    /// Whether the token sits inside a test region (see module docs).
+    pub in_test: bool,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One `lint:allow(<rule-id>): <reason>` waiver comment.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// The rule id inside the parentheses.
+    pub rule: String,
+    /// 1-based line the waiver text sits on.
+    pub line: u32,
+    /// The reason after the colon, trimmed; `None` when missing or
+    /// empty — a malformed waiver that waives nothing.
+    pub reason: Option<String>,
+}
+
+/// The scan of one source file.
+pub struct FileScan {
+    /// Tokens of the blanked source, in order.
+    pub tokens: Vec<Tok>,
+    /// Waivers found in comments, in line order.
+    pub waivers: Vec<Waiver>,
+    /// `code_lines[line - 1]`: whether that line carries at least one
+    /// code token (used to let a waiver comment block sit above its
+    /// finding).
+    pub code_lines: Vec<bool>,
+    /// The raw source lines, for finding snippets.
+    pub lines: Vec<String>,
+}
+
+/// Scans one file's source text.
+pub fn scan(source: &str) -> FileScan {
+    let (blanked, comments) = blank(source);
+    let mut tokens = tokenize(&blanked);
+    mark_test_regions(&mut tokens);
+
+    let lines: Vec<String> = source.lines().map(|l| l.to_string()).collect();
+    let mut code_lines = vec![false; lines.len()];
+    for t in &tokens {
+        if let Some(slot) = code_lines.get_mut(t.line as usize - 1) {
+            *slot = true;
+        }
+    }
+
+    let mut waivers = Vec::new();
+    for (line, text) in &comments {
+        if let Some(w) = parse_waiver(*line, text) {
+            waivers.push(w);
+        }
+    }
+
+    // A reason may wrap onto following comment-only lines of the same
+    // block; join those continuations so multi-line waiver reasons
+    // survive intact in reports.
+    for w in &mut waivers {
+        let Some(reason) = &mut w.reason else {
+            continue;
+        };
+        if w.line as usize <= code_lines.len() && code_lines[w.line as usize - 1] {
+            // A trailing waiver on a code line stands alone — the line
+            // below is unrelated.
+            continue;
+        }
+        let mut next = w.line + 1;
+        while let Some((_, text)) = comments.iter().find(|(l, _)| *l == next) {
+            let cont = text.trim().trim_start_matches('/').trim();
+            if cont.is_empty()
+                || parse_waiver(next, text).is_some()
+                || code_lines.get(next as usize - 1).copied().unwrap_or(false)
+            {
+                break;
+            }
+            reason.push(' ');
+            reason.push_str(cont);
+            next += 1;
+        }
+    }
+
+    FileScan {
+        tokens,
+        waivers,
+        code_lines,
+        lines,
+    }
+}
+
+/// One source character with its (line, column); comment/string bodies
+/// arrive already replaced by spaces.
+type BlankedChar = (char, u32, u32);
+/// The comment text found on one line, keyed by line number — the input
+/// to waiver parsing.
+type LineComment = (u32, String);
+
+/// Replaces comments, strings, raw strings and char literals by spaces
+/// (newlines preserved) and collects per-line comment text.
+fn blank(source: &str) -> (Vec<BlankedChar>, Vec<LineComment>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out: Vec<BlankedChar> = Vec::with_capacity(chars.len());
+    let mut comments: Vec<LineComment> = Vec::new();
+
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut i = 0usize;
+
+    // Pushes one output char, advancing the line/col counters.
+    macro_rules! emit {
+        ($c:expr) => {{
+            let c: char = $c;
+            out.push((c, line, col));
+            if c == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }};
+    }
+    // Appends comment text to the current line's comment chunk.
+    fn note(comments: &mut Vec<(u32, String)>, line: u32, c: char) {
+        match comments.last_mut() {
+            Some((l, s)) if *l == line => s.push(c),
+            _ => comments.push((line, c.to_string())),
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+
+        match c {
+            '/' if next == Some('/') => {
+                // Line comment (incl. doc comments) to end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    note(&mut comments, line, chars[i]);
+                    emit!(' ');
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 0usize;
+                while i < chars.len() {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        note(&mut comments, line, ' ');
+                        emit!(' ');
+                        emit!(' ');
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        emit!(' ');
+                        emit!(' ');
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        note(&mut comments, line, chars[i]);
+                        emit!(if chars[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Plain string literal (a preceding `b` was emitted as
+                // code — harmless, it lexes as a standalone ident).
+                emit!(' ');
+                i += 1;
+                while i < chars.len() {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        emit!(' ');
+                        emit!(' ');
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        emit!(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        emit!(if chars[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if !prev_is_ident => {
+                // Possible raw/byte string opener: r", r#", b", br", br#"…
+                let mut j = i;
+                if chars[j] == 'b' && chars.get(j + 1) == Some(&'r') {
+                    j += 2;
+                } else if chars[j] == 'r' || chars[j] == 'b' {
+                    j += 1;
+                }
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                let is_raw = chars[i] != 'b' || chars.get(i + 1) == Some(&'r');
+                if chars.get(j) == Some(&'"') && (is_raw || hashes == 0) {
+                    // Blank the opener.
+                    while i <= j {
+                        emit!(' ');
+                        i += 1;
+                    }
+                    // Scan to the closing quote + matching hashes (raw
+                    // strings have no escapes; a plain b"…" does).
+                    while i < chars.len() {
+                        if !is_raw && chars[i] == '\\' && i + 1 < chars.len() {
+                            emit!(' ');
+                            emit!(' ');
+                            i += 2;
+                            continue;
+                        }
+                        if chars[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                for _ in 0..=hashes {
+                                    emit!(' ');
+                                    i += 1;
+                                }
+                                break;
+                            }
+                        }
+                        emit!(if chars[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                } else {
+                    emit!(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime: a char literal is '\…' or
+                // 'x' (any single char followed by a closing quote); a
+                // lifetime has no closing quote right after its one
+                // "payload" char.
+                if next == Some('\\') {
+                    emit!(' ');
+                    emit!(' ');
+                    emit!(' ');
+                    i += 2;
+                    while i < chars.len() && chars[i] != '\'' {
+                        emit!(' ');
+                        i += 1;
+                    }
+                    if i < chars.len() {
+                        emit!(' ');
+                        i += 1;
+                    }
+                } else if next.is_some() && chars.get(i + 2) == Some(&'\'') {
+                    emit!(' ');
+                    emit!(' ');
+                    emit!(' ');
+                    i += 3;
+                } else {
+                    // Lifetime: keep the quote as code punctuation.
+                    emit!(c);
+                    i += 1;
+                }
+            }
+            _ => {
+                emit!(c);
+                i += 1;
+            }
+        }
+    }
+
+    (out, comments)
+}
+
+/// Lexes the blanked char stream into tokens.
+fn tokenize(blanked: &[(char, u32, u32)]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < blanked.len() {
+        let (c, line, col) = blanked[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let mut text = String::new();
+            while i < blanked.len() {
+                let (d, _, _) = blanked[i];
+                if d.is_alphanumeric() || d == '_' {
+                    text.push(d);
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+                in_test: false,
+            });
+        } else if c.is_ascii_digit() {
+            // `.` stays punctuation so `x.0.unwrap()` still exposes the
+            // `.unwrap(` sequence; `1.5` lexes as three tokens, which no
+            // rule pattern cares about.
+            let mut text = String::new();
+            while i < blanked.len() {
+                let (d, _, _) = blanked[i];
+                if d.is_alphanumeric() || d == '_' {
+                    text.push(d);
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Number,
+                text,
+                line,
+                col,
+                in_test: false,
+            });
+        } else {
+            toks.push(Tok {
+                kind: TokKind::Punct(c),
+                text: String::new(),
+                line,
+                col,
+                in_test: false,
+            });
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Whether the attribute token slice (between `[` and `]`) enables the
+/// test cfg: contains the identifier `test` not wrapped in `not(…)`.
+fn attr_enables_test(attr: &[Tok]) -> bool {
+    for (j, t) in attr.iter().enumerate() {
+        if t.is_ident("test") {
+            let negated = j >= 2 && attr[j - 1].is_punct('(') && attr[j - 2].is_ident("not");
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Marks every token inside a test region (`#[cfg(test)]` / `#[test]`
+/// item bodies, inline `mod tests { .. }`) with `in_test = true`.
+fn mark_test_regions(tokens: &mut [Tok]) {
+    let n = tokens.len();
+    let mut depth: i64 = 0;
+    // Depth at which the innermost active test region opened; tokens
+    // are test code while this is set. `i64::MAX` marks "rest of file"
+    // (an inner `#![cfg(test)]`).
+    let mut region_at: Option<i64> = None;
+    let mut pending_attr = false;
+
+    let mut i = 0usize;
+    while i < n {
+        if let Some(start_depth) = region_at {
+            tokens[i].in_test = true;
+            match tokens[i].kind {
+                TokKind::Punct('{') => depth += 1,
+                TokKind::Punct('}') => {
+                    depth -= 1;
+                    if depth <= start_depth {
+                        region_at = None;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+            continue;
+        }
+
+        // Attribute? `#[…]` (outer) or `#![…]` (inner).
+        if tokens[i].is_punct('#') {
+            let mut j = i + 1;
+            let inner = j < n && tokens[j].is_punct('!');
+            if inner {
+                j += 1;
+            }
+            if j < n && tokens[j].is_punct('[') {
+                // Collect to the matching `]`.
+                let mut k = j + 1;
+                let mut brackets = 1i64;
+                while k < n && brackets > 0 {
+                    match tokens[k].kind {
+                        TokKind::Punct('[') => brackets += 1,
+                        TokKind::Punct(']') => brackets -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let attr = &tokens[j + 1..k.saturating_sub(1)];
+                if attr_enables_test(attr) {
+                    if inner {
+                        // `#![cfg(test)]`: the whole enclosing scope —
+                        // conservatively, the rest of the file.
+                        for t in tokens[i..].iter_mut() {
+                            t.in_test = true;
+                        }
+                        return;
+                    }
+                    pending_attr = true;
+                }
+                i = k;
+                continue;
+            }
+        }
+
+        // Inline `mod tests { … }` without an attribute.
+        if tokens[i].is_ident("mod")
+            && i + 2 < n
+            && tokens[i + 1].is_ident("tests")
+            && tokens[i + 2].is_punct('{')
+        {
+            tokens[i].in_test = true;
+            tokens[i + 1].in_test = true;
+            region_at = Some(depth);
+            // A `#[cfg(test)]` attribute on this mod is consumed by it.
+            pending_attr = false;
+            i += 2; // The `{` is handled by the region branch above.
+            continue;
+        }
+
+        match tokens[i].kind {
+            TokKind::Punct('{') => {
+                if pending_attr {
+                    // The attributed item's body starts here.
+                    tokens[i].in_test = true;
+                    region_at = Some(depth);
+                    pending_attr = false;
+                    depth += 1;
+                } else {
+                    depth += 1;
+                }
+            }
+            TokKind::Punct('}') => depth -= 1,
+            TokKind::Punct(';') => {
+                // `#[cfg(test)] use …;` — an item with no body ends the
+                // attribute's reach. (The `use` itself is marked.)
+                pending_attr = false;
+            }
+            _ => {
+                if pending_attr {
+                    tokens[i].in_test = true;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Parses a `lint:allow(<rule-id>): <reason>` waiver out of one line's
+/// comment text.
+fn parse_waiver(line: u32, text: &str) -> Option<Waiver> {
+    let at = text.find("lint:allow(")?;
+    let rest = &text[at + "lint:allow(".len()..];
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    // Only well-formed kebab-case ids are waivers; anything else (e.g.
+    // prose like `lint:allow(<rule-id>)` in documentation) is ignored.
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    {
+        return None;
+    }
+    let after = &rest[close + 1..];
+    let reason = after
+        .strip_prefix(':')
+        .map(|r| r.trim())
+        .filter(|r| !r.is_empty())
+        .map(|r| r.to_string());
+    Some(Waiver { rule, line, reason })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(scan: &FileScan) -> Vec<&str> {
+        scan.tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = scan(
+            "let x = \"HashMap in a string\"; // HashMap in a comment\n\
+             /* HashMap in /* a nested */ block */ let y = 1;\n\
+             let z = r#\"HashMap raw \" quote\"#;\n",
+        );
+        assert!(!idents(&s).contains(&"HashMap"));
+        assert!(idents(&s).contains(&"let"));
+    }
+
+    #[test]
+    fn raw_string_hash_counts_must_match() {
+        let s = scan("let a = r##\"one \"# not closed here\"##; let HashMap = 1;\n");
+        assert!(idents(&s).contains(&"HashMap"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_lex() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = 'z'; let q = '\\n'; }");
+        let ids = idents(&s);
+        assert!(ids.contains(&"a"), "lifetime name still lexes: {ids:?}");
+        // The char literal payloads never become tokens.
+        assert!(!ids.contains(&"z"));
+        assert!(!ids.contains(&"n"));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_item_body() {
+        let s = scan(
+            "fn live() { a(); }\n\
+             #[cfg(test)]\nmod tests {\n  fn t() { b(); }\n}\n\
+             fn live2() { c(); }\n",
+        );
+        let by_name = |n: &str| s.tokens.iter().find(|t| t.is_ident(n)).expect(n).in_test;
+        assert!(!by_name("a"));
+        assert!(by_name("b"));
+        assert!(!by_name("c"));
+    }
+
+    #[test]
+    fn test_attr_with_trailing_attrs_and_fn() {
+        let s = scan("#[test]\n#[ignore]\nfn t() { dbg(); }\nfn live() { ok(); }\n");
+        let by_name = |n: &str| s.tokens.iter().find(|t| t.is_ident(n)).expect(n).in_test;
+        assert!(by_name("dbg"));
+        assert!(!by_name("ok"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let s = scan("#[cfg(not(test))]\nfn live() { a(); }\n");
+        let a = s.tokens.iter().find(|t| t.is_ident("a")).unwrap();
+        assert!(!a.in_test);
+    }
+
+    #[test]
+    fn cfg_test_use_item_does_not_leak() {
+        let s = scan("#[cfg(test)]\nuse x::y;\nfn live() { a(); }\n");
+        let a = s.tokens.iter().find(|t| t.is_ident("a")).unwrap();
+        assert!(!a.in_test);
+    }
+
+    #[test]
+    fn inline_mod_tests_is_a_region() {
+        let s = scan("mod tests { fn t() { b(); } }\nfn live() { c(); }\n");
+        let by_name = |n: &str| s.tokens.iter().find(|t| t.is_ident(n)).expect(n).in_test;
+        assert!(by_name("b"));
+        assert!(!by_name("c"));
+    }
+
+    #[test]
+    fn waiver_parses_with_and_without_reason() {
+        let s = scan(
+            "let a = 1; // lint:allow(hash-collections): keyed iteration is sorted first\n\
+             let b = 2; // lint:allow(sleep)\n\
+             let c = 3; // lint:allow(sleep):   \n",
+        );
+        assert_eq!(s.waivers.len(), 3);
+        assert_eq!(s.waivers[0].rule, "hash-collections");
+        assert!(s.waivers[0].reason.is_some());
+        assert!(s.waivers[1].reason.is_none());
+        assert!(s.waivers[2].reason.is_none());
+    }
+
+    #[test]
+    fn multi_line_waiver_reasons_join_their_comment_block() {
+        let s = scan(
+            "// lint:allow(lossy-cast): the first half of the reason\n\
+             // and the second half of it\n\
+             let x = big as u8;\n",
+        );
+        assert_eq!(s.waivers.len(), 1);
+        assert_eq!(
+            s.waivers[0].reason.as_deref(),
+            Some("the first half of the reason and the second half of it")
+        );
+        // A trailing waiver on a code line does not absorb the comment
+        // below it.
+        let s = scan(
+            "let x = big as u8; // lint:allow(lossy-cast): complete reason\n\
+             // unrelated next comment\n",
+        );
+        assert_eq!(s.waivers[0].reason.as_deref(), Some("complete reason"));
+    }
+
+    #[test]
+    fn prose_mentions_of_the_waiver_syntax_are_not_waivers() {
+        let s = scan("//! write `lint:allow(<rule-id>): <reason>` above the line\n");
+        assert!(s.waivers.is_empty());
+    }
+
+    #[test]
+    fn code_lines_distinguish_comment_only_lines() {
+        let s = scan("// only a comment\nlet x = 1;\n\n");
+        assert!(!s.code_lines[0]);
+        assert!(s.code_lines[1]);
+    }
+}

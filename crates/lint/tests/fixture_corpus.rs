@@ -1,0 +1,153 @@
+//! Fixture-based self-tests: each fixture is a miniature workspace
+//! (its own `lint.toml` + `crates/…` tree) under `tests/fixtures/`,
+//! run through the library engine exactly as the binary would run it.
+
+use cyclesteal_lint::{run, Config};
+use std::path::PathBuf;
+
+fn fixture(name: &str) -> cyclesteal_lint::Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let config_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("fixture lint.toml reads");
+    let config = Config::parse(&config_text).expect("fixture lint.toml parses");
+    run(&root, &config).expect("fixture scan runs")
+}
+
+/// `(rule, line, waived)` triples, in report order.
+fn shape(report: &cyclesteal_lint::Report) -> Vec<(String, u32, bool)> {
+    report
+        .findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.line, f.waived))
+        .collect()
+}
+
+#[test]
+fn determinism_rules_fire_once_per_site() {
+    let report = fixture("determinism");
+    assert_eq!(
+        shape(&report),
+        [
+            ("hash-collections".to_string(), 2, false),
+            ("wall-clock".to_string(), 3, false),
+            ("wall-clock".to_string(), 6, false),
+            ("sleep".to_string(), 7, false),
+            ("hash-collections".to_string(), 11, false),
+            ("unseeded-rng".to_string(), 12, false),
+        ]
+    );
+    assert!(!report.clean());
+}
+
+#[test]
+fn panic_policy_rules_fire_once_per_site() {
+    let report = fixture("panic");
+    assert_eq!(
+        shape(&report),
+        [
+            ("panic-unwrap".to_string(), 3, false),
+            ("panic-unwrap".to_string(), 4, false),
+            ("panic-macro".to_string(), 6, false),
+            ("panic-macro".to_string(), 9, false),
+            ("panic-macro".to_string(), 10, false),
+        ]
+    );
+}
+
+#[test]
+fn wire_safety_flags_only_narrowing_casts() {
+    let report = fixture("wire");
+    assert_eq!(
+        shape(&report),
+        [
+            ("lossy-cast".to_string(), 5, false),
+            ("lossy-cast".to_string(), 6, false),
+            ("lossy-cast".to_string(), 7, false),
+        ]
+    );
+}
+
+#[test]
+fn waivers_honor_reasons_and_report_hygiene() {
+    let report = fixture("waiver");
+    assert_eq!(
+        shape(&report),
+        [
+            // Same-line waiver and comment-line-above waiver both hold.
+            ("panic-unwrap".to_string(), 3, true),
+            ("panic-unwrap".to_string(), 5, true),
+            // A reasonless waiver waives nothing and is a finding
+            // itself (col 1, so it sorts first on the shared line)…
+            ("waiver-syntax".to_string(), 11, false),
+            ("panic-unwrap".to_string(), 11, false),
+            // …as is a stale waiver.
+            ("unused-waiver".to_string(), 15, false),
+        ]
+    );
+    let reasons: Vec<_> = report
+        .findings
+        .iter()
+        .filter_map(|f| f.reason.as_deref())
+        .collect();
+    assert_eq!(
+        reasons,
+        [
+            "fixture same-line waiver",
+            "fixture waiver from the comment line above"
+        ]
+    );
+    assert!(!report.clean());
+}
+
+#[test]
+fn test_regions_are_exempt_from_every_rule() {
+    let report = fixture("testcode");
+    // Only the live HashMap parameter is a finding; everything inside
+    // #[cfg(test)] / #[test] / the cfg(test) use item is exempt.
+    assert_eq!(shape(&report), [("hash-collections".to_string(), 2, false)]);
+}
+
+#[test]
+fn strings_and_comments_never_hit() {
+    let report = fixture("strings");
+    assert_eq!(
+        shape(&report),
+        [("hash-collections".to_string(), 22, false)]
+    );
+}
+
+#[test]
+fn crate_roots_must_forbid_unsafe() {
+    let report = fixture("meta");
+    assert_eq!(
+        shape(&report),
+        [
+            ("forbid-unsafe".to_string(), 1, false),
+            ("forbid-unsafe".to_string(), 1, false),
+        ]
+    );
+    let files: Vec<_> = report.findings.iter().map(|f| f.file.as_str()).collect();
+    assert_eq!(
+        files,
+        ["crates/bad/src/lib.rs", "crates/good/src/extra_root.rs"]
+    );
+}
+
+#[test]
+fn reports_are_deterministic_across_runs() {
+    let a = fixture("waiver");
+    let b = fixture("waiver");
+    assert_eq!(
+        cyclesteal_lint::to_json(&a.findings),
+        cyclesteal_lint::to_json(&b.findings)
+    );
+}
+
+#[test]
+fn missing_scope_targets_are_hard_errors() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/meta");
+    let config = Config::parse("[determinism]\ncrates = [\"no-such-crate\"]\n").expect("parses");
+    assert!(run(&root, &config).is_err());
+}

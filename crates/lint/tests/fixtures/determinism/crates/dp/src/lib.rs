@@ -1,0 +1,21 @@
+// Fixture: one hit per determinism pattern, in line order.
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+fn clocky() -> u64 {
+    let _t = Instant::now();
+    thread::sleep(core::time::Duration::from_millis(1));
+    7
+}
+
+fn setty(s: HashSet<u32>) -> usize {
+    let r = thread_rng();
+    let _ = r;
+    s.len()
+}
+
+// Signature-only Instant and seeded RNG construction are fine.
+fn not_hits(deadline: Option<Instant>, seed: u64) -> Option<Instant> {
+    let _rng = SmallRng::seed_from_u64(seed);
+    deadline
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root without `forbid(unsafe_code)`.
+//! Mentioning #![forbid(unsafe_code)] in docs must not count.
+#![warn(missing_docs)]
+
+pub fn nope() -> u32 {
+    3
+}

@@ -1,0 +1,4 @@
+// Fixture: an extra root listed via [meta] roots, missing the attr.
+pub fn no_forbid_here() -> u32 {
+    2
+}

@@ -1,0 +1,6 @@
+//! Fixture: a compliant crate root.
+#![forbid(unsafe_code)]
+
+pub fn ok() -> u32 {
+    1
+}

@@ -1,0 +1,21 @@
+// Fixture: every panic-policy pattern, plus the non-hits.
+fn hits(a: Option<u32>, b: Result<u32, ()>) -> u32 {
+    let x = a.unwrap();
+    let y = b.expect("present");
+    if x > y {
+        panic!("boom");
+    }
+    match x {
+        0 => unreachable!(),
+        1 => todo!(),
+        _ => x + y,
+    }
+}
+
+fn not_hits(a: Option<u32>, b: Result<u32, u32>) -> u32 {
+    // unwrap_* / expect_err variants and panic-path *mentions* are fine.
+    let x = a.unwrap_or(0) + a.unwrap_or_else(|| 1) + a.unwrap_or_default();
+    let y = b.expect_err("err side");
+    let _hook = std::panic::take_hook();
+    x + y
+}

@@ -1,0 +1,24 @@
+//! Fixture: patterns inside strings and comments never hit.
+//! Docs may say HashMap, Instant::now(), .unwrap() or panic! freely.
+
+// thread::sleep in a line comment.
+/* SystemTime in a block comment,
+   /* nested: HashSet and todo!() */
+   still a comment */
+
+fn strings() -> (String, String, String, &'static [u8]) {
+    let s = "HashMap::new() and x.unwrap() in a string".to_string();
+    let r = r#"raw: Instant::now() and panic!("x")"#.to_string();
+    let h = r##"hashier raw: "# thread_rng() "##.to_string();
+    let b = b"bytes: unreachable!()";
+    (s, r, h, b)
+}
+
+fn chars_and_lifetimes<'a>(x: &'a str) -> (char, &'a str) {
+    let c = '"'; // a quote char literal must not open a string
+    (c, x)
+}
+
+fn one_real_hit(m: HashMap<u32, u32>) -> usize {
+    m.len()
+}

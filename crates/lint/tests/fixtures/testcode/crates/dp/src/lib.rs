@@ -1,0 +1,41 @@
+// Fixture: rule patterns inside test regions are exempt.
+fn live(m: HashMap<u32, u32>) -> usize {
+    m.len()
+}
+
+#[cfg(test)]
+use std::collections::HashSet;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uses_everything_forbidden() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        let s: HashSet<u32> = HashSet::new();
+        let t = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        assert!(m.is_empty() && s.is_empty());
+        let _ = t;
+        let v: Option<u32> = Some(1);
+        v.unwrap();
+        if false {
+            panic!("test-only");
+        }
+    }
+}
+
+#[test]
+fn top_level_test_fn() {
+    let x: Option<u32> = None;
+    let _ = x.unwrap_or(0);
+    let _t = SystemTime::now();
+}
+
+mod tests_like {
+    // Not named `tests` exactly — but clean anyway.
+    pub fn helper() -> u32 {
+        2
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: waiver resolution in all four shapes.
+fn waived(a: Option<u32>) -> u32 {
+    let x = a.unwrap(); // lint:allow(panic-unwrap): fixture same-line waiver
+    // lint:allow(panic-unwrap): fixture waiver from the comment line above
+    let y = a.unwrap();
+    x + y
+}
+
+fn reasonless(a: Option<u32>) -> u32 {
+    // A waiver without a reason waives nothing and is itself a finding.
+    a.unwrap() // lint:allow(panic-unwrap)
+}
+
+fn stale() -> u32 {
+    // lint:allow(panic-macro): nothing on the next line matches this rule
+    41 + 1
+}

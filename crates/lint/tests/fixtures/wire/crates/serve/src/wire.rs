@@ -1,0 +1,12 @@
+// Fixture: narrowing casts hit; widening casts and renames do not.
+use foo as bar;
+
+fn encode(len: usize, ticks: u64, level: u16) -> Vec<u8> {
+    let a = len as u32; // hit
+    let b = ticks as i64; // hit
+    let c = level as u8; // hit
+    let wide = len as u64; // not a hit: widening on 64-bit targets
+    let idx = ticks as usize; // not a hit (documented platform floor)
+    let f = len as f64; // not a hit: reporting only
+    bar(a, b, c, wide, idx, f)
+}

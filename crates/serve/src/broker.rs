@@ -679,7 +679,12 @@ fn resolve(
 
     ep.coalesced.fetch_add(1, Ordering::Relaxed);
     let mut result = flight.result.lock().unwrap_or_else(|e| e.into_inner());
-    while result.is_none() {
+    // Wait until the leader publishes; break *with* the value so there
+    // is no "loop exited but the slot is empty" state to unwrap later.
+    let outcome = loop {
+        if let Some(outcome) = result.clone() {
+            break outcome;
+        }
         match deadline {
             None => result = flight.cv.wait(result).unwrap_or_else(|e| e.into_inner()),
             Some(d) => {
@@ -698,8 +703,8 @@ fn resolve(
                     .0;
             }
         }
-    }
-    match result.clone().expect("loop exits only when set") {
+    };
+    match outcome {
         // `covers` is the table's own coverage contract — the same
         // check the cache applies — so a coalesced result is never
         // returned for a range it cannot answer.

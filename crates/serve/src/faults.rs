@@ -238,6 +238,8 @@ pub(crate) fn read_delay() -> Option<Duration> {
 /// machinery — it must never escape [`crate::Broker::query_batch`].
 pub(crate) fn maybe_panic_solve() {
     if should(FaultPoint::PanicSolve) {
+        // lint:allow(panic-macro): this panic IS the injected fault — the
+        // chaos suite proves the flight machinery contains it
         panic!("injected solve panic (fault plan)");
     }
 }

@@ -421,7 +421,11 @@ impl Client {
         if self.conn.is_none() {
             self.conn = Some(self.dial()?);
         }
-        Ok(self.conn.as_mut().expect("just ensured"))
+        // Unreachable after the fill above, but kept a typed error: the
+        // client's contract (like the broker's) is to never panic.
+        self.conn
+            .as_mut()
+            .ok_or_else(|| io::Error::other("connection slot empty after dial"))
     }
 
     /// Sends one batch of queries and returns the answers in input

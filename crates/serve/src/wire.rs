@@ -103,6 +103,8 @@ pub fn is_corrupt_frame(err: &io::Error) -> bool {
 /// catch.
 pub(crate) fn frame_bytes(payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + payload.len());
+    // lint:allow(lossy-cast): response payloads answer requests that
+    // already passed read_frame's 64 MiB cap, so the length fits u32
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
@@ -111,10 +113,11 @@ pub(crate) fn frame_bytes(payload: &[u8]) -> Vec<u8> {
 
 /// Writes one frame (length prefix, payload CRC, payload).
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
-    if payload.len() as u64 > MAX_FRAME_BYTES as u64 {
-        return Err(invalid("frame exceeds MAX_FRAME_BYTES"));
-    }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&len| len <= MAX_FRAME_BYTES)
+        .ok_or_else(|| invalid("frame exceeds MAX_FRAME_BYTES"))?;
+    w.write_all(&len.to_le_bytes())?;
     w.write_all(&crc32(payload).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -203,6 +206,14 @@ impl<'a> Reader<'a> {
             b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
         ]))
     }
+    /// Exact inverse of an `i64::to_le_bytes` write — negative values
+    /// round-trip without any integer cast.
+    fn i64(&mut self) -> io::Result<i64> {
+        let b = self.take(8)?;
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
     fn done(&self) -> io::Result<()> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -218,6 +229,9 @@ pub fn encode_query_batch(queries: &[GuaranteeQuery], deadline_us: u64) -> Vec<u
     let mut out = Vec::with_capacity(13 + queries.len() * 24);
     out.push(OP_QUERY_BATCH);
     out.extend_from_slice(&deadline_us.to_le_bytes());
+    // lint:allow(lossy-cast): a batch whose count wraps u32 is a >96 GiB
+    // payload — write_frame's 64 MiB cap rejects it before it reaches
+    // the wire
     out.extend_from_slice(&(queries.len() as u32).to_le_bytes());
     for q in queries {
         out.extend_from_slice(&q.setup.get().to_bits().to_le_bytes());
@@ -257,6 +271,8 @@ pub fn decode_query_batch(r: &mut &[u8]) -> io::Result<(Vec<GuaranteeQuery>, u64
 pub fn encode_answers(answers: &[GuaranteeAnswer]) -> Vec<u8> {
     let mut out = Vec::with_capacity(5 + answers.len() * 16);
     out.push(STATUS_OK);
+    // lint:allow(lossy-cast): answers mirror a decoded batch whose count
+    // already fit u32 (decode_query_batch checked it against the frame)
     out.extend_from_slice(&(answers.len() as u32).to_le_bytes());
     for a in answers {
         out.extend_from_slice(&a.value.get().to_bits().to_le_bytes());
@@ -270,7 +286,7 @@ pub fn encode_error(err: &ServeError) -> Vec<u8> {
     let mut out = Vec::with_capacity(3 + err.message.len());
     out.push(STATUS_ERR);
     out.push(err.code.wire());
-    out.push(err.retryable as u8);
+    out.push(u8::from(err.retryable));
     out.extend_from_slice(err.message.as_bytes());
     out
 }
@@ -315,7 +331,7 @@ pub fn decode_answers(payload: &[u8]) -> io::Result<Vec<GuaranteeAnswer>> {
     for _ in 0..count {
         answers.push(GuaranteeAnswer {
             value: finite_time(rd.u64()?)?,
-            value_ticks: rd.u64()? as i64,
+            value_ticks: rd.i64()?,
         });
     }
     rd.done()?;
@@ -340,9 +356,13 @@ pub fn encode_stats(stats: &BrokerStats) -> Vec<u8> {
     ] {
         out.extend_from_slice(&v.to_le_bytes());
     }
+    // lint:allow(lossy-cast): the endpoint list is the server's
+    // per-connection counter registry — a handful of entries, never 2³²
     out.extend_from_slice(&(stats.endpoints.len() as u32).to_le_bytes());
     for ep in &stats.endpoints {
         let name = ep.endpoint.as_bytes();
+        // lint:allow(lossy-cast): min(255) clamps the length into u8
+        // range on this same expression
         out.push(name.len().min(255) as u8);
         out.extend_from_slice(&name[..name.len().min(255)]);
         for v in [ep.requests, ep.queries, ep.coalesced, ep.p50_us, ep.p99_us] {

@@ -15,6 +15,10 @@
 //! lock; integration-test binaries run apart from the unit-test binary,
 //! so nothing outside this file ever sees an armed plan.
 
+// The sweep's per-seed progress lines are this suite's output contract
+// for humans bisecting a failing seed.
+#![allow(clippy::print_stdout)]
+
 use cyclesteal_core::time::{secs, Time};
 use cyclesteal_dp::{SolveConfig, TableCache};
 use cyclesteal_serve::{

@@ -180,6 +180,10 @@ fn push_i64(out: &mut Vec<u8>, v: i64) {
 
 /// Appends one framed section: `len`, payload, CRC-32 of the payload.
 fn push_section(out: &mut Vec<u8>, payload: &[u8]) {
+    // lint:allow(lossy-cast): a section wraps u32 only past half a
+    // billion breakpoints in one row, far beyond any table the
+    // compressor emits — and a wrapped length cannot misparse silently,
+    // the CRC framing makes an oversized section fail closed at load
     push_u32(out, payload.len() as u32);
     out.extend_from_slice(payload);
     push_u32(out, crc::crc32(payload));
@@ -211,9 +215,12 @@ fn encode_row(row: &RowParts) -> Vec<u8> {
                 push_i64(&mut p, r.start);
                 push_i64(&mut p, r.step_fx);
                 push_u32(&mut p, r.len);
-                p.push(r.has_residuals as u8);
+                p.push(u8::from(r.has_residuals));
             }
             for &b in residuals {
+                // lint:allow(lossy-cast): two's-complement byte
+                // reinterpret of the i8 residual, inverted by the
+                // matching `as i8` in decode_row
                 p.push(b as u8);
             }
         }
@@ -238,6 +245,8 @@ pub fn to_bytes(table: &CompressedTable) -> Vec<u8> {
         RowRepr::Runs => TAG_RUNS,
     });
     push_u64(&mut header, parts.events);
+    // lint:allow(lossy-cast): the row count is max_interrupts + 1 and
+    // max_interrupts is itself a u32 header field two lines up
     push_u32(&mut header, parts.rows.len() as u32);
     push_section(&mut out, &header);
 
@@ -284,7 +293,12 @@ impl<'a> Reader<'a> {
     }
 
     fn i64(&mut self, what: &'static str) -> Result<i64, StoreError> {
-        Ok(self.u64(what)? as i64)
+        let b = self.take(8, what)?;
+        // Exact inverse of push_i64's to_le_bytes — negative values
+        // round-trip without any integer cast.
+        Ok(i64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     fn done(&self) -> bool {
@@ -351,6 +365,8 @@ fn decode_row(payload: &[u8], level: usize) -> Result<RowParts, StoreError> {
             let residuals = r
                 .take(res_count, "residual stream")?
                 .iter()
+                // lint:allow(lossy-cast): inverse of encode_row's
+                // `as u8` — the same two's-complement byte reinterpret
                 .map(|&b| b as i8)
                 .collect();
             RowParts::Runs {
@@ -505,17 +521,20 @@ pub const SAVE_RETRIES: u32 = 2;
 /// fails.
 pub fn save(table: &CompressedTable, path: &Path) -> Result<(), StoreError> {
     let bytes = to_bytes(table);
-    let mut last: Option<io::Error> = None;
-    for attempt in 0..=SAVE_RETRIES {
-        if attempt > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(1 << (attempt - 1)));
-        }
+    // The first attempt seeds `last`, so the retry loop never has an
+    // empty error slot to unwrap at the end.
+    let mut last: io::Error = match save_attempt(&bytes, path) {
+        Ok(()) => return Ok(()),
+        Err(e) => e,
+    };
+    for attempt in 1..=SAVE_RETRIES {
+        std::thread::sleep(std::time::Duration::from_millis(1 << (attempt - 1)));
         match save_attempt(&bytes, path) {
             Ok(()) => return Ok(()),
-            Err(e) => last = Some(e),
+            Err(e) => last = e,
         }
     }
-    Err(last.expect("at least one attempt ran").into())
+    Err(last.into())
 }
 
 /// One atomic temp-write + rename attempt.
