@@ -434,6 +434,48 @@ fn acceptance_report(c: &mut Criterion) {
         (qps, p99_us)
     };
 
+    // The same warmed workload at 64 concurrent client threads: the
+    // concurrency acceptance point for the readiness-loop serving
+    // stack. Gated higher-is-better in bench_diff; the issue's bar is
+    // staying within 2× of the 4-client number with a flat p99.
+    let (serve_qps_64c, serve_p99_64c_us) = {
+        use cyclesteal_serve::{Broker, BrokerConfig, GuaranteeQuery};
+        let broker = std::sync::Arc::new(Broker::new(BrokerConfig::default()).unwrap());
+        let queries: Vec<GuaranteeQuery> = (0..64)
+            .map(|i| GuaranteeQuery {
+                setup: secs(1.0),
+                ticks_per_setup: 8,
+                interrupts: 1 + (i % 3),
+                lifespan: secs(8.0 * (1 + i % 64) as f64),
+            })
+            .collect();
+        let _ = broker.query_batch(&queries).unwrap(); // one solve, warm
+        let batches_per_thread = if quick { 25 } else { 100 };
+        let threads = 64;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let broker = broker.clone();
+                let queries = &queries;
+                scope.spawn(move || {
+                    for _ in 0..batches_per_thread {
+                        black_box(broker.query_batch(black_box(queries)).unwrap());
+                    }
+                });
+            }
+        });
+        let total_queries = (threads * batches_per_thread * queries.len()) as f64;
+        let qps = total_queries / start.elapsed().as_secs_f64();
+        let p99_us = broker
+            .stats()
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == "inproc")
+            .map(|e| e.p99_us)
+            .unwrap_or(0);
+        (qps, p99_us)
+    };
+
     // Population-scale batch simulation: 10⁶ seeded episodes of the
     // table-driven optimal borrower against the Poisson owner, on the
     // struct-of-arrays BatchSim. The same batch is run once at a single
@@ -505,6 +547,9 @@ fn acceptance_report(c: &mut Criterion) {
         "broker throughput    : {serve_qps:.0} queries/s (batched, 4 client threads), batch p99 {serve_p99_us} µs"
     );
     println!(
+        "broker at 64 clients : {serve_qps_64c:.0} queries/s (batched, 64 client threads), batch p99 {serve_p99_64c_us} µs"
+    );
+    println!(
         "batch simulation     : {sim_episodes_per_s:.0} episodes/s ({sim_batch_episodes} seeded episodes at {sim_batch_threads} threads, bit-identical to 1 thread)"
     );
 
@@ -527,6 +572,8 @@ fn acceptance_report(c: &mut Criterion) {
         format!("\"warm_start_speedup\": {warm_speedup:.3}"),
         format!("\"serve_qps\": {serve_qps:.1}"),
         format!("\"serve_p99_us\": {serve_p99_us}"),
+        format!("\"serve_qps_64c\": {serve_qps_64c:.1}"),
+        format!("\"serve_p99_64c_us\": {serve_p99_64c_us}"),
         format!("\"sim_episodes_per_s\": {sim_episodes_per_s:.1}"),
         format!("\"sim_batch_episodes\": {sim_batch_episodes}"),
         format!("\"sim_batch_threads\": {sim_batch_threads}"),

@@ -67,11 +67,15 @@ const GATED_KEYS_LOWER: [&str; 9] = [
 
 /// Keys gated on regression where **higher is better**: a drop beyond
 /// the threshold fails, a rise is an improvement. `serve_qps` is the
-/// broker's batched query throughput; `sim_episodes_per_s` is the
-/// struct-of-arrays batch simulator's episode throughput at the
-/// acceptance point (its companions `sim_batch_episodes` and
-/// `sim_batch_threads` are configuration stamps, deliberately ungated).
-const GATED_KEYS_HIGHER: [&str; 2] = ["serve_qps", "sim_episodes_per_s"];
+/// broker's batched query throughput and `serve_qps_64c` the same
+/// workload at 64 concurrent client threads — the readiness-loop
+/// concurrency acceptance point (its companion `serve_p99_64c_us` is
+/// an informational stamp; the gated tail latency is `serve_p99_us`);
+/// `sim_episodes_per_s` is the struct-of-arrays batch simulator's
+/// episode throughput at the acceptance point (its companions
+/// `sim_batch_episodes` and `sim_batch_threads` are configuration
+/// stamps, deliberately ungated).
+const GATED_KEYS_HIGHER: [&str; 3] = ["serve_qps", "serve_qps_64c", "sim_episodes_per_s"];
 
 /// Extracts `"key": <number>` from a flat JSON document. Only the first
 /// occurrence is considered; returns `None` when the key is absent or
@@ -366,19 +370,40 @@ mod tests {
     #[test]
     fn higher_is_better_keys_gate_on_drops_not_rises() {
         // serve_qps doubling is an improvement; halving is a regression.
-        let baseline = snapshot(&[("serve_qps", 100_000.0), ("warm_start_s", 0.05)]);
-        let faster = snapshot(&[("serve_qps", 200_000.0), ("warm_start_s", 0.04)]);
+        // serve_qps_64c carries the same contract at 64 client threads.
+        let baseline = snapshot(&[
+            ("serve_qps", 100_000.0),
+            ("serve_qps_64c", 80_000.0),
+            ("warm_start_s", 0.05),
+        ]);
+        let faster = snapshot(&[
+            ("serve_qps", 200_000.0),
+            ("serve_qps_64c", 160_000.0),
+            ("warm_start_s", 0.04),
+        ]);
         let results = compare(&baseline, &faster, 0.10);
         assert!(matches!(
             verdict_for(&results, "serve_qps"),
             Verdict::Improved { .. }
         ));
+        assert!(matches!(
+            verdict_for(&results, "serve_qps_64c"),
+            Verdict::Improved { .. }
+        ));
         assert!(!has_regression(&results));
 
-        let slower = snapshot(&[("serve_qps", 50_000.0), ("warm_start_s", 0.05)]);
+        let slower = snapshot(&[
+            ("serve_qps", 50_000.0),
+            ("serve_qps_64c", 40_000.0),
+            ("warm_start_s", 0.05),
+        ]);
         let results = compare(&baseline, &slower, 0.10);
         assert!(matches!(
             verdict_for(&results, "serve_qps"),
+            Verdict::Regression { delta, .. } if (*delta + 0.5).abs() < 1e-12
+        ));
+        assert!(matches!(
+            verdict_for(&results, "serve_qps_64c"),
             Verdict::Regression { delta, .. } if (*delta + 0.5).abs() < 1e-12
         ));
     }
@@ -469,12 +494,14 @@ mod tests {
             ("frontier_sweep_solve_s", 0.11),
             ("warm_start_s", 0.05),
             ("serve_qps", 150_000.0),
+            ("serve_qps_64c", 120_000.0),
             ("serve_p99_us", 2_500.0),
         ]);
         let results = compare(&baseline, &fresh, 0.10);
         assert!(!has_regression(&results));
         assert_eq!(verdict_for(&results, "warm_start_s"), &Verdict::NewField);
         assert_eq!(verdict_for(&results, "serve_qps"), &Verdict::NewField);
+        assert_eq!(verdict_for(&results, "serve_qps_64c"), &Verdict::NewField);
         assert_eq!(verdict_for(&results, "serve_p99_us"), &Verdict::NewField);
     }
 

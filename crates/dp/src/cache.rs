@@ -21,6 +21,22 @@
 //! under the same key/headroom/coalescing rules, letting huge-horizon
 //! sweeps share one skeleton the way dense sweeps share one arena.
 //!
+//! ## Sharding
+//!
+//! Under many-tenant serving traffic one map lock is the contention
+//! point: every warm hit of every tenant funnels through it. The maps
+//! are therefore **sharded by grid key** — `(setup, ticks_per_setup)`
+//! picks a shard deterministically, so every interrupt budget of one
+//! grid lives in one shard (the larger-`p`-serves-smaller fallback
+//! scan never crosses shards) while distinct tenant grids spread over
+//! independent locks. Recency stamps still come from **one global
+//! logical clock** and the memory budget is enforced across all shards
+//! at once by always evicting the *globally* least-recently-used
+//! entry, so [`CacheStats`] and the eviction victim sequence are
+//! bit-identical at any shard count for a given workload order — the
+//! shard-clock determinism rule (see `docs/INVARIANTS.md`), pinned by
+//! the `shard_determinism` integration suite.
+//!
 //! ## Memory budget and eviction
 //!
 //! An unbounded cache grows forever under a long-running server's
@@ -219,22 +235,52 @@ pub struct CacheStats {
 /// (see [`TableCache::set_evict_hook`]).
 pub type EvictHook = Box<dyn Fn(&Arc<CompressedTable>) + Send + Sync>;
 
+/// Shard count used by [`TableCache::new`] / [`TableCache::with_options`].
+/// Semantics are shard-count-invariant (see the module docs), so this is
+/// purely a contention knob.
+const DEFAULT_SHARDS: usize = 8;
+
+/// One lock domain of the sharded cache: the dense and compressed maps
+/// for every grid key that hashes here. Both maps of one shard are
+/// independent locks; cross-shard operations (stats, budget
+/// enforcement, clear) acquire shard locks in index order, dense before
+/// compressed within a shard.
+struct Shard {
+    map: Mutex<BTreeMap<TableKey, Entry<ValueTable>>>,
+    compressed: Mutex<BTreeMap<TableKey, Entry<CompressedTable>>>,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            map: Mutex::new(BTreeMap::new()),
+            compressed: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
 /// A concurrent cache of solved [`ValueTable`]s keyed by
 /// `(setup, ticks_per_setup, p_max)`, serving all smaller-lifespan
-/// queries from one solve per key, with an optional LRU memory budget.
+/// queries from one solve per key, sharded by grid key, with an
+/// optional LRU memory budget enforced globally across shards.
 pub struct TableCache {
     opts: SolveOptions,
     /// Lifespan headroom multiplier applied on every (re-)solve, so a
     /// sweep creeping upward in `L` amortizes to `O(log L)` solves.
     growth: f64,
-    map: Mutex<BTreeMap<TableKey, Entry<ValueTable>>>,
-    compressed: Mutex<BTreeMap<TableKey, Entry<CompressedTable>>>,
+    /// The lock domains. Selection mixes `(setup_bits, ticks_per_setup)`
+    /// only — never `max_interrupts` — so all budgets of a grid share a
+    /// shard and the fallback scan stays shard-local.
+    shards: Vec<Shard>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
     /// Resident-bytes cap; `usize::MAX` means unbounded (the default).
     budget: AtomicUsize,
     /// Logical LRU clock, bumped whenever an entry serves a request.
+    /// Global across shards: stamps are unique and totally ordered, so
+    /// "globally least recently used" is well defined at any shard
+    /// count.
     clock: AtomicU64,
     evict_hook: Mutex<Option<EvictHook>>,
 }
@@ -260,13 +306,20 @@ impl TableCache {
     }
 
     /// A cache with explicit solve options (e.g. `keep_policy: false`
-    /// for value-only sweeps).
+    /// for value-only sweeps) and the default shard count.
     pub fn with_options(opts: SolveOptions) -> TableCache {
+        TableCache::with_options_sharded(opts, DEFAULT_SHARDS)
+    }
+
+    /// A cache with explicit solve options *and* an explicit shard
+    /// count. Sharding is a contention knob, never a semantics knob:
+    /// stats and the eviction victim sequence are bit-identical at any
+    /// `shards ≥ 1` (clamped up from 0) for a given workload order.
+    pub fn with_options_sharded(opts: SolveOptions, shards: usize) -> TableCache {
         TableCache {
             opts,
             growth: 1.25,
-            map: Mutex::new(BTreeMap::new()),
-            compressed: Mutex::new(BTreeMap::new()),
+            shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -274,6 +327,25 @@ impl TableCache {
             clock: AtomicU64::new(0),
             evict_hook: Mutex::new(None),
         }
+    }
+
+    /// How many lock domains this cache spreads grid keys over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `key`'s grid. Mixes `(setup_bits,
+    /// ticks_per_setup)` only, so every interrupt budget of a grid maps
+    /// to the same shard and the larger-`p` fallback scan in
+    /// [`peek_map`] never needs to look elsewhere.
+    fn shard(&self, key: &TableKey) -> &Shard {
+        // SplitMix64 finalizer over the grid identity — deterministic,
+        // seedless, and uniform enough to spread tenant grids.
+        let mut x = key.setup_bits ^ u64::from(key.ticks_per_setup).rotate_left(32);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        &self.shards[(x % self.shards.len() as u64) as usize]
     }
 
     /// The process-wide shared cache used by the sweep benches and
@@ -335,7 +407,7 @@ impl TableCache {
             max_interrupts,
             self.opts,
         ));
-        let table = insert_if_larger(&self.map, key, table, &self.clock);
+        let table = insert_if_larger(&self.shard(&key).map, key, table, &self.clock);
         self.enforce_budget();
         table
     }
@@ -441,7 +513,7 @@ impl TableCache {
             let table = Arc::new(table);
             // Best-effort publication; the batch's answers come from the
             // solver output either way.
-            insert_if_larger(&self.map, key, table.clone(), &self.clock);
+            insert_if_larger(&self.shard(&key).map, key, table.clone(), &self.clock);
             by_group.insert(group, table);
         }
         self.enforce_budget();
@@ -494,9 +566,30 @@ impl TableCache {
                 ..self.opts
             },
         ));
-        let table = insert_if_larger(&self.compressed, key, table, &self.clock);
+        let table = insert_if_larger(&self.shard(&key).compressed, key, table, &self.clock);
         self.enforce_budget();
         table
+    }
+
+    /// [`Self::get_compressed`]'s lookup half only: returns a covering
+    /// cached table (counting a hit and refreshing its recency) or
+    /// `None` — **never** solving. This is the serving layer's warm-hit
+    /// fast lane: a warm query can be answered without queueing behind
+    /// any tenant's cold solve. A miss here counts nothing; the
+    /// follow-up [`Self::get_compressed`] does the miss accounting.
+    pub fn try_get_compressed(
+        &self,
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+    ) -> Option<Arc<CompressedTable>> {
+        let key = TableKey::new(setup, ticks_per_setup, max_interrupts);
+        let found = self.peek_compressed(&key, max_lifespan);
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
     }
 
     /// Inserts an externally obtained compressed table — typically one
@@ -514,7 +607,7 @@ impl TableCache {
             table.grid().q() as u32,
             table.max_interrupts(),
         );
-        let table = insert_if_larger(&self.compressed, key, table, &self.clock);
+        let table = insert_if_larger(&self.shard(&key).compressed, key, table, &self.clock);
         self.enforce_budget();
         table
     }
@@ -522,32 +615,52 @@ impl TableCache {
     /// A point-in-time snapshot of every cached compressed table — what
     /// the persistence layer writes out in
     /// `snapshot_to_dir`-style sweeps. Does not touch LRU recency or the
-    /// hit/miss counters.
+    /// hit/miss counters. Ordered by key (shards are visited in index
+    /// order, keys in map order within a shard).
     pub fn compressed_tables(&self) -> Vec<Arc<CompressedTable>> {
-        self.compressed
-            .lock()
-            .values()
-            .map(|entry| entry.table.clone())
-            .collect()
+        let mut tables: Vec<(TableKey, Arc<CompressedTable>)> = Vec::new();
+        for shard in &self.shards {
+            let compressed = shard.compressed.lock();
+            tables.extend(compressed.iter().map(|(k, e)| (*k, e.table.clone())));
+        }
+        tables.sort_by_key(|(k, _)| *k);
+        tables.into_iter().map(|(_, t)| t).collect()
     }
 
     fn peek_compressed(&self, key: &TableKey, max_lifespan: Time) -> Option<Arc<CompressedTable>> {
-        peek_map(&mut self.compressed.lock(), key, max_lifespan, &self.clock)
+        peek_map(
+            &mut self.shard(key).compressed.lock(),
+            key,
+            max_lifespan,
+            &self.clock,
+        )
     }
 
     /// Hit/miss/entry counters since construction (or [`Self::clear`]).
     pub fn stats(&self) -> CacheStats {
-        // Lock order everywhere both are held: dense map, then compressed.
-        let map = self.map.lock();
-        let compressed = self.compressed.lock();
-        let resident = map.values().map(|e| e.table.bytes()).sum::<usize>()
-            + compressed.values().map(|e| e.table.bytes()).sum::<usize>();
+        // Cross-shard lock order everywhere multiple locks are held:
+        // shard index order, dense before compressed within a shard.
+        let mut entries = 0;
+        let mut compressed_entries = 0;
+        let mut resident = 0usize;
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| (s.map.lock(), s.compressed.lock()))
+            .collect();
+        for (map, compressed) in &guards {
+            entries += map.len();
+            compressed_entries += compressed.len();
+            resident += map.values().map(|e| e.table.bytes()).sum::<usize>()
+                + compressed.values().map(|e| e.table.bytes()).sum::<usize>();
+        }
+        drop(guards);
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: map.len(),
-            compressed_entries: compressed.len(),
+            entries,
+            compressed_entries,
             resident_bytes: resident,
         }
     }
@@ -555,19 +668,24 @@ impl TableCache {
     /// Drops every cached table and resets the counters (the budget and
     /// evict hook persist).
     pub fn clear(&self) {
-        self.map.lock().clear();
-        self.compressed.lock().clear();
+        for shard in &self.shards {
+            shard.map.lock().clear();
+            shard.compressed.lock().clear();
+        }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
     }
 
-    /// Evicts least-recently-used entries (across both maps) until the
-    /// resident bytes fit the budget — strictly: the entry that
-    /// triggered the enforcement is the most recently used and goes
-    /// last, but even it is dropped when it alone exceeds the budget
-    /// (its caller already holds the `Arc`). Evicted compressed tables
-    /// are offered to the evict hook after the locks are released.
+    /// Evicts least-recently-used entries (globally, across every shard
+    /// and both maps) until the resident bytes fit the budget —
+    /// strictly: the entry that triggered the enforcement is the most
+    /// recently used and goes last, but even it is dropped when it
+    /// alone exceeds the budget (its caller already holds the `Arc`).
+    /// Victim order is a pure function of the global clock stamps —
+    /// never of shard layout — which is the shard-clock determinism
+    /// rule. Evicted compressed tables are offered to the evict hook
+    /// after the locks are released.
     fn enforce_budget(&self) {
         let budget = self.budget.load(Ordering::Relaxed);
         if budget == usize::MAX {
@@ -575,41 +693,67 @@ impl TableCache {
         }
         let mut snapshot_victims: Vec<Arc<CompressedTable>> = Vec::new();
         {
-            // Lock order: dense map, then compressed (matches stats()).
-            let mut map = self.map.lock();
-            let mut compressed = self.compressed.lock();
+            // Cross-shard lock order: shard index order, dense before
+            // compressed within a shard (matches stats()). All locks are
+            // held for the whole enforcement so the global LRU choice
+            // cannot race a concurrent stamp refresh.
+            let mut guards: Vec<_> = self
+                .shards
+                .iter()
+                .map(|s| (s.map.lock(), s.compressed.lock()))
+                .collect();
             // Sum once, subtract per eviction: an eviction burst (e.g. a
             // shrinking budget over a large cache) stays O(N) sums + one
             // O(N) LRU scan per victim instead of O(N) sums per victim,
-            // all while both locks are held.
-            let mut resident = map.values().map(|e| e.table.bytes()).sum::<usize>()
-                + compressed.values().map(|e| e.table.bytes()).sum::<usize>();
+            // all while the locks are held.
+            let mut resident = guards
+                .iter()
+                .map(|(map, compressed)| {
+                    map.values().map(|e| e.table.bytes()).sum::<usize>()
+                        + compressed.values().map(|e| e.table.bytes()).sum::<usize>()
+                })
+                .sum::<usize>();
             loop {
                 if resident <= budget {
                     break;
                 }
-                let dense_lru = map
+                // Global minima: clock stamps are unique (fetch_add), so
+                // each side has at most one minimum across all shards;
+                // the dense-wins tie rule is kept from the unsharded
+                // cache for the impossible-in-practice equal case.
+                let dense_lru = guards
                     .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, e)| (*k, e.last_used));
-                let comp_lru = compressed
+                    .enumerate()
+                    .filter_map(|(si, (map, _))| {
+                        map.iter()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(k, e)| (si, *k, e.last_used))
+                    })
+                    .min_by_key(|&(_, _, stamp)| stamp);
+                let comp_lru = guards
                     .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, e)| (*k, e.last_used));
+                    .enumerate()
+                    .filter_map(|(si, (_, compressed))| {
+                        compressed
+                            .iter()
+                            .min_by_key(|(_, e)| e.last_used)
+                            .map(|(k, e)| (si, *k, e.last_used))
+                    })
+                    .min_by_key(|&(_, _, stamp)| stamp);
                 let evict_dense = match (dense_lru, comp_lru) {
-                    (Some((_, d)), Some((_, c))) => d <= c,
+                    (Some((_, _, d)), Some((_, _, c))) => d <= c,
                     (Some(_), None) => true,
                     (None, Some(_)) => false,
                     (None, None) => break,
                 };
                 if evict_dense {
-                    let (key, _) = dense_lru.expect("picked dense LRU");
-                    if let Some(entry) = map.remove(&key) {
+                    let (si, key, _) = dense_lru.expect("picked dense LRU");
+                    if let Some(entry) = guards[si].0.remove(&key) {
                         resident = resident.saturating_sub(entry.table.bytes());
                     }
                 } else {
-                    let (key, _) = comp_lru.expect("picked compressed LRU");
-                    if let Some(entry) = compressed.remove(&key) {
+                    let (si, key, _) = comp_lru.expect("picked compressed LRU");
+                    if let Some(entry) = guards[si].1.remove(&key) {
                         resident = resident.saturating_sub(entry.table.bytes());
                         snapshot_victims.push(entry.table);
                     }
@@ -646,7 +790,12 @@ impl TableCache {
 
     /// [`Self::lookup`] without touching the hit counter.
     fn peek(&self, key: &TableKey, max_lifespan: Time) -> Option<Arc<ValueTable>> {
-        peek_map(&mut self.map.lock(), key, max_lifespan, &self.clock)
+        peek_map(
+            &mut self.shard(key).map.lock(),
+            key,
+            max_lifespan,
+            &self.clock,
+        )
     }
 }
 
@@ -1006,6 +1155,68 @@ mod tests {
         let listed = fresh.compressed_tables();
         assert_eq!(listed.len(), 1);
         assert!(Arc::ptr_eq(&listed[0], &table));
+    }
+
+    #[test]
+    fn shard_count_never_changes_stats_or_victims() {
+        use std::sync::Mutex as StdMutex;
+        // The same sequential workload against 1, 4 and 16 shards must
+        // produce identical CacheStats and an identical eviction victim
+        // sequence — the shard-clock determinism rule.
+        let run = |shards: usize| {
+            let cache = TableCache::with_options_sharded(
+                SolveOptions {
+                    threads: 1,
+                    ..SolveOptions::default()
+                },
+                shards,
+            );
+            assert_eq!(cache.shard_count(), shards);
+            let victims: Arc<StdMutex<Vec<(u64, u32, u32)>>> = Arc::new(StdMutex::new(Vec::new()));
+            let sink = victims.clone();
+            cache.set_evict_hook(Some(Box::new(move |t| {
+                sink.lock().unwrap().push((
+                    t.grid().setup().get().to_bits(),
+                    t.grid().q() as u32,
+                    t.max_interrupts(),
+                ));
+            })));
+            for round in 0..3u32 {
+                for grid in 1..=5u64 {
+                    let _ = cache.get_compressed(
+                        secs(grid as f64),
+                        4 << (grid % 2),
+                        secs(200.0 + (u64::from(round) * grid) as f64),
+                        1 + (grid % 3) as u32,
+                    );
+                }
+                // Halve the (identical-across-runs) resident footprint so
+                // the budget genuinely bites every round.
+                let resident = cache.stats().resident_bytes;
+                cache.set_memory_budget(Some(resident / 2));
+                cache.set_memory_budget(None);
+            }
+            let s = cache.stats();
+            let seen = victims.lock().unwrap().clone();
+            ((s.hits, s.misses, s.evictions, s.resident_bytes), seen)
+        };
+        let baseline = run(1);
+        assert_eq!(run(4), baseline);
+        assert_eq!(run(16), baseline);
+        assert!(!baseline.1.is_empty(), "the workload must actually evict");
+    }
+
+    #[test]
+    fn larger_p_fallback_stays_shard_local_at_any_shard_count() {
+        // All budgets of one grid must land in one shard, so the
+        // p=1-served-from-p=3 fallback works however many shards exist.
+        for shards in [1usize, 3, 16] {
+            let cache = TableCache::with_options_sharded(SolveOptions::default(), shards);
+            let big = cache.get(secs(1.0), 8, secs(60.0), 3);
+            let small = cache.get(secs(1.0), 8, secs(60.0), 1);
+            assert!(Arc::ptr_eq(&big, &small), "{shards} shards");
+            assert_eq!(cache.stats().hits, 1);
+        }
     }
 
     #[test]

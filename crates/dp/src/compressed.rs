@@ -65,6 +65,39 @@ use cyclesteal_core::schedule::EpisodeSchedule;
 use cyclesteal_core::time::{Time, Work};
 use std::sync::Arc;
 
+/// One arithmetic run of the exact tick staircase `W^(p)[l]`: `len`
+/// consecutive grid values starting at `start` with common difference
+/// `step`. Produced by [`CompressedTable::value_runs`] and shipped by
+/// the serving layer's streaming wire mode in place of dense arrays;
+/// [`expand_value_runs`] is the exact inverse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ValueRun {
+    /// Value (in work ticks) at the run's first lifespan tick.
+    pub start: i64,
+    /// Common difference between consecutive ticks — `0` in the zero
+    /// region and on flat ticks, `1` on ramps (rows are monotone
+    /// 1-Lipschitz, so no other slope occurs).
+    pub step: i64,
+    /// Number of consecutive lifespan ticks the run covers (`≥ 1`).
+    pub len: i64,
+}
+
+/// Expand run descriptors back into the dense tick-value array they
+/// describe — the client-side inverse of
+/// [`CompressedTable::value_runs`], bit-identical by construction.
+pub fn expand_value_runs(runs: &[ValueRun]) -> Vec<i64> {
+    let total: i64 = runs.iter().map(|r| r.len.max(0)).sum();
+    let mut out = Vec::with_capacity(usize::try_from(total).unwrap_or(0));
+    for run in runs {
+        let mut v = run.start;
+        for _ in 0..run.len {
+            out.push(v);
+            v += run.step;
+        }
+    }
+    out
+}
+
 /// How one compressed row's flat ticks are stored: the first-order flat
 /// list or the second-order arithmetic runs of [`crate::run`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -707,6 +740,78 @@ impl CompressedTable {
         self.rows[p.min(self.max_interrupts) as usize].value(l)
     }
 
+    /// The exact tick staircase `W^(p)[l]` over `first_tick ..
+    /// first_tick + count` as arithmetic-run descriptors (typically one
+    /// per breakpoint in range) — what the serving layer's streaming
+    /// wire mode ships for sweep-shaped queries instead of a dense
+    /// array. Derived from the zero-region edge and the flat-tick
+    /// iterator only, so both [`RowRepr`] storage forms emit identical
+    /// descriptors, and [`expand_value_runs`] reproduces
+    /// [`Self::value_ticks`] at every covered tick bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// If `count < 1` or the range extends outside the solved
+    /// `0..=max_ticks` domain (same contract as [`Self::value_ticks`]).
+    pub fn value_runs(&self, p: u32, first_tick: i64, count: i64) -> Vec<ValueRun> {
+        assert!(count >= 1, "empty sweep: count {count} must be >= 1");
+        let last = first_tick + count - 1;
+        assert!(
+            first_tick >= 0 && last <= self.max_ticks,
+            "sweep {first_tick}..={last} outside solved range 0..={}",
+            self.max_ticks
+        );
+        let row = &self.rows[p.min(self.max_interrupts) as usize];
+        let zero = row.zero_until;
+        let mut runs = Vec::new();
+        let mut l = first_tick;
+        if l <= zero {
+            // The zero region is one constant run.
+            let end = zero.min(last);
+            runs.push(ValueRun {
+                start: 0,
+                step: 0,
+                len: end - l + 1,
+            });
+            l = end + 1;
+        }
+        if l > last {
+            return runs;
+        }
+        // Past the zero region `W(l) = (l - zero) - #flats ≤ l`: slope 1
+        // except at flat ticks. Walk the flats once; each gap becomes a
+        // step-1 ramp, each maximal group of consecutive flats a
+        // constant run.
+        let (mut rank, mut flats) = row.flats_after(l - 1);
+        let mut next_flat = flats.next().unwrap_or(i64::MAX);
+        while l <= last {
+            if l < next_flat {
+                let end = (next_flat - 1).min(last);
+                runs.push(ValueRun {
+                    start: (l - zero) - rank,
+                    step: 1,
+                    len: end - l + 1,
+                });
+                l = end + 1;
+            } else {
+                let start = (l - zero) - (rank + 1);
+                let mut len = 0;
+                while next_flat == l + len && l + len <= last {
+                    len += 1;
+                    rank += 1;
+                    next_flat = flats.next().unwrap_or(i64::MAX);
+                }
+                runs.push(ValueRun {
+                    start,
+                    step: 0,
+                    len,
+                });
+                l += len;
+            }
+        }
+        runs
+    }
+
     /// Value at an arbitrary lifespan by linear interpolation between grid
     /// points; same contract as [`crate::ValueTable::value`].
     pub fn value(&self, p: u32, lifespan: Time) -> Work {
@@ -1022,5 +1127,61 @@ mod tests {
         for &u in &[0.06, 10.33, 29.99, 64.0] {
             assert_eq!(d.value(2, secs(u)), c.value(2, secs(u)), "U={u}");
         }
+    }
+
+    #[test]
+    fn value_runs_expand_to_the_exact_staircase() {
+        // The streaming descriptors must reproduce value_ticks bit for
+        // bit at every covered tick, for every window placement and
+        // under both skeleton representations.
+        let flat = CompressedTable::solve(secs(1.0), 8, secs(120.0), 3);
+        let runs = solve_runs(8, 120.0, 3);
+        let max = flat.max_ticks();
+        for table in [&flat, &runs] {
+            for p in 0..=3u32 {
+                for (first, count) in [
+                    (0, 1),
+                    (0, max),
+                    (0, max + 1),
+                    (1, max),
+                    (max, 1),
+                    (7, 200),
+                    (max / 2, max / 3),
+                ] {
+                    let got = expand_value_runs(&table.value_runs(p, first, count));
+                    assert_eq!(got.len() as i64, count, "p={p} first={first}");
+                    for (j, &v) in got.iter().enumerate() {
+                        assert_eq!(
+                            v,
+                            table.value_ticks(p, first + j as i64),
+                            "repr={} p={p} tick={}",
+                            table.repr_name(),
+                            first + j as i64
+                        );
+                    }
+                }
+            }
+        }
+        // Both representations emit the SAME descriptors, not merely
+        // equal expansions: the accessor reads only the shared
+        // flats_after interface.
+        for p in 0..=3u32 {
+            assert_eq!(
+                flat.value_runs(p, 0, max + 1),
+                runs.value_runs(p, 0, max + 1)
+            );
+        }
+        // Compression: one descriptor per breakpoint in range (the
+        // O(√(QL) + pQ) flat count), not one per tick.
+        let descriptors = flat.value_runs(3, 0, max + 1).len();
+        assert!(
+            descriptors <= flat.breakpoints(3) * 2 + 2,
+            "{descriptors} runs vs {} breakpoints",
+            flat.breakpoints(3)
+        );
+        assert!(
+            (descriptors as i64) * 2 < max,
+            "{descriptors} runs for {max} ticks — no compression win"
+        );
     }
 }

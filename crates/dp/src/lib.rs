@@ -102,7 +102,7 @@ pub mod snapshot;
 pub mod value;
 
 pub use cache::{CacheStats, EvictHook, SolveConfig, TableCache};
-pub use compressed::{CompressedOptimalPolicy, CompressedTable};
+pub use compressed::{expand_value_runs, CompressedOptimalPolicy, CompressedTable, ValueRun};
 pub use eval::{
     evaluate_policy, evaluate_policy_compressed, CompressedEvalOptions, CompressedPolicyValue,
     EvalOptions, PolicyValue,

@@ -11,6 +11,14 @@
 //!   admitted concurrently; the rest are shed immediately with
 //!   [`ErrorCode::Overloaded`](crate::ErrorCode::Overloaded) — the
 //!   broker never queues unboundedly.
+//! * **Tenant fairness.** A tenant is a grid `(setup, ticks_per_setup)`.
+//!   Warm hits are answered straight from the sharded cache — no solve
+//!   lane, no quota, nothing of one tenant's cold traffic in the way.
+//!   Cold solves take one of [`BrokerConfig::solve_lanes`] lanes,
+//!   released **round-robin by tenant** when contended, and a tenant
+//!   past its [`BrokerConfig::tenant_quota`] in-flight cold solves is
+//!   shed with the retryable `Overloaded` (counted in
+//!   [`ResilienceStats::tenant_sheds`]).
 //! * **Deadlines.** A batch may carry a deadline
 //!   ([`Broker::query_batch_within`]). It is checked on admission,
 //!   before a leader starts a solve, and bounds how long a follower
@@ -33,10 +41,10 @@ use crate::errors::ServeError;
 use crate::faults;
 use cyclesteal_core::time::{Time, Work};
 use cyclesteal_dp::compressed::CompressedTable;
-use cyclesteal_dp::{CacheStats, TableCache};
+use cyclesteal_dp::{CacheStats, Grid, TableCache, ValueRun};
 use cyclesteal_par::WorkerPool;
 use cyclesteal_store::CacheSnapshotExt;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -68,10 +76,33 @@ pub struct GuaranteeAnswer {
     pub value_ticks: i64,
 }
 
+/// One streaming sweep: the exact tick staircase of one `(setup, Q, p)`
+/// row over the consecutive lifespan-tick window `first_tick ..
+/// first_tick + count`, answered as arithmetic-run descriptors
+/// ([`ValueRun`]) — the unit of the op-3 streaming wire mode.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SweepQuery {
+    /// The setup charge `c`.
+    pub setup: Time,
+    /// Grid resolution in ticks per setup charge.
+    pub ticks_per_setup: u32,
+    /// The adversary's interrupt budget `p`.
+    pub interrupts: u32,
+    /// First lifespan tick of the window (inclusive, `≥ 0`).
+    pub first_tick: i64,
+    /// Window width in ticks (`≥ 1`).
+    pub count: u32,
+}
+
 /// In-flight batch budget used when [`BrokerConfig::max_inflight`] is
 /// zero: far above any sane concurrency, small enough that a runaway
 /// client sheds instead of exhausting memory.
 pub const DEFAULT_MAX_INFLIGHT: usize = 1024;
+
+/// Per-tenant cold-solve quota used when [`BrokerConfig::tenant_quota`]
+/// is zero: how many cold solves one grid may have in flight (leading
+/// or queued for a lane) before further ones shed with `Overloaded`.
+pub const DEFAULT_TENANT_QUOTA: usize = 4;
 
 /// Broker construction options.
 #[derive(Clone, Debug, Default)]
@@ -89,6 +120,15 @@ pub struct BrokerConfig {
     /// Most batches admitted concurrently; the rest are shed with
     /// `Overloaded` (`0` = [`DEFAULT_MAX_INFLIGHT`]).
     pub max_inflight: usize,
+    /// Most cold solves one tenant grid `(setup, ticks_per_setup)` may
+    /// have in flight before further ones shed with `Overloaded`
+    /// (`0` = [`DEFAULT_TENANT_QUOTA`]). Warm hits never consume quota.
+    pub tenant_quota: usize,
+    /// Most cold solves running concurrently across all tenants — the
+    /// fairness gate's lane count; queued solvers are released
+    /// round-robin by tenant (`0` = one less than the pool's worker
+    /// count, minimum 1, so cold solves can never occupy every worker).
+    pub solve_lanes: usize,
 }
 
 /// Resilience-event counters (all monotone): how often the broker shed,
@@ -107,6 +147,10 @@ pub struct ResilienceStats {
     pub flight_retries: u64,
     /// Snapshot-on-evict writes that failed (logged, never propagated).
     pub snapshot_failures: u64,
+    /// Cold solves shed by a tenant's per-grid quota (`Overloaded`).
+    /// Distinct from `shed`, which counts whole batches shed by the
+    /// global in-flight budget.
+    pub tenant_sheds: u64,
 }
 
 /// Live resilience counters ([`ResilienceStats`] is their snapshot).
@@ -118,6 +162,7 @@ struct Resilience {
     solve_panics: AtomicU64,
     flight_retries: AtomicU64,
     snapshot_failures: Arc<AtomicU64>,
+    tenant_sheds: AtomicU64,
 }
 
 impl Resilience {
@@ -128,6 +173,7 @@ impl Resilience {
             solve_panics: AtomicU64::new(0),
             flight_retries: AtomicU64::new(0),
             snapshot_failures: Arc::new(AtomicU64::new(0)),
+            tenant_sheds: AtomicU64::new(0),
         }
     }
 
@@ -138,6 +184,7 @@ impl Resilience {
             solve_panics: self.solve_panics.load(Ordering::Relaxed),
             flight_retries: self.flight_retries.load(Ordering::Relaxed),
             snapshot_failures: self.snapshot_failures.load(Ordering::Relaxed),
+            tenant_sheds: self.tenant_sheds.load(Ordering::Relaxed),
         }
     }
 }
@@ -147,6 +194,171 @@ struct Shared {
     cache: Arc<TableCache>,
     inflight: StdMutex<HashMap<SolveKey, Arc<Flight>>>,
     res: Resilience,
+    fair: FairGate,
+}
+
+/// A tenant is a grid — the `(setup_bits, ticks_per_setup)` every key
+/// of one user's sweep shares. Interrupt budgets deliberately do not
+/// distinguish tenants: all of one grid's solves draw on one quota.
+type TenantKey = (u64, u32);
+
+/// Why the fairness gate refused a cold solve.
+enum GateReject {
+    /// The tenant already has `quota` cold solves in flight.
+    Quota { held: usize },
+    /// The caller's deadline expired while queued for a lane.
+    Deadline,
+}
+
+/// One tenant's gate bookkeeping: cold solves in flight (leading or
+/// queued) and the FIFO of queued ticket ids.
+#[derive(Default)]
+struct TenantLane {
+    inflight: usize,
+    waiting: VecDeque<u64>,
+}
+
+/// Admission for **cold solves only** (warm hits bypass the broker's
+/// flight machinery entirely via the cache fast lane): at most `lanes`
+/// solves run at once, a tenant may hold at most `per_tenant` in
+/// flight, and queued solvers are released **round-robin by tenant** —
+/// a tenant fanning out many cold grids takes turns with every other
+/// tenant's single cold solve instead of monopolizing the lanes.
+struct FairGate {
+    lanes: usize,
+    per_tenant: usize,
+    state: StdMutex<FairGateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct FairGateState {
+    /// Cold solves currently holding a lane.
+    running: usize,
+    /// Monotone ticket source ordering each tenant's queue.
+    next_ticket: u64,
+    tenants: HashMap<TenantKey, TenantLane>,
+    /// Tenants with queued solvers, in round-robin release order.
+    rotation: VecDeque<TenantKey>,
+}
+
+impl FairGate {
+    fn new(lanes: usize, per_tenant: usize) -> FairGate {
+        FairGate {
+            lanes: lanes.max(1),
+            per_tenant: per_tenant.max(1),
+            state: StdMutex::new(FairGateState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Takes a solve lane for `tenant`, queueing (round-robin, bounded
+    /// by `deadline`) when all lanes are busy, shedding when the tenant
+    /// quota is already spent. The returned permit releases the lane on
+    /// drop — including when the solve panics.
+    fn acquire(
+        &self,
+        tenant: TenantKey,
+        deadline: Option<Instant>,
+    ) -> Result<FairPermit<'_>, GateReject> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let lane = state.tenants.entry(tenant).or_default();
+        if lane.inflight >= self.per_tenant {
+            let held = lane.inflight;
+            return Err(GateReject::Quota { held });
+        }
+        lane.inflight += 1;
+        // Fast path only when nobody is queued: barging past a waiting
+        // tenant would undo the round-robin guarantee.
+        if state.running < self.lanes && state.rotation.is_empty() {
+            state.running += 1;
+            return Ok(FairPermit { gate: self, tenant });
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        if let Some(lane) = state.tenants.get_mut(&tenant) {
+            lane.waiting.push_back(ticket);
+        }
+        if !state.rotation.contains(&tenant) {
+            state.rotation.push_back(tenant);
+        }
+        loop {
+            let my_turn = state.running < self.lanes
+                && state.rotation.front() == Some(&tenant)
+                && state.tenants.get(&tenant).and_then(|l| l.waiting.front()) == Some(&ticket);
+            if my_turn {
+                state.rotation.pop_front();
+                if let Some(lane) = state.tenants.get_mut(&tenant) {
+                    lane.waiting.pop_front();
+                    if !lane.waiting.is_empty() {
+                        state.rotation.push_back(tenant);
+                    }
+                }
+                state.running += 1;
+                // Another lane may have freed for the next tenant too.
+                self.cv.notify_all();
+                return Ok(FairPermit { gate: self, tenant });
+            }
+            match deadline {
+                None => state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner()),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        Self::abandon(&mut state, tenant, ticket);
+                        self.cv.notify_all();
+                        return Err(GateReject::Deadline);
+                    }
+                    state = self
+                        .cv
+                        .wait_timeout(state, d - now)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
+        }
+    }
+
+    /// Removes an expired waiter's ticket and quota charge, keeping the
+    /// rotation honest (a tenant with no remaining waiters leaves it).
+    fn abandon(state: &mut FairGateState, tenant: TenantKey, ticket: u64) {
+        if let Some(lane) = state.tenants.get_mut(&tenant) {
+            lane.waiting.retain(|&t| t != ticket);
+            lane.inflight = lane.inflight.saturating_sub(1);
+            let empty_queue = lane.waiting.is_empty();
+            let gone = empty_queue && lane.inflight == 0;
+            if empty_queue {
+                state.rotation.retain(|&t| t != tenant);
+            }
+            if gone {
+                state.tenants.remove(&tenant);
+            }
+        }
+    }
+
+    fn release(&self, tenant: TenantKey) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.running = state.running.saturating_sub(1);
+        if let Some(lane) = state.tenants.get_mut(&tenant) {
+            lane.inflight = lane.inflight.saturating_sub(1);
+            if lane.inflight == 0 && lane.waiting.is_empty() {
+                state.tenants.remove(&tenant);
+            }
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// RAII lane holder: one granted cold solve. Releasing on drop keeps
+/// the gate correct through panicking solves.
+struct FairPermit<'a> {
+    gate: &'a FairGate,
+    tenant: TenantKey,
+}
+
+impl Drop for FairPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.release(self.tenant);
+    }
 }
 
 /// Single-flight key: one concurrent solve per `(setup, Q, p_max)` —
@@ -336,13 +548,29 @@ impl Broker {
                 res.snapshot_failures.clone(),
             )));
         }
+        let pool = WorkerPool::new(config.threads);
+        // Default lane count: one below the worker count (min 1), so
+        // cold solves dispatched through the pool can never occupy
+        // every worker — there is always headroom for another tenant's
+        // batch to make progress.
+        let lanes = if config.solve_lanes == 0 {
+            pool.threads().saturating_sub(1).max(1)
+        } else {
+            config.solve_lanes
+        };
+        let quota = if config.tenant_quota == 0 {
+            DEFAULT_TENANT_QUOTA
+        } else {
+            config.tenant_quota
+        };
         Ok(Broker {
             shared: Arc::new(Shared {
                 cache,
                 inflight: StdMutex::new(HashMap::new()),
                 res,
+                fair: FairGate::new(lanes, quota),
             }),
-            pool: WorkerPool::new(config.threads),
+            pool,
             snapshot_dir: config.snapshot_dir,
             admission: Admission {
                 inflight: AtomicUsize::new(0),
@@ -492,6 +720,72 @@ impl Broker {
         Ok(answers)
     }
 
+    /// Answers one streaming sweep in-process: resolves the covering
+    /// table for the window through the same admission, tenant-quota,
+    /// deadline and coalescing machinery as [`Self::query_batch`], then
+    /// returns the row's arithmetic-run descriptors. Expanding them
+    /// ([`cyclesteal_dp::expand_value_runs`]) is bit-identical to
+    /// querying `value_ticks` at every tick of the window.
+    pub fn query_sweep(&self, sweep: &SweepQuery) -> Result<Vec<ValueRun>, ServeError> {
+        self.query_sweep_within("inproc", sweep, None)
+    }
+
+    /// The full sweep entry point: endpoint label plus an optional
+    /// deadline, with the admission/deadline semantics of
+    /// [`Self::query_batch_within`].
+    pub fn query_sweep_within(
+        &self,
+        endpoint: &'static str,
+        sweep: &SweepQuery,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<ValueRun>, ServeError> {
+        let start = Instant::now();
+        let _permit = match self.admission.try_acquire() {
+            Some(permit) => permit,
+            None => {
+                self.shared.res.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::overloaded(
+                    self.admission.inflight.load(Ordering::Relaxed),
+                    self.admission.budget,
+                ));
+            }
+        };
+        if expired(deadline) {
+            self.shared
+                .res
+                .deadline_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::deadline_exceeded("expired on arrival"));
+        }
+        let covering = sweep_covering_query(sweep)?;
+        let ep = self.endpoint(endpoint);
+        let table = resolve(&self.shared, &ep, &covering, deadline, 0)?;
+        if expired(deadline) {
+            self.shared
+                .res
+                .deadline_rejects
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::deadline_exceeded(
+                "answer ready only after the deadline",
+            ));
+        }
+        let last = sweep.first_tick + i64::from(sweep.count) - 1;
+        if last > table.max_ticks() {
+            // Defensive: the covering solve must reach the window's end
+            // (grid round-trips are exact on tick points). A table that
+            // doesn't is an internal inconsistency, not the client's
+            // fault — and retryable, since the next attempt resolves a
+            // fresh covering table.
+            return Err(ServeError::internal(format!(
+                "covering table stops at tick {} before sweep end {last}",
+                table.max_ticks()
+            )));
+        }
+        let runs = table.value_runs(sweep.interrupts, sweep.first_tick, i64::from(sweep.count));
+        ep.record(sweep.count as usize, start.elapsed().as_micros() as u64);
+        Ok(runs)
+    }
+
     /// Snapshot every cached table to the configured directory (no-op
     /// `Ok(0)` without one) — the graceful-shutdown path.
     pub fn snapshot(&self) -> Result<usize, cyclesteal_store::StoreError> {
@@ -590,6 +884,58 @@ fn validate(queries: &[GuaranteeQuery]) -> Result<(), ServeError> {
     Ok(())
 }
 
+/// Validates a sweep and derives the batch query whose covering table
+/// holds the whole window: same grid and interrupt budget, lifespan at
+/// the window's last tick. Scalar checks run *before* [`Grid`] is
+/// constructed — `Grid::new` panics on nonpositive setups, and a
+/// hostile frame must never be able to panic the broker.
+fn sweep_covering_query(sweep: &SweepQuery) -> Result<GuaranteeQuery, ServeError> {
+    if sweep.count < 1 {
+        return Err(ServeError::invalid_query(0, "sweep count must be ≥ 1"));
+    }
+    if sweep.first_tick < 0 {
+        return Err(ServeError::invalid_query(
+            0,
+            format!("sweep first_tick {} must be ≥ 0", sweep.first_tick),
+        ));
+    }
+    if !sweep.setup.get().is_finite() || !sweep.setup.is_positive() {
+        return Err(ServeError::invalid_query(
+            0,
+            format!("setup charge {} must be positive", sweep.setup),
+        ));
+    }
+    if sweep.ticks_per_setup < 1 {
+        return Err(ServeError::invalid_query(0, "ticks_per_setup must be ≥ 1"));
+    }
+    // checked_add: first_tick arrives straight off the wire, so the
+    // window end must not be able to overflow i64.
+    let last = sweep
+        .first_tick
+        .checked_add(i64::from(sweep.count) - 1)
+        .filter(|&last| last <= MAX_QUERY_TICKS)
+        .ok_or_else(|| {
+            ServeError::invalid_query(
+                0,
+                format!(
+                    "sweep window ends past the broker cap {MAX_QUERY_TICKS} ticks (first_tick {}, count {})",
+                    sweep.first_tick, sweep.count
+                ),
+            )
+        })?;
+    let grid = Grid::new(sweep.setup, sweep.ticks_per_setup);
+    let covering = GuaranteeQuery {
+        setup: sweep.setup,
+        ticks_per_setup: sweep.ticks_per_setup,
+        interrupts: sweep.interrupts,
+        lifespan: grid.to_time(last),
+    };
+    // The shared validator applies the resolution/interrupt/tick caps
+    // identically to both wire modes.
+    validate(std::slice::from_ref(&covering))?;
+    Ok(covering)
+}
+
 fn expired(deadline: Option<Instant>) -> bool {
     deadline.is_some_and(|d| Instant::now() >= d)
 }
@@ -616,10 +962,14 @@ fn solve_guarded(shared: &Shared, g: &GuaranteeQuery) -> Result<Arc<CompressedTa
     })
 }
 
-/// Resolves one grid group to a covering table with single-flight
-/// coalescing: the first arrival for a `(setup, Q, p_max)` key leads
-/// the solve (through the cache, so already-cached tables are plain
-/// hits); concurrent arrivals park and reuse its result.
+/// Resolves one grid group to a covering table. Warm hits take the
+/// **fast lane**: a covering cached table answers immediately, with no
+/// flight, no solve lane and no tenant quota — so one tenant's cold
+/// solves can never queue (or shed) another tenant's warm traffic.
+/// Cold groups run single-flight coalescing: the first arrival for a
+/// `(setup, Q, p_max)` key leads the solve — after taking a fairness
+/// lane under its tenant's quota ([`FairGate`]) — and concurrent
+/// arrivals park and reuse its result.
 ///
 /// Failure paths: a leader whose solve panics poisons the flight and
 /// returns a retryable `Internal` error; the first follower to observe
@@ -637,6 +987,14 @@ fn resolve(
     deadline: Option<Instant>,
     attempt: u32,
 ) -> Result<Arc<CompressedTable>, ServeError> {
+    // Warm-hit fast lane: answered straight from the sharded cache.
+    if let Some(table) =
+        shared
+            .cache
+            .try_get_compressed(g.setup, g.ticks_per_setup, g.lifespan, g.interrupts)
+    {
+        return Ok(table);
+    }
     let key = SolveKey {
         setup_bits: g.setup.get().to_bits(),
         ticks_per_setup: g.ticks_per_setup,
@@ -671,6 +1029,24 @@ fn resolve(
             shared.res.deadline_rejects.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::deadline_exceeded("before the solve started"));
         }
+        // A cold solve holds a fairness lane under its tenant's quota
+        // for the whole solve; both reject paths are typed retryable
+        // errors (the guard's drop un-strands any followers).
+        let tenant: TenantKey = (key.setup_bits, key.ticks_per_setup);
+        let _lane = match shared.fair.acquire(tenant, deadline) {
+            Ok(permit) => permit,
+            Err(GateReject::Quota { held }) => {
+                shared.res.tenant_sheds.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::new(
+                    crate::ErrorCode::Overloaded,
+                    format!("tenant quota exhausted: {held} cold solves in flight for this grid"),
+                ));
+            }
+            Err(GateReject::Deadline) => {
+                shared.res.deadline_rejects.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::deadline_exceeded("queued for a solve lane"));
+            }
+        };
         let table = solve_guarded(shared, g)?;
         *flight.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(table.clone()));
         drop(guard); // notifies followers, removes the flight
@@ -906,6 +1282,117 @@ mod tests {
         assert_eq!(stats.cache.hits + stats.cache.misses, 2);
         // A clean run has no resilience events.
         assert_eq!(stats.resilience, ResilienceStats::default());
+    }
+
+    #[test]
+    fn fair_gate_sheds_past_the_tenant_quota_and_releases_on_drop() {
+        let gate = FairGate::new(8, 2);
+        let tenant: TenantKey = (1, 8);
+        let a = gate.acquire(tenant, None).ok().expect("1st");
+        let _b = gate.acquire(tenant, None).ok().expect("2nd");
+        assert!(
+            matches!(
+                gate.acquire(tenant, None),
+                Err(GateReject::Quota { held: 2 })
+            ),
+            "3rd cold solve for the grid must shed"
+        );
+        // A different tenant is unaffected by the first one's quota.
+        let other: TenantKey = (2, 8);
+        let _c = gate.acquire(other, None).ok().expect("other tenant");
+        drop(a);
+        let _d = gate.acquire(tenant, None).ok().expect("slot freed by drop");
+    }
+
+    #[test]
+    fn fair_gate_releases_queued_tenants_round_robin() {
+        use std::sync::mpsc;
+        let gate = Arc::new(FairGate::new(1, 4));
+        let hog: TenantKey = (1, 8);
+        let other: TenantKey = (2, 8);
+        let first = gate.acquire(hog, None).ok().expect("lane taken");
+        let (tx, rx) = mpsc::channel::<&'static str>();
+        std::thread::scope(|scope| {
+            // The hog queues two more solves *before* the other tenant
+            // arrives; round-robin must still alternate hog → other.
+            let g1 = gate.clone();
+            let t1 = tx.clone();
+            scope.spawn(move || {
+                let p = g1.acquire(hog, None).ok().expect("hog #2");
+                t1.send("hog").ok();
+                std::thread::sleep(Duration::from_millis(5));
+                drop(p);
+            });
+            // Give the first hog waiter time to enqueue.
+            std::thread::sleep(Duration::from_millis(20));
+            let g2 = gate.clone();
+            let t2 = tx.clone();
+            scope.spawn(move || {
+                let p = g2.acquire(hog, None).ok().expect("hog #3");
+                t2.send("hog").ok();
+                std::thread::sleep(Duration::from_millis(5));
+                drop(p);
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            let g3 = gate.clone();
+            let t3 = tx.clone();
+            scope.spawn(move || {
+                let p = g3.acquire(other, None).ok().expect("other tenant");
+                t3.send("other").ok();
+                std::thread::sleep(Duration::from_millis(5));
+                drop(p);
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            drop(first);
+        });
+        let order: Vec<&str> = rx.try_iter().collect();
+        assert_eq!(order.len(), 3);
+        assert_eq!(
+            order[1], "other",
+            "the other tenant must not wait behind the hog's whole queue: {order:?}"
+        );
+    }
+
+    #[test]
+    fn warm_hits_bypass_quota_while_a_tenant_is_saturated() {
+        // Quota 1 and one lane: tenant A's cold solve both fills its
+        // quota and occupies the only lane. Tenant B's *warm* query
+        // must still be answered (fast lane), and A's own warm queries
+        // too — quotas govern solves, never lookups.
+        let broker = Broker::new(BrokerConfig {
+            tenant_quota: 1,
+            solve_lanes: 1,
+            ..BrokerConfig::default()
+        })
+        .unwrap();
+        // Warm both grids.
+        broker.query_batch(&[q(1.0, 8, 2, 50.0)]).unwrap();
+        broker.query_batch(&[q(2.0, 8, 2, 50.0)]).unwrap();
+        // Saturate the gate by hand: pretend tenant A leads a solve.
+        let tenant_a: TenantKey = (secs(1.0).get().to_bits(), 8);
+        let _lane = broker.shared.fair.acquire(tenant_a, None).ok().unwrap();
+        assert!(matches!(
+            broker.shared.fair.acquire(tenant_a, None),
+            Err(GateReject::Quota { .. })
+        ));
+        // Warm queries of both tenants sail through regardless.
+        assert!(broker.query_batch(&[q(1.0, 8, 1, 40.0)]).is_ok());
+        assert!(broker.query_batch(&[q(2.0, 8, 1, 40.0)]).is_ok());
+        assert_eq!(broker.stats().resilience.tenant_sheds, 0);
+    }
+
+    #[test]
+    fn a_queued_cold_solve_respects_its_deadline() {
+        let gate = FairGate::new(1, 4);
+        let hold = gate.acquire((1, 8), None).ok().expect("lane");
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let start = Instant::now();
+        let rejected = gate.acquire((2, 8), Some(deadline));
+        assert!(matches!(rejected, Err(GateReject::Deadline)));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        drop(hold);
+        // The expired waiter left no residue: the lane is free again.
+        assert!(gate.acquire((2, 8), None).is_ok());
     }
 
     #[test]

@@ -80,12 +80,30 @@
 //! assert!(answers[0].value.get() > 0.0);
 //! ```
 //!
+//! ## Multi-tenant fairness
+//!
+//! Cold solves are the expensive unit, so admission control is
+//! per-tenant grid: each `(setup, Q)` tenant holds at most
+//! [`BrokerConfig::tenant_quota`] cold solves in flight (excess sheds
+//! with a typed `Overloaded`), and the solve **lanes**
+//! ([`BrokerConfig::solve_lanes`]) are granted round-robin across
+//! waiting tenants — one tenant's `10⁹`-tick cold solve cannot starve
+//! another tenant's warm point queries, which bypass the lane machinery
+//! entirely on a cache hit. Pinned by `tests/serve_fairness.rs`.
+//!
 //! ## Over TCP
 //!
-//! [`Server::start`] binds a listener and serves each connection on its
-//! own thread (solves still share the broker's worker pool);
-//! [`Client`] frames batches to it and transparently retries transient
-//! failures. See [`wire`] for the exact byte protocol.
+//! [`Server::start`] binds a listener driven by a **readiness loop**:
+//! one event-loop thread polls every nonblocking connection, and
+//! complete frames are handled by a small pool of handler threads
+//! (solves still share the broker's worker pool), so idle connections
+//! cost buffers rather than threads. [`Client`] frames batches to it
+//! and transparently retries transient failures. Sweep-shaped reads use
+//! the op-3 **streaming wire mode** ([`Broker::query_sweep`] /
+//! [`Client::query_sweep`]): a consecutive tick window travels back as
+//! arithmetic-run descriptors ([`cyclesteal_dp::ValueRun`]) and is
+//! expanded client-side, bit-identically to per-tick op-1 answers. See
+//! [`wire`] for the exact byte protocol.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -99,7 +117,7 @@ pub mod wire;
 
 pub use broker::{
     Broker, BrokerConfig, BrokerStats, EndpointStats, GuaranteeAnswer, GuaranteeQuery,
-    ResilienceStats,
+    ResilienceStats, SweepQuery,
 };
 pub use errors::{ErrorCode, ServeError};
 pub use faults::{FaultPlan, FaultPoint, FaultsGuard};

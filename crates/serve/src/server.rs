@@ -1,24 +1,31 @@
 //! TCP transport: [`Server`] binds a listener and serves the broker
 //! over the [`crate::wire`] framing; [`Client`] is the matching caller.
 //!
-//! Threading model: the acceptor runs on one thread; each accepted
-//! connection gets its own handler thread (requests on one connection
-//! are processed in order — pipelining is the client's choice); the
+//! Threading model: a **readiness loop**, hand-rolled like the
+//! `WorkerPool` (no registry deps). One event-loop thread polls the
+//! nonblocking listener plus every connection's nonblocking socket:
+//! bytes are accumulated per connection until a full frame parses,
+//! complete requests are dispatched to a small pool of handler threads
+//! (so a cold solve never stalls the loop), and responses are queued
+//! into per-connection write buffers flushed as the peer drains them.
+//! Ten thousand idle connections therefore cost buffers, not threads.
+//! Each connection has at most one request in flight — responses stay
+//! in request order; pipelining depth is the client's choice. The
 //! *solves* all funnel through the broker's shared worker pool and
 //! cache, so a hundred connections still coalesce onto one solve per
-//! `(setup, Q, p_max)` key. Handler threads end when their peer
-//! disconnects; [`Server::shutdown`] stops accepting and joins the
-//! acceptor (draining connections keep serving until their clients
-//! hang up — a restart-friendly, never-drop-a-request default).
+//! `(setup, Q, p_max)` key. [`Server::shutdown`] stops the loop and
+//! closes its connections; clients see the close as a transient error
+//! and reconnect-retry.
 //!
 //! ## Failure semantics
 //!
-//! * **Timeouts.** Every connection carries the
-//!   [`ServerConfig`]/[`ClientConfig`] read/write timeouts — a stalled
-//!   peer can park a handler thread for at most the timeout, never
-//!   forever. A server-side read timeout closes the connection (the
-//!   client reconnects); a client-side one surfaces as a transient,
-//!   retried error.
+//! * **Timeouts.** The [`ServerConfig`] read timeout bounds how long a
+//!   connection may sit idle (or a peer may stall mid-frame) before the
+//!   loop drops it; the write timeout bounds how long a queued response
+//!   may go without the peer accepting a byte. Neither can park a
+//!   thread — the loop just stops tracking the laggard. Client-side
+//!   socket timeouts ([`ClientConfig`]) surface as transient, retried
+//!   errors.
 //! * **Typed errors.** Request failures answer a typed error frame
 //!   ([`crate::ServeError`]: code + retryable flag + message) on a
 //!   still-healthy connection; only *framing* damage tears the
@@ -33,14 +40,15 @@
 //!   ECONNABORTED) back off — doubling up to a cap — and keep
 //!   accepting; only [`Server::shutdown`] stops the listener.
 
-use crate::broker::{Broker, BrokerStats, GuaranteeAnswer, GuaranteeQuery};
+use crate::broker::{Broker, BrokerStats, GuaranteeAnswer, GuaranteeQuery, SweepQuery};
 use crate::errors::ServeError;
 use crate::faults::{self, FaultPoint};
 use crate::wire;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -51,8 +59,15 @@ pub struct ServerConfig {
     /// mid-frame) before the server closes it. `None` = wait forever —
     /// only for trusted peers.
     pub read_timeout: Option<Duration>,
-    /// How long one response write may block on a congested peer.
+    /// How long a queued response may sit without the peer accepting a
+    /// single byte before the server closes the connection.
     pub write_timeout: Option<Duration>,
+    /// Request-handler threads draining the event loop's dispatch
+    /// queue. Handlers mostly *wait* (on coalesced flights, fairness
+    /// lanes and the solve pool), so this bounds concurrent request
+    /// contexts, not CPU use. `0` = the machine's worker-thread
+    /// default, minimum 2.
+    pub handlers: usize,
 }
 
 impl Default for ServerConfig {
@@ -60,6 +75,7 @@ impl Default for ServerConfig {
         ServerConfig {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(10)),
+            handlers: 0,
         }
     }
 }
@@ -68,7 +84,23 @@ impl Default for ServerConfig {
 pub struct Server {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    driver: Option<JoinHandle<()>>,
+}
+
+/// One complete request frame, tagged with the connection it came from.
+struct Job {
+    conn_id: u64,
+    payload: Vec<u8>,
+}
+
+/// A handler's verdict on one request, routed back to the event loop.
+enum Reply {
+    /// Write these raw frame bytes (already length-prefixed and
+    /// checksummed — or deliberately corrupted by the fault harness).
+    Respond(Vec<u8>),
+    /// Injected mid-exchange drop: close without responding — the
+    /// client sees a truncated session.
+    Close,
 }
 
 impl Server {
@@ -87,49 +119,37 @@ impl Server {
     ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        // Nonblocking accept + short sleep lets shutdown() stop the
-        // acceptor without a self-connect trick.
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = stop.clone();
-        let acceptor = std::thread::spawn(move || {
-            // Real accept errors back off with doubling delays (capped);
-            // a successful accept resets the backoff.
-            const ERROR_BACKOFF_CAP: Duration = Duration::from_secs(1);
-            let mut error_backoff = Duration::from_millis(10);
-            while !stop_flag.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        error_backoff = Duration::from_millis(10);
-                        let broker = broker.clone();
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(stream, &broker, config);
-                        });
-                    }
-                    // The listener is nonblocking: WouldBlock just means
-                    // "no connection pending" — a short poll interval,
-                    // not an error.
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    // accept() can fail transiently under load
-                    // (ECONNABORTED on a reset handshake, EMFILE on fd
-                    // exhaustion). Dropping the listener over one of
-                    // those would silently refuse every future
-                    // connection, so *no* error kills the acceptor —
-                    // only shutdown() does. Backing off (harder each
-                    // consecutive failure) lets fd-exhaustion drain.
-                    Err(_) => {
-                        std::thread::sleep(error_backoff);
-                        error_backoff = (error_backoff * 2).min(ERROR_BACKOFF_CAP);
-                    }
-                }
-            }
+
+        // Dispatch plumbing: the loop sends complete request frames to
+        // the handler pool and drains replies back. Dropping `job_tx`
+        // (when the loop exits) disconnects the handlers' `recv`, which
+        // is how the pool winds down — no separate stop signal.
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
+        let (reply_tx, reply_rx) = mpsc::channel::<(u64, Reply)>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let handlers = if config.handlers == 0 {
+            cyclesteal_par::default_threads().max(2)
+        } else {
+            config.handlers
+        };
+        for _ in 0..handlers {
+            let jobs = job_rx.clone();
+            let replies = reply_tx.clone();
+            let broker = broker.clone();
+            std::thread::spawn(move || handler_loop(&jobs, &replies, &broker));
+        }
+        drop(reply_tx);
+
+        let driver = std::thread::spawn(move || {
+            event_loop(&listener, &stop_flag, &job_tx, &reply_rx, config)
         });
         Ok(Server {
             local_addr,
             stop,
-            acceptor: Some(acceptor),
+            driver: Some(driver),
         })
     }
 
@@ -138,16 +158,18 @@ impl Server {
         self.local_addr
     }
 
-    /// Stops accepting new connections and joins the acceptor thread.
-    /// Connections already established keep serving until their clients
-    /// disconnect.
+    /// Stops the event loop and joins it, closing the listener and
+    /// every tracked connection. Clients observe the close as a
+    /// transient transport error and reconnect-retry against the next
+    /// server instance. Handler threads drain their queue and exit on
+    /// their own once the loop's dispatch channel disconnects.
     pub fn shutdown(mut self) {
-        self.stop_acceptor();
+        self.stop_driver();
     }
 
-    fn stop_acceptor(&mut self) {
+    fn stop_driver(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(handle) = self.acceptor.take() {
+        if let Some(handle) = self.driver.take() {
             let _ = handle.join();
         }
     }
@@ -155,64 +177,255 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop_acceptor();
+        self.stop_driver();
     }
 }
 
-/// One connection's request loop: frame in, dispatch, frame out, until
-/// the peer hangs up or stalls past the read timeout. A malformed or
-/// failing request answers a typed error frame and keeps the connection
-/// (the framing itself is still intact); a framing error or timeout
-/// tears the connection down. The fault-injection points (read delay,
-/// drop-before-response, corrupt-frame) live here, inert unless a
-/// [`crate::FaultPlan`] is armed.
-fn serve_connection(stream: TcpStream, broker: &Broker, config: ServerConfig) -> io::Result<()> {
-    stream.set_nodelay(true).ok();
-    // Accepted sockets are blocking on the platforms we target, but the
-    // listener is nonblocking — pin it down rather than assume.
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(config.read_timeout)?;
-    stream.set_write_timeout(config.write_timeout)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+/// Per-connection readiness-loop state: the nonblocking socket, the
+/// inbound byte accumulator, the outbound write queue, and the
+/// activity stamps the timeouts are enforced against.
+struct TrackedConn {
+    stream: TcpStream,
+    /// Bytes read but not yet parsed into a frame.
+    rbuf: Vec<u8>,
+    /// Response bytes queued but not yet accepted by the peer.
+    wbuf: Vec<u8>,
+    /// How much of `wbuf` has been written so far.
+    wpos: usize,
+    /// A request is with the handler pool; parsing pauses until its
+    /// reply lands so responses stay in request order.
+    inflight: bool,
+    /// Marked for removal (peer EOF, I/O error, framing damage,
+    /// timeout, or an injected drop).
+    gone: bool,
+    last_read: Instant,
+    last_write: Instant,
+}
+
+/// Don't buffer more inbound bytes than one maximal frame: a peer that
+/// pipelines past an in-flight request is backpressured by TCP instead
+/// of growing the accumulator unboundedly.
+const MAX_CONN_BUFFER: usize = wire::MAX_FRAME_BYTES as usize + 8;
+
+/// The readiness loop: accept, drain handler replies, then give every
+/// connection a read / parse / write / timeout pass. Runs until the
+/// stop flag; each pass that moves no bytes sleeps 1 ms, so an idle
+/// server polls cheaply and a busy one spins at line rate.
+fn event_loop(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    jobs: &mpsc::Sender<Job>,
+    replies: &mpsc::Receiver<(u64, Reply)>,
+    config: ServerConfig,
+) {
+    // accept() can fail transiently under load (ECONNABORTED on a reset
+    // handshake, EMFILE on fd exhaustion). Dropping the listener over
+    // one of those would silently refuse every future connection, so
+    // *no* error stops accepting — failures just muzzle the accept arm
+    // with doubling (capped) backoff while connections keep serving.
+    const ERROR_BACKOFF_CAP: Duration = Duration::from_secs(1);
+    let mut error_backoff = Duration::from_millis(10);
+    let mut accept_muzzled_until: Option<Instant> = None;
+    let mut conns: HashMap<u64, TrackedConn> = HashMap::new();
+    let mut next_id: u64 = 0;
+    let mut scratch = [0u8; 16 * 1024];
+
+    while !stop.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        let mut progressed = false;
+
+        if !accept_muzzled_until.is_some_and(|until| now < until) {
+            accept_muzzled_until = None;
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        error_backoff = Duration::from_millis(10);
+                        progressed = true;
+                        stream.set_nodelay(true).ok();
+                        if stream.set_nonblocking(true).is_ok() {
+                            conns.insert(
+                                next_id,
+                                TrackedConn {
+                                    stream,
+                                    rbuf: Vec::new(),
+                                    wbuf: Vec::new(),
+                                    wpos: 0,
+                                    inflight: false,
+                                    gone: false,
+                                    last_read: now,
+                                    last_write: now,
+                                },
+                            );
+                            next_id += 1;
+                        }
+                    }
+                    // WouldBlock just means "no connection pending".
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        accept_muzzled_until = Some(now + error_backoff);
+                        error_backoff = (error_backoff * 2).min(ERROR_BACKOFF_CAP);
+                        break;
+                    }
+                }
+            }
+        }
+
+        while let Ok((id, reply)) = replies.try_recv() {
+            progressed = true;
+            if let Some(conn) = conns.get_mut(&id) {
+                conn.inflight = false;
+                // A served response counts as activity: a long solve
+                // must not burn the idle budget of the very connection
+                // it is answering.
+                conn.last_read = now;
+                match reply {
+                    Reply::Respond(bytes) => {
+                        if conn.wbuf.is_empty() {
+                            conn.last_write = now;
+                        }
+                        conn.wbuf.extend_from_slice(&bytes);
+                    }
+                    Reply::Close => conn.gone = true,
+                }
+            }
+        }
+
+        for (&id, conn) in conns.iter_mut() {
+            if conn.gone {
+                continue;
+            }
+            // Read until the socket runs dry (or the buffer cap).
+            while conn.rbuf.len() < MAX_CONN_BUFFER {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.gone = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.rbuf.extend_from_slice(&scratch[..n]);
+                        conn.last_read = now;
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.gone = true;
+                        break;
+                    }
+                }
+            }
+            // Parse at most one request into flight. A malformed
+            // *payload* answers a typed error frame and keeps the
+            // connection; *framing* damage (impossible length, CRC
+            // mismatch) tears it down — the stream is unrecoverable.
+            if !conn.gone && !conn.inflight {
+                match wire::parse_frame(&conn.rbuf) {
+                    Ok(Some((payload, consumed))) => {
+                        conn.rbuf.drain(..consumed);
+                        conn.inflight = true;
+                        progressed = true;
+                        if jobs
+                            .send(Job {
+                                conn_id: id,
+                                payload,
+                            })
+                            .is_err()
+                        {
+                            conn.gone = true;
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(_) => conn.gone = true,
+                }
+            }
+            // Flush as much of the write queue as the peer accepts.
+            while !conn.gone && conn.wpos < conn.wbuf.len() {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        conn.gone = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.wpos += n;
+                        conn.last_write = now;
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.gone = true;
+                        break;
+                    }
+                }
+            }
+            if conn.wpos == conn.wbuf.len() && conn.wpos > 0 {
+                conn.wbuf.clear();
+                conn.wpos = 0;
+            }
+            if conn.gone {
+                continue;
+            }
+            // Timeouts: an idle (or mid-frame-stalled) peer against the
+            // read timeout; an unread response against the write one.
+            if conn.wbuf.is_empty() && !conn.inflight {
+                if let Some(limit) = config.read_timeout {
+                    if now.duration_since(conn.last_read) > limit {
+                        conn.gone = true;
+                    }
+                }
+            } else if !conn.wbuf.is_empty() {
+                if let Some(limit) = config.write_timeout {
+                    if now.duration_since(conn.last_write) > limit {
+                        conn.gone = true;
+                    }
+                }
+            }
+        }
+        conns.retain(|_, conn| !conn.gone);
+
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// One handler thread: take a complete request off the dispatch queue,
+/// run it against the broker, route the reply back to the event loop.
+/// The fault-injection points (read delay, drop-before-response,
+/// corrupt-frame) live here, inert unless a [`crate::FaultPlan`] is
+/// armed. Exits when the dispatch channel disconnects (server stopped).
+fn handler_loop(
+    jobs: &Mutex<mpsc::Receiver<Job>>,
+    replies: &mpsc::Sender<(u64, Reply)>,
+    broker: &Broker,
+) {
     loop {
+        // The mutex serializes *dequeueing* only: the guard is released
+        // as soon as recv returns, so handlers process in parallel.
+        let job = match jobs.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
         if let Some(delay) = faults::read_delay() {
             std::thread::sleep(delay);
         }
-        let payload = match wire::read_frame(&mut reader) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => break, // peer hung up cleanly
-            // A stalled peer hit the read timeout: close the connection
-            // — the handler thread must never be parked forever.
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                break;
-            }
-            Err(e) => return Err(e),
-        };
-        let response = handle_request(&payload, broker);
-        if faults::should(FaultPoint::DropConnection) {
-            // Injected mid-exchange drop: the request was read but no
-            // response will come — the client sees a truncated session.
-            return Ok(());
-        }
-        if faults::should(FaultPoint::CorruptFrame) {
+        let response = handle_request(&job.payload, broker);
+        let reply = if faults::should(FaultPoint::DropConnection) {
+            Reply::Close
+        } else if faults::should(FaultPoint::CorruptFrame) {
             // Injected wire damage: flip one byte of the encoded frame.
             // The frame CRC guarantees the client detects it.
             let mut bytes = wire::frame_bytes(&response);
             let pos = faults::corrupt_position(bytes.len());
             bytes[pos] ^= 0x01;
-            writer.write_all(&bytes)?;
-            writer.flush()?;
-            continue;
+            Reply::Respond(bytes)
+        } else {
+            Reply::Respond(wire::frame_bytes(&response))
+        };
+        if replies.send((job.conn_id, reply)).is_err() {
+            return;
         }
-        wire::write_frame(&mut writer, &response)?;
     }
-    writer.flush()
 }
 
 fn handle_request(payload: &[u8], broker: &Broker) -> Vec<u8> {
@@ -240,6 +453,33 @@ fn handle_request(payload: &[u8], broker: &Broker) -> Vec<u8> {
         Some((&wire::OP_STATS, _)) => {
             wire::encode_error(&ServeError::malformed("stats request carries no body"))
         }
+        Some((&wire::OP_SWEEP, body)) => match wire::decode_sweep(&mut { body }) {
+            Ok((sweep, deadline_us)) => {
+                let deadline = match deadline_us {
+                    wire::NO_DEADLINE_US => None,
+                    us => Instant::now().checked_add(Duration::from_micros(us)),
+                };
+                match broker.query_sweep_within("tcp", &sweep, deadline) {
+                    // A window too jagged to fit one frame is the
+                    // request's problem (narrow it), not a transport
+                    // fault — reject before encoding, so frame_bytes
+                    // never sees an over-cap payload.
+                    Ok(runs) if runs.len() > wire::MAX_SWEEP_RUNS => {
+                        wire::encode_error(&ServeError::invalid_query(
+                            0,
+                            format!(
+                                "sweep produced {} runs, over the {}-run frame cap — narrow the window",
+                                runs.len(),
+                                wire::MAX_SWEEP_RUNS
+                            ),
+                        ))
+                    }
+                    Ok(runs) => wire::encode_runs(&runs),
+                    Err(e) => wire::encode_error(&e),
+                }
+            }
+            Err(e) => wire::encode_error(&ServeError::malformed(format!("malformed sweep: {e}"))),
+        },
         Some((op, _)) => wire::encode_error(&ServeError::malformed(format!("unknown opcode {op}"))),
         None => wire::encode_error(&ServeError::malformed("empty request")),
     }
@@ -464,6 +704,45 @@ impl Client {
         })
     }
 
+    /// Sends one streaming sweep (op 3) and returns the exact tick
+    /// staircase of the window, expanded client-side from the run
+    /// descriptors the server streamed
+    /// ([`cyclesteal_dp::expand_value_runs`]) — bit-identical to asking
+    /// [`Client::query_batch`] for every tick of the window, at
+    /// `O(runs)` wire bytes instead of `O(count)`.
+    pub fn query_sweep(&mut self, sweep: &SweepQuery) -> io::Result<Vec<i64>> {
+        self.query_sweep_within(sweep, None)
+    }
+
+    /// [`Client::query_sweep`] with a per-request deadline budget
+    /// (same wire semantics as [`Client::query_batch_within`]).
+    pub fn query_sweep_within(
+        &mut self,
+        sweep: &SweepQuery,
+        deadline: Option<Duration>,
+    ) -> io::Result<Vec<i64>> {
+        let deadline_us = deadline
+            .map(|d| (d.as_micros().min(u64::MAX as u128) as u64).max(1))
+            .unwrap_or(wire::NO_DEADLINE_US);
+        let request = wire::encode_sweep(sweep, deadline_us);
+        self.with_retry(|conn| {
+            let response = round_trip(conn, &request)?;
+            let runs = wire::decode_runs(&response)?;
+            // Expansion is only believed when the descriptors cover
+            // exactly the requested window: a CRC-valid but miscounted
+            // response is a server fault, surfaced as InvalidData
+            // rather than expanded into a wrong-length answer.
+            let covered: u64 = runs.iter().map(|r| r.len.max(0) as u64).sum();
+            if covered != u64::from(sweep.count) || runs.iter().any(|r| r.len < 1) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "run descriptors do not cover the requested window",
+                ));
+            }
+            Ok(cyclesteal_dp::expand_value_runs(&runs))
+        })
+    }
+
     /// Fetches the broker's per-endpoint, cache and resilience stats,
     /// retrying transient failures.
     pub fn stats(&mut self) -> io::Result<BrokerStats> {
@@ -512,6 +791,48 @@ mod tests {
 
         let stats = client.stats().unwrap();
         assert!(stats.endpoints.iter().any(|e| e.endpoint == "tcp"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn sweeps_stream_the_exact_staircase_over_the_wire() {
+        let broker = Arc::new(Broker::new(BrokerConfig::default()).unwrap());
+        let server = Server::start("127.0.0.1:0", broker.clone()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+
+        let sweep = SweepQuery {
+            setup: secs(1.0),
+            ticks_per_setup: 8,
+            interrupts: 2,
+            first_tick: 37,
+            count: 500,
+        };
+        let over_wire = client.query_sweep(&sweep).unwrap();
+        assert_eq!(over_wire.len(), 500);
+        // Bit-identical to the per-tick op-1 answers for the same ticks.
+        let grid = cyclesteal_dp::Grid::new(sweep.setup, sweep.ticks_per_setup);
+        let queries: Vec<GuaranteeQuery> = (0..sweep.count)
+            .map(|j| GuaranteeQuery {
+                setup: sweep.setup,
+                ticks_per_setup: sweep.ticks_per_setup,
+                interrupts: sweep.interrupts,
+                lifespan: grid.to_time(sweep.first_tick + i64::from(j)),
+            })
+            .collect();
+        let dense = client.query_batch(&queries).unwrap();
+        for (j, (run_value, answer)) in over_wire.iter().zip(&dense).enumerate() {
+            assert_eq!(*run_value, answer.value_ticks, "tick {j}");
+        }
+
+        // An invalid window (count 0) is the typed InvalidQuery, not a
+        // hang or a panic.
+        let err = client
+            .query_sweep(&SweepQuery { count: 0, ..sweep })
+            .unwrap_err();
+        assert_eq!(
+            ServeError::from_io(&err).expect("typed").code,
+            ErrorCode::InvalidQuery
+        );
         server.shutdown();
     }
 

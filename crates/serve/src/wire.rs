@@ -21,11 +21,13 @@
 //! Request payload:
 //!
 //! ```text
-//! op  u8          1 = query batch, 2 = stats
+//! op  u8          1 = query batch, 2 = stats, 3 = streaming sweep
 //! op 1: deadline_us u64 (0 = none; remaining budget in µs)
 //!       count u32, then per query (24 B):
 //!       setup_bits u64 · ticks_per_setup u32 · interrupts u32 · lifespan_bits u64
 //! op 2: (empty)
+//! op 3: deadline_us u64 · setup_bits u64 · ticks_per_setup u32 ·
+//!       interrupts u32 · first_tick i64 · count u32
 //! ```
 //!
 //! The deadline travels as a *relative* budget (µs left), not a wall
@@ -42,20 +44,35 @@
 //!           compressed_entries u64 · resident_bytes u64 ·
 //!           shed u64 · deadline_rejects u64 · solve_panics u64 ·
 //!           flight_retries u64 · snapshot_failures u64 ·
+//!           tenant_sheds u64 ·
 //!           endpoint_count u32, then per endpoint:
 //!           name_len u8 · name bytes · requests u64 · queries u64 ·
 //!           coalesced u64 · p50_us u64 · p99_us u64
+//! ok, op 3: run_count u32, then per run (24 B):
+//!           start i64 · step i64 · len i64
 //! error:    code u8 · retryable u8 · UTF-8 message (rest of payload)
 //! ```
+//!
+//! Op 3 is the **streaming wire mode** for sweep-shaped queries: a
+//! request names one consecutive tick window `first_tick ..
+//! first_tick + count` of one `(setup, Q, p)` row, and the answer
+//! travels as the row's arithmetic-run descriptors
+//! ([`cyclesteal_dp::ValueRun`]) instead of a dense array — `O(flats
+//! in range)` bytes for an `O(count)`-tick window. The client expands
+//! runs locally ([`cyclesteal_dp::expand_value_runs`]); expansion is
+//! bit-identical to asking op 1 for each tick, pinned by the streaming
+//! property suite.
 //!
 //! The typed error body carries the [`ErrorCode`] and the retryable
 //! flag explicitly, so a client can decide *back off and retry* versus
 //! *fix the request* without parsing prose (see [`crate::errors`]).
 
-use crate::broker::{BrokerStats, EndpointStats, GuaranteeAnswer, GuaranteeQuery, ResilienceStats};
+use crate::broker::{
+    BrokerStats, EndpointStats, GuaranteeAnswer, GuaranteeQuery, ResilienceStats, SweepQuery,
+};
 use crate::errors::{ErrorCode, ServeError};
 use cyclesteal_core::time::Time;
-use cyclesteal_dp::CacheStats;
+use cyclesteal_dp::{CacheStats, ValueRun};
 use cyclesteal_store::crc::crc32;
 use std::io::{self, Read, Write};
 
@@ -67,6 +84,14 @@ pub const MAX_FRAME_BYTES: u32 = 1 << 26;
 pub const OP_QUERY_BATCH: u8 = 1;
 /// Request opcode: broker stats.
 pub const OP_STATS: u8 = 2;
+/// Request opcode: streaming sweep — one consecutive tick window of one
+/// row, answered as arithmetic-run descriptors.
+pub const OP_SWEEP: u8 = 3;
+
+/// Most run descriptors one sweep response can carry and still fit a
+/// frame (24 B per run after status + run_count). The broker rejects
+/// wider sweeps as non-retryable before solving.
+pub const MAX_SWEEP_RUNS: usize = (MAX_FRAME_BYTES as usize - 5) / 24;
 
 /// Response status: success.
 pub const STATUS_OK: u8 = 0;
@@ -157,6 +182,30 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
         return Err(io::Error::new(io::ErrorKind::InvalidData, CorruptFrame));
     }
     Ok(Some(payload))
+}
+
+/// Parses one frame out of an in-memory buffer — the readiness loop's
+/// per-connection accumulator. `Ok(None)` means *incomplete, keep
+/// reading*; a parsed frame returns its payload plus the bytes
+/// consumed; an impossible length or a CRC mismatch is the
+/// [`CorruptFrame`] marker, exactly as [`read_frame`] classifies them.
+pub(crate) fn parse_frame(buf: &[u8]) -> io::Result<Option<(Vec<u8>, usize)>> {
+    let Some(header) = buf.get(..8) else {
+        return Ok(None);
+    };
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let stored_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, CorruptFrame));
+    }
+    let total = 8 + len as usize;
+    let Some(payload) = buf.get(8..total) else {
+        return Ok(None);
+    };
+    if crc32(payload) != stored_crc {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, CorruptFrame));
+    }
+    Ok(Some((payload.to_vec(), total)))
 }
 
 fn invalid(msg: &str) -> io::Error {
@@ -267,6 +316,77 @@ pub fn decode_query_batch(r: &mut &[u8]) -> io::Result<(Vec<GuaranteeQuery>, u64
     Ok((queries, deadline_us))
 }
 
+/// Encodes a streaming-sweep request payload. `deadline_us` is the
+/// remaining budget in microseconds ([`NO_DEADLINE_US`] for none).
+pub fn encode_sweep(sweep: &SweepQuery, deadline_us: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(37);
+    out.push(OP_SWEEP);
+    out.extend_from_slice(&deadline_us.to_le_bytes());
+    out.extend_from_slice(&sweep.setup.get().to_bits().to_le_bytes());
+    out.extend_from_slice(&sweep.ticks_per_setup.to_le_bytes());
+    out.extend_from_slice(&sweep.interrupts.to_le_bytes());
+    out.extend_from_slice(&sweep.first_tick.to_le_bytes());
+    out.extend_from_slice(&sweep.count.to_le_bytes());
+    out
+}
+
+/// Decodes a streaming-sweep request payload (after the op byte was
+/// read): the sweep plus the relative deadline budget in µs
+/// ([`NO_DEADLINE_US`] = none).
+pub fn decode_sweep(r: &mut &[u8]) -> io::Result<(SweepQuery, u64)> {
+    let mut rd = Reader { buf: r, pos: 0 };
+    let deadline_us = rd.u64()?;
+    let sweep = SweepQuery {
+        setup: finite_time(rd.u64()?)?,
+        ticks_per_setup: rd.u32()?,
+        interrupts: rd.u32()?,
+        first_tick: rd.i64()?,
+        count: rd.u32()?,
+    };
+    rd.done()?;
+    Ok((sweep, deadline_us))
+}
+
+/// Encodes a successful streaming-sweep response payload: the run
+/// descriptors of the requested window.
+pub fn encode_runs(runs: &[ValueRun]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + runs.len() * 24);
+    out.push(STATUS_OK);
+    // lint:allow(lossy-cast): the server caps sweep responses at
+    // MAX_SWEEP_RUNS (~2.8M) before encoding, far inside u32
+    out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+    for run in runs {
+        out.extend_from_slice(&run.start.to_le_bytes());
+        out.extend_from_slice(&run.step.to_le_bytes());
+        out.extend_from_slice(&run.len.to_le_bytes());
+    }
+    out
+}
+
+/// Decodes a streaming-sweep response payload into run descriptors.
+/// Descriptors are *transport* — expansion-side sanity (window length,
+/// value bounds) is the client's job, since a corrupt-but-CRC-passing
+/// frame is not in this layer's threat model while a truncated or
+/// miscounted one is.
+pub fn decode_runs(payload: &[u8]) -> io::Result<Vec<ValueRun>> {
+    let body = response_body(payload)?;
+    let mut rd = Reader { buf: body, pos: 0 };
+    let count = rd.u32()? as usize;
+    if count.checked_mul(24) != Some(body.len() - 4) {
+        return Err(invalid("run count does not match payload size"));
+    }
+    let mut runs = Vec::with_capacity(count);
+    for _ in 0..count {
+        runs.push(ValueRun {
+            start: rd.i64()?,
+            step: rd.i64()?,
+            len: rd.i64()?,
+        });
+    }
+    rd.done()?;
+    Ok(runs)
+}
+
 /// Encodes a successful query-batch response payload.
 pub fn encode_answers(answers: &[GuaranteeAnswer]) -> Vec<u8> {
     let mut out = Vec::with_capacity(5 + answers.len() * 16);
@@ -353,6 +473,7 @@ pub fn encode_stats(stats: &BrokerStats) -> Vec<u8> {
         stats.resilience.solve_panics,
         stats.resilience.flight_retries,
         stats.resilience.snapshot_failures,
+        stats.resilience.tenant_sheds,
     ] {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -390,6 +511,7 @@ pub fn decode_stats(payload: &[u8]) -> io::Result<BrokerStats> {
         solve_panics: rd.u64()?,
         flight_retries: rd.u64()?,
         snapshot_failures: rd.u64()?,
+        tenant_sheds: rd.u64()?,
     };
     let count = rd.u32()? as usize;
     let mut endpoints = Vec::new();
@@ -430,6 +552,37 @@ mod tests {
         // Truncated mid-frame is an error, not a silent None.
         let mut r = &buf[..3];
         assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn buffer_parsing_matches_stream_reading_at_every_prefix() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload bytes").unwrap();
+        write_frame(&mut buf, b"second").unwrap();
+        // Every strict prefix of the first frame is "incomplete", never
+        // an error or a phantom frame.
+        let first_len = 8 + b"payload bytes".len();
+        for cut in 0..first_len {
+            assert!(
+                parse_frame(&buf[..cut]).unwrap().is_none(),
+                "cut at {cut} must read as incomplete"
+            );
+        }
+        // A complete first frame parses and reports its exact extent,
+        // leaving the second frame's bytes untouched.
+        let (payload, consumed) = parse_frame(&buf).unwrap().expect("complete");
+        assert_eq!(payload, b"payload bytes");
+        assert_eq!(consumed, first_len);
+        let (payload, _) = parse_frame(&buf[consumed..]).unwrap().expect("second");
+        assert_eq!(payload, b"second");
+        // A flipped payload byte is CRC-detected; an impossible length
+        // is classified as corruption without waiting for more bytes.
+        let mut bad = buf.clone();
+        bad[9] ^= 0x01;
+        assert!(is_corrupt_frame(&parse_frame(&bad).unwrap_err()));
+        let mut bad = buf.clone();
+        bad[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(is_corrupt_frame(&parse_frame(&bad).unwrap_err()));
     }
 
     #[test]
@@ -545,6 +698,56 @@ mod tests {
     }
 
     #[test]
+    fn sweeps_and_runs_round_trip_bit_identically() {
+        let sweep = SweepQuery {
+            setup: secs(1.5),
+            ticks_per_setup: 32,
+            interrupts: 7,
+            first_tick: 123_456_789,
+            count: 1_000_000,
+        };
+        let payload = encode_sweep(&sweep, 250_000);
+        assert_eq!(payload[0], OP_SWEEP);
+        let (decoded, deadline_us) = decode_sweep(&mut &payload[1..]).unwrap();
+        assert_eq!(deadline_us, 250_000);
+        assert_eq!(decoded.setup.get().to_bits(), sweep.setup.get().to_bits());
+        assert_eq!(
+            (decoded.ticks_per_setup, decoded.interrupts),
+            (sweep.ticks_per_setup, sweep.interrupts)
+        );
+        assert_eq!(
+            (decoded.first_tick, decoded.count),
+            (123_456_789, 1_000_000)
+        );
+        // A truncated request is an error, not a short read.
+        assert!(decode_sweep(&mut &payload[1..payload.len() - 1]).is_err());
+        // NaN setup bits are rejected before Time construction.
+        let mut bad = payload.clone();
+        bad[9..17].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(decode_sweep(&mut &bad[1..]).is_err());
+
+        let runs = vec![
+            ValueRun {
+                start: 0,
+                step: 0,
+                len: 17,
+            },
+            ValueRun {
+                start: -3,
+                step: 1,
+                len: 1 << 40,
+            },
+        ];
+        let decoded = decode_runs(&encode_runs(&runs)).unwrap();
+        assert_eq!(decoded, runs);
+        // A count/size mismatch is an error at every truncation cut.
+        let enc = encode_runs(&runs);
+        for cut in 1..enc.len() {
+            assert!(decode_runs(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
     fn typed_errors_round_trip_code_flag_and_message() {
         let e = ServeError::overloaded(12, 8);
         let err = decode_answers(&encode_error(&e)).unwrap_err();
@@ -587,6 +790,7 @@ mod tests {
                 solve_panics: 2,
                 flight_retries: 1,
                 snapshot_failures: 9,
+                tenant_sheds: 6,
             },
         };
         let decoded = decode_stats(&encode_stats(&stats)).unwrap();

@@ -20,10 +20,10 @@
 #![allow(clippy::print_stdout)]
 
 use cyclesteal_core::time::{secs, Time};
-use cyclesteal_dp::{SolveConfig, TableCache};
+use cyclesteal_dp::{CompressedTable, SolveConfig, TableCache};
 use cyclesteal_serve::{
     wire, Broker, BrokerConfig, Client, ClientConfig, ErrorCode, FaultPlan, GuaranteeAnswer,
-    GuaranteeQuery, RetryPolicy, ServeError, Server, ServerConfig,
+    GuaranteeQuery, RetryPolicy, ServeError, Server, ServerConfig, SweepQuery,
 };
 use std::io;
 use std::path::PathBuf;
@@ -175,6 +175,7 @@ fn chaos_server(broker: Arc<Broker>) -> Server {
         ServerConfig {
             read_timeout: Some(Duration::from_secs(2)),
             write_timeout: Some(Duration::from_secs(2)),
+            ..ServerConfig::default()
         },
     )
     .expect("bind ephemeral")
@@ -201,6 +202,7 @@ fn every_query_answers_bit_identically_or_fails_retryably_across_64_plans() {
                 memory_budget: Some(1), // evict always → cold solves + snapshot writes
                 snapshot_dir: Some(dir.clone()),
                 max_inflight: 0,
+                ..BrokerConfig::default()
             })
             .unwrap(),
         );
@@ -249,6 +251,158 @@ fn every_query_answers_bit_identically_or_fails_retryably_across_64_plans() {
         "chaos sweep: {answered} exact answers, {acceptable} acceptable failures \
          across 64 plans"
     );
+}
+
+/// The readiness-loop server at 64 **concurrent** clients under seeded
+/// fault plans, mixing op-1 batches with op-3 streaming sweeps: every
+/// query returns the bit-identical answer or an acceptable
+/// typed/transient failure — no hangs, no escaped panics — and once
+/// the plan clears, a fresh client converges to exact answers.
+#[test]
+fn sixty_four_concurrent_clients_survive_fault_plans_on_the_readiness_loop() {
+    let _serial = chaos_lock();
+    let _quiet = QuietPanics::install();
+    const CLIENTS: usize = 64;
+    let queries = workload();
+    let want = reference_answers(&queries);
+    // Sweep ground truth straight from the solver: one table covers
+    // every per-client window below.
+    let sweep_table = CompressedTable::solve(secs(1.0), 8, secs(20.0), 3);
+
+    for seed in [3u64, 29] {
+        let broker = Arc::new(
+            Broker::new(BrokerConfig {
+                threads: 2,
+                ..BrokerConfig::default()
+            })
+            .unwrap(),
+        );
+        let server = Server::start_with(
+            "127.0.0.1:0",
+            broker.clone(),
+            ServerConfig {
+                read_timeout: Some(Duration::from_secs(2)),
+                write_timeout: Some(Duration::from_secs(2)),
+                // Enough handler contexts that injected read delays
+                // stall requests, not the whole fleet.
+                handlers: 16,
+            },
+        )
+        .expect("bind ephemeral");
+        let addr = server.local_addr();
+        let guard = FaultPlan::from_seed(seed).install();
+        let barrier = Arc::new(Barrier::new(CLIENTS));
+        let exact = AtomicUsize::new(0);
+        let failed = AtomicUsize::new(0);
+        // Diagnostics collected instead of asserted in-thread: the quiet
+        // panic hook would swallow a worker's assert message.
+        let violations: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for c in 0..CLIENTS {
+                let barrier = barrier.clone();
+                let (queries, want, sweep_table) = (&queries, &want, &sweep_table);
+                let (exact, failed, violations) = (&exact, &failed, &violations);
+                scope.spawn(move || {
+                    let mut client = chaos_client(addr, seed * 1000 + c as u64, 3);
+                    let budget = Some(Duration::from_millis(400));
+                    barrier.wait();
+                    for (i, (query, expect)) in queries.iter().zip(want.iter()).enumerate() {
+                        match client.query_batch_within(std::slice::from_ref(query), budget) {
+                            Ok(answers)
+                                if answers.len() == 1
+                                    && answers[0].value.get().to_bits()
+                                        == expect.value.get().to_bits()
+                                    && answers[0].value_ticks == expect.value_ticks =>
+                            {
+                                exact.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Ok(answers) => violations
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(format!(
+                                    "seed {seed} client {c} query {i}: wrong answer {answers:?}"
+                                )),
+                            Err(err) if acceptable_failure(&err) => {
+                                failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(err) => {
+                                violations
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push(format!(
+                                        "seed {seed} client {c} query {i}: unacceptable failure \
+                                     {err} (kind {:?})",
+                                        err.kind()
+                                    ))
+                            }
+                        }
+                    }
+                    // One streaming sweep per client, windows staggered
+                    // across clients.
+                    let sweep = SweepQuery {
+                        setup: secs(1.0),
+                        ticks_per_setup: 8,
+                        interrupts: 1 + (c as u32) % 3,
+                        first_tick: (c as i64) % 40,
+                        count: 64,
+                    };
+                    match client.query_sweep_within(&sweep, budget) {
+                        Ok(values) => {
+                            let ok = values.len() == 64
+                                && values.iter().enumerate().all(|(j, &v)| {
+                                    v == sweep_table
+                                        .value_ticks(sweep.interrupts, sweep.first_tick + j as i64)
+                                });
+                            if ok {
+                                exact.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                violations
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .push(format!("seed {seed} client {c}: wrong sweep expansion"));
+                            }
+                        }
+                        Err(err) if acceptable_failure(&err) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(err) => {
+                            violations
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(format!(
+                                    "seed {seed} client {c}: unacceptable sweep failure {err}"
+                                ))
+                        }
+                    }
+                });
+            }
+        });
+
+        let violations = violations.into_inner().unwrap_or_else(|e| e.into_inner());
+        assert!(violations.is_empty(), "{}", violations.join("\n"));
+        let (exact, failed) = (
+            exact.load(Ordering::Relaxed),
+            failed.load(Ordering::Relaxed),
+        );
+        assert_eq!(
+            exact + failed,
+            CLIENTS * (queries.len() + 1),
+            "seed {seed}: an outcome went missing (hang?)"
+        );
+
+        // Faults cleared: a fresh client converges on the same server.
+        drop(guard);
+        let mut client = chaos_client(addr, seed, 5);
+        for (i, (query, expect)) in queries.iter().zip(&want).enumerate() {
+            let answers = client
+                .query_batch(std::slice::from_ref(query))
+                .unwrap_or_else(|e| panic!("seed {seed} post query {i}: no convergence: {e}"));
+            assert_bit_identical(&answers[0], expect, &format!("seed {seed} post query {i}"));
+        }
+        server.shutdown();
+        println!("chaos 64c seed {seed}: {exact} exact, {failed} acceptable failures");
+    }
 }
 
 /// A plan that panics **every** solve: queries surface as typed
@@ -372,6 +526,7 @@ fn a_full_admission_budget_sheds_with_typed_overloaded_errors() {
             memory_budget: None,
             snapshot_dir: None,
             max_inflight: 1,
+            ..BrokerConfig::default()
         })
         .unwrap(),
     );
@@ -473,6 +628,7 @@ fn failing_snapshot_writes_never_touch_answers() {
         memory_budget: Some(1), // every solve evicts → snapshot write
         snapshot_dir: Some(dir.clone()),
         max_inflight: 0,
+        ..BrokerConfig::default()
     })
     .unwrap();
     let plan = FaultPlan {

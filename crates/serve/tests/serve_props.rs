@@ -169,6 +169,7 @@ fn eviction_snapshots_and_warm_start_serves_without_solving() {
             memory_budget: Some(1), // evict everything immediately
             snapshot_dir: Some(dir.clone()),
             max_inflight: 0,
+            ..BrokerConfig::default()
         })
         .unwrap();
         let got = broker.query_batch(&queries).unwrap();
@@ -192,6 +193,7 @@ fn eviction_snapshots_and_warm_start_serves_without_solving() {
             memory_budget: None,
             snapshot_dir: Some(dir.clone()),
             max_inflight: 0,
+            ..BrokerConfig::default()
         })
         .unwrap();
         assert_eq!(
