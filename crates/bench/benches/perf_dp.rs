@@ -434,6 +434,47 @@ fn acceptance_report(c: &mut Criterion) {
         (qps, p99_us)
     };
 
+    // The same warmed workload with full observability on: solver phase
+    // profiling enabled and every batch traced (nonzero trace ids, so
+    // every request records pipeline spans into the journal). Gated in
+    // bench_diff at serve_qps_instrumented ≥ 0.9 × serve_qps within the
+    // same run — the instrumentation overhead budget is 10%.
+    let serve_qps_instrumented = {
+        use cyclesteal_serve::{Broker, BrokerConfig, GuaranteeQuery};
+        let broker = std::sync::Arc::new(Broker::new(BrokerConfig::default()).unwrap());
+        broker.enable_profiling();
+        let queries: Vec<GuaranteeQuery> = (0..64)
+            .map(|i| GuaranteeQuery {
+                setup: secs(1.0),
+                ticks_per_setup: 8,
+                interrupts: 1 + (i % 3),
+                lifespan: secs(8.0 * (1 + i % 64) as f64),
+            })
+            .collect();
+        let _ = broker.query_batch(&queries).unwrap(); // one solve, warm
+        let batches_per_thread = if quick { 250 } else { 1000 };
+        let threads = 4;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let broker = broker.clone();
+                let queries = &queries;
+                scope.spawn(move || {
+                    for b in 0..batches_per_thread {
+                        let trace = 1 + (t * batches_per_thread + b) as u64;
+                        black_box(
+                            broker
+                                .query_batch_traced("inproc", black_box(queries), None, trace)
+                                .unwrap(),
+                        );
+                    }
+                });
+            }
+        });
+        let total_queries = (threads * batches_per_thread * queries.len()) as f64;
+        total_queries / start.elapsed().as_secs_f64()
+    };
+
     // The same warmed workload at 64 concurrent client threads: the
     // concurrency acceptance point for the readiness-loop serving
     // stack. Gated higher-is-better in bench_diff; the issue's bar is
@@ -547,6 +588,10 @@ fn acceptance_report(c: &mut Criterion) {
         "broker throughput    : {serve_qps:.0} queries/s (batched, 4 client threads), batch p99 {serve_p99_us} µs"
     );
     println!(
+        "broker instrumented  : {serve_qps_instrumented:.0} queries/s with tracing + phase profiling on ({:.1}% of baseline, floor 90%)",
+        100.0 * serve_qps_instrumented / serve_qps
+    );
+    println!(
         "broker at 64 clients : {serve_qps_64c:.0} queries/s (batched, 64 client threads), batch p99 {serve_p99_64c_us} µs"
     );
     println!(
@@ -572,6 +617,7 @@ fn acceptance_report(c: &mut Criterion) {
         format!("\"warm_start_speedup\": {warm_speedup:.3}"),
         format!("\"serve_qps\": {serve_qps:.1}"),
         format!("\"serve_p99_us\": {serve_p99_us}"),
+        format!("\"serve_qps_instrumented\": {serve_qps_instrumented:.1}"),
         format!("\"serve_qps_64c\": {serve_qps_64c:.1}"),
         format!("\"serve_p99_64c_us\": {serve_p99_64c_us}"),
         format!("\"sim_episodes_per_s\": {sim_episodes_per_s:.1}"),

@@ -26,6 +26,13 @@
 //! revision and therefore catch algorithmic regressions with zero
 //! noise.
 //!
+//! One gate is **intra-run** rather than baseline-relative: the fresh
+//! snapshot's `serve_qps_instrumented` (broker throughput with tracing
+//! and solver phase profiling on) must stay within 10% of its own
+//! `serve_qps` — two measurements from the same run on the same
+//! machine, so runner noise mostly cancels and the ratio isolates the
+//! observability overhead itself.
+//!
 //! A gated key missing from the *baseline* but present in the fresh
 //! snapshot is a **newly introduced field**: it is reported (`new field
 //! (absent in baseline) — gated from the next baseline on`) and never
@@ -76,6 +83,22 @@ const GATED_KEYS_LOWER: [&str; 9] = [
 /// `sim_batch_episodes` and `sim_batch_threads` are configuration
 /// stamps, deliberately ungated).
 const GATED_KEYS_HIGHER: [&str; 3] = ["serve_qps", "serve_qps_64c", "sim_episodes_per_s"];
+
+/// Floor on `serve_qps_instrumented / serve_qps` within one fresh
+/// snapshot: full observability (per-request tracing + solver phase
+/// profiling) may cost at most 10% of broker throughput.
+const INSTRUMENTED_QPS_FLOOR: f64 = 0.90;
+
+/// The intra-run observability-overhead gate: compares the fresh
+/// snapshot's instrumented broker throughput against its own baseline
+/// throughput. Returns `Some((baseline_qps, instrumented_qps))` when
+/// the instrumented number fell below the floor; `None` when it holds
+/// or either field is absent (pre-obs snapshots must keep passing).
+fn instrumented_overhead_violation(fresh: &str) -> Option<(f64, f64)> {
+    let base = get_number(fresh, "serve_qps")?;
+    let instrumented = get_number(fresh, "serve_qps_instrumented")?;
+    (base > 0.0 && instrumented < INSTRUMENTED_QPS_FLOOR * base).then_some((base, instrumented))
+}
 
 /// Extracts `"key": <number>` from a flat JSON document. Only the first
 /// occurrence is considered; returns `None` when the key is absent or
@@ -273,6 +296,39 @@ fn main() -> ExitCode {
                     diff.base.map_or("—".into(), |b| format!("{b:.6}")),
                     diff.new.map_or("—".into(), |n| format!("{n:.6}")),
                     "—"
+                );
+            }
+        }
+    }
+
+    // The intra-run observability gate reads only the fresh snapshot.
+    match instrumented_overhead_violation(&fresh) {
+        Some((base, instrumented)) => {
+            regressions.push((
+                "serve_qps_instrumented",
+                base,
+                instrumented,
+                instrumented / base - 1.0,
+            ));
+            eprintln!(
+                "bench_diff: serve_qps_instrumented is {:.1}% of serve_qps in the same run \
+                 (floor {:.0}%) — observability overhead over budget",
+                100.0 * instrumented / base,
+                INSTRUMENTED_QPS_FLOOR * 100.0
+            );
+        }
+        None => {
+            if let (Some(base), Some(instrumented)) = (
+                get_number(&fresh, "serve_qps"),
+                get_number(&fresh, "serve_qps_instrumented"),
+            ) {
+                println!(
+                    "{:<26} {:>14} {:>14.6} {:>+8.1}%  ok (intra-run, floor -{:.0}%)",
+                    "serve_qps_instrumented",
+                    "(serve_qps)",
+                    instrumented,
+                    100.0 * (instrumented / base - 1.0),
+                    (1.0 - INSTRUMENTED_QPS_FLOOR) * 100.0
                 );
             }
         }
@@ -529,6 +585,44 @@ mod tests {
             }
         );
         assert!(!has_regression(&results));
+    }
+
+    #[test]
+    fn instrumented_qps_gates_within_one_run() {
+        // Within budget: 95% of baseline passes the 90% floor.
+        let ok = snapshot(&[
+            ("serve_qps", 100_000.0),
+            ("serve_qps_instrumented", 95_000.0),
+        ]);
+        assert_eq!(instrumented_overhead_violation(&ok), None);
+
+        // Over budget: 80% of baseline violates.
+        let slow = snapshot(&[
+            ("serve_qps", 100_000.0),
+            ("serve_qps_instrumented", 80_000.0),
+        ]);
+        assert_eq!(
+            instrumented_overhead_violation(&slow),
+            Some((100_000.0, 80_000.0))
+        );
+
+        // Pre-obs snapshots (field absent) and corrupt baselines never
+        // trip the gate.
+        assert_eq!(
+            instrumented_overhead_violation(&snapshot(&[("serve_qps", 100_000.0)])),
+            None
+        );
+        assert_eq!(
+            instrumented_overhead_violation(&snapshot(&[("serve_qps_instrumented", 50_000.0)])),
+            None
+        );
+        assert_eq!(
+            instrumented_overhead_violation(&snapshot(&[
+                ("serve_qps", 0.0),
+                ("serve_qps_instrumented", 0.0),
+            ])),
+            None
+        );
     }
 
     #[test]

@@ -65,8 +65,10 @@
 //! sweeps and `examples/guarantee_explorer.rs` share.
 
 use crate::compressed::CompressedTable;
+use crate::profile::{PhaseRecorder, PhaseTimings, ProfileSink};
 use crate::value::{InnerLoop, RowRepr, SolveOptions, ValueTable};
 use cyclesteal_core::time::Time;
+use cyclesteal_obs::Clock;
 use parking_lot::Mutex;
 // BTreeMap, not HashMap: map iteration feeds the fallback lookup and
 // LRU tie-breaking, so iteration order must be deterministic (the
@@ -241,13 +243,18 @@ pub type EvictHook = Box<dyn Fn(&Arc<CompressedTable>) + Send + Sync>;
 const DEFAULT_SHARDS: usize = 8;
 
 /// One lock domain of the sharded cache: the dense and compressed maps
-/// for every grid key that hashes here. Both maps of one shard are
-/// independent locks; cross-shard operations (stats, budget
-/// enforcement, clear) acquire shard locks in index order, dense before
-/// compressed within a shard.
+/// for every grid key that hashes here, plus this shard's own
+/// hit/miss/eviction counters (the global [`CacheStats`] is the sum of
+/// these, so the aggregate and the per-shard view can never drift).
+/// Both maps of one shard are independent locks; cross-shard
+/// operations (stats, budget enforcement, clear) acquire shard locks
+/// in index order, dense before compressed within a shard.
 struct Shard {
     map: Mutex<BTreeMap<TableKey, Entry<ValueTable>>>,
     compressed: Mutex<BTreeMap<TableKey, Entry<CompressedTable>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Shard {
@@ -255,8 +262,34 @@ impl Shard {
         Shard {
             map: Mutex::new(BTreeMap::new()),
             compressed: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
+}
+
+/// Per-shard slice of [`CacheStats`]: the same counters, attributed to
+/// the lock domain whose grid keys produced them. Summing every field
+/// across [`TableCache::shard_stats`] reproduces [`TableCache::stats`]
+/// exactly — events are counted once, on their key's shard, never on a
+/// separate global counter that could drift.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Index of this shard in the cache's lock-domain array.
+    pub shard: usize,
+    /// Queries this shard answered from a cached table.
+    pub hits: u64,
+    /// Queries on this shard's grids that triggered a solve.
+    pub misses: u64,
+    /// Entries evicted from this shard by the global LRU budget.
+    pub evictions: u64,
+    /// Dense entries resident in this shard.
+    pub entries: usize,
+    /// Compressed entries resident in this shard.
+    pub compressed_entries: usize,
+    /// Bytes held by this shard's tables, by their own accounting.
+    pub resident_bytes: usize,
 }
 
 /// A concurrent cache of solved [`ValueTable`]s keyed by
@@ -270,11 +303,10 @@ pub struct TableCache {
     growth: f64,
     /// The lock domains. Selection mixes `(setup_bits, ticks_per_setup)`
     /// only — never `max_interrupts` — so all budgets of a grid share a
-    /// shard and the fallback scan stays shard-local.
+    /// shard and the fallback scan stays shard-local. Hit/miss/eviction
+    /// counters live *on the shards* (see [`Shard`]); the global
+    /// aggregate is their sum.
     shards: Vec<Shard>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
     /// Resident-bytes cap; `usize::MAX` means unbounded (the default).
     budget: AtomicUsize,
     /// Logical LRU clock, bumped whenever an entry serves a request.
@@ -283,6 +315,11 @@ pub struct TableCache {
     /// count.
     clock: AtomicU64,
     evict_hook: Mutex<Option<EvictHook>>,
+    /// Injected monotonic clock for phase-profiled solves (see
+    /// [`Self::set_profiling`]); `None` means solves run unprofiled.
+    profile_clock: Mutex<Option<Arc<dyn Clock>>>,
+    /// Callback offered each profiled solve's [`PhaseTimings`].
+    profile_sink: Mutex<Option<ProfileSink>>,
 }
 
 impl Default for TableCache {
@@ -320,12 +357,11 @@ impl TableCache {
             opts,
             growth: 1.25,
             shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
             budget: AtomicUsize::new(usize::MAX),
             clock: AtomicU64::new(0),
             evict_hook: Mutex::new(None),
+            profile_clock: Mutex::new(None),
+            profile_sink: Mutex::new(None),
         }
     }
 
@@ -339,13 +375,20 @@ impl TableCache {
     /// to the same shard and the larger-`p` fallback scan in
     /// [`peek_map`] never needs to look elsewhere.
     fn shard(&self, key: &TableKey) -> &Shard {
+        &self.shards[self.shard_index(key.setup_bits, key.ticks_per_setup)]
+    }
+
+    /// Index of the shard owning the grid `(setup_bits,
+    /// ticks_per_setup)` — the attribution point for per-shard
+    /// counters when only the grid identity is at hand.
+    fn shard_index(&self, setup_bits: u64, ticks_per_setup: u32) -> usize {
         // SplitMix64 finalizer over the grid identity — deterministic,
         // seedless, and uniform enough to spread tenant grids.
-        let mut x = key.setup_bits ^ u64::from(key.ticks_per_setup).rotate_left(32);
+        let mut x = setup_bits ^ u64::from(ticks_per_setup).rotate_left(32);
         x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
         x ^= x >> 31;
-        &self.shards[(x % self.shards.len() as u64) as usize]
+        (x % self.shards.len() as u64) as usize
     }
 
     /// The process-wide shared cache used by the sweep benches and
@@ -383,6 +426,90 @@ impl TableCache {
         *self.evict_hook.lock() = hook;
     }
 
+    /// Installs (or, with `None`s, removes) the phase-profiling pair:
+    /// a monotonic [`Clock`] and a sink offered each cache-triggered
+    /// solve's [`PhaseTimings`]. With no clock the solver runs
+    /// unprofiled (not even no-op clock reads); with a clock and no
+    /// sink phases are timed and discarded. Profiling never changes
+    /// solver output — the clock is read only *between* phases — so
+    /// instrumented solves stay bit-identical (pinned by the
+    /// `profiled_solves_are_bit_identical` test and the determinism
+    /// lint, which keeps `Instant::now` out of this crate: production
+    /// clocks are injected by `cyclesteal-serve`).
+    pub fn set_profiling(&self, clock: Option<Arc<dyn Clock>>, sink: Option<ProfileSink>) {
+        *self.profile_clock.lock() = clock;
+        *self.profile_sink.lock() = sink;
+    }
+
+    /// Dense solve, phase-profiled when a clock is installed.
+    fn solve_dense(
+        &self,
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+        opts: SolveOptions,
+    ) -> ValueTable {
+        let clock = self.profile_clock.lock().clone();
+        match clock {
+            None => ValueTable::solve(setup, ticks_per_setup, max_lifespan, max_interrupts, opts),
+            Some(clock) => {
+                let recorder = PhaseRecorder::new(&*clock);
+                let table = ValueTable::solve_profiled(
+                    setup,
+                    ticks_per_setup,
+                    max_lifespan,
+                    max_interrupts,
+                    opts,
+                    &recorder,
+                );
+                self.offer_timings(recorder.timings());
+                table
+            }
+        }
+    }
+
+    /// Compressed solve, phase-profiled when a clock is installed.
+    fn solve_compressed(
+        &self,
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+        opts: SolveOptions,
+    ) -> CompressedTable {
+        let clock = self.profile_clock.lock().clone();
+        match clock {
+            None => CompressedTable::solve_with(
+                setup,
+                ticks_per_setup,
+                max_lifespan,
+                max_interrupts,
+                opts,
+            ),
+            Some(clock) => {
+                let recorder = PhaseRecorder::new(&*clock);
+                let table = CompressedTable::solve_profiled(
+                    setup,
+                    ticks_per_setup,
+                    max_lifespan,
+                    max_interrupts,
+                    opts,
+                    &recorder,
+                );
+                self.offer_timings(recorder.timings());
+                table
+            }
+        }
+    }
+
+    fn offer_timings(&self, timings: PhaseTimings) {
+        let sink = self.profile_sink.lock();
+        if let Some(sink) = sink.as_ref() {
+            sink(&timings);
+        }
+    }
+
     /// Returns a table covering `(setup, ticks_per_setup, ≥max_lifespan,
     /// max_interrupts)`, solving (with lifespan headroom) only when no
     /// cached table covers the request.
@@ -397,10 +524,10 @@ impl TableCache {
         if let Some(table) = self.lookup(&key, max_lifespan) {
             return table;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.shard(&key).misses.fetch_add(1, Ordering::Relaxed);
         // Solve outside the lock: concurrent callers may duplicate work,
         // but never block each other behind a long solve.
-        let table = Arc::new(ValueTable::solve(
+        let table = Arc::new(self.solve_dense(
             setup,
             ticks_per_setup,
             max_lifespan * self.growth,
@@ -483,12 +610,20 @@ impl TableCache {
         }
 
         let jobs: Vec<((u64, u32), SolveConfig)> = pending.into_iter().collect();
-        // One miss per solve run; configs that coalesced onto another
-        // config's solve were still served without their own solve, which
-        // is a hit — so hits + misses always equals the batch size.
-        self.misses.fetch_add(jobs.len() as u64, Ordering::Relaxed);
-        self.hits
-            .fetch_add((waiting.len() - jobs.len()) as u64, Ordering::Relaxed);
+        // One miss per solve run, on the solved grid's shard; configs
+        // that coalesced onto another config's solve were still served
+        // without their own solve, which is a hit on the same shard — so
+        // hits + misses always equals the batch size, per shard and in
+        // aggregate.
+        let mut group_sizes: BTreeMap<(u64, u32), u64> = BTreeMap::new();
+        for (_, group) in &waiting {
+            *group_sizes.entry(*group).or_insert(0) += 1;
+        }
+        for ((setup_bits, ticks), members) in group_sizes {
+            let shard = &self.shards[self.shard_index(setup_bits, ticks)];
+            shard.misses.fetch_add(1, Ordering::Relaxed);
+            shard.hits.fetch_add(members - 1, Ordering::Relaxed);
+        }
 
         // Split the thread budget: distinct keys fan out across workers,
         // and whatever that fan-out leaves idle goes into each solve's
@@ -499,7 +634,7 @@ impl TableCache {
             ..self.opts
         };
         let solved = cyclesteal_par::par_map(&jobs, |(_, cfg)| {
-            ValueTable::solve(
+            self.solve_dense(
                 cfg.setup,
                 cfg.ticks_per_setup,
                 cfg.max_lifespan * self.growth,
@@ -550,12 +685,12 @@ impl TableCache {
     ) -> Arc<CompressedTable> {
         let key = TableKey::new(setup, ticks_per_setup, max_interrupts);
         if let Some(table) = self.peek_compressed(&key, max_lifespan) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.shard(&key).hits.fetch_add(1, Ordering::Relaxed);
             return table;
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.shard(&key).misses.fetch_add(1, Ordering::Relaxed);
         // Solve outside the lock, like the dense path.
-        let table = Arc::new(CompressedTable::solve_with(
+        let table = Arc::new(self.solve_compressed(
             setup,
             ticks_per_setup,
             max_lifespan * self.growth,
@@ -587,7 +722,7 @@ impl TableCache {
         let key = TableKey::new(setup, ticks_per_setup, max_interrupts);
         let found = self.peek_compressed(&key, max_lifespan);
         if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.shard(&key).hits.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
@@ -637,32 +772,48 @@ impl TableCache {
     }
 
     /// Hit/miss/entry counters since construction (or [`Self::clear`]).
+    /// Computed by summing the per-shard counters in one pass — the
+    /// aggregate is definitionally the sum of [`Self::shard_stats`].
     pub fn stats(&self) -> CacheStats {
-        // Cross-shard lock order everywhere multiple locks are held:
-        // shard index order, dense before compressed within a shard.
-        let mut entries = 0;
-        let mut compressed_entries = 0;
-        let mut resident = 0usize;
-        let guards: Vec<_> = self
-            .shards
+        let mut total = CacheStats::default();
+        for s in self.shard_stats() {
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.evictions += s.evictions;
+            total.entries += s.entries;
+            total.compressed_entries += s.compressed_entries;
+            total.resident_bytes += s.resident_bytes;
+        }
+        total
+    }
+
+    /// Per-shard hit/miss/eviction/residency counters, one entry per
+    /// lock domain in shard-index order, read in a single pass holding
+    /// each shard's locks (shard index order, dense before compressed
+    /// within a shard — the cross-shard lock order used everywhere).
+    /// Counter events are attributed to the shard owning the query's
+    /// grid key, never double-counted globally, so summing this vector
+    /// field-by-field reproduces [`Self::stats`] exactly.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
             .iter()
-            .map(|s| (s.map.lock(), s.compressed.lock()))
-            .collect();
-        for (map, compressed) in &guards {
-            entries += map.len();
-            compressed_entries += compressed.len();
-            resident += map.values().map(|e| e.table.bytes()).sum::<usize>()
-                + compressed.values().map(|e| e.table.bytes()).sum::<usize>();
-        }
-        drop(guards);
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            entries,
-            compressed_entries,
-            resident_bytes: resident,
-        }
+            .enumerate()
+            .map(|(i, shard)| {
+                // Lock order within a shard: dense before compressed.
+                let map = shard.map.lock();
+                let compressed = shard.compressed.lock();
+                ShardStats {
+                    shard: i,
+                    hits: shard.hits.load(Ordering::Relaxed),
+                    misses: shard.misses.load(Ordering::Relaxed),
+                    evictions: shard.evictions.load(Ordering::Relaxed),
+                    entries: map.len(),
+                    compressed_entries: compressed.len(),
+                    resident_bytes: map.values().map(|e| e.table.bytes()).sum::<usize>()
+                        + compressed.values().map(|e| e.table.bytes()).sum::<usize>(),
+                }
+            })
+            .collect()
     }
 
     /// Drops every cached table and resets the counters (the budget and
@@ -671,10 +822,10 @@ impl TableCache {
         for shard in &self.shards {
             shard.map.lock().clear();
             shard.compressed.lock().clear();
+            shard.hits.store(0, Ordering::Relaxed);
+            shard.misses.store(0, Ordering::Relaxed);
+            shard.evictions.store(0, Ordering::Relaxed);
         }
-        self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
-        self.evictions.store(0, Ordering::Relaxed);
     }
 
     /// Evicts least-recently-used entries (globally, across every shard
@@ -746,19 +897,23 @@ impl TableCache {
                     (None, Some(_)) => false,
                     (None, None) => break,
                 };
-                if evict_dense {
+                let victim_shard = if evict_dense {
                     let (si, key, _) = dense_lru.expect("picked dense LRU");
                     if let Some(entry) = guards[si].0.remove(&key) {
                         resident = resident.saturating_sub(entry.table.bytes());
                     }
+                    si
                 } else {
                     let (si, key, _) = comp_lru.expect("picked compressed LRU");
                     if let Some(entry) = guards[si].1.remove(&key) {
                         resident = resident.saturating_sub(entry.table.bytes());
                         snapshot_victims.push(entry.table);
                     }
-                }
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                    si
+                };
+                self.shards[victim_shard]
+                    .evictions
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
         if !snapshot_victims.is_empty() {
@@ -783,7 +938,7 @@ impl TableCache {
     fn lookup(&self, key: &TableKey, max_lifespan: Time) -> Option<Arc<ValueTable>> {
         let found = self.peek(key, max_lifespan);
         if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.shard(key).hits.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
@@ -1217,6 +1372,189 @@ mod tests {
             assert!(Arc::ptr_eq(&big, &small), "{shards} shards");
             assert_eq!(cache.stats().hits, 1);
         }
+    }
+
+    #[test]
+    fn profiled_solves_are_bit_identical() {
+        use crate::profile::{Phase, PhaseRecorder};
+        use cyclesteal_obs::LogicalClock;
+        // A ticking logical clock: timings are nonzero and deterministic,
+        // and the solved tables must not differ by a single bit.
+        let clock = LogicalClock::with_step(7);
+
+        let rec = PhaseRecorder::new(&clock);
+        let plain = ValueTable::solve(secs(1.0), 8, secs(120.0), 3, SolveOptions::default());
+        let profiled =
+            ValueTable::solve_profiled(secs(1.0), 8, secs(120.0), 3, SolveOptions::default(), &rec);
+        for p in 0..=3u32 {
+            for l in 0..=plain.max_ticks() {
+                assert_eq!(plain.value_ticks(p, l), profiled.value_ticks(p, l));
+            }
+        }
+        let t = rec.timings();
+        assert_eq!(t.calls(Phase::DenseExpansion), 3, "one fill per level");
+        assert!(t.ns(Phase::DenseExpansion) > 0, "stepped clock ticks");
+
+        let rec = PhaseRecorder::new(&clock);
+        let opts = SolveOptions {
+            inner: InnerLoop::EventDriven,
+            repr: RowRepr::Runs,
+            ..SolveOptions::default()
+        };
+        let plain_c = CompressedTable::solve_with(secs(1.0), 8, secs(300.0), 2, opts);
+        let profiled_c = CompressedTable::solve_profiled(secs(1.0), 8, secs(300.0), 2, opts, &rec);
+        assert_eq!(plain_c.events(), profiled_c.events());
+        for p in 0..=2u32 {
+            for l in 0..=plain_c.max_ticks() {
+                assert_eq!(plain_c.value_ticks(p, l), profiled_c.value_ticks(p, l));
+            }
+        }
+        let t = rec.timings();
+        assert_eq!(t.calls(Phase::EventLoop), 2, "one event build per level");
+        assert_eq!(t.calls(Phase::SkeletonBuild), 0, "no tick walk ran");
+
+        // The tick-walking compressed build attributes skeleton build
+        // and run re-encoding separately.
+        let rec = PhaseRecorder::new(&clock);
+        let walk_opts = SolveOptions {
+            repr: RowRepr::Runs,
+            keep_policy: false,
+            inner: InnerLoop::FrontierSweep,
+            threads: 1,
+        };
+        let walked = CompressedTable::solve_profiled(secs(1.0), 8, secs(100.0), 2, walk_opts, &rec);
+        assert_eq!(
+            walked.value_ticks(2, 800),
+            plain_c.value_ticks(2, 800),
+            "representations agree"
+        );
+        let t = rec.timings();
+        assert_eq!(t.calls(Phase::SkeletonBuild), 2);
+        assert_eq!(t.calls(Phase::RunCompression), 2);
+    }
+
+    #[test]
+    fn cache_profiling_sink_receives_phase_timings() {
+        use crate::profile::Phase;
+        use cyclesteal_obs::LogicalClock;
+        use std::sync::Mutex as StdMutex;
+        let cache = TableCache::new();
+        let seen: Arc<StdMutex<Vec<PhaseTimings>>> = Arc::new(StdMutex::new(Vec::new()));
+        let sink = seen.clone();
+        cache.set_profiling(
+            Some(Arc::new(LogicalClock::with_step(3))),
+            Some(Box::new(move |t| sink.lock().unwrap().push(*t))),
+        );
+        let _ = cache.get_compressed(secs(1.0), 8, secs(200.0), 2);
+        let _ = cache.get(secs(1.0), 8, secs(50.0), 1);
+        let timings = seen.lock().unwrap().clone();
+        assert_eq!(timings.len(), 2, "one timing per cache-triggered solve");
+        assert_eq!(timings[0].calls(Phase::EventLoop), 2);
+        assert!(timings[0].total_ns() > 0);
+        assert!(timings[1].calls(Phase::DenseExpansion) >= 1);
+        // Warm hits trigger no solve and no timing; removing the pair
+        // stops profiling.
+        let _ = cache.get_compressed(secs(1.0), 8, secs(200.0), 2);
+        assert_eq!(seen.lock().unwrap().len(), 2);
+        cache.set_profiling(None, None);
+        let _ = cache.get_compressed(secs(2.0), 8, secs(200.0), 2);
+        assert_eq!(seen.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_global_stats() {
+        let cache = TableCache::new();
+        for grid in 1..=6u64 {
+            let _ = cache.get_compressed(secs(grid as f64), 8, secs(150.0), 1 + (grid % 3) as u32);
+            let _ = cache.get(secs(grid as f64), 4, secs(40.0), 1);
+        }
+        // Re-query half the grids for hits, then shrink the budget so
+        // evictions land on some shards too.
+        for grid in 1..=3u64 {
+            let _ = cache.get_compressed(secs(grid as f64), 8, secs(100.0), 1);
+        }
+        let resident = cache.stats().resident_bytes;
+        cache.set_memory_budget(Some(resident / 3));
+
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), cache.shard_count());
+        let total = cache.stats();
+        assert_eq!(total.hits, per_shard.iter().map(|s| s.hits).sum::<u64>());
+        assert_eq!(
+            total.misses,
+            per_shard.iter().map(|s| s.misses).sum::<u64>()
+        );
+        assert_eq!(
+            total.evictions,
+            per_shard.iter().map(|s| s.evictions).sum::<u64>()
+        );
+        assert_eq!(
+            total.entries,
+            per_shard.iter().map(|s| s.entries).sum::<usize>()
+        );
+        assert_eq!(
+            total.compressed_entries,
+            per_shard
+                .iter()
+                .map(|s| s.compressed_entries)
+                .sum::<usize>()
+        );
+        assert_eq!(
+            total.resident_bytes,
+            per_shard.iter().map(|s| s.resident_bytes).sum::<usize>()
+        );
+        assert!(total.evictions > 0, "the workload must actually evict");
+        assert!(
+            per_shard.iter().filter(|s| s.hits + s.misses > 0).count() > 1,
+            "six grids must spread over more than one shard"
+        );
+    }
+
+    #[test]
+    fn shard_stats_stay_consistent_under_concurrent_load() {
+        // Writers hammer distinct grids while a reader snapshots; after
+        // the load quiesces, the per-shard sum must equal the aggregate
+        // and the totals must account for every request exactly once.
+        let cache = Arc::new(TableCache::new());
+        let threads = 4u64;
+        let rounds = 25u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let cache = cache.clone();
+                scope.spawn(move || {
+                    for r in 0..rounds {
+                        let grid = 1 + (t * rounds + r) % 5;
+                        let _ = cache.get_compressed(secs(grid as f64), 4, secs(60.0), 1);
+                    }
+                });
+            }
+            // Concurrent snapshots must never tear structurally: each
+            // snapshot's per-shard sum of hits+misses is monotone and
+            // bounded by the number of requests issued so far.
+            let cache = cache.clone();
+            scope.spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..50 {
+                    let seen: u64 = cache.shard_stats().iter().map(|s| s.hits + s.misses).sum();
+                    assert!(seen >= last, "per-shard sums must be monotone");
+                    assert!(seen <= threads * rounds, "never more events than requests");
+                    last = seen;
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let total = cache.stats();
+        let per_shard = cache.shard_stats();
+        assert_eq!(total.hits, per_shard.iter().map(|s| s.hits).sum::<u64>());
+        assert_eq!(
+            total.misses,
+            per_shard.iter().map(|s| s.misses).sum::<u64>()
+        );
+        assert_eq!(
+            total.hits + total.misses,
+            threads * rounds,
+            "every request counted exactly once"
+        );
     }
 
     #[test]

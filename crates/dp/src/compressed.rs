@@ -618,6 +618,49 @@ impl CompressedTable {
         max_interrupts: u32,
         opts: crate::value::SolveOptions,
     ) -> CompressedTable {
+        Self::solve_inner(
+            setup,
+            ticks_per_setup,
+            max_lifespan,
+            max_interrupts,
+            opts,
+            None,
+        )
+    }
+
+    /// [`Self::solve_with`] with per-phase timing recorded into
+    /// `recorder` (see [`crate::profile`]): the event-driven build
+    /// loop, the tick-walking skeleton build and the run re-encoding
+    /// are each attributed to their [`crate::Phase`]. The clock is read
+    /// only between phases, so the emitted table is bit-identical to
+    /// the unprofiled solve.
+    pub fn solve_profiled(
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+        opts: crate::value::SolveOptions,
+        recorder: &crate::profile::PhaseRecorder<'_>,
+    ) -> CompressedTable {
+        Self::solve_inner(
+            setup,
+            ticks_per_setup,
+            max_lifespan,
+            max_interrupts,
+            opts,
+            Some(recorder),
+        )
+    }
+
+    fn solve_inner(
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+        opts: crate::value::SolveOptions,
+        prof: Option<&crate::profile::PhaseRecorder<'_>>,
+    ) -> CompressedTable {
+        use crate::profile::{time_opt, Phase};
         let grid = Grid::new(setup, ticks_per_setup);
         let n = grid.to_ticks(max_lifespan).max(0);
         let q = grid.q();
@@ -635,13 +678,15 @@ impl CompressedTable {
         for _p in 1..=max_interrupts {
             let prev = rows.last().expect("level p−1 present");
             let row = if event_driven {
-                let (row, level_events) =
-                    crate::event::build_level_events(prev, n, q, threads, opts.repr);
+                let (row, level_events) = time_opt(prof, Phase::EventLoop, || {
+                    crate::event::build_level_events(prev, n, q, threads, opts.repr)
+                });
                 events += level_events;
                 row
             } else {
                 events += n.max(0) as u64;
-                build_level(prev, n, q).into_repr(opts.repr)
+                let built = time_opt(prof, Phase::SkeletonBuild, || build_level(prev, n, q));
+                time_opt(prof, Phase::RunCompression, || built.into_repr(opts.repr))
             };
             rows.push(row);
         }

@@ -97,17 +97,19 @@ pub mod compressed;
 pub mod eval;
 pub mod event;
 pub mod grid;
+pub mod profile;
 pub mod run;
 pub mod snapshot;
 pub mod value;
 
-pub use cache::{CacheStats, EvictHook, SolveConfig, TableCache};
+pub use cache::{CacheStats, EvictHook, ShardStats, SolveConfig, TableCache};
 pub use compressed::{expand_value_runs, CompressedOptimalPolicy, CompressedTable, ValueRun};
 pub use eval::{
     evaluate_policy, evaluate_policy_compressed, CompressedEvalOptions, CompressedPolicyValue,
     EvalOptions, PolicyValue,
 };
 pub use grid::Grid;
+pub use profile::{Phase, PhaseRecorder, PhaseTimings, ProfileSink, PHASE_COUNT};
 pub use snapshot::{PartsError, RowParts, RunParts, TableParts};
 pub use value::{InnerLoop, OptimalPolicy, RowRepr, SolveOptions, ValueTable};
 

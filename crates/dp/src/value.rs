@@ -611,6 +611,49 @@ impl ValueTable {
         max_interrupts: u32,
         opts: SolveOptions,
     ) -> ValueTable {
+        Self::solve_inner(
+            setup,
+            ticks_per_setup,
+            max_lifespan,
+            max_interrupts,
+            opts,
+            None,
+        )
+    }
+
+    /// [`Self::solve`] with per-phase timing recorded into `recorder`
+    /// (see [`crate::profile`]): the skeleton pass of the parallel path
+    /// is attributed to [`crate::Phase::EventLoop`] and the arena fill
+    /// (parallel or sequential) to [`crate::Phase::DenseExpansion`].
+    /// The clock is read only between phases, so the solved table is
+    /// bit-identical to the unprofiled solve.
+    pub fn solve_profiled(
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+        opts: SolveOptions,
+        recorder: &crate::profile::PhaseRecorder<'_>,
+    ) -> ValueTable {
+        Self::solve_inner(
+            setup,
+            ticks_per_setup,
+            max_lifespan,
+            max_interrupts,
+            opts,
+            Some(recorder),
+        )
+    }
+
+    fn solve_inner(
+        setup: Time,
+        ticks_per_setup: u32,
+        max_lifespan: Time,
+        max_interrupts: u32,
+        opts: SolveOptions,
+        prof: Option<&crate::profile::PhaseRecorder<'_>>,
+    ) -> ValueTable {
+        use crate::profile::{time_opt, Phase};
         let grid = Grid::new(setup, ticks_per_setup);
         let n = grid.to_ticks(max_lifespan).max(0);
         let q = grid.q();
@@ -648,17 +691,20 @@ impl ValueTable {
             // resuming the sweep from its h-crossing anchor.
             let mut prev_skel = CompressedRow::empty(q.min(n));
             for p in 1..=max_interrupts as usize {
-                let (skel, _events) =
-                    crate::event::build_level_events(&prev_skel, n, q, threads, opts.repr);
+                let (skel, _events) = time_opt(prof, Phase::EventLoop, || {
+                    crate::event::build_level_events(&prev_skel, n, q, threads, opts.repr)
+                });
                 let (done, rest) = levels.split_at_mut(p * stride);
                 let prev = &done[(p - 1) * stride..];
                 let cur = &mut rest[..stride];
                 let arg = argmax
                     .as_mut()
                     .map(|am| &mut am[p * stride..(p + 1) * stride]);
-                let jobs = split_row_segments(cur, arg, n, segments);
-                cyclesteal_par::par_sweep_segments(jobs, threads, |seg| {
-                    fill_segment(seg, prev, &skel, q)
+                time_opt(prof, Phase::DenseExpansion, || {
+                    let jobs = split_row_segments(cur, arg, n, segments);
+                    cyclesteal_par::par_sweep_segments(jobs, threads, |seg| {
+                        fill_segment(seg, prev, &skel, q)
+                    });
                 });
                 prev_skel = skel;
             }
@@ -670,7 +716,9 @@ impl ValueTable {
                 let arg = argmax
                     .as_mut()
                     .map(|am| &mut am[p * stride..(p + 1) * stride]);
-                solve_level(prev, cur, arg, n, q, opts.inner);
+                time_opt(prof, Phase::DenseExpansion, || {
+                    solve_level(prev, cur, arg, n, q, opts.inner)
+                });
             }
         }
 

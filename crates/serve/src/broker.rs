@@ -39,9 +39,11 @@
 
 use crate::errors::ServeError;
 use crate::faults;
+use crate::obs::ObsHub;
 use cyclesteal_core::time::{Time, Work};
 use cyclesteal_dp::compressed::CompressedTable;
-use cyclesteal_dp::{CacheStats, Grid, TableCache, ValueRun};
+use cyclesteal_dp::{CacheStats, Grid, Phase, PhaseTimings, TableCache, ValueRun};
+use cyclesteal_obs::{Counter, Gauge, Histogram, Registry, SpanRecord};
 use cyclesteal_par::WorkerPool;
 use cyclesteal_store::CacheSnapshotExt;
 use std::collections::{HashMap, VecDeque};
@@ -195,6 +197,7 @@ struct Shared {
     inflight: StdMutex<HashMap<SolveKey, Arc<Flight>>>,
     res: Resilience,
     fair: FairGate,
+    obs: ObsHub,
 }
 
 /// A tenant is a grid — the `(setup_bits, ticks_per_setup)` every key
@@ -229,6 +232,12 @@ struct FairGate {
     per_tenant: usize,
     state: StdMutex<FairGateState>,
     cv: Condvar,
+    /// Registry gauge mirroring `FairGateState::running` — how many
+    /// cold solves hold a lane right now.
+    running_g: Gauge,
+    /// Registry gauge counting solvers queued for a lane across all
+    /// tenants — the cold-solve queue depth.
+    waiting_g: Gauge,
 }
 
 #[derive(Default)]
@@ -243,12 +252,29 @@ struct FairGateState {
 }
 
 impl FairGate {
+    /// A gate with detached (unregistered) gauges — unit-test flavor of
+    /// [`FairGate::with_gauges`].
+    #[cfg(test)]
     fn new(lanes: usize, per_tenant: usize) -> FairGate {
+        FairGate::with_gauges(lanes, per_tenant, Gauge::new(), Gauge::new())
+    }
+
+    /// [`FairGate::new`] wired to registry gauges (lane occupancy and
+    /// queue depth) — what the broker uses; bare `new` keeps detached
+    /// gauges for unit tests.
+    fn with_gauges(
+        lanes: usize,
+        per_tenant: usize,
+        running_g: Gauge,
+        waiting_g: Gauge,
+    ) -> FairGate {
         FairGate {
             lanes: lanes.max(1),
             per_tenant: per_tenant.max(1),
             state: StdMutex::new(FairGateState::default()),
             cv: Condvar::new(),
+            running_g,
+            waiting_g,
         }
     }
 
@@ -272,12 +298,14 @@ impl FairGate {
         // tenant would undo the round-robin guarantee.
         if state.running < self.lanes && state.rotation.is_empty() {
             state.running += 1;
+            self.running_g.set(state.running as u64);
             return Ok(FairPermit { gate: self, tenant });
         }
         let ticket = state.next_ticket;
         state.next_ticket += 1;
         if let Some(lane) = state.tenants.get_mut(&tenant) {
             lane.waiting.push_back(ticket);
+            self.waiting_g.inc();
         }
         if !state.rotation.contains(&tenant) {
             state.rotation.push_back(tenant);
@@ -290,11 +318,13 @@ impl FairGate {
                 state.rotation.pop_front();
                 if let Some(lane) = state.tenants.get_mut(&tenant) {
                     lane.waiting.pop_front();
+                    self.waiting_g.dec();
                     if !lane.waiting.is_empty() {
                         state.rotation.push_back(tenant);
                     }
                 }
                 state.running += 1;
+                self.running_g.set(state.running as u64);
                 // Another lane may have freed for the next tenant too.
                 self.cv.notify_all();
                 return Ok(FairPermit { gate: self, tenant });
@@ -305,6 +335,7 @@ impl FairGate {
                     let now = Instant::now();
                     if now >= d {
                         Self::abandon(&mut state, tenant, ticket);
+                        self.waiting_g.dec();
                         self.cv.notify_all();
                         return Err(GateReject::Deadline);
                     }
@@ -338,6 +369,7 @@ impl FairGate {
     fn release(&self, tenant: TenantKey) {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.running = state.running.saturating_sub(1);
+        self.running_g.set(state.running as u64);
         if let Some(lane) = state.tenants.get_mut(&tenant) {
             lane.inflight = lane.inflight.saturating_sub(1);
             if lane.inflight == 0 && lane.waiting.is_empty() {
@@ -409,6 +441,8 @@ impl Drop for FlightGuard<'_> {
 struct Admission {
     inflight: AtomicUsize,
     budget: usize,
+    /// Registry gauge mirroring `inflight` — the live batch depth.
+    gauge: Gauge,
 }
 
 impl Admission {
@@ -418,6 +452,7 @@ impl Admission {
             self.inflight.fetch_sub(1, Ordering::AcqRel);
             None
         } else {
+            self.gauge.inc();
             Some(Permit { admission: self })
         }
     }
@@ -430,61 +465,38 @@ struct Permit<'a> {
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
         self.admission.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.admission.gauge.dec();
     }
 }
 
-const HIST_BUCKETS: usize = 40;
-
-/// Per-endpoint counters: request/query totals, solves coalesced onto
-/// another request's flight, and a log₂-bucketed latency histogram
-/// (microseconds), from which the p50/p99 snapshots are read.
+/// Per-endpoint handles into the shared metrics registry: request and
+/// query totals, solves coalesced onto another request's flight, and a
+/// log₂-bucketed batch-latency histogram (microseconds) from which the
+/// p50/p99 snapshots are read. These are registry series — the op-4
+/// exposition and [`Broker::stats`] read the *same* atomics, so the two
+/// views reconcile exactly.
 struct Endpoint {
-    requests: AtomicU64,
-    queries: AtomicU64,
-    coalesced: AtomicU64,
-    hist: [AtomicU64; HIST_BUCKETS],
-}
-
-impl Default for Endpoint {
-    fn default() -> Endpoint {
-        Endpoint {
-            requests: AtomicU64::new(0),
-            queries: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
-            hist: std::array::from_fn(|_| AtomicU64::new(0)),
-        }
-    }
+    requests: Counter,
+    queries: Counter,
+    coalesced: Counter,
+    latency_us: Histogram,
 }
 
 impl Endpoint {
-    fn record(&self, queries: usize, elapsed_us: u64) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.queries.fetch_add(queries as u64, Ordering::Relaxed);
-        let bucket = (63 - (elapsed_us.max(1)).leading_zeros() as usize).min(HIST_BUCKETS - 1);
-        self.hist[bucket].fetch_add(1, Ordering::Relaxed);
+    fn new(registry: &Registry, name: &str) -> Endpoint {
+        let labels = [("endpoint", name)];
+        Endpoint {
+            requests: registry.counter_with("cyclesteal_requests_total", &labels),
+            queries: registry.counter_with("cyclesteal_queries_total", &labels),
+            coalesced: registry.counter_with("cyclesteal_coalesced_total", &labels),
+            latency_us: registry.histogram_with("cyclesteal_request_latency_us", &labels),
+        }
     }
 
-    /// Upper bound of the bucket holding the `q`-quantile request —
-    /// accurate to within the 2× bucket width.
-    fn quantile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self
-            .hist
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return (1u64 << (i + 1)).saturating_sub(1);
-            }
-        }
-        u64::MAX
+    fn record(&self, queries: usize, elapsed_us: u64) {
+        self.requests.inc();
+        self.queries.add(queries as u64);
+        self.latency_us.record(elapsed_us);
     }
 }
 
@@ -538,6 +550,16 @@ impl Broker {
     /// failures are counted, never propagated). Returns the warm-start
     /// I/O error if the directory exists but cannot be read.
     pub fn new(config: BrokerConfig) -> Result<Broker, cyclesteal_store::StoreError> {
+        Broker::with_obs(config, ObsHub::new())
+    }
+
+    /// [`Broker::new`] over an explicit observability hub — how tests
+    /// inject a deterministic clock, and how a server embedding several
+    /// brokers could share one registry.
+    pub fn with_obs(
+        config: BrokerConfig,
+        obs: ObsHub,
+    ) -> Result<Broker, cyclesteal_store::StoreError> {
         let cache = Arc::new(TableCache::new());
         cache.set_memory_budget(config.memory_budget);
         let res = Resilience::new();
@@ -563,12 +585,21 @@ impl Broker {
         } else {
             config.tenant_quota
         };
+        let registry = obs.registry();
+        let fair = FairGate::with_gauges(
+            lanes,
+            quota,
+            registry.gauge("cyclesteal_lanes_running"),
+            registry.gauge("cyclesteal_lane_waiters"),
+        );
+        let inflight_gauge = registry.gauge("cyclesteal_inflight_batches");
         Ok(Broker {
             shared: Arc::new(Shared {
                 cache,
                 inflight: StdMutex::new(HashMap::new()),
                 res,
-                fair: FairGate::new(lanes, quota),
+                fair,
+                obs,
             }),
             pool,
             snapshot_dir: config.snapshot_dir,
@@ -579,9 +610,44 @@ impl Broker {
                 } else {
                     config.max_inflight
                 },
+                gauge: inflight_gauge,
             },
             endpoints: parking_lot::Mutex::new(HashMap::new()),
         })
+    }
+
+    /// The broker's observability hub: the metrics registry, span
+    /// journal and injected clock shared by every pipeline stage.
+    pub fn obs(&self) -> &ObsHub {
+        &self.shared.obs
+    }
+
+    /// Wires solver **phase profiling** into the hub: every cache solve
+    /// is timed against the hub's clock and its per-phase durations land
+    /// in `cyclesteal_solve_phase_ns{phase=…}` histograms. Off by
+    /// default — the unprofiled solve path pays zero clock reads, and
+    /// solver outputs are bit-identical either way (pinned in
+    /// `cyclesteal-dp`'s profiling tests).
+    pub fn enable_profiling(&self) {
+        let registry = self.shared.obs.registry();
+        let hists: Vec<(Phase, Histogram)> = Phase::ALL
+            .iter()
+            .map(|&phase| {
+                let h = registry
+                    .histogram_with("cyclesteal_solve_phase_ns", &[("phase", phase.name())]);
+                (phase, h)
+            })
+            .collect();
+        let sink = Box::new(move |timings: &PhaseTimings| {
+            for (phase, hist) in &hists {
+                if timings.calls(*phase) > 0 {
+                    hist.record(timings.ns(*phase));
+                }
+            }
+        });
+        self.shared
+            .cache
+            .set_profiling(Some(self.shared.obs.clock().clone()), Some(sink));
     }
 
     /// The broker's shared solve cache (for diffing broker answers
@@ -624,7 +690,23 @@ impl Broker {
         queries: &[GuaranteeQuery],
         deadline: Option<Instant>,
     ) -> Result<Vec<GuaranteeAnswer>, ServeError> {
+        self.query_batch_traced(endpoint, queries, deadline, 0)
+    }
+
+    /// [`Self::query_batch_within`] carrying a request **trace id**: a
+    /// nonzero id makes every pipeline stage the batch crosses record a
+    /// span into the hub's journal (`broker.admission`, `broker.lane`,
+    /// `broker.flight`, `broker.solve`, `broker.batch`). Trace id 0 is
+    /// the untraced fast path — no clock reads, no journal writes.
+    pub fn query_batch_traced(
+        &self,
+        endpoint: &'static str,
+        queries: &[GuaranteeQuery],
+        deadline: Option<Instant>,
+        trace_id: u64,
+    ) -> Result<Vec<GuaranteeAnswer>, ServeError> {
         let start = Instant::now();
+        let t_batch = self.shared.obs.start_ns(trace_id);
         let _permit = match self.admission.try_acquire() {
             Some(permit) => permit,
             None => {
@@ -643,32 +725,41 @@ impl Broker {
             return Err(ServeError::deadline_exceeded("expired on arrival"));
         }
         validate(queries)?;
+        self.shared.obs.span(trace_id, "broker.admission", t_batch);
         let ep = self.endpoint(endpoint);
 
         // Group by grid; each group solves once at the max (p, L) asked
-        // of it — a p_max solve holds every smaller budget exactly.
-        let mut groups: HashMap<(u64, u32), GuaranteeQuery> = HashMap::new();
+        // of it — a p_max solve holds every smaller budget exactly. The
+        // per-group query count feeds the per-tenant traffic counters.
+        let mut groups: HashMap<(u64, u32), (GuaranteeQuery, u64)> = HashMap::new();
         for q in queries {
             groups
                 .entry((q.setup.get().to_bits(), q.ticks_per_setup))
-                .and_modify(|g| {
+                .and_modify(|(g, n)| {
                     if q.lifespan > g.lifespan {
                         g.lifespan = q.lifespan;
                     }
                     if q.interrupts > g.interrupts {
                         g.interrupts = q.interrupts;
                     }
+                    *n += 1;
                 })
-                .or_insert(*q);
+                .or_insert((*q, 1));
         }
 
-        let group_list: Vec<((u64, u32), GuaranteeQuery)> = groups.into_iter().collect();
+        let group_list: Vec<((u64, u32), GuaranteeQuery)> = groups
+            .into_iter()
+            .map(|(key, (g, n))| {
+                record_tenant_queries(self.shared.obs.registry(), &g, n);
+                (key, g)
+            })
+            .collect();
         let tables: Vec<Result<Arc<CompressedTable>, ServeError>> = if group_list.len() <= 1 {
             // The common case (one grid per batch) resolves inline —
             // no pool hand-off latency.
             group_list
                 .iter()
-                .map(|(_, g)| resolve(&self.shared, &ep, g, deadline, 0))
+                .map(|(_, g)| resolve(&self.shared, &ep, g, deadline, 0, trace_id))
                 .collect()
         } else {
             // Jobs return Results and contain their own panics, so no
@@ -679,7 +770,7 @@ impl Broker {
                     let shared = self.shared.clone();
                     let ep = ep.clone();
                     let g = *g;
-                    move || resolve(&shared, &ep, &g, deadline, 0)
+                    move || resolve(&shared, &ep, &g, deadline, 0, trace_id)
                 })
                 .collect();
             self.pool.scatter(jobs)
@@ -717,6 +808,7 @@ impl Broker {
             })
             .collect();
         ep.record(queries.len(), start.elapsed().as_micros() as u64);
+        self.shared.obs.span(trace_id, "broker.batch", t_batch);
         Ok(answers)
     }
 
@@ -739,7 +831,21 @@ impl Broker {
         sweep: &SweepQuery,
         deadline: Option<Instant>,
     ) -> Result<Vec<ValueRun>, ServeError> {
+        self.query_sweep_traced(endpoint, sweep, deadline, 0)
+    }
+
+    /// [`Self::query_sweep_within`] carrying a request trace id, with
+    /// the span semantics of [`Self::query_batch_traced`] (the
+    /// request-level span is `broker.sweep`).
+    pub fn query_sweep_traced(
+        &self,
+        endpoint: &'static str,
+        sweep: &SweepQuery,
+        deadline: Option<Instant>,
+        trace_id: u64,
+    ) -> Result<Vec<ValueRun>, ServeError> {
         let start = Instant::now();
+        let t_sweep = self.shared.obs.start_ns(trace_id);
         let _permit = match self.admission.try_acquire() {
             Some(permit) => permit,
             None => {
@@ -758,8 +864,14 @@ impl Broker {
             return Err(ServeError::deadline_exceeded("expired on arrival"));
         }
         let covering = sweep_covering_query(sweep)?;
+        self.shared.obs.span(trace_id, "broker.admission", t_sweep);
         let ep = self.endpoint(endpoint);
-        let table = resolve(&self.shared, &ep, &covering, deadline, 0)?;
+        record_tenant_queries(
+            self.shared.obs.registry(),
+            &covering,
+            u64::from(sweep.count),
+        );
+        let table = resolve(&self.shared, &ep, &covering, deadline, 0, trace_id)?;
         if expired(deadline) {
             self.shared
                 .res
@@ -783,6 +895,7 @@ impl Broker {
         }
         let runs = table.value_runs(sweep.interrupts, sweep.first_tick, i64::from(sweep.count));
         ep.record(sweep.count as usize, start.elapsed().as_micros() as u64);
+        self.shared.obs.span(trace_id, "broker.sweep", t_sweep);
         Ok(runs)
     }
 
@@ -812,11 +925,11 @@ impl Broker {
             .iter()
             .map(|(name, ep)| EndpointStats {
                 endpoint: (*name).to_string(),
-                requests: ep.requests.load(Ordering::Relaxed),
-                queries: ep.queries.load(Ordering::Relaxed),
-                coalesced: ep.coalesced.load(Ordering::Relaxed),
-                p50_us: ep.quantile_us(0.50),
-                p99_us: ep.quantile_us(0.99),
+                requests: ep.requests.get(),
+                queries: ep.queries.get(),
+                coalesced: ep.coalesced.get(),
+                p50_us: ep.latency_us.quantile(0.50),
+                p99_us: ep.latency_us.quantile(0.99),
             })
             .collect();
         endpoints.sort_by(|a, b| a.endpoint.cmp(&b.endpoint));
@@ -827,9 +940,86 @@ impl Broker {
         }
     }
 
-    fn endpoint(&self, name: &'static str) -> Arc<Endpoint> {
-        self.endpoints.lock().entry(name).or_default().clone()
+    /// The op-4 payload: the registry's text exposition plus the span
+    /// journal's snapshot, taken together. Cache-shard and resilience
+    /// gauges are refreshed from their authoritative counters first, so
+    /// the exposition reconciles with [`Broker::stats`]: summing the
+    /// `cyclesteal_cache_shard_*` gauges reproduces
+    /// [`CacheStats`]'s totals exactly (they are one read of the same
+    /// per-shard atomics).
+    pub fn metrics_snapshot(&self) -> (String, Vec<SpanRecord>) {
+        self.refresh_gauges();
+        (
+            self.shared.obs.registry().render(),
+            self.shared.obs.journal().snapshot(),
+        )
     }
+
+    /// The registry exposition alone (gauges refreshed) — the in-process
+    /// flavor of the op-4 pull.
+    pub fn metrics_text(&self) -> String {
+        self.refresh_gauges();
+        self.shared.obs.registry().render()
+    }
+
+    /// Copies the authoritative per-shard cache counters and resilience
+    /// event counts into registry gauges, so one exposition carries the
+    /// whole picture.
+    fn refresh_gauges(&self) {
+        let registry = self.shared.obs.registry();
+        for s in self.shared.cache.shard_stats() {
+            let shard = s.shard.to_string();
+            let labels = [("shard", shard.as_str())];
+            for (name, value) in [
+                ("cyclesteal_cache_shard_hits", s.hits),
+                ("cyclesteal_cache_shard_misses", s.misses),
+                ("cyclesteal_cache_shard_evictions", s.evictions),
+                ("cyclesteal_cache_shard_entries", s.entries as u64),
+                (
+                    "cyclesteal_cache_shard_compressed_entries",
+                    s.compressed_entries as u64,
+                ),
+                (
+                    "cyclesteal_cache_shard_resident_bytes",
+                    s.resident_bytes as u64,
+                ),
+            ] {
+                registry.gauge_with(name, &labels).set(value);
+            }
+        }
+        let r = self.shared.res.snapshot();
+        for (kind, value) in [
+            ("shed", r.shed),
+            ("deadline_rejects", r.deadline_rejects),
+            ("solve_panics", r.solve_panics),
+            ("flight_retries", r.flight_retries),
+            ("snapshot_failures", r.snapshot_failures),
+            ("tenant_sheds", r.tenant_sheds),
+        ] {
+            registry
+                .gauge_with("cyclesteal_resilience_events", &[("kind", kind)])
+                .set(value);
+        }
+    }
+
+    fn endpoint(&self, name: &'static str) -> Arc<Endpoint> {
+        self.endpoints
+            .lock()
+            .entry(name)
+            .or_insert_with(|| Arc::new(Endpoint::new(self.shared.obs.registry(), name)))
+            .clone()
+    }
+}
+
+/// Bumps the per-tenant traffic counter for one resolved group: `n`
+/// queries against the tenant grid `(setup, ticks_per_setup)`. The
+/// label is human-readable (`"<setup>x<Q>"`), and tenant cardinality is
+/// bounded by the distinct grids a deployment actually serves.
+fn record_tenant_queries(registry: &Registry, g: &GuaranteeQuery, n: u64) {
+    let tenant = format!("{}x{}", g.setup.get(), g.ticks_per_setup);
+    registry
+        .counter_with("cyclesteal_tenant_queries_total", &[("tenant", &tenant)])
+        .add(n);
 }
 
 /// Largest grid extent (in ticks) one query may demand —
@@ -986,6 +1176,7 @@ fn resolve(
     g: &GuaranteeQuery,
     deadline: Option<Instant>,
     attempt: u32,
+    trace_id: u64,
 ) -> Result<Arc<CompressedTable>, ServeError> {
     // Warm-hit fast lane: answered straight from the sharded cache.
     if let Some(table) =
@@ -1033,8 +1224,12 @@ fn resolve(
         // for the whole solve; both reject paths are typed retryable
         // errors (the guard's drop un-strands any followers).
         let tenant: TenantKey = (key.setup_bits, key.ticks_per_setup);
+        let t_lane = shared.obs.start_ns(trace_id);
         let _lane = match shared.fair.acquire(tenant, deadline) {
-            Ok(permit) => permit,
+            Ok(permit) => {
+                shared.obs.span(trace_id, "broker.lane", t_lane);
+                permit
+            }
             Err(GateReject::Quota { held }) => {
                 shared.res.tenant_sheds.fetch_add(1, Ordering::Relaxed);
                 return Err(ServeError::new(
@@ -1047,13 +1242,16 @@ fn resolve(
                 return Err(ServeError::deadline_exceeded("queued for a solve lane"));
             }
         };
+        let t_solve = shared.obs.start_ns(trace_id);
         let table = solve_guarded(shared, g)?;
+        shared.obs.span(trace_id, "broker.solve", t_solve);
         *flight.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(table.clone()));
         drop(guard); // notifies followers, removes the flight
         return Ok(table);
     }
 
-    ep.coalesced.fetch_add(1, Ordering::Relaxed);
+    ep.coalesced.inc();
+    let t_flight = shared.obs.start_ns(trace_id);
     let mut result = flight.result.lock().unwrap_or_else(|e| e.into_inner());
     // Wait until the leader publishes; break *with* the value so there
     // is no "loop exited but the slot is empty" state to unwrap later.
@@ -1080,6 +1278,7 @@ fn resolve(
             }
         }
     };
+    shared.obs.span(trace_id, "broker.flight", t_flight);
     match outcome {
         // `covers` is the table's own coverage contract — the same
         // check the cache applies — so a coalesced result is never
@@ -1089,7 +1288,10 @@ fn resolve(
         // cache call (usually still a hit).
         Ok(_) => {
             drop(result);
-            solve_guarded(shared, g)
+            let t_solve = shared.obs.start_ns(trace_id);
+            let table = solve_guarded(shared, g)?;
+            shared.obs.span(trace_id, "broker.solve", t_solve);
+            Ok(table)
         }
         // Poisoned flight: the dead leader's guard already removed the
         // key, so re-resolving makes (or joins) a fresh leader — the
@@ -1100,9 +1302,12 @@ fn resolve(
             drop(result);
             if attempt == 0 {
                 shared.res.flight_retries.fetch_add(1, Ordering::Relaxed);
-                resolve(shared, ep, g, deadline, attempt + 1)
+                resolve(shared, ep, g, deadline, attempt + 1, trace_id)
             } else {
-                solve_guarded(shared, g)
+                let t_solve = shared.obs.start_ns(trace_id);
+                let table = solve_guarded(shared, g)?;
+                shared.obs.span(trace_id, "broker.solve", t_solve);
+                Ok(table)
             }
         }
     }
@@ -1247,6 +1452,7 @@ mod tests {
         let admission = Admission {
             inflight: AtomicUsize::new(0),
             budget: 2,
+            gauge: Gauge::new(),
         };
         let a = admission.try_acquire().expect("1st");
         let _b = admission.try_acquire().expect("2nd");

@@ -112,6 +112,7 @@
 pub mod broker;
 pub mod errors;
 pub mod faults;
+pub mod obs;
 pub mod server;
 pub mod wire;
 
@@ -121,4 +122,5 @@ pub use broker::{
 };
 pub use errors::{ErrorCode, ServeError};
 pub use faults::{FaultPlan, FaultPoint, FaultsGuard};
+pub use obs::{ObsHub, WallClock};
 pub use server::{Client, ClientConfig, RetryPolicy, Server, ServerConfig};

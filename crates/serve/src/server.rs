@@ -43,7 +43,9 @@
 use crate::broker::{Broker, BrokerStats, GuaranteeAnswer, GuaranteeQuery, SweepQuery};
 use crate::errors::ServeError;
 use crate::faults::{self, FaultPoint};
+use crate::obs::ObsHub;
 use crate::wire;
+use cyclesteal_obs::SpanRecord;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -87,10 +89,13 @@ pub struct Server {
     driver: Option<JoinHandle<()>>,
 }
 
-/// One complete request frame, tagged with the connection it came from.
+/// One complete request frame, tagged with the connection it came from
+/// and the hub-clock reading at which the event loop parsed it — the
+/// start of the request's `server.recv` span (parse → handler pickup).
 struct Job {
     conn_id: u64,
     payload: Vec<u8>,
+    recv_ns: u64,
 }
 
 /// A handler's verdict on one request, routed back to the event loop.
@@ -143,8 +148,9 @@ impl Server {
         }
         drop(reply_tx);
 
+        let hub = broker.obs().clone();
         let driver = std::thread::spawn(move || {
-            event_loop(&listener, &stop_flag, &job_tx, &reply_rx, config)
+            event_loop(&listener, &stop_flag, &job_tx, &reply_rx, config, &hub)
         });
         Ok(Server {
             local_addr,
@@ -217,6 +223,7 @@ fn event_loop(
     jobs: &mpsc::Sender<Job>,
     replies: &mpsc::Receiver<(u64, Reply)>,
     config: ServerConfig,
+    obs: &ObsHub,
 ) {
     // accept() can fail transiently under load (ECONNABORTED on a reset
     // handshake, EMFILE on fd exhaustion). Dropping the listener over
@@ -328,6 +335,7 @@ fn event_loop(
                             .send(Job {
                                 conn_id: id,
                                 payload,
+                                recv_ns: obs.now_ns(),
                             })
                             .is_err()
                         {
@@ -409,7 +417,7 @@ fn handler_loop(
         if let Some(delay) = faults::read_delay() {
             std::thread::sleep(delay);
         }
-        let response = handle_request(&job.payload, broker);
+        let response = handle_request(&job.payload, broker, job.recv_ns);
         let reply = if faults::should(FaultPoint::DropConnection) {
             Reply::Close
         } else if faults::should(FaultPoint::CorruptFrame) {
@@ -428,38 +436,62 @@ fn handler_loop(
     }
 }
 
-fn handle_request(payload: &[u8], broker: &Broker) -> Vec<u8> {
+fn handle_request(payload: &[u8], broker: &Broker, recv_ns: u64) -> Vec<u8> {
+    let obs = broker.obs();
     match payload.split_first() {
-        Some((&wire::OP_QUERY_BATCH, body)) => match wire::decode_query_batch(&mut { body }) {
-            Ok((queries, deadline_us)) => {
-                // The wire deadline is a relative budget; convert to an
-                // absolute Instant at the moment of decode. checked_add
-                // so an absurd (hostile) budget degrades to "none"
-                // instead of panicking on Instant overflow.
-                let deadline = match deadline_us {
-                    wire::NO_DEADLINE_US => None,
-                    us => Instant::now().checked_add(Duration::from_micros(us)),
-                };
-                match broker.query_batch_within("tcp", &queries, deadline) {
-                    Ok(answers) => wire::encode_answers(&answers),
-                    Err(e) => wire::encode_error(&e),
+        Some((&wire::OP_QUERY_BATCH, body)) => {
+            match wire::decode_query_batch_traced(&mut { body }) {
+                Ok((queries, deadline_us, wire_trace)) => {
+                    // A request arriving untraced (legacy frame or trace
+                    // id 0) still gets a server-assigned id, so every
+                    // TCP request is followable through the pipeline.
+                    let trace_id = if wire_trace != 0 {
+                        wire_trace
+                    } else {
+                        obs.assign_trace_id()
+                    };
+                    obs.span(trace_id, "server.recv", recv_ns);
+                    // The wire deadline is a relative budget; convert to
+                    // an absolute Instant at the moment of decode.
+                    // checked_add so an absurd (hostile) budget degrades
+                    // to "none" instead of panicking on Instant overflow.
+                    let deadline = match deadline_us {
+                        wire::NO_DEADLINE_US => None,
+                        us => Instant::now().checked_add(Duration::from_micros(us)),
+                    };
+                    let t_dispatch = obs.start_ns(trace_id);
+                    let outcome = broker.query_batch_traced("tcp", &queries, deadline, trace_id);
+                    obs.span(trace_id, "server.dispatch", t_dispatch);
+                    match outcome {
+                        Ok(answers) => wire::encode_answers(&answers),
+                        Err(e) => wire::encode_error(&e),
+                    }
                 }
+                Err(e) => wire::encode_error(&ServeError::malformed(format!(
+                    "malformed query batch: {e}"
+                ))),
             }
-            Err(e) => wire::encode_error(&ServeError::malformed(format!(
-                "malformed query batch: {e}"
-            ))),
-        },
+        }
         Some((&wire::OP_STATS, [])) => wire::encode_stats(&broker.stats()),
         Some((&wire::OP_STATS, _)) => {
             wire::encode_error(&ServeError::malformed("stats request carries no body"))
         }
-        Some((&wire::OP_SWEEP, body)) => match wire::decode_sweep(&mut { body }) {
-            Ok((sweep, deadline_us)) => {
+        Some((&wire::OP_SWEEP, body)) => match wire::decode_sweep_traced(&mut { body }) {
+            Ok((sweep, deadline_us, wire_trace)) => {
+                let trace_id = if wire_trace != 0 {
+                    wire_trace
+                } else {
+                    obs.assign_trace_id()
+                };
+                obs.span(trace_id, "server.recv", recv_ns);
                 let deadline = match deadline_us {
                     wire::NO_DEADLINE_US => None,
                     us => Instant::now().checked_add(Duration::from_micros(us)),
                 };
-                match broker.query_sweep_within("tcp", &sweep, deadline) {
+                let t_dispatch = obs.start_ns(trace_id);
+                let outcome = broker.query_sweep_traced("tcp", &sweep, deadline, trace_id);
+                obs.span(trace_id, "server.dispatch", t_dispatch);
+                match outcome {
                     // A window too jagged to fit one frame is the
                     // request's problem (narrow it), not a transport
                     // fault — reject before encoding, so frame_bytes
@@ -480,6 +512,13 @@ fn handle_request(payload: &[u8], broker: &Broker) -> Vec<u8> {
             }
             Err(e) => wire::encode_error(&ServeError::malformed(format!("malformed sweep: {e}"))),
         },
+        Some((&wire::OP_METRICS, [])) => {
+            let (text, spans) = broker.metrics_snapshot();
+            wire::encode_metrics(&text, &spans)
+        }
+        Some((&wire::OP_METRICS, _)) => {
+            wire::encode_error(&ServeError::malformed("metrics request carries no body"))
+        }
         Some((op, _)) => wire::encode_error(&ServeError::malformed(format!("unknown opcode {op}"))),
         None => wire::encode_error(&ServeError::malformed("empty request")),
     }
@@ -560,6 +599,9 @@ pub struct Client {
     conn: Option<Conn>,
     /// Monotone jitter-stream index (see [`RetryPolicy::backoff`]).
     jitter_n: u64,
+    /// Monotone trace-id stream index: each logical request draws one
+    /// id, so every retry of that request shares its trace.
+    next_trace: u64,
 }
 
 struct Conn {
@@ -608,6 +650,7 @@ impl Client {
             config,
             conn: None,
             jitter_n: 0,
+            next_trace: 0,
         };
         client.conn = Some(client.dial()?);
         Ok(client)
@@ -686,10 +729,26 @@ impl Client {
         queries: &[GuaranteeQuery],
         deadline: Option<Duration>,
     ) -> io::Result<Vec<GuaranteeAnswer>> {
+        let trace_id = self.draw_trace_id();
+        self.query_batch_traced(queries, deadline, trace_id)
+    }
+
+    /// [`Client::query_batch_within`] under an explicit trace id. The
+    /// id rides the wire (op-1's optional trailing field) and stamps
+    /// every pipeline span the request crosses server-side; the same id
+    /// is reused across retry attempts, so one logical request is one
+    /// trace. `0` sends a legacy untraced frame (the server still
+    /// assigns its own id).
+    pub fn query_batch_traced(
+        &mut self,
+        queries: &[GuaranteeQuery],
+        deadline: Option<Duration>,
+        trace_id: u64,
+    ) -> io::Result<Vec<GuaranteeAnswer>> {
         let deadline_us = deadline
             .map(|d| (d.as_micros().min(u64::MAX as u128) as u64).max(1))
             .unwrap_or(wire::NO_DEADLINE_US);
-        let request = wire::encode_query_batch(queries, deadline_us);
+        let request = wire::encode_query_batch_traced(queries, deadline_us, trace_id);
         let want = queries.len();
         self.with_retry(|conn| {
             let response = round_trip(conn, &request)?;
@@ -721,10 +780,22 @@ impl Client {
         sweep: &SweepQuery,
         deadline: Option<Duration>,
     ) -> io::Result<Vec<i64>> {
+        let trace_id = self.draw_trace_id();
+        self.query_sweep_traced(sweep, deadline, trace_id)
+    }
+
+    /// [`Client::query_sweep_within`] under an explicit trace id (same
+    /// semantics as [`Client::query_batch_traced`], over op 3).
+    pub fn query_sweep_traced(
+        &mut self,
+        sweep: &SweepQuery,
+        deadline: Option<Duration>,
+        trace_id: u64,
+    ) -> io::Result<Vec<i64>> {
         let deadline_us = deadline
             .map(|d| (d.as_micros().min(u64::MAX as u128) as u64).max(1))
             .unwrap_or(wire::NO_DEADLINE_US);
-        let request = wire::encode_sweep(sweep, deadline_us);
+        let request = wire::encode_sweep_traced(sweep, deadline_us, trace_id);
         self.with_retry(|conn| {
             let response = round_trip(conn, &request)?;
             let runs = wire::decode_runs(&response)?;
@@ -750,6 +821,25 @@ impl Client {
             let response = round_trip(conn, &[wire::OP_STATS])?;
             wire::decode_stats(&response)
         })
+    }
+
+    /// Pulls the server's observability snapshot (op 4): the metrics
+    /// registry's text exposition plus the recent trace-span journal.
+    /// Parse the text with [`cyclesteal_obs::parse_exposition`].
+    pub fn fetch_metrics(&mut self) -> io::Result<(String, Vec<SpanRecord>)> {
+        self.with_retry(|conn| {
+            let response = round_trip(conn, &[wire::OP_METRICS])?;
+            wire::decode_metrics(&response)
+        })
+    }
+
+    /// A fresh nonzero trace id for one logical request — a well-mixed
+    /// splitmix64 draw over the retry seed, so concurrent clients with
+    /// distinct seeds emit disjoint id streams.
+    fn draw_trace_id(&mut self) -> u64 {
+        let n = self.next_trace;
+        self.next_trace += 1;
+        faults::splitmix64(self.config.retry.seed ^ n.rotate_left(17) ^ 0x7EAC_E1D5).max(1)
     }
 }
 

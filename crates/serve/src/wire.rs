@@ -21,19 +21,33 @@
 //! Request payload:
 //!
 //! ```text
-//! op  u8          1 = query batch, 2 = stats, 3 = streaming sweep
+//! op  u8          1 = query batch, 2 = stats, 3 = streaming sweep,
+//!                 4 = metrics/introspection
 //! op 1: deadline_us u64 (0 = none; remaining budget in µs)
 //!       count u32, then per query (24 B):
 //!       setup_bits u64 · ticks_per_setup u32 · interrupts u32 · lifespan_bits u64
+//!       [trace_id u64]   optional trailing field, see below
 //! op 2: (empty)
 //! op 3: deadline_us u64 · setup_bits u64 · ticks_per_setup u32 ·
-//!       interrupts u32 · first_tick i64 · count u32
+//!       interrupts u32 · first_tick i64 · count u32 · [trace_id u64]
+//! op 4: (empty)
 //! ```
 //!
 //! The deadline travels as a *relative* budget (µs left), not a wall
 //! timestamp — the two hosts' clocks never need to agree. The server
 //! converts it to an absolute `Instant` the moment it decodes the
 //! request.
+//!
+//! The **trace_id** is an optional trailing `u64` on op 1 and op 3: a
+//! nonzero client-generated request id the server threads through every
+//! pipeline stage's trace span (see `cyclesteal_obs::trace`). The field
+//! is version-tolerant in both directions: decoders accept the legacy
+//! layout (no trailing field — trace id 0, untraced) *and* the extended
+//! layout, and encoders omit the field when the id is 0, so old clients
+//! talk to new servers and new clients to old servers byte-compatibly.
+//! Any other trailing length still errors — tolerance is exactly
+//! `{0, 8}` extra bytes, pinned truncation-cut by truncation-cut in the
+//! tests.
 //!
 //! Response payload:
 //!
@@ -50,6 +64,10 @@
 //!           coalesced u64 · p50_us u64 · p99_us u64
 //! ok, op 3: run_count u32, then per run (24 B):
 //!           start i64 · step i64 · len i64
+//! ok, op 4: metrics_len u32 · metrics bytes (UTF-8 exposition text) ·
+//!           span_count u32, then per span:
+//!           trace_id u64 · start_ns u64 · end_ns u64 ·
+//!           stage_len u8 · stage bytes
 //! error:    code u8 · retryable u8 · UTF-8 message (rest of payload)
 //! ```
 //!
@@ -73,6 +91,7 @@ use crate::broker::{
 use crate::errors::{ErrorCode, ServeError};
 use cyclesteal_core::time::Time;
 use cyclesteal_dp::{CacheStats, ValueRun};
+use cyclesteal_obs::SpanRecord;
 use cyclesteal_store::crc::crc32;
 use std::io::{self, Read, Write};
 
@@ -87,6 +106,9 @@ pub const OP_STATS: u8 = 2;
 /// Request opcode: streaming sweep — one consecutive tick window of one
 /// row, answered as arithmetic-run descriptors.
 pub const OP_SWEEP: u8 = 3;
+/// Request opcode: metrics/introspection — pulls the server's metrics
+/// registry exposition plus its trace-span journal snapshot.
+pub const OP_METRICS: u8 = 4;
 
 /// Most run descriptors one sweep response can carry and still fit a
 /// frame (24 B per run after status + run_count). The broker rejects
@@ -274,8 +296,21 @@ impl<'a> Reader<'a> {
 
 /// Encodes a query-batch request payload. `deadline_us` is the
 /// remaining budget in microseconds ([`NO_DEADLINE_US`] for none).
+/// Emits the legacy (untraced) layout — identical to
+/// [`encode_query_batch_traced`] with trace id 0.
 pub fn encode_query_batch(queries: &[GuaranteeQuery], deadline_us: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(13 + queries.len() * 24);
+    encode_query_batch_traced(queries, deadline_us, 0)
+}
+
+/// Encodes a query-batch request payload carrying a trace id. A zero
+/// `trace_id` omits the trailing field entirely, producing bytes
+/// identical to what a pre-tracing client sends.
+pub fn encode_query_batch_traced(
+    queries: &[GuaranteeQuery],
+    deadline_us: u64,
+    trace_id: u64,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(21 + queries.len() * 24);
     out.push(OP_QUERY_BATCH);
     out.extend_from_slice(&deadline_us.to_le_bytes());
     // lint:allow(lossy-cast): a batch whose count wraps u32 is a >96 GiB
@@ -288,21 +323,38 @@ pub fn encode_query_batch(queries: &[GuaranteeQuery], deadline_us: u64) -> Vec<u
         out.extend_from_slice(&q.interrupts.to_le_bytes());
         out.extend_from_slice(&q.lifespan.get().to_bits().to_le_bytes());
     }
+    if trace_id != 0 {
+        out.extend_from_slice(&trace_id.to_le_bytes());
+    }
     out
 }
 
 /// Decodes a query-batch request payload (after the op byte was read):
 /// the queries plus the relative deadline budget in µs
-/// ([`NO_DEADLINE_US`] = none).
+/// ([`NO_DEADLINE_US`] = none). Accepts both the legacy and the traced
+/// layout, discarding any trace id.
 pub fn decode_query_batch(r: &mut &[u8]) -> io::Result<(Vec<GuaranteeQuery>, u64)> {
+    decode_query_batch_traced(r).map(|(queries, deadline_us, _)| (queries, deadline_us))
+}
+
+/// Decodes a query-batch request payload, returning the trace id too:
+/// the optional trailing u64 (0 = untraced / legacy peer). Exactly two
+/// trailing lengths decode — 0 (legacy) and 8 (traced); anything else
+/// is a truncation or miscount error.
+pub fn decode_query_batch_traced(r: &mut &[u8]) -> io::Result<(Vec<GuaranteeQuery>, u64, u64)> {
     let mut rd = Reader { buf: r, pos: 0 };
     let deadline_us = rd.u64()?;
     let count = rd.u32()? as usize;
     // checked_mul: on 32-bit targets a hostile count could wrap the
     // size check and reach a huge Vec::with_capacity below.
-    if count.checked_mul(24) != Some(rd.buf.len() - rd.pos) {
-        return Err(invalid("query count does not match payload size"));
-    }
+    let body = count
+        .checked_mul(24)
+        .ok_or_else(|| invalid("query count does not match payload size"))?;
+    let traced = match (rd.buf.len() - rd.pos).checked_sub(body) {
+        Some(0) => false,
+        Some(8) => true,
+        _ => return Err(invalid("query count does not match payload size")),
+    };
     let mut queries = Vec::with_capacity(count);
     for _ in 0..count {
         queries.push(GuaranteeQuery {
@@ -312,14 +364,24 @@ pub fn decode_query_batch(r: &mut &[u8]) -> io::Result<(Vec<GuaranteeQuery>, u64
             lifespan: finite_time(rd.u64()?)?,
         });
     }
+    let trace_id = if traced { rd.u64()? } else { 0 };
     rd.done()?;
-    Ok((queries, deadline_us))
+    Ok((queries, deadline_us, trace_id))
 }
 
 /// Encodes a streaming-sweep request payload. `deadline_us` is the
 /// remaining budget in microseconds ([`NO_DEADLINE_US`] for none).
+/// Emits the legacy (untraced) layout — identical to
+/// [`encode_sweep_traced`] with trace id 0.
 pub fn encode_sweep(sweep: &SweepQuery, deadline_us: u64) -> Vec<u8> {
-    let mut out = Vec::with_capacity(37);
+    encode_sweep_traced(sweep, deadline_us, 0)
+}
+
+/// Encodes a streaming-sweep request payload carrying a trace id. A
+/// zero `trace_id` omits the trailing field entirely, producing bytes
+/// identical to what a pre-tracing client sends.
+pub fn encode_sweep_traced(sweep: &SweepQuery, deadline_us: u64, trace_id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(45);
     out.push(OP_SWEEP);
     out.extend_from_slice(&deadline_us.to_le_bytes());
     out.extend_from_slice(&sweep.setup.get().to_bits().to_le_bytes());
@@ -327,13 +389,24 @@ pub fn encode_sweep(sweep: &SweepQuery, deadline_us: u64) -> Vec<u8> {
     out.extend_from_slice(&sweep.interrupts.to_le_bytes());
     out.extend_from_slice(&sweep.first_tick.to_le_bytes());
     out.extend_from_slice(&sweep.count.to_le_bytes());
+    if trace_id != 0 {
+        out.extend_from_slice(&trace_id.to_le_bytes());
+    }
     out
 }
 
 /// Decodes a streaming-sweep request payload (after the op byte was
 /// read): the sweep plus the relative deadline budget in µs
-/// ([`NO_DEADLINE_US`] = none).
+/// ([`NO_DEADLINE_US`] = none). Accepts both the legacy and the traced
+/// layout, discarding any trace id.
 pub fn decode_sweep(r: &mut &[u8]) -> io::Result<(SweepQuery, u64)> {
+    decode_sweep_traced(r).map(|(sweep, deadline_us, _)| (sweep, deadline_us))
+}
+
+/// Decodes a streaming-sweep request payload, returning the trace id
+/// too: the optional trailing u64 (0 = untraced / legacy peer). Exactly
+/// two trailing lengths decode — 0 (legacy) and 8 (traced).
+pub fn decode_sweep_traced(r: &mut &[u8]) -> io::Result<(SweepQuery, u64, u64)> {
     let mut rd = Reader { buf: r, pos: 0 };
     let deadline_us = rd.u64()?;
     let sweep = SweepQuery {
@@ -343,8 +416,13 @@ pub fn decode_sweep(r: &mut &[u8]) -> io::Result<(SweepQuery, u64)> {
         first_tick: rd.i64()?,
         count: rd.u32()?,
     };
+    let trace_id = match rd.buf.len() - rd.pos {
+        0 => 0,
+        8 => rd.u64()?,
+        _ => return Err(invalid("trailing bytes in payload")),
+    };
     rd.done()?;
-    Ok((sweep, deadline_us))
+    Ok((sweep, deadline_us, trace_id))
 }
 
 /// Encodes a successful streaming-sweep response payload: the run
@@ -533,6 +611,72 @@ pub fn decode_stats(payload: &[u8]) -> io::Result<BrokerStats> {
         cache,
         resilience,
     })
+}
+
+/// Smallest on-wire footprint of one span: three u64s plus the stage
+/// length byte. Bounds both the encoder's defensive clamp and the
+/// decoder's count sanity check.
+const SPAN_MIN_BYTES: usize = 25;
+
+/// Encodes a metrics/introspection (op 4) response payload: the
+/// registry's text exposition followed by the span-journal snapshot.
+/// Defensive clamps (exposition to the frame cap, stage names to 255
+/// bytes, span count to what a frame can hold) keep every length prefix
+/// exact without any lossy cast.
+pub fn encode_metrics(text: &str, spans: &[SpanRecord]) -> Vec<u8> {
+    let text = &text.as_bytes()[..text.len().min(MAX_FRAME_BYTES as usize)];
+    let spans = &spans[..spans.len().min(MAX_FRAME_BYTES as usize / SPAN_MIN_BYTES)];
+    let mut out = Vec::with_capacity(9 + text.len() + spans.len() * 40);
+    out.push(STATUS_OK);
+    // try_from cannot fail after the clamps above; the fallback merely
+    // keeps the panic policy honest (a mismatched prefix fails decode,
+    // never corrupts silently).
+    out.extend_from_slice(&u32::try_from(text.len()).unwrap_or(u32::MAX).to_le_bytes());
+    out.extend_from_slice(text);
+    out.extend_from_slice(&u32::try_from(spans.len()).unwrap_or(u32::MAX).to_le_bytes());
+    for span in spans {
+        out.extend_from_slice(&span.trace_id.to_le_bytes());
+        out.extend_from_slice(&span.start_ns.to_le_bytes());
+        out.extend_from_slice(&span.end_ns.to_le_bytes());
+        let stage = &span.stage.as_bytes()[..span.stage.len().min(255)];
+        out.push(u8::try_from(stage.len()).unwrap_or(u8::MAX));
+        out.extend_from_slice(stage);
+    }
+    out
+}
+
+/// Decodes a metrics/introspection (op 4) response payload into the
+/// exposition text and the span-journal snapshot.
+pub fn decode_metrics(payload: &[u8]) -> io::Result<(String, Vec<SpanRecord>)> {
+    let body = response_body(payload)?;
+    let mut rd = Reader { buf: body, pos: 0 };
+    let text_len = rd.u32()? as usize;
+    let text = String::from_utf8_lossy(rd.take(text_len)?).into_owned();
+    let count = rd.u32()? as usize;
+    // A hostile count cannot reserve more memory than the remaining
+    // payload could possibly justify (each span is ≥ 25 bytes).
+    let min_bytes = count
+        .checked_mul(SPAN_MIN_BYTES)
+        .ok_or_else(|| invalid("span count does not match payload size"))?;
+    if min_bytes > body.len() - rd.pos {
+        return Err(invalid("span count does not match payload size"));
+    }
+    let mut spans = Vec::with_capacity(count);
+    for _ in 0..count {
+        let trace_id = rd.u64()?;
+        let start_ns = rd.u64()?;
+        let end_ns = rd.u64()?;
+        let stage_len = rd.u8()? as usize;
+        let stage = String::from_utf8_lossy(rd.take(stage_len)?).into_owned();
+        spans.push(SpanRecord {
+            trace_id,
+            stage,
+            start_ns,
+            end_ns,
+        });
+    }
+    rd.done()?;
+    Ok((text, spans))
 }
 
 #[cfg(test)]
@@ -815,5 +959,128 @@ mod tests {
                 b.resident_bytes
             )
         );
+    }
+
+    #[test]
+    fn trace_ids_ride_query_batches_version_tolerantly() {
+        let queries = vec![GuaranteeQuery {
+            setup: secs(1.5),
+            ticks_per_setup: 32,
+            interrupts: 7,
+            lifespan: secs(1234.5678),
+        }];
+        // Trace 0 emits byte-for-byte the legacy layout: an old server
+        // sees exactly what an old client would have sent.
+        let legacy = encode_query_batch(&queries, 250_000);
+        assert_eq!(legacy, encode_query_batch_traced(&queries, 250_000, 0));
+        // A nonzero trace adds exactly the trailing 8 bytes.
+        let traced = encode_query_batch_traced(&queries, 250_000, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(traced.len(), legacy.len() + 8);
+        assert_eq!(&traced[..legacy.len()], &legacy[..]);
+        let (decoded, deadline_us, trace_id) =
+            decode_query_batch_traced(&mut &traced[1..]).unwrap();
+        assert_eq!((deadline_us, trace_id), (250_000, 0xDEAD_BEEF_CAFE_F00D));
+        assert_eq!(decoded.len(), 1);
+        // A new server decodes a legacy payload as untraced (id 0), and
+        // the legacy-signature decoder tolerates a traced payload.
+        assert_eq!(decode_query_batch_traced(&mut &legacy[1..]).unwrap().2, 0);
+        assert!(decode_query_batch(&mut &traced[1..]).is_ok());
+        // Truncation at every cut: only the exact legacy boundary
+        // decodes (as untraced) — every other cut is an error, in
+        // particular all seven cuts inside the trailing trace field.
+        for cut in 1..traced.len() {
+            let slice = &traced[1..cut];
+            let got = decode_query_batch_traced(&mut &slice[..]);
+            if cut == legacy.len() {
+                assert_eq!(got.unwrap().2, 0, "legacy boundary decodes untraced");
+            } else {
+                assert!(got.is_err(), "cut at {cut} must error");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_ids_ride_sweeps_version_tolerantly() {
+        let sweep = SweepQuery {
+            setup: secs(1.5),
+            ticks_per_setup: 32,
+            interrupts: 7,
+            first_tick: 123_456_789,
+            count: 1_000_000,
+        };
+        let legacy = encode_sweep(&sweep, 250_000);
+        assert_eq!(legacy, encode_sweep_traced(&sweep, 250_000, 0));
+        let traced = encode_sweep_traced(&sweep, 250_000, 99);
+        assert_eq!(traced.len(), legacy.len() + 8);
+        assert_eq!(&traced[..legacy.len()], &legacy[..]);
+        let (decoded, deadline_us, trace_id) = decode_sweep_traced(&mut &traced[1..]).unwrap();
+        assert_eq!((deadline_us, trace_id), (250_000, 99));
+        assert_eq!(
+            (decoded.first_tick, decoded.count),
+            (123_456_789, 1_000_000)
+        );
+        assert_eq!(decode_sweep_traced(&mut &legacy[1..]).unwrap().2, 0);
+        assert!(decode_sweep(&mut &traced[1..]).is_ok());
+        for cut in 1..traced.len() {
+            let slice = &traced[1..cut];
+            let got = decode_sweep_traced(&mut &slice[..]);
+            if cut == legacy.len() {
+                assert_eq!(got.unwrap().2, 0, "legacy boundary decodes untraced");
+            } else {
+                assert!(got.is_err(), "cut at {cut} must error");
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_responses_round_trip_text_and_spans() {
+        let text = "cyclesteal_requests_total{endpoint=\"tcp\"} 17\n";
+        let spans = vec![
+            SpanRecord {
+                trace_id: 0xABCD,
+                stage: "broker.solve".into(),
+                start_ns: 100,
+                end_ns: 250,
+            },
+            SpanRecord {
+                trace_id: u64::MAX,
+                stage: String::new(),
+                start_ns: 0,
+                end_ns: u64::MAX,
+            },
+        ];
+        let payload = encode_metrics(text, &spans);
+        assert_eq!(payload[0], STATUS_OK);
+        let (got_text, got_spans) = decode_metrics(&payload).unwrap();
+        assert_eq!(got_text, text);
+        assert_eq!(got_spans, spans);
+        // Empty on both axes round-trips too.
+        let (t, s) = decode_metrics(&encode_metrics("", &[])).unwrap();
+        assert!(t.is_empty() && s.is_empty());
+        // Every length is an exact prefix, so every truncation cut is an
+        // error — never a short read or a phantom span.
+        for cut in 1..payload.len() {
+            assert!(decode_metrics(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+        // A hostile span count cannot force a large allocation: the
+        // count/size sanity check rejects it first.
+        let mut bad = encode_metrics("x", &[]);
+        let n = bad.len();
+        bad[n - 4..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_metrics(&bad).is_err());
+    }
+
+    #[test]
+    fn metrics_encoding_clamps_oversized_stage_names() {
+        let spans = vec![SpanRecord {
+            trace_id: 1,
+            stage: "s".repeat(300),
+            start_ns: 5,
+            end_ns: 6,
+        }];
+        let (_, got) = decode_metrics(&encode_metrics("", &spans)).unwrap();
+        assert_eq!(got[0].stage.len(), 255, "stage clamped to the u8 prefix");
+        assert_eq!(got[0].stage, "s".repeat(255));
+        assert_eq!((got[0].trace_id, got[0].start_ns, got[0].end_ns), (1, 5, 6));
     }
 }

@@ -107,6 +107,13 @@ fn print_stats(broker: &Broker) {
             r.shed, r.deadline_rejects, r.solve_panics, r.flight_retries, r.snapshot_failures
         );
     }
+    let (text, spans) = broker.metrics_snapshot();
+    println!(
+        "[obs: {} metric series, {} trace span(s) journaled — render with \
+         `cargo run --release --example obs_dashboard -- pull <addr>`]",
+        cyclesteal_obs::parse_exposition(&text).len(),
+        spans.len()
+    );
 }
 
 fn run_demo() {
@@ -142,6 +149,9 @@ fn run_server(addr: &str) {
         })
         .unwrap(),
     );
+    // A long-running server profiles its solves: `obs_dashboard -- pull`
+    // then renders the per-phase breakdown alongside the traffic tables.
+    broker.enable_profiling();
     let server = Server::start(addr, broker.clone()).unwrap();
     println!(
         "serving guarantee queries on {} (snapshots in ./serve-snapshots, Ctrl-C to stop)",
